@@ -1,0 +1,135 @@
+// E10 — microbenchmarks of the primitives behind the cost model
+// (google-benchmark): the MAC backends, the PAC field operations, the
+// pac/aut architectural operations, and the per-call instrumentation
+// sequences executed on the simulator. These back the Section 7 discussion
+// of PA-operation cost.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "crypto/mac.h"
+#include "crypto/qarma64.h"
+#include "crypto/siphash.h"
+#include "kernel/machine.h"
+#include "pa/pointer_auth.h"
+#include "workload/spec_suite.h"
+
+namespace {
+
+using namespace acs;
+
+void BM_SipHashPair(benchmark::State& state) {
+  Rng rng(1);
+  const crypto::Key128 key = crypto::random_key(rng);
+  u64 x = rng.next();
+  for (auto _ : state) {
+    x = crypto::siphash24_pair(key, x, x ^ 0x55);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SipHashPair);
+
+void BM_Qarma64Encrypt(benchmark::State& state) {
+  Rng rng(2);
+  const crypto::Qarma64 cipher{crypto::random_key(rng),
+                               static_cast<unsigned>(state.range(0))};
+  u64 x = rng.next();
+  for (auto _ : state) {
+    x = cipher.encrypt(x, x ^ 0xAA);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Qarma64Encrypt)->Arg(5)->Arg(7);
+
+void BM_PacOperation(benchmark::State& state) {
+  Rng rng(3);
+  const pa::PointerAuth pauth{crypto::random_key_set(rng), pa::VaLayout{39}};
+  u64 pointer = 0x12340;
+  for (auto _ : state) {
+    pointer = pauth.pac(crypto::KeyId::kIA, pointer & 0x7FFFFFFFFFULL, 0x99);
+    benchmark::DoNotOptimize(pointer);
+  }
+}
+BENCHMARK(BM_PacOperation);
+
+void BM_AutOperation(benchmark::State& state) {
+  Rng rng(4);
+  const pa::PointerAuth pauth{crypto::random_key_set(rng), pa::VaLayout{39}};
+  const u64 signed_ptr = pauth.pac(crypto::KeyId::kIA, 0x12340, 0x99);
+  for (auto _ : state) {
+    auto result = pauth.aut(crypto::KeyId::kIA, signed_ptr, 0x99);
+    benchmark::DoNotOptimize(result.pointer);
+  }
+}
+BENCHMARK(BM_AutOperation);
+
+void BM_RandomOracleLookup(benchmark::State& state) {
+  const crypto::RandomOracleMac oracle{5};
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.mac(i % 4096, 7));
+    ++i;
+  }
+}
+BENCHMARK(BM_RandomOracleLookup);
+
+/// Simulator throughput: instructions per second executing a call-dense
+/// workload under a given scheme — the quantity that bounds how large the
+/// reproduction experiments can be.
+void BM_SimulatorCallLoop(benchmark::State& state) {
+  const auto scheme = static_cast<compiler::Scheme>(state.range(0));
+  auto bench = workload::spec_suite().front();
+  bench.iterations = 200;
+  const auto ir = workload::make_spec_ir(bench);
+  const auto program = compiler::compile_ir(ir, {.scheme = scheme});
+  u64 instructions = 0;
+  for (auto _ : state) {
+    kernel::Machine machine(program);
+    machine.run();
+    instructions += machine.init_process().instructions();
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorCallLoop)
+    ->Arg(static_cast<int>(compiler::Scheme::kNone))
+    ->Arg(static_cast<int>(compiler::Scheme::kPacStack));
+
+/// Simulated per-call cycle cost of each scheme's instrumentation: the
+/// constant the Figure 5 overheads are built from. Reported as a counter
+/// (cycles per call over the baseline).
+void BM_PerCallInstrumentationCycles(benchmark::State& state) {
+  const auto scheme = static_cast<compiler::Scheme>(state.range(0));
+  compiler::IrBuilder builder;
+  const auto leaf = builder.begin_function("leaf");
+  builder.compute(1);
+  const auto mid = builder.begin_function("mid");
+  builder.call(leaf);
+  const auto driver = builder.begin_function("driver");
+  builder.call(mid, 1000);
+  const auto ir = builder.build(driver);
+
+  const auto measure = [&](compiler::Scheme s) {
+    const auto program = compiler::compile_ir(ir, {.scheme = s});
+    kernel::Machine machine(program);
+    machine.run();
+    return machine.init_process().cycles();
+  };
+  const u64 base = measure(compiler::Scheme::kNone);
+  u64 cycles = 0;
+  for (auto _ : state) {
+    cycles = measure(scheme);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["extra_cycles_per_call"] =
+      static_cast<double>(cycles - base) / 1000.0;
+}
+BENCHMARK(BM_PerCallInstrumentationCycles)
+    ->Arg(static_cast<int>(compiler::Scheme::kPacStack))
+    ->Arg(static_cast<int>(compiler::Scheme::kPacStackNoMask))
+    ->Arg(static_cast<int>(compiler::Scheme::kShadowStack))
+    ->Arg(static_cast<int>(compiler::Scheme::kPacRet));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// E1 + E11 — reproduces **Table 1**: "Maximum success probability of
+// call-stack integrity violations, with and without masking", plus the
+// Appendix A game advantages behind Theorem 1.
+//
+// Paper values (token size b):
+//   on-graph:                 1 (no masking)   2^-b (masking)
+//   off-graph to call-site:   2^-b             2^-b
+//   off-graph to arbitrary:   2^-2b            2^-2b
+//
+// Measured as Monte-Carlo success rates at reduced b (the PAC shrinks when
+// VA_SIZE grows, exactly as on real hardware); the analytic column prints
+// the paper's closed form for comparison.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "attack/experiments.h"
+#include "attack/games.h"
+#include "common/table.h"
+#include "core/analysis.h"
+
+namespace {
+
+using namespace acs;
+
+void print_table1(unsigned b) {
+  const u64 seed = 0xAC501 + b;
+  const u64 harvest = 5 * (u64{1} << (b / 2));
+
+  std::printf("\n-- Table 1 (b = %u, harvest = %llu aret values) --\n", b,
+              static_cast<unsigned long long>(harvest));
+  Table table({"violation type", "masking", "measured rate", "paper (analytic)",
+               "trials"});
+
+  const auto add = [&](const char* type, bool masking,
+                       const attack::MonteCarloResult& result,
+                       double analytic) {
+    table.add_row({type, masking ? "yes" : "no",
+                   Table::fmt_prob(result.rate()), Table::fmt_prob(analytic),
+                   Table::fmt_count(result.trials)});
+  };
+
+  const auto row_nomask = core::table1_probabilities(b, false);
+  const auto row_mask = core::table1_probabilities(b, true);
+
+  add("on-graph", false,
+      attack::on_graph_attack(b, false, harvest, 4000, seed),
+      row_nomask.on_graph);
+  add("on-graph", true,
+      attack::on_graph_attack(b, true, harvest, 400'000, seed + 1),
+      row_mask.on_graph);
+  add("off-graph to call-site", false,
+      attack::off_graph_to_call_site(b, false, 400'000, seed + 2),
+      row_nomask.off_graph_to_call_site);
+  add("off-graph to call-site", true,
+      attack::off_graph_to_call_site(b, true, 400'000, seed + 3),
+      row_mask.off_graph_to_call_site);
+  if (b <= 8) {
+    // 2^-2b successes need ~2^(2b) trials; only feasible for small b.
+    add("off-graph to arbitrary", false,
+        attack::off_graph_arbitrary(b, false, 4'000'000, seed + 4),
+        row_nomask.off_graph_arbitrary);
+    add("off-graph to arbitrary", true,
+        attack::off_graph_arbitrary(b, true, 4'000'000, seed + 5),
+        row_mask.off_graph_arbitrary);
+  } else {
+    table.add_row({"off-graph to arbitrary", "either", "(analytic only)",
+                   Table::fmt_prob(row_mask.off_graph_arbitrary), "0"});
+  }
+  table.print(std::cout);
+}
+
+void print_games(unsigned b) {
+  const u64 seed = 0xA11CE + b;
+  std::printf("\n-- Appendix A games (b = %u) --\n", b);
+  Table table({"game", "win rate", "baseline", "advantage", "trials"});
+  const auto masked = attack::pac_collision_game(b, 64, 60'000, seed);
+  const double blind = std::pow(2.0, -static_cast<double>(b));
+  table.add_row({"PAC-Collision (masked)", Table::fmt_prob(masked.win_rate()),
+                 Table::fmt_prob(blind),
+                 Table::fmt_prob(masked.advantage(blind)),
+                 Table::fmt_count(masked.trials)});
+  const auto unmasked = attack::pac_collision_game_unmasked(b, 80, 4000, seed);
+  table.add_row({"PAC-Collision (no masking, q=80)",
+                 Table::fmt_prob(unmasked.win_rate()), "birthday",
+                 "-", Table::fmt_count(unmasked.trials)});
+  const auto dist = attack::pac_distinguish_game(b, 256, 6000, seed);
+  table.add_row({"PAC-Distinguish", Table::fmt_prob(dist.win_rate()), "0.5000",
+                 Table::fmt_prob(dist.advantage(0.5)),
+                 Table::fmt_count(dist.trials)});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+void print_deep_harvest() {
+  std::printf("\n-- Reproduction finding: deep-harvest adversary --\n");
+  std::printf("The masked token t ^ m is itself the chain-register value "
+              "and is spilled one\ncall level deeper; its collisions are "
+              "directly visible AND exploitable\n(substitution verifies iff "
+              "the masked tokens collide). Harvesting at that\ndepth "
+              "restores birthday-bound success against the masked scheme:\n");
+  Table table({"b", "harvest depth", "measured rate", "analytic", "trials"});
+  for (unsigned b : {8U, 12U}) {
+    const u64 harvest = 5 * (u64{1} << (b / 2));
+    const auto shallow =
+        attack::on_graph_attack(b, true, harvest, 100'000, 0xDEE9 + b);
+    const auto deep =
+        attack::on_graph_attack_deep_harvest(b, harvest, 4000, 0xDEEA + b);
+    table.add_row({std::to_string(b), "same level (paper's model)",
+                   Table::fmt_prob(shallow.rate()),
+                   Table::fmt_prob(std::pow(2.0, -static_cast<double>(b))),
+                   Table::fmt_count(shallow.trials)});
+    table.add_row({std::to_string(b), "one level deeper",
+                   Table::fmt_prob(deep.rate()), "birthday (~1)",
+                   Table::fmt_count(deep.trials)});
+  }
+  table.print(std::cout);
+  std::printf("(Theorem 1 bounds identification of raw-tag collisions; the "
+              "exploitable\ncondition per the Listing 3 algebra is "
+              "masked-token equality. See EXPERIMENTS.md.)\n");
+}
+
+int main() {
+  std::printf("PACStack reproduction — Table 1: success probability of "
+              "call-stack integrity violations\n");
+  std::printf("(paper: USENIX Security'21, Section 6.2; probabilities 1 / "
+              "2^-b / 2^-2b)\n");
+  for (unsigned b : {6U, 8U, 12U}) print_table1(b);
+  std::printf("\nTheorem 1 (Appendix A): masking reduces collision-finding "
+              "to blind guessing.\n");
+  for (unsigned b : {8U}) print_games(b);
+  print_deep_harvest();
+  return 0;
+}

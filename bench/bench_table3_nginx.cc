@@ -1,0 +1,59 @@
+// E4 — reproduces **Table 3**: "Requests/second, standard deviation and
+// performance overhead for the NGINX SSL TPS tests" with 4 and 8 workers,
+// for PACStack and PACStack-nomask.
+//
+// Paper values: 4 workers — baseline 14.2k, nomask 13.7k (-3.5%), full
+// 13.5k (-4.9%); 8 workers — baseline 30.7k, nomask 28.6k (-6.8%), full
+// 27.2k (-11.4%); i.e. 4-7% (nomask) and 6-13% (full) overhead.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "workload/nginx_sim.h"
+
+int main() {
+  using namespace acs;
+  using compiler::Scheme;
+
+  std::printf("PACStack reproduction — Table 3: NGINX SSL TPS (simulated, "
+              "CPU-bound request loop)\n");
+  std::printf("(paper: USENIX Security'21 Section 7.2)\n\n");
+
+  Table table({"# workers", "scheme", "req/sec", "sigma", "overhead %"});
+
+  for (unsigned workers : {4U, 8U}) {
+    workload::NginxConfig config;
+    config.workers = workers;
+    config.requests_per_worker = 250;
+    config.repeats = 5;
+    config.seed = 90 + workers;
+
+    const auto baseline =
+        workload::run_nginx_experiment(Scheme::kNone, config);
+    const auto nomask =
+        workload::run_nginx_experiment(Scheme::kPacStackNoMask, config);
+    const auto full =
+        workload::run_nginx_experiment(Scheme::kPacStack, config);
+
+    const auto add = [&](const char* label,
+                         const workload::NginxRunResult& result) {
+      const double overhead = (1.0 - result.requests_per_second /
+                                         baseline.requests_per_second) *
+                              100.0;
+      table.add_row({std::to_string(workers), label,
+                     Table::fmt(result.requests_per_second, 0),
+                     Table::fmt(result.stddev, 0),
+                     label == std::string{"baseline"}
+                         ? "-"
+                         : Table::fmt(overhead, 1)});
+    };
+    add("baseline", baseline);
+    add("pacstack-nomask", nomask);
+    add("pacstack", full);
+  }
+  table.print(std::cout);
+
+  std::printf("\nPaper reference: nomask 4-7%% / full 6-13%% TPS loss; "
+              "~2x TPS from 4 -> 8 workers.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// ROP demo: the same victim binary compiled under every protection scheme,
+// attacked by the Section 3 adversary (arbitrary read/write on data pages).
+// Reproduces the paper's motivating comparison in one screenful:
+// plain frames and canaries are hijacked, pac-ret falls to SP-modifier
+// reuse (Section 6.1), ShadowCallStack falls once its location is known,
+// PACStack turns the attack into a crash.
+//
+//   $ ./examples/rop_attack
+#include <cstdio>
+
+#include "attack/scenarios.h"
+#include "common/table.h"
+#include "compiler/scheme.h"
+
+#include <iostream>
+
+using namespace acs;
+using namespace acs::attack;
+
+int main() {
+  std::printf("Victim: func() { A(); B(); } — the adversary harvests A's "
+              "return address\nand substitutes it for B's (Listing 6 of the "
+              "paper).\n\n");
+
+  Table table({"protection scheme", "attack outcome", "why"});
+  const auto describe = [](const ScenarioResult& result) {
+    switch (result.outcome) {
+      case AttackOutcome::kHijacked: return "return address accepted";
+      case AttackOutcome::kCrashed: return "verification failed -> fault";
+      case AttackOutcome::kBenign: return "attack had no effect";
+    }
+    return "?";
+  };
+
+  for (compiler::Scheme scheme :
+       {compiler::Scheme::kNone, compiler::Scheme::kCanary,
+        compiler::Scheme::kPacRet, compiler::Scheme::kPacStackNoMask,
+        compiler::Scheme::kPacStack}) {
+    const auto result = run_reuse_attack(scheme, false, 0xD0D0);
+    table.add_row({compiler::scheme_name(scheme),
+                   outcome_name(result.outcome), describe(result)});
+  }
+
+  // Shadow stacks: secure only while their location is secret.
+  const auto hidden = run_shadow_stack_attack(false, 0xD0D0);
+  table.add_row({"shadow-stack (location unknown)",
+                 outcome_name(hidden.outcome), describe(hidden)});
+  const auto exposed = run_shadow_stack_attack(true, 0xD0D0);
+  table.add_row({"shadow-stack (location known)",
+                 outcome_name(exposed.outcome), describe(exposed)});
+
+  table.print(std::cout);
+
+  std::printf("\nPACStack detail: the substituted value is a *different* "
+              "chain value; the\nchained MAC H_k(ret, aret_prev) no longer "
+              "matches, autia poisons the return\naddress and the fetch "
+              "faults — exactly the paper's Section 6.1 argument.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "attack/adversary.h"
+
+#include <stdexcept>
+
+namespace acs::attack {
+
+Adversary::Adversary(kernel::Machine& machine, u64 pid)
+    : machine_(&machine), process_(machine.find_process(pid)) {
+  if (process_ == nullptr) {
+    throw std::invalid_argument{"Adversary: no such pid"};
+  }
+}
+
+std::optional<u64> Adversary::read(u64 addr) const noexcept {
+  return process_->mem.adversary_read_u64(addr);
+}
+
+bool Adversary::write(u64 addr, u64 value) noexcept {
+  return process_->mem.adversary_write_u64(addr, value);
+}
+
+std::vector<u64> Adversary::read_stack(const kernel::Task& task) const {
+  std::vector<u64> words;
+  const u64 sp = task.cpu().reg(sim::Reg::kSp);
+  const u64 top = task.stack_base + task.stack_size;
+  for (u64 addr = sp; addr + 8 <= top; addr += 8) {
+    if (const auto value = read(addr)) words.push_back(*value);
+  }
+  return words;
+}
+
+std::vector<u64> Adversary::stack_slot_addresses(
+    const kernel::Task& task) const {
+  std::vector<u64> slots;
+  const u64 sp = task.cpu().reg(sim::Reg::kSp);
+  const u64 top = task.stack_base + task.stack_size;
+  for (u64 addr = sp; addr + 8 <= top; addr += 8) slots.push_back(addr);
+  return slots;
+}
+
+std::vector<u64> Adversary::read_shadow_stack(const kernel::Task& task) const {
+  const u64 base = kernel::kShadowBase + task.tid() * kernel::kShadowStride;
+  std::vector<u64> words;
+  std::size_t last_nonzero = 0;
+  for (u64 addr = base; addr + 8 <= base + kernel::kShadowSize; addr += 8) {
+    const auto value = read(addr);
+    if (!value) break;
+    words.push_back(*value);
+    if (*value != 0) last_nonzero = words.size();
+  }
+  words.resize(last_nonzero);
+  return words;
+}
+
+std::vector<Adversary::Harvested> Adversary::harvest_signed_pointers(
+    const kernel::Task& task) const {
+  const auto& layout = process_->pauth().layout();
+  const auto& program = process_->program();
+  std::vector<Harvested> found;
+  const u64 sp = task.cpu().reg(sim::Reg::kSp);
+  const u64 top = task.stack_base + task.stack_size;
+  for (u64 addr = sp; addr + 8 <= top; addr += 8) {
+    const auto value = read(addr);
+    if (!value) continue;
+    const u64 stripped = layout.strip(*value);
+    if (layout.pac_field(*value) != 0 && stripped >= program.base &&
+        stripped < program.end()) {
+      found.push_back({addr, *value});
+    }
+  }
+  return found;
+}
+
+void Adversary::break_at(const std::string& symbol) {
+  machine_->add_global_breakpoint(process_->program().symbol(symbol));
+}
+
+void Adversary::clear_breakpoints() { machine_->clear_global_breakpoints(); }
+
+kernel::Stop Adversary::run_until_break(u64 max_instructions) {
+  return machine_->run(max_instructions);
+}
+
+kernel::Stop Adversary::resume(u64 max_instructions) {
+  for (auto& process : machine_->processes()) {
+    for (auto& task : process->tasks) {
+      if (task->cpu().state() == sim::RunState::kBreakpoint) {
+        task->cpu().resume();
+      }
+    }
+  }
+  return machine_->run(max_instructions);
+}
+
+}  // namespace acs::attack

@@ -1,0 +1,73 @@
+// The Section 3 adversary, made executable.
+//
+// Capabilities: arbitrary read of mapped process memory and arbitrary write
+// of non-executable pages (W^X, assumption A1), exercised while the victim
+// is suspended at chosen program points (breakpoints on the vulnerable
+// sites the victim IR marks). The adversary cannot touch registers, kernel
+// state or PA keys. Helpers that locate stack slots use the task's SP —
+// justified because the adversary has full memory disclosure and our
+// address space has no ASLR, so frame addresses are computable anyway.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/machine.h"
+
+namespace acs::attack {
+
+class Adversary {
+ public:
+  Adversary(kernel::Machine& machine, u64 pid);
+
+  [[nodiscard]] kernel::Process& process() noexcept { return *process_; }
+  [[nodiscard]] kernel::Machine& machine() noexcept { return *machine_; }
+
+  // --- memory primitives --------------------------------------------------
+  [[nodiscard]] std::optional<u64> read(u64 addr) const noexcept;
+  bool write(u64 addr, u64 value) noexcept;
+
+  /// Read the active stack of `task` from its SP up to the stack top,
+  /// innermost word first.
+  [[nodiscard]] std::vector<u64> read_stack(const kernel::Task& task) const;
+
+  /// Read the task's shadow-stack region (ShadowCallStack attack surface):
+  /// all words from the region base up to and including the last non-zero.
+  [[nodiscard]] std::vector<u64> read_shadow_stack(const kernel::Task& task) const;
+
+  /// Addresses (not values) of the live stack words, innermost first —
+  /// lets attacks overwrite the slot where a value was found.
+  [[nodiscard]] std::vector<u64> stack_slot_addresses(
+      const kernel::Task& task) const;
+
+  /// Scan the live stack for words that look like signed code pointers:
+  /// PAC field non-zero and stripped address inside the code segment.
+  /// These are the "authenticated return addresses" the paper's attacker
+  /// harvests. Returns (slot address, value) pairs, innermost first.
+  struct Harvested {
+    u64 slot = 0;
+    u64 value = 0;
+  };
+  [[nodiscard]] std::vector<Harvested> harvest_signed_pointers(
+      const kernel::Task& task) const;
+
+  // --- execution control ----------------------------------------------------
+  /// Arm a breakpoint at a program symbol (e.g. "vuln_1"). Applies to all
+  /// current tasks and is re-armed on tasks created later (threads).
+  void break_at(const std::string& symbol);
+  void clear_breakpoints();
+
+  /// Run the machine until a breakpoint fires (returns the stop), all tasks
+  /// finish, or the budget is exhausted.
+  kernel::Stop run_until_break(u64 max_instructions = 50'000'000);
+
+  /// Resume from the current breakpoint and keep running.
+  kernel::Stop resume(u64 max_instructions = 50'000'000);
+
+ private:
+  kernel::Machine* machine_;
+  kernel::Process* process_;
+};
+
+}  // namespace acs::attack

@@ -1,0 +1,58 @@
+// The Appendix A security games, instantiated as Monte-Carlo harnesses.
+//
+// Theorem 1 reduces finding exploitable auth-token collisions under masking
+// to distinguishing the masks from a random oracle (semantic security of a
+// one-time pad). These harnesses run the games with concrete adversaries:
+// the best generic strategies available without breaking the PRF. The bench
+// prints their advantages, which should be statistically indistinguishable
+// from zero (collision game: success ~ 2^-b; distinguishing game: ~ 1/2).
+#pragma once
+
+#include "common/types.h"
+
+namespace acs::attack {
+
+struct GameResult {
+  u64 trials = 0;
+  u64 wins = 0;
+  [[nodiscard]] double win_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(wins) / static_cast<double>(trials);
+  }
+  /// Advantage over the baseline win probability.
+  [[nodiscard]] double advantage(double baseline) const noexcept {
+    return win_rate() - baseline;
+  }
+};
+
+/// G_PAC-Collision (Figure 6): after q masked-token oracle queries, the
+/// adversary outputs (x, y, y') claiming H(x,y) = H(x,y'). Strategy: pick
+/// the pair of queries whose *masked* tokens collide if one exists (the
+/// natural-but-futile strategy Theorem 1 defeats), else a random pair.
+/// Baseline (blind) success probability is 2^-b.
+[[nodiscard]] GameResult pac_collision_game(unsigned b, u64 q, u64 trials,
+                                            u64 seed);
+
+/// Same game played WITHOUT masking (tokens leak directly): the adversary
+/// wins whenever q is large enough for a birthday collision — this is the
+/// contrast line showing what masking buys.
+[[nodiscard]] GameResult pac_collision_game_unmasked(unsigned b, u64 q,
+                                                     u64 trials, u64 seed);
+
+/// G_PAC-Distinguish (Figure 7): distinguish H_k from a random oracle given
+/// q masked tokens. The adversary applies a chi-squared-style frequency
+/// test over the masked tokens. Baseline win probability is 1/2.
+[[nodiscard]] GameResult pac_distinguish_game(unsigned b, u64 q, u64 trials,
+                                              u64 seed);
+
+/// G_1/G_2 of the Theorem 1 game hops (Figures 8-9): given q masked tokens
+/// T(x,y) = H(x,y) ^ H(0,y) and then a challenge oracle that is either the
+/// true mask function S_1(y) = H(0,y) or an independent random oracle
+/// S_0(y), guess which was used in the tokens. The adversary cross-checks:
+/// for each recorded query it tests whether T(x,y) ^ S(y) looks like a
+/// consistent PRF — but without the key every XOR is equally plausible, so
+/// the best generic statistic stays at 1/2 (the one-time-pad hop G_3).
+[[nodiscard]] GameResult mask_distinguish_game(unsigned b, u64 q, u64 trials,
+                                               u64 seed);
+
+}  // namespace acs::attack

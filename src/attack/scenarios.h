@@ -1,0 +1,168 @@
+// End-to-end attack scenarios on the full stack (compiler + CPU + kernel).
+//
+// Each scenario builds a victim program in the IR, compiles it under a
+// protection scheme, and drives the Section 3 adversary against it:
+//
+//  * run_reuse_attack       — the Listing 6 pointer-reuse attack: harvest a
+//    (signed) return address in A, substitute it for B's while both were
+//    signed under the same SP modifier. Hijacks baseline/canary/pac-ret;
+//    crashes under PACStack (Section 6.1).
+//  * run_shadow_stack_attack — same victim under ShadowCallStack; with the
+//    shadow region's location known the adversary corrupts both copies
+//    (the Section 1/8 motivation for ACS).
+//  * run_signing_gadget_attack — the Section 6.3.1 aut->pac tail-call
+//    gadget: PACStack detects the forged chain value at the latest on
+//    return from the tail-callee; FPAC faults immediately.
+//  * run_sigreturn_attack   — Section 6.3.2 / Appendix B: forge the signal
+//    frame during handler execution; the authenticated-sigreturn defence
+//    kills the process, without it the attacker gains arbitrary PC.
+//  * run_offgraph_guess_cpu — CPU-level Monte-Carlo of the off-graph
+//    AG-Load guess (success rate 2^-b), cross-validating the crypto-level
+//    experiments at reduced b.
+#pragma once
+
+#include <string>
+
+#include "attack/experiments.h"
+#include "compiler/scheme.h"
+#include "sim/fault.h"
+
+namespace acs::attack {
+
+enum class AttackOutcome : u8 {
+  kHijacked,  ///< control flow diverted; attacker marker observed
+  kCrashed,   ///< the attack was detected: process killed
+  kBenign,    ///< program completed normally; the attack had no effect
+};
+
+[[nodiscard]] std::string outcome_name(AttackOutcome outcome);
+
+struct ScenarioResult {
+  AttackOutcome outcome = AttackOutcome::kBenign;
+  sim::FaultKind fault = sim::FaultKind::kNone;
+  std::string detail;
+};
+
+/// Listing 6 reuse attack. `contiguous_overflow` restricts the adversary to
+/// a linear overflow from the local buffer (the attacker stack canaries can
+/// actually see); otherwise it uses its arbitrary-write primitive.
+[[nodiscard]] ScenarioResult run_reuse_attack(compiler::Scheme scheme,
+                                              bool contiguous_overflow,
+                                              u64 seed);
+
+/// ShadowCallStack victim; `also_corrupt_shadow` = the adversary knows the
+/// shadow stack's location (our address space has no ASLR, so it does).
+[[nodiscard]] ScenarioResult run_shadow_stack_attack(bool also_corrupt_shadow,
+                                                     u64 seed);
+
+/// Section 6.3.1 signing-gadget attempt against a PACStack tail call.
+[[nodiscard]] ScenarioResult run_signing_gadget_attack(bool fpac, u64 seed);
+
+/// Which sigreturn hardening the kernel applies (Section 6.3.2 discusses
+/// all three; Appendix B develops the last).
+enum class SigreturnDefense : u8 {
+  kNone,           ///< ASLR-only baseline (our adversary reads memory)
+  kSignalCanary,   ///< Bosman & Bos signal canaries
+  kAsigret,        ///< Appendix B authenticated sigreturn (PC + CR)
+  kAsigretAllRegs, ///< Appendix B extension binding the whole register file
+};
+
+/// Section 6.3.2 sigreturn attack against the chosen kernel hardening.
+[[nodiscard]] ScenarioResult run_sigreturn_attack_against(
+    SigreturnDefense defense, u64 seed);
+
+/// Back-compat helper: defense=false -> kNone, true -> kAsigret.
+[[nodiscard]] ScenarioResult run_sigreturn_attack(bool defense, u64 seed);
+
+/// CPU-level off-graph guessing: substitute a fabricated aret below a live
+/// PACStack frame and count how often the return still verifies. Expected
+/// success rate 2^-b.
+[[nodiscard]] MonteCarloResult run_offgraph_guess_cpu(unsigned b, u64 trials,
+                                                      u64 seed);
+
+/// Section 9.2 interoperability hazard: an unprotected library function
+/// spills the chain register to its (attacker-writable) stack frame. The
+/// adversary harvests a consistent (aret, predecessor) pair from a deep
+/// call elsewhere and splices it into the spilled CR slot + the caller's
+/// stored slot, bending the protected caller's return to an on-graph but
+/// wrong site. With `protect_library` the same function is instrumented
+/// and the splice is detected.
+[[nodiscard]] ScenarioResult run_partial_protection_attack(bool protect_library,
+                                                           u64 seed);
+
+/// ISA-level validation of the deep-harvest finding (see
+/// experiments.h::on_graph_attack_deep_harvest): two call-graph paths reach
+/// the same call site; the adversary harvests the masked token (the chain
+/// value spilled one level deeper) and the stored predecessor on each
+/// path, then substitutes path A's predecessor under path B's live frame.
+/// The run counts how often the substituted return verifies and whether
+/// that outcome coincided *exactly* with equality of the harvested masked
+/// tokens.
+struct ConditionResult {
+  u64 trials = 0;
+  u64 successes = 0;            ///< substituted return verified (AG-Load)
+  u64 condition_mismatches = 0; ///< success XOR (masked tokens equal)
+  [[nodiscard]] double rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+[[nodiscard]] ConditionResult run_masked_token_condition_cpu(unsigned b,
+                                                             u64 trials,
+                                                             u64 seed);
+
+/// Section 9.1: attack against exception unwinding. The adversary corrupts
+/// a stored return link before a deep throw. With plain frame records the
+/// kernel unwinder silently follows the forged link into an
+/// attacker-chosen "handler" (unwind hijack); with PACStack unwind info
+/// every popped link is ACS-verified and the throw becomes a kill.
+[[nodiscard]] ScenarioResult run_unwind_corruption_attack(
+    compiler::Scheme scheme, u64 seed);
+
+/// End-to-end deep-harvest attack (the complete kill chain of the
+/// reproduction finding): a victim with `paths` distinct call-graph routes
+/// into the same call site. The adversary harvests (masked token, stored
+/// predecessor, C's stored value) one level deep on every path; on the
+/// first *visible* masked-token collision it splices the colliding path's
+/// suffix into the live stack and lets execution bend back into the
+/// already-completed path. Expect: hijacks == collisions (conditional
+/// success probability 1, vs the paper's masked Table 1 entry of 2^-b).
+struct DeepHarvestE2E {
+  u64 machines = 0;
+  u64 collisions = 0;  ///< runs where a masked-token collision was visible
+  u64 hijacks = 0;     ///< runs where the splice bent control flow
+};
+[[nodiscard]] DeepHarvestE2E run_deep_harvest_e2e(unsigned b, unsigned paths,
+                                                  u64 machines, u64 seed);
+
+/// Full off-graph-to-arbitrary attack at ISA level: fabricate BOTH the
+/// stored chain link under the live frame (AG-Load) and the next link
+/// (AG-Jump), landing in an attacker payload with probability 2^-2b.
+[[nodiscard]] MonteCarloResult run_offgraph_arbitrary_cpu(unsigned b,
+                                                          u64 trials,
+                                                          u64 seed);
+
+/// Section 6.1 quantified: how often does the pac-ret reuse precondition —
+/// two different return addresses signed under the same SP modifier —
+/// actually arise? Random programs are executed and every signing event
+/// (modifier, return address) recorded; interchangeable pairs are counted
+/// for pac-ret (modifier = SP) and, for contrast, PACStack (modifier = the
+/// path-unique chain value).
+struct ReuseSurface {
+  u64 graphs = 0;
+  u64 graphs_with_pair = 0;   ///< programs containing >= 1 reusable pair
+  u64 activations = 0;        ///< signing events observed
+  u64 interchangeable_pairs = 0;
+};
+[[nodiscard]] ReuseSurface measure_reuse_surface(compiler::Scheme scheme,
+                                                 u64 graphs, u64 seed);
+
+/// Section 6.3 control-flow bending resistance: replay a previously
+/// observed stored chain value at the same program point later. Because
+/// the chain is deterministic per path, the replayed value is identical
+/// and the attack degenerates to a no-op — PACStack never exposes an
+/// "outdated but valid" aret_n the attacker could swap in.
+[[nodiscard]] ScenarioResult run_replay_bending_attack(u64 seed);
+
+}  // namespace acs::attack

@@ -1,0 +1,70 @@
+// Bit-manipulation helpers shared by the crypto and pointer-authentication
+// layers. All operations are on explicit-width unsigned types; behaviour is
+// fully defined for every input (no UB shifts).
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.h"
+
+namespace acs {
+
+/// Rotate-left on 64-bit values. `n` is taken modulo 64.
+[[nodiscard]] constexpr u64 rotl64(u64 x, unsigned n) noexcept {
+  return std::rotl(x, static_cast<int>(n % 64U));
+}
+
+/// Rotate-right on 64-bit values. `n` is taken modulo 64.
+[[nodiscard]] constexpr u64 rotr64(u64 x, unsigned n) noexcept {
+  return std::rotr(x, static_cast<int>(n % 64U));
+}
+
+/// Rotate-left on 16-bit values (used by the QARMA LFSR-style cells).
+[[nodiscard]] constexpr u16 rotl16(u16 x, unsigned n) noexcept {
+  n %= 16U;
+  if (n == 0) return x;
+  return static_cast<u16>(static_cast<u16>(x << n) | (x >> (16U - n)));
+}
+
+/// Mask with the low `n` bits set; `bit_mask(64)` is all-ones, `bit_mask(0)`
+/// is zero.
+[[nodiscard]] constexpr u64 bit_mask(unsigned n) noexcept {
+  assert(n <= 64);
+  if (n >= 64) return ~u64{0};
+  return (u64{1} << n) - 1U;
+}
+
+/// Extract bits [hi:lo] (inclusive, hi >= lo) of `x`, right-aligned.
+[[nodiscard]] constexpr u64 extract_bits(u64 x, unsigned hi, unsigned lo) noexcept {
+  assert(hi >= lo && hi < 64);
+  return (x >> lo) & bit_mask(hi - lo + 1U);
+}
+
+/// Replace bits [hi:lo] of `x` with the low bits of `value`.
+[[nodiscard]] constexpr u64 insert_bits(u64 x, unsigned hi, unsigned lo,
+                                        u64 value) noexcept {
+  assert(hi >= lo && hi < 64);
+  const u64 field = bit_mask(hi - lo + 1U);
+  return (x & ~(field << lo)) | ((value & field) << lo);
+}
+
+/// Test bit `i` of `x`.
+[[nodiscard]] constexpr bool test_bit(u64 x, unsigned i) noexcept {
+  assert(i < 64);
+  return ((x >> i) & 1U) != 0;
+}
+
+/// Set (`on`=true) or clear bit `i` of `x`.
+[[nodiscard]] constexpr u64 assign_bit(u64 x, unsigned i, bool on) noexcept {
+  assert(i < 64);
+  const u64 bit = u64{1} << i;
+  return on ? (x | bit) : (x & ~bit);
+}
+
+/// Population count.
+[[nodiscard]] constexpr unsigned popcount64(u64 x) noexcept {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+}  // namespace acs

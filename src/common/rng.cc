@@ -1,0 +1,7 @@
+// rng.h is header-only; this translation unit exists so the common library
+// has a home for future out-of-line RNG utilities and to anchor the target.
+#include "common/rng.h"
+
+namespace acs {
+// Intentionally empty.
+}  // namespace acs

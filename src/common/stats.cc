@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acs {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument{"geomean: non-positive value"};
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double geomean_overhead_percent(std::span<const double> percents) {
+  std::vector<double> ratios;
+  ratios.reserve(percents.size());
+  for (double p : percents) ratios.push_back(1.0 + p / 100.0);
+  return (geomean(ratios) - 1.0) * 100.0;
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  const auto mid = copy.begin() + static_cast<std::ptrdiff_t>(copy.size() / 2);
+  std::nth_element(copy.begin(), mid, copy.end());
+  if (copy.size() % 2 == 1) return *mid;
+  const double hi = *mid;
+  const double lo = *std::max_element(copy.begin(), mid);
+  return (lo + hi) / 2.0;
+}
+
+Interval wilson_interval(u64 successes, u64 trials, double z) noexcept {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, (centre - margin) / denom),
+          std::min(1.0, (centre + margin) / denom)};
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace acs

@@ -1,0 +1,61 @@
+// Descriptive statistics used when reporting experiment tables:
+// means, sample standard deviation, geometric means of overhead ratios
+// (as in the paper's Table 2), and binomial confidence intervals for
+// Monte-Carlo probability estimates (Table 1 experiments).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acs {
+
+/// Arithmetic mean. Returns 0 for an empty range.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Geometric mean of positive values. Returns 0 for an empty range.
+/// Values must be > 0 (checked).
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Geometric mean of overheads expressed as percentages, as SPEC-style
+/// summaries do: geomean over ratios (1 + p_i/100), re-expressed in percent.
+[[nodiscard]] double geomean_overhead_percent(std::span<const double> percents);
+
+/// Median (by copy-and-sort; fine for reporting-sized data).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double p) const noexcept {
+    return p >= lo && p <= hi;
+  }
+};
+[[nodiscard]] Interval wilson_interval(u64 successes, u64 trials,
+                                       double z = 1.96) noexcept;
+
+/// Streaming accumulator for mean/stddev (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] u64 count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace acs

@@ -1,0 +1,37 @@
+// Plain-text table printer used by the bench binaries to render the paper's
+// tables and figure series in a stable, diff-friendly format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acs {
+
+/// Column-aligned console table. Usage:
+///   Table t({"bench", "baseline", "overhead %"});
+///   t.add_row({"x264", "123456", "2.75"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a floating-point cell with fixed precision.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+
+  /// Formats an integer-valued cell with thousands separators.
+  [[nodiscard]] static std::string fmt_count(unsigned long long value);
+
+  /// Formats a probability in scientific style when small (e.g. "1.5e-05").
+  [[nodiscard]] static std::string fmt_prob(double p);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acs

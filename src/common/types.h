@@ -1,0 +1,40 @@
+// Fixed-width aliases and checked narrowing used across the project.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+namespace acs {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Thrown when a checked narrowing conversion would lose information.
+class NarrowingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Checked narrowing cast in the spirit of gsl::narrow: throws if the value
+/// does not round-trip.
+template <typename To, typename From>
+constexpr To narrow(From value) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>);
+  const auto result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      (std::is_signed_v<From> != std::is_signed_v<To> &&
+       ((value < From{}) != (result < To{})))) {
+    throw NarrowingError{"narrow: value does not fit in target type"};
+  }
+  return result;
+}
+
+}  // namespace acs

@@ -1,0 +1,53 @@
+// Lowering of the function IR onto the simulated ISA.
+//
+// Plays the role of PACStack's modified LLVM AArch64 backend: every
+// function gets the selected scheme's prologue/epilogue (the leaf-function
+// heuristic of Section 7.1 applies), tail calls are lowered per Listing 8,
+// setjmp/longjmp calls are redirected to the scheme's wrappers
+// (Section 5.3), and a small runtime (main trampoline, signal trampoline,
+// thread-exit stub, setjmp/longjmp wrappers) is linked in.
+#pragma once
+
+#include "compiler/ir.h"
+#include "compiler/scheme.h"
+#include "sim/isa.h"
+
+namespace acs::compiler {
+
+/// Data-segment layout owned by the codegen (inside the kernel's data
+/// region; see kernel/machine.h for the region itself).
+inline constexpr u64 kJmpBufArea = 0x0010'1000;  ///< 32-byte jmp_buf slots
+inline constexpr u64 kJmpBufStride = 32;
+inline constexpr u64 kFnPtrArea = 0x0010'2000;   ///< 8-byte fn-pointer slots
+inline constexpr u64 kScratchArea = 0x0010'3000; ///< free for workloads
+
+struct CompileOptions {
+  Scheme scheme = Scheme::kPacStack;
+  u64 code_base = 0x0001'0000;
+  /// Names of functions compiled WITHOUT the scheme's instrumentation —
+  /// the Section 9.2 scenario of mixing protected code with unprotected
+  /// libraries. They get plain baseline frames (and, if their IR sets
+  /// spills_cr, an unprotected X28 spill to the stack).
+  std::vector<std::string> uninstrumented;
+};
+
+/// Compile `ir` with the given options. The returned program contains:
+///  * one symbol per function (its IR name),
+///  * "main" (calls the entry function, then exits),
+///  * "vuln_<id>" labels for every kVulnSite op (adversary breakpoints),
+///  * the runtime symbols __setjmp/__longjmp/__acs_setjmp/__acs_longjmp/
+///    __thread_exit/__sigtramp.
+[[nodiscard]] sim::Program compile_ir(const ProgramIr& ir,
+                                      const CompileOptions& options = {});
+
+/// Address of jmp_buf slot `slot`.
+[[nodiscard]] constexpr u64 jmp_buf_addr(u64 slot) noexcept {
+  return kJmpBufArea + slot * kJmpBufStride;
+}
+
+/// Address of function-pointer slot `slot`.
+[[nodiscard]] constexpr u64 fn_ptr_addr(u64 slot) noexcept {
+  return kFnPtrArea + slot * 8;
+}
+
+}  // namespace acs::compiler

@@ -1,0 +1,160 @@
+#include "compiler/interp.h"
+
+#include <unordered_map>
+
+namespace acs::compiler {
+
+namespace {
+
+/// Thrown to transfer control to the matching setjmp point.
+struct LongjmpSignal {
+  u64 slot;
+  u64 value;
+};
+
+/// Thrown to transfer control to the nearest matching catch point.
+struct ThrowSignal {
+  u64 tag;
+  u64 value;
+};
+
+/// Thrown when the op budget is exhausted.
+struct BudgetExhausted {};
+
+/// Thrown when an unsupported OS-level op is reached.
+struct Unsupported {};
+
+class Interpreter {
+ public:
+  Interpreter(const ProgramIr& ir, u64 max_ops) : ir_(ir), budget_(max_ops) {}
+
+  InterpResult run() {
+    try {
+      call(ir_.entry);
+    } catch (const BudgetExhausted&) {
+      result_.completed = false;
+    } catch (const LongjmpSignal&) {
+      // longjmp with no live matching setjmp is undefined behaviour in the
+      // source model; report unsupported rather than modelling the crash.
+      result_.supported = false;
+    } catch (const ThrowSignal&) {
+      // Unhandled exception: the machine kills the process; the sequential
+      // model reports it as unsupported for differential purposes.
+      result_.supported = false;
+    } catch (const Unsupported&) {
+      result_.supported = false;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void charge() {
+    if (budget_ == 0) throw BudgetExhausted{};
+    --budget_;
+  }
+
+  void call(std::size_t index) { exec_body(ir_.fn(index), 0); }
+
+  void exec_body(const FunctionIr& fn, std::size_t from) {
+    for (std::size_t op_index = from; op_index < fn.body.size(); ++op_index) {
+      const Op& op = fn.body[op_index];
+      charge();
+      switch (op.kind) {
+        case OpKind::kCompute:
+        case OpKind::kVulnSite:
+        case OpKind::kStoreLocal:
+        case OpKind::kLoadLocal:
+        case OpKind::kYield:
+        case OpKind::kThreadJoin:  // sequential model: thread already ran
+          break;                   // no observable effect
+        case OpKind::kCall:
+          for (u64 i = 0; i < (op.b == 0 ? 1 : op.b); ++i) call(op.a);
+          break;
+        case OpKind::kCallIndirect:
+        case OpKind::kCallViaSlot:
+          call(op.a);
+          break;
+        case OpKind::kThreadCreate:
+          // Sequential model: the thread body runs to completion here;
+          // comparisons against true interleavings must be order-
+          // insensitive (the exact-order differential tests use programs
+          // without threads).
+          call(op.a);
+          break;
+        case OpKind::kWriteInt:
+          result_.output.push_back(op.a);
+          break;
+        case OpKind::kSetjmp: {
+          // Matches the lowering: a longjmp to this slot re-enters at the
+          // setjmp point, logs the value and returns from the function.
+          const u64 marker = ++setjmp_epoch_;
+          active_setjmp_[op.a].push_back(marker);
+          try {
+            exec_body(fn, op_index + 1);
+          } catch (const LongjmpSignal& signal) {
+            pop_setjmp(op.a, marker);
+            if (signal.slot != op.a) throw;
+            result_.output.push_back(signal.value);
+            return;
+          }
+          pop_setjmp(op.a, marker);
+          return;  // the remainder already executed
+        }
+        case OpKind::kLongjmp: {
+          const auto it = active_setjmp_.find(op.a);
+          if (it == active_setjmp_.end() || it->second.empty()) {
+            throw Unsupported{};
+          }
+          throw LongjmpSignal{op.a, op.b};
+        }
+        case OpKind::kCatchPoint: {
+          const u64 marker = ++setjmp_epoch_;
+          active_catch_[op.a].push_back(marker);
+          try {
+            exec_body(fn, op_index + 1);
+          } catch (const ThrowSignal& signal) {
+            pop_catch(op.a, marker);
+            if (signal.tag != op.a) throw;
+            result_.output.push_back(signal.value);
+            return;
+          }
+          pop_catch(op.a, marker);
+          return;
+        }
+        case OpKind::kThrow:
+          throw ThrowSignal{op.a, op.b};
+        case OpKind::kWriteReg:
+        case OpKind::kFork:
+        case OpKind::kRaise:
+        case OpKind::kSigaction:
+          throw Unsupported{};
+      }
+    }
+    if (fn.tail_callee >= 0) call(static_cast<std::size_t>(fn.tail_callee));
+  }
+
+  void pop_setjmp(u64 slot, u64 marker) {
+    auto& stack = active_setjmp_[slot];
+    while (!stack.empty() && stack.back() >= marker) stack.pop_back();
+  }
+
+  void pop_catch(u64 tag, u64 marker) {
+    auto& stack = active_catch_[tag];
+    while (!stack.empty() && stack.back() >= marker) stack.pop_back();
+  }
+
+  const ProgramIr& ir_;
+  u64 budget_;
+  InterpResult result_;
+  std::unordered_map<u64, std::vector<u64>> active_setjmp_;
+  std::unordered_map<u64, std::vector<u64>> active_catch_;
+  u64 setjmp_epoch_ = 0;
+};
+
+}  // namespace
+
+InterpResult interpret(const ProgramIr& ir, u64 max_ops) {
+  return Interpreter{ir, max_ops}.run();
+}
+
+}  // namespace acs::compiler

@@ -1,0 +1,30 @@
+// Reference interpreter for the function IR — the golden model.
+//
+// Executes ProgramIr semantics directly (no compilation, no simulator, no
+// schemes), producing the observable output the program *should* have.
+// Differential tests run random programs through every scheme's full
+// compile -> simulate pipeline and require byte-identical output against
+// this interpreter: any instrumentation bug that corrupts control flow or
+// drops/duplicates work shows up as a divergence.
+#pragma once
+
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace acs::compiler {
+
+struct InterpResult {
+  std::vector<u64> output;
+  bool supported = true;   ///< false if the IR uses OS features (threads,
+                           ///< fork, signals) whose interleaving the
+                           ///< sequential model cannot mirror
+  bool completed = true;   ///< false if the step budget ran out
+};
+
+/// Interpret `ir` starting at its entry function. `max_ops` bounds total
+/// executed IR operations (guards against generator-produced blowups).
+[[nodiscard]] InterpResult interpret(const ProgramIr& ir,
+                                     u64 max_ops = 10'000'000);
+
+}  // namespace acs::compiler

@@ -1,0 +1,145 @@
+#include "compiler/ir.h"
+
+#include <stdexcept>
+
+namespace acs::compiler {
+
+bool FunctionIr::is_leaf() const noexcept {
+  if (tail_callee >= 0) return false;
+  for (const auto& op : body) {
+    switch (op.kind) {
+      case OpKind::kCall:
+      case OpKind::kCallIndirect:
+      case OpKind::kCallViaSlot:
+      case OpKind::kSetjmp:
+      case OpKind::kLongjmp:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+FunctionIr& IrBuilder::current() {
+  if (ir_.functions.empty()) {
+    throw std::logic_error{"IrBuilder: no function started"};
+  }
+  return ir_.functions.back();
+}
+
+std::size_t IrBuilder::begin_function(std::string name, u64 local_bytes) {
+  FunctionIr fn;
+  fn.name = std::move(name);
+  fn.local_bytes = local_bytes;
+  ir_.functions.push_back(std::move(fn));
+  return ir_.functions.size() - 1;
+}
+
+void IrBuilder::compute(u64 cycles) {
+  current().body.push_back({OpKind::kCompute, cycles, 0});
+}
+
+void IrBuilder::call(std::size_t callee, u64 times) {
+  current().body.push_back({OpKind::kCall, callee, times});
+}
+
+void IrBuilder::call_indirect(std::size_t callee) {
+  current().body.push_back({OpKind::kCallIndirect, callee, 0});
+}
+
+void IrBuilder::call_via_slot(std::size_t callee, u64 slot) {
+  current().body.push_back({OpKind::kCallViaSlot, callee, slot});
+}
+
+void IrBuilder::vuln_site(u64 id) {
+  current().body.push_back({OpKind::kVulnSite, id, 0});
+}
+
+void IrBuilder::write_int(u64 value) {
+  current().body.push_back({OpKind::kWriteInt, value, 0});
+}
+
+void IrBuilder::setjmp_point(u64 slot) {
+  current().body.push_back({OpKind::kSetjmp, slot, 0});
+}
+
+void IrBuilder::longjmp_to(u64 slot, u64 value) {
+  current().body.push_back({OpKind::kLongjmp, slot, value});
+}
+
+void IrBuilder::thread_create(std::size_t callee, u64 arg) {
+  current().body.push_back({OpKind::kThreadCreate, callee, arg});
+}
+
+void IrBuilder::thread_join(u64 tid) {
+  current().body.push_back({OpKind::kThreadJoin, tid, 0});
+}
+
+void IrBuilder::catch_point(u64 tag) {
+  current().body.push_back({OpKind::kCatchPoint, tag, 0});
+}
+
+void IrBuilder::throw_exception(u64 tag, u64 value) {
+  current().body.push_back({OpKind::kThrow, tag, value});
+}
+
+void IrBuilder::yield() { current().body.push_back({OpKind::kYield, 0, 0}); }
+
+void IrBuilder::store_local(u64 offset, u64 value) {
+  current().body.push_back({OpKind::kStoreLocal, offset, value});
+}
+
+void IrBuilder::load_local(u64 offset) {
+  current().body.push_back({OpKind::kLoadLocal, offset, 0});
+}
+
+void IrBuilder::sigaction(u64 signum, std::size_t handler) {
+  current().body.push_back({OpKind::kSigaction, signum, handler});
+}
+
+void IrBuilder::mark_spills_cr() { current().spills_cr = true; }
+
+void IrBuilder::raise_signal(u64 signum) {
+  current().body.push_back({OpKind::kRaise, signum, 0});
+}
+
+void IrBuilder::fork() { current().body.push_back({OpKind::kFork, 0, 0}); }
+
+void IrBuilder::write_reg() {
+  current().body.push_back({OpKind::kWriteReg, 0, 0});
+}
+
+void IrBuilder::tail_call(std::size_t callee) {
+  current().tail_callee = static_cast<i64>(callee);
+}
+
+ProgramIr IrBuilder::build(std::size_t entry) {
+  if (entry >= ir_.functions.size()) {
+    throw std::out_of_range{"IrBuilder: entry index out of range"};
+  }
+  for (const auto& fn : ir_.functions) {
+    for (const auto& op : fn.body) {
+      if ((op.kind == OpKind::kCall || op.kind == OpKind::kCallIndirect ||
+           op.kind == OpKind::kCallViaSlot ||
+           op.kind == OpKind::kThreadCreate) &&
+          op.a >= ir_.functions.size()) {
+        throw std::out_of_range{"IrBuilder: callee index out of range in " +
+                                fn.name};
+      }
+      if (op.kind == OpKind::kSigaction && op.b >= ir_.functions.size()) {
+        throw std::out_of_range{"IrBuilder: handler index out of range in " +
+                                fn.name};
+      }
+    }
+    if (fn.tail_callee >= 0 &&
+        static_cast<std::size_t>(fn.tail_callee) >= ir_.functions.size()) {
+      throw std::out_of_range{"IrBuilder: tail callee out of range in " +
+                              fn.name};
+    }
+  }
+  ir_.entry = entry;
+  return std::move(ir_);
+}
+
+}  // namespace acs::compiler

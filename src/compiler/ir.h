@@ -1,0 +1,110 @@
+// Function-level intermediate representation.
+//
+// The synthetic programs the evaluation runs (SPEC-like workloads, the
+// NGINX simulation, attack victims, ConFIRM-style compatibility tests) are
+// written in this IR; the codegen lowers it onto the simulated ISA with a
+// pluggable protection scheme — the role LLVM's AArch64 backend plays for
+// the real PACStack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acs::compiler {
+
+enum class OpKind : u8 {
+  kCompute,       ///< a = cycles of straight-line work
+  kCall,          ///< a = callee index, b = repeat count (>= 1)
+  kCallIndirect,  ///< a = callee index; address materialised in a register
+  kCallViaSlot,   ///< a = callee index, b = data slot holding the fn pointer
+  kVulnSite,      ///< a = site id; a labelled point where the adversary may
+                  ///< exercise its memory-write primitive (breakpoint hook)
+  kWriteInt,      ///< a = value appended to the process output
+  kWriteReg,      ///< append the current X0 to the process output
+  kSetjmp,        ///< a = jmp_buf slot; on a non-zero (longjmp) return the
+                  ///< function logs the value and returns immediately
+  kLongjmp,       ///< a = jmp_buf slot, b = value passed to longjmp
+  kThreadCreate,  ///< a = callee index, b = argument
+  kYield,         ///< relinquish the time slice
+  kStoreLocal,    ///< a = byte offset into the local buffer, b = value
+  kLoadLocal,     ///< a = byte offset into the local buffer (result dropped)
+  kSigaction,     ///< a = signal number, b = handler function index
+  kRaise,         ///< a = signal number, sent to the calling process itself
+  kFork,          ///< fork(); the pid result lands in X0 (see kWriteReg)
+  kThreadJoin,    ///< a = tid to wait for (blocks until that thread exits)
+  kCatchPoint,    ///< a = exception tag; a throw of this tag lands here,
+                  ///< logs the thrown value and returns from the function
+  kThrow,         ///< a = exception tag, b = value (never returns)
+};
+
+struct Op {
+  OpKind kind;
+  u64 a = 0;
+  u64 b = 0;
+};
+
+struct FunctionIr {
+  std::string name;
+  std::vector<Op> body;
+  u64 local_bytes = 0;  ///< stack buffer size (0 = no buffer)
+  i64 tail_callee = -1; ///< index of a tail-called function, -1 = none
+  /// Models *uninstrumented* code that uses X28 internally and therefore
+  /// spills the PACStack chain register to its (attacker-writable) stack
+  /// frame — the Section 9.2 interoperability hazard. Only takes effect
+  /// when the function is compiled without instrumentation.
+  bool spills_cr = false;
+
+  /// A leaf function performs no calls, so it never spills LR; both
+  /// PACStack and -mbranch-protection leave such functions uninstrumented
+  /// (the Section 7.1 heuristic).
+  [[nodiscard]] bool is_leaf() const noexcept;
+  [[nodiscard]] bool has_buffer() const noexcept { return local_bytes > 0; }
+};
+
+struct ProgramIr {
+  std::vector<FunctionIr> functions;
+  std::size_t entry = 0;  ///< index of the function main() calls
+
+  [[nodiscard]] const FunctionIr& fn(std::size_t i) const {
+    return functions.at(i);
+  }
+};
+
+/// Convenience builder for tests and workload generators.
+class IrBuilder {
+ public:
+  /// Start a new function; returns its index.
+  std::size_t begin_function(std::string name, u64 local_bytes = 0);
+  void compute(u64 cycles);
+  void call(std::size_t callee, u64 times = 1);
+  void call_indirect(std::size_t callee);
+  void call_via_slot(std::size_t callee, u64 slot);
+  void vuln_site(u64 id);
+  void write_int(u64 value);
+  void setjmp_point(u64 slot);
+  void longjmp_to(u64 slot, u64 value);
+  void thread_create(std::size_t callee, u64 arg);
+  void thread_join(u64 tid);
+  void catch_point(u64 tag);
+  void throw_exception(u64 tag, u64 value);
+  void yield();
+  void store_local(u64 offset, u64 value);
+  void load_local(u64 offset);
+  void sigaction(u64 signum, std::size_t handler);
+  void mark_spills_cr();
+  void raise_signal(u64 signum);
+  void fork();
+  void write_reg();
+  void tail_call(std::size_t callee);
+
+  /// Finish, designating `entry` as the program entry point.
+  [[nodiscard]] ProgramIr build(std::size_t entry);
+
+ private:
+  [[nodiscard]] FunctionIr& current();
+  ProgramIr ir_;
+};
+
+}  // namespace acs::compiler

@@ -1,0 +1,83 @@
+// Return-address protection schemes — the per-function prologue/epilogue
+// instrumentation the paper evaluates against each other (Section 7.1):
+//
+//   kNone           baseline (plain frame record)
+//   kPacStack       full PACStack with PAC masking       (Listing 3)
+//   kPacStackNoMask PACStack without masking             (Listing 2)
+//   kPacRet         -mbranch-protection analogue         (Listing 1)
+//   kPacRetLeaf     pac-ret+leaf: signs leaf functions too (GCC/Clang's
+//                   -mbranch-protection=pac-ret+leaf)
+//   kShadowStack    Clang ShadowCallStack analogue (X18)
+//   kCanary         -mstack-protector-strong analogue
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "sim/assembler.h"
+
+namespace acs::compiler {
+
+enum class Scheme : u8 {
+  kNone,
+  kPacStack,
+  kPacStackNoMask,
+  kPacRet,
+  kPacRetLeaf,
+  kShadowStack,
+  kCanary,
+};
+
+[[nodiscard]] std::string scheme_name(Scheme scheme);
+[[nodiscard]] Scheme scheme_from_name(const std::string& name);
+
+/// Everything a scheme needs to know about the function being lowered.
+struct FrameCtx {
+  const FunctionIr* fn = nullptr;
+  bool instrumented = false;  ///< non-leaf (spills LR)
+};
+
+/// Emits the per-scheme prologue/epilogue instruction sequences.
+class LoweringScheme {
+ public:
+  virtual ~LoweringScheme() = default;
+
+  [[nodiscard]] virtual Scheme id() const noexcept = 0;
+
+  /// Whether this scheme instruments `fn` at all. Default: the Section 7.1
+  /// heuristic — leaf functions never spill LR and are left alone.
+  [[nodiscard]] virtual bool instruments(const FunctionIr& fn) const {
+    return !fn.is_leaf();
+  }
+
+  /// Emit the function prologue (return-address save path).
+  virtual void prologue(sim::Assembler& as, const FrameCtx& ctx) const = 0;
+
+  /// Emit the epilogue. With `emit_ret == false` the return-address
+  /// restore/verify sequence is emitted but the final branch is left to the
+  /// caller (tail-call lowering, Listing 8).
+  virtual void epilogue(sim::Assembler& as, const FrameCtx& ctx,
+                        bool emit_ret) const = 0;
+
+  /// Whether this scheme adds a stack canary to this function.
+  [[nodiscard]] virtual bool wants_canary(const FunctionIr& fn) const {
+    (void)fn;
+    return false;
+  }
+
+  /// Runtime symbols for irregular unwinding (Section 5.3): the PACStack
+  /// schemes use the authenticated wrappers, the rest the plain ones.
+  [[nodiscard]] virtual const char* setjmp_symbol() const { return "__setjmp"; }
+  [[nodiscard]] virtual const char* longjmp_symbol() const {
+    return "__longjmp";
+  }
+};
+
+[[nodiscard]] std::unique_ptr<LoweringScheme> make_scheme(Scheme scheme);
+
+/// All schemes, in the order the paper's Figure 5 / Table 2 report them.
+[[nodiscard]] const std::vector<Scheme>& all_schemes();
+
+}  // namespace acs::compiler

@@ -1,0 +1,247 @@
+#include "compiler/scheme.h"
+
+#include <stdexcept>
+
+namespace acs::compiler {
+
+using sim::Assembler;
+using sim::Reg;
+using sim::AddrMode;
+using sim::kCr;
+using sim::kFp;
+using sim::kLr;
+using sim::kScratch;
+using sim::kSsp;
+
+namespace {
+
+/// Baseline: plain AArch64 frame record for non-leaf functions.
+class NoneScheme : public LoweringScheme {
+ public:
+  [[nodiscard]] Scheme id() const noexcept override { return Scheme::kNone; }
+
+  void prologue(Assembler& as, const FrameCtx& ctx) const override {
+    if (!ctx.instrumented) return;
+    as.stp(kFp, kLr, Reg::kSp, -16, AddrMode::kPreIndex);
+  }
+
+  void epilogue(Assembler& as, const FrameCtx& ctx, bool emit_ret) const override {
+    if (ctx.instrumented) as.ldp(kFp, kLr, Reg::kSp, 16, AddrMode::kPostIndex);
+    if (emit_ret) as.ret();
+  }
+};
+
+/// Full PACStack with PAC masking — the paper's Listing 3, verbatim.
+class PacStackScheme : public LoweringScheme {
+ public:
+  [[nodiscard]] Scheme id() const noexcept override { return Scheme::kPacStack; }
+
+  void prologue(Assembler& as, const FrameCtx& ctx) const override {
+    if (!ctx.instrumented) return;
+    as.str(kCr, Reg::kSp, -32, AddrMode::kPreIndex);  // stack <- aret_{i-1}
+    as.stp(kFp, kLr, Reg::kSp, 16);                   // frame record
+    as.mov(kScratch, Reg::kXzr);
+    as.pacia(kLr, kCr);       // LR <- aret_i (unmasked)
+    as.pacia(kScratch, kCr);  // X15 <- mask_i
+    as.eor(kLr, kLr, kScratch);
+    as.mov(kScratch, Reg::kXzr);  // clear the mask (Section 5.2 hygiene)
+    as.mov(kCr, kLr);             // CR <- aret_i
+  }
+
+  void epilogue(Assembler& as, const FrameCtx& ctx, bool emit_ret) const override {
+    if (ctx.instrumented) {
+      as.mov(kLr, kCr);                               // LR <- aret_i
+      as.ldr(kFp, Reg::kSp, 16);                      // skip ret in frame rec
+      as.ldr(kCr, Reg::kSp, 32, AddrMode::kPostIndex);  // CR <- aret_{i-1}
+      as.mov(kScratch, Reg::kXzr);
+      as.pacia(kScratch, kCr);  // X15 <- mask_i
+      as.eor(kLr, kLr, kScratch);
+      as.mov(kScratch, Reg::kXzr);
+      as.autia(kLr, kCr);  // LR <- ret_i (or poisoned)
+    }
+    if (emit_ret) as.ret();
+  }
+
+  [[nodiscard]] const char* setjmp_symbol() const override {
+    return "__acs_setjmp";
+  }
+  [[nodiscard]] const char* longjmp_symbol() const override {
+    return "__acs_longjmp";
+  }
+};
+
+/// PACStack without masking — the paper's Listing 2.
+class PacStackNoMaskScheme : public LoweringScheme {
+ public:
+  [[nodiscard]] Scheme id() const noexcept override {
+    return Scheme::kPacStackNoMask;
+  }
+
+  void prologue(Assembler& as, const FrameCtx& ctx) const override {
+    if (!ctx.instrumented) return;
+    as.str(kCr, Reg::kSp, -32, AddrMode::kPreIndex);
+    as.stp(kFp, kLr, Reg::kSp, 16);
+    as.pacia(kLr, kCr);  // LR <- aret_i
+    as.mov(kCr, kLr);    // CR <- aret_i
+  }
+
+  void epilogue(Assembler& as, const FrameCtx& ctx, bool emit_ret) const override {
+    if (ctx.instrumented) {
+      as.mov(kLr, kCr);
+      as.ldr(kFp, Reg::kSp, 16);
+      as.ldr(kCr, Reg::kSp, 32, AddrMode::kPostIndex);
+      as.autia(kLr, kCr);
+    }
+    if (emit_ret) as.ret();
+  }
+
+  [[nodiscard]] const char* setjmp_symbol() const override {
+    return "__acs_setjmp";
+  }
+  [[nodiscard]] const char* longjmp_symbol() const override {
+    return "__acs_longjmp";
+  }
+};
+
+/// -mbranch-protection analogue: sign LR with the SP value as modifier —
+/// the paper's Listing 1 (paciasp / retaa).
+class PacRetScheme : public LoweringScheme {
+ public:
+  [[nodiscard]] Scheme id() const noexcept override { return Scheme::kPacRet; }
+
+  void prologue(Assembler& as, const FrameCtx& ctx) const override {
+    if (!ctx.instrumented) return;
+    as.pacia(kLr, Reg::kSp);  // paciasp
+    as.stp(kFp, kLr, Reg::kSp, -16, AddrMode::kPreIndex);
+  }
+
+  void epilogue(Assembler& as, const FrameCtx& ctx, bool emit_ret) const override {
+    if (!ctx.instrumented) {
+      if (emit_ret) as.ret();
+      return;
+    }
+    as.ldp(kFp, kLr, Reg::kSp, 16, AddrMode::kPostIndex);
+    if (emit_ret) {
+      as.retaa();
+    } else {
+      as.autia(kLr, Reg::kSp);  // tail call: verify without returning
+    }
+  }
+};
+
+/// pac-ret+leaf: like PacRetScheme but leaf functions also sign/verify LR
+/// (entirely in registers — no spill), matching GCC/Clang's
+/// -mbranch-protection=pac-ret+leaf.
+class PacRetLeafScheme : public PacRetScheme {
+ public:
+  [[nodiscard]] Scheme id() const noexcept override {
+    return Scheme::kPacRetLeaf;
+  }
+
+  [[nodiscard]] bool instruments(const FunctionIr& fn) const override {
+    (void)fn;
+    return true;
+  }
+
+  void prologue(Assembler& as, const FrameCtx& ctx) const override {
+    if (!ctx.fn->is_leaf()) {
+      PacRetScheme::prologue(as, ctx);
+      return;
+    }
+    as.pacia(kLr, Reg::kSp);  // sign in-register; nothing is spilled
+  }
+
+  void epilogue(Assembler& as, const FrameCtx& ctx, bool emit_ret) const override {
+    if (!ctx.fn->is_leaf()) {
+      PacRetScheme::epilogue(as, ctx, emit_ret);
+      return;
+    }
+    if (emit_ret) {
+      as.retaa();
+    } else {
+      as.autia(kLr, Reg::kSp);
+    }
+  }
+};
+
+/// Clang ShadowCallStack analogue: return addresses pushed to a separate
+/// stack addressed by the reserved X18.
+class ShadowStackScheme : public LoweringScheme {
+ public:
+  [[nodiscard]] Scheme id() const noexcept override {
+    return Scheme::kShadowStack;
+  }
+
+  void prologue(Assembler& as, const FrameCtx& ctx) const override {
+    if (!ctx.instrumented) return;
+    as.str(kLr, kSsp, 8, AddrMode::kPostIndex);  // shadow push
+    as.stp(kFp, kLr, Reg::kSp, -16, AddrMode::kPreIndex);
+  }
+
+  void epilogue(Assembler& as, const FrameCtx& ctx, bool emit_ret) const override {
+    if (ctx.instrumented) {
+      as.ldp(kFp, kLr, Reg::kSp, 16, AddrMode::kPostIndex);
+      as.ldr(kLr, kSsp, -8, AddrMode::kPreIndex);  // trusted copy wins
+    }
+    if (emit_ret) as.ret();
+  }
+};
+
+/// -mstack-protector-strong analogue: baseline frames plus a canary for
+/// functions with stack buffers (the canary load/store/check sequences are
+/// emitted by the codegen, which knows the frame offsets).
+class CanaryScheme : public NoneScheme {
+ public:
+  [[nodiscard]] Scheme id() const noexcept override { return Scheme::kCanary; }
+
+  [[nodiscard]] bool wants_canary(const FunctionIr& fn) const override {
+    return fn.has_buffer();
+  }
+};
+
+}  // namespace
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone: return "baseline";
+    case Scheme::kPacStack: return "pacstack";
+    case Scheme::kPacStackNoMask: return "pacstack-nomask";
+    case Scheme::kPacRet: return "pac-ret";
+    case Scheme::kPacRetLeaf: return "pac-ret+leaf";
+    case Scheme::kShadowStack: return "shadow-stack";
+    case Scheme::kCanary: return "canary";
+  }
+  return "unknown";
+}
+
+Scheme scheme_from_name(const std::string& name) {
+  for (Scheme scheme : all_schemes()) {
+    if (scheme_name(scheme) == name) return scheme;
+  }
+  throw std::invalid_argument{"scheme_from_name: unknown scheme " + name};
+}
+
+std::unique_ptr<LoweringScheme> make_scheme(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone: return std::make_unique<NoneScheme>();
+    case Scheme::kPacStack: return std::make_unique<PacStackScheme>();
+    case Scheme::kPacStackNoMask:
+      return std::make_unique<PacStackNoMaskScheme>();
+    case Scheme::kPacRet: return std::make_unique<PacRetScheme>();
+    case Scheme::kPacRetLeaf: return std::make_unique<PacRetLeafScheme>();
+    case Scheme::kShadowStack: return std::make_unique<ShadowStackScheme>();
+    case Scheme::kCanary: return std::make_unique<CanaryScheme>();
+  }
+  throw std::invalid_argument{"make_scheme: unknown scheme"};
+}
+
+const std::vector<Scheme>& all_schemes() {
+  static const std::vector<Scheme> schemes = {
+      Scheme::kNone,        Scheme::kPacStack, Scheme::kPacStackNoMask,
+      Scheme::kShadowStack, Scheme::kPacRet,   Scheme::kPacRetLeaf,
+      Scheme::kCanary,
+  };
+  return schemes;
+}
+
+}  // namespace acs::compiler

@@ -1,0 +1,48 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+namespace acs::core {
+
+double collision_probability(u64 q, unsigned b) {
+  if (b >= 63) return 0.0;
+  const double space = std::pow(2.0, static_cast<double>(b));
+  if (static_cast<double>(q) > space) return 1.0;
+  double log_no_collision = 0.0;
+  for (u64 i = 1; i < q; ++i) {
+    log_no_collision += std::log1p(-static_cast<double>(i) / space);
+  }
+  return 1.0 - std::exp(log_no_collision);
+}
+
+double expected_tokens_to_collision(unsigned b) {
+  const double space = std::pow(2.0, static_cast<double>(b));
+  return std::sqrt(std::acos(-1.0) * space / 2.0);
+}
+
+double guesses_for_success(double p, unsigned b) {
+  const double per_guess = std::pow(2.0, -static_cast<double>(b));
+  return std::log1p(-p) / std::log1p(-per_guess);
+}
+
+double expected_guesses_shared_key(unsigned b) {
+  // Two divide-and-conquer stages, each a geometric search over 2^(b-1)
+  // expected guesses: 2 * 2^(b-1) = 2^b.
+  return std::pow(2.0, static_cast<double>(b));
+}
+
+double expected_guesses_reseeded(unsigned b) {
+  // Re-seeding couples the stages: ~2^(b+1) expected guesses.
+  return std::pow(2.0, static_cast<double>(b) + 1.0);
+}
+
+Table1Row table1_probabilities(unsigned b, bool masking) {
+  const double pb = std::pow(2.0, -static_cast<double>(b));
+  Table1Row row{};
+  row.on_graph = masking ? pb : 1.0;
+  row.off_graph_to_call_site = pb;
+  row.off_graph_arbitrary = pb * pb;
+  return row;
+}
+
+}  // namespace acs::core

@@ -1,0 +1,44 @@
+// Closed-form security analytics from Sections 4.2, 4.3 and 6.2.
+//
+// These are the formulas the paper's Table 1 and in-text numbers come from;
+// the bench binaries print them next to the Monte-Carlo measurements so the
+// reproduction can be checked line by line (e.g. "321 tokens on average for
+// b = 16").
+#pragma once
+
+#include "common/types.h"
+
+namespace acs::core {
+
+/// Birthday bound: probability that among `q` uniformly random b-bit tokens
+/// some pair collides (Section 6.2.1, Eq. for p_collision). Computed as
+/// 1 - prod_{i=1}^{q-1} (1 - i/2^b) in log-space for numerical stability.
+[[nodiscard]] double collision_probability(u64 q, unsigned b);
+
+/// Expected number of tokens until the first collision:
+/// sqrt(pi * 2^b / 2) ~ 1.2533 * 2^(b/2)  — 321 for b = 16 (Section 4.2).
+[[nodiscard]] double expected_tokens_to_collision(unsigned b);
+
+/// Number of guesses needed to succeed with probability `p` against a
+/// fresh-key-per-crash process: log(1-p) / log(1 - 2^-b) (Section 4.3).
+[[nodiscard]] double guesses_for_success(double p, unsigned b);
+
+/// Expected guesses for the shared-key sibling attack WITHOUT re-seeding:
+/// divide-and-conquer needs ~2^b guesses on average to reach an arbitrary
+/// address (two dependent stages of 2^(b-1) each, Section 4.3).
+[[nodiscard]] double expected_guesses_shared_key(unsigned b);
+
+/// Expected guesses WITH the Section 4.3 re-seeding mitigation: the stages
+/// cannot be split, giving ~2^(b+1) on average.
+[[nodiscard]] double expected_guesses_reseeded(unsigned b);
+
+/// Table 1: maximum success probability of a call-stack integrity
+/// violation for each attack class.
+struct Table1Row {
+  double on_graph;
+  double off_graph_to_call_site;
+  double off_graph_arbitrary;
+};
+[[nodiscard]] Table1Row table1_probabilities(unsigned b, bool masking);
+
+}  // namespace acs::core

@@ -1,0 +1,91 @@
+#include "core/chain.h"
+
+namespace acs::core {
+
+namespace {
+constexpr auto kKey = crypto::KeyId::kIA;  // PACStack uses instruction key A
+}  // namespace
+
+AcsChain::AcsChain(const pa::PointerAuth& pauth, bool masking, u64 init)
+    : pauth_(&pauth), masking_(masking), cr_(init) {}
+
+u64 AcsChain::mask_for(u64 prev) const {
+  // pacia(0x0, prev): PACStack never signs a null return address, so this
+  // point of H_k is reserved for masks (Section 5.2).
+  return pauth_->expected_pac(kKey, 0, prev);
+}
+
+u64 AcsChain::tag_for(u64 ret, u64 prev) const {
+  return pauth_->expected_pac(kKey, ret, prev);
+}
+
+u64 AcsChain::compute_aret(u64 ret, u64 prev) const {
+  u64 tag = tag_for(ret, prev);
+  if (masking_) tag ^= mask_for(prev);
+  return pauth_->layout().with_pac(pauth_->layout().address_bits(ret), tag);
+}
+
+bool AcsChain::verify(u64 aret, u64 prev) const {
+  const auto& layout = pauth_->layout();
+  u64 tag = layout.pac_field(aret);
+  if (masking_) tag ^= mask_for(prev);
+  return tag == tag_for(layout.address_bits(aret), prev);
+}
+
+void AcsChain::call(u64 ret) {
+  stored_.push_back(cr_);
+  cr_ = compute_aret(ret, cr_);
+}
+
+AcsChain::PopResult AcsChain::ret() {
+  if (stored_.empty()) return {false, 0};
+  const u64 prev = stored_.back();
+  stored_.pop_back();
+  const bool ok = verify(cr_, prev);
+  const u64 ret_addr = pauth_->layout().address_bits(cr_);
+  cr_ = prev;
+  return {ok, ret_addr};
+}
+
+JmpBufModel AcsChain::setjmp_bind(u64 ret_b, u64 sp) const {
+  // Listing 4: LR <- pacia(ret_b, aret_i) ^ pacia(SP_b, aret_i).
+  const auto& layout = pauth_->layout();
+  const u64 tag = tag_for(ret_b, cr_) ^ pauth_->expected_pac(kKey, sp, cr_);
+  JmpBufModel buf;
+  buf.aret_b = layout.with_pac(layout.address_bits(ret_b), tag);
+  buf.cr = cr_;
+  buf.sp = sp;
+  buf.depth = stored_.size();
+  return buf;
+}
+
+AcsChain::PopResult AcsChain::longjmp_unwind(const JmpBufModel& buf) {
+  // Buffer must not be deeper than the live stack (expired = its frame is
+  // already gone).
+  if (buf.depth > stored_.size()) return {false, 0};
+  // Step-wise returns down to the setjmp frame, verifying every link.
+  while (stored_.size() > buf.depth) {
+    if (!ret().ok) return {false, 0};
+  }
+  // The environment reached by unwinding must be the recorded one; a stale
+  // buffer from an earlier, already-popped activation fails here even if
+  // its own binding is internally consistent.
+  if (cr_ != buf.cr) return {false, 0};
+  return longjmp_restore(buf);
+}
+
+AcsChain::PopResult AcsChain::longjmp_restore(const JmpBufModel& buf) {
+  // Listing 5: recreate the SP binding, remove it, then authenticate the
+  // setjmp return address against the recorded aret_i.
+  const auto& layout = pauth_->layout();
+  const u64 ret_b = layout.address_bits(buf.aret_b);
+  const u64 sp_tag = pauth_->expected_pac(kKey, buf.sp, buf.cr);
+  const u64 tag = layout.pac_field(buf.aret_b) ^ sp_tag;
+  if (tag != tag_for(ret_b, buf.cr)) return {false, 0};
+  // Success: restore the calling environment.
+  cr_ = buf.cr;
+  if (buf.depth <= stored_.size()) stored_.resize(buf.depth);
+  return {true, ret_b};
+}
+
+}  // namespace acs::core

@@ -1,0 +1,110 @@
+// The authenticated call stack (ACS) — crypto-level model.
+//
+// This is the paper's Section 4 construction in its purest form, shared by
+// the Monte-Carlo security experiments (Table 1, collision statistics,
+// guessing costs) and by tests as the reference semantics the CPU-level
+// PACStack instrumentation must agree with.
+//
+// Invariants mirrored from the paper:
+//  * aret_i = auth_i || ret_i packed into one 64-bit pointer, where
+//    auth_i = H_k(ret_i, aret_{i-1})  (Eq. 2), truncated to the PAC field;
+//  * with masking (Section 4.2), every value that leaves the chain register
+//    is XOR-masked with H_k(0, aret_{i-1}), and the chain register itself
+//    carries the *masked* value — exactly as PACStack's Listing 3 does;
+//  * only aret_n (the chain register, CR) is trusted storage; all earlier
+//    aret values live on the attacker-writable stack (exposed via
+//    stored_frames()).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/keys.h"
+#include "pa/pointer_auth.h"
+
+namespace acs::core {
+
+/// Crypto-level model of the setjmp/longjmp binding (Section 4.4 /
+/// Listings 4-5): the jmp_buf holds the authenticated setjmp return
+/// address additionally bound to the SP value, plus the CR at setjmp time.
+struct JmpBufModel {
+  u64 aret_b = 0;   ///< pacia(ret_b, aret_i) ^ pacia(SP_b, aret_i)
+  u64 cr = 0;       ///< aret_i at setjmp time (callee-saved X28)
+  u64 sp = 0;       ///< SP_b at setjmp time
+  std::size_t depth = 0;  ///< chain depth at setjmp time (for unwinding)
+};
+
+class AcsChain {
+ public:
+  /// `init` seeds auth_0 = H_k(ret_0, init); 0 for the main thread,
+  /// the thread/process id when re-seeding per Section 4.3.
+  AcsChain(const pa::PointerAuth& pauth, bool masking = true, u64 init = 0);
+
+  /// Function call with return address `ret`: the previous aret is pushed
+  /// to the (attacker-visible) stack and CR advances to aret_{n+1}.
+  void call(u64 ret);
+
+  struct PopResult {
+    bool ok = false;  ///< verification outcome (a failed aut = crash)
+    u64 ret = 0;      ///< the verified return address (valid when ok)
+  };
+
+  /// Function return: pop the stored aret_{n-1}, verify CR against it,
+  /// and retire CR to the popped value. `ok == false` models the
+  /// translation-fault crash of a failed autia.
+  [[nodiscard]] PopResult ret();
+
+  [[nodiscard]] std::size_t depth() const noexcept { return stored_.size(); }
+
+  /// The attacker-visible stack of stored aret values (bottom first).
+  /// The adversary may read and overwrite these at will.
+  [[nodiscard]] std::vector<u64>& stored_frames() noexcept { return stored_; }
+  [[nodiscard]] const std::vector<u64>& stored_frames() const noexcept {
+    return stored_;
+  }
+
+  /// The chain register (CR). Readable here for analysis/tests; the
+  /// adversary model never lets attacks depend on reading it.
+  [[nodiscard]] u64 cr() const noexcept { return cr_; }
+
+  /// Overwrite CR — used only to model control flow the adversary achieved
+  /// legitimately (e.g. returning along a verified path), never direct
+  /// tampering.
+  void set_cr(u64 value) noexcept { cr_ = value; }
+
+  // --- building blocks (also used by attacks and analysis) ---------------
+  /// The full authenticated return address for `ret` on top of `prev`
+  /// (masked when masking is enabled) — what pacia+mask produce.
+  [[nodiscard]] u64 compute_aret(u64 ret, u64 prev) const;
+  /// The mask H_k(0, prev), truncated to the PAC field.
+  [[nodiscard]] u64 mask_for(u64 prev) const;
+  /// Unmasked tag H_k(ret, prev), truncated to the PAC field.
+  [[nodiscard]] u64 tag_for(u64 ret, u64 prev) const;
+  /// Verify a full aret value against a given modifier (models autia).
+  [[nodiscard]] bool verify(u64 aret, u64 prev) const;
+
+  // --- setjmp / longjmp (Section 4.4) -------------------------------------
+  [[nodiscard]] JmpBufModel setjmp_bind(u64 ret_b, u64 sp) const;
+  /// Returns ok + the verified setjmp return address; restores CR and
+  /// unwinds the stored stack on success.
+  [[nodiscard]] PopResult longjmp_restore(const JmpBufModel& buf);
+
+  /// Section 9.1's hardened longjmp: instead of trusting the buffer's
+  /// stored environment wholesale, conceptually perform returns frame by
+  /// frame, verifying each link, until the setjmp frame is reached. An
+  /// expired buffer (its frame already popped) or a corrupted intermediate
+  /// frame fails — closing the stale-jmp_buf replay that plain longjmp
+  /// permits as undefined behaviour.
+  [[nodiscard]] PopResult longjmp_unwind(const JmpBufModel& buf);
+
+  [[nodiscard]] const pa::PointerAuth& pauth() const noexcept { return *pauth_; }
+  [[nodiscard]] bool masking() const noexcept { return masking_; }
+
+ private:
+  const pa::PointerAuth* pauth_;
+  bool masking_;
+  u64 cr_;
+  std::vector<u64> stored_;
+};
+
+}  // namespace acs::core

@@ -1,0 +1,13 @@
+#include "crypto/keys.h"
+
+namespace acs::crypto {
+
+Key128 random_key(Rng& rng) noexcept { return Key128{rng.next(), rng.next()}; }
+
+KeySet random_key_set(Rng& rng) noexcept {
+  KeySet set;
+  for (auto& key : set.keys) key = random_key(rng);
+  return set;
+}
+
+}  // namespace acs::crypto

@@ -1,0 +1,55 @@
+// PA key material.
+//
+// ARMv8.3-A PA exposes five 128-bit keys (instruction A/B, data A/B, and a
+// generic key), held in EL1-managed system registers (APIAKey_EL1 etc.).
+// Linux regenerates them per process on exec and they are not readable from
+// EL0; the kernel model in src/kernel enforces the same lifecycle.
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace acs::crypto {
+
+/// A single 128-bit PA key.
+struct Key128 {
+  u64 hi = 0;
+  u64 lo = 0;
+
+  friend bool operator==(const Key128&, const Key128&) = default;
+};
+
+/// Which architectural key register a PA instruction uses.
+enum class KeyId {
+  kIA,  ///< instruction key A (pacia/autia) — used by PACStack
+  kIB,  ///< instruction key B
+  kDA,  ///< data key A
+  kDB,  ///< data key B
+  kGA,  ///< generic key (pacga)
+};
+
+inline constexpr std::size_t kNumKeys = 5;
+
+/// The full per-process key set, as managed by the kernel.
+struct KeySet {
+  std::array<Key128, kNumKeys> keys{};
+
+  [[nodiscard]] const Key128& operator[](KeyId id) const noexcept {
+    return keys[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] Key128& operator[](KeyId id) noexcept {
+    return keys[static_cast<std::size_t>(id)];
+  }
+
+  friend bool operator==(const KeySet&, const KeySet&) = default;
+};
+
+/// Draw a fresh 128-bit key from `rng`.
+[[nodiscard]] Key128 random_key(Rng& rng) noexcept;
+
+/// Draw a fresh full key set (what the kernel does on exec).
+[[nodiscard]] KeySet random_key_set(Rng& rng) noexcept;
+
+}  // namespace acs::crypto

@@ -1,0 +1,52 @@
+#include "crypto/mac.h"
+
+#include <stdexcept>
+#include <string_view>
+
+#include "crypto/siphash.h"
+
+namespace acs::crypto {
+
+u64 SipMac::mac(u64 value, u64 tweak) const {
+  return siphash24_pair(key_, value, tweak);
+}
+
+std::unique_ptr<TweakableMac> SipMac::clone() const {
+  return std::make_unique<SipMac>(key_);
+}
+
+u64 QarmaMac::mac(u64 value, u64 tweak) const {
+  return cipher_.encrypt(value, tweak);
+}
+
+std::unique_ptr<TweakableMac> QarmaMac::clone() const {
+  return std::make_unique<QarmaMac>(*this);
+}
+
+u64 RandomOracleMac::mac(u64 value, u64 tweak) const {
+  if (!sampler_ready_) {
+    sampler_.reseed(seed_);
+    sampler_ready_ = true;
+  }
+  const auto [it, inserted] = table_.try_emplace({value, tweak}, 0);
+  if (inserted) it->second = sampler_.next();
+  return it->second;
+}
+
+std::unique_ptr<TweakableMac> RandomOracleMac::clone() const {
+  auto copy = std::make_unique<RandomOracleMac>(seed_);
+  copy->table_ = table_;
+  copy->sampler_ = sampler_;
+  copy->sampler_ready_ = sampler_ready_;
+  return copy;
+}
+
+std::unique_ptr<TweakableMac> make_mac(const char* backend, const Key128& key) {
+  const std::string_view name{backend};
+  if (name == "siphash") return std::make_unique<SipMac>(key);
+  if (name == "qarma") return std::make_unique<QarmaMac>(key);
+  if (name == "ro") return std::make_unique<RandomOracleMac>(key.lo ^ key.hi);
+  throw std::invalid_argument{"make_mac: unknown backend"};
+}
+
+}  // namespace acs::crypto

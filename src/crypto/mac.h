@@ -1,0 +1,97 @@
+// Tweakable-MAC abstraction used by the pointer-authentication layer.
+//
+// The paper writes the PA primitive as a keyed, tweakable MAC
+// H_k(pointer, modifier) and analyses it as a random oracle. The PAC field
+// is a truncation of this 64-bit tag (truncation lives in src/pa, which
+// owns the virtual-address layout). Three instantiations are provided:
+//
+//  * SipMac         — SipHash-2-4; the default (test-vector verified).
+//  * QarmaMac       — QARMA-64 encryption of the pointer under the modifier
+//                     as tweak; the cipher named by the PA reference design.
+//  * RandomOracleMac — a lazily-sampled true random function; used by the
+//                     Appendix A security games where the proof literally
+//                     models H_k as a random oracle.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/keys.h"
+#include "crypto/qarma64.h"
+
+namespace acs::crypto {
+
+/// Keyed tweakable MAC over (value, tweak) pairs producing a 64-bit tag.
+class TweakableMac {
+ public:
+  virtual ~TweakableMac() = default;
+
+  /// Full-width (64-bit) tag for (value, tweak).
+  [[nodiscard]] virtual u64 mac(u64 value, u64 tweak) const = 0;
+
+  /// Deep copy (used when forking processes, which inherit keys).
+  [[nodiscard]] virtual std::unique_ptr<TweakableMac> clone() const = 0;
+};
+
+/// SipHash-2-4-backed MAC (default PA PRF in this reproduction).
+class SipMac final : public TweakableMac {
+ public:
+  explicit SipMac(const Key128& key) noexcept : key_(key) {}
+
+  [[nodiscard]] u64 mac(u64 value, u64 tweak) const override;
+  [[nodiscard]] std::unique_ptr<TweakableMac> clone() const override;
+
+ private:
+  Key128 key_;
+};
+
+/// QARMA-64-backed MAC: tag = E_k(value; tweak), as in the PA reference
+/// design where the PAC is a truncated QARMA ciphertext.
+class QarmaMac final : public TweakableMac {
+ public:
+  explicit QarmaMac(const Key128& key, unsigned rounds = 7)
+      : cipher_(key, rounds) {}
+
+  [[nodiscard]] u64 mac(u64 value, u64 tweak) const override;
+  [[nodiscard]] std::unique_ptr<TweakableMac> clone() const override;
+
+ private:
+  Qarma64 cipher_;
+};
+
+/// Lazily-sampled random function: every fresh (value, tweak) pair gets an
+/// independent uniform 64-bit tag. Deterministic per seed; suitable for the
+/// random-oracle security games of Appendix A.
+class RandomOracleMac final : public TweakableMac {
+ public:
+  explicit RandomOracleMac(u64 seed) noexcept : seed_(seed) {}
+
+  [[nodiscard]] u64 mac(u64 value, u64 tweak) const override;
+  [[nodiscard]] std::unique_ptr<TweakableMac> clone() const override;
+
+  /// Number of distinct points sampled so far (oracle-query bookkeeping for
+  /// the games).
+  [[nodiscard]] std::size_t queries() const noexcept { return table_.size(); }
+
+ private:
+  struct PairHash {
+    [[nodiscard]] std::size_t operator()(const std::pair<u64, u64>& p) const noexcept {
+      u64 s = p.first ^ (p.second * 0x9e3779b97f4a7c15ULL);
+      return static_cast<std::size_t>(splitmix64(s));
+    }
+  };
+
+  u64 seed_;
+  mutable std::unordered_map<std::pair<u64, u64>, u64, PairHash> table_;
+  mutable Rng sampler_{0};
+  mutable bool sampler_ready_ = false;
+};
+
+/// Convenience factory selecting the MAC backend by name ("siphash",
+/// "qarma", "ro"); throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<TweakableMac> make_mac(const char* backend,
+                                                     const Key128& key);
+
+}  // namespace acs::crypto

@@ -1,0 +1,274 @@
+#include "crypto/qarma64.h"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitops.h"
+
+namespace acs::crypto {
+namespace {
+
+// Cell convention: the state is 16 nibbles; cell 0 is the most significant
+// nibble (the convention used in the QARMA specification).
+[[nodiscard]] constexpr unsigned cell_shift(unsigned cell) noexcept {
+  return (15U - cell) * 4U;
+}
+
+[[nodiscard]] constexpr u8 get_cell(u64 state, unsigned cell) noexcept {
+  return static_cast<u8>((state >> cell_shift(cell)) & 0xF);
+}
+
+[[nodiscard]] constexpr u64 set_cell(u64 state, unsigned cell, u8 value) noexcept {
+  const unsigned sh = cell_shift(cell);
+  return (state & ~(u64{0xF} << sh)) | (static_cast<u64>(value & 0xF) << sh);
+}
+
+constexpr std::array<u8, 16> invert_perm(const std::array<u8, 16>& p) {
+  std::array<u8, 16> inv{};
+  for (u8 i = 0; i < 16; ++i) inv[p[i]] = i;
+  return inv;
+}
+
+// The three QARMA S-boxes: sigma_0 (lightweight, involutory), sigma_1 (the
+// recommended default), sigma_2 (maximal nonlinearity).
+constexpr std::array<std::array<u8, 16>, 3> kSboxes = {{
+    {0, 14, 2, 10, 9, 15, 8, 11, 6, 4, 3, 7, 13, 12, 1, 5},   // sigma_0
+    {10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4},   // sigma_1
+    {11, 6, 8, 15, 12, 0, 9, 14, 3, 7, 4, 5, 13, 2, 1, 10},   // sigma_2
+}};
+
+constexpr std::array<std::array<u8, 16>, 3> kSboxesInv = {{
+    invert_perm(kSboxes[0]),
+    invert_perm(kSboxes[1]),
+    invert_perm(kSboxes[2]),
+}};
+
+// tau: the cell shuffle applied before MixColumns in a full round.
+constexpr std::array<u8, 16> kTau = {0, 11, 6, 13, 10, 1, 12, 7,
+                                     5, 14, 3, 8,  15, 4, 9,  2};
+constexpr std::array<u8, 16> kTauInv = invert_perm(kTau);
+
+// h: the tweak-cell shuffle of the tweak schedule.
+constexpr std::array<u8, 16> kTweakShuffle = {6, 5, 14, 15, 0, 1, 2, 3,
+                                              7, 12, 13, 4, 8, 9, 10, 11};
+constexpr std::array<u8, 16> kTweakShuffleInv = invert_perm(kTweakShuffle);
+
+// Cells of the tweak that pass through the omega LFSR each round.
+constexpr std::array<u8, 7> kLfsrCells = {0, 1, 3, 4, 8, 11, 13};
+
+// pi-derived round constants (as used by the QARMA/PRINCE family) and the
+// alpha reflection constant.
+constexpr std::array<u64, 8> kRoundConstants = {
+    0x0000000000000000ULL, 0x13198A2E03707344ULL, 0xA4093822299F31D0ULL,
+    0x082EFA98EC4E6C89ULL, 0x452821E638D01377ULL, 0xBE5466CF34E90C6CULL,
+    0x3F84D5B5B5470917ULL, 0x9216D5D98979FB1BULL,
+};
+constexpr u64 kAlpha = 0xC0AC29B7C97C50DDULL;
+
+[[nodiscard]] constexpr u8 nibble_rotl(u8 x, unsigned n) noexcept {
+  n %= 4U;
+  return static_cast<u8>(((x << n) | (x >> (4U - n))) & 0xF);
+}
+
+// omega: the 4-bit maximal-period LFSR used by the tweak schedule:
+// (b3, b2, b1, b0) -> (b0 ^ b1, b3, b2, b1).
+[[nodiscard]] constexpr u8 lfsr_forward(u8 x) noexcept {
+  const u8 b0 = x & 1U;
+  const u8 b1 = (x >> 1) & 1U;
+  return static_cast<u8>(((b0 ^ b1) << 3) | (x >> 1));
+}
+
+[[nodiscard]] constexpr u8 lfsr_backward(u8 x) noexcept {
+  const u8 b3 = (x >> 3) & 1U;
+  const u8 old_b1 = x & 1U;          // after forward shift, bit0 = old b1
+  const u8 old_b0 = static_cast<u8>(b3 ^ old_b1);
+  return static_cast<u8>(((x << 1) & 0xF) | old_b0);
+}
+
+[[nodiscard]] u64 apply_cell_perm(u64 state, const std::array<u8, 16>& perm) noexcept {
+  u64 out = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    out = set_cell(out, i, get_cell(state, perm[i]));
+  }
+  return out;
+}
+
+// o(): the orthomorphism deriving w1 from w0 (rotate right by one bit and
+// XOR in the bit shifted out at the other end).
+[[nodiscard]] constexpr u64 derive_w1(u64 w0) noexcept {
+  return ((w0 >> 1) | (w0 << 63)) ^ (w0 >> 63);
+}
+
+}  // namespace
+
+Qarma64::Qarma64(const Key128& key, unsigned rounds, QarmaSbox sbox)
+    : w0_(key.hi), w1_(derive_w1(key.hi)), k0_(key.lo), k1_(key.lo),
+      rounds_(rounds), sbox_(sbox) {
+  if (rounds_ == 0 || rounds_ >= kRoundConstants.size()) {
+    throw std::invalid_argument{"Qarma64: rounds must be in [1, 7]"};
+  }
+}
+
+u64 Qarma64::mix_columns(u64 state) noexcept {
+  // M = circ(0, rho, rho^2, rho) acting on each 4-cell column of the 4x4
+  // cell array (row-major cells; column c holds cells {c, c+4, c+8, c+12}).
+  u64 out = 0;
+  for (unsigned col = 0; col < 4; ++col) {
+    std::array<u8, 4> in{};
+    for (unsigned row = 0; row < 4; ++row) {
+      in[row] = get_cell(state, 4 * row + col);
+    }
+    for (unsigned row = 0; row < 4; ++row) {
+      const u8 v = static_cast<u8>(nibble_rotl(in[(row + 1) % 4], 1) ^
+                                   nibble_rotl(in[(row + 2) % 4], 2) ^
+                                   nibble_rotl(in[(row + 3) % 4], 1));
+      out = set_cell(out, 4 * row + col, v);
+    }
+  }
+  return out;
+}
+
+u64 Qarma64::shuffle_tau(u64 state) noexcept {
+  return apply_cell_perm(state, kTau);
+}
+
+u64 Qarma64::shuffle_tau_inv(u64 state) noexcept {
+  return apply_cell_perm(state, kTauInv);
+}
+
+u64 Qarma64::sbox_layer(u64 state, QarmaSbox sbox) noexcept {
+  const auto& table = kSboxes[static_cast<std::size_t>(sbox)];
+  u64 out = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    out = set_cell(out, i, table[get_cell(state, i)]);
+  }
+  return out;
+}
+
+u64 Qarma64::sbox_layer_inv(u64 state, QarmaSbox sbox) noexcept {
+  const auto& table = kSboxesInv[static_cast<std::size_t>(sbox)];
+  u64 out = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    out = set_cell(out, i, table[get_cell(state, i)]);
+  }
+  return out;
+}
+
+u64 Qarma64::tweak_forward(u64 tweak) noexcept {
+  u64 t = apply_cell_perm(tweak, kTweakShuffle);
+  for (u8 cell : kLfsrCells) t = set_cell(t, cell, lfsr_forward(get_cell(t, cell)));
+  return t;
+}
+
+u64 Qarma64::tweak_backward(u64 tweak) noexcept {
+  u64 t = tweak;
+  for (u8 cell : kLfsrCells) t = set_cell(t, cell, lfsr_backward(get_cell(t, cell)));
+  return apply_cell_perm(t, kTweakShuffleInv);
+}
+
+u64 Qarma64::encrypt(u64 plaintext, u64 tweak) const noexcept {
+  u64 s = plaintext ^ w0_;
+  u64 t = tweak;
+
+  // Forward rounds. Round 0 is "short" (no diffusion layer).
+  for (unsigned i = 0; i < rounds_; ++i) {
+    s ^= k0_ ^ t ^ kRoundConstants[i];
+    if (i != 0) {
+      s = shuffle_tau(s);
+      s = mix_columns(s);
+    }
+    s = sbox_layer(s, sbox_);
+    t = tweak_forward(t);
+  }
+
+  // Central whitening round (forward) with w1.
+  s ^= w1_ ^ t;
+  s = shuffle_tau(s);
+  s = mix_columns(s);
+  s = sbox_layer(s, sbox_);
+
+  // Pseudo-reflector keyed with k1.
+  s = shuffle_tau(s);
+  s = mix_columns(s);
+  s ^= k1_;
+  s = shuffle_tau_inv(s);
+
+  // Central whitening round (backward) with w0.
+  s = sbox_layer_inv(s, sbox_);
+  s = mix_columns(s);
+  s = shuffle_tau_inv(s);
+  s ^= w0_ ^ t;
+
+  // Backward rounds mirror the forward ones under the alpha-reflected key.
+  for (unsigned i = rounds_; i-- > 0;) {
+    t = tweak_backward(t);
+    s = sbox_layer_inv(s, sbox_);
+    if (i != 0) {
+      s = mix_columns(s);
+      s = shuffle_tau_inv(s);
+    }
+    s ^= k0_ ^ kAlpha ^ t ^ kRoundConstants[i];
+  }
+
+  return s ^ w1_;
+}
+
+u64 Qarma64::decrypt(u64 ciphertext, u64 tweak) const noexcept {
+  // Explicit inverse of encrypt(): replay every step backwards. The tweak
+  // schedule is reconstructed by advancing to the central value first.
+  u64 s = ciphertext ^ w1_;
+
+  // Reconstruct per-round tweak values.
+  std::array<u64, 8> tweaks{};  // tweaks[i] = tweak entering forward round i
+  u64 t = tweak;
+  for (unsigned i = 0; i < rounds_; ++i) {
+    tweaks[i] = t;
+    t = tweak_forward(t);
+  }
+  const u64 t_central = t;
+
+  // Invert backward rounds (they were executed last).
+  for (unsigned i = 0; i < rounds_; ++i) {
+    // Backward round i consumed tweak value tweaks[i] (it stepped the tweak
+    // back from the central value in reverse order of i).
+    s ^= k0_ ^ kAlpha ^ tweaks[i] ^ kRoundConstants[i];
+    if (i != 0) {
+      s = shuffle_tau(s);
+      s = mix_columns(s);
+    }
+    s = sbox_layer(s, sbox_);
+  }
+
+  // Invert the central backward whitening round.
+  s ^= w0_ ^ t_central;
+  s = shuffle_tau(s);
+  s = mix_columns(s);
+  s = sbox_layer(s, sbox_);
+
+  // Invert the pseudo-reflector.
+  s = shuffle_tau(s);
+  s ^= k1_;
+  s = mix_columns(s);
+  s = shuffle_tau_inv(s);
+
+  // Invert the central forward whitening round.
+  s = sbox_layer_inv(s, sbox_);
+  s = mix_columns(s);
+  s = shuffle_tau_inv(s);
+  s ^= w1_ ^ t_central;
+
+  // Invert forward rounds in reverse order.
+  for (unsigned i = rounds_; i-- > 0;) {
+    s = sbox_layer_inv(s, sbox_);
+    if (i != 0) {
+      s = mix_columns(s);
+      s = shuffle_tau_inv(s);
+    }
+    s ^= k0_ ^ tweaks[i] ^ kRoundConstants[i];
+  }
+
+  return s ^ w0_;
+}
+
+}  // namespace acs::crypto

@@ -1,0 +1,87 @@
+#include "crypto/siphash.h"
+
+#include "common/bitops.h"
+
+namespace acs::crypto {
+namespace {
+
+struct SipState {
+  u64 v0, v1, v2, v3;
+
+  explicit SipState(const Key128& key) noexcept
+      // Reference initialisation: key words are (k0 = lo, k1 = hi).
+      : v0(key.lo ^ 0x736f6d6570736575ULL),
+        v1(key.hi ^ 0x646f72616e646f6dULL),
+        v2(key.lo ^ 0x6c7967656e657261ULL),
+        v3(key.hi ^ 0x7465646279746573ULL) {}
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  }
+
+  void compress(u64 m) noexcept {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  [[nodiscard]] u64 finalize() noexcept {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+[[nodiscard]] u64 load_le64(std::span<const u8> bytes, std::size_t offset,
+                            std::size_t count) noexcept {
+  u64 word = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    word |= static_cast<u64>(bytes[offset + i]) << (8 * i);
+  }
+  return word;
+}
+
+}  // namespace
+
+u64 siphash24(const Key128& key, std::span<const u8> message) noexcept {
+  SipState state{key};
+  const std::size_t len = message.size();
+  const std::size_t full_words = len / 8;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    state.compress(load_le64(message, w * 8, 8));
+  }
+  // Final block: remaining bytes plus the message length in the top byte.
+  u64 last = load_le64(message, full_words * 8, len % 8);
+  last |= static_cast<u64>(len & 0xff) << 56;
+  state.compress(last);
+  return state.finalize();
+}
+
+u64 siphash24_pair(const Key128& key, u64 value, u64 tweak) noexcept {
+  SipState state{key};
+  state.compress(value);
+  state.compress(tweak);
+  // Final block for a 16-byte message: all-zero payload, length 16 in the
+  // top byte — identical to hashing the little-endian byte encoding.
+  state.compress(static_cast<u64>(16) << 56);
+  return state.finalize();
+}
+
+}  // namespace acs::crypto

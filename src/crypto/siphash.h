@@ -1,0 +1,29 @@
+// SipHash-2-4 (Aumasson & Bernstein, 2012).
+//
+// SipHash is the default PRF behind the PAC computation in this
+// reproduction. The paper's security analysis (Section 6 and Appendix A)
+// models the PA MAC H_k as a random oracle / PRF; any keyed PRF therefore
+// preserves every reproduced claim. We pick SipHash-2-4 because its
+// reference test vectors are well known and asserted in tests/crypto,
+// giving us an offline-verifiable primitive. A structural QARMA-64
+// implementation (the cipher actually referenced by the PA spec) lives in
+// qarma64.h for fidelity experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.h"
+#include "crypto/keys.h"
+
+namespace acs::crypto {
+
+/// Core SipHash-2-4 over an arbitrary byte message.
+[[nodiscard]] u64 siphash24(const Key128& key, std::span<const u8> message) noexcept;
+
+/// SipHash-2-4 over two 64-bit words (value, tweak) — the shape used by the
+/// pointer-authentication layer. Equivalent to hashing the 16-byte
+/// little-endian encoding of (value, tweak).
+[[nodiscard]] u64 siphash24_pair(const Key128& key, u64 value, u64 tweak) noexcept;
+
+}  // namespace acs::crypto

@@ -1,0 +1,51 @@
+#include "kernel/backtrace.h"
+
+#include "core/chain.h"
+
+namespace acs::kernel {
+
+Backtrace acs_backtrace(const Process& process, const Task& task,
+                        bool masking, u64 init) {
+  const core::AcsChain verifier{process.pauth(), masking};
+  const auto& layout = process.pauth().layout();
+
+  // Candidate predecessor links: every live stack word (innermost first).
+  const u64 sp = task.cpu().reg(sim::Reg::kSp);
+  const u64 top = task.stack_base + task.stack_size;
+
+  Backtrace result;
+  u64 current = task.cpu().reg(sim::kCr);
+  u64 search_from = sp;
+
+  // The chain depth is bounded by the stack size; each verified link moves
+  // the search window outward, so the walk terminates.
+  for (;;) {
+    if (verifier.verify(current, init)) {
+      // Reached the seed: `current` is aret_0.
+      result.frames.push_back({layout.address_bits(current), 0, current});
+      result.complete = true;
+      break;
+    }
+    bool found = false;
+    for (u64 addr = search_from; addr + 8 <= top; addr += 8) {
+      const auto word = process.mem.adversary_read_u64(addr);
+      if (!word) break;
+      if (*word == current) continue;  // skip the value itself
+      if (verifier.verify(current, *word)) {
+        result.frames.push_back({layout.address_bits(current), addr, current});
+        current = *word;
+        search_from = addr + 8;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // No word authenticates as the predecessor: either the frame was
+      // corrupted or the chain left the stack — report an incomplete walk.
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace acs::kernel

@@ -1,0 +1,38 @@
+// ACS-validating stack unwinding (the paper's Section 9.1 direction:
+// "PACStack support in libunwind ... validating the ACS on each stack
+// frame unwinding").
+//
+// The unwinder is validation-driven: starting from the live chain register
+// it searches the stack for the unique word that authenticates as the
+// predecessor of the current chain value, yielding one frame per verified
+// link. Because a forged or corrupted link cannot authenticate (except
+// with probability 2^-b per word), the walk stops exactly at the first
+// compromised frame — unlike frame-pointer walking, which follows
+// attacker-controlled data blindly.
+#pragma once
+
+#include <vector>
+
+#include "kernel/task.h"
+
+namespace acs::kernel {
+
+struct BacktraceFrame {
+  u64 return_address = 0;  ///< verified return address of this activation
+  u64 slot = 0;            ///< stack slot holding the predecessor link
+  u64 aret = 0;            ///< the authenticated return address (masked)
+};
+
+struct Backtrace {
+  std::vector<BacktraceFrame> frames;  ///< innermost first
+  bool complete = false;  ///< chain verified all the way to the seed
+};
+
+/// Unwind `task`'s PACStack chain. `masking` must match the scheme the
+/// program was compiled with; `init` is the chain seed (0 for the main
+/// thread, the tid under Section 4.3 re-seeding — pass task.tid() when the
+/// machine runs with reseed_threads).
+[[nodiscard]] Backtrace acs_backtrace(const Process& process, const Task& task,
+                                      bool masking = true, u64 init = 0);
+
+}  // namespace acs::kernel

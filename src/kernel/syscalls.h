@@ -1,0 +1,35 @@
+// Supervisor-call ABI between simulated user programs and the kernel model.
+//
+// Arguments pass in X0..X2, results return in X0 — a simplified AArch64
+// Linux convention. The numbers are stable; the compiler runtime and the
+// attack harnesses emit them symbolically.
+#pragma once
+
+#include "common/types.h"
+
+namespace acs::kernel {
+
+enum class Syscall : u16 {
+  kExit = 0,          ///< X0 = exit code; terminates the whole process
+  kWriteInt = 1,      ///< X0 appended to the process output log
+  kGetPid = 2,        ///< returns pid in X0
+  kGetTid = 3,        ///< returns tid in X0
+  kFork = 4,          ///< clone the process; X0 = child pid (parent) / 0 (child)
+  kThreadCreate = 5,  ///< X0 = entry function address, X1 = argument; returns tid
+  kThreadExit = 6,    ///< terminate the calling thread
+  kYield = 7,         ///< relinquish the time slice
+  kSigaction = 8,     ///< X0 = signal number, X1 = handler address
+  kKill = 9,          ///< X0 = target pid, X1 = signal number
+  kSigreturn = 10,    ///< return from a signal handler (frame at SP)
+  kAbort = 11,        ///< abnormal termination (stack-check failure path)
+  kThreadJoin = 12,   ///< X0 = tid to wait for; blocks until it exits
+  kThrow = 13,        ///< X0 = exception tag, X1 = value; kernel-assisted
+                      ///< ACS-validating unwind to the nearest catch pad
+};
+
+/// Signal numbers used by the model.
+inline constexpr u16 kSigUsr1 = 10;
+
+inline constexpr u16 kMaxSignal = 32;
+
+}  // namespace acs::kernel

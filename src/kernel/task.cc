@@ -1,0 +1,6 @@
+// task.h is header-only; this anchors the translation unit.
+#include "kernel/task.h"
+
+namespace acs::kernel {
+// Intentionally empty.
+}  // namespace acs::kernel

@@ -1,0 +1,112 @@
+// Tasks (threads) and processes of the kernel model.
+//
+// A Process owns its address space and PA engine (the per-process keys of
+// Section 2.2 / 5.4); a Task is one schedulable thread with its own CPU
+// register context and stack. All kernel bookkeeping — saved contexts, the
+// Appendix B authenticated-sigreturn reference chain, PA keys — lives in
+// host memory, outside the simulated AddressSpace, so the Section 3
+// adversary cannot reach it by construction.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pa/pointer_auth.h"
+#include "sim/cpu.h"
+#include "sim/memory.h"
+
+namespace acs::kernel {
+
+enum class TaskState : u8 {
+  kRunnable,
+  kBlocked,  ///< waiting in thread-join for another task to exit
+  kExited,
+};
+
+class Task {
+ public:
+  Task(u64 tid, const sim::Program& program, sim::AddressSpace& mem,
+       const pa::PointerAuth& pauth)
+      : tid_(tid), cpu_(program, mem, pauth) {}
+
+  [[nodiscard]] u64 tid() const noexcept { return tid_; }
+  [[nodiscard]] sim::Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const sim::Cpu& cpu() const noexcept { return cpu_; }
+
+  TaskState state = TaskState::kRunnable;
+  u64 stack_base = 0;
+  u64 stack_size = 0;
+
+  /// Appendix B: the kernel's secure reference copy of the current
+  /// authenticated signal-return token (asigret_n), plus handler depth.
+  u64 kernel_asigret = 0;
+  u64 signal_depth = 0;
+
+  /// Tid this task is join-blocked on (valid when state == kBlocked).
+  u64 join_target = 0;
+
+ private:
+  u64 tid_;
+  sim::Cpu cpu_;
+};
+
+enum class ProcessState : u8 { kLive, kExited, kKilled };
+
+class Process {
+ public:
+  Process(u64 pid, const sim::Program& program, pa::PointerAuth pauth)
+      : pid_(pid), program_(&program), pauth_(std::move(pauth)) {}
+
+  [[nodiscard]] u64 pid() const noexcept { return pid_; }
+  [[nodiscard]] const sim::Program& program() const noexcept { return *program_; }
+  [[nodiscard]] pa::PointerAuth& pauth() noexcept { return pauth_; }
+  [[nodiscard]] const pa::PointerAuth& pauth() const noexcept { return pauth_; }
+
+  sim::AddressSpace mem;
+  std::vector<std::unique_ptr<Task>> tasks;
+  ProcessState state = ProcessState::kLive;
+  u64 exit_code = 0;
+  sim::Fault kill_fault{};       ///< populated when state == kKilled
+  std::string kill_reason;       ///< human-readable cause
+  std::vector<u64> output;       ///< values written via Syscall::kWriteInt
+  /// Disassembled tail of the faulting task's execution (populated on a
+  /// kill when MachineOptions::trace_depth > 0) — crash forensics.
+  std::vector<std::string> crash_trace;
+
+  /// Kernel-private signal canary (never stored in user memory except
+  /// inside delivered signal frames, when the option is on).
+  u64 signal_canary = 0;
+
+  /// Registered signal handlers (0 = default/ignore).
+  std::array<u64, 33> sig_handlers{};
+  /// Pending (not yet delivered) signals.
+  std::deque<u16> pending_signals;
+
+  /// Total cycles/instructions across all tasks (live and exited).
+  [[nodiscard]] u64 cycles() const noexcept {
+    u64 total = 0;
+    for (const auto& task : tasks) total += task->cpu().cycles();
+    return total;
+  }
+  [[nodiscard]] u64 instructions() const noexcept {
+    u64 total = 0;
+    for (const auto& task : tasks) total += task->cpu().instructions();
+    return total;
+  }
+
+  [[nodiscard]] bool has_runnable_task() const noexcept {
+    for (const auto& task : tasks) {
+      if (task->state == TaskState::kRunnable) return true;
+    }
+    return false;
+  }
+
+ private:
+  u64 pid_;
+  const sim::Program* program_;
+  pa::PointerAuth pauth_;
+};
+
+}  // namespace acs::kernel

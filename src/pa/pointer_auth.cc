@@ -1,0 +1,94 @@
+#include "pa/pointer_auth.h"
+
+#include <string>
+
+namespace acs::pa {
+
+namespace {
+
+std::unique_ptr<crypto::TweakableMac> make_backend(const char* backend,
+                                                   const crypto::Key128& key) {
+  return crypto::make_mac(backend, key);
+}
+
+}  // namespace
+
+PointerAuth::PointerAuth(const crypto::KeySet& keys, VaLayout layout,
+                         const char* backend, bool fpac)
+    : layout_(layout), fpac_(fpac) {
+  for (std::size_t i = 0; i < crypto::kNumKeys; ++i) {
+    macs_[i] = make_backend(backend, keys.keys[i]);
+  }
+}
+
+PointerAuth::PointerAuth(const PointerAuth& other)
+    : layout_(other.layout_), fpac_(other.fpac_) {
+  for (std::size_t i = 0; i < crypto::kNumKeys; ++i) {
+    macs_[i] = other.macs_[i]->clone();
+  }
+}
+
+PointerAuth& PointerAuth::operator=(const PointerAuth& other) {
+  if (this == &other) return *this;
+  layout_ = other.layout_;
+  fpac_ = other.fpac_;
+  for (std::size_t i = 0; i < crypto::kNumKeys; ++i) {
+    macs_[i] = other.macs_[i]->clone();
+  }
+  return *this;
+}
+
+u64 PointerAuth::raw_tag(crypto::KeyId key, u64 address, u64 modifier) const {
+  return macs_[static_cast<std::size_t>(key)]->mac(address, modifier);
+}
+
+u64 PointerAuth::expected_pac(crypto::KeyId key, u64 address,
+                              u64 modifier) const {
+  return layout_.truncate_tag(raw_tag(key, layout_.address_bits(address), modifier));
+}
+
+u64 PointerAuth::pac(crypto::KeyId key, u64 pointer, u64 modifier) const {
+  const u64 address = layout_.address_bits(pointer);
+  u64 pac_value = expected_pac(key, address, modifier);
+  // Section 6.3.1 quirk: if the extension bits of the input pointer are
+  // corrupt (e.g. produced by a failed aut), the PAC is computed over the
+  // canonical address but a well-known PAC bit is flipped so the result
+  // does not verify. This is what defeats naive aut->pac signing gadgets.
+  if (!layout_.is_canonical(pointer)) {
+    pac_value ^= u64{1} << layout_.gadget_flip_bit();
+  }
+  return layout_.with_pac(address, pac_value);
+}
+
+AutResult PointerAuth::aut(crypto::KeyId key, u64 pointer, u64 modifier) const {
+  const u64 address = layout_.address_bits(pointer);
+  const u64 expected = expected_pac(key, address, modifier);
+  const u64 embedded = layout_.pac_field(pointer);
+  // Every bit outside the address and PAC fields must be clean for the
+  // pointer to be a well-formed signed user pointer (bit 55 always; the
+  // tag byte too when TBI reserves it).
+  const bool ext_clean = pointer == layout_.with_pac(address, embedded);
+  if (embedded == expected && ext_clean) {
+    return AutResult{address, /*ok=*/true, /*fault=*/false};
+  }
+  if (fpac_) {
+    // ARMv8.6-A FPAC: authentication failure faults immediately.
+    return AutResult{address, /*ok=*/false, /*fault=*/true};
+  }
+  // Pre-FPAC: strip the PAC, flip the well-known error bit; the pointer
+  // only faults later, when translated.
+  const u64 poisoned = address | (u64{1} << VaLayout::error_bit());
+  return AutResult{poisoned, /*ok=*/false, /*fault=*/false};
+}
+
+u64 PointerAuth::xpac(u64 pointer) const noexcept {
+  return layout_.strip(pointer);
+}
+
+u64 PointerAuth::pacga(u64 value, u64 modifier) const {
+  const u64 tag =
+      macs_[static_cast<std::size_t>(crypto::KeyId::kGA)]->mac(value, modifier);
+  return (tag >> 32U) << 32U;
+}
+
+}  // namespace acs::pa

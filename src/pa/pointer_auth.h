@@ -1,0 +1,81 @@
+// Architectural semantics of the ARMv8.3-A PA instructions.
+//
+// Models pac* / aut* / xpac exactly as the paper relies on them:
+//   * `pac` embeds a truncated MAC of (address, modifier) into the unused
+//     pointer bits. If the input pointer's extension bits are corrupt, the
+//     PAC is computed as though they were canonical and a well-known PAC
+//     bit is flipped — the quirk behind the Section 6.3.1 signing gadget.
+//   * `aut` verifies and strips the PAC. On failure it does not fault
+//     (pre-ARMv8.6): it strips the PAC and flips a well-known high-order
+//     bit, so the pointer faults when translated (used as a branch/load
+//     target). The optional FPAC mode (ARMv8.6-A, Section 6.3.1's
+//     "forthcoming additions") reports the failure immediately.
+//   * `xpac` strips the PAC without verification.
+//   * `pacga` produces a 32-bit generic MAC in the high half of the result
+//     (used by the Appendix B sigreturn defence discussion).
+#pragma once
+
+#include <memory>
+
+#include "common/types.h"
+#include "crypto/keys.h"
+#include "crypto/mac.h"
+#include "pa/va_layout.h"
+
+namespace acs::pa {
+
+/// Outcome of an `aut` operation.
+struct AutResult {
+  u64 pointer = 0;    ///< resulting pointer (canonical on success)
+  bool ok = false;    ///< verification outcome
+  bool fault = false; ///< true only in FPAC mode on failure
+};
+
+/// One process's PA engine: the five keyed MACs plus the VA layout.
+///
+/// The kernel model owns one PointerAuth per process and regenerates the
+/// keys on exec; user code (and the adversary) can only reach it through
+/// the CPU's pac/aut instructions, never the keys themselves.
+class PointerAuth {
+ public:
+  /// `backend` selects the MAC ("siphash" default, "qarma", "ro").
+  PointerAuth(const crypto::KeySet& keys, VaLayout layout,
+              const char* backend = "siphash", bool fpac = false);
+
+  PointerAuth(const PointerAuth& other);
+  PointerAuth& operator=(const PointerAuth& other);
+  PointerAuth(PointerAuth&&) noexcept = default;
+  PointerAuth& operator=(PointerAuth&&) noexcept = default;
+
+  [[nodiscard]] const VaLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] bool fpac() const noexcept { return fpac_; }
+
+  /// Full-width tag H_k(address, modifier) for key `key` — the quantity the
+  /// paper calls H_k(ret, aret). Exposed for the crypto-level ACS model so
+  /// that both levels share one definition of H.
+  [[nodiscard]] u64 raw_tag(crypto::KeyId key, u64 address, u64 modifier) const;
+
+  /// pacia/pacib/pacda/pacdb semantics (key-generic).
+  [[nodiscard]] u64 pac(crypto::KeyId key, u64 pointer, u64 modifier) const;
+
+  /// autia/autib/autda/autdb semantics (key-generic).
+  [[nodiscard]] AutResult aut(crypto::KeyId key, u64 pointer, u64 modifier) const;
+
+  /// xpaci/xpacd semantics.
+  [[nodiscard]] u64 xpac(u64 pointer) const noexcept;
+
+  /// pacga semantics: 32-bit generic MAC of (value, modifier) in the high
+  /// half of the result, low half zero.
+  [[nodiscard]] u64 pacga(u64 value, u64 modifier) const;
+
+  /// The expected PAC field value for (pointer-address, modifier) — what a
+  /// successful pac() would embed. Exposed for tests and the analytic layer.
+  [[nodiscard]] u64 expected_pac(crypto::KeyId key, u64 address, u64 modifier) const;
+
+ private:
+  VaLayout layout_;
+  bool fpac_;
+  std::array<std::unique_ptr<crypto::TweakableMac>, crypto::kNumKeys> macs_;
+};
+
+}  // namespace acs::pa

@@ -1,0 +1,6 @@
+// va_layout.h is header-only; this anchors the translation unit.
+#include "pa/va_layout.h"
+
+namespace acs::pa {
+// Intentionally empty.
+}  // namespace acs::pa

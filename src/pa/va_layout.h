@@ -1,0 +1,107 @@
+// Virtual-address layout: where the PAC lives inside a 64-bit pointer.
+//
+// On AArch64 the PAC occupies the pointer bits that are unused by address
+// translation. With VA_SIZE-bit virtual addresses, bit 55 reserved for the
+// TTBR select and top-byte-ignore (TBI, address tagging) enabled, the PAC
+// field is bits [54:VA_SIZE] — the paper's default configuration (Linux,
+// VA_SIZE = 39) yields a 16-bit PAC (Figure 1). With TBI disabled the tag
+// byte [63:56] joins the PAC field, growing it to 24 bits at VA_SIZE = 39.
+//
+// Experiments that need a smaller token size b — e.g. the Monte-Carlo
+// reproductions of Table 1 at b = 8 — model a larger VA_SIZE rather than
+// changing the PAC algebra, exactly as real hardware would.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace acs::pa {
+
+class VaLayout {
+ public:
+  /// `va_size` in [32, 54]: virtual address bits. `tbi` = top-byte-ignore
+  /// (address tagging) enabled: when true the tag byte [63:56] is reserved
+  /// and the PAC is bits [54:va_size]; when false the tag byte extends the
+  /// PAC by 8 bits.
+  explicit constexpr VaLayout(unsigned va_size = 39, bool tbi = true)
+      : va_size_(va_size), tbi_(tbi) {
+    if (va_size < 32 || va_size > 54) {
+      throw std::invalid_argument{"VaLayout: va_size must be in [32, 54]"};
+    }
+  }
+
+  [[nodiscard]] constexpr unsigned va_size() const noexcept { return va_size_; }
+  [[nodiscard]] constexpr bool tbi() const noexcept { return tbi_; }
+
+  /// PAC width b in bits (16 for the default VA_SIZE = 39 with TBI; 24
+  /// with TBI disabled).
+  [[nodiscard]] constexpr unsigned pac_bits() const noexcept {
+    return (55U - va_size_) + (tbi_ ? 0U : 8U);
+  }
+
+  /// Low/high bit positions of the *primary* PAC field (inclusive).
+  [[nodiscard]] constexpr unsigned pac_lo() const noexcept { return va_size_; }
+  [[nodiscard]] constexpr unsigned pac_hi() const noexcept { return 54U; }
+
+  /// Address bits of a pointer (the translated part).
+  [[nodiscard]] constexpr u64 address_bits(u64 pointer) const noexcept {
+    return pointer & bit_mask(va_size_);
+  }
+
+  /// The PAC field of a pointer, right-aligned. With TBI disabled the tag
+  /// byte [63:56] contributes the high 8 bits of the value.
+  [[nodiscard]] constexpr u64 pac_field(u64 pointer) const noexcept {
+    const u64 primary = extract_bits(pointer, pac_hi(), pac_lo());
+    if (tbi_) return primary;
+    return primary | (extract_bits(pointer, 63, 56) << (55U - va_size_));
+  }
+
+  /// Insert a (right-aligned, truncated) PAC into a pointer.
+  [[nodiscard]] constexpr u64 with_pac(u64 pointer, u64 pac) const noexcept {
+    u64 result = insert_bits(pointer, pac_hi(), pac_lo(), pac);
+    if (!tbi_) {
+      result = insert_bits(result, 63, 56, pac >> (55U - va_size_));
+    }
+    return result;
+  }
+
+  /// Truncate a full-width MAC tag to the PAC field width.
+  [[nodiscard]] constexpr u64 truncate_tag(u64 tag) const noexcept {
+    return tag & bit_mask(pac_bits());
+  }
+
+  /// A user-space (TTBR0) pointer is canonical when every bit above the
+  /// address bits is zero. Non-canonical pointers fault on translation
+  /// (load, store or instruction fetch) — this is how a failed `aut` is
+  /// eventually detected.
+  [[nodiscard]] constexpr bool is_canonical(u64 pointer) const noexcept {
+    return (pointer >> va_size_) == 0;
+  }
+
+  /// Strip PAC and extension bits, recovering the canonical address.
+  [[nodiscard]] constexpr u64 strip(u64 pointer) const noexcept {
+    return address_bits(pointer);
+  }
+
+  /// The "well-known high-order bit" flipped by a failed `aut` so the
+  /// pointer becomes invalid (we use bit 62; with TBI disabled it lies in
+  /// the extended PAC field, matching real PA where the error bit corrupts
+  /// PAC bits — either way the pointer stays non-canonical).
+  [[nodiscard]] static constexpr unsigned error_bit() noexcept { return 62U; }
+
+  /// The well-known PAC bit flipped by `pac` when the input pointer's
+  /// extension bits are corrupt (Section 6.3.1): the PAC field's MSB.
+  [[nodiscard]] constexpr unsigned gadget_flip_bit() const noexcept {
+    return pac_bits() - 1U;
+  }
+
+  friend constexpr bool operator==(const VaLayout&, const VaLayout&) = default;
+
+ private:
+  unsigned va_size_;
+  bool tbi_;
+};
+
+}  // namespace acs::pa

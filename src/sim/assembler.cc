@@ -1,0 +1,187 @@
+#include "sim/assembler.h"
+
+#include <stdexcept>
+
+namespace acs::sim {
+
+void Assembler::label(const std::string& name) {
+  if (program_.symbols.contains(name)) {
+    throw std::runtime_error{"assembler: duplicate label " + name};
+  }
+  program_.symbols.emplace(name, here());
+}
+
+void Assembler::function(const std::string& name) {
+  label(name);
+  program_.function_entries.push_back(here());
+}
+
+void Assembler::emit(Instruction instr) {
+  program_.code.push_back(instr);
+}
+
+void Assembler::emit_branch(Opcode op, const std::string& target, Reg rn,
+                            Cond cond) {
+  Instruction instr;
+  instr.op = op;
+  instr.rn = rn;
+  instr.cond = cond;
+  fixups_.push_back({program_.code.size(), target});
+  emit(instr);
+}
+
+void Assembler::nop() { emit({}); }
+
+void Assembler::mov_imm(Reg rd, u64 imm) {
+  emit({.op = Opcode::kMovImm, .rd = rd, .imm = static_cast<i64>(imm)});
+}
+
+void Assembler::mov_label(Reg rd, const std::string& label) {
+  fixups_.push_back({program_.code.size(), label});
+  emit({.op = Opcode::kMovImm, .rd = rd});
+}
+
+void Assembler::mov(Reg rd, Reg rn) {
+  emit({.op = Opcode::kMovReg, .rd = rd, .rn = rn});
+}
+
+void Assembler::add_imm(Reg rd, Reg rn, i64 imm) {
+  emit({.op = Opcode::kAddImm, .rd = rd, .rn = rn, .imm = imm});
+}
+
+void Assembler::add(Reg rd, Reg rn, Reg rm) {
+  emit({.op = Opcode::kAddReg, .rd = rd, .rn = rn, .rm = rm});
+}
+
+void Assembler::sub_imm(Reg rd, Reg rn, i64 imm) {
+  emit({.op = Opcode::kSubImm, .rd = rd, .rn = rn, .imm = imm});
+}
+
+void Assembler::sub(Reg rd, Reg rn, Reg rm) {
+  emit({.op = Opcode::kSubReg, .rd = rd, .rn = rn, .rm = rm});
+}
+
+void Assembler::eor(Reg rd, Reg rn, Reg rm) {
+  emit({.op = Opcode::kEorReg, .rd = rd, .rn = rn, .rm = rm});
+}
+
+void Assembler::and_(Reg rd, Reg rn, Reg rm) {
+  emit({.op = Opcode::kAndReg, .rd = rd, .rn = rn, .rm = rm});
+}
+
+void Assembler::orr(Reg rd, Reg rn, Reg rm) {
+  emit({.op = Opcode::kOrrReg, .rd = rd, .rn = rn, .rm = rm});
+}
+
+void Assembler::lsl_imm(Reg rd, Reg rn, unsigned shift) {
+  emit({.op = Opcode::kLslImm, .rd = rd, .rn = rn,
+        .imm = static_cast<i64>(shift)});
+}
+
+void Assembler::lsr_imm(Reg rd, Reg rn, unsigned shift) {
+  emit({.op = Opcode::kLsrImm, .rd = rd, .rn = rn,
+        .imm = static_cast<i64>(shift)});
+}
+
+void Assembler::cmp_imm(Reg rn, i64 imm) {
+  emit({.op = Opcode::kCmpImm, .rn = rn, .imm = imm});
+}
+
+void Assembler::cmp(Reg rn, Reg rm) {
+  emit({.op = Opcode::kCmpReg, .rn = rn, .rm = rm});
+}
+
+void Assembler::ldr(Reg rd, Reg base, i64 imm, AddrMode mode) {
+  emit({.op = Opcode::kLdr, .rd = rd, .rn = base, .imm = imm, .mode = mode});
+}
+
+void Assembler::str(Reg rd, Reg base, i64 imm, AddrMode mode) {
+  emit({.op = Opcode::kStr, .rd = rd, .rn = base, .imm = imm, .mode = mode});
+}
+
+void Assembler::ldrb(Reg rd, Reg base, i64 imm) {
+  emit({.op = Opcode::kLdrb, .rd = rd, .rn = base, .imm = imm});
+}
+
+void Assembler::strb(Reg rd, Reg base, i64 imm) {
+  emit({.op = Opcode::kStrb, .rd = rd, .rn = base, .imm = imm});
+}
+
+void Assembler::ldp(Reg rt1, Reg rt2, Reg base, i64 imm, AddrMode mode) {
+  emit({.op = Opcode::kLdp, .rd = rt1, .rn = base, .rm = rt2, .imm = imm,
+        .mode = mode});
+}
+
+void Assembler::stp(Reg rt1, Reg rt2, Reg base, i64 imm, AddrMode mode) {
+  emit({.op = Opcode::kStp, .rd = rt1, .rn = base, .rm = rt2, .imm = imm,
+        .mode = mode});
+}
+
+void Assembler::b(const std::string& target) { emit_branch(Opcode::kB, target); }
+
+void Assembler::b_cond(Cond cond, const std::string& target) {
+  emit_branch(Opcode::kBCond, target, Reg::kXzr, cond);
+}
+
+void Assembler::cbz(Reg rn, const std::string& target) {
+  emit_branch(Opcode::kCbz, target, rn);
+}
+
+void Assembler::cbnz(Reg rn, const std::string& target) {
+  emit_branch(Opcode::kCbnz, target, rn);
+}
+
+void Assembler::bl(const std::string& target) {
+  emit_branch(Opcode::kBl, target);
+}
+
+void Assembler::blr(Reg rn) { emit({.op = Opcode::kBlr, .rn = rn}); }
+
+void Assembler::br(Reg rn) { emit({.op = Opcode::kBr, .rn = rn}); }
+
+void Assembler::ret(Reg rn) { emit({.op = Opcode::kRet, .rn = rn}); }
+
+void Assembler::retaa() { emit({.op = Opcode::kRetaa}); }
+
+void Assembler::pacia(Reg rd, Reg modifier) {
+  emit({.op = Opcode::kPacia, .rd = rd, .rn = modifier});
+}
+
+void Assembler::autia(Reg rd, Reg modifier) {
+  emit({.op = Opcode::kAutia, .rd = rd, .rn = modifier});
+}
+
+void Assembler::pacga(Reg rd, Reg rn, Reg rm) {
+  emit({.op = Opcode::kPacga, .rd = rd, .rn = rn, .rm = rm});
+}
+
+void Assembler::xpaci(Reg rd) { emit({.op = Opcode::kXpaci, .rd = rd}); }
+
+void Assembler::svc(u16 number) {
+  emit({.op = Opcode::kSvc, .imm = number});
+}
+
+void Assembler::hlt() { emit({.op = Opcode::kHlt}); }
+
+void Assembler::work(u32 cycles) {
+  emit({.op = Opcode::kWork, .imm = cycles});
+}
+
+Program Assembler::assemble() {
+  for (const auto& fixup : fixups_) {
+    const auto it = program_.symbols.find(fixup.label);
+    if (it == program_.symbols.end()) {
+      throw std::runtime_error{"assembler: undefined label " + fixup.label};
+    }
+    Instruction& instr = program_.code[fixup.index];
+    if (instr.op == Opcode::kMovImm) {
+      instr.imm = static_cast<i64>(it->second);
+    } else {
+      instr.target = it->second;
+    }
+  }
+  fixups_.clear();
+  return std::move(program_);
+}
+
+}  // namespace acs::sim

@@ -1,0 +1,100 @@
+// Small two-pass assembler for the simulated ISA.
+//
+// The compiler backend (src/compiler) drives this builder to emit scheme-
+// specific prologues/epilogues; tests use it directly to write the paper's
+// listings. Labels are resolved in a fixup pass at assemble() time.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/isa.h"
+
+namespace acs::sim {
+
+class Assembler {
+ public:
+  explicit Assembler(u64 base = 0x0001'0000) { program_.base = base; }
+
+  /// Define `name` at the current position.
+  void label(const std::string& name);
+
+  /// Define `name` at the current position and register it as a function
+  /// entry (a valid indirect-call target under assumption A2).
+  void function(const std::string& name);
+
+  /// Current emission address.
+  [[nodiscard]] u64 here() const noexcept {
+    return program_.base + static_cast<u64>(program_.code.size()) * kInstrBytes;
+  }
+
+  // --- data processing -----------------------------------------------
+  void nop();
+  void mov_imm(Reg rd, u64 imm);
+  /// rd <- address of `label` (resolved at assemble() time).
+  void mov_label(Reg rd, const std::string& label);
+  void mov(Reg rd, Reg rn);
+  void add_imm(Reg rd, Reg rn, i64 imm);
+  void add(Reg rd, Reg rn, Reg rm);
+  void sub_imm(Reg rd, Reg rn, i64 imm);
+  void sub(Reg rd, Reg rn, Reg rm);
+  void eor(Reg rd, Reg rn, Reg rm);
+  void and_(Reg rd, Reg rn, Reg rm);
+  void orr(Reg rd, Reg rn, Reg rm);
+  void lsl_imm(Reg rd, Reg rn, unsigned shift);
+  void lsr_imm(Reg rd, Reg rn, unsigned shift);
+  void cmp_imm(Reg rn, i64 imm);
+  void cmp(Reg rn, Reg rm);
+
+  // --- memory ----------------------------------------------------------
+  void ldr(Reg rd, Reg base, i64 imm = 0, AddrMode mode = AddrMode::kOffset);
+  void str(Reg rd, Reg base, i64 imm = 0, AddrMode mode = AddrMode::kOffset);
+  void ldrb(Reg rd, Reg base, i64 imm = 0);
+  void strb(Reg rd, Reg base, i64 imm = 0);
+  void ldp(Reg rt1, Reg rt2, Reg base, i64 imm = 0,
+           AddrMode mode = AddrMode::kOffset);
+  void stp(Reg rt1, Reg rt2, Reg base, i64 imm = 0,
+           AddrMode mode = AddrMode::kOffset);
+
+  // --- control flow ----------------------------------------------------
+  void b(const std::string& target);
+  void b_cond(Cond cond, const std::string& target);
+  void cbz(Reg rn, const std::string& target);
+  void cbnz(Reg rn, const std::string& target);
+  void bl(const std::string& target);
+  void blr(Reg rn);
+  void br(Reg rn);
+  void ret(Reg rn = kLr);
+  void retaa();
+
+  // --- pointer authentication -----------------------------------------
+  void pacia(Reg rd, Reg modifier);
+  void autia(Reg rd, Reg modifier);
+  void pacga(Reg rd, Reg rn, Reg rm);
+  void xpaci(Reg rd);
+
+  // --- system -----------------------------------------------------------
+  void svc(u16 number);
+  void hlt();
+  void work(u32 cycles);
+
+  /// Resolve all label references and return the finished program.
+  /// Throws std::runtime_error on undefined labels.
+  [[nodiscard]] Program assemble();
+
+ private:
+  void emit(Instruction instr);
+  void emit_branch(Opcode op, const std::string& target, Reg rn = Reg::kXzr,
+                   Cond cond = Cond::kEq);
+
+  struct Fixup {
+    std::size_t index;
+    std::string label;
+  };
+
+  Program program_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace acs::sim

@@ -1,0 +1,409 @@
+#include "sim/cpu.h"
+
+namespace acs::sim {
+
+Cpu::Cpu(const Program& program, AddressSpace& memory,
+         const pa::PointerAuth& pauth)
+    : program_(&program), memory_(&memory), pauth_(&pauth) {
+  pc_ = program.base;
+}
+
+u64 Cpu::reg(Reg r) const noexcept {
+  if (r == Reg::kXzr) return 0;
+  return regs_[static_cast<std::size_t>(r)];
+}
+
+void Cpu::set_reg(Reg r, u64 value) noexcept {
+  if (r == Reg::kXzr) return;
+  regs_[static_cast<std::size_t>(r)] = value;
+}
+
+void Cpu::enable_trace(std::size_t depth) {
+  trace_ring_.assign(depth, 0);
+  trace_next_ = 0;
+  trace_wrapped_ = false;
+}
+
+std::vector<u64> Cpu::trace() const {
+  std::vector<u64> out;
+  if (trace_ring_.empty()) return out;
+  if (trace_wrapped_) {
+    out.insert(out.end(), trace_ring_.begin() + static_cast<i64>(trace_next_),
+               trace_ring_.end());
+  }
+  out.insert(out.end(), trace_ring_.begin(),
+             trace_ring_.begin() + static_cast<i64>(trace_next_));
+  return out;
+}
+
+CpuSnapshot Cpu::snapshot() const noexcept {
+  CpuSnapshot snap;
+  snap.regs = regs_;
+  snap.pc = pc_;
+  snap.n = flag_n_;
+  snap.z = flag_z_;
+  snap.c = flag_c_;
+  snap.v = flag_v_;
+  return snap;
+}
+
+void Cpu::restore(const CpuSnapshot& snap) noexcept {
+  regs_ = snap.regs;
+  pc_ = snap.pc;
+  flag_n_ = snap.n;
+  flag_z_ = snap.z;
+  flag_c_ = snap.c;
+  flag_v_ = snap.v;
+}
+
+void Cpu::raise(FaultKind kind, u64 addr) noexcept {
+  state_ = RunState::kFaulted;
+  fault_ = Fault{kind, addr, pc_};
+}
+
+void Cpu::resume() noexcept {
+  if (state_ == RunState::kSvc || state_ == RunState::kBreakpoint) {
+    if (state_ == RunState::kBreakpoint) {
+      // Step over this breakpoint — but only at this PC; if something (e.g.
+      // signal delivery) moves the PC first, other breakpoints still fire.
+      skip_breakpoint_once_ = true;
+      skip_breakpoint_pc_ = pc_;
+    }
+    state_ = RunState::kReady;
+  }
+}
+
+RunState Cpu::step() {
+  if (state_ != RunState::kReady) return state_;
+
+  if (breakpoints_.contains(pc_)) {
+    if (skip_breakpoint_once_ && pc_ == skip_breakpoint_pc_) {
+      skip_breakpoint_once_ = false;
+    } else {
+      state_ = RunState::kBreakpoint;
+      return state_;
+    }
+  } else {
+    skip_breakpoint_once_ = false;
+  }
+
+  // Instruction fetch: the PC must be canonical and inside the executable
+  // segment. A failed autia earlier poisons the return address, so a
+  // subsequent `ret` lands here with a non-canonical PC and faults —
+  // exactly the paper's detection path (Section 2.2).
+  if (!pauth_->layout().is_canonical(pc_) || !program_->contains(pc_) ||
+      !memory_->is_executable(pc_)) {
+    raise(FaultKind::kTranslation, pc_);
+    return state_;
+  }
+
+  if (!trace_ring_.empty()) {
+    trace_ring_[trace_next_] = pc_;
+    trace_next_ = (trace_next_ + 1) % trace_ring_.size();
+    if (trace_next_ == 0) trace_wrapped_ = true;
+  }
+
+  const Instruction& instr = program_->at(pc_);
+  execute(instr);
+  if (state_ == RunState::kReady || state_ == RunState::kSvc ||
+      state_ == RunState::kHalted) {
+    ++instructions_;
+  }
+  return state_;
+}
+
+RunState Cpu::run(u64 max_steps) {
+  for (u64 i = 0; i < max_steps && state_ == RunState::kReady; ++i) step();
+  return state_;
+}
+
+bool Cpu::eval_cond(Cond cond) const noexcept {
+  switch (cond) {
+    case Cond::kEq: return flag_z_;
+    case Cond::kNe: return !flag_z_;
+    case Cond::kLt: return flag_n_ != flag_v_;
+    case Cond::kGe: return flag_n_ == flag_v_;
+    case Cond::kGt: return !flag_z_ && flag_n_ == flag_v_;
+    case Cond::kLe: return flag_z_ || flag_n_ != flag_v_;
+    case Cond::kLo: return !flag_c_;
+    case Cond::kHs: return flag_c_;
+  }
+  return false;
+}
+
+u64 Cpu::mem_address(const Instruction& instr, u64& base_out,
+                     bool& writeback) noexcept {
+  const u64 base = reg(instr.rn);
+  switch (instr.mode) {
+    case AddrMode::kOffset:
+      writeback = false;
+      base_out = base;
+      return base + static_cast<u64>(instr.imm);
+    case AddrMode::kPreIndex:
+      writeback = true;
+      base_out = base + static_cast<u64>(instr.imm);
+      return base_out;
+    case AddrMode::kPostIndex:
+      writeback = true;
+      base_out = base + static_cast<u64>(instr.imm);
+      return base;
+  }
+  writeback = false;
+  base_out = base;
+  return base;
+}
+
+void Cpu::branch_to(u64 target) noexcept { pc_ = target; }
+
+void Cpu::indirect_branch(u64 target, bool link) {
+  // Coarse-grained forward-edge CFI (assumption A2): indirect branches may
+  // only target function entries. The paper notes a minimal PA scheme with
+  // a constant modifier satisfies this; we enforce it architecturally.
+  if (!pauth_->layout().is_canonical(target)) {
+    raise(FaultKind::kTranslation, target);
+    return;
+  }
+  if (!program_->is_function_entry(target)) {
+    raise(FaultKind::kCfi, target);
+    return;
+  }
+  if (link) set_reg(kLr, pc_ + kInstrBytes);
+  branch_to(target);
+}
+
+void Cpu::execute(const Instruction& instr) {
+  const u64 next_pc = pc_ + kInstrBytes;
+  u64 cost = costs_.alu;
+
+  switch (instr.op) {
+    case Opcode::kNop:
+      pc_ = next_pc;
+      break;
+    case Opcode::kMovImm:
+      set_reg(instr.rd, static_cast<u64>(instr.imm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kMovReg:
+      set_reg(instr.rd, reg(instr.rn));
+      pc_ = next_pc;
+      break;
+    case Opcode::kAddImm:
+      set_reg(instr.rd, reg(instr.rn) + static_cast<u64>(instr.imm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kAddReg:
+      set_reg(instr.rd, reg(instr.rn) + reg(instr.rm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kSubImm:
+      set_reg(instr.rd, reg(instr.rn) - static_cast<u64>(instr.imm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kSubReg:
+      set_reg(instr.rd, reg(instr.rn) - reg(instr.rm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kEorReg:
+      set_reg(instr.rd, reg(instr.rn) ^ reg(instr.rm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kAndReg:
+      set_reg(instr.rd, reg(instr.rn) & reg(instr.rm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kOrrReg:
+      set_reg(instr.rd, reg(instr.rn) | reg(instr.rm));
+      pc_ = next_pc;
+      break;
+    case Opcode::kLslImm:
+      set_reg(instr.rd, reg(instr.rn) << (instr.imm & 63));
+      pc_ = next_pc;
+      break;
+    case Opcode::kLsrImm:
+      set_reg(instr.rd, reg(instr.rn) >> (instr.imm & 63));
+      pc_ = next_pc;
+      break;
+    case Opcode::kCmpImm:
+    case Opcode::kCmpReg: {
+      const u64 lhs = reg(instr.rn);
+      const u64 rhs = instr.op == Opcode::kCmpImm ? static_cast<u64>(instr.imm)
+                                                  : reg(instr.rm);
+      const u64 result = lhs - rhs;
+      flag_n_ = (result >> 63) != 0;
+      flag_z_ = result == 0;
+      flag_c_ = lhs >= rhs;
+      const bool lhs_neg = (lhs >> 63) != 0;
+      const bool rhs_neg = (rhs >> 63) != 0;
+      const bool res_neg = (result >> 63) != 0;
+      flag_v_ = (lhs_neg != rhs_neg) && (res_neg != lhs_neg);
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kLdr:
+    case Opcode::kLdrb: {
+      bool writeback = false;
+      u64 new_base = 0;
+      const u64 addr = mem_address(instr, new_base, writeback);
+      const auto access = instr.op == Opcode::kLdr ? memory_->read_u64(addr)
+                                                   : memory_->read_u8(addr);
+      if (!access.ok()) {
+        raise(access.fault.kind, addr);
+        return;
+      }
+      set_reg(instr.rd, access.value);
+      if (writeback) set_reg(instr.rn, new_base);
+      cost = costs_.mem;
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kStr:
+    case Opcode::kStrb: {
+      bool writeback = false;
+      u64 new_base = 0;
+      const u64 addr = mem_address(instr, new_base, writeback);
+      const Fault fault =
+          instr.op == Opcode::kStr
+              ? memory_->write_u64(addr, reg(instr.rd))
+              : memory_->write_u8(addr, static_cast<u8>(reg(instr.rd)));
+      if (fault) {
+        raise(fault.kind, addr);
+        return;
+      }
+      if (writeback) set_reg(instr.rn, new_base);
+      cost = costs_.mem;
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kLdp: {
+      bool writeback = false;
+      u64 new_base = 0;
+      const u64 addr = mem_address(instr, new_base, writeback);
+      const auto first = memory_->read_u64(addr);
+      const auto second = memory_->read_u64(addr + 8);
+      if (!first.ok() || !second.ok()) {
+        raise(FaultKind::kTranslation, addr);
+        return;
+      }
+      set_reg(instr.rd, first.value);
+      set_reg(instr.rm, second.value);
+      if (writeback) set_reg(instr.rn, new_base);
+      cost = costs_.mem_pair;
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kStp: {
+      bool writeback = false;
+      u64 new_base = 0;
+      const u64 addr = mem_address(instr, new_base, writeback);
+      const Fault f1 = memory_->write_u64(addr, reg(instr.rd));
+      const Fault f2 = memory_->write_u64(addr + 8, reg(instr.rm));
+      if (f1 || f2) {
+        raise((f1 ? f1 : f2).kind, addr);
+        return;
+      }
+      if (writeback) set_reg(instr.rn, new_base);
+      cost = costs_.mem_pair;
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kB:
+      cost = costs_.branch;
+      branch_to(instr.target);
+      break;
+    case Opcode::kBCond:
+      cost = costs_.branch;
+      pc_ = eval_cond(instr.cond) ? instr.target : next_pc;
+      break;
+    case Opcode::kCbz:
+      cost = costs_.branch;
+      pc_ = reg(instr.rn) == 0 ? instr.target : next_pc;
+      break;
+    case Opcode::kCbnz:
+      cost = costs_.branch;
+      pc_ = reg(instr.rn) != 0 ? instr.target : next_pc;
+      break;
+    case Opcode::kBl:
+      cost = costs_.branch;
+      set_reg(kLr, next_pc);
+      branch_to(instr.target);
+      break;
+    case Opcode::kBlr: {
+      cost = costs_.branch;
+      indirect_branch(reg(instr.rn), /*link=*/true);
+      break;
+    }
+    case Opcode::kBr: {
+      cost = costs_.branch;
+      indirect_branch(reg(instr.rn), /*link=*/false);
+      break;
+    }
+    case Opcode::kRet: {
+      cost = costs_.branch;
+      // A return is a direct use of the register value; a poisoned
+      // (non-canonical) address faults at the subsequent fetch.
+      branch_to(reg(instr.rn == Reg::kXzr ? kLr : instr.rn));
+      break;
+    }
+    case Opcode::kRetaa: {
+      cost = costs_.pa + costs_.branch;
+      const auto result =
+          pauth_->aut(crypto::KeyId::kIA, reg(kLr), reg(Reg::kSp));
+      if (result.fault) {
+        raise(FaultKind::kPacAuthFailure, reg(kLr));
+        return;
+      }
+      set_reg(kLr, result.pointer);
+      branch_to(result.pointer);
+      break;
+    }
+    case Opcode::kPacia: {
+      cost = costs_.pa;
+      set_reg(instr.rd,
+              pauth_->pac(crypto::KeyId::kIA, reg(instr.rd), reg(instr.rn)));
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kAutia: {
+      cost = costs_.pa;
+      const auto result =
+          pauth_->aut(crypto::KeyId::kIA, reg(instr.rd), reg(instr.rn));
+      if (result.fault) {
+        raise(FaultKind::kPacAuthFailure, reg(instr.rd));
+        return;
+      }
+      set_reg(instr.rd, result.pointer);
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kPacga: {
+      cost = costs_.pa;
+      set_reg(instr.rd, pauth_->pacga(reg(instr.rn), reg(instr.rm)));
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kXpaci: {
+      cost = costs_.pa;
+      set_reg(instr.rd, pauth_->xpac(reg(instr.rd)));
+      pc_ = next_pc;
+      break;
+    }
+    case Opcode::kSvc:
+      cost = costs_.svc;
+      svc_number_ = static_cast<u16>(instr.imm);
+      state_ = RunState::kSvc;
+      pc_ = next_pc;
+      break;
+    case Opcode::kHlt:
+      state_ = RunState::kHalted;
+      pc_ = next_pc;
+      break;
+    case Opcode::kWork:
+      cost = static_cast<u64>(instr.imm);
+      pc_ = next_pc;
+      break;
+  }
+
+  cycles_ += cost;
+}
+
+}  // namespace acs::sim

@@ -1,0 +1,134 @@
+// The simulated CPU core (one hart).
+//
+// Executes Program instructions against an AddressSpace with the
+// PointerAuth engine of the owning process. Architectural behaviours the
+// paper depends on are modelled exactly:
+//   * fetch through a non-canonical or non-executable address raises a
+//     translation fault — this is how a failed autia is *detected* (§2.2);
+//   * blr/br enforce coarse-grained forward-edge CFI (assumption A2):
+//     indirect branches must target function entries;
+//   * svc suspends the hart and hands the syscall number to the kernel;
+//   * every instruction is charged per the cycle model (PA ops = 4 cycles).
+//
+// Breakpoints let the adversary intervene at precise program points (e.g.
+// while a return address sits on the stack), modelling a memory-corruption
+// primitive triggered at a vulnerable call site.
+#pragma once
+
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "pa/pointer_auth.h"
+#include "sim/cycle_model.h"
+#include "sim/fault.h"
+#include "sim/isa.h"
+#include "sim/memory.h"
+
+namespace acs::sim {
+
+/// A full user-visible register context — what the kernel spills to its
+/// private `cpu_context` on kernel entry (Section 5.4). Lives in host
+/// memory, never in the simulated AddressSpace, so the adversary cannot
+/// reach a suspended task's CR or LR.
+struct CpuSnapshot {
+  std::array<u64, kNumRegs> regs{};
+  u64 pc = 0;
+  bool n = false, z = false, c = false, v = false;
+};
+
+enum class RunState : u8 {
+  kReady,       ///< can execute the next instruction
+  kHalted,      ///< executed hlt
+  kFaulted,     ///< architectural fault pending (see Cpu::fault())
+  kSvc,         ///< supervisor call pending (see Cpu::svc_number())
+  kBreakpoint,  ///< paused at an adversary/debugger breakpoint
+};
+
+class Cpu {
+ public:
+  Cpu(const Program& program, AddressSpace& memory, const pa::PointerAuth& pauth);
+
+  // --- register file -----------------------------------------------------
+  [[nodiscard]] u64 reg(Reg r) const noexcept;
+  void set_reg(Reg r, u64 value) noexcept;
+  [[nodiscard]] u64 pc() const noexcept { return pc_; }
+  void set_pc(u64 pc) noexcept { pc_ = pc; }
+
+  // --- execution -----------------------------------------------------------
+  /// Execute one instruction (or hit a breakpoint). Returns the new state.
+  RunState step();
+
+  /// Run until a non-ready state or `max_steps` instructions.
+  RunState run(u64 max_steps = 100'000'000);
+
+  [[nodiscard]] RunState state() const noexcept { return state_; }
+  [[nodiscard]] const Fault& fault() const noexcept { return fault_; }
+  [[nodiscard]] u16 svc_number() const noexcept { return svc_number_; }
+
+  /// Acknowledge a pending svc/breakpoint and make the hart runnable again.
+  void resume() noexcept;
+
+  [[nodiscard]] u64 cycles() const noexcept { return cycles_; }
+  [[nodiscard]] u64 instructions() const noexcept { return instructions_; }
+  void reset_counters() noexcept { cycles_ = 0; instructions_ = 0; }
+
+  [[nodiscard]] const CycleCosts& costs() const noexcept { return costs_; }
+  void set_costs(const CycleCosts& costs) noexcept { costs_ = costs; }
+
+  // --- breakpoints ---------------------------------------------------------
+  void add_breakpoint(u64 addr) { breakpoints_.insert(addr); }
+  void remove_breakpoint(u64 addr) { breakpoints_.erase(addr); }
+  void clear_breakpoints() { breakpoints_.clear(); }
+
+  // --- execution trace -------------------------------------------------------
+  /// Keep a ring buffer of the last `depth` executed PCs (0 disables).
+  /// Used for crash forensics: the kernel dumps it when a process dies.
+  void enable_trace(std::size_t depth);
+  /// The traced PCs, oldest first.
+  [[nodiscard]] std::vector<u64> trace() const;
+
+  [[nodiscard]] const Program& program() const noexcept { return *program_; }
+  [[nodiscard]] AddressSpace& memory() noexcept { return *memory_; }
+  [[nodiscard]] const pa::PointerAuth& pauth() const noexcept { return *pauth_; }
+
+  /// Swap the PA engine (kernel does this on exec / context switch).
+  void set_pauth(const pa::PointerAuth& pauth) noexcept { pauth_ = &pauth; }
+
+  /// Capture / restore the architectural register context (kernel use).
+  [[nodiscard]] CpuSnapshot snapshot() const noexcept;
+  void restore(const CpuSnapshot& snap) noexcept;
+
+ private:
+  void raise(FaultKind kind, u64 addr) noexcept;
+  void execute(const Instruction& instr);
+  [[nodiscard]] bool eval_cond(Cond cond) const noexcept;
+  [[nodiscard]] u64 mem_address(const Instruction& instr, u64& base_out,
+                                bool& writeback) noexcept;
+  void branch_to(u64 target) noexcept;
+  void indirect_branch(u64 target, bool link);
+
+  const Program* program_;
+  AddressSpace* memory_;
+  const pa::PointerAuth* pauth_;
+
+  std::array<u64, kNumRegs> regs_{};
+  u64 pc_ = 0;
+  bool flag_n_ = false, flag_z_ = false, flag_c_ = false, flag_v_ = false;
+
+  CycleCosts costs_{};
+  RunState state_ = RunState::kReady;
+  Fault fault_{};
+  u16 svc_number_ = 0;
+  u64 cycles_ = 0;
+  u64 instructions_ = 0;
+  bool skip_breakpoint_once_ = false;
+  u64 skip_breakpoint_pc_ = 0;
+  std::unordered_set<u64> breakpoints_;
+  std::vector<u64> trace_ring_;
+  std::size_t trace_next_ = 0;
+  bool trace_wrapped_ = false;
+};
+
+}  // namespace acs::sim

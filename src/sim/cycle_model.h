@@ -1,0 +1,42 @@
+// Deterministic cycle cost model.
+//
+// The ARM FVP the paper used for functional runs is not cycle-accurate, so
+// the paper estimates overheads with a "PA-analogue" on real ARMv8.2 cores
+// and quotes ~4 cycles of *latency* for a QARMA-based PAC computation
+// (Section 7). On the out-of-order cores the measurements ran on, much of
+// that latency overlaps with surrounding work; the paper's own Table 2
+// calibrates the *effective* cost: -mbranch-protection (2 PA ops/call,
+// 0.43%) costs about half of ShadowCallStack (2 memory ops/call, 0.85%),
+// i.e. one PA op ~ one ALU cycle effective when a memory access costs 2.
+//
+// We therefore default to the effective model (pa = 1) so the scheme
+// ordering matches the paper's measurements, and provide the raw in-order
+// latency model (pa = 4) for the sensitivity ablation in bench_micro_pa.
+#pragma once
+
+#include "common/types.h"
+
+namespace acs::sim {
+
+struct CycleCosts {
+  u64 alu = 1;
+  u64 branch = 1;
+  u64 mem = 2;
+  u64 mem_pair = 3;
+  u64 pa = 1;    ///< pacia/autia/pacga/xpaci (effective, Table 2-calibrated)
+  u64 svc = 60;  ///< kernel entry/exit
+};
+
+/// The default, Table 2-calibrated effective model.
+[[nodiscard]] constexpr CycleCosts effective_costs() noexcept { return {}; }
+
+/// The raw in-order latency model with the paper's 4-cycle PA estimate.
+[[nodiscard]] constexpr CycleCosts latency_costs() noexcept {
+  CycleCosts costs;
+  costs.pa = 4;
+  return costs;
+}
+
+inline constexpr u64 kSimulatedHz = 1'200'000'000;  ///< 1.2 GHz (paper's est.)
+
+}  // namespace acs::sim

@@ -1,0 +1,169 @@
+#include "sim/disasm.h"
+
+#include <map>
+#include <sstream>
+
+namespace acs::sim {
+namespace {
+
+std::string cond_name(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kGe: return "ge";
+    case Cond::kGt: return "gt";
+    case Cond::kLe: return "le";
+    case Cond::kLo: return "lo";
+    case Cond::kHs: return "hs";
+  }
+  return "??";
+}
+
+std::string hex(u64 value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+std::string mem_operand(const Instruction& i) {
+  std::ostringstream os;
+  switch (i.mode) {
+    case AddrMode::kOffset:
+      os << "[" << reg_name(i.rn);
+      if (i.imm != 0) os << ", #" << i.imm;
+      os << "]";
+      break;
+    case AddrMode::kPreIndex:
+      os << "[" << reg_name(i.rn) << ", #" << i.imm << "]!";
+      break;
+    case AddrMode::kPostIndex:
+      os << "[" << reg_name(i.rn) << "], #" << i.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& i) {
+  std::ostringstream os;
+  switch (i.op) {
+    case Opcode::kNop: os << "nop"; break;
+    case Opcode::kMovImm:
+      os << "mov " << reg_name(i.rd) << ", #" << hex(static_cast<u64>(i.imm));
+      break;
+    case Opcode::kMovReg:
+      os << "mov " << reg_name(i.rd) << ", " << reg_name(i.rn);
+      break;
+    case Opcode::kAddImm:
+      os << "add " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", #" << i.imm;
+      break;
+    case Opcode::kAddReg:
+      os << "add " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", "
+         << reg_name(i.rm);
+      break;
+    case Opcode::kSubImm:
+      os << "sub " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", #" << i.imm;
+      break;
+    case Opcode::kSubReg:
+      os << "sub " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", "
+         << reg_name(i.rm);
+      break;
+    case Opcode::kEorReg:
+      os << "eor " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", "
+         << reg_name(i.rm);
+      break;
+    case Opcode::kAndReg:
+      os << "and " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", "
+         << reg_name(i.rm);
+      break;
+    case Opcode::kOrrReg:
+      os << "orr " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", "
+         << reg_name(i.rm);
+      break;
+    case Opcode::kLslImm:
+      os << "lsl " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", #" << i.imm;
+      break;
+    case Opcode::kLsrImm:
+      os << "lsr " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", #" << i.imm;
+      break;
+    case Opcode::kCmpImm:
+      os << "cmp " << reg_name(i.rn) << ", #" << i.imm;
+      break;
+    case Opcode::kCmpReg:
+      os << "cmp " << reg_name(i.rn) << ", " << reg_name(i.rm);
+      break;
+    case Opcode::kLdr:
+      os << "ldr " << reg_name(i.rd) << ", " << mem_operand(i);
+      break;
+    case Opcode::kStr:
+      os << "str " << reg_name(i.rd) << ", " << mem_operand(i);
+      break;
+    case Opcode::kLdrb:
+      os << "ldrb " << reg_name(i.rd) << ", " << mem_operand(i);
+      break;
+    case Opcode::kStrb:
+      os << "strb " << reg_name(i.rd) << ", " << mem_operand(i);
+      break;
+    case Opcode::kLdp:
+      os << "ldp " << reg_name(i.rd) << ", " << reg_name(i.rm) << ", "
+         << mem_operand(i);
+      break;
+    case Opcode::kStp:
+      os << "stp " << reg_name(i.rd) << ", " << reg_name(i.rm) << ", "
+         << mem_operand(i);
+      break;
+    case Opcode::kB: os << "b " << hex(i.target); break;
+    case Opcode::kBCond:
+      os << "b." << cond_name(i.cond) << " " << hex(i.target);
+      break;
+    case Opcode::kCbz:
+      os << "cbz " << reg_name(i.rn) << ", " << hex(i.target);
+      break;
+    case Opcode::kCbnz:
+      os << "cbnz " << reg_name(i.rn) << ", " << hex(i.target);
+      break;
+    case Opcode::kBl: os << "bl " << hex(i.target); break;
+    case Opcode::kBlr: os << "blr " << reg_name(i.rn); break;
+    case Opcode::kBr: os << "br " << reg_name(i.rn); break;
+    case Opcode::kRet:
+      os << "ret";
+      if (i.rn != Reg::kXzr && i.rn != kLr) os << " " << reg_name(i.rn);
+      break;
+    case Opcode::kRetaa: os << "retaa"; break;
+    case Opcode::kPacia:
+      os << "pacia " << reg_name(i.rd) << ", " << reg_name(i.rn);
+      break;
+    case Opcode::kAutia:
+      os << "autia " << reg_name(i.rd) << ", " << reg_name(i.rn);
+      break;
+    case Opcode::kPacga:
+      os << "pacga " << reg_name(i.rd) << ", " << reg_name(i.rn) << ", "
+         << reg_name(i.rm);
+      break;
+    case Opcode::kXpaci: os << "xpaci " << reg_name(i.rd); break;
+    case Opcode::kSvc: os << "svc #" << i.imm; break;
+    case Opcode::kHlt: os << "hlt"; break;
+    case Opcode::kWork: os << "work #" << i.imm; break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& program) {
+  // Invert the symbol table so labels print ahead of their instruction.
+  std::multimap<u64, std::string> labels;
+  for (const auto& [name, addr] : program.symbols) labels.emplace(addr, name);
+
+  std::ostringstream os;
+  for (std::size_t idx = 0; idx < program.code.size(); ++idx) {
+    const u64 addr = program.base + static_cast<u64>(idx) * kInstrBytes;
+    for (auto [it, end] = labels.equal_range(addr); it != end; ++it) {
+      os << it->second << ":\n";
+    }
+    os << "  " << hex(addr) << ":  " << disassemble(program.code[idx]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace acs::sim

@@ -1,0 +1,16 @@
+// Instruction pretty-printer for debugging, traces and example output.
+#pragma once
+
+#include <string>
+
+#include "sim/isa.h"
+
+namespace acs::sim {
+
+/// Render one instruction in A64-like syntax, e.g. "pacia x30, x28".
+[[nodiscard]] std::string disassemble(const Instruction& instr);
+
+/// Render a whole program with addresses and labels.
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace acs::sim

@@ -1,0 +1,43 @@
+// Architectural fault reporting for the simulated CPU.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace acs::sim {
+
+enum class FaultKind : u8 {
+  kNone,
+  kTranslation,     ///< access/branch through a non-canonical or unmapped address
+  kPermission,      ///< access violating page permissions (incl. W^X)
+  kCfi,             ///< indirect branch to a non-function-entry (assumption A2)
+  kPacAuthFailure,  ///< FPAC-mode authentication failure (ARMv8.6)
+  kUndefined,       ///< undefined/illegal instruction
+  kStackCheck,      ///< stack canary mismatch (abort path of the canary scheme)
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  u64 address = 0;  ///< faulting data/branch address (when applicable)
+  u64 pc = 0;       ///< program counter of the faulting instruction
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return kind != FaultKind::kNone;
+  }
+};
+
+[[nodiscard]] inline std::string fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTranslation: return "translation";
+    case FaultKind::kPermission: return "permission";
+    case FaultKind::kCfi: return "cfi-violation";
+    case FaultKind::kPacAuthFailure: return "pac-auth-failure";
+    case FaultKind::kUndefined: return "undefined-instruction";
+    case FaultKind::kStackCheck: return "stack-check";
+  }
+  return "unknown";
+}
+
+}  // namespace acs::sim

@@ -1,0 +1,18 @@
+#include "sim/isa.h"
+
+#include <algorithm>
+
+namespace acs::sim {
+
+bool Program::is_function_entry(u64 addr) const noexcept {
+  return std::find(function_entries.begin(), function_entries.end(), addr) !=
+         function_entries.end();
+}
+
+std::string reg_name(Reg r) {
+  if (r == Reg::kSp) return "sp";
+  if (r == Reg::kXzr) return "xzr";
+  return "x" + std::to_string(static_cast<unsigned>(r));
+}
+
+}  // namespace acs::sim

@@ -1,0 +1,149 @@
+#include "sim/memory.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace acs::sim {
+
+void AddressSpace::map(u64 base, u64 size, Perms perms, std::string name) {
+  if (size == 0) throw std::invalid_argument{"map: zero-sized region"};
+  if (perms.w && perms.x) {
+    throw std::invalid_argument{"map: W^X forbids writable+executable"};
+  }
+  if (base + size < base) throw std::invalid_argument{"map: address overflow"};
+  for (const auto& region : regions_) {
+    const u64 r_end = region.info.base + region.info.size;
+    if (base < r_end && region.info.base < base + size) {
+      throw std::invalid_argument{"map: overlaps region " + region.info.name};
+    }
+  }
+  Region region;
+  region.info = RegionInfo{base, size, perms, std::move(name)};
+  region.bytes.assign(size, 0);
+  regions_.push_back(std::move(region));
+}
+
+const AddressSpace::Region* AddressSpace::find(u64 addr, u64 len) const noexcept {
+  for (const auto& region : regions_) {
+    if (addr >= region.info.base &&
+        addr + len <= region.info.base + region.info.size) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+AddressSpace::Region* AddressSpace::find(u64 addr, u64 len) noexcept {
+  return const_cast<Region*>(std::as_const(*this).find(addr, len));
+}
+
+AddressSpace::Access AddressSpace::read_u64(u64 addr) const noexcept {
+  const Region* region = find(addr, 8);
+  if (region == nullptr) {
+    return {0, Fault{FaultKind::kTranslation, addr, 0}};
+  }
+  if (!region->info.perms.r) {
+    return {0, Fault{FaultKind::kPermission, addr, 0}};
+  }
+  const u64 off = addr - region->info.base;
+  u64 value = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    value |= static_cast<u64>(region->bytes[off + i]) << (8 * i);
+  }
+  return {value, Fault{}};
+}
+
+AddressSpace::Access AddressSpace::read_u8(u64 addr) const noexcept {
+  const Region* region = find(addr, 1);
+  if (region == nullptr) return {0, Fault{FaultKind::kTranslation, addr, 0}};
+  if (!region->info.perms.r) return {0, Fault{FaultKind::kPermission, addr, 0}};
+  return {region->bytes[addr - region->info.base], Fault{}};
+}
+
+Fault AddressSpace::write_u64(u64 addr, u64 value) noexcept {
+  Region* region = find(addr, 8);
+  if (region == nullptr) return Fault{FaultKind::kTranslation, addr, 0};
+  if (!region->info.perms.w) return Fault{FaultKind::kPermission, addr, 0};
+  const u64 off = addr - region->info.base;
+  for (unsigned i = 0; i < 8; ++i) {
+    region->bytes[off + i] = static_cast<u8>(value >> (8 * i));
+  }
+  return Fault{};
+}
+
+Fault AddressSpace::write_u8(u64 addr, u8 value) noexcept {
+  Region* region = find(addr, 1);
+  if (region == nullptr) return Fault{FaultKind::kTranslation, addr, 0};
+  if (!region->info.perms.w) return Fault{FaultKind::kPermission, addr, 0};
+  region->bytes[addr - region->info.base] = value;
+  return Fault{};
+}
+
+std::optional<u64> AddressSpace::adversary_read_u64(u64 addr) const noexcept {
+  const Region* region = find(addr, 8);
+  if (region == nullptr) return std::nullopt;
+  const u64 off = addr - region->info.base;
+  u64 value = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    value |= static_cast<u64>(region->bytes[off + i]) << (8 * i);
+  }
+  return value;
+}
+
+bool AddressSpace::adversary_write_u64(u64 addr, u64 value) noexcept {
+  Region* region = find(addr, 8);
+  if (region == nullptr) return false;
+  if (region->info.perms.x) return false;  // W^X (assumption A1)
+  const u64 off = addr - region->info.base;
+  for (unsigned i = 0; i < 8; ++i) {
+    region->bytes[off + i] = static_cast<u8>(value >> (8 * i));
+  }
+  return true;
+}
+
+u64 AddressSpace::raw_read_u64(u64 addr) const {
+  const auto access = read_u64(addr);
+  if (access.fault && access.fault.kind == FaultKind::kTranslation) {
+    throw std::out_of_range{"raw_read_u64: unmapped address"};
+  }
+  // Permission faults do not apply to infrastructure reads.
+  const Region* region = find(addr, 8);
+  const u64 off = addr - region->info.base;
+  u64 value = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    value |= static_cast<u64>(region->bytes[off + i]) << (8 * i);
+  }
+  return value;
+}
+
+void AddressSpace::raw_write_u64(u64 addr, u64 value) {
+  Region* region = find(addr, 8);
+  if (region == nullptr) throw std::out_of_range{"raw_write_u64: unmapped"};
+  const u64 off = addr - region->info.base;
+  for (unsigned i = 0; i < 8; ++i) {
+    region->bytes[off + i] = static_cast<u8>(value >> (8 * i));
+  }
+}
+
+bool AddressSpace::is_executable(u64 addr) const noexcept {
+  const Region* region = find(addr, 1);
+  return region != nullptr && region->info.perms.x;
+}
+
+bool AddressSpace::is_mapped(u64 addr) const noexcept {
+  return find(addr, 1) != nullptr;
+}
+
+const AddressSpace::RegionInfo* AddressSpace::region_at(u64 addr) const noexcept {
+  const Region* region = find(addr, 1);
+  return region == nullptr ? nullptr : &region->info;
+}
+
+std::vector<AddressSpace::RegionInfo> AddressSpace::regions() const {
+  std::vector<RegionInfo> out;
+  out.reserve(regions_.size());
+  for (const auto& region : regions_) out.push_back(region.info);
+  return out;
+}
+
+}  // namespace acs::sim

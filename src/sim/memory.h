@@ -1,0 +1,87 @@
+// The simulated user-space address space.
+//
+// Regions with page-style permissions; a W^X policy (assumption A1) is
+// enforced structurally: a region can never be both writable and
+// executable. The adversary of Section 3 gets separate accessors
+// (adversary_read/adversary_write) that bypass R/W permission checks on
+// data pages — "arbitrary control of process memory" — but still cannot
+// write executable pages (A1) and, because kernel state lives outside this
+// object entirely, cannot touch kernel-saved register contexts or PA keys.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/fault.h"
+
+namespace acs::sim {
+
+/// Region permission bits.
+struct Perms {
+  bool r = false;
+  bool w = false;
+  bool x = false;
+};
+
+inline constexpr Perms kPermRw{true, true, false};
+inline constexpr Perms kPermRo{true, false, false};
+inline constexpr Perms kPermRx{true, false, true};
+
+class AddressSpace {
+ public:
+  /// Map a new zero-filled region. Throws std::invalid_argument on overlap,
+  /// zero size, or an R+W+X request (W^X violation).
+  void map(u64 base, u64 size, Perms perms, std::string name);
+
+  /// Result of a checked access: value (for reads) or a fault.
+  struct Access {
+    u64 value = 0;
+    Fault fault{};
+    [[nodiscard]] bool ok() const noexcept { return !fault; }
+  };
+
+  // Checked CPU accesses (respect permissions; little-endian).
+  [[nodiscard]] Access read_u64(u64 addr) const noexcept;
+  [[nodiscard]] Access read_u8(u64 addr) const noexcept;
+  [[nodiscard]] Fault write_u64(u64 addr, u64 value) noexcept;
+  [[nodiscard]] Fault write_u8(u64 addr, u8 value) noexcept;
+
+  // Adversary accesses (Section 3): arbitrary read of any mapped page and
+  // write to any non-executable mapped page. Returns nullopt / false for
+  // unmapped addresses or W^X-protected targets.
+  [[nodiscard]] std::optional<u64> adversary_read_u64(u64 addr) const noexcept;
+  [[nodiscard]] bool adversary_write_u64(u64 addr, u64 value) noexcept;
+
+  // Infrastructure accesses for loaders/kernels (no permission checks).
+  [[nodiscard]] u64 raw_read_u64(u64 addr) const;
+  void raw_write_u64(u64 addr, u64 value);
+
+  /// True if `addr` lies in an executable region (used for fetch checks).
+  [[nodiscard]] bool is_executable(u64 addr) const noexcept;
+  [[nodiscard]] bool is_mapped(u64 addr) const noexcept;
+
+  /// Region metadata lookup (nullptr when unmapped).
+  struct RegionInfo {
+    u64 base = 0;
+    u64 size = 0;
+    Perms perms{};
+    std::string name;
+  };
+  [[nodiscard]] const RegionInfo* region_at(u64 addr) const noexcept;
+  [[nodiscard]] std::vector<RegionInfo> regions() const;
+
+ private:
+  struct Region {
+    RegionInfo info;
+    std::vector<u8> bytes;
+  };
+
+  [[nodiscard]] const Region* find(u64 addr, u64 len) const noexcept;
+  [[nodiscard]] Region* find(u64 addr, u64 len) noexcept;
+
+  std::vector<Region> regions_;
+};
+
+}  // namespace acs::sim

@@ -1,0 +1,30 @@
+// Random call-graph generator for property-based testing.
+//
+// Produces random acyclic call graphs with mixed leaf/non-leaf functions,
+// buffers, repeat-calls, indirect calls and occasional tail calls. Property
+// tests assert that every protection scheme produces the *same output* and
+// a clean exit for the same graph (compatibility, R3) and that PACStack
+// chains verify at arbitrary depth.
+#pragma once
+
+#include "common/rng.h"
+#include "compiler/ir.h"
+
+namespace acs::workload {
+
+struct CallGraphParams {
+  std::size_t num_functions = 12;
+  u64 max_repeat = 3;        ///< max repeat count per call site
+  double call_probability = 0.5;
+  double buffer_probability = 0.3;
+  double indirect_probability = 0.15;
+  double tail_call_probability = 0.1;
+  u64 max_compute = 40;
+};
+
+/// Generate a random program; acyclicity is guaranteed by only calling
+/// lower-indexed functions.
+[[nodiscard]] compiler::ProgramIr make_random_ir(Rng& rng,
+                                                 const CallGraphParams& params = {});
+
+}  // namespace acs::workload

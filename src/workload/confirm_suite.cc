@@ -1,0 +1,286 @@
+#include "workload/confirm_suite.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "compiler/codegen.h"
+#include "kernel/machine.h"
+#include "kernel/syscalls.h"
+
+namespace acs::workload {
+
+namespace {
+
+using compiler::IrBuilder;
+
+ConfirmTest direct_calls() {
+  IrBuilder builder;
+  const auto f1 = builder.begin_function("cf$f1");
+  builder.write_int(1);
+  const auto f2 = builder.begin_function("cf$f2");
+  builder.call(f1);
+  builder.write_int(2);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.call(f2);
+  builder.call(f1);
+  builder.write_int(3);
+  return {"direct_calls", builder.build(entry), {1, 2, 1, 3}};
+}
+
+ConfirmTest indirect_call() {
+  IrBuilder builder;
+  const auto callee = builder.begin_function("cf$icallee");
+  builder.write_int(7);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.call_indirect(callee);
+  builder.write_int(8);
+  return {"indirect_call", builder.build(entry), {7, 8}};
+}
+
+ConfirmTest function_pointer_table() {
+  IrBuilder builder;
+  const auto cb1 = builder.begin_function("cf$cb1");
+  builder.write_int(41);
+  const auto cb2 = builder.begin_function("cf$cb2");
+  builder.write_int(42);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.call_via_slot(cb1, 0);
+  builder.call_via_slot(cb2, 1);
+  builder.call_via_slot(cb1, 0);
+  return {"function_pointer_table", builder.build(entry), {41, 42, 41}};
+}
+
+ConfirmTest setjmp_shallow() {
+  IrBuilder builder;
+  const auto jumper = builder.begin_function("cf$jumper");
+  builder.longjmp_to(0, 5);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.setjmp_point(0);  // logs the longjmp value and returns when hit
+  builder.write_int(1);
+  builder.call(jumper);
+  builder.write_int(9);  // unreachable: longjmp skips it
+  return {"setjmp_longjmp_shallow", builder.build(entry), {1, 5}};
+}
+
+ConfirmTest setjmp_deep() {
+  IrBuilder builder;
+  const auto deepest = builder.begin_function("cf$deepest");
+  builder.longjmp_to(1, 6);
+  const auto mid = builder.begin_function("cf$mid");
+  builder.write_int(2);
+  builder.call(deepest);
+  builder.write_int(9);  // unreachable
+  const auto entry = builder.begin_function("cf$entry");
+  builder.setjmp_point(1);
+  builder.write_int(1);
+  builder.call(mid);
+  builder.write_int(9);  // unreachable
+  return {"setjmp_longjmp_deep", builder.build(entry), {1, 2, 6}};
+}
+
+ConfirmTest tail_calls() {
+  IrBuilder builder;
+  const auto target = builder.begin_function("cf$tc_target");
+  builder.write_int(12);
+  const auto via = builder.begin_function("cf$tc_via");
+  builder.write_int(11);
+  builder.tail_call(target);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.call(via);
+  builder.write_int(13);
+  return {"tail_calls", builder.build(entry), {11, 12, 13}};
+}
+
+ConfirmTest calling_convention() {
+  // Deeply interleaved calls; any callee-saved-register (X28!) corruption
+  // by the instrumentation would derail the return order.
+  IrBuilder builder;
+  const auto l1 = builder.begin_function("cf$l1");
+  builder.compute(3);
+  const auto a = builder.begin_function("cf$a");
+  builder.call(l1);
+  builder.write_int(101);
+  const auto b = builder.begin_function("cf$b");
+  builder.call(a);
+  builder.call(a);
+  builder.write_int(102);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.call(b);
+  builder.call(a);
+  builder.write_int(103);
+  return {"calling_convention", builder.build(entry),
+          {101, 101, 102, 101, 103}};
+}
+
+ConfirmTest deep_chain() {
+  IrBuilder builder;
+  std::size_t prev = builder.begin_function("cf$d0");
+  builder.write_int(900);
+  for (int depth = 1; depth <= 64; ++depth) {
+    const auto fn =
+        builder.begin_function("cf$d" + std::to_string(depth));
+    builder.call(prev);
+    prev = fn;
+  }
+  const auto entry = builder.begin_function("cf$entry");
+  builder.call(prev);
+  builder.write_int(901);
+  return {"deep_call_chain", builder.build(entry), {900, 901}};
+}
+
+ConfirmTest threads() {
+  IrBuilder builder;
+  const auto worker = builder.begin_function("cf$worker");
+  builder.compute(20);
+  builder.write_int(71);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.thread_create(worker, 0);
+  builder.thread_create(worker, 0);
+  builder.compute(200);
+  builder.yield();
+  builder.compute(200);
+  builder.write_int(70);
+  return {"threads", builder.build(entry), {71, 71, 70}};
+}
+
+ConfirmTest signals() {
+  IrBuilder builder;
+  const auto handler = builder.begin_function("cf$handler");
+  builder.write_int(55);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.sigaction(kernel::kSigUsr1, handler);
+  builder.write_int(50);
+  builder.raise_signal(kernel::kSigUsr1);
+  builder.yield();  // give the kernel a delivery point
+  builder.compute(10);
+  builder.write_int(51);
+  return {"signals_sigreturn", builder.build(entry), {50, 55, 51}};
+}
+
+ConfirmTest fork_test() {
+  IrBuilder builder;
+  const auto entry = builder.begin_function("cf$entry");
+  builder.write_int(30);
+  builder.fork();
+  builder.write_reg();  // 0 in the child, child pid (2) in the parent
+  builder.write_int(31);
+  return {"fork", builder.build(entry), {30, 0, 2, 31, 31}};
+}
+
+ConfirmTest exceptions_deep() {
+  IrBuilder builder;
+  const auto thrower = builder.begin_function("cf$thrower");
+  builder.write_int(3);
+  builder.throw_exception(1, 5);
+  const auto mid = builder.begin_function("cf$exc_mid");
+  builder.write_int(2);
+  builder.call(thrower);
+  builder.write_int(99);  // skipped by the unwind
+  const auto entry = builder.begin_function("cf$entry");
+  builder.catch_point(1);
+  builder.write_int(1);
+  builder.call(mid);
+  builder.write_int(99);  // skipped: the catch path returns
+  return {"exceptions_deep", builder.build(entry), {1, 2, 3, 5}};
+}
+
+ConfirmTest exceptions_nested() {
+  // The inner catch handles a different tag; the throw must pass it by and
+  // land on the outer handler.
+  IrBuilder builder;
+  const auto thrower = builder.begin_function("cf$nthrower");
+  builder.throw_exception(7, 70);
+  const auto inner = builder.begin_function("cf$ninner");
+  builder.catch_point(8);  // wrong tag: not a handler for 7
+  builder.write_int(20);
+  builder.call(thrower);
+  builder.write_int(99);  // skipped
+  const auto entry = builder.begin_function("cf$entry");
+  builder.catch_point(7);
+  builder.write_int(10);
+  builder.call(inner);
+  builder.write_int(99);  // skipped
+  return {"exceptions_nested", builder.build(entry), {10, 20, 70}};
+}
+
+ConfirmTest mixed_leaf_nonleaf() {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("cf$leafy");  // uninstrumented
+  builder.compute(5);
+  const auto nonleaf = builder.begin_function("cf$nonleaf");
+  builder.call(leaf);
+  builder.call(leaf);
+  builder.write_int(61);
+  const auto entry = builder.begin_function("cf$entry");
+  builder.call(leaf);
+  builder.call(nonleaf);
+  builder.call(leaf);
+  builder.write_int(62);
+  return {"mixed_instrumentation", builder.build(entry), {61, 62}};
+}
+
+}  // namespace
+
+std::vector<ConfirmTest> confirm_suite() {
+  std::vector<ConfirmTest> tests;
+  tests.push_back(direct_calls());
+  tests.push_back(indirect_call());
+  tests.push_back(function_pointer_table());
+  tests.push_back(setjmp_shallow());
+  tests.push_back(setjmp_deep());
+  tests.push_back(tail_calls());
+  tests.push_back(calling_convention());
+  tests.push_back(deep_chain());
+  tests.push_back(threads());
+  tests.push_back(signals());
+  tests.push_back(fork_test());
+  tests.push_back(mixed_leaf_nonleaf());
+  tests.push_back(exceptions_deep());
+  tests.push_back(exceptions_nested());
+  return tests;
+}
+
+ConfirmOutcome run_confirm_test(const ConfirmTest& test,
+                                compiler::Scheme scheme) {
+  const auto program = compiler::compile_ir(test.ir, {.scheme = scheme});
+  kernel::MachineOptions options;
+  options.seed = 7;
+  kernel::Machine machine(program, options);
+  machine.run();
+
+  ConfirmOutcome outcome;
+  // Collect output across all processes (fork test produces two).
+  std::vector<u64> output;
+  bool all_clean = true;
+  for (const auto& process : machine.processes()) {
+    output.insert(output.end(), process->output.begin(),
+                  process->output.end());
+    if (process->state != kernel::ProcessState::kExited) all_clean = false;
+  }
+  if (!all_clean) {
+    outcome.passed = false;
+    outcome.detail = "abnormal termination: " +
+                     machine.init_process().kill_reason;
+    return outcome;
+  }
+  // Compare as multisets: scheduling interleaves thread/fork output.
+  auto expected = test.expected_output;
+  std::sort(expected.begin(), expected.end());
+  std::sort(output.begin(), output.end());
+  if (expected == output) {
+    outcome.passed = true;
+    outcome.detail = "ok";
+  } else {
+    std::ostringstream os;
+    os << "output mismatch; got [";
+    for (std::size_t i = 0; i < output.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << output[i];
+    }
+    os << "]";
+    outcome.passed = false;
+    outcome.detail = os.str();
+  }
+  return outcome;
+}
+
+}  // namespace acs::workload

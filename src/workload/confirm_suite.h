@@ -1,0 +1,38 @@
+// ConFIRM-style CFI compatibility micro-tests (Section 7.3).
+//
+// The paper runs the 11 AArch64/Linux-applicable ConFIRM tests on the FVP
+// and reports that they pass with and without PACStack. Each test here is a
+// small program exercising one corner case that historically breaks CFI
+// schemes — indirect calls, function pointers in memory, setjmp/longjmp
+// (shallow and deep), tail calls, callee-saved-register discipline, deep
+// call chains, threads, signals, fork, and mixed leaf/non-leaf code — with
+// a known-good output to compare against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "compiler/scheme.h"
+
+namespace acs::workload {
+
+struct ConfirmTest {
+  std::string name;
+  compiler::ProgramIr ir;
+  std::vector<u64> expected_output;  ///< compared as a multiset
+};
+
+/// Build the full test list (fresh IR each call).
+[[nodiscard]] std::vector<ConfirmTest> confirm_suite();
+
+struct ConfirmOutcome {
+  bool passed = false;
+  std::string detail;
+};
+
+/// Run one test under one scheme: pass = clean exit + expected output.
+[[nodiscard]] ConfirmOutcome run_confirm_test(const ConfirmTest& test,
+                                              compiler::Scheme scheme);
+
+}  // namespace acs::workload

@@ -1,0 +1,39 @@
+#include "workload/measure.h"
+
+#include <stdexcept>
+
+#include "compiler/codegen.h"
+
+namespace acs::workload {
+
+RunMetrics run_and_measure(const compiler::ProgramIr& ir,
+                           compiler::Scheme scheme, u64 seed,
+                           const sim::CycleCosts& costs) {
+  const auto program = compiler::compile_ir(ir, {.scheme = scheme});
+  kernel::MachineOptions options;
+  options.seed = seed;
+  options.costs = costs;
+  kernel::Machine machine(program, options);
+  machine.run();
+  RunMetrics metrics;
+  auto& process = machine.init_process();
+  metrics.cycles = process.cycles();
+  metrics.instructions = process.instructions();
+  metrics.clean_exit = process.state == kernel::ProcessState::kExited &&
+                       process.exit_code == 0;
+  return metrics;
+}
+
+double overhead_percent(const compiler::ProgramIr& ir, compiler::Scheme scheme,
+                        u64 seed, const sim::CycleCosts& costs) {
+  const auto base = run_and_measure(ir, compiler::Scheme::kNone, seed, costs);
+  const auto inst = run_and_measure(ir, scheme, seed, costs);
+  if (!base.clean_exit || !inst.clean_exit) {
+    throw std::runtime_error{"overhead_percent: workload did not exit cleanly"};
+  }
+  return (static_cast<double>(inst.cycles) / static_cast<double>(base.cycles) -
+          1.0) *
+         100.0;
+}
+
+}  // namespace acs::workload

@@ -1,0 +1,28 @@
+// Cycle measurement helpers shared by the benches.
+#pragma once
+
+#include "compiler/ir.h"
+#include "compiler/scheme.h"
+#include "kernel/machine.h"
+#include "sim/cycle_model.h"
+
+namespace acs::workload {
+
+struct RunMetrics {
+  u64 cycles = 0;
+  u64 instructions = 0;
+  bool clean_exit = false;
+};
+
+/// Compile `ir` with `scheme`, run it to completion in a fresh machine and
+/// report the cycle/instruction counts of the init process.
+[[nodiscard]] RunMetrics run_and_measure(
+    const compiler::ProgramIr& ir, compiler::Scheme scheme, u64 seed = 1,
+    const sim::CycleCosts& costs = sim::effective_costs());
+
+/// Overhead of `scheme` over the baseline for the same IR, in percent.
+[[nodiscard]] double overhead_percent(
+    const compiler::ProgramIr& ir, compiler::Scheme scheme, u64 seed = 1,
+    const sim::CycleCosts& costs = sim::effective_costs());
+
+}  // namespace acs::workload

@@ -1,0 +1,103 @@
+#include "workload/nginx_sim.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "compiler/codegen.h"
+#include "kernel/machine.h"
+#include "sim/cycle_model.h"
+
+namespace acs::workload {
+
+compiler::ProgramIr make_worker_ir(u64 requests, u64 jitter_seed) {
+  Rng rng(jitter_seed);
+  const auto jitter = [&rng](u64 base) {
+    // +/- 5% per-run variation in the request mix.
+    return base - base / 20 + rng.next_below(base / 10 + 1);
+  };
+
+  compiler::IrBuilder builder;
+
+  // Small helpers (leaf): header token scanning, buffer copies.
+  const auto scan = builder.begin_function("ngx$scan");
+  builder.compute(jitter(18));
+  const auto copy = builder.begin_function("ngx$copy");
+  builder.compute(jitter(12));
+
+  // Cipher round (leaf) and MAC block: the handshake's inner loop. The MAC
+  // block is itself a non-leaf (it drives rounds through a function
+  // pointer-free call), matching OpenSSL's call-heavy record processing.
+  const auto cipher_round = builder.begin_function("ngx$cipher_round");
+  builder.compute(jitter(22));
+  const auto mac_block = builder.begin_function("ngx$mac_block");
+  builder.call(cipher_round, 2);
+  builder.compute(jitter(18));
+
+  // parse(): header-heavy, many small calls, stack buffer for the line.
+  const auto parse = builder.begin_function("ngx$parse", 128);
+  builder.store_local(0, 0x47455420);  // "GET "
+  builder.call(scan, 6);
+  builder.call(copy, 2);
+  builder.compute(jitter(60));
+
+  // handshake(): asymmetric-crypto stand-in: deep chain + MAC blocks.
+  const auto kdf = builder.begin_function("ngx$kdf");
+  builder.call(mac_block, 4);
+  const auto key_exchange = builder.begin_function("ngx$key_exchange");
+  builder.compute(jitter(420));  // modular-arithmetic stand-in
+  builder.call(kdf);
+  const auto handshake = builder.begin_function("ngx$handshake");
+  builder.call(key_exchange);
+  builder.call(mac_block, 10);
+
+  // respond(): tiny body (the paper's 0-byte responses), plus teardown.
+  const auto respond = builder.begin_function("ngx$respond", 64);
+  builder.store_local(0, 0x200);
+  builder.call(copy, 2);
+  builder.compute(jitter(40));
+
+  const auto handle = builder.begin_function("ngx$handle_request");
+  builder.call(parse);
+  builder.call(handshake);
+  builder.call(respond);
+
+  const auto worker = builder.begin_function("ngx$worker");
+  builder.call(handle, requests);
+  builder.write_int(requests);  // completion marker
+
+  return builder.build(worker);
+}
+
+NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
+                                    const NginxConfig& config) {
+  Rng seeder(config.seed);
+  std::vector<double> tps_per_run;
+  for (unsigned run = 0; run < config.repeats; ++run) {
+    // Independent workers; wall time = the slowest worker.
+    u64 worst_cycles = 0;
+    u64 total_requests = 0;
+    for (unsigned w = 0; w < config.workers; ++w) {
+      const auto ir = make_worker_ir(config.requests_per_worker, seeder.next());
+      const auto program = compiler::compile_ir(ir, {.scheme = scheme});
+      kernel::MachineOptions options;
+      options.seed = seeder.next();
+      kernel::Machine machine(program, options);
+      machine.run();
+      const auto& process = machine.init_process();
+      worst_cycles = std::max(worst_cycles, process.cycles());
+      total_requests += config.requests_per_worker;
+    }
+    const double seconds = static_cast<double>(worst_cycles) /
+                           static_cast<double>(sim::kSimulatedHz);
+    tps_per_run.push_back(static_cast<double>(total_requests) / seconds);
+  }
+  NginxRunResult result;
+  result.requests_per_second = mean(tps_per_run);
+  result.stddev = stddev(tps_per_run);
+  result.total_requests =
+      config.workers * config.requests_per_worker * config.repeats;
+  return result;
+}
+
+}  // namespace acs::workload

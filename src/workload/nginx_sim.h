@@ -1,0 +1,40 @@
+// NGINX SSL-TPS-like server simulation (Table 3).
+//
+// The paper measures new-TLS-connections-per-second on NGINX worker
+// processes under CPU-bound load. We model one worker as a process running
+// a request loop: parse (header-scanning with small helper calls) →
+// handshake (MAC-block-heavy compute with deep call chains, standing in
+// for the RSA/ECDHE work) → respond. TPS is derived from simulated cycles
+// at the model clock; multiple workers run as independent processes (the
+// paper's workers are independent too — the test is CPU-bound, not
+// contention-bound). Per-run jitter in the request mix provides the
+// standard deviation column.
+#pragma once
+
+#include "compiler/ir.h"
+#include "compiler/scheme.h"
+#include "common/types.h"
+
+namespace acs::workload {
+
+struct NginxRunResult {
+  double requests_per_second = 0;
+  double stddev = 0;
+  u64 total_requests = 0;
+};
+
+struct NginxConfig {
+  unsigned workers = 4;
+  u64 requests_per_worker = 400;
+  unsigned repeats = 5;  ///< independent runs for the sigma column
+  u64 seed = 42;
+};
+
+/// Build one worker's program with a jittered request mix.
+[[nodiscard]] compiler::ProgramIr make_worker_ir(u64 requests, u64 jitter_seed);
+
+/// Run the full experiment for one scheme.
+[[nodiscard]] NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
+                                                  const NginxConfig& config);
+
+}  // namespace acs::workload

@@ -1,0 +1,47 @@
+// SPEC CPU 2017-like synthetic workload suite (Figure 5 / Table 2 inputs).
+//
+// The real suite is proprietary, so each benchmark is modelled as a
+// synthetic program whose *function-call density* is calibrated to the
+// per-benchmark overheads the paper reports: "the overhead of PACStack is
+// proportional to the frequency of function calls; benchmarks with few
+// function calls are affected less" (Section 7.1). The work-per-call
+// parameters below are the calibration inputs; everything downstream
+// (scheme ordering, overhead magnitudes, rate-vs-speed split) is measured,
+// not assumed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace acs::workload {
+
+struct SpecBenchmark {
+  std::string name;
+  bool speed = false;   ///< SPECspeed (6xx) vs SPECrate (5xx)
+  u64 iterations = 0;   ///< driver loop count
+  u64 work_mid = 0;     ///< cycles of compute per mid-level call
+  u64 work_leaf = 0;    ///< cycles of compute per leaf call
+  bool buffered = false;  ///< mid functions carry a stack buffer
+};
+
+/// The C benchmarks the paper measures, rate and speed variants.
+[[nodiscard]] const std::vector<SpecBenchmark>& spec_suite();
+
+/// The C++ benchmarks (the paper reports these separately: "overheads of
+/// 2.0% (PACStack) and 0.9% (PACStack-nomask)"). Their programs add
+/// virtual-dispatch-style indirect calls through memory-resident function
+/// pointers and an exception-handling path.
+[[nodiscard]] const std::vector<SpecBenchmark>& spec_cpp_suite();
+
+/// Build the benchmark's program: a driver loop over a small call tree
+/// (driver -> mid -> leaf x2, plus a 3-deep chain every 16 iterations and a
+/// buffered variant for the canary scheme to act on).
+[[nodiscard]] compiler::ProgramIr make_spec_ir(const SpecBenchmark& bench);
+
+/// Build a C++-style benchmark: virtual dispatch via function-pointer
+/// slots, deeper object-method chains and a caught exception at the end.
+[[nodiscard]] compiler::ProgramIr make_spec_cpp_ir(const SpecBenchmark& bench);
+
+}  // namespace acs::workload

@@ -1,0 +1,128 @@
+#include "attack/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.h"
+#include "kernel/machine.h"
+
+namespace acs::attack {
+namespace {
+
+using compiler::IrBuilder;
+using compiler::Scheme;
+
+compiler::ProgramIr small_victim() {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("leaf");
+  builder.compute(3);
+  const auto inner = builder.begin_function("inner");
+  builder.call(leaf);
+  builder.vuln_site(1);
+  const auto entry = builder.begin_function("entry");
+  builder.call(inner);
+  builder.write_int(7);
+  return builder.build(entry);
+}
+
+struct Paused {
+  std::unique_ptr<kernel::Machine> machine;
+  std::unique_ptr<Adversary> adv;
+};
+
+Paused pause_at_vuln(Scheme scheme) {
+  const auto program = compiler::compile_ir(small_victim(), {.scheme = scheme});
+  Paused paused;
+  paused.machine = std::make_unique<kernel::Machine>(program);
+  paused.adv = std::make_unique<Adversary>(*paused.machine, 1);
+  paused.adv->break_at("vuln_1");
+  EXPECT_EQ(paused.adv->run_until_break().reason,
+            kernel::StopReason::kBreakpoint);
+  return paused;
+}
+
+TEST(Adversary, RejectsUnknownPid) {
+  const auto program = compiler::compile_ir(small_victim(), {});
+  kernel::Machine machine(program);
+  EXPECT_THROW(Adversary(machine, 99), std::invalid_argument);
+}
+
+TEST(Adversary, ReadsAndWritesDataMemory) {
+  auto paused = pause_at_vuln(Scheme::kPacStack);
+  auto& adv = *paused.adv;
+  EXPECT_TRUE(adv.write(kernel::kDataBase + 0x500, 0xABCD));
+  EXPECT_EQ(adv.read(kernel::kDataBase + 0x500), 0xABCDU);
+  // Unmapped addresses yield nothing.
+  EXPECT_EQ(adv.read(0xDEAD0000), std::nullopt);
+  EXPECT_FALSE(adv.write(0xDEAD0000, 1));
+}
+
+TEST(Adversary, CannotWriteCodePages) {
+  auto paused = pause_at_vuln(Scheme::kPacStack);
+  const u64 code = paused.machine->program().base;
+  EXPECT_FALSE(paused.adv->write(code, 0x4141414141414141ULL));
+  // But can read them (W^X forbids writes, not disclosure).
+  EXPECT_NE(paused.adv->read(code), std::nullopt);
+}
+
+TEST(Adversary, ReadStackCoversLiveFrames) {
+  auto paused = pause_at_vuln(Scheme::kNone);
+  auto& task = *paused.machine->init_process().tasks.front();
+  const auto words = paused.adv->read_stack(task);
+  const auto slots = paused.adv->stack_slot_addresses(task);
+  EXPECT_EQ(words.size(), slots.size());
+  EXPECT_FALSE(words.empty());
+  // Slots ascend from SP.
+  EXPECT_EQ(slots.front(), task.cpu().reg(sim::Reg::kSp));
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], slots[i - 1] + 8);
+  }
+}
+
+TEST(Adversary, HarvestFindsSignedPointersOnlyUnderPa) {
+  // PACStack: the stored chain value inside `inner` is signed.
+  auto pacstack = pause_at_vuln(Scheme::kPacStack);
+  auto& task = *pacstack.machine->init_process().tasks.front();
+  const auto harvested = pacstack.adv->harvest_signed_pointers(task);
+  EXPECT_FALSE(harvested.empty());
+
+  // Baseline: plain return addresses carry no PAC bits.
+  auto baseline = pause_at_vuln(Scheme::kNone);
+  auto& base_task = *baseline.machine->init_process().tasks.front();
+  EXPECT_TRUE(baseline.adv->harvest_signed_pointers(base_task).empty());
+}
+
+TEST(Adversary, ShadowStackReadTracksPushes) {
+  auto paused = pause_at_vuln(Scheme::kShadowStack);
+  auto& task = *paused.machine->init_process().tasks.front();
+  const auto shadow = paused.adv->read_shadow_stack(task);
+  // entry and inner pushed their return addresses (leaf did not).
+  EXPECT_EQ(shadow.size(), 2U);
+  const auto& program = paused.machine->program();
+  for (u64 value : shadow) {
+    EXPECT_GE(value, program.base);
+    EXPECT_LT(value, program.end());
+  }
+}
+
+TEST(Adversary, ResumeRunsToCompletion) {
+  auto paused = pause_at_vuln(Scheme::kPacStack);
+  const auto stop = paused.adv->resume();
+  EXPECT_EQ(stop.reason, kernel::StopReason::kAllDone);
+  EXPECT_EQ(paused.machine->init_process().state,
+            kernel::ProcessState::kExited);
+  EXPECT_EQ(paused.machine->init_process().output, (std::vector<u64>{7}));
+}
+
+TEST(Adversary, ClearBreakpointsStopsFutureStops) {
+  const auto program =
+      compiler::compile_ir(small_victim(), {.scheme = Scheme::kPacStack});
+  kernel::Machine machine(program);
+  Adversary adv(machine, 1);
+  adv.break_at("vuln_1");
+  adv.clear_breakpoints();
+  const auto stop = adv.run_until_break();
+  EXPECT_EQ(stop.reason, kernel::StopReason::kAllDone);
+}
+
+}  // namespace
+}  // namespace acs::attack

@@ -1,0 +1,123 @@
+#include "attack/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/analysis.h"
+
+namespace acs::attack {
+namespace {
+
+constexpr u64 kSeed = 20260707;
+
+TEST(Experiments, OnGraphUnmaskedSucceedsAlmostAlways) {
+  // Table 1 row 1, no masking: success probability 1 (collisions are
+  // directly observable). With a finite harvest of 5*2^(b/2) pointers the
+  // collision exists with probability > 0.999.
+  const unsigned b = 8;
+  const auto result = on_graph_attack(b, /*masking=*/false, /*harvest=*/80,
+                                      /*trials=*/2000, kSeed);
+  EXPECT_GT(result.rate(), 0.97);
+}
+
+TEST(Experiments, OnGraphMaskedCollapsesTo2PowMinusB) {
+  // Table 1 row 1, masking: success 2^-b. Wilson check at b = 8.
+  const unsigned b = 8;
+  const auto result = on_graph_attack(b, /*masking=*/true, /*harvest=*/80,
+                                      /*trials=*/200'000, kSeed);
+  const auto interval = wilson_interval(result.successes, result.trials);
+  EXPECT_TRUE(interval.contains(std::pow(2.0, -8)))
+      << "rate=" << result.rate();
+}
+
+TEST(Experiments, OffGraphToCallSiteIs2PowMinusB) {
+  for (const bool masking : {false, true}) {
+    const auto result = off_graph_to_call_site(8, masking, 300'000, kSeed);
+    const auto interval = wilson_interval(result.successes, result.trials);
+    EXPECT_TRUE(interval.contains(std::pow(2.0, -8)))
+        << "masking=" << masking << " rate=" << result.rate();
+  }
+}
+
+TEST(Experiments, OffGraphArbitraryIs2PowMinus2B) {
+  // 2^-2b is tiny; use b = 6 (2^-12) so successes are observable.
+  const auto result = off_graph_arbitrary(6, true, 2'000'000, kSeed);
+  const auto interval = wilson_interval(result.successes, result.trials);
+  EXPECT_TRUE(interval.contains(std::pow(2.0, -12)))
+      << "rate=" << result.rate();
+}
+
+TEST(Experiments, TokensToCollisionMatchesBirthdayBound) {
+  // Section 4.2: mean sqrt(pi/2 * 2^b); 321 at b = 16.
+  const auto stats16 = tokens_to_collision(16, 400, kSeed);
+  EXPECT_NEAR(stats16.mean_tokens, core::expected_tokens_to_collision(16),
+              stats16.stddev_tokens / std::sqrt(400.0) * 4.0 + 1.0);
+  EXPECT_NEAR(stats16.mean_tokens, 321.0, 35.0);
+
+  const auto stats8 = tokens_to_collision(8, 2000, kSeed + 1);
+  EXPECT_NEAR(stats8.mean_tokens, core::expected_tokens_to_collision(8), 1.5);
+}
+
+TEST(Experiments, CollisionWithinMatchesAnalytic) {
+  for (const u64 q : {50ULL, 100ULL, 321ULL}) {
+    const auto result = collision_within(16, q, 3000, kSeed + q);
+    const auto interval = wilson_interval(result.successes, result.trials);
+    EXPECT_TRUE(interval.contains(core::collision_probability(q, 16)))
+        << "q=" << q << " rate=" << result.rate();
+  }
+}
+
+TEST(Experiments, BruteforceFreshKeyMean) {
+  // Geometric with p = 2^-b: mean 2^b.
+  const auto stats = bruteforce_fresh_key(8, 3000, kSeed);
+  const double sem = stats.stddev_guesses / std::sqrt(3000.0);
+  EXPECT_NEAR(stats.mean_guesses, 256.0, 4.0 * sem);
+}
+
+TEST(Experiments, BruteforceSharedKeyMean) {
+  // Divide-and-conquer enumeration: 2 stages of ~2^(b-1) => ~2^b.
+  const auto stats = bruteforce_shared_key(8, 3000, kSeed);
+  const double sem = stats.stddev_guesses / std::sqrt(3000.0);
+  EXPECT_NEAR(stats.mean_guesses, 257.0, 4.0 * sem + 2.0);
+}
+
+TEST(Experiments, ReseedingDoublesTheCost) {
+  // Section 4.3: re-seeding forces ~2^(b+1) instead of 2^b.
+  const auto shared = bruteforce_shared_key(8, 4000, kSeed);
+  const auto reseeded = bruteforce_reseeded(8, 4000, kSeed + 1);
+  EXPECT_NEAR(reseeded.mean_guesses / shared.mean_guesses, 2.0, 0.25);
+  const double sem = reseeded.stddev_guesses / std::sqrt(4000.0);
+  EXPECT_NEAR(reseeded.mean_guesses, 512.0, 4.0 * sem);
+}
+
+TEST(Experiments, DeepHarvestRestoresBirthdaySuccess) {
+  // Reproduction finding: harvesting one call level deeper exposes the
+  // masked tokens themselves; their collisions are exploitable, so the
+  // masked scheme's on-graph resistance collapses back to the birthday
+  // bound under this stronger (but realistic) observation model.
+  const unsigned b = 8;
+  const u64 harvest = 80;  // ~5 * 2^(b/2): collision w.p. > 0.99
+  const auto deep = on_graph_attack_deep_harvest(b, harvest, 2000, kSeed);
+  EXPECT_GT(deep.rate(), 0.95);
+  // Contrast: the paper's same-level adversary stays at 2^-b.
+  const auto shallow = on_graph_attack(b, true, harvest, 20'000, kSeed);
+  EXPECT_LT(shallow.rate(), 0.02);
+}
+
+TEST(Experiments, RatesScaleWithB) {
+  // Halving b must roughly square-root the attack difficulty.
+  const auto b6 = off_graph_to_call_site(6, true, 200'000, kSeed);
+  const auto b10 = off_graph_to_call_site(10, true, 200'000, kSeed + 1);
+  EXPECT_GT(b6.rate(), b10.rate() * 8);
+}
+
+TEST(Experiments, DeterministicPerSeed) {
+  const auto a = on_graph_attack(8, true, 40, 10'000, 99);
+  const auto b = on_graph_attack(8, true, 40, 10'000, 99);
+  EXPECT_EQ(a.successes, b.successes);
+}
+
+}  // namespace
+}  // namespace acs::attack

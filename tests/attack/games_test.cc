@@ -1,0 +1,68 @@
+#include "attack/games.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace acs::attack {
+namespace {
+
+constexpr u64 kSeed = 1337;
+
+TEST(Games, MaskedCollisionGameWinsOnlyBlindly) {
+  // Theorem 1: with masking, the collision-betting strategy is no better
+  // than a blind guess: win rate ~ 2^-b.
+  const unsigned b = 8;
+  const auto result = pac_collision_game(b, /*q=*/64, /*trials=*/100'000,
+                                         kSeed);
+  const auto interval = wilson_interval(result.wins, result.trials);
+  // Allow the baseline and a small slack — but rule out any real advantage.
+  EXPECT_LT(interval.lo, 2.5 * std::pow(2.0, -8)) << result.win_rate();
+  EXPECT_LT(result.advantage(std::pow(2.0, -8)), 0.01);
+}
+
+TEST(Games, UnmaskedCollisionGameWinsViaBirthday) {
+  // Contrast line: without masking the same q makes collisions visible and
+  // the game is won with the birthday probability (~1 for q >> 2^(b/2)).
+  const unsigned b = 8;
+  const auto result = pac_collision_game_unmasked(b, /*q=*/80,
+                                                  /*trials=*/2000, kSeed);
+  EXPECT_GT(result.win_rate(), 0.97);
+}
+
+TEST(Games, UnmaskedSmallQRarelyWins) {
+  // With q = 2 the birthday bound is 2^-b even unmasked.
+  const auto result = pac_collision_game_unmasked(8, 2, 100'000, kSeed);
+  const auto interval = wilson_interval(result.wins, result.trials);
+  EXPECT_TRUE(interval.contains(std::pow(2.0, -8))) << result.win_rate();
+}
+
+TEST(Games, DistinguishGameIsACoinFlip) {
+  // G_PAC-Distinguish: the mean-statistic distinguisher has no advantage
+  // against SipHash-backed masked tokens.
+  const auto result = pac_distinguish_game(16, /*q=*/256, /*trials=*/4000,
+                                           kSeed);
+  const auto interval = wilson_interval(result.wins, result.trials);
+  EXPECT_TRUE(interval.contains(0.5)) << result.win_rate();
+  EXPECT_LT(std::abs(result.advantage(0.5)), 0.03);
+}
+
+TEST(Games, MaskDistinguishIsACoinFlip) {
+  // The G_1/G_2 hop of Theorem 1: given masked tokens, the true mask
+  // function is indistinguishable from an independent random oracle.
+  const auto result = mask_distinguish_game(8, /*q=*/128, /*trials=*/4000,
+                                            kSeed);
+  const auto interval = wilson_interval(result.wins, result.trials);
+  EXPECT_TRUE(interval.contains(0.5)) << result.win_rate();
+}
+
+TEST(Games, ResultsDeterministic) {
+  const auto a = pac_collision_game(8, 32, 5000, 7);
+  const auto b = pac_collision_game(8, 32, 5000, 7);
+  EXPECT_EQ(a.wins, b.wins);
+}
+
+}  // namespace
+}  // namespace acs::attack

@@ -1,0 +1,81 @@
+#include "common/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace acs {
+namespace {
+
+TEST(Bitops, Rotl64Basics) {
+  EXPECT_EQ(rotl64(1, 1), 2U);
+  EXPECT_EQ(rotl64(0x8000000000000000ULL, 1), 1U);
+  EXPECT_EQ(rotl64(0x0123456789abcdefULL, 0), 0x0123456789abcdefULL);
+  EXPECT_EQ(rotl64(0x0123456789abcdefULL, 64), 0x0123456789abcdefULL);
+}
+
+TEST(Bitops, RotlRotrInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const u64 x = rng.next();
+    const unsigned n = static_cast<unsigned>(rng.next_below(64));
+    EXPECT_EQ(rotr64(rotl64(x, n), n), x);
+    EXPECT_EQ(rotl64(rotr64(x, n), n), x);
+  }
+}
+
+TEST(Bitops, Rotl16) {
+  EXPECT_EQ(rotl16(0x8000, 1), 0x0001);
+  EXPECT_EQ(rotl16(0x1234, 16), 0x1234);
+  EXPECT_EQ(rotl16(0x0001, 4), 0x0010);
+}
+
+TEST(Bitops, BitMask) {
+  EXPECT_EQ(bit_mask(0), 0U);
+  EXPECT_EQ(bit_mask(1), 1U);
+  EXPECT_EQ(bit_mask(16), 0xFFFFU);
+  EXPECT_EQ(bit_mask(64), ~u64{0});
+}
+
+TEST(Bitops, ExtractInsertRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const u64 x = rng.next();
+    const unsigned lo = static_cast<unsigned>(rng.next_below(60));
+    const unsigned hi = lo + static_cast<unsigned>(rng.next_below(63 - lo));
+    const u64 field = extract_bits(x, hi, lo);
+    EXPECT_EQ(insert_bits(x, hi, lo, field), x);
+    const u64 value = rng.next();
+    const u64 inserted = insert_bits(x, hi, lo, value);
+    EXPECT_EQ(extract_bits(inserted, hi, lo),
+              value & bit_mask(hi - lo + 1U));
+    // Bits outside the field are untouched.
+    const u64 outside_mask = ~(bit_mask(hi - lo + 1U) << lo);
+    EXPECT_EQ(inserted & outside_mask, x & outside_mask);
+  }
+}
+
+TEST(Bitops, ExtractKnownValues) {
+  EXPECT_EQ(extract_bits(0xFF00, 15, 8), 0xFFU);
+  EXPECT_EQ(extract_bits(0xFF00, 7, 0), 0U);
+  EXPECT_EQ(extract_bits(~u64{0}, 63, 0), ~u64{0});
+}
+
+TEST(Bitops, TestAndAssignBit) {
+  u64 x = 0;
+  x = assign_bit(x, 62, true);
+  EXPECT_TRUE(test_bit(x, 62));
+  EXPECT_EQ(x, u64{1} << 62);
+  x = assign_bit(x, 62, false);
+  EXPECT_FALSE(test_bit(x, 62));
+  EXPECT_EQ(x, 0U);
+}
+
+TEST(Bitops, Popcount) {
+  EXPECT_EQ(popcount64(0), 0U);
+  EXPECT_EQ(popcount64(~u64{0}), 64U);
+  EXPECT_EQ(popcount64(0xF0F0), 8U);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace acs {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng a(7);
+  const u64 first = a.next();
+  (void)a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(4);
+  std::array<int, 8> counts{};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.next_below(8)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform (expect 1000)
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = rng.next_in(10, 13);
+    EXPECT_GE(v, 10U);
+    EXPECT_LE(v, 13U);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(8);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, BitBalance) {
+  // Each output bit should be ~50% set.
+  Rng rng(9);
+  std::array<int, 64> ones{};
+  constexpr int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    const u64 v = rng.next();
+    for (int b = 0; b < 64; ++b) ones[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[b]) / kSamples, 0.5, 0.05)
+        << "bit " << b;
+  }
+}
+
+TEST(Splitmix, KnownSequenceProperties) {
+  u64 s = 0;
+  const u64 a = splitmix64(s);
+  const u64 b = splitmix64(s);
+  EXPECT_NE(a, b);
+  u64 s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);  // deterministic
+}
+
+}  // namespace
+}  // namespace acs

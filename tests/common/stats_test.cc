@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace acs {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StddevKnown) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(stddev(xs), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, GeomeanKnown) {
+  const std::vector<double> xs = {1, 4, 16};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  EXPECT_THROW((void)geomean(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, GeomeanOverheadPercent) {
+  // Two benchmarks at exactly +10%: geomean is +10%.
+  const std::vector<double> p = {10.0, 10.0};
+  EXPECT_NEAR(geomean_overhead_percent(p), 10.0, 1e-9);
+  // Mixed: geomean of 1.0 and 1.21 is 1.1 => +10%.
+  const std::vector<double> q = {0.0, 21.0};
+  EXPECT_NEAR(geomean_overhead_percent(q), 10.0, 1e-9);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, WilsonIntervalProperties) {
+  const auto interval = wilson_interval(50, 100);
+  EXPECT_GT(interval.lo, 0.38);
+  EXPECT_LT(interval.hi, 0.62);
+  EXPECT_TRUE(interval.contains(0.5));
+
+  const auto zero = wilson_interval(0, 1000);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_LT(zero.hi, 0.01);
+
+  const auto all = wilson_interval(1000, 1000);
+  EXPECT_GT(all.lo, 0.99);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(Stats, WilsonNarrowsWithSamples) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 7.0, 0.0, 4.5};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.0);
+}
+
+TEST(Stats, AccumulatorEdgeCases) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0U);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,49 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace acs {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Every line has the same width (aligned columns).
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt_count(0), "0");
+  EXPECT_EQ(Table::fmt_count(1234), "1,234");
+  EXPECT_EQ(Table::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(Table::fmt_prob(0.25), "0.2500");
+  EXPECT_EQ(Table::fmt_prob(0.0), "0.0000");
+  // Small probabilities switch to scientific notation.
+  EXPECT_NE(Table::fmt_prob(1.5e-5).find("e-05"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acs

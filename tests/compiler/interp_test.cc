@@ -1,0 +1,108 @@
+#include "compiler/interp.h"
+
+#include <gtest/gtest.h>
+
+namespace acs::compiler {
+namespace {
+
+TEST(Interp, BasicOutputOrder) {
+  IrBuilder builder;
+  const auto f1 = builder.begin_function("f1");
+  builder.write_int(1);
+  const auto f2 = builder.begin_function("f2");
+  builder.call(f1);
+  builder.write_int(2);
+  const auto entry = builder.begin_function("entry");
+  builder.call(f2);
+  builder.call(f1, 3);
+  builder.write_int(9);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.output, (std::vector<u64>{1, 2, 1, 1, 1, 9}));
+}
+
+TEST(Interp, IndirectAndSlotCalls) {
+  IrBuilder builder;
+  const auto cb = builder.begin_function("cb");
+  builder.write_int(7);
+  const auto entry = builder.begin_function("entry");
+  builder.call_indirect(cb);
+  builder.call_via_slot(cb, 0);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_EQ(result.output, (std::vector<u64>{7, 7}));
+}
+
+TEST(Interp, TailCalls) {
+  IrBuilder builder;
+  const auto target = builder.begin_function("target");
+  builder.write_int(12);
+  const auto via = builder.begin_function("via");
+  builder.write_int(11);
+  builder.tail_call(target);
+  const auto entry = builder.begin_function("entry");
+  builder.call(via);
+  builder.write_int(13);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_EQ(result.output, (std::vector<u64>{11, 12, 13}));
+}
+
+TEST(Interp, SetjmpLongjmpDeep) {
+  IrBuilder builder;
+  const auto deepest = builder.begin_function("deepest");
+  builder.write_int(3);
+  builder.longjmp_to(0, 42);
+  const auto mid = builder.begin_function("mid");
+  builder.write_int(2);
+  builder.call(deepest);
+  builder.write_int(99);  // skipped
+  const auto entry = builder.begin_function("entry");
+  builder.setjmp_point(0);
+  builder.write_int(1);
+  builder.call(mid);
+  builder.write_int(99);  // skipped
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.output, (std::vector<u64>{1, 2, 3, 42}));
+}
+
+TEST(Interp, LongjmpWithoutSetjmpUnsupported) {
+  IrBuilder builder;
+  const auto entry = builder.begin_function("entry");
+  builder.longjmp_to(0, 1);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_FALSE(result.supported);
+}
+
+TEST(Interp, ThreadsRunSequentially) {
+  IrBuilder builder;
+  const auto worker = builder.begin_function("worker");
+  builder.write_int(71);
+  const auto entry = builder.begin_function("entry");
+  builder.thread_create(worker, 0);
+  builder.thread_join(1);
+  builder.write_int(70);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.output, (std::vector<u64>{71, 70}));
+}
+
+TEST(Interp, OsFeaturesUnsupported) {
+  IrBuilder builder;
+  const auto entry = builder.begin_function("entry");
+  builder.fork();
+  EXPECT_FALSE(interpret(builder.build(entry)).supported);
+}
+
+TEST(Interp, BudgetGuard) {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("leaf");
+  builder.compute(1);
+  const auto entry = builder.begin_function("entry");
+  builder.call(leaf, 1'000'000);
+  const auto result = interpret(builder.build(entry), /*max_ops=*/1000);
+  EXPECT_FALSE(result.completed);
+}
+
+}  // namespace
+}  // namespace acs::compiler

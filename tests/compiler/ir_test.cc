@@ -1,0 +1,92 @@
+#include "compiler/ir.h"
+
+#include <gtest/gtest.h>
+
+namespace acs::compiler {
+namespace {
+
+TEST(Ir, LeafDetection) {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("leaf");
+  builder.compute(5);
+  builder.write_int(1);
+  builder.store_local(0, 2);
+  const auto caller = builder.begin_function("caller");
+  builder.call(leaf);
+  const auto indirect = builder.begin_function("indirect");
+  builder.call_indirect(leaf);
+  const auto jumper = builder.begin_function("jumper");
+  builder.setjmp_point(0);
+  const auto tailer = builder.begin_function("tailer");
+  builder.compute(1);
+  builder.tail_call(leaf);
+  const auto ir = builder.build(caller);
+
+  EXPECT_TRUE(ir.fn(leaf).is_leaf());
+  EXPECT_FALSE(ir.fn(caller).is_leaf());
+  EXPECT_FALSE(ir.fn(indirect).is_leaf());
+  EXPECT_FALSE(ir.fn(jumper).is_leaf());   // setjmp calls the wrapper
+  EXPECT_FALSE(ir.fn(tailer).is_leaf());   // tail call is a call
+}
+
+TEST(Ir, HasBuffer) {
+  IrBuilder builder;
+  const auto plain = builder.begin_function("plain");
+  builder.compute(1);
+  const auto buffered = builder.begin_function("buffered", 64);
+  builder.compute(1);
+  const auto ir = builder.build(plain);
+  EXPECT_FALSE(ir.fn(plain).has_buffer());
+  EXPECT_TRUE(ir.fn(buffered).has_buffer());
+  EXPECT_EQ(ir.fn(buffered).local_bytes, 64U);
+}
+
+TEST(Ir, BuildValidatesEntry) {
+  IrBuilder builder;
+  builder.begin_function("only");
+  builder.compute(1);
+  EXPECT_THROW((void)builder.build(5), std::out_of_range);
+}
+
+TEST(Ir, BuildValidatesCalleeIndices) {
+  IrBuilder builder;
+  builder.begin_function("f");
+  builder.call(7);  // out of range
+  EXPECT_THROW((void)builder.build(0), std::out_of_range);
+}
+
+TEST(Ir, BuildValidatesTailCallee) {
+  IrBuilder builder;
+  builder.begin_function("f");
+  builder.compute(1);
+  builder.tail_call(9);
+  EXPECT_THROW((void)builder.build(0), std::out_of_range);
+}
+
+TEST(Ir, BuildValidatesSigactionHandler) {
+  IrBuilder builder;
+  builder.begin_function("f");
+  builder.sigaction(10, 9);
+  EXPECT_THROW((void)builder.build(0), std::out_of_range);
+}
+
+TEST(Ir, OpsWithoutFunctionThrow) {
+  IrBuilder builder;
+  EXPECT_THROW(builder.compute(1), std::logic_error);
+}
+
+TEST(Ir, BodyOrderPreserved) {
+  IrBuilder builder;
+  const auto f = builder.begin_function("f");
+  builder.compute(10);
+  builder.write_int(1);
+  builder.yield();
+  const auto ir = builder.build(f);
+  ASSERT_EQ(ir.fn(f).body.size(), 3U);
+  EXPECT_EQ(ir.fn(f).body[0].kind, OpKind::kCompute);
+  EXPECT_EQ(ir.fn(f).body[1].kind, OpKind::kWriteInt);
+  EXPECT_EQ(ir.fn(f).body[2].kind, OpKind::kYield);
+}
+
+}  // namespace
+}  // namespace acs::compiler

@@ -1,0 +1,82 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acs::core {
+namespace {
+
+TEST(Analysis, CollisionProbabilityEdges) {
+  EXPECT_DOUBLE_EQ(collision_probability(0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(collision_probability(1, 16), 0.0);
+  // q = 2: exactly 2^-b.
+  EXPECT_NEAR(collision_probability(2, 16), std::pow(2.0, -16), 1e-12);
+  // More tokens than the space forces a collision.
+  EXPECT_DOUBLE_EQ(collision_probability(70000, 16), 1.0);
+}
+
+TEST(Analysis, CollisionProbabilityMonotonic) {
+  double prev = 0.0;
+  for (u64 q : {10ULL, 50ULL, 100ULL, 200ULL, 321ULL, 500ULL, 1000ULL}) {
+    const double p = collision_probability(q, 16);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Analysis, BirthdayMedianNearExpectedMean) {
+  // At the expected-mean token count the collision probability is ~0.54
+  // (birthday problem: P at sqrt(pi*N/2) samples).
+  const double p = collision_probability(321, 16);
+  EXPECT_GT(p, 0.45);
+  EXPECT_LT(p, 0.65);
+}
+
+TEST(Analysis, ExpectedTokensMatchesPaper) {
+  // Section 4.2: "321 tokens for b = 16".
+  EXPECT_NEAR(expected_tokens_to_collision(16), 321.0, 1.0);
+  // And the 1.253 * 2^(b/2) form.
+  EXPECT_NEAR(expected_tokens_to_collision(16), 1.2533 * 256.0, 1.0);
+  EXPECT_NEAR(expected_tokens_to_collision(8), 1.2533 * 16.0, 0.1);
+}
+
+TEST(Analysis, GuessesForSuccess) {
+  // Section 4.3 formula log(1-p)/log(1-2^-b).
+  // For p = 0.5, b = 16: ~45425 guesses (ln 2 * 2^16).
+  EXPECT_NEAR(guesses_for_success(0.5, 16), std::log(2.0) * 65536.0, 1.0);
+  // p -> small: roughly p * 2^b guesses.
+  EXPECT_NEAR(guesses_for_success(0.01, 16), 0.01 * 65536.0, 4.0);
+}
+
+TEST(Analysis, SharedKeyVsReseededGuessCounts) {
+  // Section 4.3: divide-and-conquer needs 2^b on average; re-seeding
+  // forces 2^(b+1).
+  EXPECT_DOUBLE_EQ(expected_guesses_shared_key(16), 65536.0);
+  EXPECT_DOUBLE_EQ(expected_guesses_reseeded(16), 131072.0);
+  EXPECT_DOUBLE_EQ(expected_guesses_reseeded(8) /
+                       expected_guesses_shared_key(8),
+                   2.0);
+}
+
+TEST(Analysis, Table1Values) {
+  // Table 1 exactly.
+  const auto masked = table1_probabilities(16, true);
+  EXPECT_DOUBLE_EQ(masked.on_graph, std::pow(2.0, -16));
+  EXPECT_DOUBLE_EQ(masked.off_graph_to_call_site, std::pow(2.0, -16));
+  EXPECT_DOUBLE_EQ(masked.off_graph_arbitrary, std::pow(2.0, -32));
+
+  const auto unmasked = table1_probabilities(16, false);
+  EXPECT_DOUBLE_EQ(unmasked.on_graph, 1.0);
+  EXPECT_DOUBLE_EQ(unmasked.off_graph_to_call_site, std::pow(2.0, -16));
+  EXPECT_DOUBLE_EQ(unmasked.off_graph_arbitrary, std::pow(2.0, -32));
+}
+
+TEST(Analysis, Table1ScalesWithB) {
+  const auto b8 = table1_probabilities(8, true);
+  const auto b16 = table1_probabilities(16, true);
+  EXPECT_NEAR(b8.on_graph / b16.on_graph, 256.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace acs::core

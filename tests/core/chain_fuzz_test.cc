@@ -1,0 +1,109 @@
+// Stateful model-based fuzzing of the ACS chain: random interleavings of
+// calls, returns, setjmp/longjmp and adversarial tampering are executed
+// against a plain shadow model (a vector of return addresses). Invariants:
+//  * with no tampering, every operation agrees with the shadow model;
+//  * after tampering a live frame, the next return THROUGH that frame
+//    fails (crash), except with the 2^-b fluke probability;
+//  * operations never touch frames above the tampered point incorrectly.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/chain.h"
+#include "crypto/keys.h"
+
+namespace acs::core {
+namespace {
+
+struct ShadowFrame {
+  u64 ret = 0;
+  u64 tamper_delta = 0;  ///< cumulative XOR applied to the stored link
+                         ///< below this activation (0 = intact; two flips
+                         ///< of the same bit cancel out)
+
+  [[nodiscard]] bool tampered() const noexcept { return tamper_delta != 0; }
+};
+
+class ChainFuzzTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChainFuzzTest, RandomOpsAgreeWithShadowModel) {
+  Rng rng(GetParam() * 31 + 7);
+  const pa::VaLayout layout{39};
+  const pa::PointerAuth pauth{crypto::random_key_set(rng), layout};
+  const bool masking = rng.next_bool();
+  AcsChain chain{pauth, masking};
+
+  std::vector<ShadowFrame> shadow;
+  std::optional<JmpBufModel> buf;
+  std::size_t buf_depth = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const u64 dice = rng.next_below(100);
+    if (dice < 45 || shadow.empty()) {
+      // call
+      const u64 ret = layout.address_bits(rng.next()) | 8;
+      chain.call(ret);
+      shadow.push_back({ret, false});
+    } else if (dice < 80) {
+      // ret
+      const bool expect_fail = shadow.back().tampered();
+      const auto result = chain.ret();
+      if (expect_fail) {
+        // 2^-16 fluke tolerated by not asserting success; failure expected.
+        EXPECT_FALSE(result.ok) << "step " << step;
+        // The chain is dead after a detected violation; restart it.
+        chain = AcsChain{pauth, masking};
+        shadow.clear();
+        buf.reset();
+        continue;
+      }
+      ASSERT_TRUE(result.ok) << "step " << step;
+      EXPECT_EQ(result.ret, shadow.back().ret);
+      shadow.pop_back();
+      if (buf && shadow.size() < buf_depth) buf.reset();  // expired
+    } else if (dice < 88) {
+      // adversarial tamper of a random live stored link
+      auto& frames = chain.stored_frames();
+      if (!frames.empty()) {
+        const std::size_t index = rng.next_below(frames.size());
+        const u64 delta = u64{1} << (layout.pac_lo() + rng.next_below(8));
+        frames[index] ^= delta;
+        // The activation *above* the tampered link detects it on return —
+        // unless later flips restore the value exactly.
+        shadow[index].tamper_delta ^= delta;
+      }
+    } else if (dice < 94) {
+      // setjmp
+      buf = chain.setjmp_bind(layout.address_bits(rng.next()) | 4,
+                              0x8000'0000 + 16 * shadow.size());
+      buf_depth = shadow.size();
+    } else if (buf) {
+      // longjmp (step-wise validated unwind)
+      const bool any_tampered_above = [&] {
+        for (std::size_t i = buf_depth; i < shadow.size(); ++i) {
+          if (shadow[i].tampered()) return true;
+        }
+        return false;
+      }();
+      const auto result = chain.longjmp_unwind(*buf);
+      if (any_tampered_above) {
+        EXPECT_FALSE(result.ok) << "step " << step;
+        chain = AcsChain{pauth, masking};
+        shadow.clear();
+        buf.reset();
+      } else {
+        ASSERT_TRUE(result.ok) << "step " << step;
+        shadow.resize(buf_depth);
+        buf.reset();  // single-shot in this model
+      }
+    }
+    ASSERT_EQ(chain.depth(), shadow.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainFuzzTest, ::testing::Range<u64>(1, 26));
+
+}  // namespace
+}  // namespace acs::core

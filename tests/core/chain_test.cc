@@ -1,0 +1,227 @@
+#include "core/chain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/keys.h"
+
+namespace acs::core {
+namespace {
+
+pa::PointerAuth make_pauth(unsigned va_size = 39, u64 seed = 5) {
+  Rng rng(seed);
+  return pa::PointerAuth{crypto::random_key_set(rng), pa::VaLayout{va_size}};
+}
+
+class ChainModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ChainModeTest, CallRetRoundTripAtDepth) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  Rng rng(6);
+  std::vector<u64> rets;
+  for (int depth = 0; depth < 100; ++depth) {
+    const u64 ret = pauth.layout().address_bits(rng.next()) | 4;
+    rets.push_back(ret);
+    chain.call(ret);
+  }
+  EXPECT_EQ(chain.depth(), 100U);
+  for (int depth = 99; depth >= 0; --depth) {
+    const auto result = chain.ret();
+    ASSERT_TRUE(result.ok) << "depth " << depth;
+    EXPECT_EQ(result.ret, rets[static_cast<std::size_t>(depth)]);
+  }
+  EXPECT_EQ(chain.depth(), 0U);
+}
+
+TEST_P(ChainModeTest, TamperedStoredFrameDetected) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  chain.call(0x2000);
+  chain.call(0x3000);
+  // Adversary overwrites the stored aret below the live frame.
+  chain.stored_frames().back() ^= 0x1;
+  const auto result = chain.ret();
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_P(ChainModeTest, SubstitutedWholeFrameDetected) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  chain.call(0x2000);
+  const u64 unrelated = chain.compute_aret(0x7000, 0x1234);
+  chain.stored_frames().back() = unrelated;
+  EXPECT_FALSE(chain.ret().ok);
+}
+
+TEST_P(ChainModeTest, ReturnOnEmptyChainFails) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  EXPECT_FALSE(chain.ret().ok);
+}
+
+TEST_P(ChainModeTest, InitSeedSeparatesChains) {
+  // Section 4.3 re-seeding: same call sequence, different init -> different
+  // chain values (sibling chains are disjoint).
+  const auto pauth = make_pauth();
+  AcsChain main_chain{pauth, GetParam(), 0};
+  AcsChain thread_chain{pauth, GetParam(), 1};
+  main_chain.call(0x4000);
+  thread_chain.call(0x4000);
+  EXPECT_NE(main_chain.cr(), thread_chain.cr());
+}
+
+TEST_P(ChainModeTest, SetjmpLongjmpRestores) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  chain.call(0x2000);
+  const auto buf = chain.setjmp_bind(0x2468, 0x8000'0000);
+  // Descend further, then longjmp back.
+  chain.call(0x3000);
+  chain.call(0x4000);
+  const auto result = chain.longjmp_restore(buf);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.ret, 0x2468U);
+  EXPECT_EQ(chain.depth(), 2U);
+  // The chain still unwinds correctly afterwards.
+  EXPECT_TRUE(chain.ret().ok);
+  EXPECT_TRUE(chain.ret().ok);
+}
+
+TEST_P(ChainModeTest, TamperedJmpBufDetected) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  auto buf = chain.setjmp_bind(0x2468, 0x8000'0000);
+  // Redirect the setjmp return address.
+  buf.aret_b = pauth.layout().with_pac(0x6666,
+                                       pauth.layout().pac_field(buf.aret_b));
+  EXPECT_FALSE(chain.longjmp_restore(buf).ok);
+}
+
+TEST_P(ChainModeTest, JmpBufSpBindingDetected) {
+  // Listing 4 binds the SP value: moving the buffer to another SP fails.
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  auto buf = chain.setjmp_bind(0x2468, 0x8000'0000);
+  buf.sp = 0x8000'1000;
+  EXPECT_FALSE(chain.longjmp_restore(buf).ok);
+}
+
+TEST_P(ChainModeTest, LongjmpUnwindValidatesEveryFrame) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  const auto buf = chain.setjmp_bind(0x2468, 0x8000'0000);
+  chain.call(0x2000);
+  chain.call(0x3000);
+  const auto ok = chain.longjmp_unwind(buf);
+  ASSERT_TRUE(ok.ok);
+  EXPECT_EQ(ok.ret, 0x2468U);
+  EXPECT_EQ(chain.depth(), 1U);
+}
+
+TEST_P(ChainModeTest, LongjmpUnwindRejectsCorruptedIntermediateFrame) {
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  const auto buf = chain.setjmp_bind(0x2468, 0x8000'0000);
+  chain.call(0x2000);
+  chain.call(0x3000);
+  chain.stored_frames().back() ^= 0x8;  // corrupt a frame mid-unwind
+  EXPECT_FALSE(chain.longjmp_unwind(buf).ok);
+}
+
+TEST_P(ChainModeTest, LongjmpUnwindRejectsExpiredBuffer) {
+  // Section 9.1: replaying an expired jmp_buf is undefined behaviour that
+  // the plain wrapper accepts (its binding is internally consistent) but
+  // step-wise unwinding rejects.
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, GetParam()};
+  chain.call(0x1000);
+  chain.call(0x2000);
+  const auto buf = chain.setjmp_bind(0x2468, 0x8000'0000);
+  // The setjmp caller "returns": its activation is gone.
+  (void)chain.ret();
+  (void)chain.ret();
+  chain.call(0x5000);  // execution moved on elsewhere
+
+  // Plain longjmp (Listing 5 semantics) accepts the stale buffer...
+  AcsChain replay_plain = chain;
+  EXPECT_TRUE(replay_plain.longjmp_restore(buf).ok);
+  // ...the unwinding variant does not: the recorded environment is no
+  // longer reachable by verified returns.
+  AcsChain replay_unwind = chain;
+  EXPECT_FALSE(replay_unwind.longjmp_unwind(buf).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskingOnOff, ChainModeTest, ::testing::Bool());
+
+TEST(Chain, MaskedStoredValuesHideTags) {
+  // With masking, the stored aret's PAC field is tag ^ mask; without, the
+  // raw tag. The two must differ whenever the mask is non-zero, and the
+  // masked chain must never store a raw tag equal to the unmasked chain's.
+  const auto pauth = make_pauth();
+  AcsChain masked{pauth, true};
+  AcsChain plain{pauth, false};
+  masked.call(0x1000);
+  plain.call(0x1000);
+  masked.call(0x2000);
+  plain.call(0x2000);
+  // Depth-1 stored values: plain stores tag(0x1000, 0), masked stores the
+  // same tag XOR mask(0).
+  const u64 m = masked.stored_frames()[1];
+  const u64 p = plain.stored_frames()[1];
+  const u64 mask0 = masked.mask_for(masked.stored_frames()[0]);
+  EXPECT_EQ(pauth.layout().pac_field(m) ^ mask0, pauth.layout().pac_field(p));
+}
+
+TEST(Chain, MaskIsDeterministicPerPrev) {
+  const auto pauth = make_pauth();
+  const AcsChain chain{pauth, true};
+  EXPECT_EQ(chain.mask_for(0x42), chain.mask_for(0x42));
+  EXPECT_NE(chain.mask_for(0x42), chain.mask_for(0x43));
+}
+
+TEST(Chain, VerifyMatchesComputeAret) {
+  const auto pauth = make_pauth();
+  const AcsChain chain{pauth, true};
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const u64 ret = pauth.layout().address_bits(rng.next());
+    const u64 prev = rng.next();
+    const u64 aret = chain.compute_aret(ret, prev);
+    EXPECT_TRUE(chain.verify(aret, prev));
+    EXPECT_FALSE(chain.verify(aret ^ (u64{1} << pauth.layout().pac_lo()), prev));
+  }
+}
+
+TEST(Chain, WrongPrevRarelyVerifies) {
+  // A random wrong predecessor should pass with probability ~2^-16.
+  const auto pauth = make_pauth();
+  const AcsChain chain{pauth, true};
+  Rng rng(8);
+  int passes = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const u64 aret = chain.compute_aret(0x1234, rng.next());
+    passes += chain.verify(aret, rng.next()) ? 1 : 0;
+  }
+  EXPECT_LE(passes, 5);  // expected ~0.3
+}
+
+TEST(Chain, CrNeverStoredUnmasked) {
+  // The stored frames are exactly the successive CR values; the live CR is
+  // not among them (aret_n never leaves the register, Section 6.3).
+  const auto pauth = make_pauth();
+  AcsChain chain{pauth, true};
+  chain.call(0x1000);
+  chain.call(0x2000);
+  for (u64 stored : chain.stored_frames()) EXPECT_NE(stored, chain.cr());
+}
+
+}  // namespace
+}  // namespace acs::core

@@ -1,0 +1,96 @@
+#include "crypto/mac.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/siphash.h"
+
+namespace acs::crypto {
+namespace {
+
+TEST(SipMacTest, MatchesSiphashPair) {
+  const Key128 key{0x1111, 0x2222};
+  const SipMac mac{key};
+  EXPECT_EQ(mac.mac(5, 6), siphash24_pair(key, 5, 6));
+}
+
+TEST(SipMacTest, CloneIsEquivalent) {
+  const SipMac mac{Key128{3, 4}};
+  const auto copy = mac.clone();
+  for (u64 i = 0; i < 50; ++i) EXPECT_EQ(mac.mac(i, i + 1), copy->mac(i, i + 1));
+}
+
+TEST(QarmaMacTest, DeterministicAndTweakable) {
+  const QarmaMac mac{Key128{7, 8}};
+  EXPECT_EQ(mac.mac(1, 2), mac.mac(1, 2));
+  EXPECT_NE(mac.mac(1, 2), mac.mac(1, 3));
+  EXPECT_NE(mac.mac(1, 2), mac.mac(2, 2));
+}
+
+TEST(QarmaMacTest, CloneIsEquivalent) {
+  const QarmaMac mac{Key128{9, 10}};
+  const auto copy = mac.clone();
+  for (u64 i = 0; i < 50; ++i) EXPECT_EQ(mac.mac(i, ~i), copy->mac(i, ~i));
+}
+
+TEST(RandomOracleTest, ConsistentPerPoint) {
+  const RandomOracleMac oracle{123};
+  const u64 first = oracle.mac(10, 20);
+  EXPECT_EQ(oracle.mac(10, 20), first);
+  EXPECT_EQ(oracle.queries(), 1U);
+}
+
+TEST(RandomOracleTest, FreshPointsIndependent) {
+  const RandomOracleMac oracle{124};
+  const u64 a = oracle.mac(1, 1);
+  const u64 b = oracle.mac(1, 2);
+  const u64 c = oracle.mac(2, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(oracle.queries(), 3U);
+}
+
+TEST(RandomOracleTest, SeedDeterminesFunction) {
+  const RandomOracleMac o1{55};
+  const RandomOracleMac o2{55};
+  for (u64 i = 0; i < 20; ++i) EXPECT_EQ(o1.mac(i, i * 7), o2.mac(i, i * 7));
+}
+
+TEST(RandomOracleTest, CloneCarriesTable) {
+  const RandomOracleMac oracle{77};
+  const u64 v = oracle.mac(4, 5);
+  const auto copy = oracle.clone();
+  EXPECT_EQ(copy->mac(4, 5), v);
+}
+
+TEST(MakeMac, FactorySelectsBackends) {
+  const Key128 key{1, 2};
+  EXPECT_NE(make_mac("siphash", key), nullptr);
+  EXPECT_NE(make_mac("qarma", key), nullptr);
+  EXPECT_NE(make_mac("ro", key), nullptr);
+  EXPECT_THROW((void)make_mac("md5", key), std::invalid_argument);
+}
+
+TEST(Keys, RandomKeySetDistinct) {
+  Rng rng(31);
+  const KeySet set = random_key_set(rng);
+  for (std::size_t i = 0; i < kNumKeys; ++i) {
+    for (std::size_t j = i + 1; j < kNumKeys; ++j) {
+      EXPECT_NE(set.keys[i], set.keys[j]);
+    }
+  }
+  const KeySet other = random_key_set(rng);
+  EXPECT_NE(set, other);
+}
+
+TEST(Keys, KeyIdIndexing) {
+  Rng rng(32);
+  KeySet set = random_key_set(rng);
+  const Key128 replacement{42, 43};
+  set[KeyId::kGA] = replacement;
+  EXPECT_EQ(set[KeyId::kGA], replacement);
+  EXPECT_NE(set[KeyId::kIA], replacement);
+}
+
+}  // namespace
+}  // namespace acs::crypto

@@ -1,0 +1,112 @@
+#include "crypto/siphash.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+
+namespace acs::crypto {
+namespace {
+
+/// The reference key from the SipHash paper: bytes 00 01 ... 0f.
+Key128 reference_key() {
+  return Key128{.hi = 0x0f0e0d0c0b0a0908ULL, .lo = 0x0706050403020100ULL};
+}
+
+TEST(SipHash, ReferenceVectors) {
+  // Official SipHash-2-4 test vectors (Aumasson & Bernstein reference
+  // implementation, vectors_sip64): message = 00 01 02 ... of increasing
+  // length under the reference key.
+  const std::array<u64, 4> expected = {
+      0x726fdb47dd0e0e31ULL,  // len 0
+      0x74f839c593dc67fdULL,  // len 1
+      0x0d6c8009d9a94f5aULL,  // len 2
+      0x85676696d7fb7e2dULL,  // len 3
+  };
+  std::array<u8, 16> msg{};
+  for (u8 i = 0; i < msg.size(); ++i) msg[i] = i;
+  for (std::size_t len = 0; len < expected.size(); ++len) {
+    EXPECT_EQ(siphash24(reference_key(), {msg.data(), len}), expected[len])
+        << "length " << len;
+  }
+}
+
+TEST(SipHash, PairMatchesByteEncoding) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const Key128 key{rng.next(), rng.next()};
+    const u64 value = rng.next();
+    const u64 tweak = rng.next();
+    std::array<u8, 16> bytes{};
+    for (unsigned b = 0; b < 8; ++b) {
+      bytes[b] = static_cast<u8>(value >> (8 * b));
+      bytes[8 + b] = static_cast<u8>(tweak >> (8 * b));
+    }
+    EXPECT_EQ(siphash24_pair(key, value, tweak),
+              siphash24(key, {bytes.data(), bytes.size()}));
+  }
+}
+
+TEST(SipHash, KeySensitivity) {
+  Rng rng(12);
+  const u64 value = rng.next(), tweak = rng.next();
+  const Key128 k1{rng.next(), rng.next()};
+  Key128 k2 = k1;
+  k2.lo ^= 1;  // single key bit flip
+  EXPECT_NE(siphash24_pair(k1, value, tweak), siphash24_pair(k2, value, tweak));
+}
+
+TEST(SipHash, InputSensitivityAvalanche) {
+  // Flipping one input bit should flip ~half the output bits.
+  Rng rng(13);
+  const Key128 key{rng.next(), rng.next()};
+  double total_flips = 0;
+  constexpr int kSamples = 300;
+  for (int i = 0; i < kSamples; ++i) {
+    const u64 value = rng.next();
+    const u64 tweak = rng.next();
+    const unsigned bit = static_cast<unsigned>(rng.next_below(64));
+    const u64 h1 = siphash24_pair(key, value, tweak);
+    const u64 h2 = siphash24_pair(key, value ^ (u64{1} << bit), tweak);
+    total_flips += popcount64(h1 ^ h2);
+  }
+  EXPECT_NEAR(total_flips / kSamples, 32.0, 2.0);
+}
+
+TEST(SipHash, TweakSensitivityAvalanche) {
+  Rng rng(14);
+  const Key128 key{rng.next(), rng.next()};
+  double total_flips = 0;
+  constexpr int kSamples = 300;
+  for (int i = 0; i < kSamples; ++i) {
+    const u64 value = rng.next();
+    const u64 tweak = rng.next();
+    const unsigned bit = static_cast<unsigned>(rng.next_below(64));
+    const u64 h1 = siphash24_pair(key, value, tweak);
+    const u64 h2 = siphash24_pair(key, value, tweak ^ (u64{1} << bit));
+    total_flips += popcount64(h1 ^ h2);
+  }
+  EXPECT_NEAR(total_flips / kSamples, 32.0, 2.0);
+}
+
+TEST(SipHash, Deterministic) {
+  const Key128 key = reference_key();
+  EXPECT_EQ(siphash24_pair(key, 1, 2), siphash24_pair(key, 1, 2));
+}
+
+TEST(SipHash, NoTrivialCollisionsInSmallSweep) {
+  // 16-bit truncations over 1000 distinct inputs should show roughly the
+  // birthday-expected number of collisions, not systematic ones; here we
+  // check the full 64-bit outputs are all distinct.
+  const Key128 key = reference_key();
+  std::vector<u64> seen;
+  for (u64 i = 0; i < 1000; ++i) seen.push_back(siphash24_pair(key, i, i * 3));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace acs::crypto

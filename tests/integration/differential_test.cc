@@ -1,0 +1,81 @@
+// Differential testing: the full compile -> simulate pipeline under every
+// protection scheme must produce exactly the output of the golden-model IR
+// interpreter, for both the hand-written compatibility programs and a
+// large population of random call graphs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "compiler/interp.h"
+#include "kernel/machine.h"
+#include "workload/callgraph_gen.h"
+#include "workload/confirm_suite.h"
+
+namespace acs {
+namespace {
+
+using compiler::Scheme;
+
+std::vector<u64> run_on_machine(const compiler::ProgramIr& ir, Scheme scheme) {
+  const auto program = compiler::compile_ir(ir, {.scheme = scheme});
+  kernel::Machine machine(program);
+  machine.run();
+  auto& process = machine.init_process();
+  EXPECT_EQ(process.state, kernel::ProcessState::kExited)
+      << process.kill_reason;
+  return process.output;
+}
+
+class DifferentialRandomTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialRandomTest, MachineMatchesGoldenModel) {
+  Rng rng(GetParam() * 7919 + 13);
+  const auto ir = workload::make_random_ir(rng);
+  const auto golden = compiler::interpret(ir);
+  ASSERT_TRUE(golden.supported);
+  ASSERT_TRUE(golden.completed);
+  for (Scheme scheme : compiler::all_schemes()) {
+    EXPECT_EQ(run_on_machine(ir, scheme), golden.output)
+        << compiler::scheme_name(scheme) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRandomTest,
+                         ::testing::Range<u64>(1, 31));
+
+TEST(DifferentialConfirm, GoldenModelAgreesOnSequentialTests) {
+  // The interpreter also validates the expected outputs baked into the
+  // confirm suite (for the programs it supports, order-insensitively when
+  // threads are involved).
+  for (const auto& test : workload::confirm_suite()) {
+    const auto golden = compiler::interpret(test.ir);
+    if (!golden.supported) continue;  // signals/fork
+    auto expected = test.expected_output;
+    auto produced = golden.output;
+    std::sort(expected.begin(), expected.end());
+    std::sort(produced.begin(), produced.end());
+    EXPECT_EQ(produced, expected) << test.name;
+  }
+}
+
+TEST(DifferentialStress, DenserGraphsStillAgree) {
+  Rng rng(0xD1FF);
+  workload::CallGraphParams params;
+  params.num_functions = 20;
+  params.call_probability = 0.7;
+  params.max_repeat = 4;
+  params.tail_call_probability = 0.2;
+  for (int round = 0; round < 10; ++round) {
+    const auto ir = workload::make_random_ir(rng, params);
+    const auto golden = compiler::interpret(ir);
+    ASSERT_TRUE(golden.supported);
+    if (!golden.completed) continue;  // generator produced a blow-up
+    EXPECT_EQ(run_on_machine(ir, Scheme::kPacStack), golden.output)
+        << "round " << round;
+    EXPECT_EQ(run_on_machine(ir, Scheme::kPacRetLeaf), golden.output)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace acs

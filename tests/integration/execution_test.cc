@@ -1,0 +1,50 @@
+// Full-stack compatibility matrix: every ConFIRM-style micro-test must pass
+// under every protection scheme (the paper's Section 7.3 claim, extended to
+// the baselines).
+#include <gtest/gtest.h>
+
+#include "compiler/scheme.h"
+#include "workload/confirm_suite.h"
+
+namespace acs::workload {
+namespace {
+
+using compiler::Scheme;
+
+struct MatrixCase {
+  std::size_t test_index;
+  Scheme scheme;
+};
+
+class ConfirmMatrix
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Scheme>> {};
+
+TEST_P(ConfirmMatrix, Passes) {
+  const auto [index, scheme] = GetParam();
+  const auto tests = confirm_suite();
+  ASSERT_LT(index, tests.size());
+  const auto outcome = run_confirm_test(tests[index], scheme);
+  EXPECT_TRUE(outcome.passed)
+      << tests[index].name << " under " << compiler::scheme_name(scheme)
+      << ": " << outcome.detail;
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, Scheme>>& info) {
+  static const auto tests = confirm_suite();
+  std::string name = tests[std::get<0>(info.param)].name + "_" +
+                     compiler::scheme_name(std::get<1>(info.param));
+  for (char& c : name) {
+    if (c == '-' || c == '+') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ConfirmMatrix,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 14),
+                       ::testing::ValuesIn(compiler::all_schemes())),
+    matrix_name);
+
+}  // namespace
+}  // namespace acs::workload

@@ -1,0 +1,96 @@
+// Property-based full-stack tests over random call graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/adversary.h"
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "workload/callgraph_gen.h"
+#include "workload/measure.h"
+
+namespace acs {
+namespace {
+
+using compiler::Scheme;
+
+class RandomGraphTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomGraphTest, AllSchemesProduceIdenticalOutput) {
+  // R3 (compatibility): the instrumentation must be semantics-preserving.
+  Rng rng(GetParam());
+  const auto ir = workload::make_random_ir(rng);
+
+  std::vector<u64> reference;
+  bool first = true;
+  for (Scheme scheme : compiler::all_schemes()) {
+    const auto program = compiler::compile_ir(ir, {.scheme = scheme});
+    kernel::Machine machine(program);
+    machine.run();
+    auto& process = machine.init_process();
+    ASSERT_EQ(process.state, kernel::ProcessState::kExited)
+        << compiler::scheme_name(scheme) << " seed " << GetParam() << ": "
+        << process.kill_reason;
+    if (first) {
+      reference = process.output;
+      first = false;
+    } else {
+      EXPECT_EQ(process.output, reference)
+          << compiler::scheme_name(scheme) << " seed " << GetParam();
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST_P(RandomGraphTest, PacStackOverheadIsBoundedAndPositive) {
+  Rng rng(GetParam() + 1000);
+  const auto ir = workload::make_random_ir(rng);
+  const double overhead =
+      workload::overhead_percent(ir, Scheme::kPacStack, GetParam());
+  EXPECT_GE(overhead, 0.0);
+  EXPECT_LT(overhead, 120.0);  // even a pure-call torture stays bounded
+}
+
+TEST_P(RandomGraphTest, RandomStackTamperNeverEscapesSilently) {
+  // Tamper with a random stored chain value mid-run under PACStack: the
+  // run must either crash (detection) or — if the adversary happened to
+  // rewrite a dead slot or write back an identical value — produce the
+  // unmodified reference output. A changed-but-clean output would be a
+  // missed control-flow violation.
+  Rng rng(GetParam() + 2000);
+  const auto ir = workload::make_random_ir(rng);
+  const auto program =
+      compiler::compile_ir(ir, {.scheme = Scheme::kPacStack});
+
+  // Reference run.
+  kernel::Machine ref_machine(program, {.seed = GetParam()});
+  ref_machine.run();
+  ASSERT_EQ(ref_machine.init_process().state, kernel::ProcessState::kExited);
+  const auto reference = ref_machine.init_process().output;
+
+  // Tampered run: stop mid-execution, corrupt a signed stack word.
+  kernel::Machine machine(program, {.seed = GetParam()});
+  auto stop = machine.run(300);  // pause somewhere inside
+  if (stop.reason == kernel::StopReason::kMaxInstructions) {
+    attack::Adversary adv(machine, machine.init_process().pid());
+    auto& task = *machine.init_process().tasks.front();
+    const auto harvested = adv.harvest_signed_pointers(task);
+    if (!harvested.empty()) {
+      const auto& victim = harvested[rng.next_below(harvested.size())];
+      adv.write(victim.slot, victim.value ^ 0x3);  // flip PAC bits
+    }
+    machine.run();
+  }
+  auto& process = machine.init_process();
+  if (process.state == kernel::ProcessState::kExited) {
+    EXPECT_EQ(process.output, reference) << "silent corruption escaped";
+  } else {
+    EXPECT_EQ(process.state, kernel::ProcessState::kKilled);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Range<u64>(1, 21));
+
+}  // namespace
+}  // namespace acs

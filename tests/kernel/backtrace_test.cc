@@ -1,0 +1,137 @@
+#include "kernel/backtrace.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/adversary.h"
+#include "compiler/codegen.h"
+#include "kernel/machine.h"
+
+namespace acs::kernel {
+namespace {
+
+using compiler::IrBuilder;
+using compiler::Scheme;
+
+/// entry -> f3 -> f2 -> f1, breakpoint inside f1.
+compiler::ProgramIr deep_victim() {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("leaf");
+  builder.compute(3);
+  const auto f1 = builder.begin_function("f1");
+  builder.call(leaf);
+  builder.vuln_site(1);
+  const auto f2 = builder.begin_function("f2");
+  builder.call(f1);
+  const auto f3 = builder.begin_function("f3");
+  builder.call(f2);
+  const auto entry = builder.begin_function("entry");
+  builder.call(f3);
+  return builder.build(entry);
+}
+
+struct Paused {
+  std::unique_ptr<Machine> machine;
+  Task* task = nullptr;
+};
+
+Paused pause_at_depth(Scheme scheme, u64 seed) {
+  const auto program = compiler::compile_ir(deep_victim(), {.scheme = scheme});
+  Paused paused;
+  paused.machine = std::make_unique<Machine>(program,
+                                             MachineOptions{.seed = seed});
+  attack::Adversary adv(*paused.machine, 1);
+  adv.break_at("vuln_1");
+  const auto stop = adv.run_until_break();
+  EXPECT_EQ(stop.reason, StopReason::kBreakpoint);
+  paused.task = paused.machine->init_process().tasks.front().get();
+  return paused;
+}
+
+class BacktraceMaskTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BacktraceMaskTest, WalksTheFullChain) {
+  const bool masking = GetParam();
+  auto paused = pause_at_depth(
+      masking ? Scheme::kPacStack : Scheme::kPacStackNoMask, 11);
+  const auto& process = paused.machine->init_process();
+  const auto bt = acs_backtrace(process, *paused.task, masking, 0);
+  ASSERT_TRUE(bt.complete);
+  // Activations with a live chain value: f1, f2, f3, entry.
+  ASSERT_EQ(bt.frames.size(), 4U);
+  // Every verified return address lies inside the code segment.
+  const auto& program = process.program();
+  for (const auto& frame : bt.frames) {
+    EXPECT_GE(frame.return_address, program.base);
+    EXPECT_LT(frame.return_address, program.end());
+  }
+  // Innermost frame returns into f2 (the instruction after `bl f1`), and
+  // the outermost into main.
+  EXPECT_GT(bt.frames[0].return_address, program.symbol("f2"));
+  EXPECT_LT(bt.frames[0].return_address, program.symbol("f3"));
+  EXPECT_GT(bt.frames[3].return_address, program.symbol("main"));
+  EXPECT_LT(bt.frames[3].return_address, program.symbol("__thread_exit"));
+}
+
+TEST_P(BacktraceMaskTest, StopsAtCorruptedFrame) {
+  const bool masking = GetParam();
+  auto paused = pause_at_depth(
+      masking ? Scheme::kPacStack : Scheme::kPacStackNoMask, 12);
+  auto& process = paused.machine->init_process();
+
+  // First, a clean walk to locate the link slots.
+  const auto clean = acs_backtrace(process, *paused.task, masking, 0);
+  ASSERT_TRUE(clean.complete);
+  ASSERT_GE(clean.frames.size(), 3U);
+
+  // Corrupt the second link (f2's stored predecessor).
+  const u64 slot = clean.frames[1].slot;
+  ASSERT_NE(slot, 0U);
+  ASSERT_TRUE(process.mem.adversary_write_u64(
+      slot, *process.mem.adversary_read_u64(slot) ^ 0x4));
+
+  const auto tampered = acs_backtrace(process, *paused.task, masking, 0);
+  EXPECT_FALSE(tampered.complete);
+  // Only the link below the corrupted slot could still be verified.
+  EXPECT_EQ(tampered.frames.size(), 1U);
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskingOnOff, BacktraceMaskTest, ::testing::Bool());
+
+TEST(Backtrace, RespectsThreadReseedInit) {
+  // A thread's chain is seeded with its tid (Section 4.3); the unwinder
+  // needs the right seed to validate the last link.
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("leaf");
+  builder.compute(3);
+  const auto inner = builder.begin_function("inner");
+  builder.call(leaf);
+  builder.vuln_site(2);
+  const auto tmain = builder.begin_function("tmain");
+  builder.call(inner);
+  const auto entry = builder.begin_function("entry");
+  builder.thread_create(tmain, 0);
+  builder.thread_join(1);
+  const auto program =
+      compiler::compile_ir(builder.build(entry), {.scheme = Scheme::kPacStack});
+
+  Machine machine(program, MachineOptions{.seed = 13});
+  attack::Adversary adv(machine, 1);
+  adv.break_at("vuln_2");
+  auto stop = adv.run_until_break();
+  // The breakpoint may fire in the thread; retry until the thread hits it.
+  while (stop.reason == StopReason::kBreakpoint && stop.tid != 1) {
+    stop = adv.resume();
+  }
+  ASSERT_EQ(stop.reason, StopReason::kBreakpoint);
+  ASSERT_EQ(stop.tid, 1U);
+  auto& process = machine.init_process();
+  Task& thread = *process.tasks[1];
+
+  const auto right_seed = acs_backtrace(process, thread, true, /*init=*/1);
+  EXPECT_TRUE(right_seed.complete);
+  const auto wrong_seed = acs_backtrace(process, thread, true, /*init=*/0);
+  EXPECT_FALSE(wrong_seed.complete);
+}
+
+}  // namespace
+}  // namespace acs::kernel

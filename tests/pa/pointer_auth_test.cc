@@ -1,0 +1,220 @@
+#include "pa/pointer_auth.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+
+namespace acs::pa {
+namespace {
+
+PointerAuth make_engine(unsigned va_size = 39, bool fpac = false,
+                        u64 seed = 1) {
+  Rng rng(seed);
+  return PointerAuth{crypto::random_key_set(rng), VaLayout{va_size}, "siphash",
+                     fpac};
+}
+
+TEST(PointerAuth, PacAutRoundTrip) {
+  const auto pa = make_engine();
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const u64 addr = pa.layout().address_bits(rng.next());
+    const u64 modifier = rng.next();
+    const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, addr, modifier);
+    EXPECT_EQ(pa.layout().address_bits(signed_ptr), addr);
+    const auto result = pa.aut(crypto::KeyId::kIA, signed_ptr, modifier);
+    EXPECT_TRUE(result.ok);
+    EXPECT_FALSE(result.fault);
+    EXPECT_EQ(result.pointer, addr);
+  }
+}
+
+TEST(PointerAuth, WrongModifierPoisonsPointer) {
+  const auto pa = make_engine();
+  const u64 addr = 0x12345678;
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, addr, 111);
+  const auto result = pa.aut(crypto::KeyId::kIA, signed_ptr, 222);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.fault);  // pre-FPAC: no immediate fault
+  // The PAC is stripped but the well-known error bit is set: any
+  // translation of this pointer faults (Section 2.2).
+  EXPECT_FALSE(pa.layout().is_canonical(result.pointer));
+  EXPECT_EQ(pa.layout().address_bits(result.pointer), addr);
+  EXPECT_TRUE(test_bit(result.pointer, VaLayout::error_bit()));
+}
+
+TEST(PointerAuth, WrongKeyFailsVerification) {
+  const auto pa = make_engine();
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, 0x1000, 5);
+  EXPECT_FALSE(pa.aut(crypto::KeyId::kIB, signed_ptr, 5).ok);
+  EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, signed_ptr, 5).ok);
+}
+
+TEST(PointerAuth, TamperedPacFails) {
+  const auto pa = make_engine();
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, 0x4000, 9);
+  const u64 tampered = signed_ptr ^ (u64{1} << pa.layout().pac_lo());
+  EXPECT_FALSE(pa.aut(crypto::KeyId::kIA, tampered, 9).ok);
+}
+
+TEST(PointerAuth, FpacFaultsImmediately) {
+  const auto pa = make_engine(39, /*fpac=*/true);
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, 0x2000, 7);
+  EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, signed_ptr, 7).ok);
+  const auto bad = pa.aut(crypto::KeyId::kIA, signed_ptr, 8);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_TRUE(bad.fault);  // ARMv8.6 FPAC semantics
+}
+
+TEST(PointerAuth, XpacStrips) {
+  const auto pa = make_engine();
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, 0x3000, 1);
+  EXPECT_EQ(pa.xpac(signed_ptr), 0x3000U);
+}
+
+TEST(PointerAuth, PacgaHighHalf) {
+  const auto pa = make_engine();
+  const u64 tag = pa.pacga(123, 456);
+  EXPECT_EQ(tag & 0xFFFFFFFFU, 0U);
+  EXPECT_NE(tag, 0U);
+  EXPECT_EQ(pa.pacga(123, 456), tag);
+  EXPECT_NE(pa.pacga(123, 457), tag);
+}
+
+TEST(PointerAuth, SigningGadgetQuirk) {
+  // Section 6.3.1 / Listing 7: aut on a forged pointer strips + poisons;
+  // pac on the poisoned pointer computes the PAC of the *underlying
+  // address* but flips a well-known PAC bit. Flipping it back yields a
+  // validly signed pointer — the re-signing gadget PA is known for.
+  const auto pa = make_engine();
+  const u64 addr = 0x567800;
+  const u64 modifier = 0xABC;
+  // Adversary injects an unsigned pointer; verification poisons it.
+  const auto failed = pa.aut(crypto::KeyId::kIA, addr | (u64{1} << 50),
+                             modifier);
+  ASSERT_FALSE(failed.ok);
+  // A pac on the poisoned pointer: PAC for `addr`, with bit p flipped.
+  const u64 resigned = pa.pac(crypto::KeyId::kIA, failed.pointer, modifier);
+  EXPECT_FALSE(pa.aut(crypto::KeyId::kIA, resigned, modifier).ok);
+  // Attacker flips bit p back in memory...
+  const u64 flip = u64{1} << (pa.layout().pac_lo() + pa.layout().gadget_flip_bit());
+  const u64 laundered = resigned ^ flip;
+  // ...and obtains a valid signed pointer: the gadget works at the PA
+  // level. (PACStack defeats it by never letting the attacker touch the
+  // re-signed value — see the integration signing-gadget scenario.)
+  EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, laundered, modifier).ok);
+}
+
+TEST(PointerAuth, CleanPointerPacIsValid) {
+  const auto pa = make_engine();
+  // pac on a canonical pointer must NOT flip the gadget bit.
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, 0x9000, 3);
+  EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, signed_ptr, 3).ok);
+}
+
+TEST(PointerAuth, CopyPreservesKeys) {
+  const auto pa = make_engine();
+  const PointerAuth copy{pa};
+  for (u64 i = 0; i < 50; ++i) {
+    EXPECT_EQ(pa.expected_pac(crypto::KeyId::kIA, i, ~i),
+              copy.expected_pac(crypto::KeyId::kIA, i, ~i));
+  }
+}
+
+TEST(PointerAuth, DifferentSeedsDifferentKeys) {
+  const auto pa1 = make_engine(39, false, 1);
+  const auto pa2 = make_engine(39, false, 2);
+  int same = 0;
+  for (u64 i = 0; i < 64; ++i) {
+    same += pa1.expected_pac(crypto::KeyId::kIA, i, 0) ==
+                    pa2.expected_pac(crypto::KeyId::kIA, i, 0)
+                ? 1
+                : 0;
+  }
+  EXPECT_LT(same, 8);  // 16-bit PACs collide occasionally, not often
+}
+
+TEST(PointerAuth, ReducedPacWidth) {
+  // The Monte-Carlo experiments shrink b via a larger VA_SIZE.
+  const auto pa = make_engine(47);  // b = 8
+  EXPECT_EQ(pa.layout().pac_bits(), 8U);
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, 0x1200, 4);
+  EXPECT_LT(pa.layout().pac_field(signed_ptr), 256U);
+  EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, signed_ptr, 4).ok);
+}
+
+TEST(PointerAuth, TbiDisabled24BitPacRoundTrip) {
+  // Figure 1: without address tagging the PAC grows to 24 bits; the whole
+  // pac/aut cycle must work over the split field.
+  Rng rng(44);
+  const PointerAuth pa{crypto::random_key_set(rng),
+                       VaLayout{39, /*tbi=*/false}};
+  EXPECT_EQ(pa.layout().pac_bits(), 24U);
+  for (int i = 0; i < 200; ++i) {
+    const u64 addr = pa.layout().address_bits(rng.next());
+    const u64 modifier = rng.next();
+    const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, addr, modifier);
+    const auto ok = pa.aut(crypto::KeyId::kIA, signed_ptr, modifier);
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.pointer, addr);
+    EXPECT_FALSE(pa.aut(crypto::KeyId::kIA, signed_ptr, modifier + 1).ok);
+  }
+}
+
+TEST(PointerAuth, TbiDisabledStrayBit55Rejected) {
+  Rng rng(45);
+  const PointerAuth pa{crypto::random_key_set(rng),
+                       VaLayout{39, /*tbi=*/false}};
+  const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, 0x4000, 6);
+  EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, signed_ptr, 6).ok);
+  EXPECT_FALSE(
+      pa.aut(crypto::KeyId::kIA, signed_ptr | (u64{1} << 55), 6).ok);
+}
+
+class PointerAuthBackendTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PointerAuthBackendTest, PacAutRoundTripAnyBackend) {
+  // The PA layer must behave identically over every MAC backend (the
+  // paper's analysis only assumes a PRF).
+  Rng rng(70);
+  const PointerAuth pa{crypto::random_key_set(rng), VaLayout{39}, GetParam()};
+  for (int i = 0; i < 100; ++i) {
+    const u64 addr = pa.layout().address_bits(rng.next());
+    const u64 modifier = rng.next();
+    const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, addr, modifier);
+    EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, signed_ptr, modifier).ok);
+    EXPECT_FALSE(pa.aut(crypto::KeyId::kIA, signed_ptr, modifier ^ 1).ok);
+  }
+}
+
+TEST_P(PointerAuthBackendTest, GadgetQuirkAnyBackend) {
+  Rng rng(71);
+  const PointerAuth pa{crypto::random_key_set(rng), VaLayout{39}, GetParam()};
+  const auto failed =
+      pa.aut(crypto::KeyId::kIA, 0x4000 | (u64{1} << 50), 0x77);
+  ASSERT_FALSE(failed.ok);
+  const u64 resigned = pa.pac(crypto::KeyId::kIA, failed.pointer, 0x77);
+  const u64 flip =
+      u64{1} << (pa.layout().pac_lo() + pa.layout().gadget_flip_bit());
+  EXPECT_FALSE(pa.aut(crypto::KeyId::kIA, resigned, 0x77).ok);
+  EXPECT_TRUE(pa.aut(crypto::KeyId::kIA, resigned ^ flip, 0x77).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PointerAuthBackendTest,
+                         ::testing::Values("siphash", "qarma", "ro"));
+
+TEST(PointerAuth, ExpectedPacMatchesPacField) {
+  const auto pa = make_engine();
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const u64 addr = pa.layout().address_bits(rng.next());
+    const u64 modifier = rng.next();
+    const u64 signed_ptr = pa.pac(crypto::KeyId::kIA, addr, modifier);
+    EXPECT_EQ(pa.layout().pac_field(signed_ptr),
+              pa.expected_pac(crypto::KeyId::kIA, addr, modifier));
+  }
+}
+
+}  // namespace
+}  // namespace acs::pa

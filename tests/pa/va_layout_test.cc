@@ -1,0 +1,113 @@
+#include "pa/va_layout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace acs::pa {
+namespace {
+
+TEST(VaLayout, PaperDefaultIs16BitPac) {
+  // Figure 1: VA_SIZE = 39 (default Linux) leaves a 16-bit PAC.
+  const VaLayout layout{39};
+  EXPECT_EQ(layout.pac_bits(), 16U);
+  EXPECT_EQ(layout.pac_lo(), 39U);
+  EXPECT_EQ(layout.pac_hi(), 54U);
+}
+
+TEST(VaLayout, RejectsOutOfRangeVaSize) {
+  EXPECT_THROW(VaLayout{31}, std::invalid_argument);
+  EXPECT_THROW(VaLayout{55}, std::invalid_argument);
+  EXPECT_NO_THROW(VaLayout{32});
+  EXPECT_NO_THROW(VaLayout{54});
+}
+
+class VaLayoutSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VaLayoutSweep, FieldGeometry) {
+  const VaLayout layout{GetParam()};
+  EXPECT_EQ(layout.pac_bits(), 55U - GetParam());
+  EXPECT_EQ(layout.pac_hi() - layout.pac_lo() + 1U, layout.pac_bits());
+}
+
+TEST_P(VaLayoutSweep, PacInsertExtractRoundTrip) {
+  const VaLayout layout{GetParam()};
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const u64 addr = layout.address_bits(rng.next());
+    const u64 pac = rng.next() & bit_mask(layout.pac_bits());
+    const u64 pointer = layout.with_pac(addr, pac);
+    EXPECT_EQ(layout.pac_field(pointer), pac);
+    EXPECT_EQ(layout.address_bits(pointer), addr);
+    EXPECT_EQ(layout.strip(pointer), addr);
+  }
+}
+
+TEST_P(VaLayoutSweep, CanonicalIffNoHighBits) {
+  const VaLayout layout{GetParam()};
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 200; ++i) {
+    const u64 addr = layout.address_bits(rng.next());
+    EXPECT_TRUE(layout.is_canonical(addr));
+    const u64 pac = 1 + rng.next_below(bit_mask(layout.pac_bits()));
+    EXPECT_FALSE(layout.is_canonical(layout.with_pac(addr, pac)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VaSizes, VaLayoutSweep,
+                         ::testing::Values(32U, 39U, 42U, 47U, 49U, 54U));
+
+TEST(VaLayout, ErrorBitIsAboveEveryPacField) {
+  for (unsigned va = 32; va <= 54; ++va) {
+    const VaLayout layout{va};
+    EXPECT_GT(VaLayout::error_bit(), layout.pac_hi());
+  }
+}
+
+TEST(VaLayout, TruncateTag) {
+  const VaLayout layout{39};
+  EXPECT_EQ(layout.truncate_tag(~u64{0}), bit_mask(16));
+  EXPECT_EQ(layout.truncate_tag(0x12345), 0x2345U);
+}
+
+TEST(VaLayout, GadgetFlipBitInsideField) {
+  const VaLayout layout{39};
+  EXPECT_LT(layout.gadget_flip_bit(), layout.pac_bits());
+}
+
+TEST(VaLayout, TbiDisabledGrowsPacIntoTagByte) {
+  // Figure 1: with address tagging disabled the tag byte joins the PAC.
+  const VaLayout tagged{39, /*tbi=*/true};
+  const VaLayout untagged{39, /*tbi=*/false};
+  EXPECT_EQ(tagged.pac_bits(), 16U);
+  EXPECT_EQ(untagged.pac_bits(), 24U);
+}
+
+class VaLayoutTbiTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VaLayoutTbiTest, SplitFieldRoundTrip) {
+  const VaLayout layout{GetParam(), /*tbi=*/false};
+  Rng rng(900 + GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const u64 addr = layout.address_bits(rng.next());
+    const u64 pac = rng.next() & bit_mask(layout.pac_bits());
+    const u64 pointer = layout.with_pac(addr, pac);
+    EXPECT_EQ(layout.pac_field(pointer), pac);
+    EXPECT_EQ(layout.address_bits(pointer), addr);
+    // Bit 55 stays clear: it is the TTBR select, never PAC.
+    EXPECT_FALSE(test_bit(pointer, 55));
+  }
+}
+
+TEST_P(VaLayoutTbiTest, HighPacBitsLandInTagByte) {
+  const VaLayout layout{GetParam(), /*tbi=*/false};
+  const u64 pac = bit_mask(layout.pac_bits());
+  const u64 pointer = layout.with_pac(0x1000, pac);
+  EXPECT_EQ(extract_bits(pointer, 63, 56), 0xFFU);
+}
+
+INSTANTIATE_TEST_SUITE_P(VaSizes, VaLayoutTbiTest,
+                         ::testing::Values(39U, 47U, 52U));
+
+}  // namespace
+}  // namespace acs::pa

@@ -1,0 +1,115 @@
+#include "sim/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace acs::sim {
+namespace {
+
+TEST(Assembler, LabelsResolveForward) {
+  Assembler as(0x1000);
+  as.b("end");
+  as.nop();
+  as.label("end");
+  as.hlt();
+  const Program program = as.assemble();
+  EXPECT_EQ(program.code[0].target, 0x1008U);
+}
+
+TEST(Assembler, LabelsResolveBackward) {
+  Assembler as(0x1000);
+  as.label("top");
+  as.nop();
+  as.b("top");
+  const Program program = as.assemble();
+  EXPECT_EQ(program.code[1].target, 0x1000U);
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler as;
+  as.b("nowhere");
+  EXPECT_THROW((void)as.assemble(), std::runtime_error);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler as;
+  as.label("x");
+  EXPECT_THROW(as.label("x"), std::runtime_error);
+}
+
+TEST(Assembler, FunctionRegistersEntry) {
+  Assembler as(0x1000);
+  as.nop();
+  as.function("f");
+  as.ret();
+  const Program program = as.assemble();
+  EXPECT_TRUE(program.is_function_entry(0x1004));
+  EXPECT_FALSE(program.is_function_entry(0x1000));
+  EXPECT_EQ(program.symbol("f"), 0x1004U);
+}
+
+TEST(Assembler, MovLabelResolvesToImmediate) {
+  Assembler as(0x1000);
+  as.mov_label(Reg::kX0, "target");
+  as.label("target");
+  as.hlt();
+  const Program program = as.assemble();
+  EXPECT_EQ(program.code[0].op, Opcode::kMovImm);
+  EXPECT_EQ(static_cast<u64>(program.code[0].imm), 0x1004U);
+}
+
+TEST(Assembler, HereTracksAddress) {
+  Assembler as(0x2000);
+  EXPECT_EQ(as.here(), 0x2000U);
+  as.nop();
+  as.nop();
+  EXPECT_EQ(as.here(), 0x2008U);
+}
+
+TEST(Assembler, ProgramGeometry) {
+  Assembler as(0x1000);
+  as.nop();
+  as.nop();
+  as.hlt();
+  const Program program = as.assemble();
+  EXPECT_EQ(program.size_bytes(), 12U);
+  EXPECT_EQ(program.end(), 0x100CU);
+  EXPECT_TRUE(program.contains(0x1000));
+  EXPECT_TRUE(program.contains(0x1008));
+  EXPECT_FALSE(program.contains(0x100C));
+  EXPECT_FALSE(program.contains(0x1002));  // misaligned
+}
+
+TEST(Assembler, EmitsExpectedOpcodes) {
+  Assembler as;
+  as.mov_imm(Reg::kX0, 5);
+  as.add_imm(Reg::kX1, Reg::kX0, 2);
+  as.stp(Reg::kX29, Reg::kX30, Reg::kSp, -16, AddrMode::kPreIndex);
+  as.ldp(Reg::kX29, Reg::kX30, Reg::kSp, 16, AddrMode::kPostIndex);
+  as.pacia(kLr, kCr);
+  as.autia(kLr, kCr);
+  as.retaa();
+  as.svc(3);
+  const Program program = as.assemble();
+  EXPECT_EQ(program.code[0].op, Opcode::kMovImm);
+  EXPECT_EQ(program.code[1].op, Opcode::kAddImm);
+  EXPECT_EQ(program.code[2].op, Opcode::kStp);
+  EXPECT_EQ(program.code[2].mode, AddrMode::kPreIndex);
+  EXPECT_EQ(program.code[3].mode, AddrMode::kPostIndex);
+  EXPECT_EQ(program.code[4].op, Opcode::kPacia);
+  EXPECT_EQ(program.code[4].rd, kLr);
+  EXPECT_EQ(program.code[4].rn, kCr);
+  EXPECT_EQ(program.code[5].op, Opcode::kAutia);
+  EXPECT_EQ(program.code[6].op, Opcode::kRetaa);
+  EXPECT_EQ(program.code[7].op, Opcode::kSvc);
+  EXPECT_EQ(program.code[7].imm, 3);
+}
+
+TEST(Assembler, RegNames) {
+  EXPECT_EQ(reg_name(Reg::kX0), "x0");
+  EXPECT_EQ(reg_name(kCr), "x28");
+  EXPECT_EQ(reg_name(Reg::kSp), "sp");
+  EXPECT_EQ(reg_name(Reg::kXzr), "xzr");
+}
+
+}  // namespace
+}  // namespace acs::sim

@@ -1,0 +1,414 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "sim/assembler.h"
+
+namespace acs::sim {
+namespace {
+
+constexpr u64 kCodeBase = 0x1'0000;
+constexpr u64 kDataBase = 0x10'0000;
+constexpr u64 kStackTop = 0x20'1000;
+
+/// Harness: assemble a program, map code (RX), data and a stack, run.
+class CpuHarness {
+ public:
+  explicit CpuHarness(const std::function<void(Assembler&)>& body,
+                      unsigned va_size = 39, bool fpac = false)
+      : pauth_(make_keys(), pa::VaLayout{va_size}, "siphash", fpac) {
+    Assembler as(kCodeBase);
+    body(as);
+    program_ = as.assemble();
+    mem_.map(kCodeBase, program_.size_bytes() + 64, kPermRx, "code");
+    mem_.map(kDataBase, 0x1000, kPermRw, "data");
+    mem_.map(kStackTop - 0x1000, 0x1000, kPermRw, "stack");
+    cpu_ = std::make_unique<Cpu>(program_, mem_, pauth_);
+    cpu_->set_reg(Reg::kSp, kStackTop);
+  }
+
+  Cpu& cpu() { return *cpu_; }
+  AddressSpace& mem() { return mem_; }
+  const pa::PointerAuth& pauth() { return pauth_; }
+  const Program& program() { return program_; }
+
+ private:
+  static crypto::KeySet make_keys() {
+    Rng rng(77);
+    return crypto::random_key_set(rng);
+  }
+
+  pa::PointerAuth pauth_;
+  Program program_;
+  AddressSpace mem_;
+  std::unique_ptr<Cpu> cpu_;
+};
+
+TEST(Cpu, ArithmeticAndMoves) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 10);
+    as.mov_imm(Reg::kX1, 3);
+    as.add(Reg::kX2, Reg::kX0, Reg::kX1);   // 13
+    as.sub_imm(Reg::kX3, Reg::kX2, 4);      // 9
+    as.eor(Reg::kX4, Reg::kX0, Reg::kX1);   // 9
+    as.and_(Reg::kX5, Reg::kX0, Reg::kX1);  // 2
+    as.orr(Reg::kX6, Reg::kX0, Reg::kX1);   // 11
+    as.lsl_imm(Reg::kX7, Reg::kX1, 4);      // 48
+    as.lsr_imm(Reg::kX8, Reg::kX0, 1);      // 5
+    as.hlt();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+  EXPECT_EQ(h.cpu().reg(Reg::kX2), 13U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX3), 9U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX4), 9U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX5), 2U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX6), 11U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX7), 48U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX8), 5U);
+}
+
+TEST(Cpu, XzrReadsZeroIgnoresWrites) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kXzr, 55);
+    as.mov(Reg::kX0, Reg::kXzr);
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 0U);
+  EXPECT_EQ(h.cpu().reg(Reg::kXzr), 0U);
+}
+
+struct CondCase {
+  Cond cond;
+  i64 lhs;
+  i64 rhs;
+  bool taken;
+};
+
+class CpuCondTest : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(CpuCondTest, ConditionalBranch) {
+  const CondCase& c = GetParam();
+  CpuHarness h([&](Assembler& as) {
+    as.mov_imm(Reg::kX0, static_cast<u64>(c.lhs));
+    as.mov_imm(Reg::kX1, static_cast<u64>(c.rhs));
+    as.cmp(Reg::kX0, Reg::kX1);
+    as.b_cond(c.cond, "taken");
+    as.mov_imm(Reg::kX2, 1);  // fallthrough
+    as.hlt();
+    as.label("taken");
+    as.mov_imm(Reg::kX2, 2);
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_EQ(h.cpu().reg(Reg::kX2), c.taken ? 2U : 1U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, CpuCondTest,
+    ::testing::Values(CondCase{Cond::kEq, 5, 5, true},
+                      CondCase{Cond::kEq, 5, 6, false},
+                      CondCase{Cond::kNe, 5, 6, true},
+                      CondCase{Cond::kNe, 5, 5, false},
+                      CondCase{Cond::kLt, -1, 0, true},
+                      CondCase{Cond::kLt, 1, 0, false},
+                      CondCase{Cond::kGe, 3, 3, true},
+                      CondCase{Cond::kGe, 2, 3, false},
+                      CondCase{Cond::kGt, 4, 3, true},
+                      CondCase{Cond::kGt, 3, 3, false},
+                      CondCase{Cond::kLe, 3, 3, true},
+                      CondCase{Cond::kLe, 4, 3, false},
+                      CondCase{Cond::kLo, 1, 2, true},
+                      CondCase{Cond::kLo, 2, 1, false},
+                      CondCase{Cond::kHs, 2, 2, true},
+                      CondCase{Cond::kHs, 1, 2, false}));
+
+TEST(Cpu, LoadStoreAddressingModes) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, kDataBase);
+    as.mov_imm(Reg::kX1, 0x1111);
+    as.str(Reg::kX1, Reg::kX0, 8);                         // offset
+    as.ldr(Reg::kX2, Reg::kX0, 8);
+    as.mov_imm(Reg::kX3, 0x2222);
+    as.str(Reg::kX3, Reg::kX0, 16, AddrMode::kPreIndex);   // x0 += 16 first
+    as.ldr(Reg::kX4, Reg::kX0, 0);
+    as.mov_imm(Reg::kX5, 0x3333);
+    as.str(Reg::kX5, Reg::kX0, 8, AddrMode::kPostIndex);   // store, then += 8
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_EQ(h.cpu().reg(Reg::kX2), 0x1111U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX4), 0x2222U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), kDataBase + 24);
+  // The post-index store wrote at the pre-increment address (kDataBase+16),
+  // overwriting the pre-index store's value.
+  EXPECT_EQ(h.mem().raw_read_u64(kDataBase + 16), 0x3333U);
+}
+
+TEST(Cpu, ByteLoadsAndStores) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, kDataBase);
+    as.mov_imm(Reg::kX1, 0x1FF);   // only the low byte is stored
+    as.strb(Reg::kX1, Reg::kX0, 0);
+    as.mov_imm(Reg::kX1, 0xAB);
+    as.strb(Reg::kX1, Reg::kX0, 7);
+    as.ldrb(Reg::kX2, Reg::kX0, 0);
+    as.ldr(Reg::kX3, Reg::kX0, 0);  // whole word back
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_EQ(h.cpu().reg(Reg::kX2), 0xFFU);  // zero-extended byte
+  EXPECT_EQ(h.cpu().reg(Reg::kX3), 0xAB000000000000FFULL);
+}
+
+TEST(Cpu, StackPairPushPop) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX29, 0xAAAA);
+    as.mov_imm(Reg::kX30, 0xBBBB);
+    as.stp(Reg::kX29, Reg::kX30, Reg::kSp, -16, AddrMode::kPreIndex);
+    as.mov_imm(Reg::kX29, 0);
+    as.mov_imm(Reg::kX30, 0);
+    as.ldp(Reg::kX29, Reg::kX30, Reg::kSp, 16, AddrMode::kPostIndex);
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_EQ(h.cpu().reg(Reg::kX29), 0xAAAAU);
+  EXPECT_EQ(h.cpu().reg(Reg::kX30), 0xBBBBU);
+  EXPECT_EQ(h.cpu().reg(Reg::kSp), kStackTop);
+}
+
+TEST(Cpu, CallAndReturn) {
+  CpuHarness h([](Assembler& as) {
+    as.bl("fn");
+    as.mov_imm(Reg::kX1, 77);
+    as.hlt();
+    as.function("fn");
+    as.mov_imm(Reg::kX0, 42);
+    as.ret();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 42U);
+  EXPECT_EQ(h.cpu().reg(Reg::kX1), 77U);
+}
+
+TEST(Cpu, IndirectCallToFunctionEntryOk) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_label(Reg::kX9, "fn");
+    as.blr(Reg::kX9);
+    as.hlt();
+    as.function("fn");
+    as.mov_imm(Reg::kX0, 1);
+    as.ret();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 1U);
+}
+
+TEST(Cpu, IndirectCallCfiViolation) {
+  // Assumption A2: blr into the middle of a function faults.
+  CpuHarness h([](Assembler& as) {
+    as.mov_label(Reg::kX9, "mid");
+    as.blr(Reg::kX9);
+    as.hlt();
+    as.function("fn");
+    as.nop();
+    as.label("mid");
+    as.mov_imm(Reg::kX0, 1);
+    as.ret();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kFaulted);
+  EXPECT_EQ(h.cpu().fault().kind, FaultKind::kCfi);
+}
+
+TEST(Cpu, ReturnToNonCanonicalFaults) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX30, (u64{1} << 62) | 0x10000);
+    as.ret();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kFaulted);
+  EXPECT_EQ(h.cpu().fault().kind, FaultKind::kTranslation);
+}
+
+TEST(Cpu, PaciaAutiaRoundTripInRegisters) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 0x12340);
+    as.mov_imm(Reg::kX1, 0x999);
+    as.pacia(Reg::kX0, Reg::kX1);
+    as.mov(Reg::kX2, Reg::kX0);  // keep signed copy
+    as.autia(Reg::kX0, Reg::kX1);
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 0x12340U);
+  EXPECT_NE(h.cpu().reg(Reg::kX2), 0x12340U);  // PAC actually embedded
+}
+
+TEST(Cpu, RetaaVerifiesAgainstSp) {
+  // The Listing 1 pattern: sign with SP, verify+return with retaa.
+  CpuHarness h([](Assembler& as) {
+    as.bl("fn");
+    as.mov_imm(Reg::kX1, 5);
+    as.hlt();
+    as.function("fn");
+    as.pacia(kLr, Reg::kSp);
+    as.str(kLr, Reg::kSp, -16, AddrMode::kPreIndex);
+    as.mov_imm(kLr, 0);  // clobber LR
+    as.ldr(kLr, Reg::kSp, 16, AddrMode::kPostIndex);
+    as.retaa();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+  EXPECT_EQ(h.cpu().reg(Reg::kX1), 5U);
+}
+
+TEST(Cpu, RetaaWithTamperedLrFaults) {
+  CpuHarness h([](Assembler& as) {
+    as.bl("fn");
+    as.hlt();
+    as.function("fn");
+    as.pacia(kLr, Reg::kSp);
+    as.mov_imm(Reg::kX9, 0x20);
+    as.eor(kLr, kLr, Reg::kX9);  // corrupt the signed LR
+    as.retaa();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kFaulted);
+  EXPECT_EQ(h.cpu().fault().kind, FaultKind::kTranslation);
+}
+
+TEST(Cpu, FpacAutiaFaultsImmediately) {
+  CpuHarness h(
+      [](Assembler& as) {
+        as.mov_imm(Reg::kX0, 0x5000);
+        as.mov_imm(Reg::kX1, 1);
+        as.pacia(Reg::kX0, Reg::kX1);
+        as.mov_imm(Reg::kX1, 2);       // wrong modifier
+        as.autia(Reg::kX0, Reg::kX1);  // ARMv8.6 FPAC: faults here
+        as.hlt();
+      },
+      39, /*fpac=*/true);
+  EXPECT_EQ(h.cpu().run(), RunState::kFaulted);
+  EXPECT_EQ(h.cpu().fault().kind, FaultKind::kPacAuthFailure);
+}
+
+TEST(Cpu, LoopWithCbnz) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 10);
+    as.mov_imm(Reg::kX1, 0);
+    as.label("loop");
+    as.add_imm(Reg::kX1, Reg::kX1, 3);
+    as.sub_imm(Reg::kX0, Reg::kX0, 1);
+    as.cbnz(Reg::kX0, "loop");
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_EQ(h.cpu().reg(Reg::kX1), 30U);
+}
+
+TEST(Cpu, WorkBurnsCycles) {
+  CpuHarness h([](Assembler& as) {
+    as.work(1000);
+    as.hlt();
+  });
+  h.cpu().run();
+  EXPECT_GE(h.cpu().cycles(), 1000U);
+  EXPECT_EQ(h.cpu().instructions(), 2U);
+}
+
+TEST(Cpu, CycleCostsConfigurable) {
+  const auto build = [](Assembler& as) {
+    as.mov_imm(Reg::kX0, 0x3000);
+    as.pacia(Reg::kX0, Reg::kXzr);
+    as.hlt();
+  };
+  CpuHarness cheap(build);
+  cheap.cpu().set_costs(effective_costs());
+  cheap.cpu().run();
+  CpuHarness pricey(build);
+  pricey.cpu().set_costs(latency_costs());
+  pricey.cpu().run();
+  EXPECT_EQ(pricey.cpu().cycles() - cheap.cpu().cycles(),
+            latency_costs().pa - effective_costs().pa);
+}
+
+TEST(Cpu, SvcSuspends) {
+  CpuHarness h([](Assembler& as) {
+    as.svc(9);
+    as.mov_imm(Reg::kX0, 1);
+    as.hlt();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kSvc);
+  EXPECT_EQ(h.cpu().svc_number(), 9U);
+  h.cpu().resume();
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 1U);
+}
+
+TEST(Cpu, BreakpointPausesAndResumes) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 1);
+    as.label("bp");
+    as.mov_imm(Reg::kX0, 2);
+    as.hlt();
+  });
+  h.cpu().add_breakpoint(h.program().symbol("bp"));
+  EXPECT_EQ(h.cpu().run(), RunState::kBreakpoint);
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 1U);
+  h.cpu().resume();
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 2U);
+}
+
+TEST(Cpu, StoreToCodeFaults) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, kCodeBase);
+    as.str(Reg::kX1, Reg::kX0, 0);
+    as.hlt();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kFaulted);
+  EXPECT_EQ(h.cpu().fault().kind, FaultKind::kPermission);
+}
+
+TEST(Cpu, TraceRingKeepsLastPcs) {
+  CpuHarness h([](Assembler& as) {
+    for (int i = 0; i < 10; ++i) as.nop();
+    as.hlt();
+  });
+  h.cpu().enable_trace(4);
+  h.cpu().run();
+  const auto trace = h.cpu().trace();
+  ASSERT_EQ(trace.size(), 4U);
+  // Last four executed: nop@+28, nop@+32, nop@+36, hlt@+40.
+  EXPECT_EQ(trace[0], kCodeBase + 28);
+  EXPECT_EQ(trace[3], kCodeBase + 40);
+}
+
+TEST(Cpu, TraceBeforeWrapIsPartial) {
+  CpuHarness h([](Assembler& as) {
+    as.nop();
+    as.hlt();
+  });
+  h.cpu().enable_trace(16);
+  h.cpu().run();
+  const auto trace = h.cpu().trace();
+  ASSERT_EQ(trace.size(), 2U);
+  EXPECT_EQ(trace[0], kCodeBase);
+}
+
+TEST(Cpu, SnapshotRestoreRoundTrip) {
+  CpuHarness h([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 7);
+    as.cmp_imm(Reg::kX0, 7);
+    as.hlt();
+  });
+  h.cpu().run();
+  const CpuSnapshot snap = h.cpu().snapshot();
+  h.cpu().set_reg(Reg::kX0, 0);
+  h.cpu().restore(snap);
+  EXPECT_EQ(h.cpu().reg(Reg::kX0), 7U);
+  EXPECT_TRUE(snap.z);
+}
+
+}  // namespace
+}  // namespace acs::sim

@@ -1,0 +1,74 @@
+#include "sim/disasm.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.h"
+
+namespace acs::sim {
+namespace {
+
+TEST(Disasm, RendersCoreInstructions) {
+  Instruction pacia{.op = Opcode::kPacia, .rd = kLr, .rn = kCr};
+  EXPECT_EQ(disassemble(pacia), "pacia x30, x28");
+
+  Instruction mov{.op = Opcode::kMovImm, .rd = Reg::kX0, .imm = 0x10};
+  EXPECT_EQ(disassemble(mov), "mov x0, #0x10");
+
+  Instruction str{.op = Opcode::kStr, .rd = kCr, .rn = Reg::kSp, .imm = -32,
+                  .mode = AddrMode::kPreIndex};
+  EXPECT_EQ(disassemble(str), "str x28, [sp, #-32]!");
+
+  Instruction ldr{.op = Opcode::kLdr, .rd = kCr, .rn = Reg::kSp, .imm = 32,
+                  .mode = AddrMode::kPostIndex};
+  EXPECT_EQ(disassemble(ldr), "ldr x28, [sp], #32");
+
+  Instruction stp{.op = Opcode::kStp, .rd = Reg::kX29, .rn = Reg::kSp,
+                  .rm = Reg::kX30, .imm = 16};
+  EXPECT_EQ(disassemble(stp), "stp x29, x30, [sp, #16]");
+
+  Instruction ret{.op = Opcode::kRet};
+  EXPECT_EQ(disassemble(ret), "ret");
+
+  Instruction retaa{.op = Opcode::kRetaa};
+  EXPECT_EQ(disassemble(retaa), "retaa");
+
+  Instruction work{.op = Opcode::kWork, .imm = 100};
+  EXPECT_EQ(disassemble(work), "work #100");
+}
+
+TEST(Disasm, RendersBranches) {
+  Instruction b{.op = Opcode::kB, .target = 0x1234};
+  EXPECT_EQ(disassemble(b), "b 0x1234");
+  Instruction beq{.op = Opcode::kBCond, .target = 0x10, .cond = Cond::kEq};
+  EXPECT_EQ(disassemble(beq), "b.eq 0x10");
+  Instruction cbz{.op = Opcode::kCbz, .rn = Reg::kX3, .target = 0x20};
+  EXPECT_EQ(disassemble(cbz), "cbz x3, 0x20");
+  Instruction blr{.op = Opcode::kBlr, .rn = Reg::kX9};
+  EXPECT_EQ(disassemble(blr), "blr x9");
+}
+
+TEST(Disasm, ProgramListingHasLabelsAndAddresses) {
+  Assembler as(0x1000);
+  as.function("fn");
+  as.nop();
+  as.ret();
+  const Program program = as.assemble();
+  const std::string listing = disassemble(program);
+  EXPECT_NE(listing.find("fn:"), std::string::npos);
+  EXPECT_NE(listing.find("0x1000"), std::string::npos);
+  EXPECT_NE(listing.find("nop"), std::string::npos);
+  EXPECT_NE(listing.find("ret"), std::string::npos);
+}
+
+TEST(Disasm, EveryOpcodeHasRendering) {
+  // Smoke: no opcode renders to an empty string.
+  for (u8 op = 0; op <= static_cast<u8>(Opcode::kWork); ++op) {
+    Instruction instr;
+    instr.op = static_cast<Opcode>(op);
+    EXPECT_FALSE(disassemble(instr).empty())
+        << "opcode " << static_cast<int>(op);
+  }
+}
+
+}  // namespace
+}  // namespace acs::sim

@@ -1,0 +1,109 @@
+#include "sim/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace acs::sim {
+namespace {
+
+TEST(Memory, MapAndReadWrite) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x1000, kPermRw, "data");
+  EXPECT_FALSE(mem.write_u64(0x1000, 0xdeadbeefcafef00dULL));
+  const auto access = mem.read_u64(0x1000);
+  ASSERT_TRUE(access.ok());
+  EXPECT_EQ(access.value, 0xdeadbeefcafef00dULL);
+}
+
+TEST(Memory, LittleEndianBytes) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x100, kPermRw, "data");
+  ASSERT_FALSE(mem.write_u64(0x1000, 0x0102030405060708ULL));
+  EXPECT_EQ(mem.read_u8(0x1000).value, 0x08U);
+  EXPECT_EQ(mem.read_u8(0x1007).value, 0x01U);
+}
+
+TEST(Memory, UnmappedFaults) {
+  AddressSpace mem;
+  const auto access = mem.read_u64(0x9999);
+  EXPECT_FALSE(access.ok());
+  EXPECT_EQ(access.fault.kind, FaultKind::kTranslation);
+  EXPECT_EQ(mem.write_u64(0x9999, 1).kind, FaultKind::kTranslation);
+}
+
+TEST(Memory, StraddlingRegionEndFaults) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x10, kPermRw, "tiny");
+  EXPECT_TRUE(mem.read_u64(0x1008).ok());
+  EXPECT_FALSE(mem.read_u64(0x100C).ok());  // crosses the region end
+}
+
+TEST(Memory, PermissionEnforcement) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x100, kPermRo, "ro");
+  EXPECT_TRUE(mem.read_u64(0x1000).ok());
+  EXPECT_EQ(mem.write_u64(0x1000, 1).kind, FaultKind::kPermission);
+}
+
+TEST(Memory, WxPolicyRejectsWritableExecutable) {
+  AddressSpace mem;
+  EXPECT_THROW(mem.map(0x1000, 0x100, Perms{true, true, true}, "wx"),
+               std::invalid_argument);
+}
+
+TEST(Memory, OverlapRejected) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x1000, kPermRw, "a");
+  EXPECT_THROW(mem.map(0x1800, 0x1000, kPermRw, "b"), std::invalid_argument);
+  EXPECT_THROW(mem.map(0x0800, 0x900, kPermRw, "c"), std::invalid_argument);
+  EXPECT_NO_THROW(mem.map(0x2000, 0x100, kPermRw, "d"));
+}
+
+TEST(Memory, ZeroSizeRejected) {
+  AddressSpace mem;
+  EXPECT_THROW(mem.map(0x1000, 0, kPermRw, "z"), std::invalid_argument);
+}
+
+TEST(Memory, AdversaryReadsEverythingMapped) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x100, kPermRx, "code");  // execute-only for CPU writes
+  mem.raw_write_u64(0x1000, 42);
+  EXPECT_EQ(mem.adversary_read_u64(0x1000), 42U);
+  EXPECT_EQ(mem.adversary_read_u64(0x5000), std::nullopt);
+}
+
+TEST(Memory, AdversaryCannotWriteCode) {
+  // Assumption A1 (W^X): code pages are not writable even for the
+  // arbitrary-write adversary.
+  AddressSpace mem;
+  mem.map(0x1000, 0x100, kPermRx, "code");
+  mem.map(0x2000, 0x100, kPermRo, "rodata");
+  EXPECT_FALSE(mem.adversary_write_u64(0x1000, 1));
+  // Non-executable pages are fair game regardless of the W bit (the
+  // adversary models arbitrary memory corruption, not the MMU).
+  EXPECT_TRUE(mem.adversary_write_u64(0x2000, 7));
+  EXPECT_EQ(mem.adversary_read_u64(0x2000), 7U);
+}
+
+TEST(Memory, RegionInfoLookup) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x100, kPermRw, "data");
+  const auto* info = mem.region_at(0x1050);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "data");
+  EXPECT_EQ(mem.region_at(0x5000), nullptr);
+  EXPECT_TRUE(mem.is_mapped(0x10FF));
+  EXPECT_FALSE(mem.is_mapped(0x1100));
+  EXPECT_FALSE(mem.is_executable(0x1000));
+}
+
+TEST(Memory, RawAccessors) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x100, kPermRo, "ro");
+  mem.raw_write_u64(0x1000, 99);  // loader bypasses permissions
+  EXPECT_EQ(mem.raw_read_u64(0x1000), 99U);
+  EXPECT_THROW(mem.raw_write_u64(0x9000, 1), std::out_of_range);
+  EXPECT_THROW((void)mem.raw_read_u64(0x9000), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace acs::sim

@@ -1,0 +1,196 @@
+// acs-run — command-line driver for the PACStack/ACS simulation stack.
+//
+// Compile a built-in workload under any protection scheme, run it on the
+// simulated machine, and inspect the result: outputs, cycle counts,
+// generated code, crash traces, ACS backtraces.
+//
+//   acs-run --list
+//   acs-run --workload 500.perlbench_r --scheme pacstack
+//   acs-run --workload nginx --scheme pacstack-nomask --costs latency
+//   acs-run --workload setjmp_longjmp_deep --scheme pacstack --disasm
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "compiler/codegen.h"
+#include "kernel/backtrace.h"
+#include "kernel/machine.h"
+#include "sim/disasm.h"
+#include "workload/confirm_suite.h"
+#include "workload/nginx_sim.h"
+#include "workload/spec_suite.h"
+
+namespace {
+
+using namespace acs;
+
+struct Options {
+  std::string workload;
+  compiler::Scheme scheme = compiler::Scheme::kPacStack;
+  u64 seed = 1;
+  bool latency_costs = false;
+  bool disasm = false;
+  bool list = false;
+  std::size_t trace = 64;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: acs-run [options]\n"
+      "  --list                 list available workloads and schemes\n"
+      "  --workload <name>      workload to run (see --list)\n"
+      "  --scheme <name>        protection scheme (default: pacstack)\n"
+      "  --seed <n>             machine seed / PA keys (default: 1)\n"
+      "  --costs <eff|latency>  cycle model (default: effective)\n"
+      "  --disasm               print the generated code before running\n"
+      "  --trace <n>            crash-trace depth (default: 64)\n");
+}
+
+void print_list() {
+  std::printf("schemes:\n");
+  for (const auto scheme : compiler::all_schemes()) {
+    std::printf("  %s\n", compiler::scheme_name(scheme).c_str());
+  }
+  std::printf("workloads:\n  nginx  (Table 3 worker)\n");
+  for (const auto& bench : workload::spec_suite()) {
+    std::printf("  %s  (SPEC-like, Figure 5)\n", bench.name.c_str());
+  }
+  for (const auto& bench : workload::spec_cpp_suite()) {
+    std::printf("  %s  (SPEC C++-like)\n", bench.name.c_str());
+  }
+  for (const auto& test : workload::confirm_suite()) {
+    std::printf("  %s  (ConFIRM compatibility)\n", test.name.c_str());
+  }
+}
+
+[[nodiscard]] std::optional<compiler::ProgramIr> find_workload(
+    const std::string& name) {
+  if (name == "nginx") return workload::make_worker_ir(50, 7);
+  for (const auto& bench : workload::spec_suite()) {
+    if (bench.name == name) {
+      auto small = bench;
+      small.iterations = std::min<u64>(small.iterations, 500);
+      return workload::make_spec_ir(small);
+    }
+  }
+  for (const auto& bench : workload::spec_cpp_suite()) {
+    if (bench.name == name) {
+      auto small = bench;
+      small.iterations = std::min<u64>(small.iterations, 500);
+      return workload::make_spec_cpp_ir(small);
+    }
+  }
+  for (auto& test : workload::confirm_suite()) {
+    if (test.name == name) return std::move(test.ir);
+  }
+  return std::nullopt;
+}
+
+int run(const Options& options) {
+  const auto ir = find_workload(options.workload);
+  if (!ir) {
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                 options.workload.c_str());
+    return 2;
+  }
+  const auto program = compiler::compile_ir(*ir, {.scheme = options.scheme});
+  if (options.disasm) {
+    std::printf("%s\n", sim::disassemble(program).c_str());
+  }
+
+  kernel::MachineOptions machine_options;
+  machine_options.seed = options.seed;
+  machine_options.costs = options.latency_costs ? sim::latency_costs()
+                                                : sim::effective_costs();
+  machine_options.trace_depth = options.trace;
+  kernel::Machine machine(program, machine_options);
+  machine.run();
+
+  int exit_code = 0;
+  for (const auto& process : machine.processes()) {
+    std::printf("pid %llu: ", (unsigned long long)process->pid());
+    switch (process->state) {
+      case kernel::ProcessState::kExited:
+        std::printf("exited(%llu)", (unsigned long long)process->exit_code);
+        break;
+      case kernel::ProcessState::kKilled:
+        std::printf("KILLED (%s)", process->kill_reason.c_str());
+        exit_code = 1;
+        break;
+      case kernel::ProcessState::kLive:
+        std::printf("still live (deadlock?)");
+        exit_code = 1;
+        break;
+    }
+    std::printf("  cycles=%llu instructions=%llu\n",
+                (unsigned long long)process->cycles(),
+                (unsigned long long)process->instructions());
+    if (!process->output.empty()) {
+      std::printf("  output:");
+      for (u64 v : process->output) std::printf(" %llu", (unsigned long long)v);
+      std::printf("\n");
+    }
+    if (!process->crash_trace.empty()) {
+      std::printf("  crash trace (last %zu instructions):\n",
+                  process->crash_trace.size());
+      for (const auto& line : process->crash_trace) {
+        std::printf("    %s\n", line.c_str());
+      }
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--workload") {
+      options.workload = next();
+    } else if (arg == "--scheme") {
+      try {
+        options.scheme = compiler::scheme_from_name(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--costs") {
+      options.latency_costs = std::strcmp(next(), "latency") == 0;
+    } else if (arg == "--disasm") {
+      options.disasm = true;
+    } else if (arg == "--trace") {
+      options.trace = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (options.list) {
+    print_list();
+    return 0;
+  }
+  if (options.workload.empty()) {
+    print_usage();
+    return 2;
+  }
+  return run(options);
+}
