@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confirm.dir/bench_confirm.cc.o"
+  "CMakeFiles/bench_confirm.dir/bench_confirm.cc.o.d"
+  "bench_confirm"
+  "bench_confirm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confirm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pa.dir/bench_micro_pa.cc.o"
+  "CMakeFiles/bench_micro_pa.dir/bench_micro_pa.cc.o.d"
+  "bench_micro_pa"
+  "bench_micro_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

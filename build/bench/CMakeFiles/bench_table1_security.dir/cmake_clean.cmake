@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_security.dir/bench_table1_security.cc.o"
+  "CMakeFiles/bench_table1_security.dir/bench_table1_security.cc.o.d"
+  "bench_table1_security"
+  "bench_table1_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

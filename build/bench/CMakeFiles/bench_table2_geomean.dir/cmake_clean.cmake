@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_geomean.dir/bench_table2_geomean.cc.o"
+  "CMakeFiles/bench_table2_geomean.dir/bench_table2_geomean.cc.o.d"
+  "bench_table2_geomean"
+  "bench_table2_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

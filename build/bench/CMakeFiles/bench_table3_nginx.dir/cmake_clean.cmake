@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nginx.dir/bench_table3_nginx.cc.o"
+  "CMakeFiles/bench_table3_nginx.dir/bench_table3_nginx.cc.o.d"
+  "bench_table3_nginx"
+  "bench_table3_nginx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nginx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

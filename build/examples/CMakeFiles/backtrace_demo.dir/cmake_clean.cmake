@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtrace_demo.dir/backtrace_demo.cpp.o"
+  "CMakeFiles/backtrace_demo.dir/backtrace_demo.cpp.o.d"
+  "backtrace_demo"
+  "backtrace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtrace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exceptions_demo.dir/exceptions_demo.cpp.o"
+  "CMakeFiles/exceptions_demo.dir/exceptions_demo.cpp.o.d"
+  "exceptions_demo"
+  "exceptions_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exceptions_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

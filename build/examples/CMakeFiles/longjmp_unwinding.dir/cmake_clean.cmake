@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longjmp_unwinding.dir/longjmp_unwinding.cpp.o"
+  "CMakeFiles/longjmp_unwinding.dir/longjmp_unwinding.cpp.o.d"
+  "longjmp_unwinding"
+  "longjmp_unwinding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longjmp_unwinding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_attack.dir/rop_attack.cpp.o"
+  "CMakeFiles/rop_attack.dir/rop_attack.cpp.o.d"
+  "rop_attack"
+  "rop_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

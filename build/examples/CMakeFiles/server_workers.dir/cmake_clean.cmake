@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_workers.dir/server_workers.cpp.o"
+  "CMakeFiles/server_workers.dir/server_workers.cpp.o.d"
+  "server_workers"
+  "server_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

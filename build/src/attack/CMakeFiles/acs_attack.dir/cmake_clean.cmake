@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_attack.dir/adversary.cc.o"
+  "CMakeFiles/acs_attack.dir/adversary.cc.o.d"
+  "CMakeFiles/acs_attack.dir/experiments.cc.o"
+  "CMakeFiles/acs_attack.dir/experiments.cc.o.d"
+  "CMakeFiles/acs_attack.dir/games.cc.o"
+  "CMakeFiles/acs_attack.dir/games.cc.o.d"
+  "CMakeFiles/acs_attack.dir/scenarios.cc.o"
+  "CMakeFiles/acs_attack.dir/scenarios.cc.o.d"
+  "libacs_attack.a"
+  "libacs_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

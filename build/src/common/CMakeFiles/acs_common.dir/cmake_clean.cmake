@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_common.dir/rng.cc.o"
+  "CMakeFiles/acs_common.dir/rng.cc.o.d"
+  "CMakeFiles/acs_common.dir/stats.cc.o"
+  "CMakeFiles/acs_common.dir/stats.cc.o.d"
+  "CMakeFiles/acs_common.dir/table.cc.o"
+  "CMakeFiles/acs_common.dir/table.cc.o.d"
+  "libacs_common.a"
+  "libacs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_compiler.dir/codegen.cc.o"
+  "CMakeFiles/acs_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/acs_compiler.dir/interp.cc.o"
+  "CMakeFiles/acs_compiler.dir/interp.cc.o.d"
+  "CMakeFiles/acs_compiler.dir/ir.cc.o"
+  "CMakeFiles/acs_compiler.dir/ir.cc.o.d"
+  "CMakeFiles/acs_compiler.dir/schemes.cc.o"
+  "CMakeFiles/acs_compiler.dir/schemes.cc.o.d"
+  "libacs_compiler.a"
+  "libacs_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

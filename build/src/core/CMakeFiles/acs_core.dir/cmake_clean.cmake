@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_core.dir/analysis.cc.o"
+  "CMakeFiles/acs_core.dir/analysis.cc.o.d"
+  "CMakeFiles/acs_core.dir/chain.cc.o"
+  "CMakeFiles/acs_core.dir/chain.cc.o.d"
+  "libacs_core.a"
+  "libacs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_crypto.dir/keys.cc.o"
+  "CMakeFiles/acs_crypto.dir/keys.cc.o.d"
+  "CMakeFiles/acs_crypto.dir/mac.cc.o"
+  "CMakeFiles/acs_crypto.dir/mac.cc.o.d"
+  "CMakeFiles/acs_crypto.dir/qarma64.cc.o"
+  "CMakeFiles/acs_crypto.dir/qarma64.cc.o.d"
+  "CMakeFiles/acs_crypto.dir/siphash.cc.o"
+  "CMakeFiles/acs_crypto.dir/siphash.cc.o.d"
+  "libacs_crypto.a"
+  "libacs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

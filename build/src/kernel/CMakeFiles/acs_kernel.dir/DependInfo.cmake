@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/backtrace.cc" "src/kernel/CMakeFiles/acs_kernel.dir/backtrace.cc.o" "gcc" "src/kernel/CMakeFiles/acs_kernel.dir/backtrace.cc.o.d"
+  "/root/repo/src/kernel/machine.cc" "src/kernel/CMakeFiles/acs_kernel.dir/machine.cc.o" "gcc" "src/kernel/CMakeFiles/acs_kernel.dir/machine.cc.o.d"
+  "/root/repo/src/kernel/task.cc" "src/kernel/CMakeFiles/acs_kernel.dir/task.cc.o" "gcc" "src/kernel/CMakeFiles/acs_kernel.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pa/CMakeFiles/acs_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

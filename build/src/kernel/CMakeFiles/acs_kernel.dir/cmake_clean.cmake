@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_kernel.dir/backtrace.cc.o"
+  "CMakeFiles/acs_kernel.dir/backtrace.cc.o.d"
+  "CMakeFiles/acs_kernel.dir/machine.cc.o"
+  "CMakeFiles/acs_kernel.dir/machine.cc.o.d"
+  "CMakeFiles/acs_kernel.dir/task.cc.o"
+  "CMakeFiles/acs_kernel.dir/task.cc.o.d"
+  "libacs_kernel.a"
+  "libacs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

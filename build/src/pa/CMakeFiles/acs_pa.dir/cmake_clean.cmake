@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_pa.dir/pointer_auth.cc.o"
+  "CMakeFiles/acs_pa.dir/pointer_auth.cc.o.d"
+  "CMakeFiles/acs_pa.dir/va_layout.cc.o"
+  "CMakeFiles/acs_pa.dir/va_layout.cc.o.d"
+  "libacs_pa.a"
+  "libacs_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

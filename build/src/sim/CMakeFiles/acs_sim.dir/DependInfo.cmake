@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cc" "src/sim/CMakeFiles/acs_sim.dir/assembler.cc.o" "gcc" "src/sim/CMakeFiles/acs_sim.dir/assembler.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/acs_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/acs_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/disasm.cc" "src/sim/CMakeFiles/acs_sim.dir/disasm.cc.o" "gcc" "src/sim/CMakeFiles/acs_sim.dir/disasm.cc.o.d"
+  "/root/repo/src/sim/isa.cc" "src/sim/CMakeFiles/acs_sim.dir/isa.cc.o" "gcc" "src/sim/CMakeFiles/acs_sim.dir/isa.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/acs_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/acs_sim.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pa/CMakeFiles/acs_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_sim.dir/assembler.cc.o"
+  "CMakeFiles/acs_sim.dir/assembler.cc.o.d"
+  "CMakeFiles/acs_sim.dir/cpu.cc.o"
+  "CMakeFiles/acs_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/acs_sim.dir/disasm.cc.o"
+  "CMakeFiles/acs_sim.dir/disasm.cc.o.d"
+  "CMakeFiles/acs_sim.dir/isa.cc.o"
+  "CMakeFiles/acs_sim.dir/isa.cc.o.d"
+  "CMakeFiles/acs_sim.dir/memory.cc.o"
+  "CMakeFiles/acs_sim.dir/memory.cc.o.d"
+  "libacs_sim.a"
+  "libacs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

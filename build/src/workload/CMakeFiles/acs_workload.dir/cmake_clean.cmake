@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_workload.dir/callgraph_gen.cc.o"
+  "CMakeFiles/acs_workload.dir/callgraph_gen.cc.o.d"
+  "CMakeFiles/acs_workload.dir/confirm_suite.cc.o"
+  "CMakeFiles/acs_workload.dir/confirm_suite.cc.o.d"
+  "CMakeFiles/acs_workload.dir/measure.cc.o"
+  "CMakeFiles/acs_workload.dir/measure.cc.o.d"
+  "CMakeFiles/acs_workload.dir/nginx_sim.cc.o"
+  "CMakeFiles/acs_workload.dir/nginx_sim.cc.o.d"
+  "CMakeFiles/acs_workload.dir/spec_suite.cc.o"
+  "CMakeFiles/acs_workload.dir/spec_suite.cc.o.d"
+  "libacs_workload.a"
+  "libacs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

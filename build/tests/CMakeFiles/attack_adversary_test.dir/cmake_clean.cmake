@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_adversary_test.dir/attack/adversary_test.cc.o"
+  "CMakeFiles/attack_adversary_test.dir/attack/adversary_test.cc.o.d"
+  "attack_adversary_test"
+  "attack_adversary_test.pdb"
+  "attack_adversary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_experiments_test.dir/attack/experiments_test.cc.o"
+  "CMakeFiles/attack_experiments_test.dir/attack/experiments_test.cc.o.d"
+  "attack_experiments_test"
+  "attack_experiments_test.pdb"
+  "attack_experiments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

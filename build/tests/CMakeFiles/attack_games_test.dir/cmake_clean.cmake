@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_games_test.dir/attack/games_test.cc.o"
+  "CMakeFiles/attack_games_test.dir/attack/games_test.cc.o.d"
+  "attack_games_test"
+  "attack_games_test.pdb"
+  "attack_games_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_games_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bitops_test.dir/common/bitops_test.cc.o"
+  "CMakeFiles/common_bitops_test.dir/common/bitops_test.cc.o.d"
+  "common_bitops_test"
+  "common_bitops_test.pdb"
+  "common_bitops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bitops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

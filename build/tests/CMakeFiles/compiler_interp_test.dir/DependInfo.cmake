@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compiler/interp_test.cc" "tests/CMakeFiles/compiler_interp_test.dir/compiler/interp_test.cc.o" "gcc" "tests/CMakeFiles/compiler_interp_test.dir/compiler/interp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/acs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/acs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/acs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/acs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pa/CMakeFiles/acs_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

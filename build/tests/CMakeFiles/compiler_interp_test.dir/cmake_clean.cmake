@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_interp_test.dir/compiler/interp_test.cc.o"
+  "CMakeFiles/compiler_interp_test.dir/compiler/interp_test.cc.o.d"
+  "compiler_interp_test"
+  "compiler_interp_test.pdb"
+  "compiler_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_ir_test.dir/compiler/ir_test.cc.o"
+  "CMakeFiles/compiler_ir_test.dir/compiler/ir_test.cc.o.d"
+  "compiler_ir_test"
+  "compiler_ir_test.pdb"
+  "compiler_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

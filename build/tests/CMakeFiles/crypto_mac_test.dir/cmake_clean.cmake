@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_mac_test.dir/crypto/mac_test.cc.o"
+  "CMakeFiles/crypto_mac_test.dir/crypto/mac_test.cc.o.d"
+  "crypto_mac_test"
+  "crypto_mac_test.pdb"
+  "crypto_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_qarma_test.dir/crypto/qarma_test.cc.o"
+  "CMakeFiles/crypto_qarma_test.dir/crypto/qarma_test.cc.o.d"
+  "crypto_qarma_test"
+  "crypto_qarma_test.pdb"
+  "crypto_qarma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_qarma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_siphash_test.dir/crypto/siphash_test.cc.o"
+  "CMakeFiles/crypto_siphash_test.dir/crypto/siphash_test.cc.o.d"
+  "crypto_siphash_test"
+  "crypto_siphash_test.pdb"
+  "crypto_siphash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_siphash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

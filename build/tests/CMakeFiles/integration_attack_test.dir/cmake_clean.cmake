@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_attack_test.dir/integration/attack_test.cc.o"
+  "CMakeFiles/integration_attack_test.dir/integration/attack_test.cc.o.d"
+  "integration_attack_test"
+  "integration_attack_test.pdb"
+  "integration_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_execution_test.dir/integration/execution_test.cc.o"
+  "CMakeFiles/integration_execution_test.dir/integration/execution_test.cc.o.d"
+  "integration_execution_test"
+  "integration_execution_test.pdb"
+  "integration_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_backtrace_test.dir/kernel/backtrace_test.cc.o"
+  "CMakeFiles/kernel_backtrace_test.dir/kernel/backtrace_test.cc.o.d"
+  "kernel_backtrace_test"
+  "kernel_backtrace_test.pdb"
+  "kernel_backtrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_backtrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

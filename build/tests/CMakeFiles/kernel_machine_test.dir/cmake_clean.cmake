@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_machine_test.dir/kernel/machine_test.cc.o"
+  "CMakeFiles/kernel_machine_test.dir/kernel/machine_test.cc.o.d"
+  "kernel_machine_test"
+  "kernel_machine_test.pdb"
+  "kernel_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_pointer_auth_test.dir/pa/pointer_auth_test.cc.o"
+  "CMakeFiles/pa_pointer_auth_test.dir/pa/pointer_auth_test.cc.o.d"
+  "pa_pointer_auth_test"
+  "pa_pointer_auth_test.pdb"
+  "pa_pointer_auth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_pointer_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_va_layout_test.dir/pa/va_layout_test.cc.o"
+  "CMakeFiles/pa_va_layout_test.dir/pa/va_layout_test.cc.o.d"
+  "pa_va_layout_test"
+  "pa_va_layout_test.pdb"
+  "pa_va_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_va_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_disasm_test.dir/sim/disasm_test.cc.o"
+  "CMakeFiles/sim_disasm_test.dir/sim/disasm_test.cc.o.d"
+  "sim_disasm_test"
+  "sim_disasm_test.pdb"
+  "sim_disasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_disasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs-run.dir/acs_run.cc.o"
+  "CMakeFiles/acs-run.dir/acs_run.cc.o.d"
+  "acs-run"
+  "acs-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

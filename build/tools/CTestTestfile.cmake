@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_acs_run_list "/root/repo/build/tools/acs-run" "--list")
+set_tests_properties(tool_acs_run_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_acs_run_spec "/root/repo/build/tools/acs-run" "--workload" "505.mcf_r" "--scheme" "pacstack")
+set_tests_properties(tool_acs_run_spec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_acs_run_confirm "/root/repo/build/tools/acs-run" "--workload" "exceptions_deep" "--scheme" "pac-ret+leaf")
+set_tests_properties(tool_acs_run_confirm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
