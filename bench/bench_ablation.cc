@@ -8,14 +8,19 @@
 // sensitivity is visible rather than buried in a constant.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "bench/harness.h"
 #include "common/table.h"
 #include "workload/measure.h"
 #include "workload/spec_suite.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
   using compiler::Scheme;
+
+  const auto options = bench::parse_bench_args(argc, argv, "bench_ablation");
+  bench::BenchReporter reporter("bench_ablation", options, 0);
 
   std::printf("PACStack reproduction — ablation: effective (pa=1) vs "
               "in-order latency (pa=4) cycle model\n\n");
@@ -23,22 +28,30 @@ int main() {
   const std::vector<Scheme> schemes = {
       Scheme::kPacStack, Scheme::kPacStackNoMask, Scheme::kShadowStack,
       Scheme::kPacRet, Scheme::kCanary};
+  const std::vector<std::string> scheme_tags = {
+      "pacstack", "pacstack_nomask", "shadow_stack", "pac_ret", "canary"};
 
   for (const auto& model :
-       {std::pair{"effective (paper Table 2 calibration)",
+       {std::pair{std::pair{"effective (paper Table 2 calibration)",
+                            "effective"},
                   sim::effective_costs()},
-        std::pair{"in-order latency (paper 4-cycle PA estimate)",
+        std::pair{std::pair{"in-order latency (paper 4-cycle PA estimate)",
+                            "latency"},
                   sim::latency_costs()}}) {
-    std::printf("-- %s --\n", model.first);
+    std::printf("-- %s --\n", model.first.first);
     Table table({"benchmark", "pacstack", "pacstack-nomask", "shadow-stack",
                  "pac-ret", "canary"});
     for (std::size_t idx : {0UL, 3UL}) {  // perlbench-like, lbm-like
       const auto& bench = workload::spec_suite()[idx];
       const auto ir = workload::make_spec_ir(bench);
       std::vector<std::string> row = {bench.name};
-      for (Scheme scheme : schemes) {
-        row.push_back(Table::fmt(
-            workload::overhead_percent(ir, scheme, 1, model.second), 2));
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const double overhead =
+            workload::overhead_percent(ir, schemes[i], 1, model.second);
+        row.push_back(Table::fmt(overhead, 2));
+        reporter.record("overhead_" + std::string(model.first.second) + "_" +
+                            scheme_tags[i] + "_" + bench.name,
+                        overhead, "percent");
       }
       table.add_row(std::move(row));
     }
@@ -50,5 +63,5 @@ int main() {
               "more than ShadowCallStack's two memory ops, inverting their "
               "order vs the paper's measurements — evidence that the "
               "effective model is the right default.\n");
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

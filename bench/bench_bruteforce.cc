@@ -7,13 +7,18 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "attack/experiments.h"
+#include "bench/harness.h"
 #include "common/table.h"
 #include "core/analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
+
+  const auto options = bench::parse_bench_args(argc, argv, "bench_bruteforce");
+  bench::BenchReporter reporter("bench_bruteforce", options, 0xF00);
 
   std::printf("PACStack reproduction — Section 4.3 guessing-attack costs\n\n");
 
@@ -21,10 +26,13 @@ int main() {
   Table table({"b", "fresh key (measured)", "2^b", "shared key (measured)",
                "2^b", "re-seeded (measured)", "2^(b+1)", "trials"});
   for (unsigned b : {6U, 8U, 10U}) {
-    const u64 trials = 3000;
-    const auto fresh = attack::bruteforce_fresh_key(b, trials, 0xF00 + b);
-    const auto shared = attack::bruteforce_shared_key(b, trials, 0xF10 + b);
-    const auto reseeded = attack::bruteforce_reseeded(b, trials, 0xF20 + b);
+    const u64 trials = options.smoke ? 200 : 3000;
+    const auto fresh = attack::bruteforce_fresh_key(b, trials, 0xF00 + b,
+                                                    options.threads);
+    const auto shared = attack::bruteforce_shared_key(b, trials, 0xF10 + b,
+                                                      options.threads);
+    const auto reseeded = attack::bruteforce_reseeded(b, trials, 0xF20 + b,
+                                                      options.threads);
     table.add_row({std::to_string(b), Table::fmt(fresh.mean_guesses, 1),
                    Table::fmt(std::pow(2.0, b), 0),
                    Table::fmt(shared.mean_guesses, 1),
@@ -32,6 +40,13 @@ int main() {
                    Table::fmt(reseeded.mean_guesses, 1),
                    Table::fmt(core::expected_guesses_reseeded(b), 0),
                    Table::fmt_count(trials)});
+    const std::string suffix = "_b" + std::to_string(b);
+    reporter.record("fresh_key_mean_guesses" + suffix, fresh.mean_guesses,
+                    "guesses", trials, fresh.stddev_guesses);
+    reporter.record("shared_key_mean_guesses" + suffix, shared.mean_guesses,
+                    "guesses", trials, shared.stddev_guesses);
+    reporter.record("reseeded_mean_guesses" + suffix, reseeded.mean_guesses,
+                    "guesses", trials, reseeded.stddev_guesses);
   }
   table.print(std::cout);
 
@@ -47,5 +62,5 @@ int main() {
   std::printf("\n(paper: failed guesses crash the process; re-seeding after "
               "fork/thread creation doubles the attack cost and removes the "
               "divide-and-conquer split.)\n");
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

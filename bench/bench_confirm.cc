@@ -4,12 +4,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "common/table.h"
 #include "workload/confirm_suite.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
   using compiler::Scheme;
+
+  const auto options = bench::parse_bench_args(argc, argv, "bench_confirm");
+  bench::BenchReporter reporter("bench_confirm", options, 0);
 
   std::printf("PACStack reproduction — ConFIRM-style compatibility matrix "
               "(Section 7.3)\n\n");
@@ -37,5 +41,13 @@ int main() {
               "(paper: all applicable tests pass with or without PACStack)\n",
               tests.size(), compiler::all_schemes().size(),
               static_cast<unsigned long long>(failures));
+  const double total =
+      static_cast<double>(tests.size() * compiler::all_schemes().size());
+  reporter.record("confirm_failures", static_cast<double>(failures), "tests",
+                  static_cast<u64>(total));
+  reporter.record("confirm_pass_rate",
+                  total == 0 ? 1.0 : 1.0 - static_cast<double>(failures) / total,
+                  "fraction", static_cast<u64>(total));
+  if (!reporter.finish()) return 1;
   return failures == 0 ? 0 : 1;
 }

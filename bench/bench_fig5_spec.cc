@@ -11,14 +11,19 @@
 // exactly reproducible.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "bench/harness.h"
 #include "common/table.h"
 #include "workload/measure.h"
 #include "workload/spec_suite.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
   using compiler::Scheme;
+
+  const auto options = bench::parse_bench_args(argc, argv, "bench_fig5_spec");
+  bench::BenchReporter reporter("bench_fig5_spec", options, 0);
 
   std::printf("PACStack reproduction — Figure 5: per-benchmark overhead (%%) "
               "vs baseline\n");
@@ -28,6 +33,8 @@ int main() {
   const std::vector<Scheme> schemes = {
       Scheme::kPacStack, Scheme::kPacStackNoMask, Scheme::kShadowStack,
       Scheme::kPacRet, Scheme::kCanary};
+  const std::vector<std::string> scheme_tags = {
+      "pacstack", "pacstack_nomask", "shadow_stack", "pac_ret", "canary"};
 
   Table table({"benchmark", "baseline cycles", "pacstack", "pacstack-nomask",
                "shadow-stack", "pac-ret", "canary"});
@@ -42,14 +49,16 @@ int main() {
     }
     std::vector<std::string> row = {bench.name,
                                     Table::fmt_count(base.cycles)};
-    for (Scheme scheme : schemes) {
-      const auto inst = workload::run_and_measure(ir, scheme);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto inst = workload::run_and_measure(ir, schemes[i]);
       const double overhead =
           (static_cast<double>(inst.cycles) /
                static_cast<double>(base.cycles) -
            1.0) *
           100.0;
       row.push_back(Table::fmt(overhead, 2));
+      reporter.record("overhead_" + scheme_tags[i] + "_" + bench.name,
+                      overhead, "percent");
     }
     table.add_row(std::move(row));
   }
@@ -62,13 +71,15 @@ int main() {
     const auto ir = workload::make_spec_cpp_ir(bench);
     const auto base = workload::run_and_measure(ir, Scheme::kNone);
     std::vector<std::string> row = {bench.name, Table::fmt_count(base.cycles)};
-    for (Scheme scheme : schemes) {
-      const auto inst = workload::run_and_measure(ir, scheme);
-      row.push_back(Table::fmt((static_cast<double>(inst.cycles) /
-                                    static_cast<double>(base.cycles) -
-                                1.0) *
-                                   100.0,
-                               2));
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto inst = workload::run_and_measure(ir, schemes[i]);
+      const double overhead = (static_cast<double>(inst.cycles) /
+                                   static_cast<double>(base.cycles) -
+                               1.0) *
+                              100.0;
+      row.push_back(Table::fmt(overhead, 2));
+      reporter.record("overhead_" + scheme_tags[i] + "_" + bench.name,
+                      overhead, "percent");
     }
     cpp_table.add_row(std::move(row));
   }
@@ -77,5 +88,5 @@ int main() {
   std::printf("\nPaper reference points: PACStack geomean ~2.75%% (rate) / "
               "~3.28%% (speed), C++ ~2.0%%; lbm ~0%%; call-dense benchmarks "
               "~5-6%%.\n");
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -4,13 +4,19 @@
 //  * the birthday curve p_collision(q) — measured vs the paper's formula.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "attack/experiments.h"
+#include "bench/harness.h"
 #include "common/table.h"
 #include "core/analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
+
+  const auto options =
+      bench::parse_bench_args(argc, argv, "bench_fig_collisions");
+  bench::BenchReporter reporter("bench_fig_collisions", options, 0xB17D);
 
   std::printf("PACStack reproduction — collision statistics (Sections 4.2 / "
               "6.2.1)\n\n");
@@ -19,12 +25,16 @@ int main() {
   Table mean_table({"b (PAC bits)", "measured mean", "stddev",
                     "paper sqrt(pi*2^b/2)", "trials"});
   for (unsigned b : {8U, 12U, 16U}) {
-    const u64 trials = b == 16 ? 500 : 2000;
-    const auto stats = attack::tokens_to_collision(b, trials, 0xB17D + b);
+    u64 trials = b == 16 ? 500 : 2000;
+    if (options.smoke) trials = b == 16 ? 50 : 200;
+    const auto stats = attack::tokens_to_collision(b, trials, 0xB17D + b,
+                                                   options.threads);
     mean_table.add_row({std::to_string(b), Table::fmt(stats.mean_tokens, 1),
                         Table::fmt(stats.stddev_tokens, 1),
                         Table::fmt(core::expected_tokens_to_collision(b), 1),
                         Table::fmt_count(stats.trials)});
+    reporter.record("tokens_to_collision_b" + std::to_string(b),
+                    stats.mean_tokens, "tokens", trials, stats.stddev_tokens);
   }
   mean_table.print(std::cout);
   std::printf("(paper: \"321 tokens for b = 16\")\n\n");
@@ -32,11 +42,15 @@ int main() {
   std::printf("-- Birthday curve p_collision(q) at b = 16 --\n");
   Table curve({"q (tokens)", "measured", "paper formula", "trials"});
   for (u64 q : {64ULL, 128ULL, 256ULL, 321ULL, 512ULL, 768ULL, 1024ULL}) {
-    const auto result = attack::collision_within(16, q, 2000, 0xC0111 + q);
+    const u64 trials = options.smoke ? 100 : 2000;
+    const auto result =
+        attack::collision_within(16, q, trials, 0xC0111 + q, options.threads);
     curve.add_row({Table::fmt_count(q), Table::fmt_prob(result.rate()),
                    Table::fmt_prob(core::collision_probability(q, 16)),
                    Table::fmt_count(result.trials)});
+    reporter.record("p_collision_q" + std::to_string(q), result.rate(),
+                    "probability", result.trials);
   }
   curve.print(std::cout);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

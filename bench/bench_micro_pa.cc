@@ -5,6 +5,12 @@
 // of PA-operation cost.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "compiler/codegen.h"
 #include "crypto/mac.h"
@@ -130,6 +136,59 @@ BENCHMARK(BM_PerCallInstrumentationCycles)
     ->Arg(static_cast<int>(compiler::Scheme::kShadowStack))
     ->Arg(static_cast<int>(compiler::Scheme::kPacRet));
 
+/// Console output stays untouched; each per-iteration run is additionally
+/// forwarded to the harness JSON sink.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::BenchReporter& sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      sink_.record(run.benchmark_name(), run.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(run.time_unit),
+                   static_cast<u64>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReporter& sink_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split our uniform harness flags from google-benchmark's own
+  // (--benchmark_*) flags; each parser sees only its share.
+  std::vector<char*> harness_args = {argv[0]};
+  std::vector<char*> bm_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    (std::strncmp(argv[i], "--benchmark", 11) == 0 ? bm_args : harness_args)
+        .push_back(argv[i]);
+  }
+  int harness_argc = static_cast<int>(harness_args.size());
+  const auto options = bench::parse_bench_args(
+      harness_argc, harness_args.data(), "bench_micro_pa",
+      "  --benchmark_*  passed through to google-benchmark\n");
+  bench::BenchReporter reporter("bench_micro_pa", options, 0);
+
+  // Smoke mode runs only the cheapest primitive so the JSON path is
+  // exercised in well under a second; an explicit user filter wins.
+  std::string smoke_filter = "--benchmark_filter=BM_SipHashPair";
+  const bool user_filter =
+      std::any_of(bm_args.begin(), bm_args.end(), [](const char* a) {
+        return std::strncmp(a, "--benchmark_filter", 18) == 0;
+      });
+  if (options.smoke && !user_filter) bm_args.push_back(smoke_filter.data());
+
+  int bm_argc = static_cast<int>(bm_args.size());
+  benchmark::Initialize(&bm_argc, bm_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data())) {
+    return 2;
+  }
+  RecordingReporter console(reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return reporter.finish() ? 0 : 1;
+}

@@ -9,16 +9,20 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "attack/scenarios.h"
+#include "bench/harness.h"
 #include "common/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
   using namespace acs::attack;
   using compiler::Scheme;
 
   constexpr u64 kSeed = 0x5EED;
+  const auto options = bench::parse_bench_args(argc, argv, "bench_reuse");
+  bench::BenchReporter reporter("bench_reuse", options, kSeed);
 
   std::printf("PACStack reproduction — run-time attack matrix (Sections 6.1, "
               "6.3)\n\n");
@@ -88,15 +92,22 @@ int main() {
               "6.1) --\n");
   Table surface({"scheme (modifier)", "programs", "with reusable pair",
                  "signing events", "interchangeable pairs"});
+  const u64 surface_graphs = options.smoke ? 5 : 25;
   const auto pacret_surface =
-      measure_reuse_surface(Scheme::kPacRet, 25, 0xFACE);
+      measure_reuse_surface(Scheme::kPacRet, surface_graphs, 0xFACE);
   surface.add_row({"pac-ret (SP value)",
                    Table::fmt_count(pacret_surface.graphs),
                    Table::fmt_count(pacret_surface.graphs_with_pair),
                    Table::fmt_count(pacret_surface.activations),
                    Table::fmt_count(pacret_surface.interchangeable_pairs)});
   const auto pacstack_surface =
-      measure_reuse_surface(Scheme::kPacStack, 25, 0xFACE);
+      measure_reuse_surface(Scheme::kPacStack, surface_graphs, 0xFACE);
+  reporter.record("pacret_interchangeable_pairs",
+                  static_cast<double>(pacret_surface.interchangeable_pairs),
+                  "pairs", pacret_surface.graphs);
+  reporter.record("pacstack_interchangeable_pairs",
+                  static_cast<double>(pacstack_surface.interchangeable_pairs),
+                  "pairs", pacstack_surface.graphs);
   surface.add_row({"pacstack (chained aret)",
                    Table::fmt_count(pacstack_surface.graphs),
                    Table::fmt_count(pacstack_surface.graphs_with_pair),
@@ -142,14 +153,18 @@ int main() {
   std::printf("-- Off-graph guesses on the instrumented stack --\n");
   Table guess({"attack", "b", "measured rate", "paper", "trials"});
   for (unsigned b : {6U, 8U}) {
-    const auto result = run_offgraph_guess_cpu(b, b == 6 ? 4096 : 16384,
-                                               kSeed + b);
+    u64 trials = b == 6 ? 4096 : 16384;
+    if (options.smoke) trials /= 16;
+    const auto result = run_offgraph_guess_cpu(b, trials, kSeed + b);
     guess.add_row({"to call-site (AG-Load only)", std::to_string(b),
                    Table::fmt_prob(result.rate()),
                    Table::fmt_prob(std::pow(2.0, -static_cast<double>(b))),
                    Table::fmt_count(result.trials)});
+    reporter.record("offgraph_guess_rate_b" + std::to_string(b),
+                    result.rate(), "probability", result.trials);
   }
-  const auto arbitrary = run_offgraph_arbitrary_cpu(5, 40'000, kSeed);
+  const auto arbitrary =
+      run_offgraph_arbitrary_cpu(5, options.smoke ? 2500 : 40'000, kSeed);
   guess.add_row({"to arbitrary address (full chain)", "5",
                  Table::fmt_prob(arbitrary.rate()),
                  Table::fmt_prob(std::pow(2.0, -10.0)),
@@ -159,7 +174,7 @@ int main() {
 
   std::printf("-- Deep-harvest end-to-end kill chain (reproduction "
               "finding) --\n");
-  const auto e2e = run_deep_harvest_e2e(6, 12, 150, kSeed);
+  const auto e2e = run_deep_harvest_e2e(6, 12, options.smoke ? 30 : 150, kSeed);
   Table deep({"machines", "visible token collisions", "full hijacks",
               "conditional success"});
   deep.add_row({Table::fmt_count(e2e.machines),
@@ -174,5 +189,7 @@ int main() {
   std::printf("(12 paths, b = 6: every masked-token collision visible one "
               "level deep converts into an on-graph bend — see "
               "docs/deep-harvest-finding.md)\n");
-  return 0;
+  reporter.record("deep_harvest_e2e_hijacks",
+                  static_cast<double>(e2e.hijacks), "hijacks", e2e.machines);
+  return reporter.finish() ? 0 : 1;
 }

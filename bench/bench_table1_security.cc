@@ -13,9 +13,11 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "attack/experiments.h"
 #include "attack/games.h"
+#include "bench/harness.h"
 #include "common/table.h"
 #include "core/analysis.h"
 
@@ -23,45 +25,62 @@ namespace {
 
 using namespace acs;
 
-void print_table1(unsigned b) {
+// Smoke mode divides the heavyweight trial counts; rates stay deterministic
+// per seed, only their confidence intervals widen.
+u64 scale(const bench::BenchOptions& options, u64 trials) {
+  return options.smoke ? std::max<u64>(trials / 100, 100) : trials;
+}
+
+void print_table1(unsigned b, const bench::BenchOptions& options,
+                  bench::BenchReporter& reporter) {
   const u64 seed = 0xAC501 + b;
   const u64 harvest = 5 * (u64{1} << (b / 2));
+  const std::string suffix = "_b" + std::to_string(b);
 
   std::printf("\n-- Table 1 (b = %u, harvest = %llu aret values) --\n", b,
               static_cast<unsigned long long>(harvest));
   Table table({"violation type", "masking", "measured rate", "paper (analytic)",
                "trials"});
 
-  const auto add = [&](const char* type, bool masking,
+  const auto add = [&](const char* type, const char* metric, bool masking,
                        const attack::MonteCarloResult& result,
                        double analytic) {
     table.add_row({type, masking ? "yes" : "no",
                    Table::fmt_prob(result.rate()), Table::fmt_prob(analytic),
                    Table::fmt_count(result.trials)});
+    reporter.record(std::string(metric) + (masking ? "_masked" : "_unmasked") +
+                        suffix,
+                    result.rate(), "probability", result.trials);
   };
 
   const auto row_nomask = core::table1_probabilities(b, false);
   const auto row_mask = core::table1_probabilities(b, true);
 
-  add("on-graph", false,
-      attack::on_graph_attack(b, false, harvest, 4000, seed),
+  add("on-graph", "on_graph", false,
+      attack::on_graph_attack(b, false, harvest, scale(options, 4000), seed,
+                              options.threads),
       row_nomask.on_graph);
-  add("on-graph", true,
-      attack::on_graph_attack(b, true, harvest, 400'000, seed + 1),
+  add("on-graph", "on_graph", true,
+      attack::on_graph_attack(b, true, harvest, scale(options, 400'000),
+                              seed + 1, options.threads),
       row_mask.on_graph);
-  add("off-graph to call-site", false,
-      attack::off_graph_to_call_site(b, false, 400'000, seed + 2),
+  add("off-graph to call-site", "off_graph_call_site", false,
+      attack::off_graph_to_call_site(b, false, scale(options, 400'000),
+                                     seed + 2, options.threads),
       row_nomask.off_graph_to_call_site);
-  add("off-graph to call-site", true,
-      attack::off_graph_to_call_site(b, true, 400'000, seed + 3),
+  add("off-graph to call-site", "off_graph_call_site", true,
+      attack::off_graph_to_call_site(b, true, scale(options, 400'000),
+                                     seed + 3, options.threads),
       row_mask.off_graph_to_call_site);
   if (b <= 8) {
     // 2^-2b successes need ~2^(2b) trials; only feasible for small b.
-    add("off-graph to arbitrary", false,
-        attack::off_graph_arbitrary(b, false, 4'000'000, seed + 4),
+    add("off-graph to arbitrary", "off_graph_arbitrary", false,
+        attack::off_graph_arbitrary(b, false, scale(options, 4'000'000),
+                                    seed + 4, options.threads),
         row_nomask.off_graph_arbitrary);
-    add("off-graph to arbitrary", true,
-        attack::off_graph_arbitrary(b, true, 4'000'000, seed + 5),
+    add("off-graph to arbitrary", "off_graph_arbitrary", true,
+        attack::off_graph_arbitrary(b, true, scale(options, 4'000'000),
+                                    seed + 5, options.threads),
         row_mask.off_graph_arbitrary);
   } else {
     table.add_row({"off-graph to arbitrary", "either", "(analytic only)",
@@ -70,30 +89,39 @@ void print_table1(unsigned b) {
   table.print(std::cout);
 }
 
-void print_games(unsigned b) {
+void print_games(unsigned b, const bench::BenchOptions& options,
+                 bench::BenchReporter& reporter) {
   const u64 seed = 0xA11CE + b;
+  const std::string suffix = "_b" + std::to_string(b);
   std::printf("\n-- Appendix A games (b = %u) --\n", b);
   Table table({"game", "win rate", "baseline", "advantage", "trials"});
-  const auto masked = attack::pac_collision_game(b, 64, 60'000, seed);
+  const auto masked = attack::pac_collision_game(b, 64, scale(options, 60'000),
+                                                 seed, options.threads);
   const double blind = std::pow(2.0, -static_cast<double>(b));
   table.add_row({"PAC-Collision (masked)", Table::fmt_prob(masked.win_rate()),
                  Table::fmt_prob(blind),
                  Table::fmt_prob(masked.advantage(blind)),
                  Table::fmt_count(masked.trials)});
-  const auto unmasked = attack::pac_collision_game_unmasked(b, 80, 4000, seed);
+  reporter.record("game_pac_collision_masked" + suffix, masked.win_rate(),
+                  "probability", masked.trials);
+  const auto unmasked = attack::pac_collision_game_unmasked(
+      b, 80, scale(options, 4000), seed, options.threads);
   table.add_row({"PAC-Collision (no masking, q=80)",
                  Table::fmt_prob(unmasked.win_rate()), "birthday",
                  "-", Table::fmt_count(unmasked.trials)});
-  const auto dist = attack::pac_distinguish_game(b, 256, 6000, seed);
+  reporter.record("game_pac_collision_unmasked" + suffix, unmasked.win_rate(),
+                  "probability", unmasked.trials);
+  const auto dist = attack::pac_distinguish_game(b, 256, scale(options, 6000),
+                                                 seed, options.threads);
   table.add_row({"PAC-Distinguish", Table::fmt_prob(dist.win_rate()), "0.5000",
                  Table::fmt_prob(dist.advantage(0.5)),
                  Table::fmt_count(dist.trials)});
-  table.print(std::cout);
+  reporter.record("game_pac_distinguish" + suffix, dist.win_rate(),
+                  "probability", dist.trials);
 }
 
-}  // namespace
-
-void print_deep_harvest() {
+void print_deep_harvest(const bench::BenchOptions& options,
+                        bench::BenchReporter& reporter) {
   std::printf("\n-- Reproduction finding: deep-harvest adversary --\n");
   std::printf("The masked token t ^ m is itself the chain-register value "
               "and is spilled one\ncall level deeper; its collisions are "
@@ -103,10 +131,11 @@ void print_deep_harvest() {
   Table table({"b", "harvest depth", "measured rate", "analytic", "trials"});
   for (unsigned b : {8U, 12U}) {
     const u64 harvest = 5 * (u64{1} << (b / 2));
-    const auto shallow =
-        attack::on_graph_attack(b, true, harvest, 100'000, 0xDEE9 + b);
-    const auto deep =
-        attack::on_graph_attack_deep_harvest(b, harvest, 4000, 0xDEEA + b);
+    const auto shallow = attack::on_graph_attack(
+        b, true, harvest, scale(options, 100'000), 0xDEE9 + b,
+        options.threads);
+    const auto deep = attack::on_graph_attack_deep_harvest(
+        b, harvest, scale(options, 4000), 0xDEEA + b, options.threads);
     table.add_row({std::to_string(b), "same level (paper's model)",
                    Table::fmt_prob(shallow.rate()),
                    Table::fmt_prob(std::pow(2.0, -static_cast<double>(b))),
@@ -114,6 +143,8 @@ void print_deep_harvest() {
     table.add_row({std::to_string(b), "one level deeper",
                    Table::fmt_prob(deep.rate()), "birthday (~1)",
                    Table::fmt_count(deep.trials)});
+    reporter.record("deep_harvest_rate_b" + std::to_string(b), deep.rate(),
+                    "probability", deep.trials);
   }
   table.print(std::cout);
   std::printf("(Theorem 1 bounds identification of raw-tag collisions; the "
@@ -121,15 +152,20 @@ void print_deep_harvest() {
               "masked-token equality. See EXPERIMENTS.md.)\n");
 }
 
-int main() {
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options =
+      bench::parse_bench_args(argc, argv, "bench_table1_security");
+  bench::BenchReporter reporter("bench_table1_security", options, 0xAC501);
   std::printf("PACStack reproduction — Table 1: success probability of "
               "call-stack integrity violations\n");
   std::printf("(paper: USENIX Security'21, Section 6.2; probabilities 1 / "
               "2^-b / 2^-2b)\n");
-  for (unsigned b : {6U, 8U, 12U}) print_table1(b);
+  for (unsigned b : {6U, 8U, 12U}) print_table1(b, options, reporter);
   std::printf("\nTheorem 1 (Appendix A): masking reduces collision-finding "
               "to blind guessing.\n");
-  for (unsigned b : {8U}) print_games(b);
-  print_deep_harvest();
-  return 0;
+  for (unsigned b : {8U}) print_games(b, options, reporter);
+  print_deep_harvest(options, reporter);
+  return reporter.finish() ? 0 : 1;
 }

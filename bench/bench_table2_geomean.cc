@@ -13,15 +13,21 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <string>
 
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "workload/measure.h"
 #include "workload/spec_suite.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
   using compiler::Scheme;
+
+  const auto options =
+      bench::parse_bench_args(argc, argv, "bench_table2_geomean");
+  bench::BenchReporter reporter("bench_table2_geomean", options, 0);
 
   std::printf("PACStack reproduction — Table 2: geometric mean overheads\n");
   std::printf("(paper: USENIX Security'21 Section 7.1)\n\n");
@@ -29,15 +35,17 @@ int main() {
   struct Row {
     Scheme scheme;
     const char* label;
+    const char* tag;
     double paper_rate;
     double paper_speed;
   };
   const std::vector<Row> rows = {
-      {Scheme::kPacStack, "PACStack", 2.75, 3.28},
-      {Scheme::kPacStackNoMask, "PACStack-nomask", 0.86, 1.56},
-      {Scheme::kShadowStack, "ShadowCallStack", 0.85, 0.77},
-      {Scheme::kPacRet, "-mbranch-protection", 0.43, 0.72},
-      {Scheme::kCanary, "-mstack-protector-strong", 0.43, 0.25},
+      {Scheme::kPacStack, "PACStack", "pacstack", 2.75, 3.28},
+      {Scheme::kPacStackNoMask, "PACStack-nomask", "pacstack_nomask", 0.86,
+       1.56},
+      {Scheme::kShadowStack, "ShadowCallStack", "shadow_stack", 0.85, 0.77},
+      {Scheme::kPacRet, "-mbranch-protection", "pac_ret", 0.43, 0.72},
+      {Scheme::kCanary, "-mstack-protector-strong", "canary", 0.43, 0.25},
   };
 
   // Per-benchmark overheads, split rate/speed.
@@ -61,14 +69,14 @@ int main() {
   Table table({"instrumentation", "SPECrate (measured)", "SPECrate (paper)",
                "SPECspeed (measured)", "SPECspeed (paper)"});
   for (const auto& row : rows) {
-    table.add_row(
-        {row.label,
-         Table::fmt(geomean_overhead_percent(rate_overheads[row.scheme]), 2) +
-             "%",
-         Table::fmt(row.paper_rate, 2) + "%",
-         Table::fmt(geomean_overhead_percent(speed_overheads[row.scheme]), 2) +
-             "%",
-         Table::fmt(row.paper_speed, 2) + "%"});
+    const double rate = geomean_overhead_percent(rate_overheads[row.scheme]);
+    const double speed = geomean_overhead_percent(speed_overheads[row.scheme]);
+    table.add_row({row.label, Table::fmt(rate, 2) + "%",
+                   Table::fmt(row.paper_rate, 2) + "%",
+                   Table::fmt(speed, 2) + "%",
+                   Table::fmt(row.paper_speed, 2) + "%"});
+    reporter.record(std::string("geomean_rate_") + row.tag, rate, "percent");
+    reporter.record(std::string("geomean_speed_") + row.tag, speed, "percent");
   }
   table.print(std::cout);
 
@@ -89,19 +97,15 @@ int main() {
   std::printf("\n-- C++ benchmarks (paper: \"overheads of 2.0%% (PACStack) "
               "and 0.9%% (PACStack-nomask)\") --\n");
   Table cpp_table({"instrumentation", "C++ geomean (measured)", "paper"});
+  const double cpp_full =
+      geomean_overhead_percent(cpp_overheads[Scheme::kPacStack]);
+  const double cpp_nomask =
+      geomean_overhead_percent(cpp_overheads[Scheme::kPacStackNoMask]);
+  cpp_table.add_row({"PACStack", Table::fmt(cpp_full, 2) + "%", "2.00%"});
   cpp_table.add_row(
-      {"PACStack",
-       Table::fmt(geomean_overhead_percent(cpp_overheads[Scheme::kPacStack]),
-                  2) +
-           "%",
-       "2.00%"});
-  cpp_table.add_row(
-      {"PACStack-nomask",
-       Table::fmt(
-           geomean_overhead_percent(cpp_overheads[Scheme::kPacStackNoMask]),
-           2) +
-           "%",
-       "0.90%"});
+      {"PACStack-nomask", Table::fmt(cpp_nomask, 2) + "%", "0.90%"});
   cpp_table.print(std::cout);
-  return 0;
+  reporter.record("geomean_cpp_pacstack", cpp_full, "percent");
+  reporter.record("geomean_cpp_pacstack_nomask", cpp_nomask, "percent");
+  return reporter.finish() ? 0 : 1;
 }

@@ -7,13 +7,19 @@
 // 27.2k (-11.4%); i.e. 4-7% (nomask) and 6-13% (full) overhead.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "bench/harness.h"
 #include "common/table.h"
 #include "workload/nginx_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
   using compiler::Scheme;
+
+  const auto options =
+      bench::parse_bench_args(argc, argv, "bench_table3_nginx");
+  bench::BenchReporter reporter("bench_table3_nginx", options, 90);
 
   std::printf("PACStack reproduction — Table 3: NGINX SSL TPS (simulated, "
               "CPU-bound request loop)\n");
@@ -24,9 +30,10 @@ int main() {
   for (unsigned workers : {4U, 8U}) {
     workload::NginxConfig config;
     config.workers = workers;
-    config.requests_per_worker = 250;
-    config.repeats = 5;
+    config.requests_per_worker = options.smoke ? 50 : 250;
+    config.repeats = options.smoke ? 2 : 5;
     config.seed = 90 + workers;
+    config.threads = options.threads;
 
     const auto baseline =
         workload::run_nginx_experiment(Scheme::kNone, config);
@@ -35,6 +42,7 @@ int main() {
     const auto full =
         workload::run_nginx_experiment(Scheme::kPacStack, config);
 
+    const u64 runs = u64{config.repeats} * config.workers;
     const auto add = [&](const char* label,
                          const workload::NginxRunResult& result) {
       const double overhead = (1.0 - result.requests_per_second /
@@ -46,6 +54,10 @@ int main() {
                      label == std::string{"baseline"}
                          ? "-"
                          : Table::fmt(overhead, 1)});
+      reporter.record("tps_" + std::string(label) + "_w" +
+                          std::to_string(workers),
+                      result.requests_per_second, "req/s", runs,
+                      result.stddev);
     };
     add("baseline", baseline);
     add("pacstack-nomask", nomask);
@@ -55,5 +67,5 @@ int main() {
 
   std::printf("\nPaper reference: nomask 4-7%% / full 6-13%% TPS loss; "
               "~2x TPS from 4 -> 8 workers.\n");
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

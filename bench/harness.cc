@@ -1,0 +1,193 @@
+#include "bench/harness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+namespace acs::bench {
+namespace {
+
+[[nodiscard]] long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void print_usage(const char* bench_name, const char* extra_usage) {
+  std::cout << "usage: " << bench_name << " [options]\n"
+            << "  --threads=N   host threads for Monte-Carlo campaigns\n"
+            << "                (0 = all hardware threads, default 1;\n"
+            << "                 results are bitwise identical for any N)\n"
+            << "  --json=PATH   also write machine-readable results to PATH\n"
+            << "                (schema: docs/bench-output.md)\n"
+            << "  --smoke       tiny trial counts (CI smoke mode)\n"
+            << "  --help        this message\n";
+  if (extra_usage != nullptr) std::cout << extra_usage;
+}
+
+/// Consume `--flag=value` or `--flag value`; returns nullptr if argv[i]
+/// is not this flag, otherwise the value (advancing i for the two-token
+/// form). Exits(2) when the value is missing.
+[[nodiscard]] const char* flag_value(int argc, char** argv, int& i,
+                                     const char* flag,
+                                     const char* bench_name) {
+  const std::size_t flag_len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, flag_len) != 0) return nullptr;
+  const char* rest = argv[i] + flag_len;
+  if (*rest == '=') return rest + 1;
+  if (*rest != '\0') return nullptr;  // e.g. --threadsX
+  if (i + 1 >= argc) {
+    std::cerr << bench_name << ": " << flag << " requires a value\n";
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+[[nodiscard]] unsigned parse_threads(const char* value,
+                                     const char* bench_name) {
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || parsed > 4096) {
+    std::cerr << bench_name << ": bad --threads value '" << value << "'\n";
+    std::exit(2);
+  }
+  return static_cast<unsigned>(parsed);
+}
+
+/// JSON string escaping for the small subset we emit (metric names, units,
+/// paths): control characters, quotes, backslashes.
+[[nodiscard]] std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip double formatting; %.17g always round-trips and
+/// avoids locale-dependent streams.
+[[nodiscard]] std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchOptions parse_bench_args(int argc, char** argv, const char* bench_name,
+                              const char* extra_usage) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(bench_name, extra_usage);
+      std::exit(0);
+    }
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+      continue;
+    }
+    if (const char* v = flag_value(argc, argv, i, "--threads", bench_name)) {
+      options.threads = parse_threads(v, bench_name);
+      continue;
+    }
+    if (const char* v = flag_value(argc, argv, i, "--json", bench_name)) {
+      options.json_path = v;
+      continue;
+    }
+    std::cerr << bench_name << ": unknown flag '" << argv[i]
+              << "' (see --help)\n";
+    std::exit(2);
+  }
+  return options;
+}
+
+std::string to_json(const std::string& bench_name,
+                    const BenchOptions& options, u64 base_seed,
+                    const std::vector<Metric>& metrics,
+                    double wall_seconds) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"threads\": " + std::to_string(options.threads) + ",\n";
+  out += "  \"seed\": " + std::to_string(base_seed) + ",\n";
+  out += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") +
+         ",\n";
+  out += "  \"wall_seconds\": " + format_double(wall_seconds) + ",\n";
+  out += "  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"name\": \"" + escape_json(m.name) + "\", ";
+    out += "\"value\": " + format_double(m.value) + ", ";
+    out += "\"units\": \"" + escape_json(m.units) + "\", ";
+    out += "\"trials\": " + std::to_string(m.trials) + ", ";
+    out += "\"stddev\": " + format_double(m.stddev) + "}";
+  }
+  out += metrics.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+BenchReporter::BenchReporter(std::string bench_name, BenchOptions options,
+                             u64 base_seed)
+    : bench_name_(std::move(bench_name)),
+      options_(std::move(options)),
+      base_seed_(base_seed),
+      start_ns_(now_ns()) {}
+
+void BenchReporter::record(std::string name, double value, std::string units,
+                           u64 trials, double stddev) {
+  metrics_.push_back(Metric{.name = std::move(name),
+                            .value = value,
+                            .units = std::move(units),
+                            .trials = trials,
+                            .stddev = stddev});
+}
+
+bool BenchReporter::finish() {
+  if (finished_) return true;
+  finished_ = true;
+  if (options_.json_path.empty()) return true;
+  const double wall_seconds =
+      static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  const std::string body =
+      to_json(bench_name_, options_, base_seed_, metrics_, wall_seconds);
+  std::ofstream file(options_.json_path,
+                     std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!file) {
+    std::cerr << bench_name_ << ": cannot open '" << options_.json_path
+              << "' for writing\n";
+    return false;
+  }
+  file << body;
+  file.flush();
+  if (!file) {
+    std::cerr << bench_name_ << ": write to '" << options_.json_path
+              << "' failed\n";
+    return false;
+  }
+  std::cout << "[json] wrote " << options_.json_path << "\n";
+  return true;
+}
+
+}  // namespace acs::bench

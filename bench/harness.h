@@ -1,0 +1,87 @@
+// Shared harness for the bench binaries: uniform flag parsing and
+// machine-readable output.
+//
+// Every bench accepts the same flags:
+//   --threads=N   host threads for trial-parallel campaigns
+//                 (0 = all hardware threads; default 1 — results are
+//                 bitwise identical for every value, see exec/parallel.h)
+//   --json=PATH   additionally write a BENCH_<name>.json-style trajectory
+//                 (schema: docs/bench-output.md)
+//   --smoke       shrink trial counts to CI-smoke size (seconds, not
+//                 minutes); used by the bench_smoke ctest targets
+//   --help        usage
+//
+// The human-readable tables keep printing exactly as before; the JSON file
+// is an *additional* sink fed through BenchReporter::record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acs::bench {
+
+struct BenchOptions {
+  unsigned threads = 1;    ///< 0 = all hardware threads
+  std::string json_path;   ///< empty = no JSON output
+  bool smoke = false;      ///< tiny trial counts for smoke runs
+};
+
+/// Parse the uniform bench flags. Prints usage and exits(0) on --help;
+/// prints an error and exits(2) on an unknown flag or malformed value.
+/// `extra_usage` (optional) is appended to the usage text for binaries
+/// with additional flags of their own.
+[[nodiscard]] BenchOptions parse_bench_args(int argc, char** argv,
+                                            const char* bench_name,
+                                            const char* extra_usage = nullptr);
+
+/// One recorded metric of a campaign.
+struct Metric {
+  std::string name;    ///< e.g. "fresh_key_mean_guesses_b8"
+  double value = 0;
+  std::string units;   ///< e.g. "guesses", "req/s", "probability"
+  u64 trials = 0;      ///< Monte-Carlo trials behind the value (0 = n/a)
+  double stddev = 0;   ///< sample stddev across trials (0 = n/a)
+};
+
+/// Collects metrics during a bench run and writes the machine-readable
+/// trajectory on finish(). Wall-clock time is measured from construction
+/// to finish(). Table/stdout output is unaffected: record() only feeds the
+/// JSON sink.
+class BenchReporter {
+ public:
+  /// `base_seed` is the campaign's primary seed constant, recorded so a
+  /// trajectory identifies its RNG universe.
+  BenchReporter(std::string bench_name, BenchOptions options, u64 base_seed);
+
+  void record(std::string name, double value, std::string units,
+              u64 trials = 0, double stddev = 0);
+
+  /// Write the JSON file if --json was given. Returns false (after
+  /// printing to stderr) if the file cannot be written. Idempotent.
+  bool finish();
+
+  [[nodiscard]] const BenchOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  std::string bench_name_;
+  BenchOptions options_;
+  u64 base_seed_;
+  std::vector<Metric> metrics_;
+  long long start_ns_;
+  bool finished_ = false;
+};
+
+/// Serialise a trajectory to the docs/bench-output.md JSON schema.
+/// Exposed separately so tests can check the encoding without touching the
+/// filesystem.
+[[nodiscard]] std::string to_json(const std::string& bench_name,
+                                  const BenchOptions& options, u64 base_seed,
+                                  const std::vector<Metric>& metrics,
+                                  double wall_seconds);
+
+}  // namespace acs::bench

@@ -1,0 +1,39 @@
+# Runs one bench in smoke mode and validates its JSON trajectory.
+# Inputs: -DBENCH=<binary> [-DBENCH_ARGS=a;b;c] -DCHECKER=<bench_json_check>
+#         -DJSON=<output path>
+# The bench always gets --smoke --threads=2 --json=${JSON} appended.
+
+if(NOT DEFINED BENCH OR NOT DEFINED CHECKER OR NOT DEFINED JSON)
+  message(FATAL_ERROR "run_smoke.cmake needs BENCH, CHECKER and JSON")
+endif()
+
+file(REMOVE "${JSON}")
+
+execute_process(
+  COMMAND "${BENCH}" ${BENCH_ARGS} --smoke --threads=2 "--json=${JSON}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err
+)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} exited with ${bench_rc}\nstdout:\n${bench_out}\n"
+          "stderr:\n${bench_err}")
+endif()
+
+if(NOT EXISTS "${JSON}")
+  message(FATAL_ERROR "${BENCH} did not write ${JSON}")
+endif()
+
+execute_process(
+  COMMAND "${CHECKER}" "${JSON}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err
+)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_json_check rejected ${JSON}:\n${check_out}${check_err}")
+endif()
+
+message(STATUS "${JSON} validated: ${check_out}")

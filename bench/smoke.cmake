@@ -1,0 +1,40 @@
+# bench_smoke: every bench binary must complete quickly under --smoke and
+# emit a JSON trajectory that bench_json_check accepts. Each test runs
+# <bench> --smoke --threads=2 --json=<file> and then validates the file;
+# run_smoke.cmake chains the two steps so a crashed bench (or unwritable
+# JSON) fails the test rather than silently passing.
+
+set(ACS_SMOKE_BENCHES
+  bench_table1_security
+  bench_fig5_spec
+  bench_table2_geomean
+  bench_table3_nginx
+  bench_fig_collisions
+  bench_bruteforce
+  bench_confirm
+  bench_reuse
+  bench_ablation
+  bench_micro_pa
+)
+
+foreach(bench_name IN LISTS ACS_SMOKE_BENCHES)
+  add_test(NAME bench_smoke_${bench_name}
+           COMMAND ${CMAKE_COMMAND}
+                   -DBENCH=$<TARGET_FILE:${bench_name}>
+                   -DCHECKER=$<TARGET_FILE:bench_json_check>
+                   -DJSON=${CMAKE_CURRENT_BINARY_DIR}/BENCH_${bench_name}.json
+                   -P ${CMAKE_CURRENT_SOURCE_DIR}/run_smoke.cmake)
+  set_tests_properties(bench_smoke_${bench_name} PROPERTIES
+                       LABELS "bench_smoke" TIMEOUT 300)
+endforeach()
+
+# acs-run emits the same schema through its own flag parser.
+add_test(NAME bench_smoke_acs_run
+         COMMAND ${CMAKE_COMMAND}
+                 -DBENCH=$<TARGET_FILE:acs-run>
+                 "-DBENCH_ARGS=--workload;505.mcf_r;--scheme;pacstack"
+                 -DCHECKER=$<TARGET_FILE:bench_json_check>
+                 -DJSON=${CMAKE_CURRENT_BINARY_DIR}/BENCH_acs_run.json
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_smoke.cmake)
+set_tests_properties(bench_smoke_acs_run PROPERTIES
+                     LABELS "bench_smoke" TIMEOUT 300)

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "core/chain.h"
 #include "crypto/keys.h"
+#include "exec/parallel.h"
 #include "pa/pointer_auth.h"
 #include "pa/va_layout.h"
 
@@ -17,7 +18,9 @@ namespace acs::attack {
 namespace {
 
 /// PA engine with a b-bit PAC (the paper's 16-bit default corresponds to
-/// VA_SIZE = 39; smaller b models a larger VA_SIZE).
+/// VA_SIZE = 39; smaller b models a larger VA_SIZE). The SipHash backend is
+/// stateless, so one engine is safely shared (read-only) by every trial
+/// thread of a campaign.
 [[nodiscard]] pa::PointerAuth make_pauth(unsigned b, Rng& rng) {
   const pa::VaLayout layout{55U - b};
   return pa::PointerAuth{crypto::random_key_set(rng), layout};
@@ -28,206 +31,13 @@ namespace {
   return layout.address_bits(rng.next()) | 0x1000;
 }
 
-}  // namespace
-
-MonteCarloResult on_graph_attack(unsigned b, bool masking, u64 harvest,
-                                 u64 trials, u64 seed) {
-  Rng rng(seed);
-  const auto pauth = make_pauth(b, rng);
-  const core::AcsChain chain{pauth, masking};
-  const auto& layout = pauth.layout();
-
-  MonteCarloResult result;
-  std::vector<u64> prevs;
-  std::vector<u64> observed;
-  for (u64 t = 0; t < trials; ++t) {
-    // `harvest` distinct execution paths arriving at the victim call site
-    // with return address ret_c; the adversary sees the aret the callee
-    // stores for each path (observed[j] = aret chaining ret_c onto prev_j).
-    const u64 ret_c = random_code_address(layout, rng);
-    prevs.clear();
-    observed.clear();
-    for (u64 j = 0; j < harvest; ++j) {
-      const u64 prev = chain.compute_aret(random_code_address(layout, rng),
-                                          rng.next());
-      prevs.push_back(prev);
-      observed.push_back(chain.compute_aret(ret_c, prev));
-    }
-    bool success = false;
-    if (!masking) {
-      // Unmasked auth tokens are directly comparable: find ANY colliding
-      // pair (i, j), then steer execution down path i and substitute
-      // prev_j for prev_i on the stack. By Eq. (1) the substitution always
-      // verifies.
-      std::unordered_map<u64, u64> tag_to_index;
-      tag_to_index.reserve(harvest);
-      for (u64 j = 0; j < harvest && !success; ++j) {
-        const u64 tag = layout.pac_field(observed[j]);
-        const auto [it, inserted] = tag_to_index.try_emplace(tag, j);
-        if (!inserted && prevs[it->second] != prevs[j]) {
-          success = chain.verify(observed[it->second], prevs[j]);
-        }
-      }
-    } else {
-      // Masked tokens are indistinguishable (Theorem 1): the best available
-      // strategy is substituting a uniformly chosen harvested predecessor
-      // under the live path (path 0).
-      const u64 j = 1 + rng.next_below(harvest - 1);
-      success = prevs[j] != prevs[0] && chain.verify(observed[0], prevs[j]);
-    }
-    result.successes += success ? 1 : 0;
-  }
-  result.trials = trials;
-  return result;
+[[nodiscard]] MonteCarloResult to_result(const exec::TrialAccumulator& acc) {
+  return {.trials = acc.trials(), .successes = acc.successes()};
 }
 
-MonteCarloResult on_graph_attack_deep_harvest(unsigned b, u64 harvest,
-                                              u64 trials, u64 seed) {
-  Rng rng(seed);
-  const auto pauth = make_pauth(b, rng);
-  const core::AcsChain chain{pauth, /*masking=*/true};
-  const auto& layout = pauth.layout();
-
-  MonteCarloResult result;
-  std::vector<u64> prevs;
-  std::vector<u64> deep_observed;
-  for (u64 t = 0; t < trials; ++t) {
-    const u64 ret_c = random_code_address(layout, rng);
-    prevs.clear();
-    deep_observed.clear();
-    for (u64 j = 0; j < harvest; ++j) {
-      // prev_j: the victim's stored predecessor along path j (level n).
-      const u64 prev = chain.compute_aret(random_code_address(layout, rng),
-                                          rng.next());
-      prevs.push_back(prev);
-      // deep_observed_j: the chain-register value chaining ret_C over
-      // prev_j — i.e. the *masked token* — which lands on the stack at
-      // level n+1 when the callee calls deeper.
-      deep_observed.push_back(chain.compute_aret(ret_c, prev));
-    }
-    // The masked tokens are directly comparable as stored words: any
-    // full-value collision between distinct paths is exploitable.
-    bool success = false;
-    std::unordered_map<u64, u64> seen;
-    seen.reserve(harvest);
-    for (u64 j = 0; j < harvest && !success; ++j) {
-      const auto [it, inserted] = seen.try_emplace(deep_observed[j], j);
-      if (!inserted && prevs[it->second] != prevs[j]) {
-        success = chain.verify(deep_observed[it->second], prevs[j]);
-      }
-    }
-    result.successes += success ? 1 : 0;
-  }
-  result.trials = trials;
-  return result;
-}
-
-MonteCarloResult off_graph_to_call_site(unsigned b, bool masking, u64 trials,
-                                        u64 seed) {
-  Rng rng(seed);
-  const auto pauth = make_pauth(b, rng);
-  const core::AcsChain chain{pauth, masking};
-  const auto& layout = pauth.layout();
-
-  MonteCarloResult result;
-  for (u64 t = 0; t < trials; ++t) {
-    // Live state: CR authenticates ret_c over prev_a.
-    const u64 ret_c = random_code_address(layout, rng);
-    const u64 prev_a = chain.compute_aret(random_code_address(layout, rng),
-                                          rng.next());
-    const u64 cr = chain.compute_aret(ret_c, prev_a);
-    // The adversary substitutes a *valid* aret_b harvested from an
-    // unrelated chain; H(ret_c, aret_b) was never computed, so AG-Load is a
-    // fresh 2^-b event. AG-Jump then succeeds for free (aret_b is valid).
-    const u64 aret_b = chain.compute_aret(random_code_address(layout, rng),
-                                          rng.next());
-    if (aret_b != prev_a && chain.verify(cr, aret_b)) ++result.successes;
-  }
-  result.trials = trials;
-  return result;
-}
-
-MonteCarloResult off_graph_arbitrary(unsigned b, bool masking, u64 trials,
-                                     u64 seed) {
-  Rng rng(seed);
-  const auto pauth = make_pauth(b, rng);
-  const core::AcsChain chain{pauth, masking};
-  const auto& layout = pauth.layout();
-
-  MonteCarloResult result;
-  for (u64 t = 0; t < trials; ++t) {
-    const u64 ret_c = random_code_address(layout, rng);
-    const u64 prev_a = chain.compute_aret(random_code_address(layout, rng),
-                                          rng.next());
-    const u64 cr = chain.compute_aret(ret_c, prev_a);
-    // Fully fabricated aret_b: attacker-chosen target address and a guessed
-    // auth token — plus a fabricated predecessor for the follow-up return.
-    const u64 target = random_code_address(layout, rng);
-    const u64 aret_b =
-        layout.with_pac(target, rng.next_below(u64{1} << layout.pac_bits()));
-    const u64 prev_b = rng.next();
-    // AG-Load: the loader's verification must accept aret_b.
-    // AG-Jump: returning through aret_b must verify against prev_b.
-    if (chain.verify(cr, aret_b) && chain.verify(aret_b, prev_b)) {
-      ++result.successes;
-    }
-  }
-  result.trials = trials;
-  return result;
-}
-
-CollisionStats tokens_to_collision(unsigned b, u64 trials, u64 seed) {
-  Rng rng(seed);
-  const auto pauth = make_pauth(b, rng);
-  const auto& layout = pauth.layout();
-
-  double sum = 0;
-  double sum_sq = 0;
-  std::unordered_set<u64> seen;
-  for (u64 t = 0; t < trials; ++t) {
-    seen.clear();
-    const u64 ret_c = random_code_address(layout, rng);
-    u64 count = 0;
-    for (;;) {
-      ++count;
-      const u64 tag = pauth.expected_pac(crypto::KeyId::kIA, ret_c, rng.next());
-      if (!seen.insert(tag).second) break;
-    }
-    sum += static_cast<double>(count);
-    sum_sq += static_cast<double>(count) * static_cast<double>(count);
-  }
-  CollisionStats stats;
-  stats.trials = trials;
-  stats.mean_tokens = sum / static_cast<double>(trials);
-  const double var = sum_sq / static_cast<double>(trials) -
-                     stats.mean_tokens * stats.mean_tokens;
-  stats.stddev_tokens = var > 0 ? std::sqrt(var) : 0.0;
-  return stats;
-}
-
-MonteCarloResult collision_within(unsigned b, u64 q, u64 trials, u64 seed) {
-  Rng rng(seed);
-  const auto pauth = make_pauth(b, rng);
-  const auto& layout = pauth.layout();
-
-  MonteCarloResult result;
-  std::unordered_set<u64> seen;
-  for (u64 t = 0; t < trials; ++t) {
-    seen.clear();
-    const u64 ret_c = random_code_address(layout, rng);
-    bool collided = false;
-    for (u64 i = 0; i < q && !collided; ++i) {
-      const u64 tag = pauth.expected_pac(crypto::KeyId::kIA, ret_c, rng.next());
-      collided = !seen.insert(tag).second;
-    }
-    result.successes += collided ? 1 : 0;
-  }
-  result.trials = trials;
-  return result;
-}
-
-namespace {
-
+/// Mean/stddev over per-trial counts (sample stddev, n-1 denominator),
+/// reduced sequentially in trial order so the result is independent of the
+/// thread count that produced `counts`.
 [[nodiscard]] GuessStats finish_stats(const std::vector<u64>& counts) {
   GuessStats stats;
   stats.trials = counts.size();
@@ -248,83 +58,309 @@ namespace {
 
 }  // namespace
 
-GuessStats bruteforce_fresh_key(unsigned b, u64 trials, u64 seed) {
-  Rng rng(seed);
+MonteCarloResult on_graph_attack(unsigned b, bool masking, u64 harvest,
+                                 u64 trials, u64 seed, unsigned threads) {
+  Rng setup_rng(seed);
+  const auto pauth = make_pauth(b, setup_rng);
+  const core::AcsChain chain{pauth, masking};
+  const auto& layout = pauth.layout();
+
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        // `harvest` distinct execution paths arriving at the victim call
+        // site with return address ret_c; the adversary sees the aret the
+        // callee stores for each path (observed[j] = aret chaining ret_c
+        // onto prev_j).
+        const u64 ret_c = random_code_address(layout, rng);
+        std::vector<u64> prevs;
+        std::vector<u64> observed;
+        prevs.reserve(harvest);
+        observed.reserve(harvest);
+        for (u64 j = 0; j < harvest; ++j) {
+          const u64 prev = chain.compute_aret(random_code_address(layout, rng),
+                                              rng.next());
+          prevs.push_back(prev);
+          observed.push_back(chain.compute_aret(ret_c, prev));
+        }
+        bool success = false;
+        if (!masking) {
+          // Unmasked auth tokens are directly comparable: find ANY colliding
+          // pair (i, j), then steer execution down path i and substitute
+          // prev_j for prev_i on the stack. By Eq. (1) the substitution
+          // always verifies.
+          std::unordered_map<u64, u64> tag_to_index;
+          tag_to_index.reserve(harvest);
+          for (u64 j = 0; j < harvest && !success; ++j) {
+            const u64 tag = layout.pac_field(observed[j]);
+            const auto [it, inserted] = tag_to_index.try_emplace(tag, j);
+            if (!inserted && prevs[it->second] != prevs[j]) {
+              success = chain.verify(observed[it->second], prevs[j]);
+            }
+          }
+        } else {
+          // Masked tokens are indistinguishable (Theorem 1): the best
+          // available strategy is substituting a uniformly chosen harvested
+          // predecessor under the live path (path 0).
+          const u64 j = 1 + rng.next_below(harvest - 1);
+          success = prevs[j] != prevs[0] && chain.verify(observed[0], prevs[j]);
+        }
+        acc.add_outcome(success);
+      },
+      threads);
+  return to_result(merged);
+}
+
+MonteCarloResult on_graph_attack_deep_harvest(unsigned b, u64 harvest,
+                                              u64 trials, u64 seed,
+                                              unsigned threads) {
+  Rng setup_rng(seed);
+  const auto pauth = make_pauth(b, setup_rng);
+  const core::AcsChain chain{pauth, /*masking=*/true};
+  const auto& layout = pauth.layout();
+
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        const u64 ret_c = random_code_address(layout, rng);
+        std::vector<u64> prevs;
+        std::vector<u64> deep_observed;
+        prevs.reserve(harvest);
+        deep_observed.reserve(harvest);
+        for (u64 j = 0; j < harvest; ++j) {
+          // prev_j: the victim's stored predecessor along path j (level n).
+          const u64 prev = chain.compute_aret(random_code_address(layout, rng),
+                                              rng.next());
+          prevs.push_back(prev);
+          // deep_observed_j: the chain-register value chaining ret_C over
+          // prev_j — i.e. the *masked token* — which lands on the stack at
+          // level n+1 when the callee calls deeper.
+          deep_observed.push_back(chain.compute_aret(ret_c, prev));
+        }
+        // The masked tokens are directly comparable as stored words: any
+        // full-value collision between distinct paths is exploitable.
+        bool success = false;
+        std::unordered_map<u64, u64> seen;
+        seen.reserve(harvest);
+        for (u64 j = 0; j < harvest && !success; ++j) {
+          const auto [it, inserted] = seen.try_emplace(deep_observed[j], j);
+          if (!inserted && prevs[it->second] != prevs[j]) {
+            success = chain.verify(deep_observed[it->second], prevs[j]);
+          }
+        }
+        acc.add_outcome(success);
+      },
+      threads);
+  return to_result(merged);
+}
+
+MonteCarloResult off_graph_to_call_site(unsigned b, bool masking, u64 trials,
+                                        u64 seed, unsigned threads) {
+  Rng setup_rng(seed);
+  const auto pauth = make_pauth(b, setup_rng);
+  const core::AcsChain chain{pauth, masking};
+  const auto& layout = pauth.layout();
+
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        // Live state: CR authenticates ret_c over prev_a.
+        const u64 ret_c = random_code_address(layout, rng);
+        const u64 prev_a = chain.compute_aret(random_code_address(layout, rng),
+                                              rng.next());
+        const u64 cr = chain.compute_aret(ret_c, prev_a);
+        // The adversary substitutes a *valid* aret_b harvested from an
+        // unrelated chain; H(ret_c, aret_b) was never computed, so AG-Load
+        // is a fresh 2^-b event. AG-Jump then succeeds for free (aret_b is
+        // valid).
+        const u64 aret_b = chain.compute_aret(random_code_address(layout, rng),
+                                              rng.next());
+        acc.add_outcome(aret_b != prev_a && chain.verify(cr, aret_b));
+      },
+      threads);
+  return to_result(merged);
+}
+
+MonteCarloResult off_graph_arbitrary(unsigned b, bool masking, u64 trials,
+                                     u64 seed, unsigned threads) {
+  Rng setup_rng(seed);
+  const auto pauth = make_pauth(b, setup_rng);
+  const core::AcsChain chain{pauth, masking};
+  const auto& layout = pauth.layout();
+
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        const u64 ret_c = random_code_address(layout, rng);
+        const u64 prev_a = chain.compute_aret(random_code_address(layout, rng),
+                                              rng.next());
+        const u64 cr = chain.compute_aret(ret_c, prev_a);
+        // Fully fabricated aret_b: attacker-chosen target address and a
+        // guessed auth token — plus a fabricated predecessor for the
+        // follow-up return.
+        const u64 target = random_code_address(layout, rng);
+        const u64 aret_b =
+            layout.with_pac(target, rng.next_below(u64{1} << layout.pac_bits()));
+        const u64 prev_b = rng.next();
+        // AG-Load: the loader's verification must accept aret_b.
+        // AG-Jump: returning through aret_b must verify against prev_b.
+        acc.add_outcome(chain.verify(cr, aret_b) &&
+                        chain.verify(aret_b, prev_b));
+      },
+      threads);
+  return to_result(merged);
+}
+
+CollisionStats tokens_to_collision(unsigned b, u64 trials, u64 seed,
+                                   unsigned threads) {
+  Rng setup_rng(seed);
+  const auto pauth = make_pauth(b, setup_rng);
+  const auto& layout = pauth.layout();
+
+  const auto counts = exec::parallel_map_trials<u64>(
+      trials, seed,
+      [&](u64, u64 trial_seed) {
+        Rng rng(trial_seed);
+        std::unordered_set<u64> seen;
+        const u64 ret_c = random_code_address(layout, rng);
+        u64 count = 0;
+        for (;;) {
+          ++count;
+          const u64 tag =
+              pauth.expected_pac(crypto::KeyId::kIA, ret_c, rng.next());
+          if (!seen.insert(tag).second) break;
+        }
+        return count;
+      },
+      threads);
+
+  double sum = 0;
+  double sum_sq = 0;
+  for (u64 count : counts) {
+    sum += static_cast<double>(count);
+    sum_sq += static_cast<double>(count) * static_cast<double>(count);
+  }
+  CollisionStats stats;
+  stats.trials = trials;
+  stats.mean_tokens = sum / static_cast<double>(trials);
+  const double var = sum_sq / static_cast<double>(trials) -
+                     stats.mean_tokens * stats.mean_tokens;
+  stats.stddev_tokens = var > 0 ? std::sqrt(var) : 0.0;
+  return stats;
+}
+
+MonteCarloResult collision_within(unsigned b, u64 q, u64 trials, u64 seed,
+                                  unsigned threads) {
+  Rng setup_rng(seed);
+  const auto pauth = make_pauth(b, setup_rng);
+  const auto& layout = pauth.layout();
+
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        std::unordered_set<u64> seen;
+        seen.reserve(q);
+        const u64 ret_c = random_code_address(layout, rng);
+        bool collided = false;
+        for (u64 i = 0; i < q && !collided; ++i) {
+          const u64 tag =
+              pauth.expected_pac(crypto::KeyId::kIA, ret_c, rng.next());
+          collided = !seen.insert(tag).second;
+        }
+        acc.add_outcome(collided);
+      },
+      threads);
+  return to_result(merged);
+}
+
+GuessStats bruteforce_fresh_key(unsigned b, u64 trials, u64 seed,
+                                unsigned threads) {
   const pa::VaLayout layout{55U - b};
   const u64 target_ret = layout.address_bits(0xbadd00d) | 0x1000;
-  std::vector<u64> counts;
-  counts.reserve(trials);
-  for (u64 t = 0; t < trials; ++t) {
-    u64 guesses = 0;
-    for (;;) {
-      ++guesses;
-      // Every failed guess crashes the process; the kernel generates a new
-      // key on the restart's exec, so each guess faces a fresh H_k.
-      const crypto::SipMac mac{crypto::random_key(rng)};
-      const u64 truth = mac.mac(target_ret, /*modifier=*/0x1000) &
-                        bit_mask(layout.pac_bits());
-      const u64 guess = rng.next_below(u64{1} << layout.pac_bits());
-      if (guess == truth) break;
-    }
-    counts.push_back(guesses);
-  }
+  const auto counts = exec::parallel_map_trials<u64>(
+      trials, seed,
+      [&](u64, u64 trial_seed) {
+        Rng rng(trial_seed);
+        u64 guesses = 0;
+        for (;;) {
+          ++guesses;
+          // Every failed guess crashes the process; the kernel generates a
+          // new key on the restart's exec, so each guess faces a fresh H_k.
+          const crypto::SipMac mac{crypto::random_key(rng)};
+          const u64 truth = mac.mac(target_ret, /*modifier=*/0x1000) &
+                            bit_mask(layout.pac_bits());
+          const u64 guess = rng.next_below(u64{1} << layout.pac_bits());
+          if (guess == truth) break;
+        }
+        return guesses;
+      },
+      threads);
   return finish_stats(counts);
 }
 
-GuessStats bruteforce_shared_key(unsigned b, u64 trials, u64 seed) {
-  Rng rng(seed);
+GuessStats bruteforce_shared_key(unsigned b, u64 trials, u64 seed,
+                                 unsigned threads) {
   const pa::VaLayout layout{55U - b};
-  std::vector<u64> counts;
-  counts.reserve(trials);
-  for (u64 t = 0; t < trials; ++t) {
-    // Pre-forked siblings share one key: the adversary can enumerate token
-    // values, burning one sibling per wrong guess, and *keep* partial
-    // knowledge — the divide-and-conquer of Section 4.3.
-    const crypto::SipMac mac{crypto::random_key(rng)};
-    u64 guesses = 0;
-    // Stage 1: find the auth token making (ret*, modifier) valid.
-    const u64 stage1_truth =
-        mac.mac(0x2000, 0xaaaa) & bit_mask(layout.pac_bits());
-    for (u64 g = 0;; ++g) {
-      ++guesses;
-      if (g == stage1_truth) break;
-    }
-    // Stage 2: the accepted value becomes the next modifier; enumerate the
-    // token for the actual target address.
-    const u64 stage2_truth =
-        mac.mac(0x3000, stage1_truth) & bit_mask(layout.pac_bits());
-    for (u64 g = 0;; ++g) {
-      ++guesses;
-      if (g == stage2_truth) break;
-    }
-    counts.push_back(guesses);
-  }
+  const auto counts = exec::parallel_map_trials<u64>(
+      trials, seed,
+      [&](u64, u64 trial_seed) {
+        Rng rng(trial_seed);
+        // Pre-forked siblings share one key: the adversary can enumerate
+        // token values, burning one sibling per wrong guess, and *keep*
+        // partial knowledge — the divide-and-conquer of Section 4.3.
+        const crypto::SipMac mac{crypto::random_key(rng)};
+        u64 guesses = 0;
+        // Stage 1: find the auth token making (ret*, modifier) valid.
+        const u64 stage1_truth =
+            mac.mac(0x2000, 0xaaaa) & bit_mask(layout.pac_bits());
+        for (u64 g = 0;; ++g) {
+          ++guesses;
+          if (g == stage1_truth) break;
+        }
+        // Stage 2: the accepted value becomes the next modifier; enumerate
+        // the token for the actual target address.
+        const u64 stage2_truth =
+            mac.mac(0x3000, stage1_truth) & bit_mask(layout.pac_bits());
+        for (u64 g = 0;; ++g) {
+          ++guesses;
+          if (g == stage2_truth) break;
+        }
+        return guesses;
+      },
+      threads);
   return finish_stats(counts);
 }
 
-GuessStats bruteforce_reseeded(unsigned b, u64 trials, u64 seed) {
-  Rng rng(seed);
+GuessStats bruteforce_reseeded(unsigned b, u64 trials, u64 seed,
+                               unsigned threads) {
   const pa::VaLayout layout{55U - b};
   const u64 space = u64{1} << layout.pac_bits();
-  std::vector<u64> counts;
-  counts.reserve(trials);
-  for (u64 t = 0; t < trials; ++t) {
-    const crypto::SipMac mac{crypto::random_key(rng)};
-    u64 guesses = 0;
-    // Re-seeding makes each sibling's chain disjoint: enumeration with
-    // elimination no longer works, so each stage is a fresh uniform search
-    // (expected 2^b guesses) instead of a 2^(b-1) enumeration.
-    for (unsigned stage = 0; stage < 2; ++stage) {
-      for (;;) {
-        ++guesses;
-        const u64 init = rng.next();  // this sibling's re-seeded chain
-        const u64 truth =
-            mac.mac(0x2000 + stage, init) & bit_mask(layout.pac_bits());
-        if (rng.next_below(space) == truth) break;
-      }
-    }
-    counts.push_back(guesses);
-  }
+  const auto counts = exec::parallel_map_trials<u64>(
+      trials, seed,
+      [&](u64, u64 trial_seed) {
+        Rng rng(trial_seed);
+        const crypto::SipMac mac{crypto::random_key(rng)};
+        u64 guesses = 0;
+        // Re-seeding makes each sibling's chain disjoint: enumeration with
+        // elimination no longer works, so each stage is a fresh uniform
+        // search (expected 2^b guesses) instead of a 2^(b-1) enumeration.
+        for (unsigned stage = 0; stage < 2; ++stage) {
+          for (;;) {
+            ++guesses;
+            const u64 init = rng.next();  // this sibling's re-seeded chain
+            const u64 truth =
+                mac.mac(0x2000 + stage, init) & bit_mask(layout.pac_bits());
+            if (rng.next_below(space) == truth) break;
+          }
+        }
+        return guesses;
+      },
+      threads);
   return finish_stats(counts);
 }
 

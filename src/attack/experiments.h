@@ -5,6 +5,11 @@
 // hardware would shrink the PAC) so success events are observable within a
 // bench run. The bench binaries print the measured rates next to the
 // paper's closed-form values from core/analysis.h.
+//
+// Every campaign runs on exec::parallel_trials: trial t draws from its own
+// RNG seeded exec::trial_seed(seed, t), so the reported statistics are
+// bitwise identical for every `threads` value (0 = all hardware threads,
+// 1 = sequential).
 #pragma once
 
 #include "common/types.h"
@@ -28,7 +33,7 @@ struct MonteCarloResult {
 /// 2^-b with.
 [[nodiscard]] MonteCarloResult on_graph_attack(unsigned b, bool masking,
                                                u64 harvest, u64 trials,
-                                               u64 seed);
+                                               u64 seed, unsigned threads = 1);
 
 /// REPRODUCTION FINDING (deep-harvest observation). Working through the
 /// Listing 3 algebra, a substitution of aret_B for aret_A below a live
@@ -43,21 +48,21 @@ struct MonteCarloResult {
 /// which by the algebra above is not the exploitable condition. This
 /// experiment measures the deep-harvest strategy; see EXPERIMENTS.md for
 /// discussion.
-[[nodiscard]] MonteCarloResult on_graph_attack_deep_harvest(unsigned b,
-                                                            u64 harvest,
-                                                            u64 trials,
-                                                            u64 seed);
+[[nodiscard]] MonteCarloResult on_graph_attack_deep_harvest(
+    unsigned b, u64 harvest, u64 trials, u64 seed, unsigned threads = 1);
 
 /// Section 6.2.2, off-graph violation to a *valid call-site* return
 /// address: the substituted aret is valid but its (ret_C, aret_B) pair was
 /// never computed. Paper: 2^-b regardless of masking.
 [[nodiscard]] MonteCarloResult off_graph_to_call_site(unsigned b, bool masking,
-                                                      u64 trials, u64 seed);
+                                                      u64 trials, u64 seed,
+                                                      unsigned threads = 1);
 
 /// Section 6.2.2, off-graph violation to an *arbitrary* address: both the
 /// loader verification and the final jump need fresh guesses. Paper: 2^-2b.
 [[nodiscard]] MonteCarloResult off_graph_arbitrary(unsigned b, bool masking,
-                                                   u64 trials, u64 seed);
+                                                   u64 trials, u64 seed,
+                                                   unsigned threads = 1);
 
 /// Section 4.2 / 6.2.1 birthday statistics: tokens harvested until the
 /// first auth-token collision. Paper: mean sqrt(pi/2 * 2^b) (~321 at b=16).
@@ -67,12 +72,14 @@ struct CollisionStats {
   u64 trials = 0;
 };
 [[nodiscard]] CollisionStats tokens_to_collision(unsigned b, u64 trials,
-                                                 u64 seed);
+                                                 u64 seed,
+                                                 unsigned threads = 1);
 
 /// Empirical P[some pair of q tokens collides] for comparison against
 /// core::collision_probability.
 [[nodiscard]] MonteCarloResult collision_within(unsigned b, u64 q, u64 trials,
-                                                u64 seed);
+                                                u64 seed,
+                                                unsigned threads = 1);
 
 /// Section 4.3 guessing campaigns. Returns the mean number of guesses the
 /// attack needed over `trials` runs.
@@ -84,16 +91,19 @@ struct GuessStats {
 
 /// Single process, fresh key after every crash: plain geometric search,
 /// mean 2^b.
-[[nodiscard]] GuessStats bruteforce_fresh_key(unsigned b, u64 trials, u64 seed);
+[[nodiscard]] GuessStats bruteforce_fresh_key(unsigned b, u64 trials, u64 seed,
+                                              unsigned threads = 1);
 
 /// Pre-forked siblings sharing the key, no re-seeding: divide-and-conquer
 /// over two 2^(b-1) stages; mean 2^b total but each stage's result is
 /// reusable — the paper's point is the *arbitrary jump* costs 2^b instead
 /// of 2^(2b).
-[[nodiscard]] GuessStats bruteforce_shared_key(unsigned b, u64 trials, u64 seed);
+[[nodiscard]] GuessStats bruteforce_shared_key(unsigned b, u64 trials, u64 seed,
+                                               unsigned threads = 1);
 
 /// Pre-forked siblings with the Section 4.3 re-seeding mitigation: the two
 /// stages cannot be split across siblings; mean 2^(b+1).
-[[nodiscard]] GuessStats bruteforce_reseeded(unsigned b, u64 trials, u64 seed);
+[[nodiscard]] GuessStats bruteforce_reseeded(unsigned b, u64 trials, u64 seed,
+                                             unsigned threads = 1);
 
 }  // namespace acs::attack

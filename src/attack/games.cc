@@ -6,6 +6,7 @@
 #include "common/bitops.h"
 #include "common/rng.h"
 #include "crypto/mac.h"
+#include "exec/parallel.h"
 
 namespace acs::attack {
 
@@ -35,164 +36,178 @@ class MaskedOracle {
   u64 mask_;
 };
 
+[[nodiscard]] GameResult to_result(const exec::TrialAccumulator& acc) {
+  return {.trials = acc.trials(), .wins = acc.successes()};
+}
+
 }  // namespace
 
-GameResult pac_collision_game(unsigned b, u64 q, u64 trials, u64 seed) {
-  Rng rng(seed);
-  GameResult result;
-  std::vector<Query> queries;
-  for (u64 t = 0; t < trials; ++t) {
-    const crypto::SipMac mac{crypto::random_key(rng)};
-    const MaskedOracle oracle{mac, b};
+GameResult pac_collision_game(unsigned b, u64 q, u64 trials, u64 seed,
+                              unsigned threads) {
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        const crypto::SipMac mac{crypto::random_key(rng)};
+        const MaskedOracle oracle{mac, b};
 
-    // Oracle phase: q chosen queries sharing the pointer x (collisions must
-    // differ only in the modifier, Section 6.2.1).
-    const u64 x = rng.next() | 1;
-    queries.clear();
-    for (u64 i = 0; i < q; ++i) {
-      const u64 y = rng.next();
-      queries.push_back({x, y, oracle(x, y)});
-    }
-
-    // Strategy: if two *masked* tokens collide, bet on that pair (this is
-    // the information masking is supposed to destroy); otherwise pick a
-    // random pair.
-    std::size_t pick_a = 0;
-    std::size_t pick_b = 1 % queries.size();
-    bool found = false;
-    for (std::size_t i = 0; i < queries.size() && !found; ++i) {
-      for (std::size_t j = i + 1; j < queries.size(); ++j) {
-        if (queries[i].masked_token == queries[j].masked_token &&
-            queries[i].y != queries[j].y) {
-          pick_a = i;
-          pick_b = j;
-          found = true;
-          break;
+        // Oracle phase: q chosen queries sharing the pointer x (collisions
+        // must differ only in the modifier, Section 6.2.1).
+        const u64 x = rng.next() | 1;
+        std::vector<Query> queries;
+        queries.reserve(q);
+        for (u64 i = 0; i < q; ++i) {
+          const u64 y = rng.next();
+          queries.push_back({x, y, oracle(x, y)});
         }
-      }
-    }
-    if (!found) {
-      pick_a = rng.next_below(queries.size());
-      do {
-        pick_b = rng.next_below(queries.size());
-      } while (pick_b == pick_a);
-    }
 
-    // Challenge: do the *unmasked* tokens actually collide?
-    const bool win =
-        queries[pick_a].y != queries[pick_b].y &&
-        oracle.truth(queries[pick_a].x, queries[pick_a].y) ==
-            oracle.truth(queries[pick_b].x, queries[pick_b].y);
-    result.wins += win ? 1 : 0;
-  }
-  result.trials = trials;
-  return result;
+        // Strategy: if two *masked* tokens collide, bet on that pair (this
+        // is the information masking is supposed to destroy); otherwise
+        // pick a random pair.
+        std::size_t pick_a = 0;
+        std::size_t pick_b = 1 % queries.size();
+        bool found = false;
+        for (std::size_t i = 0; i < queries.size() && !found; ++i) {
+          for (std::size_t j = i + 1; j < queries.size(); ++j) {
+            if (queries[i].masked_token == queries[j].masked_token &&
+                queries[i].y != queries[j].y) {
+              pick_a = i;
+              pick_b = j;
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          pick_a = rng.next_below(queries.size());
+          do {
+            pick_b = rng.next_below(queries.size());
+          } while (pick_b == pick_a);
+        }
+
+        // Challenge: do the *unmasked* tokens actually collide?
+        const bool win =
+            queries[pick_a].y != queries[pick_b].y &&
+            oracle.truth(queries[pick_a].x, queries[pick_a].y) ==
+                oracle.truth(queries[pick_b].x, queries[pick_b].y);
+        acc.add_outcome(win);
+      },
+      threads);
+  return to_result(merged);
 }
 
 GameResult pac_collision_game_unmasked(unsigned b, u64 q, u64 trials,
-                                       u64 seed) {
-  Rng rng(seed);
-  GameResult result;
-  std::vector<Query> queries;
+                                       u64 seed, unsigned threads) {
   const u64 mask = bit_mask(b);
-  for (u64 t = 0; t < trials; ++t) {
-    const crypto::SipMac mac{crypto::random_key(rng)};
-    const u64 x = rng.next() | 1;
-    queries.clear();
-    for (u64 i = 0; i < q; ++i) {
-      const u64 y = rng.next();
-      queries.push_back({x, y, mac.mac(x, y) & mask});  // tokens in the clear
-    }
-    bool win = false;
-    for (std::size_t i = 0; i < queries.size() && !win; ++i) {
-      for (std::size_t j = i + 1; j < queries.size(); ++j) {
-        if (queries[i].masked_token == queries[j].masked_token &&
-            queries[i].y != queries[j].y) {
-          win = true;  // visible collision is a real collision
-          break;
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        const crypto::SipMac mac{crypto::random_key(rng)};
+        const u64 x = rng.next() | 1;
+        std::vector<Query> queries;
+        queries.reserve(q);
+        for (u64 i = 0; i < q; ++i) {
+          const u64 y = rng.next();
+          queries.push_back({x, y, mac.mac(x, y) & mask});  // in the clear
         }
-      }
-    }
-    result.wins += win ? 1 : 0;
-  }
-  result.trials = trials;
-  return result;
+        bool win = false;
+        for (std::size_t i = 0; i < queries.size() && !win; ++i) {
+          for (std::size_t j = i + 1; j < queries.size(); ++j) {
+            if (queries[i].masked_token == queries[j].masked_token &&
+                queries[i].y != queries[j].y) {
+              win = true;  // visible collision is a real collision
+              break;
+            }
+          }
+        }
+        acc.add_outcome(win);
+      },
+      threads);
+  return to_result(merged);
 }
 
-GameResult pac_distinguish_game(unsigned b, u64 q, u64 trials, u64 seed) {
-  Rng rng(seed);
-  GameResult result;
+GameResult pac_distinguish_game(unsigned b, u64 q, u64 trials, u64 seed,
+                                unsigned threads) {
   const u64 mask = bit_mask(b);
-  for (u64 t = 0; t < trials; ++t) {
-    const crypto::SipMac mac{crypto::random_key(rng)};
-    const bool real = rng.next_bool();
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        const crypto::SipMac mac{crypto::random_key(rng)};
+        const bool real = rng.next_bool();
 
-    // The adversary sees q tokens that are either masked MACs or uniform
-    // random values, and guesses which via a mean-based statistic — any
-    // detectable bias would separate the distributions.
-    double sum = 0;
-    for (u64 i = 0; i < q; ++i) {
-      u64 token;
-      if (real) {
-        const u64 y = rng.next();
-        token = (mac.mac(rng.next(), y) ^ mac.mac(0, y)) & mask;
-      } else {
-        token = rng.next() & mask;
-      }
-      sum += static_cast<double>(token);
-    }
-    const double expected_mean = static_cast<double>(mask) / 2.0;
-    const double mean = sum / static_cast<double>(q);
-    // Guess "real" when the sample mean is below the midpoint — an
-    // arbitrary decision rule; with no bias it wins half the time.
-    const bool guess_real = mean < expected_mean;
-    result.wins += (guess_real == real) ? 1 : 0;
-  }
-  result.trials = trials;
-  return result;
+        // The adversary sees q tokens that are either masked MACs or
+        // uniform random values, and guesses which via a mean-based
+        // statistic — any detectable bias would separate the distributions.
+        double sum = 0;
+        for (u64 i = 0; i < q; ++i) {
+          u64 token;
+          if (real) {
+            const u64 y = rng.next();
+            token = (mac.mac(rng.next(), y) ^ mac.mac(0, y)) & mask;
+          } else {
+            token = rng.next() & mask;
+          }
+          sum += static_cast<double>(token);
+        }
+        const double expected_mean = static_cast<double>(mask) / 2.0;
+        const double mean = sum / static_cast<double>(q);
+        // Guess "real" when the sample mean is below the midpoint — an
+        // arbitrary decision rule; with no bias it wins half the time.
+        const bool guess_real = mean < expected_mean;
+        acc.add_outcome(guess_real == real);
+      },
+      threads);
+  return to_result(merged);
 }
 
-GameResult mask_distinguish_game(unsigned b, u64 q, u64 trials, u64 seed) {
-  Rng rng(seed);
-  GameResult result;
+GameResult mask_distinguish_game(unsigned b, u64 q, u64 trials, u64 seed,
+                                 unsigned threads) {
   const u64 mask = bit_mask(b);
-  for (u64 t = 0; t < trials; ++t) {
-    const crypto::SipMac mac{crypto::random_key(rng)};
-    // An independent random function standing in for S_0.
-    const crypto::RandomOracleMac decoy{rng.next()};
-    const bool real = rng.next_bool();
+  const auto merged = exec::parallel_trials(
+      trials, seed,
+      [&](u64, u64 trial_seed, exec::TrialAccumulator& acc) {
+        Rng rng(trial_seed);
+        const crypto::SipMac mac{crypto::random_key(rng)};
+        // An independent random function standing in for S_0. Trial-local,
+        // so its lazily-sampled table is never shared across threads.
+        const crypto::RandomOracleMac decoy{rng.next()};
+        const bool real = rng.next_bool();
 
-    // Oracle phase: the adversary records (y, T(x,y)) pairs with x fixed,
-    // then receives S(y) values for the same y's — either the true masks
-    // or decoys — and applies a collision-consistency statistic: if S is
-    // the real mask, T(x,y) ^ S(y) = H(x,y); collisions in that derived
-    // set should then exactly match collisions in... H itself, which the
-    // adversary cannot evaluate. The best generic check is comparing
-    // collision *counts* of T ^ S against the uniform expectation.
-    constexpr u64 kX = 0x1234;
-    double stat = 0;
-    std::vector<u64> derived;
-    derived.reserve(q);
-    for (u64 i = 0; i < q; ++i) {
-      const u64 y = rng.next();
-      const u64 token = (mac.mac(kX, y) ^ mac.mac(0, y)) & mask;
-      const u64 s = (real ? mac.mac(0, y) : decoy.mac(0, y)) & mask;
-      derived.push_back(token ^ s);
-    }
-    std::sort(derived.begin(), derived.end());
-    for (std::size_t i = 1; i < derived.size(); ++i) {
-      stat += derived[i] == derived[i - 1] ? 1.0 : 0.0;
-    }
-    // Expected collision count is identical in both worlds (uniform b-bit
-    // values either way); guess "real" on below-expectation collisions.
-    const double expectation =
-        static_cast<double>(q) * static_cast<double>(q) /
-        (2.0 * static_cast<double>(mask + 1));
-    const bool guess_real = stat < expectation;
-    result.wins += (guess_real == real) ? 1 : 0;
-  }
-  result.trials = trials;
-  return result;
+        // Oracle phase: the adversary records (y, T(x,y)) pairs with x
+        // fixed, then receives S(y) values for the same y's — either the
+        // true masks or decoys — and applies a collision-consistency
+        // statistic: if S is the real mask, T(x,y) ^ S(y) = H(x,y);
+        // collisions in that derived set should then exactly match
+        // collisions in H itself, which the adversary cannot evaluate. The
+        // best generic check is comparing collision *counts* of T ^ S
+        // against the uniform expectation.
+        constexpr u64 kX = 0x1234;
+        double stat = 0;
+        std::vector<u64> derived;
+        derived.reserve(q);
+        for (u64 i = 0; i < q; ++i) {
+          const u64 y = rng.next();
+          const u64 token = (mac.mac(kX, y) ^ mac.mac(0, y)) & mask;
+          const u64 s = (real ? mac.mac(0, y) : decoy.mac(0, y)) & mask;
+          derived.push_back(token ^ s);
+        }
+        std::sort(derived.begin(), derived.end());
+        for (std::size_t i = 1; i < derived.size(); ++i) {
+          stat += derived[i] == derived[i - 1] ? 1.0 : 0.0;
+        }
+        // Expected collision count is identical in both worlds (uniform
+        // b-bit values either way); guess "real" on below-expectation
+        // collisions.
+        const double expectation =
+            static_cast<double>(q) * static_cast<double>(q) /
+            (2.0 * static_cast<double>(mask + 1));
+        const bool guess_real = stat < expectation;
+        acc.add_outcome(guess_real == real);
+      },
+      threads);
+  return to_result(merged);
 }
 
 }  // namespace acs::attack

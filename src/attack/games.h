@@ -29,21 +29,24 @@ struct GameResult {
 /// adversary outputs (x, y, y') claiming H(x,y) = H(x,y'). Strategy: pick
 /// the pair of queries whose *masked* tokens collide if one exists (the
 /// natural-but-futile strategy Theorem 1 defeats), else a random pair.
-/// Baseline (blind) success probability is 2^-b.
+/// Baseline (blind) success probability is 2^-b. All games run their
+/// trials on exec::parallel_trials with per-trial seeds, so results are
+/// independent of `threads` (0 = all hardware threads).
 [[nodiscard]] GameResult pac_collision_game(unsigned b, u64 q, u64 trials,
-                                            u64 seed);
+                                            u64 seed, unsigned threads = 1);
 
 /// Same game played WITHOUT masking (tokens leak directly): the adversary
 /// wins whenever q is large enough for a birthday collision — this is the
 /// contrast line showing what masking buys.
 [[nodiscard]] GameResult pac_collision_game_unmasked(unsigned b, u64 q,
-                                                     u64 trials, u64 seed);
+                                                     u64 trials, u64 seed,
+                                                     unsigned threads = 1);
 
 /// G_PAC-Distinguish (Figure 7): distinguish H_k from a random oracle given
 /// q masked tokens. The adversary applies a chi-squared-style frequency
 /// test over the masked tokens. Baseline win probability is 1/2.
 [[nodiscard]] GameResult pac_distinguish_game(unsigned b, u64 q, u64 trials,
-                                              u64 seed);
+                                              u64 seed, unsigned threads = 1);
 
 /// G_1/G_2 of the Theorem 1 game hops (Figures 8-9): given q masked tokens
 /// T(x,y) = H(x,y) ^ H(0,y) and then a challenge oracle that is either the
@@ -53,6 +56,6 @@ struct GameResult {
 /// consistent PRF — but without the key every XOR is equally plausible, so
 /// the best generic statistic stays at 1/2 (the one-time-pad hop G_3).
 [[nodiscard]] GameResult mask_distinguish_game(unsigned b, u64 q, u64 trials,
-                                               u64 seed);
+                                               u64 seed, unsigned threads = 1);
 
 }  // namespace acs::attack

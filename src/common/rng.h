@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 
 #include "common/types.h"
 
@@ -48,9 +49,12 @@ class Rng {
     return result;
   }
 
-  /// Uniform value in [0, bound). `bound` must be non-zero. Uses rejection
+  /// Uniform value in [0, bound). `bound` must be non-zero — the empty
+  /// range [0, 0) has no valid result, so the contract is asserted in debug
+  /// builds (release builds would otherwise divide by zero). Uses rejection
   /// sampling (Lemire-style threshold) to avoid modulo bias.
   [[nodiscard]] u64 next_below(u64 bound) noexcept {
+    assert(bound != 0 && "next_below: bound must be non-zero");
     const u64 threshold = (~bound + 1U) % bound;  // == 2^64 mod bound
     for (;;) {
       const u64 r = next();
@@ -58,9 +62,14 @@ class Rng {
     }
   }
 
-  /// Uniform value in [lo, hi] inclusive.
+  /// Uniform value in [lo, hi] inclusive. `lo <= hi` required. The full
+  /// range [0, 2^64-1] is handled explicitly: its span `hi - lo + 1` wraps
+  /// to zero, which would otherwise hit next_below's zero-bound contract.
   [[nodiscard]] u64 next_in(u64 lo, u64 hi) noexcept {
-    return lo + next_below(hi - lo + 1U);
+    assert(lo <= hi && "next_in: lo must not exceed hi");
+    const u64 span = hi - lo;
+    if (span == ~u64{0}) return next();  // full 64-bit range
+    return lo + next_below(span + 1U);
   }
 
   /// Uniform double in [0, 1).

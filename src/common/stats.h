@@ -43,6 +43,11 @@ struct Interval {
 class Accumulator {
  public:
   void add(double x) noexcept;
+  /// Fold another accumulator's samples into this one (Chan et al.'s
+  /// parallel-variance update). Merging partials in a fixed order yields a
+  /// deterministic result, which the exec::parallel_trials runner relies on
+  /// for thread-count-independent statistics.
+  void merge(const Accumulator& other) noexcept;
   [[nodiscard]] u64 count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] double variance() const noexcept;  // sample variance

@@ -1,0 +1,58 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace acs::exec {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace detail {
+
+void for_each_chunk(u64 n_chunks, unsigned threads,
+                    const std::function<void(u64)>& fn) {
+  threads = resolve_threads(threads);
+  if (threads <= 1 || n_chunks <= 1) {
+    // Same chunk walk as the pool, minus the pool: the chunk partition —
+    // not the worker count — defines the result.
+    for (u64 chunk = 0; chunk < n_chunks; ++chunk) fn(chunk);
+    return;
+  }
+
+  threads = static_cast<unsigned>(
+      std::min<u64>(threads, n_chunks));
+  std::atomic<u64> next_chunk{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const u64 chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= n_chunks) return;
+      try {
+        fn(chunk);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace acs::exec

@@ -1,10 +1,13 @@
 #include "workload/nginx_sim.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "compiler/codegen.h"
+#include "exec/parallel.h"
 #include "kernel/machine.h"
 #include "sim/cycle_model.h"
 
@@ -69,24 +72,71 @@ compiler::ProgramIr make_worker_ir(u64 requests, u64 jitter_seed) {
   return builder.build(worker);
 }
 
+namespace {
+
+struct WorkerOutcome {
+  u64 cycles = 0;
+  bool clean_exit = false;
+  kernel::ProcessState state = kernel::ProcessState::kLive;
+  u64 exit_code = 0;
+};
+
+}  // namespace
+
 NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
                                     const NginxConfig& config) {
-  Rng seeder(config.seed);
+  // Every (repeat, worker) pair is one independent trial: its jitter and
+  // machine seeds derive from the trial index, and outcomes land at the
+  // trial index, so the per-run aggregation below is identical for any
+  // host thread count.
+  const u64 n_trials =
+      static_cast<u64>(config.repeats) * static_cast<u64>(config.workers);
+  const auto outcomes = exec::parallel_map_trials<WorkerOutcome>(
+      n_trials, config.seed,
+      [&](u64, u64 trial_seed) {
+        Rng seeder(trial_seed);
+        const auto ir =
+            make_worker_ir(config.requests_per_worker, seeder.next());
+        const auto program = compiler::compile_ir(ir, {.scheme = scheme});
+        kernel::MachineOptions options;
+        options.seed = seeder.next();
+        kernel::Machine machine(program, options);
+        machine.run();
+        const auto& process = machine.init_process();
+        WorkerOutcome outcome;
+        outcome.cycles = process.cycles();
+        outcome.state = process.state;
+        outcome.exit_code = process.exit_code;
+        outcome.clean_exit = process.state == kernel::ProcessState::kExited &&
+                             process.exit_code == 0;
+        return outcome;
+      },
+      config.threads);
+
   std::vector<double> tps_per_run;
+  tps_per_run.reserve(config.repeats);
   for (unsigned run = 0; run < config.repeats; ++run) {
     // Independent workers; wall time = the slowest worker.
     u64 worst_cycles = 0;
     u64 total_requests = 0;
     for (unsigned w = 0; w < config.workers; ++w) {
-      const auto ir = make_worker_ir(config.requests_per_worker, seeder.next());
-      const auto program = compiler::compile_ir(ir, {.scheme = scheme});
-      kernel::MachineOptions options;
-      options.seed = seeder.next();
-      kernel::Machine machine(program, options);
-      machine.run();
-      const auto& process = machine.init_process();
-      worst_cycles = std::max(worst_cycles, process.cycles());
+      const auto& outcome = outcomes[run * config.workers + w];
+      // A crashed/killed worker completed none of its requests; silently
+      // counting its cycles and request quota would inflate TPS.
+      if (!outcome.clean_exit) {
+        throw std::runtime_error{
+            "run_nginx_experiment: worker " + std::to_string(w) + " of run " +
+            std::to_string(run) + " did not exit cleanly (state=" +
+            std::to_string(static_cast<int>(outcome.state)) +
+            ", exit_code=" + std::to_string(outcome.exit_code) + ")"};
+      }
+      worst_cycles = std::max(worst_cycles, outcome.cycles);
       total_requests += config.requests_per_worker;
+    }
+    if (worst_cycles == 0) {
+      throw std::runtime_error{
+          "run_nginx_experiment: zero simulated cycles for run " +
+          std::to_string(run) + " — TPS undefined"};
     }
     const double seconds = static_cast<double>(worst_cycles) /
                            static_cast<double>(sim::kSimulatedHz);

@@ -28,12 +28,19 @@ struct NginxConfig {
   u64 requests_per_worker = 400;
   unsigned repeats = 5;  ///< independent runs for the sigma column
   u64 seed = 42;
+  /// Host threads simulating the worker pool (0 = all hardware threads).
+  /// Workers are independent simulated processes, so they parallelise
+  /// trivially; per-worker seeds are derived with exec::trial_seed, making
+  /// the reported TPS bitwise identical for every thread count.
+  unsigned threads = 1;
 };
 
 /// Build one worker's program with a jittered request mix.
 [[nodiscard]] compiler::ProgramIr make_worker_ir(u64 requests, u64 jitter_seed);
 
-/// Run the full experiment for one scheme.
+/// Run the full experiment for one scheme. Throws std::runtime_error if any
+/// simulated worker fails to exit cleanly (crash, kill, deadlock) — a
+/// crashed worker must never contribute to the TPS estimate.
 [[nodiscard]] NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
                                                   const NginxConfig& config);
 

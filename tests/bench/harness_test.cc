@@ -1,0 +1,98 @@
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace acs::bench {
+namespace {
+
+TEST(ToJson, EmitsEveryRequiredKey) {
+  BenchOptions options;
+  options.threads = 4;
+  options.smoke = true;
+  const std::vector<Metric> metrics = {
+      {.name = "rate", .value = 0.25, .units = "probability", .trials = 1000,
+       .stddev = 0.5},
+  };
+  const std::string json = to_json("bench_x", options, 42, metrics, 1.5);
+  for (const char* needle :
+       {"\"bench\": \"bench_x\"", "\"schema_version\": 1", "\"threads\": 4",
+        "\"seed\": 42", "\"smoke\": true", "\"wall_seconds\": 1.5",
+        "\"name\": \"rate\"", "\"value\": 0.25",
+        "\"units\": \"probability\"", "\"trials\": 1000",
+        "\"stddev\": 0.5"}) {
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << json;
+  }
+}
+
+TEST(ToJson, EmptyMetricsIsAnEmptyArray) {
+  const std::string json = to_json("b", BenchOptions{}, 0, {}, 0.0);
+  EXPECT_NE(json.find("\"metrics\": []"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"smoke\": false"), std::string::npos) << json;
+}
+
+TEST(ToJson, EscapesStrings) {
+  const std::vector<Metric> metrics = {
+      {.name = "quote\"back\\slash", .value = 1.0, .units = "new\nline"},
+  };
+  const std::string json = to_json("b", BenchOptions{}, 0, metrics, 0.0);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos) << json;
+  EXPECT_NE(json.find("new\\nline"), std::string::npos) << json;
+  EXPECT_EQ(json.find("new\nline"), std::string::npos) << json;
+}
+
+TEST(ToJson, DoublesRoundTrip) {
+  const std::vector<Metric> metrics = {
+      {.name = "m", .value = 1.0 / 3.0, .units = "u"},
+  };
+  const std::string json = to_json("b", BenchOptions{}, 0, metrics, 0.0);
+  const auto pos = json.find("\"value\": ");
+  ASSERT_NE(pos, std::string::npos);
+  const double parsed = std::stod(json.substr(pos + 9));
+  EXPECT_EQ(parsed, 1.0 / 3.0);  // %.17g must round-trip exactly
+}
+
+TEST(BenchReporter, WritesFileOnFinish) {
+  const std::string path =
+      ::testing::TempDir() + "/acs_harness_test_out.json";
+  std::remove(path.c_str());
+  BenchOptions options;
+  options.json_path = path;
+  BenchReporter reporter("bench_unit", options, 7);
+  reporter.record("alpha", 3.5, "units", 10, 0.25);
+  reporter.record("beta", -1.0, "cycles");
+  ASSERT_TRUE(reporter.finish());
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string body = buffer.str();
+  EXPECT_NE(body.find("\"bench\": \"bench_unit\""), std::string::npos);
+  EXPECT_NE(body.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(body.find("\"beta\""), std::string::npos);
+  EXPECT_NE(body.find("\"wall_seconds\": "), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReporter, NoJsonPathWritesNothingAndSucceeds) {
+  BenchReporter reporter("bench_unit", BenchOptions{}, 0);
+  reporter.record("metric", 1.0, "u");
+  EXPECT_TRUE(reporter.finish());
+  EXPECT_EQ(reporter.metrics().size(), 1U);
+}
+
+TEST(BenchReporter, UnwritablePathFails) {
+  BenchOptions options;
+  options.json_path = "/nonexistent-dir-for-acs-test/out.json";
+  BenchReporter reporter("bench_unit", options, 0);
+  EXPECT_FALSE(reporter.finish());
+}
+
+}  // namespace
+}  // namespace acs::bench

@@ -59,6 +59,46 @@ TEST(Rng, NextInInclusive) {
   EXPECT_TRUE(saw_hi);
 }
 
+TEST(Rng, NextInFullRangeDoesNotWrap) {
+  // hi - lo + 1 wraps to 0 for the full 64-bit range; the generator must
+  // fall back to a raw draw instead of feeding next_below a zero bound.
+  Rng rng(11);
+  bool saw_top_half = false, saw_bottom_half = false;
+  for (int i = 0; i < 200; ++i) {
+    const u64 v = rng.next_in(0, ~u64{0});
+    (v >> 63 ? saw_top_half : saw_bottom_half) = true;
+  }
+  EXPECT_TRUE(saw_top_half);
+  EXPECT_TRUE(saw_bottom_half);
+}
+
+TEST(Rng, NextInNearFullRangeStaysInBounds) {
+  // Spans of 2^64 - 1 values (one value excluded) exercise the largest
+  // non-wrapping bound next_below can receive.
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(rng.next_in(1, ~u64{0}), 1U);
+    EXPECT_LE(rng.next_in(0, ~u64{0} - 1), ~u64{0} - 1);
+  }
+}
+
+TEST(Rng, NextInSingletonRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.next_in(42, 42), 42U);
+    EXPECT_EQ(rng.next_in(0, 0), 0U);
+    EXPECT_EQ(rng.next_in(~u64{0}, ~u64{0}), ~u64{0});
+  }
+}
+
+TEST(Rng, NextInFullRangeMatchesRawStream) {
+  // The full-range case must consume exactly one draw, keeping the stream
+  // aligned with an identically seeded generator.
+  Rng a(14);
+  Rng b(14);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_in(0, ~u64{0}), b.next());
+}
+
 TEST(Rng, NextDoubleInUnitInterval) {
   Rng rng(6);
   double sum = 0;

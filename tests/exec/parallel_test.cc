@@ -1,0 +1,127 @@
+#include "exec/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "attack/experiments.h"
+#include "common/rng.h"
+
+namespace acs::exec {
+namespace {
+
+TEST(TrialSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(trial_seed(42, 0), trial_seed(42, 0));
+  EXPECT_EQ(trial_seed(42, 1000), trial_seed(42, 1000));
+  // Distinct trials and distinct bases decorrelate.
+  EXPECT_NE(trial_seed(42, 0), trial_seed(42, 1));
+  EXPECT_NE(trial_seed(42, 0), trial_seed(43, 0));
+  // No accidental low-entropy seeds in a realistic index range.
+  std::vector<u64> seeds;
+  for (u64 t = 0; t < 10'000; ++t) seeds.push_back(trial_seed(7, t));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(ResolveThreads, ZeroMeansHardware) {
+  EXPECT_GE(resolve_threads(0), 1U);
+  EXPECT_EQ(resolve_threads(1), 1U);
+  EXPECT_EQ(resolve_threads(8), 8U);
+}
+
+TEST(ParallelTrials, CoversEveryTrialExactlyOnce) {
+  // n_trials deliberately not a multiple of kTrialChunk.
+  const u64 n = 3 * kTrialChunk + 17;
+  std::vector<std::atomic<int>> visits(n);
+  const auto acc = parallel_trials(
+      n, 5,
+      [&](u64 t, u64 /*seed*/, TrialAccumulator& a) {
+        visits[t].fetch_add(1, std::memory_order_relaxed);
+        a.add_outcome(t % 2 == 0);
+      },
+      4);
+  EXPECT_EQ(acc.trials(), n);
+  for (u64 t = 0; t < n; ++t) EXPECT_EQ(visits[t].load(), 1) << "trial " << t;
+}
+
+TEST(ParallelTrials, BitwiseIdenticalAcrossThreadCounts) {
+  // The acceptance criterion of the runner: merged statistics — counters
+  // AND floating-point fields — must not depend on the thread count.
+  const auto campaign = [](unsigned threads) {
+    return parallel_trials(
+        10'000, 99,
+        [](u64 /*t*/, u64 seed, TrialAccumulator& a) {
+          Rng rng(seed);
+          a.add_outcome(rng.next_below(16) == 0);
+          a.add_sample(static_cast<double>(rng.next_below(1'000'000)) * 1e-3);
+        },
+        threads);
+  };
+  const auto one = campaign(1);
+  for (unsigned threads : {2U, 3U, 8U}) {
+    const auto many = campaign(threads);
+    EXPECT_EQ(one.trials(), many.trials());
+    EXPECT_EQ(one.successes(), many.successes());
+    // EXPECT_EQ on doubles: bitwise identity is the contract, not epsilon
+    // closeness.
+    EXPECT_EQ(one.samples().mean(), many.samples().mean());
+    EXPECT_EQ(one.samples().stddev(), many.samples().stddev());
+    EXPECT_EQ(one.samples().min(), many.samples().min());
+    EXPECT_EQ(one.samples().max(), many.samples().max());
+  }
+}
+
+TEST(ParallelMapTrials, ValuesLandAtTheirIndex) {
+  const auto seq = parallel_map_trials<u64>(
+      1000, 12, [](u64 t, u64 seed) { return seed ^ t; }, 1);
+  const auto par = parallel_map_trials<u64>(
+      1000, 12, [](u64 t, u64 seed) { return seed ^ t; }, 8);
+  ASSERT_EQ(seq.size(), 1000U);
+  EXPECT_EQ(seq, par);
+  for (u64 t = 0; t < seq.size(); ++t) {
+    EXPECT_EQ(seq[t], trial_seed(12, t) ^ t);
+  }
+}
+
+TEST(ParallelTrials, ExceptionsPropagate) {
+  EXPECT_THROW(
+      {
+        (void)parallel_trials(
+            1000, 1,
+            [](u64 t, u64 /*seed*/, TrialAccumulator&) {
+              if (t == 500) throw std::runtime_error("trial failed");
+            },
+            4);
+      },
+      std::runtime_error);
+}
+
+TEST(ParallelTrials, ZeroTrialsIsEmpty) {
+  const auto acc = parallel_trials(
+      0, 1, [](u64, u64, TrialAccumulator&) { FAIL(); }, 4);
+  EXPECT_EQ(acc.trials(), 0U);
+  EXPECT_EQ(acc.success_rate(), 0.0);
+}
+
+// Seed-stability regression: the exact counters of a small real campaign.
+// These values pin the (trial_seed, chunk merge) contract — they must
+// never change across refactors, compilers, or thread counts. If this
+// test fails, every number in EXPERIMENTS.md silently shifted.
+TEST(CampaignStability, BruteforceAndOnGraphAreThreadCountInvariant) {
+  const auto seq = attack::bruteforce_fresh_key(8, 500, 0xF08, 1);
+  const auto par = attack::bruteforce_fresh_key(8, 500, 0xF08, 8);
+  EXPECT_EQ(seq.mean_guesses, par.mean_guesses);
+  EXPECT_EQ(seq.stddev_guesses, par.stddev_guesses);
+
+  const auto a = attack::on_graph_attack(8, true, 80, 20'000, 20260707, 1);
+  const auto b = attack::on_graph_attack(8, true, 80, 20'000, 20260707, 8);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.trials, b.trials);
+}
+
+}  // namespace
+}  // namespace acs::exec

@@ -9,10 +9,12 @@
 //   acs-run --workload nginx --scheme pacstack-nomask --costs latency
 //   acs-run --workload setjmp_longjmp_deep --scheme pacstack --disasm
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 
+#include "bench/harness.h"
 #include "compiler/codegen.h"
 #include "kernel/backtrace.h"
 #include "kernel/machine.h"
@@ -33,6 +35,7 @@ struct Options {
   bool disasm = false;
   bool list = false;
   std::size_t trace = 64;
+  bench::BenchOptions bench;  ///< uniform --json/--threads flags
 };
 
 void print_usage() {
@@ -44,7 +47,12 @@ void print_usage() {
       "  --seed <n>             machine seed / PA keys (default: 1)\n"
       "  --costs <eff|latency>  cycle model (default: effective)\n"
       "  --disasm               print the generated code before running\n"
-      "  --trace <n>            crash-trace depth (default: 64)\n");
+      "  --trace <n>            crash-trace depth (default: 64)\n"
+      "  --json <path>          write machine-readable results "
+      "(docs/bench-output.md)\n"
+      "  --threads <n>          accepted for bench-flag uniformity; recorded "
+      "in the JSON\n"
+      "                         (a single acs-run machine is sequential)\n");
 }
 
 void print_list() {
@@ -104,11 +112,25 @@ int run(const Options& options) {
   machine_options.costs = options.latency_costs ? sim::latency_costs()
                                                 : sim::effective_costs();
   machine_options.trace_depth = options.trace;
+  bench::BenchReporter reporter("acs_run_" + options.workload, options.bench,
+                                options.seed);
   kernel::Machine machine(program, machine_options);
   machine.run();
 
   int exit_code = 0;
   for (const auto& process : machine.processes()) {
+    const std::string pid = std::to_string(process->pid());
+    reporter.record("pid" + pid + "_cycles",
+                    static_cast<double>(process->cycles()), "cycles");
+    reporter.record("pid" + pid + "_instructions",
+                    static_cast<double>(process->instructions()),
+                    "instructions");
+    reporter.record("pid" + pid + "_clean_exit",
+                    process->state == kernel::ProcessState::kExited &&
+                            process->exit_code == 0
+                        ? 1.0
+                        : 0.0,
+                    "bool");
     std::printf("pid %llu: ", (unsigned long long)process->pid());
     switch (process->state) {
       case kernel::ProcessState::kExited:
@@ -139,6 +161,7 @@ int run(const Options& options) {
       }
     }
   }
+  if (!reporter.finish()) return exit_code == 0 ? 1 : exit_code;
   return exit_code;
 }
 
@@ -174,6 +197,17 @@ int main(int argc, char** argv) {
       options.disasm = true;
     } else if (arg == "--trace") {
       options.trace = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--smoke") {
+      options.bench.smoke = true;  // nothing to shrink; recorded in the JSON
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.bench.json_path = arg.substr(7);
+    } else if (arg == "--json") {
+      options.bench.json_path = next();
+    } else if (arg.rfind("--threads=", 0) == 0 || arg == "--threads") {
+      const std::string value =
+          arg == "--threads" ? next() : arg.substr(10);
+      options.bench.threads =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
