@@ -11,9 +11,12 @@
 //     ever observes another trial's stream position;
 //   * trials are claimed in fixed-size chunks through an atomic counter
 //     (dynamic load balancing), but partial results are stored per *chunk*,
-//     not per thread, and merged in chunk order after the pool joins — the
-//     floating-point reduction tree is therefore a pure function of
-//     (n_trials, kTrialChunk), never of scheduling.
+//     not per thread, and folded after the pool joins with a fixed-shape
+//     binary tree (stride-doubling pairwise merges) — the floating-point
+//     reduction tree is therefore a pure function of (n_trials,
+//     kTrialChunk), never of scheduling or thread count. The tree both
+//     pins the rounding order and keeps the reduction depth logarithmic;
+//     wide rounds are themselves parallelised over the pool.
 //
 // Exceptions thrown by a trial cancel the remaining chunks and are
 // rethrown (first one wins) on the calling thread.
@@ -56,12 +59,39 @@ namespace detail {
 /// trial exception after all workers have stopped.
 void for_each_chunk(u64 n_chunks, unsigned threads,
                     const std::function<void(u64)>& fn);
+
+/// A merge round narrower than this runs inline: spinning up the pool
+/// costs more than the merges it would distribute.
+inline constexpr u64 kParallelMergePairs = 64;
+
+/// Fold `partials` into partials[0] with a fixed-shape binary tree:
+/// stride-doubling pairwise merges, partials[i].merge(partials[i + s]) for
+/// i = 0, 2s, 4s, ... The shape is a pure function of partials.size() —
+/// never of `threads` — so floating-point reductions are bitwise identical
+/// for every thread count; `threads` only decides whether a wide round's
+/// (independent) pair merges run on the pool.
+template <typename Acc>
+void tree_merge(std::vector<Acc>& partials, unsigned threads) {
+  const u64 n = partials.size();
+  for (u64 stride = 1; stride < n; stride *= 2) {
+    const u64 pairs = (n - stride + 2 * stride - 1) / (2 * stride);
+    const auto merge_pair = [&](u64 pair) {
+      const u64 i = pair * 2 * stride;
+      partials[i].merge(partials[i + stride]);
+    };
+    if (pairs >= kParallelMergePairs && threads != 1) {
+      for_each_chunk(pairs, threads, merge_pair);
+    } else {
+      for (u64 pair = 0; pair < pairs; ++pair) merge_pair(pair);
+    }
+  }
+}
 }  // namespace detail
 
 /// Merged campaign statistics: a success/trial counter for Monte-Carlo
 /// rate estimates plus a Welford accumulator for per-trial samples. Chunk
-/// partials are merged in chunk order, so every field — including the
-/// floating-point ones — is independent of the thread count.
+/// partials are folded with the fixed-shape merge tree, so every field —
+/// including the floating-point ones — is independent of the thread count.
 class TrialAccumulator {
  public:
   /// Record one Bernoulli trial (e.g. an attack attempt).
@@ -74,8 +104,8 @@ class TrialAccumulator {
   void add_sample(double x) noexcept { samples_.add(x); }
 
   /// Fold another accumulator into this one. Order-sensitive in floating
-  /// point: callers must merge partials in a fixed order (parallel_trials
-  /// merges in chunk order).
+  /// point: callers must merge partials in a fixed shape (parallel_trials
+  /// uses detail::tree_merge).
   void merge(const TrialAccumulator& other) noexcept {
     trials_ += other.trials_;
     successes_ += other.successes_;
@@ -115,9 +145,9 @@ template <typename Fn>
       fn(t, trial_seed(base_seed, t), partials[chunk]);
     }
   });
-  TrialAccumulator merged;
-  for (const auto& partial : partials) merged.merge(partial);
-  return merged;
+  if (partials.empty()) return {};
+  detail::tree_merge(partials, threads);
+  return std::move(partials.front());
 }
 
 /// Map every trial to a value: out[i] = fn(i, trial_seed(base_seed, i)).

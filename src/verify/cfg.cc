@@ -1,0 +1,273 @@
+#include "verify/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "kernel/syscalls.h"
+
+namespace acs::verify {
+
+namespace {
+
+using sim::Instruction;
+using sim::Opcode;
+
+[[nodiscard]] bool is_setjmp_symbol(const std::string& name) {
+  return name == "__setjmp" || name == "__acs_setjmp";
+}
+
+[[nodiscard]] bool is_longjmp_symbol(const std::string& name) {
+  return name == "__longjmp" || name == "__acs_longjmp";
+}
+
+[[nodiscard]] bool is_throw_svc(const Instruction& in) {
+  return in.op == Opcode::kSvc &&
+         in.imm == static_cast<i64>(kernel::Syscall::kThrow);
+}
+
+/// Does this instruction end a basic block unconditionally?
+[[nodiscard]] bool ends_block(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::kB:
+    case Opcode::kBCond:
+    case Opcode::kCbz:
+    case Opcode::kCbnz:
+    case Opcode::kBr:
+    case Opcode::kRet:
+    case Opcode::kRetaa:
+    case Opcode::kHlt:
+      return true;
+    case Opcode::kSvc:
+      return is_throw_svc(in);
+    default:
+      return false;
+  }
+}
+
+/// Best symbol name for a function entry: the assembler registers function
+/// labels alongside local labels (Lxxx, vuln_N); prefer the non-local one.
+[[nodiscard]] std::string name_for(const sim::Program& program, u64 entry) {
+  std::vector<std::string> candidates;
+  for (const auto& [name, addr] : program.symbols) {
+    if (addr == entry) candidates.push_back(name);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& name : candidates) {
+    if (name.rfind("L", 0) != 0 && name.rfind("vuln_", 0) != 0) return name;
+  }
+  return candidates.empty() ? "fn_" + std::to_string(entry) : candidates[0];
+}
+
+void build_function(const sim::Program& program, FunctionCfg& fn,
+                    const std::set<u64>& entry_set) {
+  // --- leaders -------------------------------------------------------
+  std::set<u64> leaders{fn.entry};
+  if (fn.unwind != nullptr) {
+    for (const auto& [tag, pad] : fn.unwind->catches) {
+      fn.catch_pads.emplace_back(tag, pad);
+      leaders.insert(pad);
+    }
+  }
+  for (u64 addr = fn.entry; addr < fn.end; addr += sim::kInstrBytes) {
+    const Instruction& in = program.at(addr);
+    switch (in.op) {
+      case Opcode::kB:
+      case Opcode::kBCond:
+      case Opcode::kCbz:
+      case Opcode::kCbnz:
+        if (in.target >= fn.entry && in.target < fn.end) {
+          leaders.insert(in.target);
+        }
+        break;
+      default:
+        break;
+    }
+    if (ends_block(in) && addr + sim::kInstrBytes < fn.end) {
+      leaders.insert(addr + sim::kInstrBytes);
+    }
+  }
+
+  // --- blocks and intra-function edges -------------------------------
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    BasicBlock block;
+    block.begin = *it;
+    const auto next = std::next(it);
+    block.end = next == leaders.end() ? fn.end : *next;
+    const u64 last = block.end - sim::kInstrBytes;
+    const Instruction& in = program.at(last);
+    switch (in.op) {
+      case Opcode::kB:
+        if (in.target >= fn.entry && in.target < fn.end) {
+          block.succs.push_back(in.target);
+        } else {
+          fn.tail_callees.push_back(in.target);
+          fn.has_calls = true;
+        }
+        break;
+      case Opcode::kBCond:
+      case Opcode::kCbz:
+      case Opcode::kCbnz:
+        if (in.target >= fn.entry && in.target < fn.end) {
+          block.succs.push_back(in.target);
+        }
+        if (block.end < fn.end) block.succs.push_back(block.end);
+        break;
+      case Opcode::kRet:
+      case Opcode::kRetaa:
+      case Opcode::kHlt:
+      case Opcode::kBr:
+        break;  // no intra-function successor
+      default:
+        if (is_throw_svc(in)) break;  // kernel transfers control
+        if (block.end < fn.end) block.succs.push_back(block.end);
+        break;
+    }
+    fn.blocks.push_back(std::move(block));
+  }
+  for (const auto& [tag, pad] : fn.catch_pads) {
+    for (auto& block : fn.blocks) {
+      if (block.begin == pad) block.is_catch_pad = true;
+    }
+  }
+
+  // --- call and address-taken summaries ------------------------------
+  for (u64 addr = fn.entry; addr < fn.end; addr += sim::kInstrBytes) {
+    const Instruction& in = program.at(addr);
+    switch (in.op) {
+      case Opcode::kBl: {
+        fn.direct_callees.push_back(in.target);
+        fn.has_calls = true;
+        const std::string callee = name_for(program, in.target);
+        if (is_setjmp_symbol(callee)) {
+          fn.setjmp_continuations.push_back(addr + sim::kInstrBytes);
+        }
+        if (is_longjmp_symbol(callee)) fn.calls_longjmp = true;
+        break;
+      }
+      case Opcode::kBlr:
+        fn.has_indirect_call = true;
+        fn.has_calls = true;
+        break;
+      case Opcode::kBr:
+        fn.has_indirect_call = true;
+        break;
+      case Opcode::kMovImm:
+        if (in.imm > 0 && entry_set.contains(static_cast<u64>(in.imm))) {
+          fn.address_taken.push_back(static_cast<u64>(in.imm));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+/// Recover (signal, handler) pairs from `mov x0, #sig; mov x1, #handler;
+/// svc #kSigaction` — the only registration pattern the codegen emits.
+void scan_signal_handlers(const sim::Program& program, const FunctionCfg& fn,
+                          const std::set<u64>& entry_set,
+                          std::vector<std::pair<u64, u64>>& out) {
+  for (u64 addr = fn.entry; addr < fn.end; addr += sim::kInstrBytes) {
+    const Instruction& in = program.at(addr);
+    if (in.op != Opcode::kSvc ||
+        in.imm != static_cast<i64>(kernel::Syscall::kSigaction)) {
+      continue;
+    }
+    u64 signum = 0;
+    u64 handler = 0;
+    const u64 window = std::min<u64>(4, (addr - fn.entry) / sim::kInstrBytes);
+    for (u64 back = 1; back <= window; ++back) {
+      const Instruction& prev = program.at(addr - back * sim::kInstrBytes);
+      if (prev.op != Opcode::kMovImm) continue;
+      if (prev.rd == sim::Reg::kX0) signum = static_cast<u64>(prev.imm);
+      if (prev.rd == sim::Reg::kX1 &&
+          entry_set.contains(static_cast<u64>(prev.imm))) {
+        handler = static_cast<u64>(prev.imm);
+      }
+    }
+    if (handler != 0) out.emplace_back(signum, handler);
+  }
+}
+
+}  // namespace
+
+const BasicBlock* FunctionCfg::block_at(u64 addr) const noexcept {
+  for (const auto& block : blocks) {
+    if (block.begin == addr) return &block;
+  }
+  return nullptr;
+}
+
+const BasicBlock* FunctionCfg::block_containing(u64 addr) const noexcept {
+  for (const auto& block : blocks) {
+    if (addr >= block.begin && addr < block.end) return &block;
+  }
+  return nullptr;
+}
+
+const FunctionCfg* ProgramCfg::function_at(u64 entry) const noexcept {
+  const auto it = index_by_entry.find(entry);
+  return it == index_by_entry.end() ? nullptr : &functions[it->second];
+}
+
+const FunctionCfg* ProgramCfg::function_containing(u64 addr) const noexcept {
+  for (const auto& fn : functions) {
+    if (addr >= fn.entry && addr < fn.end) return &fn;
+  }
+  return nullptr;
+}
+
+ProgramCfg build_cfg(const sim::Program& program) {
+  ProgramCfg cfg;
+  cfg.program = &program;
+
+  std::set<u64> starts(program.function_entries.begin(),
+                       program.function_entries.end());
+  for (const auto& info : program.unwind) starts.insert(info.entry);
+  starts.insert(program.base);
+
+  for (auto it = starts.begin(); it != starts.end(); ++it) {
+    FunctionCfg fn;
+    fn.entry = *it;
+    const auto next = std::next(it);
+    fn.end = next == starts.end() ? program.end() : *next;
+    if (fn.entry >= fn.end) continue;
+    fn.name = name_for(program, fn.entry);
+    fn.unwind = program.unwind_for(fn.entry);
+    build_function(program, fn, starts);
+    scan_signal_handlers(program, fn, starts, cfg.signal_handlers);
+    cfg.index_by_entry.emplace(fn.entry, cfg.functions.size());
+    cfg.functions.push_back(std::move(fn));
+  }
+  return cfg;
+}
+
+std::vector<u64> reachable_entries(const ProgramCfg& cfg) {
+  std::set<u64> seen;
+  std::vector<u64> worklist;
+  const auto add = [&](u64 entry) {
+    if (cfg.index_by_entry.contains(entry) && seen.insert(entry).second) {
+      worklist.push_back(entry);
+    }
+  };
+
+  const auto& program = *cfg.program;
+  const auto main_it = program.symbols.find("main");
+  add(main_it != program.symbols.end() ? main_it->second : program.base);
+  for (const auto& [addr, value] : program.data_init) {
+    (void)addr;
+    add(value);
+  }
+
+  while (!worklist.empty()) {
+    const u64 entry = worklist.back();
+    worklist.pop_back();
+    const FunctionCfg& fn = *cfg.function_at(entry);
+    for (const u64 target : fn.direct_callees) add(target);
+    for (const u64 target : fn.tail_callees) add(target);
+    for (const u64 target : fn.address_taken) add(target);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace acs::verify

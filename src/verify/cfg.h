@@ -1,0 +1,86 @@
+// Per-function control-flow-graph reconstruction over an assembled
+// sim::Program.
+//
+// Function boundaries come from the union of function entries (valid BLR
+// targets) and UnwindInfo records; within a function, blocks are split at
+// branch targets and after every control-transfer instruction. Irregular
+// control flow is recovered from the metadata the compiler already emits:
+//
+//   * tail calls       — a `b` whose target lies outside the function;
+//   * setjmp/longjmp   — `bl` to one of the runtime wrapper symbols; the
+//                        instruction after a setjmp call is a longjmp
+//                        continuation (control re-enters there);
+//   * exceptions       — `svc #kThrow` terminates its block; catch landing
+//                        pads (UnwindInfo::catches) are extra block entries;
+//   * signal handlers  — the `mov xN, #handler; svc #kSigaction` pattern
+//                        registers an extra root for reachability.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/isa.h"
+
+namespace acs::verify {
+
+/// One straight-line run of instructions, [begin, end).
+struct BasicBlock {
+  u64 begin = 0;
+  u64 end = 0;               ///< one past the last instruction
+  std::vector<u64> succs;    ///< intra-function successors (block begins)
+  bool is_catch_pad = false; ///< entered by the kernel's throw dispatch
+};
+
+/// CFG plus call/flow summaries for one function.
+struct FunctionCfg {
+  std::string name;
+  u64 entry = 0;
+  u64 end = 0;
+  /// Unwind record for the function, or nullptr for the runtime stubs
+  /// (main trampoline, setjmp/longjmp wrappers, __sigtramp, ...), which the
+  /// compiler emits without metadata.
+  const sim::UnwindInfo* unwind = nullptr;
+  std::vector<BasicBlock> blocks;  ///< sorted by begin
+  /// Exception tag -> landing-pad address (mirrors unwind->catches).
+  std::vector<std::pair<u64, u64>> catch_pads;
+  std::vector<u64> direct_callees;   ///< `bl` targets
+  std::vector<u64> tail_callees;     ///< `b` targets outside [entry, end)
+  /// Function-entry addresses materialised into a register (`mov xN, #fn`):
+  /// potential blr/thread/sigaction targets.
+  std::vector<u64> address_taken;
+  /// Instruction after each `bl` to a setjmp wrapper — where a longjmp
+  /// re-enters this function.
+  std::vector<u64> setjmp_continuations;
+  bool calls_longjmp = false;
+  bool has_indirect_call = false;    ///< any blr/br
+  bool has_calls = false;            ///< any bl/blr or tail call
+
+  /// Block starting exactly at `addr`, or nullptr.
+  [[nodiscard]] const BasicBlock* block_at(u64 addr) const noexcept;
+  /// Block whose range contains `addr`, or nullptr.
+  [[nodiscard]] const BasicBlock* block_containing(u64 addr) const noexcept;
+};
+
+struct ProgramCfg {
+  const sim::Program* program = nullptr;
+  std::vector<FunctionCfg> functions;  ///< sorted by entry
+  std::unordered_map<u64, std::size_t> index_by_entry;
+  /// (signal number, handler entry) pairs recovered from the static
+  /// sigaction registration pattern.
+  std::vector<std::pair<u64, u64>> signal_handlers;
+
+  [[nodiscard]] const FunctionCfg* function_at(u64 entry) const noexcept;
+  [[nodiscard]] const FunctionCfg* function_containing(u64 addr) const noexcept;
+};
+
+/// Reconstruct the whole-program CFG.
+[[nodiscard]] ProgramCfg build_cfg(const sim::Program& program);
+
+/// Function entries reachable from "main" and the loader-initialised
+/// function-pointer slots, following direct-call, tail-call, address-taken
+/// and signal-handler edges. Sorted ascending.
+[[nodiscard]] std::vector<u64> reachable_entries(const ProgramCfg& cfg);
+
+}  // namespace acs::verify

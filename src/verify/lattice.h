@@ -1,0 +1,53 @@
+// Security-class lattice for the static verifier.
+//
+// Every register and tracked stack slot carries one abstract class
+// describing what kind of return-address material it holds. The classes
+// order into a join semi-lattice by "how dangerous it is for this value to
+// reach an unchecked return or attacker-writable memory"; join takes the
+// more dangerous class so the analysis stays conservative at control-flow
+// merges.
+#pragma once
+
+#include "common/types.h"
+
+namespace acs::verify {
+
+/// Abstract security class of a 64-bit value.
+///
+/// The declaration order IS the join order: join(a, b) = max(a, b).
+enum class ValueClass : u8 {
+  kOther = 0,   ///< ordinary data — no return-address material
+  kAuthedRet,   ///< autia output: authenticated, safe to `ret` (tampering
+                ///< yields a poisoned pointer that faults at the return)
+  kRawRet,      ///< plaintext return address with trusted provenance (still
+                ///< in-register since `bl`, or loaded from protected memory)
+  kMaskedRet,   ///< PAC-masked chain value (aret XOR pacia(0, mod)) — safe
+                ///< to spill; the mask hides the PAC bits (Listing 3)
+  kMask,        ///< a bare PAC mask, pacia(0, mod) — secret; spilling or
+                ///< keeping it live across calls leaks PACs (Section 5.2)
+  kSignedRet,   ///< PAC-signed return value with the PAC in the clear —
+                ///< spilling it opens the reuse attack (Listing 2 hazard)
+  kTaintedRet,  ///< a return address that round-tripped attacker-writable
+                ///< memory without authentication — must never reach `ret`
+};
+
+/// Least upper bound: the more dangerous class wins.
+[[nodiscard]] constexpr ValueClass join(ValueClass a, ValueClass b) noexcept {
+  return a < b ? b : a;
+}
+
+/// Human-readable class name for diagnostics.
+[[nodiscard]] constexpr const char* class_name(ValueClass c) noexcept {
+  switch (c) {
+    case ValueClass::kOther: return "other";
+    case ValueClass::kAuthedRet: return "authed-ret";
+    case ValueClass::kRawRet: return "raw-ret";
+    case ValueClass::kMaskedRet: return "masked-aret";
+    case ValueClass::kMask: return "pac-mask";
+    case ValueClass::kSignedRet: return "signed-ret";
+    case ValueClass::kTaintedRet: return "tainted-ret";
+  }
+  return "?";
+}
+
+}  // namespace acs::verify

@@ -1,0 +1,635 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "verify/cfg.h"
+#include "verify/lattice.h"
+
+namespace acs::verify {
+
+namespace {
+
+using compiler::Scheme;
+using sim::AddrMode;
+using sim::Instruction;
+using sim::Opcode;
+using sim::Reg;
+using sim::UnwindKind;
+
+[[nodiscard]] bool is_chain_scheme(Scheme scheme) noexcept {
+  return scheme == Scheme::kPacStack || scheme == Scheme::kPacStackNoMask;
+}
+
+[[nodiscard]] bool is_chain_frame(UnwindKind kind) noexcept {
+  return kind == UnwindKind::kAcsChainMasked ||
+         kind == UnwindKind::kAcsChainUnmasked;
+}
+
+[[nodiscard]] bool is_ret_class(ValueClass c) noexcept {
+  switch (c) {
+    case ValueClass::kRawRet:
+    case ValueClass::kAuthedRet:
+    case ValueClass::kMaskedRet:
+    case ValueClass::kSignedRet:
+    case ValueClass::kTaintedRet:
+      return true;
+    case ValueClass::kOther:
+    case ValueClass::kMask:
+      return false;
+  }
+  return false;
+}
+
+/// Abstract value: a class plus the instruction that produced it, so
+/// diagnostics can point at the originating spill/load.
+struct RegVal {
+  ValueClass cls = ValueClass::kOther;
+  u64 origin = 0;
+
+  bool operator==(const RegVal&) const = default;
+};
+
+/// Abstract machine state at one program point. Stack slots are keyed by
+/// their offset from the function-entry SP; shadow slots by their offset
+/// from the function-entry shadow pointer (X18).
+struct AbsState {
+  std::array<RegVal, sim::kNumRegs> regs{};
+  i64 sp = 0;
+  bool sp_known = true;
+  i64 shadow = 0;
+  bool shadow_known = true;
+  std::map<i64, RegVal> stack;
+  std::map<i64, RegVal> shadow_mem;
+
+  bool operator==(const AbsState&) const = default;
+};
+
+/// Join `b` into `a`, keeping `a`'s value on ties so repeated joins of the
+/// same state are no-ops (monotone => the fixed point terminates).
+void join_into(AbsState& a, const AbsState& b) {
+  for (std::size_t i = 0; i < a.regs.size(); ++i) {
+    if (b.regs[i].cls > a.regs[i].cls) a.regs[i] = b.regs[i];
+  }
+  if (!a.sp_known || !b.sp_known || a.sp != b.sp) {
+    a.sp_known = false;
+    a.stack.clear();
+  } else {
+    for (const auto& [slot, val] : b.stack) {
+      const auto it = a.stack.find(slot);
+      if (it == a.stack.end()) {
+        a.stack.emplace(slot, val);
+      } else if (val.cls > it->second.cls) {
+        it->second = val;
+      }
+    }
+  }
+  if (!a.shadow_known || !b.shadow_known || a.shadow != b.shadow) {
+    a.shadow_known = false;
+    a.shadow_mem.clear();
+  } else {
+    for (const auto& [slot, val] : b.shadow_mem) {
+      const auto it = a.shadow_mem.find(slot);
+      if (it == a.shadow_mem.end()) {
+        a.shadow_mem.emplace(slot, val);
+      } else if (val.cls > it->second.cls) {
+        it->second = val;
+      }
+    }
+  }
+}
+
+/// Where a load/store lands, in the abstract memory model.
+enum class Region : u8 {
+  kStack,    ///< the task stack — attacker-writable (Section 3)
+  kShadow,   ///< the X18 shadow region — protected by assumption
+  kUnknown,  ///< any other base register — treated as attacker-writable
+};
+
+struct MemRef {
+  Region region = Region::kUnknown;
+  i64 slot = 0;
+  bool slot_known = false;
+};
+
+/// Resolve the effective address of a memory access and apply the
+/// pre/post-index base update to the abstract SP / shadow pointer.
+[[nodiscard]] MemRef resolve(AbsState& st, Reg base, i64 imm, AddrMode mode) {
+  const auto index = [&](i64& cursor, bool known) -> MemRef {
+    i64 slot = 0;
+    switch (mode) {
+      case AddrMode::kOffset: slot = cursor + imm; break;
+      case AddrMode::kPreIndex: cursor += imm; slot = cursor; break;
+      case AddrMode::kPostIndex: slot = cursor; cursor += imm; break;
+    }
+    return {base == sim::kSsp ? Region::kShadow : Region::kStack, slot, known};
+  };
+  if (base == Reg::kSp) return index(st.sp, st.sp_known);
+  if (base == sim::kSsp) return index(st.shadow, st.shadow_known);
+  return {};
+}
+
+class Analyzer {
+ public:
+  Analyzer(const sim::Program& program, const ProgramCfg& cfg, Scheme scheme,
+           ValueClass chain_boundary, bool emit)
+      : program_(program), cfg_(cfg), scheme_(scheme),
+        chain_boundary_(chain_boundary), emit_(emit) {}
+
+  /// Join of the chain-register class observed at every call boundary —
+  /// the inter-procedural calling-convention summary for X28.
+  ValueClass chain_observed = ValueClass::kOther;
+
+  std::vector<Diagnostic> diagnostics;
+
+  void analyze_function(const FunctionCfg& fn) {
+    if (fn.blocks.empty()) return;
+    std::map<u64, AbsState> in_states;
+    std::deque<u64> worklist;
+    in_states.emplace(fn.entry, entry_state());
+    worklist.push_back(fn.entry);
+    for (const auto& [tag, pad] : fn.catch_pads) {
+      (void)tag;
+      if (in_states.emplace(pad, pad_state(fn)).second) {
+        worklist.push_back(pad);
+      }
+    }
+
+    // Safety valve; the join is monotone over a finite lattice, so this
+    // bound is never reached by a well-formed program.
+    std::size_t budget = fn.blocks.size() * 256 + 1024;
+    while (!worklist.empty() && budget-- > 0) {
+      const u64 begin = worklist.front();
+      worklist.pop_front();
+      const BasicBlock* block = fn.block_at(begin);
+      if (block == nullptr) continue;
+      AbsState st = in_states.at(begin);
+      for (u64 addr = block->begin; addr < block->end;
+           addr += sim::kInstrBytes) {
+        step(addr, program_.at(addr), st, fn);
+      }
+      for (const u64 succ : block->succs) {
+        const auto it = in_states.find(succ);
+        if (it == in_states.end()) {
+          in_states.emplace(succ, st);
+          worklist.push_back(succ);
+        } else {
+          AbsState joined = it->second;
+          join_into(joined, st);
+          if (!(joined == it->second)) {
+            it->second = std::move(joined);
+            worklist.push_back(succ);
+          }
+        }
+      }
+    }
+  }
+
+  /// Structural (non-dataflow) checks: the Section 7.1 leaf heuristic must
+  /// match the emitted frame kind. Runtime stubs carry no unwind metadata
+  /// and are exempt.
+  void check_structure(const FunctionCfg& fn) {
+    if (!emit_ || fn.unwind == nullptr) return;
+    const UnwindKind kind = fn.unwind->kind;
+    const bool frameless = kind == UnwindKind::kNoFrame ||
+                           kind == UnwindKind::kSignedNoFrame;
+    if (frameless && fn.has_calls) {
+      diag(Code::kLeafHeuristic, fn.entry, fn,
+           "function performs calls but was lowered without a return-address "
+           "frame - the Section 7.1 leaf heuristic only exempts call-free "
+           "functions");
+    } else if (!frameless && !fn.has_calls) {
+      diag(Code::kLeafHeuristic, fn.entry, fn,
+           "call-free leaf function carries a return-address frame - the "
+           "Section 7.1 heuristic should have left it uninstrumented");
+    }
+  }
+
+ private:
+  [[nodiscard]] AbsState entry_state() const {
+    AbsState st;
+    st.regs[static_cast<std::size_t>(sim::kLr)] = {ValueClass::kRawRet, 0};
+    st.regs[static_cast<std::size_t>(sim::kCr)] = {chain_boundary_, 0};
+    return st;
+  }
+
+  /// State at a catch landing pad: the kernel's unwinder re-enters the
+  /// function mid-body with the frame intact, LR holding a kernel-verified
+  /// return path and CR restored per the chain protocol. Slot contents are
+  /// unknown (conservatively kOther), so pad paths can only under-, never
+  /// over-report.
+  [[nodiscard]] AbsState pad_state(const FunctionCfg& fn) const {
+    AbsState st = entry_state();
+    if (fn.unwind != nullptr) {
+      st.sp = -static_cast<i64>(fn.unwind->prologue_bytes +
+                                fn.unwind->frame_bytes);
+      if (fn.unwind->kind == UnwindKind::kShadowStack) st.shadow = 8;
+    }
+    return st;
+  }
+
+  [[nodiscard]] static RegVal get(const AbsState& st, Reg r) {
+    if (r == Reg::kXzr || r == Reg::kSp) return {};
+    return st.regs[static_cast<std::size_t>(r)];
+  }
+
+  static void set(AbsState& st, Reg r, RegVal v) {
+    if (r == Reg::kXzr || r == Reg::kSp) return;
+    st.regs[static_cast<std::size_t>(r)] = v;
+  }
+
+  void diag(Code code, u64 addr, const FunctionCfg& fn, std::string message) {
+    if (!emit_ || !fired_.emplace(code, addr).second) return;
+    diagnostics.push_back({code, addr, fn.name, std::move(message)});
+  }
+
+  [[nodiscard]] RegVal do_load(AbsState& st, const MemRef& ref, u64 addr) {
+    if (ref.region == Region::kShadow) {
+      if (ref.slot_known) {
+        const auto it = st.shadow_mem.find(ref.slot);
+        if (it != st.shadow_mem.end()) return it->second;
+      }
+      // The shadow region is protected: unknown slots are trusted
+      // return-address storage, never tainted.
+      return {ValueClass::kRawRet, addr};
+    }
+    if (ref.region == Region::kStack && ref.slot_known) {
+      const auto it = st.stack.find(ref.slot);
+      if (it != st.stack.end()) {
+        RegVal v = it->second;
+        // A plaintext return address that round-trips writable memory is
+        // attacker-controlled on reload.
+        if (v.cls == ValueClass::kRawRet || v.cls == ValueClass::kAuthedRet) {
+          v.cls = ValueClass::kTaintedRet;
+        }
+        return v;
+      }
+    }
+    return {ValueClass::kOther, addr};
+  }
+
+  void do_store(AbsState& st, Reg src, const MemRef& ref, u64 addr,
+                const FunctionCfg& fn, bool byte_sized) {
+    RegVal v = get(st, src);
+    // A post-authentication value is plaintext again: spilling it is a raw
+    // return-address spill, not an authenticated one.
+    if (v.cls == ValueClass::kAuthedRet) v.cls = ValueClass::kRawRet;
+    const bool writable = ref.region != Region::kShadow;
+    if (writable) {
+      if (v.cls == ValueClass::kSignedRet) {
+        if (is_chain_scheme(scheme_)) {
+          diag(Code::kUnmaskedAretSpill, addr, fn,
+               std::string{"unmasked aret (PAC in the clear) spilled to "
+                           "attacker-writable memory - Listing 2 hazard; "
+                           "Listing 3 masks the chain value before the "
+                           "spill"});
+        } else {
+          diag(Code::kSignedRetSpill, addr, fn,
+               std::string{"SP-signed return address spilled to "
+                           "attacker-writable memory - the pac-ret reuse "
+                           "window (Section 6.1)"});
+        }
+      } else if (v.cls == ValueClass::kMask) {
+        diag(Code::kMaskLeak, addr, fn,
+             "PAC mask stored to memory - Section 5.2 requires masks to "
+             "stay register-resident and be cleared after use");
+      }
+      if (src == sim::kCr && is_chain_scheme(scheme_) &&
+          fn.unwind != nullptr && !is_chain_frame(fn.unwind->kind)) {
+        diag(Code::kChainInterop, addr, fn,
+             "chain register X28 spilled to attacker-writable memory "
+             "outside the authenticated chain protocol - the Section 9.2 "
+             "uninstrumented-library hazard");
+      }
+    }
+    const RegVal stored = byte_sized ? RegVal{ValueClass::kOther, addr}
+                                     : RegVal{v.cls, addr};
+    if (ref.region == Region::kStack && ref.slot_known) {
+      st.stack[ref.slot] = stored;
+    } else if (ref.region == Region::kShadow && ref.slot_known) {
+      st.shadow_mem[ref.slot] = stored;
+    }
+  }
+
+  void check_mask_live(const AbsState& st, u64 addr, const FunctionCfg& fn,
+                       const char* what) {
+    for (std::size_t i = 0; i <= static_cast<std::size_t>(sim::kLr); ++i) {
+      if (st.regs[i].cls != ValueClass::kMask) continue;
+      diag(Code::kMaskLeak, addr, fn,
+           std::string{"PAC mask live in "} +
+               sim::reg_name(static_cast<Reg>(i)) + " across a " + what +
+               " - Section 5.2 mask hygiene");
+    }
+  }
+
+  void do_call(AbsState& st, u64 addr, const FunctionCfg& fn) {
+    check_mask_live(st, addr, fn, "call");
+    chain_observed = join(chain_observed, get(st, sim::kCr).cls);
+    // Caller-saved registers are dead across the call; the callee restores
+    // the chain register per the scheme's calling convention.
+    for (auto r = static_cast<std::size_t>(Reg::kX0);
+         r <= static_cast<std::size_t>(Reg::kX17); ++r) {
+      st.regs[r] = {ValueClass::kOther, addr};
+    }
+    set(st, sim::kLr, {ValueClass::kOther, addr});
+    set(st, sim::kCr, {chain_boundary_, addr});
+  }
+
+  void check_balance(const AbsState& st, u64 addr, const FunctionCfg& fn) {
+    if (st.sp_known && st.sp != 0) {
+      diag(Code::kSpImbalance, addr, fn,
+           "SP is " + std::to_string(st.sp) +
+               " bytes off its entry value at function exit");
+    }
+    if (st.shadow_known && st.shadow != 0) {
+      diag(Code::kSpImbalance, addr, fn,
+           "shadow-stack pointer is " + std::to_string(st.shadow) +
+               " bytes off its entry value at function exit");
+    }
+  }
+
+  void check_return_value(const AbsState& st, Reg target, u64 addr,
+                          const FunctionCfg& fn) {
+    const RegVal v = get(st, target);
+    if (v.cls == ValueClass::kTaintedRet) {
+      std::ostringstream msg;
+      msg << "raw return address spilled to attacker-writable memory (store "
+             "at 0x"
+          << std::hex << v.origin
+          << ") and consumed by a return without authentication - Table 1 "
+             "arbitrary-reuse hazard";
+      diag(Code::kRawRetReuse, addr, fn, msg.str());
+    } else if (v.cls == ValueClass::kSignedRet ||
+               v.cls == ValueClass::kMaskedRet ||
+               v.cls == ValueClass::kMask) {
+      diag(Code::kUnauthenticatedRet, addr, fn,
+           std::string{"return consumes a "} + class_name(v.cls) +
+               " value that was never authenticated - this path faults "
+               "unconditionally (missing aut)");
+    }
+  }
+
+  void do_ret(AbsState& st, Reg target, u64 addr, const FunctionCfg& fn,
+              bool authenticates) {
+    if (!authenticates) check_return_value(st, target, addr, fn);
+    check_balance(st, addr, fn);
+  }
+
+  /// A tail call hands the current LR and chain register to the callee: it
+  /// is a call boundary and a return-path checkpoint at once (Listing 8).
+  void do_tail(AbsState& st, u64 addr, const FunctionCfg& fn) {
+    check_mask_live(st, addr, fn, "tail call");
+    chain_observed = join(chain_observed, get(st, sim::kCr).cls);
+    check_return_value(st, sim::kLr, addr, fn);
+    check_balance(st, addr, fn);
+  }
+
+  void step(u64 addr, const Instruction& in, AbsState& st,
+            const FunctionCfg& fn) {
+    switch (in.op) {
+      case Opcode::kNop:
+      case Opcode::kWork:
+      case Opcode::kCmpImm:
+      case Opcode::kCmpReg:
+      case Opcode::kHlt:
+      case Opcode::kBCond:
+      case Opcode::kCbz:
+      case Opcode::kCbnz:
+      case Opcode::kBr:
+        break;
+      case Opcode::kMovImm:
+        set(st, in.rd, {ValueClass::kOther, addr});
+        break;
+      case Opcode::kMovReg:
+        if (in.rd == Reg::kSp) {
+          st.sp_known = false;
+          st.stack.clear();
+        } else {
+          RegVal v = get(st, in.rn);
+          if (v.origin == 0) v.origin = addr;
+          set(st, in.rd, v);
+          if (in.rd == sim::kSsp) {
+            st.shadow_known = false;
+            st.shadow_mem.clear();
+          }
+        }
+        break;
+      case Opcode::kAddImm:
+      case Opcode::kSubImm: {
+        const i64 delta = in.op == Opcode::kAddImm ? in.imm : -in.imm;
+        if (in.rd == Reg::kSp) {
+          if (in.rn == Reg::kSp && st.sp_known) {
+            st.sp += delta;
+          } else {
+            st.sp_known = false;
+            st.stack.clear();
+          }
+        } else if (in.rd == sim::kSsp) {
+          if (in.rn == sim::kSsp && st.shadow_known) {
+            st.shadow += delta;
+          } else {
+            st.shadow_known = false;
+            st.shadow_mem.clear();
+          }
+        } else {
+          set(st, in.rd, {ValueClass::kOther, addr});
+        }
+        break;
+      }
+      case Opcode::kEorReg: {
+        const ValueClass a = get(st, in.rn).cls;
+        const ValueClass b = get(st, in.rm).cls;
+        ValueClass out = ValueClass::kOther;
+        const auto pair = [&](ValueClass x, ValueClass y) {
+          return (a == x && b == y) || (a == y && b == x);
+        };
+        if (pair(ValueClass::kSignedRet, ValueClass::kMask)) {
+          out = ValueClass::kMaskedRet;
+        } else if (pair(ValueClass::kMaskedRet, ValueClass::kMask)) {
+          out = ValueClass::kSignedRet;
+        }
+        set(st, in.rd, {out, addr});
+        break;
+      }
+      case Opcode::kAddReg:
+      case Opcode::kSubReg:
+      case Opcode::kAndReg:
+      case Opcode::kOrrReg:
+      case Opcode::kLslImm:
+      case Opcode::kLsrImm:
+      case Opcode::kPacga:
+        set(st, in.rd, {ValueClass::kOther, addr});
+        break;
+      case Opcode::kPacia: {
+        const ValueClass c = get(st, in.rd).cls;
+        set(st, in.rd,
+            {is_ret_class(c) ? ValueClass::kSignedRet : ValueClass::kMask,
+             addr});
+        break;
+      }
+      case Opcode::kAutia:
+        set(st, in.rd, {ValueClass::kAuthedRet, addr});
+        break;
+      case Opcode::kXpaci: {
+        const ValueClass c = get(st, in.rd).cls;
+        set(st, in.rd,
+            {is_ret_class(c) ? ValueClass::kRawRet : ValueClass::kOther,
+             addr});
+        break;
+      }
+      case Opcode::kLdr: {
+        const MemRef ref = resolve(st, in.rn, in.imm, in.mode);
+        if (in.rd == Reg::kSp) {
+          st.sp_known = false;
+          st.stack.clear();
+        } else {
+          set(st, in.rd, do_load(st, ref, addr));
+          if (in.rd == sim::kSsp) {
+            st.shadow_known = false;
+            st.shadow_mem.clear();
+          }
+        }
+        break;
+      }
+      case Opcode::kLdrb: {
+        (void)resolve(st, in.rn, in.imm, in.mode);
+        set(st, in.rd, {ValueClass::kOther, addr});
+        break;
+      }
+      case Opcode::kLdp: {
+        MemRef ref = resolve(st, in.rn, in.imm, in.mode);
+        set(st, in.rd, do_load(st, ref, addr));
+        MemRef second = ref;
+        second.slot += 8;
+        set(st, in.rm, do_load(st, second, addr));
+        break;
+      }
+      case Opcode::kStr:
+      case Opcode::kStrb: {
+        const MemRef ref = resolve(st, in.rn, in.imm, in.mode);
+        do_store(st, in.rd, ref, addr, fn, in.op == Opcode::kStrb);
+        break;
+      }
+      case Opcode::kStp: {
+        MemRef ref = resolve(st, in.rn, in.imm, in.mode);
+        do_store(st, in.rd, ref, addr, fn, false);
+        MemRef second = ref;
+        second.slot += 8;
+        do_store(st, in.rm, second, addr, fn, false);
+        break;
+      }
+      case Opcode::kBl:
+      case Opcode::kBlr:
+        do_call(st, addr, fn);
+        break;
+      case Opcode::kB:
+        if (in.target < fn.entry || in.target >= fn.end) {
+          do_tail(st, addr, fn);
+        }
+        break;
+      case Opcode::kRet:
+        do_ret(st, in.rn, addr, fn, /*authenticates=*/false);
+        break;
+      case Opcode::kRetaa:
+        // retaa = autia(LR, SP) + ret: tampering poisons the pointer and
+        // the return faults, so the integrity check is satisfied.
+        do_ret(st, sim::kLr, addr, fn, /*authenticates=*/true);
+        break;
+      case Opcode::kSvc:
+        set(st, Reg::kX0, {ValueClass::kOther, addr});
+        break;
+    }
+  }
+
+  const sim::Program& program_;
+  const ProgramCfg& cfg_;
+  Scheme scheme_;
+  ValueClass chain_boundary_;
+  bool emit_;
+  std::set<std::pair<Code, u64>> fired_;
+};
+
+}  // namespace
+
+std::string code_name(Code code) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "ACS%03u", static_cast<unsigned>(code));
+  return buf;
+}
+
+bool Report::has(Code code) const noexcept {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+std::size_t Report::count(Code code) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+std::vector<Code> Report::codes() const {
+  std::vector<Code> out;
+  for (const auto& d : diagnostics) out.push_back(d.code);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Report verify_program(const sim::Program& program, compiler::Scheme scheme) {
+  const ProgramCfg cfg = build_cfg(program);
+  const std::vector<u64> reachable = reachable_entries(cfg);
+
+  // Inter-procedural fixed point over the chain register's class at call
+  // boundaries (the X28 calling convention the scheme establishes): start
+  // from the kernel-seeded aret_0 (no PAC material, kOther) and iterate
+  // until the boundary class is stable, then run the reporting pass.
+  ValueClass boundary = ValueClass::kOther;
+  for (int iter = 0; iter < 8; ++iter) {
+    Analyzer pass(program, cfg, scheme, boundary, /*emit=*/false);
+    for (const u64 entry : reachable) {
+      pass.analyze_function(*cfg.function_at(entry));
+    }
+    const ValueClass next = pass.chain_observed;
+    if (next == boundary) break;
+    boundary = next;
+  }
+
+  Analyzer pass(program, cfg, scheme, boundary, /*emit=*/true);
+  Report report;
+  report.scheme = scheme;
+  report.functions_reachable = reachable.size();
+  for (const u64 entry : reachable) {
+    const FunctionCfg& fn = *cfg.function_at(entry);
+    pass.analyze_function(fn);
+    pass.check_structure(fn);
+    if (fn.unwind != nullptr) ++report.functions_verified;
+  }
+  report.diagnostics = std::move(pass.diagnostics);
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return a.address != b.address ? a.address < b.address
+                                            : a.code < b.code;
+            });
+  return report;
+}
+
+std::string to_string(const Report& report) {
+  std::ostringstream out;
+  out << "scheme " << compiler::scheme_name(report.scheme) << ": "
+      << report.functions_reachable << " functions reachable, "
+      << report.functions_verified << " with unwind metadata, "
+      << report.diagnostics.size() << " finding(s)\n";
+  for (const auto& d : report.diagnostics) {
+    out << "  " << code_name(d.code) << " @0x" << std::hex << d.address
+        << std::dec << " in " << d.function << ": " << d.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace acs::verify

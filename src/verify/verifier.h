@@ -1,0 +1,87 @@
+// Static binary verifier for the return-address protection invariants.
+//
+// Consumes an assembled sim::Program plus the protection scheme it was
+// compiled under, reconstructs per-function CFGs (verify/cfg.h), and runs a
+// fixed-point abstract interpretation over registers and stack slots with
+// the security-class lattice of verify/lattice.h. The pass proves — on
+// *every* path of the emitted code, not just the dynamically exercised
+// ones — the paper's Listing 1–3 invariants:
+//
+//   ACS001  a raw return address that round-tripped attacker-writable
+//           memory reaches a return unauthenticated (Table 1 "reuse",
+//           baseline/canary columns)
+//   ACS002  a PAC-signed chain value is spilled with its PAC in the clear
+//           (Listing 2 vs Listing 3 — the PACStack-nomask ablation)
+//   ACS003  an SP-signed return address is spilled (Listing 1 — the
+//           pac-ret reuse window, Section 6.1)
+//   ACS004  a return consumes a signed-but-never-authenticated value
+//           (would fault on every path; a compiler bug, not an attack)
+//   ACS005  the chain register X28 is spilled to attacker-writable memory
+//           outside the authenticated chain protocol (the Section 9.2
+//           uninstrumented-library hazard)
+//   ACS006  the Section 7.1 leaf heuristic is misapplied (a calling
+//           function left frameless, or a call-free function framed)
+//   ACS007  SP (or the shadow-stack pointer) is not balanced at return
+//   ACS008  a PAC mask is live across a call or stored to memory
+//           (Section 5.2 mask hygiene)
+//
+// The verifier is differential by construction: kPacStack and kShadowStack
+// verify clean, kPacStackNoMask is flagged with exactly ACS002, and
+// kNone/kCanary with exactly ACS001 — the static re-derivation of the
+// Table 1 columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/scheme.h"
+#include "sim/isa.h"
+
+namespace acs::verify {
+
+enum class Code : u8 {
+  kRawRetReuse = 1,      ///< ACS001
+  kUnmaskedAretSpill,    ///< ACS002
+  kSignedRetSpill,       ///< ACS003
+  kUnauthenticatedRet,   ///< ACS004
+  kChainInterop,         ///< ACS005
+  kLeafHeuristic,        ///< ACS006
+  kSpImbalance,          ///< ACS007
+  kMaskLeak,             ///< ACS008
+};
+
+/// "ACS001", "ACS002", ...
+[[nodiscard]] std::string code_name(Code code);
+
+/// One verified-invariant violation, addressed to an instruction.
+struct Diagnostic {
+  Code code;
+  u64 address = 0;
+  std::string function;
+  std::string message;
+};
+
+struct Report {
+  compiler::Scheme scheme = compiler::Scheme::kNone;
+  std::vector<Diagnostic> diagnostics;
+  std::size_t functions_reachable = 0;  ///< functions the analysis visited
+  std::size_t functions_verified = 0;   ///< of those, with unwind metadata
+
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+  [[nodiscard]] bool has(Code code) const noexcept;
+  [[nodiscard]] std::size_t count(Code code) const noexcept;
+  /// Sorted, de-duplicated codes present in the report.
+  [[nodiscard]] std::vector<Code> codes() const;
+};
+
+/// Verify `program` against the invariants of `scheme`. Only code reachable
+/// from "main" (plus loader-installed function pointers and registered
+/// signal handlers) is analysed — the runtime emits all scheme wrappers
+/// unconditionally, and dead ones must not be held against the scheme.
+[[nodiscard]] Report verify_program(const sim::Program& program,
+                                    compiler::Scheme scheme);
+
+/// Human-readable rendering, one line per diagnostic.
+[[nodiscard]] std::string to_string(const Report& report);
+
+}  // namespace acs::verify

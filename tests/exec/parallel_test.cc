@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "attack/experiments.h"
@@ -85,6 +87,90 @@ TEST(ParallelMapTrials, ValuesLandAtTheirIndex) {
   for (u64 t = 0; t < seq.size(); ++t) {
     EXPECT_EQ(seq[t], trial_seed(12, t) ^ t);
   }
+}
+
+/// Accumulator that records the merge expression instead of statistics, so
+/// tests can assert the exact reduction-tree shape.
+struct ShapeAcc {
+  std::string expr;
+  void merge(const ShapeAcc& other) {
+    expr = "(" + expr + "+" + other.expr + ")";
+  }
+};
+
+std::vector<ShapeAcc> labelled_partials(u64 n) {
+  std::vector<ShapeAcc> partials(n);
+  for (u64 i = 0; i < n; ++i) partials[i].expr = std::to_string(i);
+  return partials;
+}
+
+TEST(TreeMerge, FixedShapeIndependentOfThreadCount) {
+  // The reduction tree is a pure function of the partial count: pairwise
+  // with stride doubling, odd tail carried through.
+  auto five = labelled_partials(5);
+  detail::tree_merge(five, 1);
+  EXPECT_EQ(five[0].expr, "(((0+1)+(2+3))+4)");
+
+  auto one = labelled_partials(1);
+  detail::tree_merge(one, 4);
+  EXPECT_EQ(one[0].expr, "0");
+
+  // Wide enough to take the parallelised-round path: the shape must not
+  // change when the pair merges run on the pool.
+  for (const u64 n : {u64{2}, u64{7}, u64{64}, u64{200}, u64{257}}) {
+    auto seq = labelled_partials(n);
+    detail::tree_merge(seq, 1);
+    for (const unsigned threads : {2U, 3U, 8U}) {
+      auto par = labelled_partials(n);
+      detail::tree_merge(par, threads);
+      EXPECT_EQ(seq[0].expr, par[0].expr) << "n=" << n
+                                          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(TreeMerge, FoldsEveryPartialExactlyOnce) {
+  for (const u64 n : {u64{1}, u64{6}, u64{31}, u64{128}, u64{1000}}) {
+    auto partials = labelled_partials(n);
+    detail::tree_merge(partials, 4);
+    const std::string& expr = partials[0].expr;
+    for (u64 i = 0; i < n; ++i) {
+      u64 count = 0;
+      const std::string needle = std::to_string(i);
+      for (std::size_t pos = 0; (pos = expr.find(needle, pos)) != std::string::npos;
+           ++pos) {
+        // Match whole labels only ("1" must not count inside "12").
+        const bool left_ok = pos == 0 || !std::isdigit(expr[pos - 1]);
+        const std::size_t after = pos + needle.size();
+        const bool right_ok =
+            after >= expr.size() || !std::isdigit(expr[after]);
+        if (left_ok && right_ok) ++count;
+      }
+      EXPECT_EQ(count, 1u) << "partial " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ParallelTrials, LargeCampaignCrossesParallelMergeThreshold) {
+  // > kParallelMergePairs * 2 * kTrialChunk trials so the first merge
+  // round runs on the pool; the result must still be bitwise identical.
+  const u64 n = 2 * detail::kParallelMergePairs * 2 * kTrialChunk + 37;
+  const auto campaign = [&](unsigned threads) {
+    return parallel_trials(
+        n, 123,
+        [](u64 /*t*/, u64 seed, TrialAccumulator& a) {
+          Rng rng(seed);
+          a.add_sample(static_cast<double>(rng.next_below(1u << 20)) * 1e-4);
+          a.add_outcome(rng.next_below(3) == 0);
+        },
+        threads);
+  };
+  const auto one = campaign(1);
+  const auto many = campaign(8);
+  EXPECT_EQ(one.trials(), n);
+  EXPECT_EQ(one.successes(), many.successes());
+  EXPECT_EQ(one.samples().mean(), many.samples().mean());
+  EXPECT_EQ(one.samples().stddev(), many.samples().stddev());
 }
 
 TEST(ParallelTrials, ExceptionsPropagate) {

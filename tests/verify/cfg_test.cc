@@ -1,0 +1,195 @@
+// Tests for the CFG reconstruction: tail-call, setjmp/longjmp, exception
+// and signal-handler edges, block splitting, and runtime-stub handling.
+#include "verify/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/codegen.h"
+#include "compiler/ir.h"
+#include "kernel/syscalls.h"
+
+namespace acs::verify {
+namespace {
+
+using compiler::Scheme;
+
+const FunctionCfg& fn_by_name(const ProgramCfg& cfg, const std::string& name) {
+  const u64 entry = cfg.program->symbol(name);
+  const FunctionCfg* fn = cfg.function_at(entry);
+  EXPECT_NE(fn, nullptr) << name << " is not a function start";
+  return *fn;
+}
+
+bool contains(const std::vector<u64>& v, u64 x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(Cfg, TailCallEdge) {
+  compiler::IrBuilder b;
+  const std::size_t target = b.begin_function("target");
+  b.compute(2);
+  const std::size_t f = b.begin_function("f");
+  b.compute(1);
+  b.tail_call(target);
+  const std::size_t entry = b.begin_function("entry");
+  b.call(f);
+  const sim::Program program =
+      compiler::compile_ir(b.build(entry), {.scheme = Scheme::kNone});
+
+  const ProgramCfg cfg = build_cfg(program);
+  const FunctionCfg& fcfg = fn_by_name(cfg, "f");
+  EXPECT_TRUE(contains(fcfg.tail_callees, program.symbol("target")));
+  EXPECT_TRUE(fcfg.has_calls);
+  // The tail-call edge keeps `target` reachable.
+  EXPECT_TRUE(contains(reachable_entries(cfg), program.symbol("target")));
+}
+
+TEST(Cfg, SetjmpAndLongjmpEdges) {
+  compiler::IrBuilder b;
+  const std::size_t thrower = b.begin_function("thrower");
+  b.longjmp_to(0, 42);
+  const std::size_t f = b.begin_function("f");
+  b.setjmp_point(0);
+  b.call(thrower);
+  const sim::Program program =
+      compiler::compile_ir(b.build(f), {.scheme = Scheme::kPacStack});
+
+  const ProgramCfg cfg = build_cfg(program);
+  const FunctionCfg& fcfg = fn_by_name(cfg, "f");
+  ASSERT_EQ(fcfg.setjmp_continuations.size(), 1u);
+  const u64 cont = fcfg.setjmp_continuations[0];
+  EXPECT_GT(cont, fcfg.entry);
+  EXPECT_LT(cont, fcfg.end);
+  // The continuation is the instruction after the `bl __acs_setjmp`.
+  EXPECT_EQ(program.at(cont - sim::kInstrBytes).op, sim::Opcode::kBl);
+  EXPECT_TRUE(fn_by_name(cfg, "thrower").calls_longjmp);
+  EXPECT_FALSE(fcfg.calls_longjmp);
+}
+
+TEST(Cfg, ThrowTerminatesBlockAndCatchPadIsEntered) {
+  compiler::IrBuilder b;
+  const std::size_t thrower = b.begin_function("thrower");
+  b.throw_exception(1, 99);
+  const std::size_t f = b.begin_function("f");
+  b.catch_point(1);
+  b.call(thrower);
+  b.write_int(5);
+  const sim::Program program =
+      compiler::compile_ir(b.build(f), {.scheme = Scheme::kNone});
+
+  const ProgramCfg cfg = build_cfg(program);
+  const FunctionCfg& fcfg = fn_by_name(cfg, "f");
+  ASSERT_EQ(fcfg.catch_pads.size(), 1u);
+  EXPECT_EQ(fcfg.catch_pads[0].first, 1u);
+  const BasicBlock* pad = fcfg.block_at(fcfg.catch_pads[0].second);
+  ASSERT_NE(pad, nullptr) << "catch pad is not a block leader";
+  EXPECT_TRUE(pad->is_catch_pad);
+
+  // The `svc #kThrow` in the thrower ends its block with no successors —
+  // control transfers to the kernel's unwinder.
+  const FunctionCfg& tcfg = fn_by_name(cfg, "thrower");
+  bool found_throw = false;
+  for (u64 addr = tcfg.entry; addr < tcfg.end; addr += sim::kInstrBytes) {
+    const auto& in = program.at(addr);
+    if (in.op != sim::Opcode::kSvc ||
+        in.imm != static_cast<i64>(kernel::Syscall::kThrow)) {
+      continue;
+    }
+    found_throw = true;
+    const BasicBlock* block = tcfg.block_containing(addr);
+    ASSERT_NE(block, nullptr);
+    EXPECT_EQ(block->end, addr + sim::kInstrBytes);
+    EXPECT_TRUE(block->succs.empty());
+  }
+  EXPECT_TRUE(found_throw);
+}
+
+TEST(Cfg, SignalHandlerIsRecoveredAndReachable) {
+  compiler::IrBuilder b;
+  const std::size_t handler = b.begin_function("handler");
+  b.write_int(3);
+  const std::size_t f = b.begin_function("f");
+  b.sigaction(5, handler);
+  b.raise_signal(5);
+  const sim::Program program =
+      compiler::compile_ir(b.build(f), {.scheme = Scheme::kShadowStack});
+
+  const ProgramCfg cfg = build_cfg(program);
+  const u64 handler_entry = program.symbol("handler");
+  ASSERT_EQ(cfg.signal_handlers.size(), 1u);
+  EXPECT_EQ(cfg.signal_handlers[0].first, 5u);
+  EXPECT_EQ(cfg.signal_handlers[0].second, handler_entry);
+  // The handler's address is materialised into a register, so the
+  // address-taken edge keeps it reachable.
+  EXPECT_TRUE(contains(reachable_entries(cfg), handler_entry));
+}
+
+TEST(Cfg, RepeatCallLoopSplitsBlocks) {
+  compiler::IrBuilder b;
+  const std::size_t leaf = b.begin_function("leaf");
+  b.compute(1);
+  const std::size_t f = b.begin_function("f");
+  b.call(leaf, 3);
+  const sim::Program program =
+      compiler::compile_ir(b.build(f), {.scheme = Scheme::kNone});
+
+  const ProgramCfg cfg = build_cfg(program);
+  const FunctionCfg& fcfg = fn_by_name(cfg, "f");
+  EXPECT_GT(fcfg.blocks.size(), 2u);
+  bool has_back_edge = false;
+  for (const auto& block : fcfg.blocks) {
+    for (const u64 succ : block.succs) {
+      if (succ <= block.begin) has_back_edge = true;
+    }
+  }
+  EXPECT_TRUE(has_back_edge) << "repeat-call loop lost its back edge";
+}
+
+TEST(Cfg, RuntimeStubsHaveNoUnwindInfo) {
+  compiler::IrBuilder b;
+  const std::size_t f = b.begin_function("f");
+  b.setjmp_point(0);
+  b.compute(1);
+  const sim::Program program =
+      compiler::compile_ir(b.build(f), {.scheme = Scheme::kPacStack});
+
+  const ProgramCfg cfg = build_cfg(program);
+  for (const char* stub :
+       {"main", "__acs_setjmp", "__acs_longjmp", "__sigtramp"}) {
+    EXPECT_EQ(fn_by_name(cfg, stub).unwind, nullptr) << stub;
+  }
+  const FunctionCfg& fcfg = fn_by_name(cfg, "f");
+  ASSERT_NE(fcfg.unwind, nullptr);
+  EXPECT_EQ(fcfg.unwind->kind, sim::UnwindKind::kAcsChainMasked);
+}
+
+TEST(Cfg, EveryInstructionBelongsToExactlyOneBlock) {
+  compiler::IrBuilder b;
+  const std::size_t leaf = b.begin_function("leaf");
+  b.compute(1);
+  const std::size_t f = b.begin_function("f");
+  b.call(leaf, 2);
+  b.catch_point(3);
+  b.write_int(1);
+  const sim::Program program =
+      compiler::compile_ir(b.build(f), {.scheme = Scheme::kPacStack});
+
+  const ProgramCfg cfg = build_cfg(program);
+  for (const auto& fn : cfg.functions) {
+    u64 covered = 0;
+    for (const auto& block : fn.blocks) {
+      EXPECT_LT(block.begin, block.end) << fn.name;
+      covered += block.end - block.begin;
+      for (const u64 succ : block.succs) {
+        EXPECT_NE(fn.block_at(succ), nullptr)
+            << fn.name << ": successor is not a block leader";
+      }
+    }
+    EXPECT_EQ(covered, fn.end - fn.entry) << fn.name;
+  }
+}
+
+}  // namespace
+}  // namespace acs::verify

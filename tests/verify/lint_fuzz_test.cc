@@ -1,0 +1,91 @@
+// Property-based fuzz over the random call-graph generator: the verifier
+// must never crash, the protected schemes must always verify clean, and
+// the ablations may only ever produce their own diagnostic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "compiler/scheme.h"
+#include "verify/verifier.h"
+#include "workload/callgraph_gen.h"
+
+namespace acs::verify {
+namespace {
+
+using compiler::Scheme;
+
+std::vector<Code> allowed_codes(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone:
+    case Scheme::kCanary:
+      return {Code::kRawRetReuse};
+    case Scheme::kPacRet:
+    case Scheme::kPacRetLeaf:
+      return {Code::kSignedRetSpill};
+    case Scheme::kPacStackNoMask:
+      return {Code::kUnmaskedAretSpill};
+    case Scheme::kPacStack:
+    case Scheme::kShadowStack:
+      return {};
+  }
+  return {};
+}
+
+TEST(LintFuzz, RandomCallGraphsVerifyDifferentially) {
+  for (u64 seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const compiler::ProgramIr ir = workload::make_random_ir(rng);
+    for (const Scheme scheme : compiler::all_schemes()) {
+      const sim::Program program =
+          compiler::compile_ir(ir, {.scheme = scheme});
+      const Report report = verify_program(program, scheme);
+      const std::vector<Code> allowed = allowed_codes(scheme);
+      for (const Code c : report.codes()) {
+        EXPECT_NE(std::find(allowed.begin(), allowed.end(), c),
+                  allowed.end())
+            << "seed " << seed << " scheme "
+            << compiler::scheme_name(scheme) << ":\n" << to_string(report);
+      }
+      if (scheme == Scheme::kPacStack || scheme == Scheme::kShadowStack) {
+        EXPECT_TRUE(report.clean())
+            << "seed " << seed << ":\n" << to_string(report);
+      }
+      EXPECT_GT(report.functions_reachable, 0u);
+    }
+  }
+}
+
+TEST(LintFuzz, DenseGraphsWithTailAndIndirectCalls) {
+  workload::CallGraphParams params;
+  params.num_functions = 20;
+  params.call_probability = 0.8;
+  params.indirect_probability = 0.4;
+  params.tail_call_probability = 0.3;
+  for (u64 seed = 100; seed < 115; ++seed) {
+    Rng rng(seed);
+    const compiler::ProgramIr ir = workload::make_random_ir(rng, params);
+    for (const Scheme scheme :
+         {Scheme::kPacStack, Scheme::kPacStackNoMask, Scheme::kNone}) {
+      const sim::Program program =
+          compiler::compile_ir(ir, {.scheme = scheme});
+      const Report report = verify_program(program, scheme);
+      if (scheme == Scheme::kPacStack) {
+        EXPECT_TRUE(report.clean())
+            << "seed " << seed << ":\n" << to_string(report);
+      } else {
+        const Code only = scheme == Scheme::kPacStackNoMask
+                              ? Code::kUnmaskedAretSpill
+                              : Code::kRawRetReuse;
+        for (const Code c : report.codes()) {
+          EXPECT_EQ(c, only) << "seed " << seed << ":\n"
+                             << to_string(report);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acs::verify

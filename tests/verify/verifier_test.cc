@@ -1,0 +1,317 @@
+// Differential tests for the static verifier: the protected schemes verify
+// clean on every workload generator, each ablation is flagged with its
+// specific diagnostic, and hand-assembled violations exercise each code.
+#include "verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "compiler/ir.h"
+#include "compiler/scheme.h"
+#include "sim/assembler.h"
+#include "workload/confirm_suite.h"
+#include "workload/nginx_sim.h"
+#include "workload/spec_suite.h"
+
+namespace acs::verify {
+namespace {
+
+using compiler::CompileOptions;
+using compiler::Scheme;
+
+/// The codes a scheme is allowed (and, across a whole suite, required) to
+/// produce on generator workloads — the static Table 1.
+std::vector<Code> expected_codes(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone:
+    case Scheme::kCanary:
+      return {Code::kRawRetReuse};
+    case Scheme::kPacRet:
+    case Scheme::kPacRetLeaf:
+      return {Code::kSignedRetSpill};
+    case Scheme::kPacStackNoMask:
+      return {Code::kUnmaskedAretSpill};
+    case Scheme::kPacStack:
+    case Scheme::kShadowStack:
+      return {};
+  }
+  return {};
+}
+
+bool subset(const std::vector<Code>& inner, const std::vector<Code>& outer) {
+  for (const Code c : inner) {
+    if (std::find(outer.begin(), outer.end(), c) == outer.end()) return false;
+  }
+  return true;
+}
+
+/// Verify every program under `scheme`: each report's code set must be a
+/// subset of the expectation (leaf-only programs may be trivially clean)
+/// and the union across the suite must hit the expectation exactly.
+void check_suite(const std::vector<compiler::ProgramIr>& suite,
+                 Scheme scheme) {
+  std::vector<Code> seen;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const sim::Program program =
+        compiler::compile_ir(suite[i], {.scheme = scheme});
+    const Report report = verify_program(program, scheme);
+    const std::vector<Code> codes = report.codes();
+    EXPECT_TRUE(subset(codes, expected_codes(scheme)))
+        << "program " << i << " under " << compiler::scheme_name(scheme)
+        << ":\n" << to_string(report);
+    for (const Code c : codes) {
+      if (std::find(seen.begin(), seen.end(), c) == seen.end()) {
+        seen.push_back(c);
+      }
+    }
+  }
+  EXPECT_TRUE(subset(expected_codes(scheme), seen))
+      << "suite under " << compiler::scheme_name(scheme)
+      << " never produced every expected diagnostic";
+}
+
+std::vector<compiler::ProgramIr> spec_programs() {
+  std::vector<compiler::ProgramIr> suite;
+  for (const auto& bench : workload::spec_suite()) {
+    suite.push_back(workload::make_spec_ir(bench));
+  }
+  for (const auto& bench : workload::spec_cpp_suite()) {
+    suite.push_back(workload::make_spec_cpp_ir(bench));
+  }
+  return suite;
+}
+
+class SchemeDifferential : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeDifferential, SpecSuite) {
+  check_suite(spec_programs(), GetParam());
+}
+
+TEST_P(SchemeDifferential, NginxWorker) {
+  check_suite({workload::make_worker_ir(50, 7)}, GetParam());
+}
+
+TEST_P(SchemeDifferential, ConfirmSuite) {
+  std::vector<compiler::ProgramIr> suite;
+  for (auto& test : workload::confirm_suite()) {
+    suite.push_back(std::move(test.ir));
+  }
+  check_suite(suite, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeDifferential,
+                         ::testing::ValuesIn(compiler::all_schemes()),
+                         [](const auto& param_info) {
+                           std::string name =
+                               compiler::scheme_name(param_info.param);
+                           for (char& c : name) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Section 9.2: uninstrumented library spilling X28 -------------------
+
+TEST(Verifier, UninstrumentedCrSpillIsFlagged) {
+  compiler::IrBuilder b;
+  const std::size_t leaf = b.begin_function("leaf");
+  b.compute(4);
+  const std::size_t lib = b.begin_function("lib");
+  b.mark_spills_cr();
+  b.call(leaf);
+  const std::size_t entry = b.begin_function("entry");
+  b.call(lib);
+  b.write_int(7);
+  const compiler::ProgramIr ir = b.build(entry);
+
+  CompileOptions mixed{.scheme = Scheme::kPacStack,
+                       .uninstrumented = {"lib"}};
+  const Report flagged =
+      verify_program(compiler::compile_ir(ir, mixed), Scheme::kPacStack);
+  EXPECT_TRUE(flagged.has(Code::kChainInterop)) << to_string(flagged);
+  for (const auto& d : flagged.diagnostics) {
+    EXPECT_EQ(d.function, "lib")
+        << "instrumented code implicated: " << to_string(flagged);
+  }
+
+  const Report clean = verify_program(
+      compiler::compile_ir(ir, {.scheme = Scheme::kPacStack}),
+      Scheme::kPacStack);
+  EXPECT_TRUE(clean.clean()) << to_string(clean);
+}
+
+// --- hand-assembled violations, one per diagnostic code -----------------
+
+sim::Program assemble_victim(const std::function<void(sim::Assembler&)>& fn) {
+  sim::Assembler as;
+  as.function("main");
+  as.bl("f");
+  as.hlt();
+  as.function("f");
+  fn(as);
+  return as.assemble();
+}
+
+TEST(Verifier, RawSpillRoundTripFiresAcs001) {
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.str(sim::kLr, sim::Reg::kSp, -16, sim::AddrMode::kPreIndex);
+    as.ldr(sim::kLr, sim::Reg::kSp, 16, sim::AddrMode::kPostIndex);
+    as.ret();
+  });
+  const Report report = verify_program(program, Scheme::kNone);
+  EXPECT_EQ(report.codes(), std::vector<Code>{Code::kRawRetReuse})
+      << to_string(report);
+}
+
+TEST(Verifier, SignedSpillIsSchemeDifferential) {
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.pacia(sim::kLr, sim::kCr);
+    as.str(sim::kLr, sim::Reg::kSp, -8);
+    as.autia(sim::kLr, sim::kCr);
+    as.ret();
+  });
+  // The same spill is the Listing 2 nomask hazard under a chain scheme and
+  // the Section 6.1 reuse window under pac-ret.
+  EXPECT_EQ(verify_program(program, Scheme::kPacStack).codes(),
+            std::vector<Code>{Code::kUnmaskedAretSpill});
+  EXPECT_EQ(verify_program(program, Scheme::kPacRet).codes(),
+            std::vector<Code>{Code::kSignedRetSpill});
+}
+
+TEST(Verifier, UnauthenticatedReturnFiresAcs004) {
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.pacia(sim::kLr, sim::Reg::kSp);
+    as.ret();
+  });
+  const Report report = verify_program(program, Scheme::kPacRet);
+  EXPECT_EQ(report.codes(), std::vector<Code>{Code::kUnauthenticatedRet})
+      << to_string(report);
+}
+
+TEST(Verifier, LeafHeuristicMismatchFiresAcs006) {
+  // A function that calls but carries no return-address frame.
+  sim::Assembler as;
+  as.function("main");
+  as.bl("f");
+  as.hlt();
+  as.function("f");
+  const u64 f_entry = as.here();
+  as.bl("g");
+  as.ret();
+  as.function("g");
+  const u64 g_entry = as.here();
+  as.ret();
+  sim::Program program = as.assemble();
+  program.unwind.push_back(
+      {.entry = f_entry, .end = g_entry, .kind = sim::UnwindKind::kNoFrame});
+  // ...and a call-free leaf that was framed anyway.
+  program.unwind.push_back({.entry = g_entry,
+                            .end = g_entry + sim::kInstrBytes,
+                            .kind = sim::UnwindKind::kFrameRecord});
+  const Report report = verify_program(program, Scheme::kPacStack);
+  EXPECT_EQ(report.count(Code::kLeafHeuristic), 2u) << to_string(report);
+}
+
+TEST(Verifier, StackImbalanceFiresAcs007) {
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.sub_imm(sim::Reg::kSp, sim::Reg::kSp, 16);
+    as.ret();
+  });
+  const Report report = verify_program(program, Scheme::kNone);
+  EXPECT_EQ(report.codes(), std::vector<Code>{Code::kSpImbalance})
+      << to_string(report);
+}
+
+TEST(Verifier, ShadowImbalanceFiresAcs007) {
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.str(sim::kLr, sim::kSsp, 8, sim::AddrMode::kPostIndex);
+    as.ret();
+  });
+  const Report report = verify_program(program, Scheme::kShadowStack);
+  EXPECT_EQ(report.codes(), std::vector<Code>{Code::kSpImbalance})
+      << to_string(report);
+}
+
+TEST(Verifier, MaskSpillFiresAcs008) {
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.pacia(sim::kScratch, sim::kCr);   // x15 <- pacia(0, CR): a bare mask
+    as.str(sim::kScratch, sim::Reg::kSp, -8);
+    as.mov(sim::kScratch, sim::Reg::kXzr);
+    as.ret();
+  });
+  const Report report = verify_program(program, Scheme::kPacStack);
+  EXPECT_EQ(report.codes(), std::vector<Code>{Code::kMaskLeak})
+      << to_string(report);
+}
+
+TEST(Verifier, MaskLiveAcrossCallFiresAcs008) {
+  sim::Assembler as;
+  as.function("main");
+  as.bl("f");
+  as.hlt();
+  as.function("f");
+  as.pacia(sim::kScratch, sim::kCr);
+  as.bl("g");
+  as.ret();
+  as.function("g");
+  as.ret();
+  const Report report =
+      verify_program(as.assemble(), Scheme::kPacStack);
+  EXPECT_TRUE(report.has(Code::kMaskLeak)) << to_string(report);
+}
+
+TEST(Verifier, MaskedSpillIsClean) {
+  // Listing 3: masking before the spill is exactly what makes it safe.
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.pacia(sim::kLr, sim::kCr);              // aret, PAC in the clear
+    as.pacia(sim::kScratch, sim::kCr);         // mask
+    as.eor(sim::kLr, sim::kLr, sim::kScratch); // masked aret
+    as.mov(sim::kScratch, sim::Reg::kXzr);
+    as.str(sim::kLr, sim::Reg::kSp, -8);       // safe spill
+    as.ldr(sim::kLr, sim::Reg::kSp, -8);
+    as.pacia(sim::kScratch, sim::kCr);
+    as.eor(sim::kLr, sim::kLr, sim::kScratch); // unmask
+    as.mov(sim::kScratch, sim::Reg::kXzr);
+    as.autia(sim::kLr, sim::kCr);
+    as.ret();
+  });
+  const Report report = verify_program(program, Scheme::kPacStack);
+  EXPECT_TRUE(report.clean()) << to_string(report);
+}
+
+// --- report plumbing ----------------------------------------------------
+
+TEST(Verifier, CodeNames) {
+  EXPECT_EQ(code_name(Code::kRawRetReuse), "ACS001");
+  EXPECT_EQ(code_name(Code::kUnmaskedAretSpill), "ACS002");
+  EXPECT_EQ(code_name(Code::kSignedRetSpill), "ACS003");
+  EXPECT_EQ(code_name(Code::kUnauthenticatedRet), "ACS004");
+  EXPECT_EQ(code_name(Code::kChainInterop), "ACS005");
+  EXPECT_EQ(code_name(Code::kLeafHeuristic), "ACS006");
+  EXPECT_EQ(code_name(Code::kSpImbalance), "ACS007");
+  EXPECT_EQ(code_name(Code::kMaskLeak), "ACS008");
+}
+
+TEST(Verifier, ReportRendering) {
+  const sim::Program program = assemble_victim([](sim::Assembler& as) {
+    as.str(sim::kLr, sim::Reg::kSp, -16, sim::AddrMode::kPreIndex);
+    as.ldr(sim::kLr, sim::Reg::kSp, 16, sim::AddrMode::kPostIndex);
+    as.ret();
+  });
+  const Report report = verify_program(program, Scheme::kNone);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.count(Code::kRawRetReuse), 1u);
+  EXPECT_FALSE(report.has(Code::kMaskLeak));
+  const std::string text = to_string(report);
+  EXPECT_NE(text.find("ACS001"), std::string::npos) << text;
+  EXPECT_NE(text.find("baseline"), std::string::npos) << text;
+  EXPECT_NE(text.find(" in f:"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace acs::verify
