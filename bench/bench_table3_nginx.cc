@@ -5,12 +5,20 @@
 // Paper values: 4 workers — baseline 14.2k, nomask 13.7k (-3.5%), full
 // 13.5k (-4.9%); 8 workers — baseline 30.7k, nomask 28.6k (-6.8%), full
 // 27.2k (-11.4%); i.e. 4-7% (nomask) and 6-13% (full) overhead.
+//
+// Observability (src/obs): --json trajectories carry per-scheme event
+// counters ("pacstack.pa.sign", ...) in the "obs" section; --trace records
+// a Perfetto-loadable event trace of one pacstack worker; --profile writes
+// folded cycle stacks for all three schemes, rooted at the scheme name so
+// the overhead decomposes by call site in a flamegraph diff.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "bench/harness.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "workload/nginx_sim.h"
 
 int main(int argc, char** argv) {
@@ -18,8 +26,15 @@ int main(int argc, char** argv) {
   using compiler::Scheme;
 
   const auto options =
-      bench::parse_bench_args(argc, argv, "bench_table3_nginx");
+      bench::parse_bench_args(argc, argv, "bench_table3_nginx",
+                              /*extra_usage=*/nullptr, /*obs_flags=*/true);
   bench::BenchReporter reporter("bench_table3_nginx", options, 90);
+
+  const bool collect_metrics = !options.json_path.empty();
+  const bool collect_profile = !options.profile_path.empty();
+  obs::Metrics obs_metrics;
+  obs::FoldedProfile obs_profile;
+  std::string trace_json;
 
   std::printf("PACStack reproduction — Table 3: NGINX SSL TPS (simulated, "
               "CPU-bound request loop)\n");
@@ -27,6 +42,7 @@ int main(int argc, char** argv) {
 
   Table table({"# workers", "scheme", "req/sec", "sigma", "overhead %"});
 
+  bool traced = false;
   for (unsigned workers : {4U, 8U}) {
     workload::NginxConfig config;
     config.workers = workers;
@@ -34,13 +50,35 @@ int main(int argc, char** argv) {
     config.repeats = options.smoke ? 2 : 5;
     config.seed = 90 + workers;
     config.threads = options.threads;
+    config.collect_metrics = collect_metrics;
+    config.collect_profile = collect_profile;
 
-    const auto baseline =
-        workload::run_nginx_experiment(Scheme::kNone, config);
+    const auto run_scheme = [&](Scheme scheme, const char* label,
+                                bool trace_this) {
+      workload::NginxConfig c = config;
+      c.trace_first_trial = trace_this;
+      const bool want_obs =
+          collect_metrics || collect_profile || trace_this;
+      workload::NginxObs obs_out;
+      const auto result = workload::run_nginx_experiment(
+          scheme, c, want_obs ? &obs_out : nullptr);
+      // Per-scheme decomposition: "pacstack.pa.sign" vs "baseline.pa.sign".
+      if (collect_metrics) {
+        obs_metrics.merge(obs_out.metrics, std::string(label) + ".");
+      }
+      if (collect_profile) obs_profile.merge(obs_out.profile, label);
+      if (trace_this) trace_json = obs_out.trace_json;
+      return result;
+    };
+
+    // Trace one representative pacstack worker (first worker count only);
+    // the baseline/nomask runs stay untraced.
+    const bool trace_now = !options.trace_path.empty() && !traced;
+    const auto baseline = run_scheme(Scheme::kNone, "baseline", false);
     const auto nomask =
-        workload::run_nginx_experiment(Scheme::kPacStackNoMask, config);
-    const auto full =
-        workload::run_nginx_experiment(Scheme::kPacStack, config);
+        run_scheme(Scheme::kPacStackNoMask, "pacstack-nomask", false);
+    const auto full = run_scheme(Scheme::kPacStack, "pacstack", trace_now);
+    traced = traced || trace_now;
 
     const u64 runs = u64{config.repeats} * config.workers;
     const auto add = [&](const char* label,
@@ -67,5 +105,20 @@ int main(int argc, char** argv) {
 
   std::printf("\nPaper reference: nomask 4-7%% / full 6-13%% TPS loss; "
               "~2x TPS from 4 -> 8 workers.\n");
-  return reporter.finish() ? 0 : 1;
+
+  bool ok = true;
+  if (!options.trace_path.empty()) {
+    ok = bench::write_file(options.trace_path, trace_json,
+                           "bench_table3_nginx --trace") &&
+         ok;
+    if (ok) std::printf("[trace] wrote %s\n", options.trace_path.c_str());
+  }
+  if (collect_profile) {
+    ok = bench::write_file(options.profile_path, obs_profile.folded(),
+                           "bench_table3_nginx --profile") &&
+         ok;
+    if (ok) std::printf("[profile] wrote %s\n", options.profile_path.c_str());
+  }
+  if (collect_metrics) reporter.set_obs_metrics(std::move(obs_metrics));
+  return (reporter.finish() && ok) ? 0 : 1;
 }

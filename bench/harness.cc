@@ -16,7 +16,8 @@ namespace {
       .count();
 }
 
-void print_usage(const char* bench_name, const char* extra_usage) {
+void print_usage(const char* bench_name, const char* extra_usage,
+                 bool obs_flags) {
   std::cout << "usage: " << bench_name << " [options]\n"
             << "  --threads=N   host threads for Monte-Carlo campaigns\n"
             << "                (0 = all hardware threads, default 1;\n"
@@ -25,6 +26,12 @@ void print_usage(const char* bench_name, const char* extra_usage) {
             << "                (schema: docs/bench-output.md)\n"
             << "  --smoke       tiny trial counts (CI smoke mode)\n"
             << "  --help        this message\n";
+  if (obs_flags) {
+    std::cout
+        << "  --trace=PATH    write a Chrome trace-event JSON file\n"
+        << "                  (open in https://ui.perfetto.dev)\n"
+        << "  --profile=PATH  write a folded-stack (flamegraph) profile\n";
+  }
   if (extra_usage != nullptr) std::cout << extra_usage;
 }
 
@@ -93,12 +100,12 @@ void print_usage(const char* bench_name, const char* extra_usage) {
 }  // namespace
 
 BenchOptions parse_bench_args(int argc, char** argv, const char* bench_name,
-                              const char* extra_usage) {
+                              const char* extra_usage, bool obs_flags) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
-      print_usage(bench_name, extra_usage);
+      print_usage(bench_name, extra_usage, obs_flags);
       std::exit(0);
     }
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -113,6 +120,24 @@ BenchOptions parse_bench_args(int argc, char** argv, const char* bench_name,
       options.json_path = v;
       continue;
     }
+    if (const char* v = flag_value(argc, argv, i, "--trace", bench_name)) {
+      if (!obs_flags) {
+        std::cerr << bench_name
+                  << ": --trace is not supported by this bench\n";
+        std::exit(2);
+      }
+      options.trace_path = v;
+      continue;
+    }
+    if (const char* v = flag_value(argc, argv, i, "--profile", bench_name)) {
+      if (!obs_flags) {
+        std::cerr << bench_name
+                  << ": --profile is not supported by this bench\n";
+        std::exit(2);
+      }
+      options.profile_path = v;
+      continue;
+    }
     std::cerr << bench_name << ": unknown flag '" << argv[i]
               << "' (see --help)\n";
     std::exit(2);
@@ -120,10 +145,26 @@ BenchOptions parse_bench_args(int argc, char** argv, const char* bench_name,
   return options;
 }
 
+bool write_file(const std::string& path, const std::string& body,
+                const std::string& context) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!file) {
+    std::cerr << context << ": cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  file << body;
+  file.flush();
+  if (!file) {
+    std::cerr << context << ": write to '" << path << "' failed\n";
+    return false;
+  }
+  return true;
+}
+
 std::string to_json(const std::string& bench_name,
                     const BenchOptions& options, u64 base_seed,
                     const std::vector<Metric>& metrics,
-                    double wall_seconds) {
+                    double wall_seconds, const obs::Metrics* obs_metrics) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -133,6 +174,11 @@ std::string to_json(const std::string& bench_name,
   out += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") +
          ",\n";
   out += "  \"wall_seconds\": " + format_double(wall_seconds) + ",\n";
+  if (obs_metrics != nullptr) {
+    // Deterministic (integer counters, std::map order, fixed merge order):
+    // this section is bitwise identical for every --threads value.
+    out += "  \"obs\": " + obs_metrics->to_json(2) + ",\n";
+  }
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const Metric& m = metrics[i];
@@ -164,6 +210,11 @@ void BenchReporter::record(std::string name, double value, std::string units,
                             .stddev = stddev});
 }
 
+void BenchReporter::set_obs_metrics(obs::Metrics metrics) {
+  obs_metrics_ = std::move(metrics);
+  has_obs_metrics_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -171,21 +222,9 @@ bool BenchReporter::finish() {
   const double wall_seconds =
       static_cast<double>(now_ns() - start_ns_) * 1e-9;
   const std::string body =
-      to_json(bench_name_, options_, base_seed_, metrics_, wall_seconds);
-  std::ofstream file(options_.json_path,
-                     std::ios::out | std::ios::trunc | std::ios::binary);
-  if (!file) {
-    std::cerr << bench_name_ << ": cannot open '" << options_.json_path
-              << "' for writing\n";
-    return false;
-  }
-  file << body;
-  file.flush();
-  if (!file) {
-    std::cerr << bench_name_ << ": write to '" << options_.json_path
-              << "' failed\n";
-    return false;
-  }
+      to_json(bench_name_, options_, base_seed_, metrics_, wall_seconds,
+              has_obs_metrics_ ? &obs_metrics_ : nullptr);
+  if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;
 }

@@ -11,6 +11,13 @@
 //                 minutes); used by the bench_smoke ctest targets
 //   --help        usage
 //
+// Benches built on the observability layer (src/obs) additionally accept
+// (parse_bench_args(..., /*obs_flags=*/true)):
+//   --trace=PATH    write a Chrome trace-event JSON file (Perfetto-loadable)
+//   --profile=PATH  write a folded-stack (flamegraph) cycle profile
+// An obs flag given to a bench without obs support is an error (exit 2) —
+// flags that silently do nothing are how stale numbers get published.
+//
 // The human-readable tables keep printing exactly as before; the JSON file
 // is an *additional* sink fed through BenchReporter::record.
 #pragma once
@@ -19,22 +26,28 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace acs::bench {
 
 struct BenchOptions {
-  unsigned threads = 1;    ///< 0 = all hardware threads
-  std::string json_path;   ///< empty = no JSON output
-  bool smoke = false;      ///< tiny trial counts for smoke runs
+  unsigned threads = 1;      ///< 0 = all hardware threads
+  std::string json_path;     ///< empty = no JSON output
+  bool smoke = false;        ///< tiny trial counts for smoke runs
+  std::string trace_path;    ///< empty = no event trace (--trace)
+  std::string profile_path;  ///< empty = no folded profile (--profile)
 };
 
 /// Parse the uniform bench flags. Prints usage and exits(0) on --help;
 /// prints an error and exits(2) on an unknown flag or malformed value.
 /// `extra_usage` (optional) is appended to the usage text for binaries
-/// with additional flags of their own.
+/// with additional flags of their own. `obs_flags` enables --trace /
+/// --profile; benches that cannot honour them reject them loudly instead
+/// of accepting and ignoring.
 [[nodiscard]] BenchOptions parse_bench_args(int argc, char** argv,
                                             const char* bench_name,
-                                            const char* extra_usage = nullptr);
+                                            const char* extra_usage = nullptr,
+                                            bool obs_flags = false);
 
 /// One recorded metric of a campaign.
 struct Metric {
@@ -58,6 +71,10 @@ class BenchReporter {
   void record(std::string name, double value, std::string units,
               u64 trials = 0, double stddev = 0);
 
+  /// Attach the aggregated observability metrics (emitted as the "obs"
+  /// section of the JSON trajectory; see docs/bench-output.md).
+  void set_obs_metrics(obs::Metrics metrics);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -72,16 +89,24 @@ class BenchReporter {
   BenchOptions options_;
   u64 base_seed_;
   std::vector<Metric> metrics_;
+  obs::Metrics obs_metrics_;
+  bool has_obs_metrics_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
 
 /// Serialise a trajectory to the docs/bench-output.md JSON schema.
 /// Exposed separately so tests can check the encoding without touching the
-/// filesystem.
+/// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section.
 [[nodiscard]] std::string to_json(const std::string& bench_name,
                                   const BenchOptions& options, u64 base_seed,
                                   const std::vector<Metric>& metrics,
-                                  double wall_seconds);
+                                  double wall_seconds,
+                                  const obs::Metrics* obs_metrics = nullptr);
+
+/// Write `body` to `path` (truncating); on failure prints to stderr and
+/// returns false. Used for the --json/--trace/--profile sinks.
+bool write_file(const std::string& path, const std::string& body,
+                const std::string& context);
 
 }  // namespace acs::bench

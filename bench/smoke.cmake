@@ -15,6 +15,7 @@ set(ACS_SMOKE_BENCHES
   bench_reuse
   bench_ablation
   bench_micro_pa
+  bench_obs_overhead
 )
 
 foreach(bench_name IN LISTS ACS_SMOKE_BENCHES)

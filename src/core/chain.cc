@@ -1,5 +1,7 @@
 #include "core/chain.h"
 
+#include "obs/recorder.h"
+
 namespace acs::core {
 
 namespace {
@@ -12,6 +14,7 @@ AcsChain::AcsChain(const pa::PointerAuth& pauth, bool masking, u64 init)
 u64 AcsChain::mask_for(u64 prev) const {
   // pacia(0x0, prev): PACStack never signs a null return address, so this
   // point of H_k is reserved for masks (Section 5.2).
+  if (obs_ != nullptr) obs_->chain_mask();
   return pauth_->expected_pac(kKey, 0, prev);
 }
 
@@ -35,15 +38,20 @@ bool AcsChain::verify(u64 aret, u64 prev) const {
 void AcsChain::call(u64 ret) {
   stored_.push_back(cr_);
   cr_ = compute_aret(ret, cr_);
+  if (obs_ != nullptr) obs_->chain_push(stored_.size());
 }
 
 AcsChain::PopResult AcsChain::ret() {
-  if (stored_.empty()) return {false, 0};
+  if (stored_.empty()) {
+    if (obs_ != nullptr) obs_->chain_pop(false, 0);
+    return {false, 0};
+  }
   const u64 prev = stored_.back();
   stored_.pop_back();
   const bool ok = verify(cr_, prev);
   const u64 ret_addr = pauth_->layout().address_bits(cr_);
   cr_ = prev;
+  if (obs_ != nullptr) obs_->chain_pop(ok, stored_.size());
   return {ok, ret_addr};
 }
 

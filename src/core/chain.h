@@ -22,6 +22,10 @@
 #include "crypto/keys.h"
 #include "pa/pointer_auth.h"
 
+namespace acs::obs {
+class TaskChannel;
+}  // namespace acs::obs
+
 namespace acs::core {
 
 /// Crypto-level model of the setjmp/longjmp binding (Section 4.4 /
@@ -100,11 +104,17 @@ class AcsChain {
   [[nodiscard]] const pa::PointerAuth& pauth() const noexcept { return *pauth_; }
   [[nodiscard]] bool masking() const noexcept { return masking_; }
 
+  /// Attach the observability channel (nullptr detaches). Emits
+  /// crypto-level chain_push / chain_pop / chain_mask events — the
+  /// reference stream the CPU-level PACStack events must agree with.
+  void set_observer(obs::TaskChannel* obs) noexcept { obs_ = obs; }
+
  private:
   const pa::PointerAuth* pauth_;
   bool masking_;
   u64 cr_;
   std::vector<u64> stored_;
+  obs::TaskChannel* obs_ = nullptr;
 };
 
 }  // namespace acs::core

@@ -166,4 +166,28 @@ template <typename T, typename Fn>
   return out;
 }
 
+/// Run `n_trials` trials, each producing a mergeable shard via
+/// `fn(trial_index, seed, shard)` (Shard needs `merge(const Shard&)`, e.g.
+/// obs::Metrics), and fold all shards with the fixed-shape merge tree.
+/// One shard per trial — not per chunk — so the tree shape depends only on
+/// n_trials and the merged result is bitwise identical for every thread
+/// count. This is the observability layer's aggregation primitive: metrics
+/// shards from parallel campaigns go through here.
+template <typename Shard, typename Fn>
+[[nodiscard]] Shard parallel_sharded(u64 n_trials, u64 base_seed, Fn&& fn,
+                                     unsigned threads = 0) {
+  std::vector<Shard> shards(n_trials);
+  const u64 n_chunks = (n_trials + kTrialChunk - 1) / kTrialChunk;
+  detail::for_each_chunk(n_chunks, threads, [&](u64 chunk) {
+    const u64 begin = chunk * kTrialChunk;
+    const u64 end = std::min(n_trials, begin + kTrialChunk);
+    for (u64 t = begin; t < end; ++t) {
+      fn(t, trial_seed(base_seed, t), shards[t]);
+    }
+  });
+  if (shards.empty()) return {};
+  detail::tree_merge(shards, threads);
+  return std::move(shards.front());
+}
+
 }  // namespace acs::exec

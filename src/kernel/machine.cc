@@ -1,9 +1,11 @@
 #include "kernel/machine.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/keys.h"
 #include "core/chain.h"
+#include "obs/recorder.h"
 #include "sim/disasm.h"
 
 namespace acs::kernel {
@@ -27,6 +29,14 @@ void unpack_flags(sim::CpuSnapshot& snap, u64 word) noexcept {
 
 Machine::Machine(const sim::Program& program, MachineOptions options)
     : program_(program), options_(options), rng_(options.seed) {
+  if (options_.recorder != nullptr) {
+    // Register the program's function table for profile symbolisation.
+    std::vector<std::pair<u64, std::string>> functions;
+    for (const auto& [name, addr] : program_.symbols) {
+      if (program_.is_function_entry(addr)) functions.emplace_back(addr, name);
+    }
+    options_.recorder->set_functions(std::move(functions));
+  }
   spawn_process();
 }
 
@@ -110,6 +120,12 @@ Task& Machine::create_task(Process& process, u64 entry_pc, u64 arg,
   if (!is_main && program_.symbols.contains("__thread_exit")) {
     cpu.set_reg(sim::kLr, program_.symbols.at("__thread_exit"));
   }
+  if (options_.recorder != nullptr) {
+    task->obs = options_.recorder->attach(
+        process.pid(), tid,
+        "pid" + std::to_string(process.pid()) + "/tid" + std::to_string(tid));
+    cpu.set_observer(task->obs);
+  }
   process.tasks.push_back(std::move(task));
   return *process.tasks.back();
 }
@@ -128,6 +144,22 @@ void Machine::kill_process(Process& process, const sim::Fault& fault,
   process.state = ProcessState::kKilled;
   process.kill_fault = fault;
   process.kill_reason = std::move(reason);
+  // Observability: attribute the fatal fault to the faulting hart, or to
+  // the first task for kernel-detected kills (abort, sigreturn forgery).
+  Task* culprit = nullptr;
+  for (auto& task : process.tasks) {
+    if (task->cpu().state() == sim::RunState::kFaulted) {
+      culprit = task.get();
+      break;
+    }
+  }
+  if (culprit == nullptr && !process.tasks.empty()) {
+    culprit = process.tasks.front().get();
+  }
+  if (culprit != nullptr && culprit->obs != nullptr) {
+    culprit->obs->fault(static_cast<u64>(fault.kind), fault.address,
+                        culprit->cpu().cycles());
+  }
   if (options_.trace_depth > 0) {
     // Crash forensics: disassemble the faulting hart's last instructions.
     for (auto& task : process.tasks) {
@@ -204,6 +236,9 @@ void Machine::deliver_pending_signal(Process& process, Task& task) {
     cpu.set_reg(sim::kLr, program_.symbols.at("__sigtramp"));
   }
   cpu.set_pc(handler);
+  if (task.obs != nullptr) {
+    task.obs->signal_deliver(signum, handler, cpu.cycles());
+  }
 }
 
 void Machine::do_sigreturn(Process& process, Task& task) {
@@ -248,6 +283,9 @@ void Machine::do_sigreturn(Process& process, Task& task) {
   }
 
   cpu.restore(snap);
+  // The sigreturn moved the PC outside call/return discipline: resync the
+  // profiler's shadow stack to the interrupted function.
+  if (task.obs != nullptr) task.obs->resync(snap.pc);
 }
 
 void Machine::do_throw(Process& process, Task& task) {
@@ -286,6 +324,8 @@ void Machine::do_throw(Process& process, Task& task) {
       cpu.set_reg(sim::kCr, cr);
       cpu.set_reg(sim::kSsp, ssp);
       cpu.set_reg(sim::Reg::kX0, value);
+      // Kernel-assisted unwind: resync the profiler at the landing pad.
+      if (task.obs != nullptr) task.obs->resync(pad);
       return;
     }
 
@@ -357,6 +397,13 @@ void Machine::do_throw(Process& process, Task& task) {
 void Machine::handle_svc(Process& process, Task& task) {
   sim::Cpu& cpu = task.cpu();
   const auto call = static_cast<Syscall>(cpu.svc_number());
+  if (task.obs != nullptr) {
+    // One complete span per syscall: the svc instruction's cycle cost is
+    // the modelled kernel residency.
+    const u64 exit_ts = cpu.cycles();
+    const u64 enter_ts = exit_ts - std::min<u64>(exit_ts, options_.costs.svc);
+    task.obs->syscall(cpu.svc_number(), enter_ts, exit_ts);
+  }
   cpu.resume();
 
   switch (call) {
@@ -459,6 +506,9 @@ void Machine::handle_svc(Process& process, Task& task) {
 
 Stop Machine::run(u64 max_instructions) {
   u64 executed = 0;
+  // Context-switch detection: (pid, tid) of the previously scheduled task.
+  u64 last_pid = 0, last_tid = 0;
+  bool have_last = false;
   for (;;) {
     // Fair round-robin over every runnable task of every live process.
     std::vector<std::pair<Process*, Task*>> runnable;
@@ -476,6 +526,15 @@ Stop Machine::run(u64 max_instructions) {
     if (executed >= max_instructions) {
       return Stop{StopReason::kMaxInstructions, process->pid(), task->tid()};
     }
+
+    if (task->obs != nullptr &&
+        (!have_last || last_pid != process->pid() ||
+         last_tid != task->tid())) {
+      task->obs->context_switch(task->cpu().cycles());
+    }
+    last_pid = process->pid();
+    last_tid = task->tid();
+    have_last = true;
 
     deliver_pending_signal(*process, *task);
 

@@ -21,6 +21,10 @@
 #include "sim/cycle_model.h"
 #include "sim/isa.h"
 
+namespace acs::obs {
+class Recorder;
+}  // namespace acs::obs
+
 namespace acs::kernel {
 
 /// Fixed (pre-ASLR) address-space geometry. The adversary is assumed to
@@ -55,6 +59,10 @@ struct MachineOptions {
   u64 seed = 1;                    ///< keys, canary, pids
   sim::CycleCosts costs{};         ///< cycle model for every hart
   std::size_t trace_depth = 0;     ///< per-hart PC trace ring (0 = off)
+  /// Observability sink (not owned; may be nullptr = all hooks disabled).
+  /// The machine registers the program's function table and attaches one
+  /// channel per task; see docs/observability.md.
+  obs::Recorder* recorder = nullptr;
 };
 
 enum class StopReason : u8 {

@@ -47,6 +47,10 @@ class Task {
   /// Tid this task is join-blocked on (valid when state == kBlocked).
   u64 join_target = 0;
 
+  /// Observability channel (not owned; nullptr = no recorder attached).
+  /// Also installed on the task's CPU as its retire/PA-event observer.
+  obs::TaskChannel* obs = nullptr;
+
  private:
   u64 tid_;
   sim::Cpu cpu_;

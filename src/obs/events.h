@@ -1,0 +1,87 @@
+// Typed observability events (the `src/obs` event taxonomy).
+//
+// Every event a hook can emit is one of these kinds; docs/observability.md
+// documents the taxonomy and the argument conventions per kind. The enum is
+// deliberately closed and small: the trace ring stores events as POD, and
+// the Chrome-trace exporter switches over the kind to pick phase/category.
+//
+// obs depends only on `common` — the sim/kernel layers translate their own
+// vocabulary (opcodes, fault kinds, syscall numbers) into these neutral
+// kinds, so the observability layer never needs to see an ISA header.
+#pragma once
+
+#include "common/types.h"
+
+namespace acs::obs {
+
+enum class EventKind : u8 {
+  kInstrRetire = 0,  ///< a = pc, b = instruction class (InstrClass)
+  kPacSign,          ///< a = pc, b = modifier value
+  kPacAuthOk,        ///< a = pc, b = modifier value
+  kPacAuthFail,      ///< a = pc, b = modifier value
+  kPacGeneric,       ///< pacga: a = pc
+  kPacStrip,         ///< xpac: a = pc
+  kChainPush,        ///< a = pc (CPU level) or chain depth (crypto level)
+  kChainPop,         ///< a = pc or depth, b = 1 if the link verified
+  kChainMask,        ///< a = pc (mask recomputation, Section 4.2)
+  kSyscall,          ///< complete span; a = syscall number
+  kFault,            ///< a = fault kind, b = faulting address
+  kContextSwitch,    ///< this track was scheduled onto the hart
+  kSignalDeliver,    ///< a = signal number, b = handler address
+};
+
+inline constexpr std::size_t kNumEventKinds = 13;
+
+/// Stable lowercase name used in trace output and documentation.
+[[nodiscard]] constexpr const char* event_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kInstrRetire: return "instr_retire";
+    case EventKind::kPacSign: return "pac_sign";
+    case EventKind::kPacAuthOk: return "pac_auth_ok";
+    case EventKind::kPacAuthFail: return "pac_auth_fail";
+    case EventKind::kPacGeneric: return "pac_generic";
+    case EventKind::kPacStrip: return "pac_strip";
+    case EventKind::kChainPush: return "chain_push";
+    case EventKind::kChainPop: return "chain_pop";
+    case EventKind::kChainMask: return "chain_mask";
+    case EventKind::kSyscall: return "syscall";
+    case EventKind::kFault: return "fault";
+    case EventKind::kContextSwitch: return "context_switch";
+    case EventKind::kSignalDeliver: return "signal_deliver";
+  }
+  return "unknown";
+}
+
+/// Retired-instruction classes, mirroring the cycle model's cost buckets.
+enum class InstrClass : u8 { kAlu = 0, kBranch, kMem, kPa, kSvc, kOther };
+
+inline constexpr std::size_t kNumInstrClasses = 6;
+
+[[nodiscard]] constexpr const char* instr_class_name(InstrClass cls) noexcept {
+  switch (cls) {
+    case InstrClass::kAlu: return "alu";
+    case InstrClass::kBranch: return "branch";
+    case InstrClass::kMem: return "mem";
+    case InstrClass::kPa: return "pa";
+    case InstrClass::kSvc: return "svc";
+    case InstrClass::kOther: return "other";
+  }
+  return "unknown";
+}
+
+/// Control-flow effect of a retired instruction, as seen by the profiler's
+/// shadow call stack.
+enum class CtlFlow : u8 { kNone = 0, kCall, kReturn };
+
+/// One recorded event. `ts` is the owning track's simulated-cycle
+/// timestamp; the meanings of `a`/`b` depend on the kind (see above).
+/// `dur` is non-zero only for span events (kSyscall).
+struct Event {
+  u64 ts = 0;
+  u64 a = 0;
+  u64 b = 0;
+  u32 dur = 0;
+  EventKind kind = EventKind::kInstrRetire;
+};
+
+}  // namespace acs::obs

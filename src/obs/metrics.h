@@ -1,0 +1,92 @@
+// Deterministic metrics registry: named counters and fixed-bucket
+// histograms.
+//
+// Determinism contract (mirrors src/exec/parallel.h): all values are
+// unsigned integers, shards are merged in a fixed order chosen by the
+// caller (trial order, or exec::parallel_sharded's fixed-shape chunk
+// tree), and iteration is over std::map — so serialised output is bitwise
+// identical for any host thread count.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acs::obs {
+
+/// Fixed-bucket histogram of unsigned samples. Bucket `i` counts samples
+/// with `value <= edges[i]` (first matching edge wins, Prometheus "le"
+/// convention); the final implicit bucket counts everything above the last
+/// edge. Edges are fixed at construction — merging requires equal edges.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<u64> edges);
+
+  void observe(u64 value) noexcept;
+
+  /// Throws std::invalid_argument if the edge vectors differ.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] const std::vector<u64>& edges() const noexcept { return edges_; }
+  /// counts().size() == edges().size() + 1 (the overflow bucket is last).
+  [[nodiscard]] const std::vector<u64>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] u64 total() const noexcept;
+
+  [[nodiscard]] bool operator==(const Histogram&) const = default;
+
+ private:
+  std::vector<u64> edges_;
+  std::vector<u64> counts_;
+};
+
+/// Power-of-two depth buckets shared by the call-depth and chain-depth
+/// histograms.
+[[nodiscard]] const std::vector<u64>& depth_edges();
+
+/// A metrics shard: counters + histograms for one execution context (one
+/// simulated machine, one Monte-Carlo trial). Not thread-safe — each
+/// shard belongs to exactly one trial; cross-shard aggregation goes
+/// through merge() in a fixed order.
+class Metrics {
+ public:
+  void add(const std::string& name, u64 delta = 1);
+  [[nodiscard]] u64 counter(const std::string& name) const noexcept;
+
+  /// Find-or-create; an existing histogram keeps its original edges.
+  Histogram& histogram(const std::string& name, const std::vector<u64>& edges);
+  void observe(const std::string& name, const std::vector<u64>& edges,
+               u64 value);
+
+  /// Fold `other` into this shard, optionally prefixing every incoming
+  /// name (used to decompose per-scheme metrics: "pacstack.pa.sign").
+  void merge(const Metrics& other, const std::string& prefix = "");
+
+  [[nodiscard]] const std::map<std::string, u64>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && histograms_.empty();
+  }
+
+  /// Serialise as the `obs` section of the bench JSON schema
+  /// (docs/bench-output.md): {"counters": {...}, "histograms": {...}}.
+  /// `indent` spaces prefix every line; deterministic (map order).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+  [[nodiscard]] bool operator==(const Metrics&) const = default;
+
+ private:
+  std::map<std::string, u64> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace acs::obs

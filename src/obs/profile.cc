@@ -1,0 +1,99 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+namespace acs::obs {
+
+FunctionTable::FunctionTable(
+    std::vector<std::pair<u64, std::string>> entries) {
+  std::sort(entries.begin(), entries.end());
+  names_.reserve(entries.size() + 1);
+  names_.emplace_back("<unknown>");
+  entries_.reserve(entries.size());
+  for (auto& [addr, name] : entries) {
+    entries_.push_back(addr);
+    names_.push_back(std::move(name));
+  }
+}
+
+u32 FunctionTable::id_for(u64 pc) const noexcept {
+  // First entry strictly greater than pc; the one before it contains pc.
+  const auto it = std::upper_bound(entries_.begin(), entries_.end(), pc);
+  return static_cast<u32>(it - entries_.begin());  // 0 = before everything
+}
+
+void FoldedProfile::add(const std::string& stack, u64 cycles) {
+  stacks_[stack] += cycles;
+}
+
+void FoldedProfile::merge(const FoldedProfile& other, const std::string& root) {
+  for (const auto& [stack, cycles] : other.stacks_) {
+    if (root.empty()) {
+      stacks_[stack] += cycles;
+    } else {
+      stacks_[root + ";" + stack] += cycles;
+    }
+  }
+}
+
+u64 FoldedProfile::total_cycles() const noexcept {
+  u64 total = 0;
+  for (const auto& [stack, cycles] : stacks_) total += cycles;
+  return total;
+}
+
+std::string FoldedProfile::folded() const {
+  std::string out;
+  for (const auto& [stack, cycles] : stacks_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(cycles);
+    out += '\n';
+  }
+  return out;
+}
+
+void TaskProfile::reset_cursor() {
+  cursor_ = cycles_.try_emplace(stack_, 0).first;
+  cursor_valid_ = true;
+}
+
+void TaskProfile::retire(u64 pc, u64 next_pc, u64 cost, CtlFlow ctl) {
+  if (stack_.empty()) {
+    // First retirement (or post-resync): root the stack at the current
+    // function.
+    stack_.push_back(functions_->id_for(pc));
+    reset_cursor();
+  } else if (!cursor_valid_) {
+    reset_cursor();
+  }
+  cursor_->second += cost;
+
+  if (ctl == CtlFlow::kCall) {
+    stack_.push_back(functions_->id_for(next_pc));
+    reset_cursor();
+  } else if (ctl == CtlFlow::kReturn && stack_.size() > 1) {
+    stack_.pop_back();
+    reset_cursor();
+  }
+}
+
+void TaskProfile::resync(u64 pc) {
+  stack_.clear();
+  stack_.push_back(functions_->id_for(pc));
+  reset_cursor();
+}
+
+void TaskProfile::fold_into(FoldedProfile& out) const {
+  for (const auto& [stack, cycles] : cycles_) {
+    if (cycles == 0) continue;
+    std::string key;
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      if (i != 0) key += ';';
+      key += functions_->name(stack[i]);
+    }
+    out.add(key, cycles);
+  }
+}
+
+}  // namespace acs::obs

@@ -1,0 +1,100 @@
+// Cycle-attribution profiles: folded call stacks over the cycle model.
+//
+// The profiler maintains a shadow call stack per task, driven by the CPU's
+// retire hook: a retired call pushes the callee, a retired return pops,
+// and every retired instruction's cycle cost is attributed to the current
+// stack. The result is the classic folded-stack ("flamegraph") format —
+// one line per unique stack, `root;child;leaf <cycles>` — which
+// flamegraph.pl and Speedscope consume directly, and which diffs cleanly
+// between schemes (prefix each scheme's stacks with its name and the
+// pacstack-vs-baseline overhead decomposes by call site).
+//
+// Control transfers the shadow stack cannot follow (kernel-assisted
+// unwinds: throw, sigreturn) resync it to the landing function; the
+// attribution stays deterministic, merely flatter around those points.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/events.h"
+
+namespace acs::obs {
+
+/// Sorted (entry address, name) table mapping a PC to its function. Built
+/// once per program by whoever attaches the Recorder (the kernel machine
+/// knows the symbol table; obs does not read ISA headers).
+class FunctionTable {
+ public:
+  explicit FunctionTable(std::vector<std::pair<u64, std::string>> entries);
+
+  /// Index into names() of the function containing `pc` (the last entry at
+  /// or below it); index 0 is the "<unknown>" sentinel for PCs before the
+  /// first entry.
+  [[nodiscard]] u32 id_for(u64 pc) const noexcept;
+  [[nodiscard]] const std::string& name(u32 id) const noexcept {
+    return names_[id];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<u64> entries_;        // ascending; parallel to names_[1..]
+  std::vector<std::string> names_;  // names_[0] = "<unknown>"
+};
+
+/// Merged folded-stack profile: unique stack -> attributed cycles.
+class FoldedProfile {
+ public:
+  void add(const std::string& stack, u64 cycles);
+  /// Sum `other` in, optionally pushing a synthetic root frame in front of
+  /// every stack (e.g. the scheme name).
+  void merge(const FoldedProfile& other, const std::string& root = "");
+
+  [[nodiscard]] const std::map<std::string, u64>& stacks() const noexcept {
+    return stacks_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return stacks_.empty(); }
+  [[nodiscard]] u64 total_cycles() const noexcept;
+
+  /// One `stack cycles` line per entry, sorted by stack (map order) —
+  /// deterministic, flamegraph.pl-compatible.
+  [[nodiscard]] std::string folded() const;
+
+  [[nodiscard]] bool operator==(const FoldedProfile&) const = default;
+
+ private:
+  std::map<std::string, u64> stacks_;
+};
+
+/// Per-task attribution state. Hot path: one map-iterator bump per retired
+/// instruction; the map only grows on call/return/resync.
+class TaskProfile {
+ public:
+  explicit TaskProfile(const FunctionTable* functions)
+      : functions_(functions) {}
+
+  /// Driven by the retire hook. `pc` is the retired instruction, `next_pc`
+  /// the PC after it (the callee entry when `ctl` is kCall).
+  void retire(u64 pc, u64 next_pc, u64 cost, CtlFlow ctl);
+
+  /// A kernel-assisted transfer landed at `pc`: reset the shadow stack.
+  void resync(u64 pc);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return stack_.size(); }
+
+  /// Resolve ids to names and fold into `out` (summing duplicate stacks).
+  void fold_into(FoldedProfile& out) const;
+
+ private:
+  void reset_cursor();
+
+  const FunctionTable* functions_;
+  std::vector<u32> stack_;
+  std::map<std::vector<u32>, u64> cycles_;
+  std::map<std::vector<u32>, u64>::iterator cursor_{};
+  bool cursor_valid_ = false;
+};
+
+}  // namespace acs::obs

@@ -1,0 +1,73 @@
+#include "obs/recorder.h"
+
+namespace acs::obs {
+
+Recorder::Recorder(RecorderConfig config)
+    : config_(std::move(config)),
+      trace_(config_.ring_capacity, config_.sim_hz) {}
+
+void Recorder::set_functions(
+    std::vector<std::pair<u64, std::string>> entries) {
+  functions_ = std::make_unique<FunctionTable>(std::move(entries));
+}
+
+TaskChannel* Recorder::attach(u64 pid, u64 tid, std::string name) {
+  TaskChannel& channel = channels_.emplace_back();
+  if (config_.metrics) {
+    channel.counters_ = &counters_.emplace_back();
+  }
+  if (config_.trace) {
+    channel.track_ = trace_.add_track(
+        pid, tid, config_.process_label + "/" + std::move(name));
+    channel.trace_instr_retire_ = config_.trace_instr_retire;
+  }
+  if (config_.profile) {
+    if (functions_ == nullptr) {
+      functions_ = std::make_unique<FunctionTable>(
+          std::vector<std::pair<u64, std::string>>{});
+    }
+    channel.profile_ = &profiles_.emplace_back(functions_.get());
+  }
+  return &channel;
+}
+
+Metrics Recorder::metrics() const {
+  Metrics out;
+  for (const TaskCounters& c : counters_) {
+    for (std::size_t i = 0; i < kNumInstrClasses; ++i) {
+      out.add(std::string("sim.instr.") +
+                  instr_class_name(static_cast<InstrClass>(i)),
+              c.instr[i]);
+    }
+    out.add("sim.cycles", c.cycles);
+    out.add("pa.sign", c.pac_sign);
+    out.add("pa.auth.ok", c.pac_auth_ok);
+    out.add("pa.auth.fail", c.pac_auth_fail);
+    out.add("pa.generic", c.pac_generic);
+    out.add("pa.strip", c.pac_strip);
+    out.add("chain.push", c.chain_push);
+    out.add("chain.pop.ok", c.chain_pop_ok);
+    out.add("chain.pop.fail", c.chain_pop_fail);
+    out.add("chain.mask", c.chain_mask);
+    out.add("kernel.syscall", c.syscalls);
+    out.add("kernel.ctx_switch", c.ctx_switches);
+    out.add("kernel.fault", c.faults);
+    out.add("kernel.signal", c.signals);
+    out.histogram("sim.call.depth", depth_edges()).merge(c.call_depth);
+    out.histogram("chain.depth", depth_edges()).merge(c.chain_depth);
+  }
+  if (config_.trace) {
+    out.add("obs.trace.dropped", trace_.dropped());
+  }
+  return out;
+}
+
+FoldedProfile Recorder::profile() const {
+  FoldedProfile out;
+  for (const TaskProfile& p : profiles_) {
+    p.fold_into(out);
+  }
+  return out;
+}
+
+}  // namespace acs::obs

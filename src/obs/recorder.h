@@ -1,0 +1,230 @@
+// Recorder: the single attachment point the sim/kernel layers see.
+//
+// A Recorder owns the three sinks of the observability layer — trace ring
+// buffers, metrics shard, folded profiles — for ONE simulated machine.
+// For each task it hands out a TaskChannel, a thin fan-out object whose
+// methods update plain per-task counters, the task's trace track, and its
+// profile state. The sim CPU and the kernel hold a `TaskChannel*` that is
+// nullptr by default: with no recorder attached, every hook in the hot
+// path is a single never-taken branch on that pointer.
+//
+// Parallel campaigns give every Monte-Carlo trial its own Recorder and
+// merge the extracted Metrics / FoldedProfile shards in fixed trial order
+// (or through exec::parallel_sharded's fixed-shape chunk tree), keeping
+// aggregate observability output bitwise identical for any --threads.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace acs::obs {
+
+struct RecorderConfig {
+  bool metrics = true;   ///< count events into the metrics shard
+  bool trace = false;    ///< record events into per-task ring buffers
+  bool profile = false;  ///< maintain folded-stack cycle attribution
+  /// Also ring-record one kInstrRetire event per retired instruction.
+  /// Off by default: retire *counters* are always kept, but flooding the
+  /// ring with per-instruction events would evict the interesting ones.
+  bool trace_instr_retire = false;
+  std::size_t ring_capacity = 1 << 15;  ///< events retained per task
+  u64 sim_hz = 1'200'000'000;           ///< cycle->microsecond conversion
+  std::string process_label = "sim";    ///< trace process_name prefix
+};
+
+/// Plain per-task event counters — bumped directly by the hooks (no map
+/// lookup on the hot path) and folded into named Metrics on demand.
+struct TaskCounters {
+  std::array<u64, kNumInstrClasses> instr{};
+  u64 cycles = 0;
+  u64 pac_sign = 0, pac_auth_ok = 0, pac_auth_fail = 0;
+  u64 pac_generic = 0, pac_strip = 0;
+  u64 chain_push = 0, chain_pop_ok = 0, chain_pop_fail = 0, chain_mask = 0;
+  u64 syscalls = 0, ctx_switches = 0, faults = 0, signals = 0;
+  Histogram call_depth{depth_edges()};
+  Histogram chain_depth{depth_edges()};
+};
+
+class Recorder;
+
+/// Per-task hook endpoint. All methods are cheap and non-virtual; any of
+/// the three sink pointers may be null (disabled dimension).
+class TaskChannel {
+ public:
+  /// The CPU's retire hook: one call per architecturally retired
+  /// instruction. `next_pc` is the post-instruction PC (the callee entry
+  /// for calls); `ts` the task's cycle counter after charging `cost`.
+  void retire(InstrClass cls, u64 pc, u64 next_pc, u64 cost, u64 ts,
+              CtlFlow ctl) {
+    if (counters_ != nullptr) {
+      ++counters_->instr[static_cast<std::size_t>(cls)];
+      counters_->cycles += cost;
+    }
+    if (ctl == CtlFlow::kCall) {
+      ++depth_;
+      if (counters_ != nullptr) counters_->call_depth.observe(depth_);
+    } else if (ctl == CtlFlow::kReturn && depth_ > 0) {
+      --depth_;
+    }
+    if (profile_ != nullptr) profile_->retire(pc, next_pc, cost, ctl);
+    if (track_ != nullptr && trace_instr_retire_) {
+      track_->emit(EventKind::kInstrRetire, ts, pc, static_cast<u64>(cls));
+    }
+  }
+
+  /// `chain` flags a PA op whose modifier is the chain register (a
+  /// PACStack chain update); `mask` flags the scratch-register mask
+  /// recomputation of Section 4.2.
+  void pac_sign(u64 pc, u64 modifier, bool chain, bool mask, u64 ts) {
+    if (counters_ != nullptr) {
+      ++counters_->pac_sign;
+      if (chain) ++(mask ? counters_->chain_mask : counters_->chain_push);
+    }
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kPacSign, ts, pc, modifier);
+      if (chain) {
+        track_->emit(mask ? EventKind::kChainMask : EventKind::kChainPush, ts,
+                     pc);
+      }
+    }
+  }
+
+  void pac_auth(u64 pc, u64 modifier, bool ok, bool chain, u64 ts) {
+    if (counters_ != nullptr) {
+      ++(ok ? counters_->pac_auth_ok : counters_->pac_auth_fail);
+      if (chain) ++(ok ? counters_->chain_pop_ok : counters_->chain_pop_fail);
+    }
+    if (track_ != nullptr) {
+      track_->emit(ok ? EventKind::kPacAuthOk : EventKind::kPacAuthFail, ts,
+                   pc, modifier);
+      if (chain) track_->emit(EventKind::kChainPop, ts, pc, ok ? 1 : 0);
+    }
+  }
+
+  void pac_generic(u64 pc, u64 ts) {
+    if (counters_ != nullptr) ++counters_->pac_generic;
+    if (track_ != nullptr) track_->emit(EventKind::kPacGeneric, ts, pc);
+  }
+
+  void pac_strip(u64 pc, u64 ts) {
+    if (counters_ != nullptr) ++counters_->pac_strip;
+    if (track_ != nullptr) track_->emit(EventKind::kPacStrip, ts, pc);
+  }
+
+  /// Crypto-level chain hooks (core::AcsChain). `depth` is the chain depth
+  /// after the operation; rings stamp these with a per-channel sequence
+  /// number since the crypto model has no cycle clock.
+  void chain_push(u64 depth) {
+    if (counters_ != nullptr) {
+      ++counters_->chain_push;
+      counters_->chain_depth.observe(depth);
+    }
+    if (track_ != nullptr) track_->emit(EventKind::kChainPush, ++seq_, depth);
+  }
+
+  void chain_pop(bool ok, u64 depth) {
+    if (counters_ != nullptr) {
+      ++(ok ? counters_->chain_pop_ok : counters_->chain_pop_fail);
+    }
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kChainPop, ++seq_, depth, ok ? 1 : 0);
+    }
+  }
+
+  void chain_mask() {
+    if (counters_ != nullptr) ++counters_->chain_mask;
+    if (track_ != nullptr) track_->emit(EventKind::kChainMask, ++seq_);
+  }
+
+  /// Kernel hooks. The syscall span covers [enter_ts, exit_ts] in the
+  /// task's cycle clock (the svc cost charged by the cycle model).
+  void syscall(u64 num, u64 enter_ts, u64 exit_ts) {
+    if (counters_ != nullptr) ++counters_->syscalls;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kSyscall, enter_ts, num, 0,
+                   static_cast<u32>(exit_ts - enter_ts));
+    }
+  }
+
+  void fault(u64 kind, u64 addr, u64 ts) {
+    if (counters_ != nullptr) ++counters_->faults;
+    if (track_ != nullptr) track_->emit(EventKind::kFault, ts, kind, addr);
+  }
+
+  void context_switch(u64 ts) {
+    if (counters_ != nullptr) ++counters_->ctx_switches;
+    if (track_ != nullptr) track_->emit(EventKind::kContextSwitch, ts);
+  }
+
+  void signal_deliver(u64 signum, u64 handler, u64 ts) {
+    if (counters_ != nullptr) ++counters_->signals;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kSignalDeliver, ts, signum, handler);
+    }
+    // The handler runs like a call with a synthetic return; mirror that on
+    // the profiler stack so handler cycles attribute under the handler.
+    if (profile_ != nullptr) {
+      profile_->retire(handler, handler, 0, CtlFlow::kCall);
+    }
+    ++depth_;
+  }
+
+  /// A kernel-assisted transfer (throw / sigreturn / longjmp) moved the PC
+  /// outside normal call/return discipline.
+  void resync(u64 pc) {
+    if (profile_ != nullptr) profile_->resync(pc);
+    depth_ = 0;
+  }
+
+ private:
+  friend class Recorder;
+  TraceSink::Track* track_ = nullptr;
+  TaskCounters* counters_ = nullptr;
+  TaskProfile* profile_ = nullptr;
+  bool trace_instr_retire_ = false;
+  u64 depth_ = 0;  ///< shadow call depth for the call-depth histogram
+  u64 seq_ = 0;    ///< timestamp source for clock-less (crypto-level) hooks
+};
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderConfig config = {});
+
+  /// Function table for profile symbolisation; set once before attaching
+  /// tasks (the kernel machine passes its program's function symbols).
+  void set_functions(std::vector<std::pair<u64, std::string>> entries);
+
+  /// Create the channel for task (pid, tid). Pointers stay valid for the
+  /// Recorder's lifetime. Channels are created in attach order, which is
+  /// the deterministic fold order for metrics() and profile().
+  TaskChannel* attach(u64 pid, u64 tid, std::string name);
+
+  [[nodiscard]] const RecorderConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const TraceSink& trace() const noexcept { return trace_; }
+
+  /// Fold every task's counters into one named-metric shard. Adds
+  /// `obs.trace.dropped` when tracing dropped events to ring wrap.
+  [[nodiscard]] Metrics metrics() const;
+
+  /// Merge every task's folded stacks (attach order).
+  [[nodiscard]] FoldedProfile profile() const;
+
+ private:
+  RecorderConfig config_;
+  std::unique_ptr<FunctionTable> functions_;
+  TraceSink trace_;
+  std::deque<TaskCounters> counters_;
+  std::deque<TaskProfile> profiles_;
+  std::deque<TaskChannel> channels_;
+};
+
+}  // namespace acs::obs

@@ -1,0 +1,59 @@
+// Fixed-capacity ring buffer for per-task event streams.
+//
+// The tracer must never let a long run grow without bound: each task's
+// event stream is a ring that keeps the most recent `capacity` entries and
+// counts what it overwrote. push() is O(1) with no allocation after
+// construction — the hot path of an attached tracer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acs::obs {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// A zero capacity is legal and records nothing (every push is dropped).
+  explicit RingBuffer(std::size_t capacity) : buffer_(capacity) {}
+
+  void push(const T& value) noexcept {
+    ++pushed_;
+    if (buffer_.empty()) return;
+    buffer_[next_] = value;
+    next_ = (next_ + 1) % buffer_.size();
+    if (next_ == 0) wrapped_ = true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return wrapped_ ? buffer_.size() : next_;
+  }
+  /// Total pushes since construction (kept + overwritten).
+  [[nodiscard]] u64 pushed() const noexcept { return pushed_; }
+  /// Entries lost to wrapping (or to zero capacity).
+  [[nodiscard]] u64 dropped() const noexcept { return pushed_ - size(); }
+
+  /// The retained entries, oldest first.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size());
+    if (wrapped_) {
+      out.insert(out.end(), buffer_.begin() + static_cast<std::ptrdiff_t>(next_),
+                 buffer_.end());
+    }
+    out.insert(out.end(), buffer_.begin(),
+               buffer_.begin() + static_cast<std::ptrdiff_t>(next_));
+    return out;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  u64 pushed_ = 0;
+};
+
+}  // namespace acs::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace acs::obs {
+
+namespace {
+
+[[nodiscard]] std::string hex(u64 value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", (unsigned long long)value);
+  return buf;
+}
+
+/// Cycle timestamp -> trace microseconds at the simulated clock. Three
+/// fractional digits keep sub-microsecond events distinct at 1.2 GHz.
+[[nodiscard]] std::string us(u64 cycles, u64 sim_hz) {
+  const double micros =
+      static_cast<double>(cycles) * 1e6 / static_cast<double>(sim_hz);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", micros);
+  return buf;
+}
+
+[[nodiscard]] const char* category(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kInstrRetire: return "sim";
+    case EventKind::kPacSign:
+    case EventKind::kPacAuthOk:
+    case EventKind::kPacAuthFail:
+    case EventKind::kPacGeneric:
+    case EventKind::kPacStrip: return "pa";
+    case EventKind::kChainPush:
+    case EventKind::kChainPop:
+    case EventKind::kChainMask: return "chain";
+    case EventKind::kSyscall:
+    case EventKind::kFault:
+    case EventKind::kContextSwitch:
+    case EventKind::kSignalDeliver: return "kernel";
+  }
+  return "sim";
+}
+
+/// The "args" object for one event — what Perfetto shows when the event
+/// is selected. Keys follow the taxonomy in docs/observability.md.
+[[nodiscard]] std::string args_json(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kInstrRetire:
+      return "{\"pc\": \"" + hex(event.a) + "\", \"class\": \"" +
+             instr_class_name(static_cast<InstrClass>(event.b)) + "\"}";
+    case EventKind::kPacSign:
+    case EventKind::kPacAuthOk:
+    case EventKind::kPacAuthFail:
+      return "{\"pc\": \"" + hex(event.a) + "\", \"modifier\": \"" +
+             hex(event.b) + "\"}";
+    case EventKind::kPacGeneric:
+    case EventKind::kPacStrip:
+    case EventKind::kChainPush:
+    case EventKind::kChainMask:
+      return "{\"pc\": \"" + hex(event.a) + "\"}";
+    case EventKind::kChainPop:
+      return "{\"pc\": \"" + hex(event.a) + "\", \"ok\": " +
+             (event.b != 0 ? "true" : "false") + "}";
+    case EventKind::kSyscall:
+      return "{\"num\": " + std::to_string(event.a) + "}";
+    case EventKind::kFault:
+      return "{\"kind\": " + std::to_string(event.a) + ", \"addr\": \"" +
+             hex(event.b) + "\"}";
+    case EventKind::kContextSwitch:
+      return "{}";
+    case EventKind::kSignalDeliver:
+      return "{\"signum\": " + std::to_string(event.a) + ", \"handler\": \"" +
+             hex(event.b) + "\"}";
+  }
+  return "{}";
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::size_t ring_capacity, u64 sim_hz)
+    : ring_capacity_(ring_capacity), sim_hz_(sim_hz == 0 ? 1 : sim_hz) {}
+
+TraceSink::Track* TraceSink::add_track(u64 pid, u64 tid, std::string name) {
+  tracks_.emplace_back(pid, tid, std::move(name), ring_capacity_);
+  return &tracks_.back();
+}
+
+u64 TraceSink::dropped() const noexcept {
+  u64 total = 0;
+  for (const auto& track : tracks_) total += track.ring().dropped();
+  return total;
+}
+
+u64 TraceSink::size() const noexcept {
+  u64 total = 0;
+  for (const auto& track : tracks_) total += track.ring().size();
+  return total;
+}
+
+std::string TraceSink::to_chrome_json() const {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  const auto append = [&](const std::string& line) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  " + line;
+  };
+
+  for (const auto& track : tracks_) {
+    const std::string ids = "\"pid\": " + std::to_string(track.pid()) +
+                            ", \"tid\": " + std::to_string(track.tid());
+    // Track labels: Perfetto's metadata events name the process/thread rows.
+    append("{\"name\": \"process_name\", \"ph\": \"M\", " + ids +
+           ", \"args\": {\"name\": \"" + track.name() + "\"}}");
+    append("{\"name\": \"thread_name\", \"ph\": \"M\", " + ids +
+           ", \"args\": {\"name\": \"task " + std::to_string(track.tid()) +
+           "\"}}");
+    for (const Event& event : track.ring().snapshot()) {
+      std::string line = "{\"name\": \"";
+      line += event_name(event.kind);
+      line += "\", \"cat\": \"";
+      line += category(event.kind);
+      line += "\", ";
+      if (event.kind == EventKind::kSyscall) {
+        line += "\"ph\": \"X\", \"dur\": " + us(event.dur, sim_hz_) + ", ";
+      } else {
+        line += "\"ph\": \"i\", \"s\": \"t\", ";
+      }
+      line += "\"ts\": " + us(event.ts, sim_hz_) + ", " + ids +
+              ", \"args\": " + args_json(event) + "}";
+      append(line);
+    }
+  }
+  out += first ? "],\n" : "\n],\n";
+  out += "\"displayTimeUnit\": \"ns\",\n";
+  out += "\"otherData\": {\"dropped_events\": " + std::to_string(dropped()) +
+         "}\n}\n";
+  return out;
+}
+
+}  // namespace acs::obs

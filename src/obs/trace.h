@@ -1,0 +1,72 @@
+// Event tracer: per-task ring buffers exported as Chrome trace-event JSON.
+//
+// One TraceSink serves one simulated machine (machines are sequential, so
+// no locking). Each simulated task gets its own Track — a (pid, tid) pair
+// with a ring buffer of typed events stamped with the task's simulated
+// cycle counter. to_chrome_json() renders the whole sink in the Chrome
+// trace-event format, so a trace file opens directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "obs/events.h"
+#include "obs/ring.h"
+
+namespace acs::obs {
+
+class TraceSink {
+ public:
+  /// `sim_hz` converts cycle timestamps to trace microseconds;
+  /// `ring_capacity` bounds each track's retained events.
+  TraceSink(std::size_t ring_capacity, u64 sim_hz);
+
+  class Track {
+   public:
+    Track(u64 pid, u64 tid, std::string name, std::size_t capacity)
+        : pid_(pid), tid_(tid), name_(std::move(name)), ring_(capacity) {}
+
+    void emit(EventKind kind, u64 ts, u64 a = 0, u64 b = 0,
+              u32 dur = 0) noexcept {
+      ring_.push(Event{ts, a, b, dur, kind});
+    }
+
+    [[nodiscard]] u64 pid() const noexcept { return pid_; }
+    [[nodiscard]] u64 tid() const noexcept { return tid_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const RingBuffer<Event>& ring() const noexcept {
+      return ring_;
+    }
+
+   private:
+    u64 pid_;
+    u64 tid_;
+    std::string name_;
+    RingBuffer<Event> ring_;
+  };
+
+  /// Create the track for a task. Pointers stay valid for the sink's
+  /// lifetime (std::deque storage).
+  Track* add_track(u64 pid, u64 tid, std::string name);
+
+  [[nodiscard]] const std::deque<Track>& tracks() const noexcept {
+    return tracks_;
+  }
+
+  /// Events overwritten by ring wrap, summed over all tracks.
+  [[nodiscard]] u64 dropped() const noexcept;
+  /// Events currently retained, summed over all tracks.
+  [[nodiscard]] u64 size() const noexcept;
+
+  /// Render as a Chrome trace-event JSON document (Perfetto-loadable).
+  /// Deterministic: tracks in creation order, events oldest first.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  std::size_t ring_capacity_;
+  u64 sim_hz_;
+  std::deque<Track> tracks_;
+};
+
+}  // namespace acs::obs

@@ -1,6 +1,63 @@
 #include "sim/cpu.h"
 
+#include "obs/recorder.h"
+
 namespace acs::sim {
+
+namespace {
+
+/// Map an opcode to its observability instruction class (mirrors the cost
+/// buckets of the cycle model).
+[[nodiscard]] obs::InstrClass classify(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kLdr:
+    case Opcode::kLdrb:
+    case Opcode::kStr:
+    case Opcode::kStrb:
+    case Opcode::kLdp:
+    case Opcode::kStp:
+      return obs::InstrClass::kMem;
+    case Opcode::kB:
+    case Opcode::kBCond:
+    case Opcode::kCbz:
+    case Opcode::kCbnz:
+    case Opcode::kBl:
+    case Opcode::kBlr:
+    case Opcode::kBr:
+    case Opcode::kRet:
+      return obs::InstrClass::kBranch;
+    case Opcode::kRetaa:
+    case Opcode::kPacia:
+    case Opcode::kAutia:
+    case Opcode::kPacga:
+    case Opcode::kXpaci:
+      return obs::InstrClass::kPa;
+    case Opcode::kSvc:
+      return obs::InstrClass::kSvc;
+    case Opcode::kNop:
+    case Opcode::kHlt:
+    case Opcode::kWork:
+      return obs::InstrClass::kOther;
+    default:
+      return obs::InstrClass::kAlu;
+  }
+}
+
+/// Control-flow effect as seen by the profiler's shadow call stack.
+[[nodiscard]] obs::CtlFlow ctl_of(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kBl:
+    case Opcode::kBlr:
+      return obs::CtlFlow::kCall;
+    case Opcode::kRet:
+    case Opcode::kRetaa:
+      return obs::CtlFlow::kReturn;
+    default:
+      return obs::CtlFlow::kNone;
+  }
+}
+
+}  // namespace
 
 Cpu::Cpu(const Program& program, AddressSpace& memory,
          const pa::PointerAuth& pauth)
@@ -172,6 +229,7 @@ void Cpu::indirect_branch(u64 target, bool link) {
 }
 
 void Cpu::execute(const Instruction& instr) {
+  const u64 instr_pc = pc_;
   const u64 next_pc = pc_ + kInstrBytes;
   u64 cost = costs_.alu;
 
@@ -348,6 +406,10 @@ void Cpu::execute(const Instruction& instr) {
       cost = costs_.pa + costs_.branch;
       const auto result =
           pauth_->aut(crypto::KeyId::kIA, reg(kLr), reg(Reg::kSp));
+      if (obs_ != nullptr) {
+        obs_->pac_auth(instr_pc, reg(Reg::kSp), !result.fault,
+                       /*chain=*/false, cycles_ + cost);
+      }
       if (result.fault) {
         raise(FaultKind::kPacAuthFailure, reg(kLr));
         return;
@@ -358,15 +420,28 @@ void Cpu::execute(const Instruction& instr) {
     }
     case Opcode::kPacia: {
       cost = costs_.pa;
+      const u64 modifier = reg(instr.rn);
       set_reg(instr.rd,
-              pauth_->pac(crypto::KeyId::kIA, reg(instr.rd), reg(instr.rn)));
+              pauth_->pac(crypto::KeyId::kIA, reg(instr.rd), modifier));
+      if (obs_ != nullptr) {
+        // A sign whose modifier is the chain register is a PACStack chain
+        // update; signing into the scratch register is the aret mask
+        // recomputation (Section 4.2 of the paper).
+        obs_->pac_sign(instr_pc, modifier, /*chain=*/instr.rn == kCr,
+                       /*mask=*/instr.rd == kScratch, cycles_ + cost);
+      }
       pc_ = next_pc;
       break;
     }
     case Opcode::kAutia: {
       cost = costs_.pa;
+      const u64 modifier = reg(instr.rn);
       const auto result =
-          pauth_->aut(crypto::KeyId::kIA, reg(instr.rd), reg(instr.rn));
+          pauth_->aut(crypto::KeyId::kIA, reg(instr.rd), modifier);
+      if (obs_ != nullptr) {
+        obs_->pac_auth(instr_pc, modifier, !result.fault,
+                       /*chain=*/instr.rn == kCr, cycles_ + cost);
+      }
       if (result.fault) {
         raise(FaultKind::kPacAuthFailure, reg(instr.rd));
         return;
@@ -378,12 +453,14 @@ void Cpu::execute(const Instruction& instr) {
     case Opcode::kPacga: {
       cost = costs_.pa;
       set_reg(instr.rd, pauth_->pacga(reg(instr.rn), reg(instr.rm)));
+      if (obs_ != nullptr) obs_->pac_generic(instr_pc, cycles_ + cost);
       pc_ = next_pc;
       break;
     }
     case Opcode::kXpaci: {
       cost = costs_.pa;
       set_reg(instr.rd, pauth_->xpac(reg(instr.rd)));
+      if (obs_ != nullptr) obs_->pac_strip(instr_pc, cycles_ + cost);
       pc_ = next_pc;
       break;
     }
@@ -404,6 +481,15 @@ void Cpu::execute(const Instruction& instr) {
   }
 
   cycles_ += cost;
+
+  // Retire hook: fires exactly when step() counts the instruction as
+  // retired (faulting paths either returned early or left a pending fault).
+  if (obs_ != nullptr &&
+      (state_ == RunState::kReady || state_ == RunState::kSvc ||
+       state_ == RunState::kHalted)) {
+    obs_->retire(classify(instr.op), instr_pc, pc_, cost, cycles_,
+                 ctl_of(instr.op));
+  }
 }
 
 }  // namespace acs::sim

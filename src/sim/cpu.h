@@ -26,6 +26,10 @@
 #include "sim/isa.h"
 #include "sim/memory.h"
 
+namespace acs::obs {
+class TaskChannel;
+}  // namespace acs::obs
+
 namespace acs::sim {
 
 /// A full user-visible register context — what the kernel spills to its
@@ -100,6 +104,12 @@ class Cpu {
   [[nodiscard]] CpuSnapshot snapshot() const noexcept;
   void restore(const CpuSnapshot& snap) noexcept;
 
+  // --- observability -------------------------------------------------------
+  /// Attach the per-task observability channel (nullptr detaches). With no
+  /// channel every hook site reduces to a single never-taken null check.
+  void set_observer(obs::TaskChannel* obs) noexcept { obs_ = obs; }
+  [[nodiscard]] obs::TaskChannel* observer() const noexcept { return obs_; }
+
  private:
   void raise(FaultKind kind, u64 addr) noexcept;
   void execute(const Instruction& instr);
@@ -112,6 +122,7 @@ class Cpu {
   const Program* program_;
   AddressSpace* memory_;
   const pa::PointerAuth* pauth_;
+  obs::TaskChannel* obs_ = nullptr;
 
   std::array<u64, kNumRegs> regs_{};
   u64 pc_ = 0;

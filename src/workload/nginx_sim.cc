@@ -1,6 +1,7 @@
 #include "workload/nginx_sim.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -9,6 +10,7 @@
 #include "compiler/codegen.h"
 #include "exec/parallel.h"
 #include "kernel/machine.h"
+#include "obs/recorder.h"
 #include "sim/cycle_model.h"
 
 namespace acs::workload {
@@ -79,12 +81,20 @@ struct WorkerOutcome {
   bool clean_exit = false;
   kernel::ProcessState state = kernel::ProcessState::kLive;
   u64 exit_code = 0;
+  // Per-trial observability shards, merged in trial order by the caller.
+  obs::Metrics metrics;
+  obs::FoldedProfile profile;
+  std::string trace_json;
 };
 
 }  // namespace
 
 NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
-                                    const NginxConfig& config) {
+                                    const NginxConfig& config,
+                                    NginxObs* out_obs) {
+  const bool want_metrics = out_obs != nullptr && config.collect_metrics;
+  const bool want_profile = out_obs != nullptr && config.collect_profile;
+  const bool want_trace = out_obs != nullptr && config.trace_first_trial;
   // Every (repeat, worker) pair is one independent trial: its jitter and
   // machine seeds derive from the trial index, and outcomes land at the
   // trial index, so the per-run aggregation below is identical for any
@@ -93,13 +103,28 @@ NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
       static_cast<u64>(config.repeats) * static_cast<u64>(config.workers);
   const auto outcomes = exec::parallel_map_trials<WorkerOutcome>(
       n_trials, config.seed,
-      [&](u64, u64 trial_seed) {
+      [&](u64 trial, u64 trial_seed) {
         Rng seeder(trial_seed);
         const auto ir =
             make_worker_ir(config.requests_per_worker, seeder.next());
         const auto program = compiler::compile_ir(ir, {.scheme = scheme});
         kernel::MachineOptions options;
         options.seed = seeder.next();
+        // Each trial gets its own recorder shard (no cross-thread state);
+        // the trace dimension is on for trial 0 only.
+        const bool trace_this = want_trace && trial == 0;
+        std::unique_ptr<obs::Recorder> recorder;
+        if (want_metrics || want_profile || trace_this) {
+          obs::RecorderConfig rc;
+          rc.metrics = want_metrics;
+          rc.trace = trace_this;
+          rc.profile = want_profile;
+          rc.ring_capacity = config.trace_ring_capacity;
+          rc.sim_hz = sim::kSimulatedHz;
+          rc.process_label = "nginx-sim";
+          recorder = std::make_unique<obs::Recorder>(rc);
+          options.recorder = recorder.get();
+        }
         kernel::Machine machine(program, options);
         machine.run();
         const auto& process = machine.init_process();
@@ -109,9 +134,26 @@ NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
         outcome.exit_code = process.exit_code;
         outcome.clean_exit = process.state == kernel::ProcessState::kExited &&
                              process.exit_code == 0;
+        if (recorder != nullptr) {
+          if (want_metrics) outcome.metrics = recorder->metrics();
+          if (want_profile) outcome.profile = recorder->profile();
+          if (trace_this) outcome.trace_json = recorder->trace().to_chrome_json();
+        }
         return outcome;
       },
       config.threads);
+
+  if (out_obs != nullptr) {
+    // Fixed merge order (trial index) — bitwise identical for any thread
+    // count (see src/exec/parallel.h's determinism contract).
+    for (const auto& outcome : outcomes) {
+      if (want_metrics) out_obs->metrics.merge(outcome.metrics);
+      if (want_profile) out_obs->profile.merge(outcome.profile);
+    }
+    if (want_trace && !outcomes.empty()) {
+      out_obs->trace_json = outcomes.front().trace_json;
+    }
+  }
 
   std::vector<double> tps_per_run;
   tps_per_run.reserve(config.repeats);

@@ -14,6 +14,8 @@
 #include "compiler/ir.h"
 #include "compiler/scheme.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace acs::workload {
 
@@ -33,6 +35,23 @@ struct NginxConfig {
   /// trivially; per-worker seeds are derived with exec::trial_seed, making
   /// the reported TPS bitwise identical for every thread count.
   unsigned threads = 1;
+
+  // --- observability (see docs/observability.md) ------------------------
+  bool collect_metrics = false;  ///< aggregate obs::Metrics over all trials
+  bool collect_profile = false;  ///< aggregate folded cycle profiles
+  /// Record an event trace for trial 0 only (one representative worker —
+  /// tracing every trial would produce unboundedly large files).
+  bool trace_first_trial = false;
+  std::size_t trace_ring_capacity = 1 << 15;
+};
+
+/// Observability output of one experiment. Metrics and profile are merged
+/// over all (repeat, worker) trials in trial order, so they are bitwise
+/// identical for every `threads` value; the trace covers trial 0 only.
+struct NginxObs {
+  obs::Metrics metrics;
+  obs::FoldedProfile profile;
+  std::string trace_json;  ///< Chrome trace-event JSON (empty if not traced)
 };
 
 /// Build one worker's program with a jittered request mix.
@@ -40,8 +59,11 @@ struct NginxConfig {
 
 /// Run the full experiment for one scheme. Throws std::runtime_error if any
 /// simulated worker fails to exit cleanly (crash, kill, deadlock) — a
-/// crashed worker must never contribute to the TPS estimate.
+/// crashed worker must never contribute to the TPS estimate. When `out_obs`
+/// is non-null, the observability dimensions enabled in `config` are
+/// collected into it.
 [[nodiscard]] NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
-                                                  const NginxConfig& config);
+                                                  const NginxConfig& config,
+                                                  NginxObs* out_obs = nullptr);
 
 }  // namespace acs::workload

@@ -6,9 +6,73 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace acs::bench {
 namespace {
+
+/// argv helper for parse_bench_args death/parse tests.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    pointers.push_back(program.data());
+    for (auto& s : strings) pointers.push_back(s.data());
+  }
+  [[nodiscard]] int argc() { return static_cast<int>(pointers.size()); }
+  [[nodiscard]] char** argv() { return pointers.data(); }
+
+  std::string program = "bench_test";
+  std::vector<std::string> strings;
+  std::vector<char*> pointers;
+};
+
+TEST(ParseBenchArgs, ParsesUniformFlags) {
+  Argv args({"--threads=3", "--smoke", "--json=/tmp/x.json"});
+  const BenchOptions options =
+      parse_bench_args(args.argc(), args.argv(), "bench_test");
+  EXPECT_EQ(options.threads, 3u);
+  EXPECT_TRUE(options.smoke);
+  EXPECT_EQ(options.json_path, "/tmp/x.json");
+}
+
+TEST(ParseBenchArgsDeathTest, UnknownFlagFailsLoudly) {
+  Argv args({"--frobnicate"});
+  EXPECT_EXIT(parse_bench_args(args.argc(), args.argv(), "bench_test"),
+              ::testing::ExitedWithCode(2), "unknown flag '--frobnicate'");
+}
+
+TEST(ParseBenchArgsDeathTest, TypoedValueFlagFailsLoudly) {
+  Argv args({"--threds=4"});
+  EXPECT_EXIT(parse_bench_args(args.argc(), args.argv(), "bench_test"),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(ParseBenchArgsDeathTest, MissingValueFailsLoudly) {
+  Argv args({"--json"});
+  EXPECT_EXIT(parse_bench_args(args.argc(), args.argv(), "bench_test"),
+              ::testing::ExitedWithCode(2), "--json requires a value");
+}
+
+TEST(ParseBenchArgsDeathTest, ObsFlagsRejectedWithoutObsSupport) {
+  Argv trace({"--trace=/tmp/t.json"});
+  EXPECT_EXIT(parse_bench_args(trace.argc(), trace.argv(), "bench_test"),
+              ::testing::ExitedWithCode(2),
+              "--trace is not supported by this bench");
+  Argv profile({"--profile=/tmp/p.folded"});
+  EXPECT_EXIT(parse_bench_args(profile.argc(), profile.argv(), "bench_test"),
+              ::testing::ExitedWithCode(2),
+              "--profile is not supported by this bench");
+}
+
+TEST(ParseBenchArgs, ObsFlagsParseWhenSupported) {
+  Argv args({"--trace=/tmp/t.json", "--profile", "/tmp/p.folded"});
+  const BenchOptions options =
+      parse_bench_args(args.argc(), args.argv(), "bench_test",
+                       /*extra_usage=*/nullptr, /*obs_flags=*/true);
+  EXPECT_EQ(options.trace_path, "/tmp/t.json");
+  EXPECT_EQ(options.profile_path, "/tmp/p.folded");
+}
 
 TEST(ToJson, EmitsEveryRequiredKey) {
   BenchOptions options;
@@ -55,6 +119,46 @@ TEST(ToJson, DoublesRoundTrip) {
   ASSERT_NE(pos, std::string::npos);
   const double parsed = std::stod(json.substr(pos + 9));
   EXPECT_EQ(parsed, 1.0 / 3.0);  // %.17g must round-trip exactly
+}
+
+TEST(ToJson, ObsSectionAppearsOnlyWhenProvided) {
+  obs::Metrics obs_metrics;
+  obs_metrics.add("pa.sign", 7);
+  obs_metrics.observe("chain.depth", {1, 2}, 2);
+
+  const std::string with =
+      to_json("b", BenchOptions{}, 0, {}, 0.0, &obs_metrics);
+  EXPECT_NE(with.find("\"obs\": {"), std::string::npos) << with;
+  EXPECT_NE(with.find("\"pa.sign\": 7"), std::string::npos) << with;
+  EXPECT_NE(with.find("\"edges\": [1, 2]"), std::string::npos) << with;
+
+  const std::string without = to_json("b", BenchOptions{}, 0, {}, 0.0);
+  EXPECT_EQ(without.find("\"obs\""), std::string::npos) << without;
+}
+
+TEST(BenchReporter, SetObsMetricsReachesTheJsonFile) {
+  const std::string path = ::testing::TempDir() + "/acs_harness_obs.json";
+  std::remove(path.c_str());
+  BenchOptions options;
+  options.json_path = path;
+  BenchReporter reporter("bench_unit", options, 7);
+  obs::Metrics obs_metrics;
+  obs_metrics.add("chain.push", 11);
+  reporter.set_obs_metrics(std::move(obs_metrics));
+  ASSERT_TRUE(reporter.finish());
+
+  std::ifstream file(path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("\"chain.push\": 11"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteFile, ReportsFailureForUnwritablePath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir-for-acs-test/x", "body", "ctx"));
+  const std::string path = ::testing::TempDir() + "/acs_write_file.txt";
+  EXPECT_TRUE(write_file(path, "body", "ctx"));
+  std::remove(path.c_str());
 }
 
 TEST(BenchReporter, WritesFileOnFinish) {

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace acs::obs {
+namespace {
+
+TEST(HistogramTest, EdgesMustStrictlyIncrease) {
+  EXPECT_NO_THROW(Histogram({1, 2, 4}));
+  EXPECT_THROW(Histogram({1, 1, 4}), std::invalid_argument);
+  EXPECT_THROW(Histogram({4, 2}), std::invalid_argument);
+}
+
+TEST(HistogramTest, LeConventionBucketAssignment) {
+  Histogram h({1, 2, 4});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 edges + overflow
+
+  h.observe(0);  // <= 1 -> bucket 0
+  h.observe(1);  // == edge 1 -> bucket 0 (le convention)
+  h.observe(2);  // == edge 2 -> bucket 1
+  h.observe(3);  // <= 4 -> bucket 2
+  h.observe(4);  // == edge 4 -> bucket 2
+  h.observe(5);  // above all edges -> overflow
+  h.observe(u64{1} << 63);
+
+  EXPECT_EQ(h.counts(), (std::vector<u64>{2, 1, 2, 2}));
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(HistogramTest, EveryEdgeLandsInItsOwnBucket) {
+  const auto& edges = depth_edges();
+  Histogram h(edges);
+  for (const u64 edge : edges) h.observe(edge);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(h.counts()[i], 1u) << "edge " << edges[i];
+  }
+  EXPECT_EQ(h.counts().back(), 0u);  // nothing overflowed
+}
+
+TEST(HistogramTest, MergeSumsMatchingEdges) {
+  Histogram a({10, 20});
+  Histogram b({10, 20});
+  a.observe(5);
+  a.observe(25);
+  b.observe(15);
+  a.merge(b);
+  EXPECT_EQ(a.counts(), (std::vector<u64>{1, 1, 1}));
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedEdges) {
+  Histogram a({10, 20});
+  Histogram b({10, 30});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HistogramTest, MergeWithDefaultConstructedIsLenient) {
+  Histogram a({10, 20});
+  a.observe(5);
+  Histogram empty;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.total(), 1u);
+
+  Histogram target;
+  target.merge(a);  // adopts a's shape and counts
+  EXPECT_EQ(target, a);
+}
+
+TEST(HistogramTest, DefaultConstructedObserveIsNoop) {
+  Histogram h;
+  h.observe(7);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_TRUE(h.counts().empty());
+}
+
+TEST(DepthEdgesTest, PowerOfTwoAscending) {
+  const auto& edges = depth_edges();
+  ASSERT_FALSE(edges.empty());
+  EXPECT_EQ(edges.front(), 1u);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i], edges[i - 1] * 2);
+  }
+}
+
+TEST(MetricsTest, CountersAccumulate) {
+  Metrics m;
+  EXPECT_EQ(m.counter("pa.sign"), 0u);  // absent reads as zero
+  m.add("pa.sign");
+  m.add("pa.sign", 4);
+  EXPECT_EQ(m.counter("pa.sign"), 5u);
+  EXPECT_TRUE(m.histograms().empty());
+}
+
+TEST(MetricsTest, HistogramFindOrCreateKeepsOriginalEdges) {
+  Metrics m;
+  m.observe("depth", {1, 2}, 2);
+  // Second call with different edges must NOT reshape the histogram.
+  m.observe("depth", {100}, 2);
+  const auto& h = m.histograms().at("depth");
+  EXPECT_EQ(h.edges(), (std::vector<u64>{1, 2}));
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(MetricsTest, MergeWithPrefixDecomposesSchemes) {
+  Metrics trial;
+  trial.add("pa.sign", 10);
+  trial.observe("chain.depth", {4, 8}, 3);
+
+  Metrics total;
+  total.merge(trial, "pacstack.");
+  total.merge(trial, "pacstack.");
+  EXPECT_EQ(total.counter("pacstack.pa.sign"), 20u);
+  EXPECT_EQ(total.counter("pa.sign"), 0u);
+  EXPECT_EQ(total.histograms().at("pacstack.chain.depth").total(), 2u);
+}
+
+TEST(MetricsTest, MergeOrderIndependentForCommutativeData) {
+  Metrics a, b;
+  a.add("x", 1);
+  a.observe("h", {2}, 1);
+  b.add("x", 2);
+  b.observe("h", {2}, 5);
+
+  Metrics ab, ba;
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+}
+
+TEST(MetricsTest, ToJsonShape) {
+  Metrics m;
+  m.add("pa.sign", 3);
+  m.observe("chain.depth", {1, 2}, 2);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"pa.sign\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"edges\": [1, 2]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [0, 1, 0]"), std::string::npos);
+}
+
+TEST(MetricsTest, ToJsonEmptySections) {
+  const std::string json = Metrics{}.to_json();
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acs::obs

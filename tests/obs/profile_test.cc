@@ -1,0 +1,131 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acs::obs {
+namespace {
+
+FunctionTable three_functions() {
+  return FunctionTable{{{0x100, "main"}, {0x200, "handle"}, {0x300, "leaf"}}};
+}
+
+TEST(FunctionTableTest, IdForBoundaries) {
+  const FunctionTable table = three_functions();
+  ASSERT_EQ(table.size(), 4u);  // 3 functions + <unknown>
+  EXPECT_EQ(table.name(0), "<unknown>");
+
+  EXPECT_EQ(table.id_for(0x0), 0u);     // before every entry
+  EXPECT_EQ(table.id_for(0xFF), 0u);    // one below the first entry
+  EXPECT_EQ(table.id_for(0x100), 1u);   // exactly the entry address
+  EXPECT_EQ(table.id_for(0x1FF), 1u);   // inside main
+  EXPECT_EQ(table.id_for(0x200), 2u);
+  EXPECT_EQ(table.id_for(0x2FF), 2u);
+  EXPECT_EQ(table.id_for(0x300), 3u);
+  EXPECT_EQ(table.id_for(~u64{0}), 3u);  // everything above the last entry
+  EXPECT_EQ(table.name(table.id_for(0x234)), "handle");
+}
+
+TEST(FunctionTableTest, UnsortedInputIsSorted) {
+  const FunctionTable table{{{0x300, "c"}, {0x100, "a"}, {0x200, "b"}}};
+  EXPECT_EQ(table.name(table.id_for(0x150)), "a");
+  EXPECT_EQ(table.name(table.id_for(0x250)), "b");
+  EXPECT_EQ(table.name(table.id_for(0x350)), "c");
+}
+
+TEST(FoldedProfileTest, AddSumsDuplicateStacks) {
+  FoldedProfile p;
+  p.add("main;leaf", 10);
+  p.add("main;leaf", 5);
+  p.add("main", 1);
+  EXPECT_EQ(p.stacks().at("main;leaf"), 15u);
+  EXPECT_EQ(p.total_cycles(), 16u);
+}
+
+TEST(FoldedProfileTest, FoldedOutputIsSortedAndParseable) {
+  FoldedProfile p;
+  p.add("b;x", 2);
+  p.add("a;y", 1);
+  // std::map order: "a;y" before "b;x".
+  EXPECT_EQ(p.folded(), "a;y 1\nb;x 2\n");
+}
+
+TEST(FoldedProfileTest, MergeWithRootPrefixesEveryStack) {
+  FoldedProfile scheme;
+  scheme.add("main;leaf", 7);
+
+  FoldedProfile all;
+  all.merge(scheme, "pacstack");
+  all.merge(scheme, "baseline");
+  EXPECT_EQ(all.stacks().at("pacstack;main;leaf"), 7u);
+  EXPECT_EQ(all.stacks().at("baseline;main;leaf"), 7u);
+
+  FoldedProfile plain;
+  plain.merge(scheme);
+  EXPECT_EQ(plain.stacks().at("main;leaf"), 7u);
+}
+
+TEST(TaskProfileTest, CallAndReturnAttributeToTheRightStack) {
+  const FunctionTable table = three_functions();
+  TaskProfile task(&table);
+
+  // main runs 10 cycles, calls leaf (5 cycles), returns, runs 3 more.
+  task.retire(0x100, 0x104, 6, CtlFlow::kNone);
+  task.retire(0x104, 0x300, 4, CtlFlow::kCall);   // the call itself: main
+  task.retire(0x300, 0x304, 5, CtlFlow::kNone);   // inside leaf
+  task.retire(0x304, 0x108, 0, CtlFlow::kReturn); // ret: charged to leaf
+  task.retire(0x108, 0x10C, 3, CtlFlow::kNone);
+
+  FoldedProfile out;
+  task.fold_into(out);
+  EXPECT_EQ(out.stacks().at("main"), 13u);
+  EXPECT_EQ(out.stacks().at("main;leaf"), 5u);
+  EXPECT_EQ(out.total_cycles(), 18u);
+}
+
+TEST(TaskProfileTest, ReturnAtRootDoesNotUnderflow) {
+  const FunctionTable table = three_functions();
+  TaskProfile task(&table);
+  task.retire(0x100, 0x104, 1, CtlFlow::kReturn);
+  task.retire(0x104, 0x108, 1, CtlFlow::kReturn);
+  EXPECT_EQ(task.depth(), 1u);  // the root frame never pops
+
+  FoldedProfile out;
+  task.fold_into(out);
+  EXPECT_EQ(out.stacks().at("main"), 2u);
+}
+
+TEST(TaskProfileTest, ResyncRebasesTheStack) {
+  const FunctionTable table = three_functions();
+  TaskProfile task(&table);
+  task.retire(0x100, 0x300, 2, CtlFlow::kCall);
+  task.retire(0x300, 0x304, 4, CtlFlow::kNone);
+  EXPECT_EQ(task.depth(), 2u);
+
+  // A throw/sigreturn lands in handle: the shadow stack resets there.
+  task.resync(0x200);
+  EXPECT_EQ(task.depth(), 1u);
+  task.retire(0x200, 0x204, 8, CtlFlow::kNone);
+
+  FoldedProfile out;
+  task.fold_into(out);
+  EXPECT_EQ(out.stacks().at("main"), 2u);
+  EXPECT_EQ(out.stacks().at("main;leaf"), 4u);
+  EXPECT_EQ(out.stacks().at("handle"), 8u);
+}
+
+TEST(TaskProfileTest, UnknownPcAttributesToSentinel) {
+  const FunctionTable table = three_functions();
+  TaskProfile task(&table);
+  task.retire(0x10, 0x14, 9, CtlFlow::kNone);  // below every function entry
+
+  FoldedProfile out;
+  task.fold_into(out);
+  EXPECT_EQ(out.stacks().at("<unknown>"), 9u);
+}
+
+}  // namespace
+}  // namespace acs::obs

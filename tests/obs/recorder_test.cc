@@ -1,0 +1,148 @@
+// Integration: a Recorder attached to a simulated machine observes the
+// PACStack instrumentation — PAC sign/auth events, chain push/pop, kernel
+// syscalls — and its three sinks agree with the machine's own counters.
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compiler/codegen.h"
+#include "compiler/ir.h"
+#include "kernel/machine.h"
+
+namespace acs {
+namespace {
+
+compiler::ProgramIr call_heavy_ir() {
+  compiler::IrBuilder builder;
+  const auto leaf = builder.begin_function("leaf");
+  builder.compute(1);
+  const auto mid = builder.begin_function("mid");
+  builder.call(leaf);
+  const auto driver = builder.begin_function("driver");
+  builder.call(mid, 50);
+  return builder.build(driver);
+}
+
+struct RunResult {
+  obs::Metrics metrics;
+  std::string trace_json;
+  std::string folded;
+  u64 cycles = 0;
+  u64 instructions = 0;
+};
+
+RunResult run_with_recorder(compiler::Scheme scheme,
+                            obs::RecorderConfig config = {
+                                .metrics = true,
+                                .trace = true,
+                                .profile = true,
+                            }) {
+  const auto program = compiler::compile_ir(call_heavy_ir(), {.scheme = scheme});
+  obs::Recorder recorder(config);
+  kernel::MachineOptions options;
+  options.recorder = &recorder;
+  kernel::Machine machine(program, options);
+  machine.run();
+  EXPECT_EQ(machine.init_process().state, kernel::ProcessState::kExited);
+  return RunResult{recorder.metrics(), recorder.trace().to_chrome_json(),
+                   recorder.profile().folded(),
+                   machine.init_process().cycles(),
+                   machine.init_process().instructions()};
+}
+
+TEST(RecorderMachineTest, PacstackRunCountsPaAndChainEvents) {
+  const RunResult run = run_with_recorder(compiler::Scheme::kPacStack);
+
+  // 50 mid calls + 50 leaf calls, each a chain push (pacia CR) + pop
+  // (autia CR); the masked variants re-key through the scratch register.
+  EXPECT_GT(run.metrics.counter("pa.sign"), 0u);
+  EXPECT_GT(run.metrics.counter("pa.auth.ok"), 0u);
+  EXPECT_EQ(run.metrics.counter("pa.auth.fail"), 0u);
+  EXPECT_GT(run.metrics.counter("chain.push"), 0u);
+  EXPECT_GT(run.metrics.counter("chain.pop.ok"), 0u);
+  EXPECT_EQ(run.metrics.counter("chain.pop.fail"), 0u);
+  EXPECT_GT(run.metrics.counter("kernel.syscall"), 0u);  // the exit svc
+
+  // The counter shard mirrors the machine's own accounting exactly.
+  EXPECT_EQ(run.metrics.counter("sim.cycles"), run.cycles);
+  u64 instr_total = 0;
+  for (std::size_t i = 0; i < obs::kNumInstrClasses; ++i) {
+    instr_total += run.metrics.counter(
+        std::string("sim.instr.") +
+        obs::instr_class_name(static_cast<obs::InstrClass>(i)));
+  }
+  EXPECT_EQ(instr_total, run.instructions);
+
+  // The call-depth histogram saw every call.
+  const auto& depth = run.metrics.histograms().at("sim.call.depth");
+  EXPECT_GE(depth.total(), 100u);
+}
+
+TEST(RecorderMachineTest, BaselineRunHasNoPaActivity) {
+  const RunResult run = run_with_recorder(compiler::Scheme::kNone);
+  EXPECT_EQ(run.metrics.counter("pa.sign"), 0u);
+  EXPECT_EQ(run.metrics.counter("pa.auth.ok"), 0u);
+  EXPECT_EQ(run.metrics.counter("chain.push"), 0u);
+  EXPECT_GT(run.metrics.counter("sim.cycles"), 0u);
+}
+
+TEST(RecorderMachineTest, TraceContainsPacAndChainEvents) {
+  const RunResult run = run_with_recorder(compiler::Scheme::kPacStack);
+  EXPECT_NE(run.trace_json.find("\"pac_sign\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"pac_auth_ok\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"chain_push\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"chain_pop\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"syscall\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"process_name\""), std::string::npos);
+}
+
+TEST(RecorderMachineTest, ProfileAttributesCyclesToWorkloadFunctions) {
+  const RunResult run = run_with_recorder(compiler::Scheme::kPacStack);
+  EXPECT_NE(run.folded.find("leaf"), std::string::npos);
+  EXPECT_NE(run.folded.find("mid"), std::string::npos);
+  EXPECT_FALSE(run.folded.empty());
+}
+
+TEST(RecorderMachineTest, DisabledDimensionsStayEmpty) {
+  const RunResult run = run_with_recorder(
+      compiler::Scheme::kPacStack,
+      obs::RecorderConfig{.metrics = true, .trace = false, .profile = false});
+  EXPECT_GT(run.metrics.counter("pa.sign"), 0u);
+  EXPECT_TRUE(run.folded.empty());
+  // No tracks were created, so the trace document is structurally valid
+  // but empty.
+  EXPECT_EQ(run.trace_json.find("\"pac_sign\""), std::string::npos);
+}
+
+TEST(RecorderMachineTest, MetricsOffYieldsEmptyShard) {
+  const RunResult run = run_with_recorder(
+      compiler::Scheme::kPacStack,
+      obs::RecorderConfig{.metrics = false, .trace = false, .profile = true});
+  EXPECT_TRUE(run.metrics.empty());
+  EXPECT_FALSE(run.folded.empty());
+}
+
+TEST(RecorderMachineTest, IdenticalRunsProduceIdenticalObservations) {
+  const RunResult a = run_with_recorder(compiler::Scheme::kPacStack);
+  const RunResult b = run_with_recorder(compiler::Scheme::kPacStack);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.folded, b.folded);
+}
+
+TEST(RecorderTest, TraceDroppedCounterSurfacesRingWrap) {
+  obs::RecorderConfig config;
+  config.metrics = true;
+  config.trace = true;
+  config.ring_capacity = 2;
+  obs::Recorder recorder(config);
+  obs::TaskChannel* channel = recorder.attach(1, 1, "t");
+  for (u64 i = 0; i < 10; ++i) channel->chain_push(i);
+  EXPECT_EQ(recorder.metrics().counter("obs.trace.dropped"), 8u);
+  EXPECT_EQ(recorder.metrics().counter("chain.push"), 10u);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,73 @@
+#include "obs/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace acs::obs {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(RingBufferTest, KeepsInsertionOrderBelowCapacity) {
+  RingBuffer<int> ring(4);
+  ring.push(10);
+  ring.push(20);
+  ring.push(30);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.pushed(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{10, 20, 30}));
+}
+
+TEST(RingBufferTest, WrapKeepsNewestAndCountsDropped) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 10; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Oldest first, only the newest `capacity` survive.
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingBufferTest, ExactCapacityBoundary) {
+  RingBuffer<int> ring(3);
+  ring.push(1);
+  ring.push(2);
+  ring.push(3);  // fills the buffer exactly: nothing dropped yet
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{1, 2, 3}));
+  ring.push(4);  // first overwrite
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RingBufferTest, ZeroCapacityDropsEverything) {
+  RingBuffer<int> ring(0);
+  for (int i = 0; i < 5; ++i) ring.push(i);
+  EXPECT_EQ(ring.capacity(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 5u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(RingBufferTest, MultipleWraps) {
+  RingBuffer<int> ring(2);
+  for (int i = 0; i < 101; ++i) ring.push(i);
+  EXPECT_EQ(ring.pushed(), 101u);
+  EXPECT_EQ(ring.dropped(), 99u);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{99, 100}));
+}
+
+}  // namespace
+}  // namespace acs::obs

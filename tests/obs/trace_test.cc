@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace acs::obs {
+namespace {
+
+constexpr u64 kHz = 1'000'000;  // 1 cycle == 1 microsecond: easy timestamps
+
+using Track = TraceSink::Track;
+
+TEST(TraceSinkTest, EmptySinkIsValidDocument) {
+  const TraceSink sink(8, kHz);
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+}
+
+TEST(TraceSinkTest, MetadataNamesProcessAndThread) {
+  TraceSink sink(8, kHz);
+  sink.add_track(3, 7, "nginx-sim/pid3/tid7");
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"name\": \"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"nginx-sim/pid3/tid7\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 3, \"tid\": 7"), std::string::npos);
+}
+
+TEST(TraceSinkTest, InstantEventCarriesTimestampAndArgs) {
+  TraceSink sink(8, kHz);
+  Track* track = sink.add_track(1, 1, "t");
+  track->emit(EventKind::kPacSign, /*ts=*/5, /*a=*/0x400, /*b=*/0xBEEF);
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"name\": \"pac_sign\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"pa\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\", \"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 5.000"), std::string::npos);
+  EXPECT_NE(json.find("\"pc\": \"0x400\""), std::string::npos);
+  EXPECT_NE(json.find("\"modifier\": \"0xbeef\""), std::string::npos);
+}
+
+TEST(TraceSinkTest, SyscallIsASingleCompleteSpan) {
+  TraceSink sink(8, kHz);
+  Track* track = sink.add_track(1, 1, "t");
+  track->emit(EventKind::kSyscall, /*ts=*/100, /*a=*/42, /*b=*/0, /*dur=*/25);
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"name\": \"syscall\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\", \"dur\": 25.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 100.000"), std::string::npos);
+  EXPECT_NE(json.find("\"num\": 42"), std::string::npos);
+  // Complete spans never need a matching end event, so a ring wrap can
+  // never leave the trace unbalanced.
+  EXPECT_EQ(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"E\""), std::string::npos);
+}
+
+TEST(TraceSinkTest, RingWrapIsReportedInOtherData) {
+  TraceSink sink(4, kHz);
+  Track* track = sink.add_track(1, 1, "t");
+  for (u64 i = 0; i < 10; ++i) {
+    track->emit(EventKind::kChainPush, i, i);
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"dropped_events\": 6"), std::string::npos);
+  // The retained events are the newest four: ts 6..9 survive, ts 0 gone.
+  EXPECT_NE(json.find("\"ts\": 9.000"), std::string::npos);
+  EXPECT_EQ(json.find("\"ts\": 0.000"), std::string::npos);
+}
+
+TEST(TraceSinkTest, TracksRenderInCreationOrder) {
+  TraceSink sink(4, kHz);
+  sink.add_track(1, 1, "first");
+  sink.add_track(1, 2, "second");
+  const std::string json = sink.to_chrome_json();
+  const auto first = json.find("\"first\"");
+  const auto second = json.find("\"second\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
+
+}  // namespace
+}  // namespace acs::obs

@@ -18,6 +18,8 @@
 #include "compiler/codegen.h"
 #include "kernel/backtrace.h"
 #include "kernel/machine.h"
+#include "obs/recorder.h"
+#include "sim/cycle_model.h"
 #include "sim/disasm.h"
 #include "workload/confirm_suite.h"
 #include "workload/nginx_sim.h"
@@ -34,8 +36,8 @@ struct Options {
   bool latency_costs = false;
   bool disasm = false;
   bool list = false;
-  std::size_t trace = 64;
-  bench::BenchOptions bench;  ///< uniform --json/--threads flags
+  std::size_t crash_trace = 64;
+  bench::BenchOptions bench;  ///< uniform --json/--threads/--trace flags
 };
 
 void print_usage() {
@@ -47,8 +49,14 @@ void print_usage() {
       "  --seed <n>             machine seed / PA keys (default: 1)\n"
       "  --costs <eff|latency>  cycle model (default: effective)\n"
       "  --disasm               print the generated code before running\n"
-      "  --trace <n>            crash-trace depth (default: 64)\n"
-      "  --json <path>          write machine-readable results "
+      "  --crash-trace <n>      crash-trace depth (default: 64)\n"
+      "  --trace <path>         write a Chrome trace-event JSON file of the\n"
+      "                         run (open in https://ui.perfetto.dev)\n"
+      "  --profile <path>       write a folded-stack (flamegraph) cycle "
+      "profile\n"
+      "  --json <path>          write machine-readable results, including "
+      "the\n"
+      "                         \"obs\" metrics section "
       "(docs/bench-output.md)\n"
       "  --threads <n>          accepted for bench-flag uniformity; recorded "
       "in the JSON\n"
@@ -111,7 +119,25 @@ int run(const Options& options) {
   machine_options.seed = options.seed;
   machine_options.costs = options.latency_costs ? sim::latency_costs()
                                                 : sim::effective_costs();
-  machine_options.trace_depth = options.trace;
+  machine_options.trace_depth = options.crash_trace;
+
+  // Observability: one recorder for the whole machine, dimensions gated on
+  // the requested sinks (none requested = hooks stay null-check-only).
+  const bool want_metrics = !options.bench.json_path.empty();
+  const bool want_trace = !options.bench.trace_path.empty();
+  const bool want_profile = !options.bench.profile_path.empty();
+  std::optional<obs::Recorder> recorder;
+  if (want_metrics || want_trace || want_profile) {
+    obs::RecorderConfig rc;
+    rc.metrics = want_metrics;
+    rc.trace = want_trace;
+    rc.profile = want_profile;
+    rc.sim_hz = sim::kSimulatedHz;
+    rc.process_label = "acs-run/" + options.workload;
+    recorder.emplace(rc);
+    machine_options.recorder = &*recorder;
+  }
+
   bench::BenchReporter reporter("acs_run_" + options.workload, options.bench,
                                 options.seed);
   kernel::Machine machine(program, machine_options);
@@ -161,6 +187,25 @@ int run(const Options& options) {
       }
     }
   }
+  if (recorder.has_value()) {
+    if (want_metrics) reporter.set_obs_metrics(recorder->metrics());
+    if (want_trace) {
+      if (!bench::write_file(options.bench.trace_path,
+                             recorder->trace().to_chrome_json(),
+                             "acs-run --trace")) {
+        return exit_code == 0 ? 1 : exit_code;
+      }
+      std::printf("[trace] wrote %s\n", options.bench.trace_path.c_str());
+    }
+    if (want_profile) {
+      if (!bench::write_file(options.bench.profile_path,
+                             recorder->profile().folded(),
+                             "acs-run --profile")) {
+        return exit_code == 0 ? 1 : exit_code;
+      }
+      std::printf("[profile] wrote %s\n", options.bench.profile_path.c_str());
+    }
+  }
   if (!reporter.finish()) return exit_code == 0 ? 1 : exit_code;
   return exit_code;
 }
@@ -195,8 +240,16 @@ int main(int argc, char** argv) {
       options.latency_costs = std::strcmp(next(), "latency") == 0;
     } else if (arg == "--disasm") {
       options.disasm = true;
+    } else if (arg == "--crash-trace") {
+      options.crash_trace = std::strtoull(next(), nullptr, 0);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.bench.trace_path = arg.substr(8);
     } else if (arg == "--trace") {
-      options.trace = std::strtoull(next(), nullptr, 0);
+      options.bench.trace_path = next();
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      options.bench.profile_path = arg.substr(10);
+    } else if (arg == "--profile") {
+      options.bench.profile_path = next();
     } else if (arg == "--smoke") {
       options.bench.smoke = true;  // nothing to shrink; recorded in the JSON
     } else if (arg.rfind("--json=", 0) == 0) {

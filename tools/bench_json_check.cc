@@ -1,12 +1,19 @@
-// bench_json_check — validates a BENCH_*.json trajectory produced by the
-// bench harness (schema: docs/bench-output.md). Used by the bench_smoke
-// ctest targets; exits 0 iff the file parses as JSON and carries every
-// required key with the right type. No third-party JSON dependency: the
-// parser below covers the full JSON grammar in ~100 lines.
+// bench_json_check — validates machine-readable observability/bench output.
+// Used by the bench_smoke and obs ctest targets; exits 0 iff every file
+// passes. No third-party JSON dependency: the parser below covers the full
+// JSON grammar in ~100 lines.
 //
-//   bench_json_check PATH [PATH...]
+//   bench_json_check PATH [PATH...]            BENCH_*.json trajectories
+//                                              (schema: docs/bench-output.md,
+//                                               incl. the optional "obs"
+//                                               metrics section)
+//   bench_json_check --trace-file PATH [...]   Chrome trace-event JSON files
+//                                              (docs/observability.md)
+//   bench_json_check --folded-file PATH [...]  folded-stack profiles
+//                                              ("frame;frame cycles" lines)
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -211,6 +218,100 @@ const Value* find(const Object& object, const std::string& key) {
   return it == object.end() ? nullptr : &it->second;
 }
 
+/// Array of numbers check; returns the element count via `n`.
+bool numeric_array(const Value* v, std::size_t& n) {
+  const Array* list = v == nullptr ? nullptr : v->array();
+  if (list == nullptr) return false;
+  for (const Value& e : *list) {
+    if (!e.is_number()) return false;
+  }
+  n = list->size();
+  return true;
+}
+
+/// Validate the optional "obs" section (src/obs metrics registry dump):
+/// {"counters": {name: number}, "histograms": {name: {"edges": [...],
+/// "counts": [...]}}} with counts one longer than edges (overflow bucket).
+std::string check_obs_section(const Value& obs) {
+  const Object* top = obs.object();
+  if (top == nullptr) return "'obs' is not an object";
+
+  const Value* counters = find(*top, "counters");
+  if (counters == nullptr || counters->object() == nullptr) {
+    return "'obs.counters' missing or not an object";
+  }
+  for (const auto& [name, value] : *counters->object()) {
+    if (!value.is_number()) {
+      return "'obs.counters." + name + "' is not a number";
+    }
+  }
+
+  const Value* histograms = find(*top, "histograms");
+  if (histograms == nullptr || histograms->object() == nullptr) {
+    return "'obs.histograms' missing or not an object";
+  }
+  for (const auto& [name, value] : *histograms->object()) {
+    const std::string where = "'obs.histograms." + name + "'";
+    const Object* hist = value.object();
+    if (hist == nullptr) return where + " is not an object";
+    std::size_t n_edges = 0, n_counts = 0;
+    if (!numeric_array(find(*hist, "edges"), n_edges)) {
+      return where + " lacks numeric array 'edges'";
+    }
+    if (!numeric_array(find(*hist, "counts"), n_counts)) {
+      return where + " lacks numeric array 'counts'";
+    }
+    if (n_counts != n_edges + 1) {
+      return where + " counts/edges size mismatch (want edges+1 buckets)";
+    }
+  }
+  return {};
+}
+
+/// Validate a Chrome trace-event JSON document (the --trace output of the
+/// benches and acs-run): {"traceEvents": [...]} where every event carries
+/// a string name/ph, integer pid/tid, and — except for "M" metadata — a
+/// numeric ts; complete events ("X") also need a numeric dur.
+std::string check_trace_schema(const Value& root, std::size_t& n_events) {
+  const Object* top = root.object();
+  if (top == nullptr) return "top level is not an object";
+  const Value* events = find(*top, "traceEvents");
+  if (events == nullptr) return "missing key 'traceEvents'";
+  const Array* list = events->array();
+  if (list == nullptr) return "'traceEvents' is not an array";
+  n_events = list->size();
+  for (std::size_t i = 0; i < list->size(); ++i) {
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    const Object* event = (*list)[i].object();
+    if (event == nullptr) return where + " is not an object";
+    const Value* name = find(*event, "name");
+    if (name == nullptr || !name->is_string()) {
+      return where + " lacks string 'name'";
+    }
+    const Value* ph = find(*event, "ph");
+    if (ph == nullptr || !ph->is_string()) return where + " lacks string 'ph'";
+    const std::string& phase = std::get<std::string>(ph->data);
+    for (const char* key : {"pid", "tid"}) {
+      const Value* v = find(*event, key);
+      if (v == nullptr || !v->is_number()) {
+        return where + " lacks numeric '" + key + "'";
+      }
+    }
+    if (phase == "M") continue;  // metadata events carry no timestamp
+    const Value* ts = find(*event, "ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return where + " lacks numeric 'ts'";
+    }
+    if (phase == "X") {
+      const Value* dur = find(*event, "dur");
+      if (dur == nullptr || !dur->is_number()) {
+        return where + " (complete event) lacks numeric 'dur'";
+      }
+    }
+  }
+  return {};
+}
+
 /// Validate one trajectory file against the docs/bench-output.md schema.
 /// Returns an empty string on success, else the reason.
 std::string check_schema(const Value& root) {
@@ -237,6 +338,11 @@ std::string check_schema(const Value& root) {
     }
   }
 
+  if (const Value* obs = find(*top, "obs")) {
+    std::string error = check_obs_section(*obs);
+    if (!error.empty()) return error;
+  }
+
   const Value* metrics = find(*top, "metrics");
   if (metrics == nullptr) return "missing key 'metrics'";
   const Array* list = metrics->array();
@@ -261,18 +367,25 @@ std::string check_schema(const Value& root) {
   return {};
 }
 
-int check_file(const char* path) {
+bool slurp(const char* path, std::string& out) {
   std::ifstream file(path, std::ios::in | std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "%s: cannot open\n", path);
-    return 1;
+    return false;
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int check_file(const char* path) {
+  std::string body;
+  if (!slurp(path, body)) return 1;
 
   std::string error;
   try {
-    const Value root = Parser(buffer.str()).parse();
+    const Value root = Parser(body).parse();
     error = check_schema(root);
     if (error.empty()) {
       const std::size_t metric_count = root.object()
@@ -289,14 +402,78 @@ int check_file(const char* path) {
   return 1;
 }
 
+int check_trace_file(const char* path) {
+  std::string body;
+  if (!slurp(path, body)) return 1;
+
+  std::string error;
+  std::size_t n_events = 0;
+  try {
+    const Value root = Parser(body).parse();
+    error = check_trace_schema(root, n_events);
+    if (error.empty()) {
+      std::printf("%s: ok (%zu trace events)\n", path, n_events);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    error = std::string("JSON parse error: ") + e.what();
+  }
+  std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+  return 1;
+}
+
+/// Folded-stack profile: every non-empty line is "frame[;frame...] cycles"
+/// with a non-empty stack and an unsigned integer sample count — exactly
+/// what flamegraph.pl / speedscope accept.
+int check_folded_file(const char* path) {
+  std::string body;
+  if (!slurp(path, body)) return 1;
+
+  std::istringstream lines(body);
+  std::string line;
+  std::size_t line_no = 0, n_stacks = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      std::fprintf(stderr, "%s:%zu: no 'stack cycles' separator\n", path,
+                   line_no);
+      return 1;
+    }
+    const std::string count = line.substr(space + 1);
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "%s:%zu: sample count '%s' is not an unsigned "
+                   "integer\n",
+                   path, line_no, count.c_str());
+      return 1;
+    }
+    ++n_stacks;
+  }
+  std::printf("%s: ok (%zu folded stacks)\n", path, n_stacks);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: bench_json_check PATH [PATH...]\n");
+  int (*check)(const char*) = check_file;
+  int first = 1;
+  if (argc >= 2 && std::strcmp(argv[1], "--trace-file") == 0) {
+    check = check_trace_file;
+    first = 2;
+  } else if (argc >= 2 && std::strcmp(argv[1], "--folded-file") == 0) {
+    check = check_folded_file;
+    first = 2;
+  }
+  if (first >= argc) {
+    std::fprintf(stderr,
+                 "usage: bench_json_check [--trace-file|--folded-file] "
+                 "PATH [PATH...]\n");
     return 2;
   }
   int rc = 0;
-  for (int i = 1; i < argc; ++i) rc |= check_file(argv[i]);
+  for (int i = first; i < argc; ++i) rc |= check(argv[i]);
   return rc;
 }

@@ -1,0 +1,51 @@
+# Obs smoke: run one binary with --json/--trace/--profile and validate all
+# three artifacts with bench_json_check (schema, --trace-file, --folded-file).
+# Inputs: -DBENCH=<binary> [-DBENCH_ARGS=a;b;c] -DCHECKER=<bench_json_check>
+#         -DOUT=<output path stem>   (writes OUT.json / OUT.trace.json /
+#                                     OUT.folded)
+
+if(NOT DEFINED BENCH OR NOT DEFINED CHECKER OR NOT DEFINED OUT)
+  message(FATAL_ERROR "run_obs_smoke.cmake needs BENCH, CHECKER and OUT")
+endif()
+
+set(json "${OUT}.json")
+set(trace "${OUT}.trace.json")
+set(folded "${OUT}.folded")
+file(REMOVE "${json}" "${trace}" "${folded}")
+
+execute_process(
+  COMMAND "${BENCH}" ${BENCH_ARGS} --smoke "--json=${json}"
+          "--trace=${trace}" "--profile=${folded}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err
+)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} exited with ${bench_rc}\nstdout:\n${bench_out}\n"
+          "stderr:\n${bench_err}")
+endif()
+
+foreach(artifact IN ITEMS "${json}" "${trace}" "${folded}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "${BENCH} did not write ${artifact}")
+  endif()
+endforeach()
+
+function(validate artifact)  # extra args = bench_json_check mode flag
+  execute_process(
+    COMMAND "${CHECKER}" ${ARGN} "${artifact}"
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err
+  )
+  if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_json_check rejected ${artifact}:\n${check_out}${check_err}")
+  endif()
+  message(STATUS "${artifact} validated: ${check_out}")
+endfunction()
+
+validate("${json}")
+validate("${trace}" --trace-file)
+validate("${folded}" --folded-file)
