@@ -161,10 +161,29 @@ bool write_file(const std::string& path, const std::string& body,
   return true;
 }
 
+namespace {
+
+/// {"name": count, ...} with std::map (sorted-key) iteration order.
+[[nodiscard]] std::string counter_map_json(
+    const std::map<std::string, u64>& counters) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, count] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + escape_json(name) + "\": " + std::to_string(count);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 std::string to_json(const std::string& bench_name,
                     const BenchOptions& options, u64 base_seed,
                     const std::vector<Metric>& metrics,
-                    double wall_seconds, const obs::Metrics* obs_metrics) {
+                    double wall_seconds, const obs::Metrics* obs_metrics,
+                    const FaultSection* faults) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -178,6 +197,21 @@ std::string to_json(const std::string& bench_name,
     // Deterministic (integer counters, std::map order, fixed merge order):
     // this section is bitwise identical for every --threads value.
     out += "  \"obs\": " + obs_metrics->to_json(2) + ",\n";
+  }
+  if (faults != nullptr) {
+    // Integer counters in fixed (sorted-key / trial) order — like "obs",
+    // bitwise identical for every --threads value.
+    out += "  \"faults\": {\n";
+    out += "    \"injected\": " + counter_map_json(faults->injected) + ",\n";
+    out += "    \"crashes\": " + counter_map_json(faults->crashes) + ",\n";
+    out += "    \"restarts\": " + std::to_string(faults->restarts) + ",\n";
+    out += "    \"guess_attempts\": " + std::to_string(faults->guess_attempts) +
+           ",\n";
+    out += "    \"guess_successes\": " +
+           std::to_string(faults->guess_successes) + ",\n";
+    out += "    \"backoff_cycles\": " + std::to_string(faults->backoff_cycles) +
+           "\n";
+    out += "  },\n";
   }
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
@@ -215,6 +249,11 @@ void BenchReporter::set_obs_metrics(obs::Metrics metrics) {
   has_obs_metrics_ = true;
 }
 
+void BenchReporter::set_fault_section(FaultSection faults) {
+  fault_section_ = std::move(faults);
+  has_fault_section_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -223,7 +262,8 @@ bool BenchReporter::finish() {
       static_cast<double>(now_ns() - start_ns_) * 1e-9;
   const std::string body =
       to_json(bench_name_, options_, base_seed_, metrics_, wall_seconds,
-              has_obs_metrics_ ? &obs_metrics_ : nullptr);
+              has_obs_metrics_ ? &obs_metrics_ : nullptr,
+              has_fault_section_ ? &fault_section_ : nullptr);
   if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;

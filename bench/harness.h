@@ -22,6 +22,7 @@
 // is an *additional* sink fed through BenchReporter::record.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,18 @@ struct Metric {
   double stddev = 0;   ///< sample stddev across trials (0 = n/a)
 };
 
+/// Fault-injection campaign totals, emitted as the "faults" section of the
+/// JSON trajectory (see docs/bench-output.md). Integer counters aggregated
+/// in fixed trial order — bitwise identical for every --threads value.
+struct FaultSection {
+  std::map<std::string, u64> injected;  ///< delivered, by inject kind name
+  std::map<std::string, u64> crashes;   ///< worker crashes, by sim fault name
+  u64 restarts = 0;
+  u64 guess_attempts = 0;
+  u64 guess_successes = 0;
+  u64 backoff_cycles = 0;
+};
+
 /// Collects metrics during a bench run and writes the machine-readable
 /// trajectory on finish(). Wall-clock time is measured from construction
 /// to finish(). Table/stdout output is unaffected: record() only feeds the
@@ -75,6 +88,10 @@ class BenchReporter {
   /// section of the JSON trajectory; see docs/bench-output.md).
   void set_obs_metrics(obs::Metrics metrics);
 
+  /// Attach the fault-injection campaign totals (emitted as the "faults"
+  /// section of the JSON trajectory).
+  void set_fault_section(FaultSection faults);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -91,18 +108,22 @@ class BenchReporter {
   std::vector<Metric> metrics_;
   obs::Metrics obs_metrics_;
   bool has_obs_metrics_ = false;
+  FaultSection fault_section_;
+  bool has_fault_section_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
 
 /// Serialise a trajectory to the docs/bench-output.md JSON schema.
 /// Exposed separately so tests can check the encoding without touching the
-/// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section.
+/// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section;
+/// `faults` (may be nullptr) adds the "faults" section.
 [[nodiscard]] std::string to_json(const std::string& bench_name,
                                   const BenchOptions& options, u64 base_seed,
                                   const std::vector<Metric>& metrics,
                                   double wall_seconds,
-                                  const obs::Metrics* obs_metrics = nullptr);
+                                  const obs::Metrics* obs_metrics = nullptr,
+                                  const FaultSection* faults = nullptr);
 
 /// Write `body` to `path` (truncating); on failure prints to stderr and
 /// returns false. Used for the --json/--trace/--profile sinks.

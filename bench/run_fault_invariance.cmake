@@ -1,0 +1,48 @@
+# Pins the determinism contract of bench_fault_availability: the JSON
+# trajectory — including the integer "faults" and "obs" sections — must be
+# bitwise identical for --threads 1, 2 and 8. Only the wall_seconds line
+# (host timing) may differ, so it is stripped before comparing.
+# Inputs: -DBENCH=<bench_fault_availability> -DJSON_DIR=<scratch dir>
+
+if(NOT DEFINED BENCH OR NOT DEFINED JSON_DIR)
+  message(FATAL_ERROR "run_fault_invariance.cmake needs BENCH and JSON_DIR")
+endif()
+
+set(reference "")
+foreach(threads 1 2 8)
+  set(json "${JSON_DIR}/BENCH_fault_invariance_t${threads}.json")
+  file(REMOVE "${json}")
+  execute_process(
+    COMMAND "${BENCH}" --smoke "--threads=${threads}" "--json=${json}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err
+  )
+  if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH} --threads=${threads} exited with ${bench_rc}\n"
+            "stdout:\n${bench_out}\nstderr:\n${bench_err}")
+  endif()
+  if(NOT EXISTS "${json}")
+    message(FATAL_ERROR "${BENCH} did not write ${json}")
+  endif()
+
+  # Strip host timing (wall_seconds) and the echoed thread count — the
+  # only lines allowed to differ between runs.
+  file(READ "${json}" body)
+  string(REGEX REPLACE "\n *\"wall_seconds\":[^\n]*" "" body "${body}")
+  string(REGEX REPLACE "\n *\"threads\":[^\n]*" "" body "${body}")
+
+  if(reference STREQUAL "")
+    set(reference "${body}")
+    set(reference_threads ${threads})
+  elseif(NOT body STREQUAL reference)
+    message(FATAL_ERROR
+            "trajectory differs between --threads=${reference_threads} and "
+            "--threads=${threads}: determinism contract violated "
+            "(see ${json})")
+  endif()
+endforeach()
+
+message(STATUS "bench_fault_availability trajectories identical for "
+               "--threads 1/2/8")

@@ -14,6 +14,7 @@ set(ACS_SMOKE_BENCHES
   bench_confirm
   bench_reuse
   bench_ablation
+  bench_fault_availability
   bench_micro_pa
   bench_obs_overhead
 )
@@ -28,6 +29,17 @@ foreach(bench_name IN LISTS ACS_SMOKE_BENCHES)
   set_tests_properties(bench_smoke_${bench_name} PROPERTIES
                        LABELS "bench_smoke" TIMEOUT 300)
 endforeach()
+
+# Thread-invariance pin for the fault-injection campaign: the trajectory
+# (including the "faults" and "obs" sections) must be bitwise identical at
+# --threads 1, 2 and 8 once the wall_seconds line is stripped.
+add_test(NAME bench_fault_invariance
+         COMMAND ${CMAKE_COMMAND}
+                 -DBENCH=$<TARGET_FILE:bench_fault_availability>
+                 -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_fault_invariance.cmake)
+set_tests_properties(bench_fault_invariance PROPERTIES
+                     LABELS "bench_smoke" TIMEOUT 600)
 
 # acs-run emits the same schema through its own flag parser.
 add_test(NAME bench_smoke_acs_run

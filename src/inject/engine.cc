@@ -1,0 +1,43 @@
+#include "inject/engine.h"
+
+#include <algorithm>
+
+namespace acs::inject {
+
+unsigned TaskInjector::guess_window() const noexcept {
+  return engine_->guess_window();
+}
+
+void TaskInjector::record(FaultKind kind, bool guess_success) noexcept {
+  engine_->record(kind, guess_success);
+}
+
+Engine::Engine(Config config)
+    : cpu_cursor_(this), guess_window_(config.guess_window) {
+  for (const PlannedFault& fault : config.plan) {
+    (is_cpu_level(fault.kind) ? cpu_cursor_.faults_ : kernel_faults_)
+        .push_back(fault);
+  }
+  const auto by_time = [](const PlannedFault& a, const PlannedFault& b) {
+    return a.at_instr < b.at_instr;
+  };
+  std::stable_sort(cpu_cursor_.faults_.begin(), cpu_cursor_.faults_.end(),
+                   by_time);
+  std::stable_sort(kernel_faults_.begin(), kernel_faults_.end(), by_time);
+}
+
+TaskInjector* Engine::attach() noexcept {
+  if (attached_) return nullptr;
+  attached_ = true;
+  return &cpu_cursor_;
+}
+
+void Engine::record(FaultKind kind, bool guess_success) noexcept {
+  ++summary_.injected[static_cast<std::size_t>(kind)];
+  if (kind == FaultKind::kChainCorrupt) {
+    ++summary_.guess_attempts;
+    if (guess_success) ++summary_.guess_successes;
+  }
+}
+
+}  // namespace acs::inject

@@ -1,0 +1,132 @@
+// The fault-injection engine: cursors over a plan plus outcome counters.
+//
+// One Engine serves one simulated machine (machines are sequential; no
+// locking). Attachment mirrors obs::Recorder: kernel::MachineOptions holds
+// an `inject::Engine*` that defaults to nullptr, the machine hands the
+// engine's CPU-level cursor to the first created hart via
+// sim::Cpu::set_injector, and every hook site in the hot path is a single
+// never-taken null check when no engine is attached.
+//
+// The engine also keeps the campaign summary: how many faults of each
+// kind were actually delivered, and — for kChainCorrupt, the Section 6.1
+// guessing adversary — how many guesses were attempted and how many hit
+// the live PAC field. Campaigns merge summaries in trial order.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+#include "inject/plan.h"
+
+namespace acs::inject {
+
+/// Delivered-fault counters for one machine (or one merged campaign).
+struct Summary {
+  std::array<u64, kNumFaultKinds> injected{};  ///< indexed by FaultKind
+  u64 guess_attempts = 0;   ///< kChainCorrupt faults delivered
+  u64 guess_successes = 0;  ///< guesses that matched the live PAC field
+
+  void merge(const Summary& other) noexcept {
+    for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+      injected[i] += other.injected[i];
+    }
+    guess_attempts += other.guess_attempts;
+    guess_successes += other.guess_successes;
+  }
+
+  [[nodiscard]] u64 total_injected() const noexcept {
+    u64 total = 0;
+    for (const u64 n : injected) total += n;
+    return total;
+  }
+};
+
+class Engine;
+
+/// CPU-level cursor: owned by the Engine, installed on one hart. The hart
+/// polls `due()` once per step (two loads and a compare when armed) and
+/// applies the fault itself — the CPU has the architectural knowledge, the
+/// cursor only sequences the plan and records outcomes.
+class TaskInjector {
+ public:
+  [[nodiscard]] bool due(u64 instr, u64 call_depth) const noexcept {
+    if (next_ >= faults_.size()) return false;
+    const PlannedFault& fault = faults_[next_];
+    if (instr < fault.at_instr) return false;
+    return call_depth >= fault.min_depth ||
+           instr >= fault.at_instr + kDepthGrace;
+  }
+
+  /// The due fault, without consuming it — lets the hart defer kinds that
+  /// need a particular architectural moment (kChainCorrupt waits for a
+  /// call instruction, where the chain register is guaranteed live).
+  [[nodiscard]] const PlannedFault& peek() const noexcept {
+    return faults_[next_];
+  }
+
+  /// The fault to apply now; advances the cursor.
+  [[nodiscard]] const PlannedFault& take() noexcept {
+    return faults_[next_++];
+  }
+
+  /// PAC-field guess width (bits) for kChainCorrupt faults.
+  [[nodiscard]] unsigned guess_window() const noexcept;
+
+  /// Record a delivered fault (guess_success only meaningful for
+  /// kChainCorrupt).
+  void record(FaultKind kind, bool guess_success = false) noexcept;
+
+ private:
+  friend class Engine;
+  explicit TaskInjector(Engine* engine) : engine_(engine) {}
+
+  Engine* engine_;
+  std::vector<PlannedFault> faults_;
+  std::size_t next_ = 0;
+};
+
+class Engine {
+ public:
+  struct Config {
+    std::vector<PlannedFault> plan;  ///< any order; split and sorted here
+    /// Width (bits) of the CR PAC-field window a kChainCorrupt guess
+    /// targets. Small windows model the paper's partial-pointer reuse
+    /// setting where the effective guess space is b bits (Section 6.1).
+    unsigned guess_window = 4;
+  };
+
+  explicit Engine(Config config);
+
+  /// The CPU-level cursor for the machine's first hart; the machine calls
+  /// this once at task creation. Subsequent calls return nullptr (worker
+  /// processes are single-hart; one victim hart keeps plans exact).
+  [[nodiscard]] TaskInjector* attach() noexcept;
+
+  /// Kernel-level cursor, polled per scheduling slice against the
+  /// process's instruction clock.
+  [[nodiscard]] bool kernel_due(u64 instr) const noexcept {
+    return kernel_next_ < kernel_faults_.size() &&
+           instr >= kernel_faults_[kernel_next_].at_instr;
+  }
+  [[nodiscard]] const PlannedFault& kernel_take() noexcept {
+    return kernel_faults_[kernel_next_++];
+  }
+
+  void record(FaultKind kind, bool guess_success = false) noexcept;
+
+  [[nodiscard]] unsigned guess_window() const noexcept {
+    return guess_window_;
+  }
+  [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
+
+ private:
+  TaskInjector cpu_cursor_;
+  std::vector<PlannedFault> kernel_faults_;
+  std::size_t kernel_next_ = 0;
+  unsigned guess_window_;
+  bool attached_ = false;
+  Summary summary_;
+};
+
+}  // namespace acs::inject

@@ -1,0 +1,45 @@
+#include "inject/plan.h"
+
+namespace acs::inject {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kRetSlotBitflip: return "ret-slot-bitflip";
+    case FaultKind::kChainCorrupt: return "chain-corrupt";
+    case FaultKind::kInstrSkip: return "instr-skip";
+    case FaultKind::kKeyPerturb: return "key-perturb";
+    case FaultKind::kSigFrameTrash: return "sig-frame-trash";
+    case FaultKind::kBudgetExhaust: return "budget-exhaust";
+  }
+  return "unknown";
+}
+
+std::vector<PlannedFault> make_plan(const PlanConfig& config) {
+  std::vector<PlannedFault> plan;
+  if (config.mean_interval == 0 || config.horizon == 0) return plan;
+
+  static constexpr FaultKind kAllKinds[] = {
+      FaultKind::kRetSlotBitflip, FaultKind::kChainCorrupt,
+      FaultKind::kInstrSkip,      FaultKind::kKeyPerturb,
+      FaultKind::kSigFrameTrash,  FaultKind::kBudgetExhaust,
+  };
+
+  Rng rng(config.seed);
+  u64 t = 0;
+  for (;;) {
+    t += 1 + rng.next_below(2 * config.mean_interval);
+    if (t >= config.horizon) break;
+    PlannedFault fault;
+    fault.at_instr = t;
+    fault.kind = config.kinds.empty()
+                     ? kAllKinds[rng.next_below(kNumFaultKinds)]
+                     : config.kinds[rng.next_below(config.kinds.size())];
+    fault.min_depth =
+        config.max_depth == 0 ? 0 : rng.next_below(config.max_depth);
+    fault.payload = rng.next();
+    plan.push_back(fault);
+  }
+  return plan;
+}
+
+}  // namespace acs::inject

@@ -1,0 +1,85 @@
+// Deterministic fault-injection plans (docs/fault-injection.md).
+//
+// A plan is a sorted list of faults to deliver at exact points of a
+// simulated execution: "at instruction N, once the call depth reaches D,
+// do X". Plans are pure functions of a seed, so a campaign that derives
+// its plan seeds through exec::trial_seed is bitwise identical for any
+// host thread count — a fault campaign replays exactly, crash for crash.
+//
+// The kinds split into two delivery levels:
+//   * CPU-level kinds fire inside sim::Cpu::step() at a precise retired-
+//     instruction count (and optionally a minimum call depth), mutating
+//     architectural state just before the next instruction executes;
+//   * kernel-level kinds fire from kernel::Machine's scheduler loop at a
+//     process-instruction threshold, using kernel powers (key material,
+//     signal frames, the kill path) the CPU does not have.
+//
+// `inject` depends only on acs_common; the sim and kernel layers interpret
+// the plan themselves, mirroring how src/obs stays dependency-free.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace acs::inject {
+
+enum class FaultKind : u8 {
+  // CPU-level (applied by sim::Cpu at an exact instruction count).
+  kRetSlotBitflip,  ///< flip one bit in a stack slot near SP (payload picks
+                    ///< slot and bit) — a rowhammer/soft-error stand-in
+  kChainCorrupt,    ///< write a PAC-field guess into CR (the Section 6.1
+                    ///< guessing adversary; payload is the guess value)
+  kInstrSkip,       ///< skip the next instruction (fault-skip attack model)
+  // Kernel-level (applied by kernel::Machine between scheduling slices).
+  kKeyPerturb,      ///< regenerate the process's PA keys mid-run (payload
+                    ///< seeds the replacement key set)
+  kSigFrameTrash,   ///< overwrite the saved-PC word of the newest signal
+                    ///< frame (sigreturn-oriented corruption)
+  kBudgetExhaust,   ///< exhaust the instruction budget: the kernel kills the
+                    ///< process with sim::FaultKind::kInstrBudget
+};
+
+inline constexpr std::size_t kNumFaultKinds = 6;
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// True for kinds sim::Cpu applies in step(); false for the kernel kinds.
+[[nodiscard]] constexpr bool is_cpu_level(FaultKind kind) noexcept {
+  return kind == FaultKind::kRetSlotBitflip ||
+         kind == FaultKind::kChainCorrupt || kind == FaultKind::kInstrSkip;
+}
+
+/// One planned fault. `at_instr` is the delivering clock's instruction
+/// count (per-hart for CPU-level kinds, per-process for kernel-level). A
+/// non-zero `min_depth` delays a CPU-level fault until the hart's call
+/// depth reaches it — so e.g. a chain corruption lands while return
+/// addresses actually sit on the stack; kDepthGrace bounds the wait.
+struct PlannedFault {
+  u64 at_instr = 0;
+  u64 min_depth = 0;
+  FaultKind kind = FaultKind::kInstrSkip;
+  u64 payload = 0;
+};
+
+/// If `min_depth` was not reached within this many instructions past
+/// `at_instr`, the fault fires anyway (the program may never call that
+/// deep). Deterministic: depends only on the instruction clock.
+inline constexpr u64 kDepthGrace = 4096;
+
+struct PlanConfig {
+  u64 seed = 1;
+  u64 horizon = 1'000'000;   ///< instructions covered by the plan
+  u64 mean_interval = 0;     ///< mean instructions between faults (0 = none)
+  u64 max_depth = 4;         ///< min_depth is drawn from [0, max_depth)
+  /// Kinds to draw from (uniformly); empty = all six kinds.
+  std::vector<FaultKind> kinds;
+};
+
+/// Build a plan: fault times are a renewal process with inter-arrival
+/// uniform in [1, 2*mean_interval], kinds/depths/payloads drawn from the
+/// seeded RNG. Sorted by `at_instr`; pure function of the config.
+[[nodiscard]] std::vector<PlannedFault> make_plan(const PlanConfig& config);
+
+}  // namespace acs::inject

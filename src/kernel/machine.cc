@@ -5,6 +5,7 @@
 
 #include "crypto/keys.h"
 #include "core/chain.h"
+#include "inject/engine.h"
 #include "obs/recorder.h"
 #include "sim/disasm.h"
 
@@ -126,6 +127,11 @@ Task& Machine::create_task(Process& process, u64 entry_pc, u64 arg,
         "pid" + std::to_string(process.pid()) + "/tid" + std::to_string(tid));
     cpu.set_observer(task->obs);
   }
+  if (options_.injector != nullptr) {
+    // The engine hands its CPU-level cursor to the first hart only, so a
+    // plan's instruction counts stay exact on one victim hart.
+    cpu.set_injector(options_.injector->attach());
+  }
   process.tasks.push_back(std::move(task));
   return *process.tasks.back();
 }
@@ -174,6 +180,54 @@ void Machine::kill_process(Process& process, const sim::Fault& fault,
     }
   }
   for (auto& task : process.tasks) task->state = TaskState::kExited;
+}
+
+void Machine::apply_kernel_fault(Process& process, Task& task) {
+  const inject::PlannedFault fault = options_.injector->kernel_take();
+  options_.injector->record(fault.kind);
+  sim::Cpu& cpu = task.cpu();
+  if (task.obs != nullptr) {
+    task.obs->fault_injected(static_cast<u64>(fault.kind), fault.payload,
+                             cpu.cycles());
+  }
+  switch (fault.kind) {
+    case inject::FaultKind::kKeyPerturb: {
+      // Mid-run key corruption: the process's PA keys are replaced, so
+      // everything signed under the old keys stops authenticating. The
+      // harts keep their pointer into the process's engine, which is
+      // updated in place.
+      Rng perturb(fault.payload | 1);
+      process.pauth() =
+          pa::PointerAuth{crypto::random_key_set(perturb), options_.layout,
+                          options_.mac_backend, options_.fpac};
+      break;
+    }
+    case inject::FaultKind::kSigFrameTrash: {
+      // Corrupt the saved-PC word of the newest signal frame (at SP while
+      // a handler runs). With no live frame, scribble just below SP — the
+      // slot the next frame push would claim.
+      const u64 sp = cpu.reg(sim::Reg::kSp);
+      const u64 addr =
+          task.signal_depth > 0 ? sp + SignalFrame::kPcOffset : sp - 8;
+      if (process.mem.is_mapped(addr)) {
+        process.mem.raw_write_u64(addr, 0x5af3'0000'0000'0000ULL ^
+                                            fault.payload);
+      }
+      break;
+    }
+    case inject::FaultKind::kBudgetExhaust:
+      // Watchdog model: the process's instruction budget is declared spent
+      // and the kernel kills it — the "hang detected" path of the fleet
+      // supervisor.
+      kill_process(process,
+                   sim::Fault{sim::FaultKind::kInstrBudget, 0, cpu.pc()},
+                   "injected instruction-budget exhaustion");
+      break;
+    case inject::FaultKind::kRetSlotBitflip:
+    case inject::FaultKind::kChainCorrupt:
+    case inject::FaultKind::kInstrSkip:
+      break;  // CPU-level kinds never land on the kernel cursor
+  }
 }
 
 u64 Machine::sig_tag(const Process& process, const sim::CpuSnapshot& snap,
@@ -535,6 +589,16 @@ Stop Machine::run(u64 max_instructions) {
     last_pid = process->pid();
     last_tid = task->tid();
     have_last = true;
+
+    // Kernel-level fault injection, polled once per scheduling slice
+    // against the process's instruction clock.
+    if (options_.injector != nullptr) {
+      while (process->state == ProcessState::kLive &&
+             options_.injector->kernel_due(process->instructions())) {
+        apply_kernel_fault(*process, *task);
+      }
+      if (process->state != ProcessState::kLive) continue;
+    }
 
     deliver_pending_signal(*process, *task);
 

@@ -25,6 +25,10 @@ namespace acs::obs {
 class Recorder;
 }  // namespace acs::obs
 
+namespace acs::inject {
+class Engine;
+}  // namespace acs::inject
+
 namespace acs::kernel {
 
 /// Fixed (pre-ASLR) address-space geometry. The adversary is assumed to
@@ -63,6 +67,11 @@ struct MachineOptions {
   /// The machine registers the program's function table and attaches one
   /// channel per task; see docs/observability.md.
   obs::Recorder* recorder = nullptr;
+  /// Fault-injection engine (not owned; may be nullptr = no injection).
+  /// The machine installs the engine's CPU-level cursor on the first hart
+  /// and polls the kernel-level cursor between scheduling slices; see
+  /// docs/fault-injection.md.
+  inject::Engine* injector = nullptr;
 };
 
 enum class StopReason : u8 {
@@ -123,6 +132,8 @@ class Machine {
   void do_throw(Process& process, Task& task);
   void kill_process(Process& process, const sim::Fault& fault,
                     std::string reason);
+  /// Deliver the injector's next due kernel-level fault to `process`.
+  void apply_kernel_fault(Process& process, Task& task);
   void wake_joiners(Process& process, u64 exited_tid);
   [[nodiscard]] u64 sig_tag(const Process& process,
                             const sim::CpuSnapshot& snap, u64 prev) const;

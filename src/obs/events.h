@@ -28,9 +28,12 @@ enum class EventKind : u8 {
   kFault,            ///< a = fault kind, b = faulting address
   kContextSwitch,    ///< this track was scheduled onto the hart
   kSignalDeliver,    ///< a = signal number, b = handler address
+  kFaultInjected,    ///< a = inject::FaultKind, b = fault payload
+  kWorkerRestart,    ///< a = worker slot, b = restart attempt number
+  kBackoffWait,      ///< a = simulated cycles waited, b = restart attempt
 };
 
-inline constexpr std::size_t kNumEventKinds = 13;
+inline constexpr std::size_t kNumEventKinds = 16;
 
 /// Stable lowercase name used in trace output and documentation.
 [[nodiscard]] constexpr const char* event_name(EventKind kind) noexcept {
@@ -48,6 +51,9 @@ inline constexpr std::size_t kNumEventKinds = 13;
     case EventKind::kFault: return "fault";
     case EventKind::kContextSwitch: return "context_switch";
     case EventKind::kSignalDeliver: return "signal_deliver";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kWorkerRestart: return "worker_restart";
+    case EventKind::kBackoffWait: return "backoff_wait";
   }
   return "unknown";
 }

@@ -53,6 +53,10 @@ Metrics Recorder::metrics() const {
     out.add("kernel.ctx_switch", c.ctx_switches);
     out.add("kernel.fault", c.faults);
     out.add("kernel.signal", c.signals);
+    out.add("inject.fault", c.faults_injected);
+    out.add("fleet.worker.restart", c.worker_restarts);
+    out.add("fleet.backoff.wait", c.backoff_waits);
+    out.add("fleet.backoff.cycles", c.backoff_cycles);
     out.histogram("sim.call.depth", depth_edges()).merge(c.call_depth);
     out.histogram("chain.depth", depth_edges()).merge(c.chain_depth);
   }

@@ -48,6 +48,8 @@ struct TaskCounters {
   u64 pac_generic = 0, pac_strip = 0;
   u64 chain_push = 0, chain_pop_ok = 0, chain_pop_fail = 0, chain_mask = 0;
   u64 syscalls = 0, ctx_switches = 0, faults = 0, signals = 0;
+  u64 faults_injected = 0, worker_restarts = 0, backoff_waits = 0;
+  u64 backoff_cycles = 0;
   Histogram call_depth{depth_edges()};
   Histogram chain_depth{depth_edges()};
 };
@@ -161,6 +163,35 @@ class TaskChannel {
   void context_switch(u64 ts) {
     if (counters_ != nullptr) ++counters_->ctx_switches;
     if (track_ != nullptr) track_->emit(EventKind::kContextSwitch, ts);
+  }
+
+  /// A planned fault was delivered to this task's execution (src/inject).
+  /// `kind` is the inject::FaultKind as an integer, `payload` the planned
+  /// fault's payload word.
+  void fault_injected(u64 kind, u64 payload, u64 ts) {
+    if (counters_ != nullptr) ++counters_->faults_injected;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kFaultInjected, ts, kind, payload);
+    }
+  }
+
+  /// Supervisor hooks (src/workload fleet): a crashed worker slot was
+  /// restarted / the supervisor charged backoff cycles before the restart.
+  void worker_restart(u64 slot, u64 attempt, u64 ts) {
+    if (counters_ != nullptr) ++counters_->worker_restarts;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kWorkerRestart, ts, slot, attempt);
+    }
+  }
+
+  void backoff_wait(u64 cycles, u64 attempt, u64 ts) {
+    if (counters_ != nullptr) {
+      ++counters_->backoff_waits;
+      counters_->backoff_cycles += cycles;
+    }
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kBackoffWait, ts, cycles, attempt);
+    }
   }
 
   void signal_deliver(u64 signum, u64 handler, u64 ts) {

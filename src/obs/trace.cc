@@ -37,6 +37,9 @@ namespace {
     case EventKind::kFault:
     case EventKind::kContextSwitch:
     case EventKind::kSignalDeliver: return "kernel";
+    case EventKind::kFaultInjected: return "inject";
+    case EventKind::kWorkerRestart:
+    case EventKind::kBackoffWait: return "fleet";
   }
   return "sim";
 }
@@ -71,6 +74,15 @@ namespace {
     case EventKind::kSignalDeliver:
       return "{\"signum\": " + std::to_string(event.a) + ", \"handler\": \"" +
              hex(event.b) + "\"}";
+    case EventKind::kFaultInjected:
+      return "{\"kind\": " + std::to_string(event.a) + ", \"payload\": \"" +
+             hex(event.b) + "\"}";
+    case EventKind::kWorkerRestart:
+      return "{\"slot\": " + std::to_string(event.a) +
+             ", \"attempt\": " + std::to_string(event.b) + "}";
+    case EventKind::kBackoffWait:
+      return "{\"cycles\": " + std::to_string(event.a) +
+             ", \"attempt\": " + std::to_string(event.b) + "}";
   }
   return "{}";
 }

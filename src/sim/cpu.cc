@@ -1,5 +1,7 @@
 #include "sim/cpu.h"
 
+#include "common/bitops.h"
+#include "inject/engine.h"
 #include "obs/recorder.h"
 
 namespace acs::sim {
@@ -154,6 +156,13 @@ RunState Cpu::step() {
     return state_;
   }
 
+  // Fault injection: mutate architectural state (or skip the instruction)
+  // at the planned instruction count / call depth. One never-taken branch
+  // when no injector is attached — same contract as the obs hooks.
+  if (inject_ != nullptr && inject_->due(instructions_, call_depth_)) {
+    if (apply_injection()) return state_;
+  }
+
   if (!trace_ring_.empty()) {
     trace_ring_[trace_next_] = pc_;
     trace_next_ = (trace_next_ + 1) % trace_ring_.size();
@@ -167,6 +176,67 @@ RunState Cpu::step() {
     ++instructions_;
   }
   return state_;
+}
+
+bool Cpu::apply_injection() {
+  // A chain-corruption guess only lands at a call instruction: there CR is
+  // architecturally live (the callee prologue uses it as the PAC modifier,
+  // so the corrupted bits are always authenticated when the frame returns).
+  // At an arbitrary boundary CR can be dead — e.g. mid-epilogue right
+  // before its reload — and the write would be silently discarded, turning
+  // a wrong guess into a false "worker survived" signal for the adversary.
+  if (inject_->peek().kind == inject::FaultKind::kChainCorrupt) {
+    const Opcode op = program_->at(pc_).op;
+    if (op != Opcode::kBl && op != Opcode::kBlr) return false;
+  }
+  const inject::PlannedFault fault = inject_->take();
+  if (obs_ != nullptr) {
+    obs_->fault_injected(static_cast<u64>(fault.kind), fault.payload, cycles_);
+  }
+  switch (fault.kind) {
+    case inject::FaultKind::kRetSlotBitflip: {
+      // Flip one payload-chosen bit in one of the eight stack slots at SP —
+      // where prologues keep spilled return addresses and frame records.
+      const u64 addr = reg(Reg::kSp) + 8 * (fault.payload & 7);
+      if (memory_->is_mapped(addr)) {
+        const u64 bit = (fault.payload >> 3) & 63;
+        memory_->raw_write_u64(addr,
+                               memory_->raw_read_u64(addr) ^ (1ULL << bit));
+      }
+      inject_->record(fault.kind);
+      return false;
+    }
+    case inject::FaultKind::kChainCorrupt: {
+      // The Section 6.1 guessing adversary: write a guess into a window of
+      // CR's PAC field. A correct guess leaves CR unchanged (the adversary
+      // learned the live aret bits and the worker survives); a wrong guess
+      // corrupts the chain, so the next chain authentication poisons the
+      // return address and the process crashes.
+      const unsigned width = inject_->guess_window();
+      const unsigned lo = pauth_->layout().pac_lo();
+      const u64 window = bit_mask(width) << lo;
+      const u64 cr = reg(kCr);
+      const u64 guess = (fault.payload & bit_mask(width)) << lo;
+      const bool success = (cr & window) == guess;
+      if (!success) set_reg(kCr, (cr & ~window) | guess);
+      inject_->record(fault.kind, success);
+      return false;
+    }
+    case inject::FaultKind::kInstrSkip:
+      // Instruction-skip (glitch) model: the fetched instruction is
+      // dropped; the skip consumes an instruction slot so the injection
+      // clock always advances.
+      inject_->record(fault.kind);
+      pc_ += kInstrBytes;
+      cycles_ += costs_.alu;
+      ++instructions_;
+      return true;
+    case inject::FaultKind::kKeyPerturb:
+    case inject::FaultKind::kSigFrameTrash:
+    case inject::FaultKind::kBudgetExhaust:
+      return false;  // kernel-level kinds never land on the CPU cursor
+  }
+  return false;
 }
 
 RunState Cpu::run(u64 max_steps) {
@@ -384,10 +454,12 @@ void Cpu::execute(const Instruction& instr) {
       cost = costs_.branch;
       set_reg(kLr, next_pc);
       branch_to(instr.target);
+      ++call_depth_;
       break;
     case Opcode::kBlr: {
       cost = costs_.branch;
       indirect_branch(reg(instr.rn), /*link=*/true);
+      if (state_ == RunState::kReady) ++call_depth_;
       break;
     }
     case Opcode::kBr: {
@@ -400,6 +472,7 @@ void Cpu::execute(const Instruction& instr) {
       // A return is a direct use of the register value; a poisoned
       // (non-canonical) address faults at the subsequent fetch.
       branch_to(reg(instr.rn == Reg::kXzr ? kLr : instr.rn));
+      if (call_depth_ > 0) --call_depth_;
       break;
     }
     case Opcode::kRetaa: {
@@ -416,6 +489,7 @@ void Cpu::execute(const Instruction& instr) {
       }
       set_reg(kLr, result.pointer);
       branch_to(result.pointer);
+      if (call_depth_ > 0) --call_depth_;
       break;
     }
     case Opcode::kPacia: {

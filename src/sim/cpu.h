@@ -30,6 +30,10 @@ namespace acs::obs {
 class TaskChannel;
 }  // namespace acs::obs
 
+namespace acs::inject {
+class TaskInjector;
+}  // namespace acs::inject
+
 namespace acs::sim {
 
 /// A full user-visible register context — what the kernel spills to its
@@ -76,6 +80,10 @@ class Cpu {
 
   [[nodiscard]] u64 cycles() const noexcept { return cycles_; }
   [[nodiscard]] u64 instructions() const noexcept { return instructions_; }
+  /// Net bl/blr-vs-ret depth, kept unconditionally (it is two increments
+  /// per call) so attaching an injector never perturbs execution. Used to
+  /// gate depth-conditioned injected faults.
+  [[nodiscard]] u64 call_depth() const noexcept { return call_depth_; }
   void reset_counters() noexcept { cycles_ = 0; instructions_ = 0; }
 
   [[nodiscard]] const CycleCosts& costs() const noexcept { return costs_; }
@@ -110,7 +118,20 @@ class Cpu {
   void set_observer(obs::TaskChannel* obs) noexcept { obs_ = obs; }
   [[nodiscard]] obs::TaskChannel* observer() const noexcept { return obs_; }
 
+  // --- fault injection -----------------------------------------------------
+  /// Attach the CPU-level fault-injection cursor (nullptr detaches). Like
+  /// the observer, a detached hook is one never-taken null check per step;
+  /// see docs/fault-injection.md for the fault semantics.
+  void set_injector(inject::TaskInjector* injector) noexcept {
+    inject_ = injector;
+  }
+
  private:
+  /// Apply the injector's due fault. Returns true when the fault consumed
+  /// the step (kInstrSkip); mutation-only kinds return false and the
+  /// fetched instruction executes against the corrupted state.
+  bool apply_injection();
+
   void raise(FaultKind kind, u64 addr) noexcept;
   void execute(const Instruction& instr);
   [[nodiscard]] bool eval_cond(Cond cond) const noexcept;
@@ -123,6 +144,7 @@ class Cpu {
   AddressSpace* memory_;
   const pa::PointerAuth* pauth_;
   obs::TaskChannel* obs_ = nullptr;
+  inject::TaskInjector* inject_ = nullptr;
 
   std::array<u64, kNumRegs> regs_{};
   u64 pc_ = 0;
@@ -134,6 +156,7 @@ class Cpu {
   u16 svc_number_ = 0;
   u64 cycles_ = 0;
   u64 instructions_ = 0;
+  u64 call_depth_ = 0;
   bool skip_breakpoint_once_ = false;
   u64 skip_breakpoint_pc_ = 0;
   std::unordered_set<u64> breakpoints_;

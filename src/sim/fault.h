@@ -15,6 +15,7 @@ enum class FaultKind : u8 {
   kPacAuthFailure,  ///< FPAC-mode authentication failure (ARMv8.6)
   kUndefined,       ///< undefined/illegal instruction
   kStackCheck,      ///< stack canary mismatch (abort path of the canary scheme)
+  kInstrBudget,     ///< instruction budget exhausted (injected hang/watchdog)
 };
 
 struct Fault {
@@ -36,6 +37,7 @@ struct Fault {
     case FaultKind::kPacAuthFailure: return "pac-auth-failure";
     case FaultKind::kUndefined: return "undefined-instruction";
     case FaultKind::kStackCheck: return "stack-check";
+    case FaultKind::kInstrBudget: return "instr-budget";
   }
   return "unknown";
 }

@@ -81,6 +81,8 @@ struct WorkerOutcome {
   bool clean_exit = false;
   kernel::ProcessState state = kernel::ProcessState::kLive;
   u64 exit_code = 0;
+  u64 pid = 0;
+  sim::FaultKind kill_kind = sim::FaultKind::kNone;
   // Per-trial observability shards, merged in trial order by the caller.
   obs::Metrics metrics;
   obs::FoldedProfile profile;
@@ -132,6 +134,8 @@ NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
         outcome.cycles = process.cycles();
         outcome.state = process.state;
         outcome.exit_code = process.exit_code;
+        outcome.pid = process.pid();
+        outcome.kill_kind = process.kill_fault.kind;
         outcome.clean_exit = process.state == kernel::ProcessState::kExited &&
                              process.exit_code == 0;
         if (recorder != nullptr) {
@@ -164,12 +168,18 @@ NginxRunResult run_nginx_experiment(compiler::Scheme scheme,
     for (unsigned w = 0; w < config.workers; ++w) {
       const auto& outcome = outcomes[run * config.workers + w];
       // A crashed/killed worker completed none of its requests; silently
-      // counting its cycles and request quota would inflate TPS.
+      // counting its cycles and request quota would inflate TPS. Fail-fast
+      // is this experiment's explicit policy — a crash means the TPS
+      // estimate is unsalvageable. Use workload::run_worker_fleet for the
+      // supervised restart policies that trade availability instead.
       if (!outcome.clean_exit) {
         throw std::runtime_error{
             "run_nginx_experiment: worker " + std::to_string(w) + " of run " +
-            std::to_string(run) + " did not exit cleanly (state=" +
+            std::to_string(run) + " (pid " + std::to_string(outcome.pid) +
+            ", scheme " + compiler::scheme_name(scheme) +
+            ") did not exit cleanly (state=" +
             std::to_string(static_cast<int>(outcome.state)) +
+            ", fault=" + sim::fault_name(outcome.kill_kind) +
             ", exit_code=" + std::to_string(outcome.exit_code) + ")"};
       }
       worst_cycles = std::max(worst_cycles, outcome.cycles);

@@ -1,0 +1,246 @@
+#include "inject/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "compiler/codegen.h"
+#include "kernel/machine.h"
+#include "kernel/syscalls.h"
+#include "obs/recorder.h"
+#include "sim/assembler.h"
+#include "sim/fault.h"
+#include "workload/nginx_sim.h"
+
+namespace acs::inject {
+namespace {
+
+using kernel::Machine;
+using kernel::MachineOptions;
+using kernel::ProcessState;
+using kernel::Syscall;
+using sim::Assembler;
+using sim::Reg;
+
+sim::Program build(const std::function<void(Assembler&)>& body) {
+  Assembler as;
+  body(as);
+  return as.assemble();
+}
+
+u16 num(Syscall call) { return static_cast<u16>(call); }
+
+TEST(Engine, AttachesExactlyOnce) {
+  Engine engine({});
+  EXPECT_NE(engine.attach(), nullptr);
+  EXPECT_EQ(engine.attach(), nullptr);
+}
+
+TEST(Engine, SplitsPlanByDeliveryLevel) {
+  Engine::Config config;
+  config.plan = {
+      {.at_instr = 30, .kind = FaultKind::kKeyPerturb},
+      {.at_instr = 20, .kind = FaultKind::kInstrSkip},
+      {.at_instr = 10, .kind = FaultKind::kBudgetExhaust},
+  };
+  Engine engine(std::move(config));
+  TaskInjector* cpu = engine.attach();
+  ASSERT_NE(cpu, nullptr);
+  // CPU cursor sees only the kInstrSkip; the kernel cursor holds the two
+  // kernel kinds, sorted by at_instr.
+  EXPECT_FALSE(cpu->due(19, 0));
+  EXPECT_TRUE(cpu->due(20, 0));
+  EXPECT_FALSE(engine.kernel_due(9));
+  EXPECT_TRUE(engine.kernel_due(10));
+  EXPECT_EQ(engine.kernel_take().kind, FaultKind::kBudgetExhaust);
+  EXPECT_FALSE(engine.kernel_due(10));
+  EXPECT_TRUE(engine.kernel_due(30));
+  EXPECT_EQ(engine.kernel_take().kind, FaultKind::kKeyPerturb);
+  EXPECT_FALSE(engine.kernel_due(~u64{0}));
+}
+
+TEST(Engine, DepthGateAndGrace) {
+  Engine::Config config;
+  config.plan = {{.at_instr = 100, .min_depth = 3,
+                  .kind = FaultKind::kInstrSkip}};
+  Engine engine(std::move(config));
+  TaskInjector* cpu = engine.attach();
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_FALSE(cpu->due(100, 2));          // depth not reached
+  EXPECT_TRUE(cpu->due(100, 3));           // depth reached
+  EXPECT_FALSE(cpu->due(100 + kDepthGrace - 1, 0));
+  EXPECT_TRUE(cpu->due(100 + kDepthGrace, 0));  // grace expired: fire anyway
+}
+
+TEST(Engine, InstrSkipDropsExactlyOneInstruction) {
+  // instr 0: mov x0, 5; instr 1: mov x0, 9 (skipped); svc exit -> 5.
+  const auto program = build([](Assembler& as) {
+    as.function("main");
+    as.mov_imm(Reg::kX0, 5);
+    as.mov_imm(Reg::kX0, 9);
+    as.svc(num(Syscall::kExit));
+  });
+  Engine engine({.plan = {{.at_instr = 1, .kind = FaultKind::kInstrSkip}}});
+  MachineOptions options;
+  options.injector = &engine;
+  Machine machine(program, options);
+  EXPECT_EQ(machine.run_to_completion(), ProcessState::kExited);
+  EXPECT_EQ(machine.init_process().exit_code, 5U);
+  EXPECT_EQ(engine.summary().injected[static_cast<std::size_t>(
+                FaultKind::kInstrSkip)],
+            1U);
+}
+
+TEST(Engine, RetSlotBitflipFlipsThePlannedBit) {
+  // Store a marker at [SP], flip bit 0 of slot 0 mid-window, load it back.
+  const auto program = build([](Assembler& as) {
+    as.function("main");
+    as.sub_imm(Reg::kSp, Reg::kSp, 32);  // open a frame: SP starts at the top
+    as.mov_imm(Reg::kX9, 0xAA);
+    as.str(Reg::kX9, Reg::kSp, 0);
+    for (int i = 0; i < 16; ++i) as.nop();  // injection window
+    as.ldr(Reg::kX0, Reg::kSp, 0);
+    as.svc(num(Syscall::kWriteInt));
+    as.mov_imm(Reg::kX0, 0);
+    as.svc(num(Syscall::kExit));
+  });
+  // payload 0: slot 0, bit 0.
+  Engine engine(
+      {.plan = {{.at_instr = 8, .kind = FaultKind::kRetSlotBitflip}}});
+  MachineOptions options;
+  options.injector = &engine;
+  Machine machine(program, options);
+  EXPECT_EQ(machine.run_to_completion(), ProcessState::kExited);
+  EXPECT_EQ(machine.init_process().output, (std::vector<u64>{0xAB}));
+}
+
+TEST(Engine, BudgetExhaustKillsWithInstrBudgetFault) {
+  const auto program = build([](Assembler& as) {
+    as.function("main");
+    as.work(100);
+    as.svc(num(Syscall::kYield));  // end the slice: kernel polls its cursor
+    as.work(100);
+    as.mov_imm(Reg::kX0, 0);
+    as.svc(num(Syscall::kExit));
+  });
+  Engine engine({.plan = {{.at_instr = 1,
+                           .kind = FaultKind::kBudgetExhaust}}});
+  MachineOptions options;
+  options.injector = &engine;
+  Machine machine(program, options);
+  EXPECT_EQ(machine.run_to_completion(), ProcessState::kKilled);
+  EXPECT_EQ(machine.init_process().kill_fault.kind,
+            sim::FaultKind::kInstrBudget);
+}
+
+TEST(Engine, SigFrameTrashWithoutFramesIsSurvivable) {
+  // With no live signal frame the trash lands below SP — unclaimed memory,
+  // so a well-behaved program keeps running (fault delivered, no crash).
+  const auto program = build([](Assembler& as) {
+    as.function("main");
+    for (int i = 0; i < 8; ++i) as.nop();
+    as.svc(num(Syscall::kYield));  // end the slice: kernel polls its cursor
+    for (int i = 0; i < 8; ++i) as.nop();
+    as.mov_imm(Reg::kX0, 0);
+    as.svc(num(Syscall::kExit));
+  });
+  Engine engine(
+      {.plan = {{.at_instr = 4, .kind = FaultKind::kSigFrameTrash}}});
+  MachineOptions options;
+  options.injector = &engine;
+  Machine machine(program, options);
+  EXPECT_EQ(machine.run_to_completion(), ProcessState::kExited);
+  EXPECT_EQ(engine.summary().injected[static_cast<std::size_t>(
+                FaultKind::kSigFrameTrash)],
+            1U);
+}
+
+/// Runs one PACStack worker generation with a single planned fault.
+kernel::ProcessState run_worker_with(const sim::Program& program,
+                                     Engine& engine, u64 machine_seed) {
+  MachineOptions options;
+  options.seed = machine_seed;
+  options.injector = &engine;
+  Machine machine(program, options);
+  machine.run(2'000'000);
+  return machine.init_process().state;
+}
+
+TEST(Engine, KeyPerturbKillsAPacStackWorker) {
+  // Replacing the PA keys mid-run invalidates every live chain value: the
+  // next authentication under the new keys poisons the return address.
+  const auto ir = workload::make_worker_ir(/*requests=*/20,
+                                           /*jitter_seed=*/99);
+  const auto program =
+      compiler::compile_ir(ir, {.scheme = compiler::Scheme::kPacStack});
+
+  Engine clean({});
+  ASSERT_EQ(run_worker_with(program, clean, /*machine_seed=*/7),
+            ProcessState::kExited);
+
+  Engine engine({.plan = {{.at_instr = 500, .min_depth = 1,
+                           .kind = FaultKind::kKeyPerturb,
+                           .payload = 0xdead}}});
+  EXPECT_EQ(run_worker_with(program, engine, /*machine_seed=*/7),
+            ProcessState::kKilled);
+  EXPECT_EQ(engine.summary().injected[static_cast<std::size_t>(
+                FaultKind::kKeyPerturb)],
+            1U);
+}
+
+TEST(Engine, ChainCorruptGuessIsExact) {
+  // Section 6.1 semantics: enumerating every value of a w-bit PAC window
+  // against a fixed-key worker must yield exactly one surviving guess (the
+  // live aret bits) — every wrong guess corrupts the chain and crashes.
+  // This also pins the call-site delivery gate: a guess must never land
+  // where CR is dead and be silently discarded as a false survival.
+  const auto ir = workload::make_worker_ir(/*requests=*/20,
+                                           /*jitter_seed=*/99);
+  const auto program =
+      compiler::compile_ir(ir, {.scheme = compiler::Scheme::kPacStack});
+  constexpr unsigned kWindow = 2;
+
+  unsigned survivors = 0;
+  u64 attempts = 0, successes = 0;
+  for (u64 payload = 0; payload < (1U << kWindow); ++payload) {
+    Engine engine({.plan = {{.at_instr = 800, .min_depth = 2,
+                             .kind = FaultKind::kChainCorrupt,
+                             .payload = payload}},
+                   .guess_window = kWindow});
+    const auto state = run_worker_with(program, engine, /*machine_seed=*/7);
+    attempts += engine.summary().guess_attempts;
+    successes += engine.summary().guess_successes;
+    if (state == ProcessState::kExited) ++survivors;
+  }
+  EXPECT_EQ(attempts, 1U << kWindow);  // every generation got its guess
+  EXPECT_EQ(survivors, 1U);            // exactly one value matches
+  EXPECT_EQ(successes, 1U);            // and it is the recorded success
+}
+
+TEST(Engine, CpuInjectionReportsToObs) {
+  const auto program = build([](Assembler& as) {
+    as.function("main");
+    for (int i = 0; i < 8; ++i) as.nop();
+    as.svc(num(Syscall::kYield));  // end the slice: kernel polls its cursor
+    for (int i = 0; i < 8; ++i) as.nop();
+    as.mov_imm(Reg::kX0, 0);
+    as.svc(num(Syscall::kExit));
+  });
+  Engine engine({.plan = {{.at_instr = 2, .kind = FaultKind::kInstrSkip},
+                          {.at_instr = 6,
+                           .kind = FaultKind::kSigFrameTrash}}});
+  obs::RecorderConfig rc;
+  rc.metrics = true;
+  obs::Recorder recorder(rc);
+  MachineOptions options;
+  options.injector = &engine;
+  options.recorder = &recorder;
+  Machine machine(program, options);
+  EXPECT_EQ(machine.run_to_completion(), ProcessState::kExited);
+  // Both the CPU-level and the kernel-level delivery paths emit the
+  // inject.fault counter.
+  EXPECT_EQ(recorder.metrics().counter("inject.fault"), 2U);
+}
+
+}  // namespace
+}  // namespace acs::inject

@@ -1,0 +1,99 @@
+#include "inject/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace acs::inject {
+namespace {
+
+TEST(Plan, FaultKindNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+    const char* name = fault_kind_name(static_cast<FaultKind>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+}
+
+TEST(Plan, CpuKernelPartition) {
+  EXPECT_TRUE(is_cpu_level(FaultKind::kRetSlotBitflip));
+  EXPECT_TRUE(is_cpu_level(FaultKind::kChainCorrupt));
+  EXPECT_TRUE(is_cpu_level(FaultKind::kInstrSkip));
+  EXPECT_FALSE(is_cpu_level(FaultKind::kKeyPerturb));
+  EXPECT_FALSE(is_cpu_level(FaultKind::kSigFrameTrash));
+  EXPECT_FALSE(is_cpu_level(FaultKind::kBudgetExhaust));
+}
+
+TEST(Plan, ZeroMeanIntervalMeansNoFaults) {
+  PlanConfig config;
+  config.mean_interval = 0;
+  EXPECT_TRUE(make_plan(config).empty());
+}
+
+TEST(Plan, IsAPureFunctionOfTheConfig) {
+  PlanConfig config;
+  config.seed = 7;
+  config.horizon = 100'000;
+  config.mean_interval = 500;
+  const auto a = make_plan(config);
+  const auto b = make_plan(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_instr, b[i].at_instr);
+    EXPECT_EQ(a[i].min_depth, b[i].min_depth);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].payload, b[i].payload);
+  }
+
+  config.seed = 8;
+  const auto c = make_plan(config);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at_instr != c[i].at_instr || a[i].payload != c[i].payload;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced an identical plan";
+}
+
+TEST(Plan, RespectsHorizonOrderingAndDensity) {
+  PlanConfig config;
+  config.seed = 42;
+  config.horizon = 1'000'000;
+  config.mean_interval = 1000;
+  const auto plan = make_plan(config);
+  // Renewal process with inter-arrival uniform in [1, 2*mean]: expect
+  // horizon/mean faults up to noise.
+  EXPECT_GT(plan.size(), 700U);
+  EXPECT_LT(plan.size(), 1400U);
+  u64 prev = 0;
+  for (const PlannedFault& fault : plan) {
+    EXPECT_LE(prev, fault.at_instr);
+    EXPECT_LT(fault.at_instr, config.horizon);
+    EXPECT_LT(fault.min_depth, config.max_depth);
+    prev = fault.at_instr;
+  }
+}
+
+TEST(Plan, RestrictsKindsWhenAsked) {
+  PlanConfig config;
+  config.seed = 3;
+  config.horizon = 50'000;
+  config.mean_interval = 200;
+  config.kinds = {FaultKind::kInstrSkip, FaultKind::kKeyPerturb};
+  std::set<FaultKind> seen;
+  for (const PlannedFault& fault : make_plan(config)) seen.insert(fault.kind);
+  EXPECT_LE(seen.size(), 2U);
+  for (const FaultKind kind : seen) {
+    EXPECT_TRUE(kind == FaultKind::kInstrSkip ||
+                kind == FaultKind::kKeyPerturb);
+  }
+  // With all six kinds allowed and this many draws, every kind shows up.
+  config.kinds.clear();
+  seen.clear();
+  for (const PlannedFault& fault : make_plan(config)) seen.insert(fault.kind);
+  EXPECT_EQ(seen.size(), kNumFaultKinds);
+}
+
+}  // namespace
+}  // namespace acs::inject

@@ -1,0 +1,155 @@
+// Negative-path matrix: every sim::FaultKind routed through
+// Machine::kill_process must leave the process in the right exit state AND
+// emit the kernel.fault observability event — the fleet supervisor and the
+// fault-injection campaigns both key off these signals.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "inject/engine.h"
+#include "kernel/machine.h"
+#include "kernel/syscalls.h"
+#include "obs/recorder.h"
+#include "sim/assembler.h"
+#include "sim/fault.h"
+#include "sim/isa.h"
+
+namespace acs::kernel {
+namespace {
+
+using sim::Assembler;
+using sim::Reg;
+
+u16 num(Syscall call) { return static_cast<u16>(call); }
+
+struct KillOutcome {
+  ProcessState state;
+  sim::FaultKind kind;
+  u64 fault_events;    ///< obs metrics counter "kernel.fault"
+  bool traced;         ///< trace holds a kFault event tagged with `kind`
+};
+
+KillOutcome run_and_observe(const std::function<void(Assembler&)>& body,
+                            sim::FaultKind expected,
+                            MachineOptions options = {}) {
+  Assembler as;
+  body(as);
+  obs::RecorderConfig rc;
+  rc.metrics = true;
+  rc.trace = true;
+  obs::Recorder recorder(rc);
+  options.recorder = &recorder;
+  Machine machine(as.assemble(), options);
+  machine.run_to_completion();
+
+  bool traced = false;
+  for (const auto& track : recorder.trace().tracks()) {
+    for (const auto& event : track.ring().snapshot()) {
+      if (event.kind == obs::EventKind::kFault &&
+          event.a == static_cast<u64>(expected)) {
+        traced = true;
+      }
+    }
+  }
+  return {machine.init_process().state,
+          machine.init_process().kill_fault.kind,
+          recorder.metrics().counter("kernel.fault"), traced};
+}
+
+void expect_killed(const KillOutcome& outcome, sim::FaultKind expected) {
+  EXPECT_EQ(outcome.state, ProcessState::kKilled);
+  EXPECT_EQ(outcome.kind, expected);
+  EXPECT_GE(outcome.fault_events, 1U);
+  EXPECT_TRUE(outcome.traced);
+}
+
+TEST(FaultKill, TranslationOnWildReturn) {
+  const auto outcome = run_and_observe(
+      [](Assembler& as) {
+        as.function("main");
+        as.mov_imm(Reg::kX30, 0x666);  // unmapped target
+        as.ret();
+      },
+      sim::FaultKind::kTranslation);
+  expect_killed(outcome, sim::FaultKind::kTranslation);
+}
+
+TEST(FaultKill, PermissionOnCodeWrite) {
+  const auto outcome = run_and_observe(
+      [](Assembler& as) {
+        as.function("main");
+        as.mov_label(Reg::kX9, "main");
+        as.str(Reg::kX1, Reg::kX9, 0);  // W^X: text is never writable
+      },
+      sim::FaultKind::kPermission);
+  expect_killed(outcome, sim::FaultKind::kPermission);
+}
+
+TEST(FaultKill, CfiOnMidFunctionIndirectCall) {
+  const auto outcome = run_and_observe(
+      [](Assembler& as) {
+        as.function("main");
+        as.mov_label(Reg::kX9, "main");
+        as.add_imm(Reg::kX9, Reg::kX9, sim::kInstrBytes);  // not an entry
+        as.blr(Reg::kX9);
+      },
+      sim::FaultKind::kCfi);
+  expect_killed(outcome, sim::FaultKind::kCfi);
+}
+
+TEST(FaultKill, PacAuthFailureUnderFpac) {
+  MachineOptions options;
+  options.fpac = true;  // authentication failures trap immediately
+  const auto outcome = run_and_observe(
+      [](Assembler& as) {
+        as.function("main");
+        as.mov_imm(Reg::kX1, 0x0002'0000);
+        as.pacia(Reg::kX1, Reg::kXzr);
+        as.mov_imm(Reg::kX2, 1);        // wrong modifier
+        as.autia(Reg::kX1, Reg::kX2);
+      },
+      sim::FaultKind::kPacAuthFailure, options);
+  expect_killed(outcome, sim::FaultKind::kPacAuthFailure);
+}
+
+TEST(FaultKill, UndefinedOnUnknownSyscall) {
+  const auto outcome = run_and_observe(
+      [](Assembler& as) {
+        as.function("main");
+        as.svc(999);
+      },
+      sim::FaultKind::kUndefined);
+  expect_killed(outcome, sim::FaultKind::kUndefined);
+}
+
+TEST(FaultKill, StackCheckOnAbort) {
+  const auto outcome = run_and_observe(
+      [](Assembler& as) {
+        as.function("main");
+        as.svc(num(Syscall::kAbort));
+      },
+      sim::FaultKind::kStackCheck);
+  expect_killed(outcome, sim::FaultKind::kStackCheck);
+}
+
+TEST(FaultKill, InstrBudgetOnInjectedExhaustion) {
+  inject::Engine engine(
+      {.plan = {{.at_instr = 1,
+                 .kind = inject::FaultKind::kBudgetExhaust}}});
+  MachineOptions options;
+  options.injector = &engine;
+  const auto outcome = run_and_observe(
+      [](Assembler& as) {
+        as.function("main");
+        as.work(500);
+        as.svc(num(Syscall::kYield));  // end the slice: kernel polls faults
+        as.work(500);
+        as.mov_imm(Reg::kX0, 0);
+        as.svc(num(Syscall::kExit));
+      },
+      sim::FaultKind::kInstrBudget, options);
+  expect_killed(outcome, sim::FaultKind::kInstrBudget);
+}
+
+}  // namespace
+}  // namespace acs::kernel

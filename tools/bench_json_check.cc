@@ -268,6 +268,37 @@ std::string check_obs_section(const Value& obs) {
   return {};
 }
 
+/// Validate the optional "faults" section (fault-injection campaign
+/// totals, see docs/bench-output.md): {"injected": {kind: number},
+/// "crashes": {cause: number}, "restarts": number, "guess_attempts":
+/// number, "guess_successes": number, "backoff_cycles": number}.
+std::string check_faults_section(const Value& faults) {
+  const Object* top = faults.object();
+  if (top == nullptr) return "'faults' is not an object";
+
+  for (const char* key : {"injected", "crashes"}) {
+    const Value* counters = find(*top, key);
+    if (counters == nullptr || counters->object() == nullptr) {
+      return std::string("'faults.") + key + "' missing or not an object";
+    }
+    for (const auto& [name, value] : *counters->object()) {
+      if (!value.is_number()) {
+        return std::string("'faults.") + key + "." + name +
+               "' is not a number";
+      }
+    }
+  }
+
+  for (const char* key :
+       {"restarts", "guess_attempts", "guess_successes", "backoff_cycles"}) {
+    const Value* v = find(*top, key);
+    if (v == nullptr || !v->is_number()) {
+      return std::string("'faults.") + key + "' missing or not a number";
+    }
+  }
+  return {};
+}
+
 /// Validate a Chrome trace-event JSON document (the --trace output of the
 /// benches and acs-run): {"traceEvents": [...]} where every event carries
 /// a string name/ph, integer pid/tid, and — except for "M" metadata — a
@@ -340,6 +371,11 @@ std::string check_schema(const Value& root) {
 
   if (const Value* obs = find(*top, "obs")) {
     std::string error = check_obs_section(*obs);
+    if (!error.empty()) return error;
+  }
+
+  if (const Value* faults = find(*top, "faults")) {
+    std::string error = check_faults_section(*faults);
     if (!error.empty()) return error;
   }
 
