@@ -183,7 +183,7 @@ std::string to_json(const std::string& bench_name,
                     const BenchOptions& options, u64 base_seed,
                     const std::vector<Metric>& metrics,
                     double wall_seconds, const obs::Metrics* obs_metrics,
-                    const FaultSection* faults) {
+                    const FaultSection* faults, const FuzzSection* fuzz) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -210,6 +210,25 @@ std::string to_json(const std::string& bench_name,
     out += "    \"guess_successes\": " +
            std::to_string(faults->guess_successes) + ",\n";
     out += "    \"backoff_cycles\": " + std::to_string(faults->backoff_cycles) +
+           "\n";
+    out += "  },\n";
+  }
+  if (fuzz != nullptr) {
+    // Integer counters in fixed (trial) order; the fingerprint is an
+    // order-independent set digest — bitwise identical for any --threads.
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "0x%016llx",
+                  static_cast<unsigned long long>(fuzz->coverage_fingerprint));
+    out += "  \"fuzz\": {\n";
+    out += "    \"candidates\": " + std::to_string(fuzz->candidates) + ",\n";
+    out += "    \"viable\": " + std::to_string(fuzz->viable) + ",\n";
+    out += "    \"executions\": " + std::to_string(fuzz->executions) + ",\n";
+    out += "    \"rounds\": " + std::to_string(fuzz->rounds) + ",\n";
+    out += "    \"corpus_size\": " + std::to_string(fuzz->corpus_size) + ",\n";
+    out += "    \"features_covered\": " +
+           std::to_string(fuzz->features_covered) + ",\n";
+    out += "    \"coverage_fingerprint\": \"" + std::string(fp) + "\",\n";
+    out += "    \"findings\": " + counter_map_json(fuzz->findings_by_oracle) +
            "\n";
     out += "  },\n";
   }
@@ -254,6 +273,11 @@ void BenchReporter::set_fault_section(FaultSection faults) {
   has_fault_section_ = true;
 }
 
+void BenchReporter::set_fuzz_section(FuzzSection fuzz) {
+  fuzz_section_ = std::move(fuzz);
+  has_fuzz_section_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -263,7 +287,8 @@ bool BenchReporter::finish() {
   const std::string body =
       to_json(bench_name_, options_, base_seed_, metrics_, wall_seconds,
               has_obs_metrics_ ? &obs_metrics_ : nullptr,
-              has_fault_section_ ? &fault_section_ : nullptr);
+              has_fault_section_ ? &fault_section_ : nullptr,
+              has_fuzz_section_ ? &fuzz_section_ : nullptr);
   if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;

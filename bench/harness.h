@@ -71,6 +71,22 @@ struct FaultSection {
   u64 backoff_cycles = 0;
 };
 
+/// Fuzzing campaign totals, emitted as the "fuzz" section of the JSON
+/// trajectory (see docs/bench-output.md). The coverage fingerprint is the
+/// order-independent digest of the final feature map — identical for every
+/// --threads value under a fixed candidate budget, which is exactly the
+/// determinism claim the ctest pins.
+struct FuzzSection {
+  u64 candidates = 0;        ///< candidates evaluated (incl. discarded)
+  u64 viable = 0;            ///< candidates at least one oracle applied to
+  u64 executions = 0;        ///< machine runs across all oracles
+  u64 rounds = 0;
+  u64 corpus_size = 0;       ///< entries kept by the coverage scheduler
+  u64 features_covered = 0;  ///< distinct features in the final map
+  u64 coverage_fingerprint = 0;  ///< FeatureMap::fingerprint(), hex in JSON
+  std::map<std::string, u64> findings_by_oracle;  ///< oracle name -> count
+};
+
 /// Collects metrics during a bench run and writes the machine-readable
 /// trajectory on finish(). Wall-clock time is measured from construction
 /// to finish(). Table/stdout output is unaffected: record() only feeds the
@@ -92,6 +108,10 @@ class BenchReporter {
   /// section of the JSON trajectory).
   void set_fault_section(FaultSection faults);
 
+  /// Attach the fuzzing campaign totals (emitted as the "fuzz" section of
+  /// the JSON trajectory).
+  void set_fuzz_section(FuzzSection fuzz);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -110,6 +130,8 @@ class BenchReporter {
   bool has_obs_metrics_ = false;
   FaultSection fault_section_;
   bool has_fault_section_ = false;
+  FuzzSection fuzz_section_;
+  bool has_fuzz_section_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
@@ -117,13 +139,15 @@ class BenchReporter {
 /// Serialise a trajectory to the docs/bench-output.md JSON schema.
 /// Exposed separately so tests can check the encoding without touching the
 /// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section;
-/// `faults` (may be nullptr) adds the "faults" section.
+/// `faults` (may be nullptr) adds the "faults" section; `fuzz` (may be
+/// nullptr) adds the "fuzz" section.
 [[nodiscard]] std::string to_json(const std::string& bench_name,
                                   const BenchOptions& options, u64 base_seed,
                                   const std::vector<Metric>& metrics,
                                   double wall_seconds,
                                   const obs::Metrics* obs_metrics = nullptr,
-                                  const FaultSection* faults = nullptr);
+                                  const FaultSection* faults = nullptr,
+                                  const FuzzSection* fuzz = nullptr);
 
 /// Write `body` to `path` (truncating); on failure prints to stderr and
 /// returns false. Used for the --json/--trace/--profile sinks.

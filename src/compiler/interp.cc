@@ -24,9 +24,27 @@ struct BudgetExhausted {};
 /// Thrown when an unsupported OS-level op is reached.
 struct Unsupported {};
 
+struct DepthGuard {
+  u64& depth;
+  ~DepthGuard() { --depth; }
+};
+
 class Interpreter {
  public:
-  Interpreter(const ProgramIr& ir, u64 max_ops) : ir_(ir), budget_(max_ops) {}
+  Interpreter(const ProgramIr& ir, u64 max_ops) : ir_(ir), budget_(max_ops) {
+    // Mirror the loader: every kCallViaSlot contributes a data_init entry
+    // (slot -> callee address) in function/op order, applied sequentially —
+    // so when two ops name the same slot, the LAST writer wins for both.
+    for (const FunctionIr& fn : ir.functions) {
+      for (const Op& op : fn.body) {
+        if (op.kind == OpKind::kCallViaSlot) slot_target_[op.b] = op.a;
+        if (op.kind == OpKind::kThreadCreate) has_threads_ = true;
+        if (op.kind == OpKind::kSetjmp || op.kind == OpKind::kLongjmp) {
+          has_setjmp_ = true;
+        }
+      }
+    }
+  }
 
   InterpResult run() {
     try {
@@ -53,7 +71,16 @@ class Interpreter {
     --budget_;
   }
 
-  void call(std::size_t index) { exec_body(ir_.fn(index), 0); }
+  void call(std::size_t index) {
+    // The interpreter recurses on the host stack; slot-aliased indirect
+    // calls can form cycles the IR's static call graph does not show, so
+    // bound the depth like the budget (the machine bounds it with its own
+    // simulated stack) instead of risking a host stack overflow.
+    if (depth_ >= kMaxDepth) throw BudgetExhausted{};
+    ++depth_;
+    const DepthGuard guard{depth_};  // exception-safe unwind accounting
+    exec_body(ir_.fn(index), 0);
+  }
 
   void exec_body(const FunctionIr& fn, std::size_t from) {
     for (std::size_t op_index = from; op_index < fn.body.size(); ++op_index) {
@@ -71,23 +98,38 @@ class Interpreter {
           for (u64 i = 0; i < (op.b == 0 ? 1 : op.b); ++i) call(op.a);
           break;
         case OpKind::kCallIndirect:
-        case OpKind::kCallViaSlot:
           call(op.a);
+          break;
+        case OpKind::kCallViaSlot:
+          call(slot_target_.at(op.b));
           break;
         case OpKind::kThreadCreate:
           // Sequential model: the thread body runs to completion here;
           // comparisons against true interleavings must be order-
           // insensitive (the exact-order differential tests use programs
-          // without threads).
-          call(op.a);
+          // without threads). Two thread interactions fall outside the
+          // model: (a) jmp_bufs are global, so concurrent setjmp/longjmp
+          // clobber each other across threads; (b) a throw that escapes
+          // the thread's base frame kills the process on the machine,
+          // whereas the inlined body would let a catch in the *spawning*
+          // function handle it here.
+          if (has_setjmp_) throw Unsupported{};
+          try {
+            call(op.a);
+          } catch (const ThrowSignal&) {
+            throw Unsupported{};
+          }
           break;
         case OpKind::kWriteInt:
           result_.output.push_back(op.a);
           break;
         case OpKind::kSetjmp: {
           // Matches the lowering: a longjmp to this slot re-enters at the
-          // setjmp point, logs the value and returns from the function.
+          // setjmp point, logs the value and branches to the epilogue —
+          // which for a tail-calling function *includes the tail branch*.
+          if (has_threads_) throw Unsupported{};
           const u64 marker = ++setjmp_epoch_;
+          latest_setjmp_[op.a] = marker;
           active_setjmp_[op.a].push_back(marker);
           try {
             exec_body(fn, op_index + 1);
@@ -95,14 +137,26 @@ class Interpreter {
             pop_setjmp(op.a, marker);
             if (signal.slot != op.a) throw;
             result_.output.push_back(signal.value);
+            run_tail(fn);
             return;
+          } catch (...) {
+            // Keep the liveness stack honest when a throw (or budget/
+            // unsupported signal) unwinds through this frame.
+            pop_setjmp(op.a, marker);
+            throw;
           }
           pop_setjmp(op.a, marker);
           return;  // the remainder already executed
         }
         case OpKind::kLongjmp: {
+          // The lowering keeps ONE jmp_buf per slot, overwritten by every
+          // setjmp. A longjmp is well-defined only while the most recent
+          // setjmp's frame is still live; anything else targets an unwound
+          // frame and is undefined in the source model.
           const auto it = active_setjmp_.find(op.a);
-          if (it == active_setjmp_.end() || it->second.empty()) {
+          if (has_threads_ || it == active_setjmp_.end() ||
+              it->second.empty() ||
+              it->second.back() != latest_setjmp_[op.a]) {
             throw Unsupported{};
           }
           throw LongjmpSignal{op.a, op.b};
@@ -116,7 +170,11 @@ class Interpreter {
             pop_catch(op.a, marker);
             if (signal.tag != op.a) throw;
             result_.output.push_back(signal.value);
+            run_tail(fn);
             return;
+          } catch (...) {
+            pop_catch(op.a, marker);
+            throw;
           }
           pop_catch(op.a, marker);
           return;
@@ -130,6 +188,12 @@ class Interpreter {
           throw Unsupported{};
       }
     }
+    run_tail(fn);
+  }
+
+  /// The tail call sits in the epilogue, so it runs on the normal path AND
+  /// after a caught longjmp/throw re-enters via the epilogue branch.
+  void run_tail(const FunctionIr& fn) {
     if (fn.tail_callee >= 0) call(static_cast<std::size_t>(fn.tail_callee));
   }
 
@@ -147,6 +211,12 @@ class Interpreter {
   u64 budget_;
   InterpResult result_;
   std::unordered_map<u64, std::vector<u64>> active_setjmp_;
+  std::unordered_map<u64, u64> latest_setjmp_;  ///< per-slot buf overwrite
+  std::unordered_map<u64, std::size_t> slot_target_;  ///< loader fn-ptr slots
+  static constexpr u64 kMaxDepth = 512;
+  u64 depth_ = 0;
+  bool has_threads_ = false;
+  bool has_setjmp_ = false;
   std::unordered_map<u64, std::vector<u64>> active_catch_;
   u64 setjmp_epoch_ = 0;
 };

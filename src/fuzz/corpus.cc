@@ -1,0 +1,14 @@
+#include "fuzz/corpus.h"
+
+namespace acs::fuzz {
+
+bool Corpus::consider(const compiler::ProgramIr& ir,
+                      const FeatureMap& features) {
+  const std::size_t novelty = features.novel_against(coverage_);
+  if (novelty == 0) return false;
+  coverage_.merge(features);
+  entries_.push_back({ir, features, novelty});
+  return true;
+}
+
+}  // namespace acs::fuzz

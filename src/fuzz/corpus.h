@@ -1,0 +1,46 @@
+// Coverage-driven corpus scheduler.
+//
+// The corpus keeps exactly the candidates that lit up at least one feature
+// no earlier input did (classic coverage-guided feedback). Entries are
+// appended in consideration order and the aggregate coverage map only ever
+// grows — both facts the campaign's determinism contract relies on, since
+// candidates are considered in trial-index order regardless of how many
+// threads evaluated them.
+#pragma once
+
+#include <vector>
+
+#include "compiler/ir.h"
+#include "fuzz/feature.h"
+
+namespace acs::fuzz {
+
+struct CorpusEntry {
+  compiler::ProgramIr ir;
+  FeatureMap features;
+  /// Features this entry contributed that no earlier entry had.
+  std::size_t novelty = 0;
+};
+
+class Corpus {
+ public:
+  /// Keep `ir` iff `features` contains anything new; returns whether it
+  /// was kept. Coverage is merged either way (it cannot grow on a
+  /// non-novel candidate, by definition).
+  bool consider(const compiler::ProgramIr& ir, const FeatureMap& features);
+
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const FeatureMap& coverage() const noexcept {
+    return coverage_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  FeatureMap coverage_;
+};
+
+}  // namespace acs::fuzz

@@ -1,0 +1,135 @@
+#include "fuzz/engine.h"
+
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "exec/parallel.h"
+#include "fuzz/minimize.h"
+#include "fuzz/serialize.h"
+
+namespace acs::fuzz {
+namespace {
+
+using compiler::ProgramIr;
+
+/// Derive one candidate from the corpus snapshot (or fresh).
+ProgramIr make_candidate(const Corpus& corpus, Rng& rng,
+                         const CampaignConfig& config) {
+  if (corpus.empty() || rng.next_bool(config.fresh_probability)) {
+    return workload::make_random_ir(rng, config.generator);
+  }
+  const auto& entries = corpus.entries();
+  ProgramIr ir = entries[rng.next_below(entries.size())].ir;
+  if (entries.size() >= 2 && rng.next_bool(config.splice_probability)) {
+    const auto& donor = entries[rng.next_below(entries.size())].ir;
+    ir = splice(ir, donor, rng, config.limits);
+  }
+  const u64 steps = 1 + rng.next_below(3);
+  for (u64 i = 0; i < steps; ++i) ir = mutate(ir, rng, config.limits);
+  return ir;
+}
+
+/// Fold one evaluated candidate into the campaign state; returns the
+/// findings that are new (by oracle+scheme) and should be shrunk.
+void fold_candidate(const ProgramIr& ir, const EvalResult& eval,
+                    const CampaignConfig& config, Corpus& corpus,
+                    std::set<std::pair<u8, u8>>& seen_findings,
+                    CampaignResult& result) {
+  ++result.candidates;
+  result.executions += eval.executions;
+  if (!eval.viable) return;
+  ++result.viable;
+  corpus.consider(ir, eval.features);
+  for (const Finding& finding : eval.findings) {
+    const auto key = std::make_pair(static_cast<u8>(finding.oracle),
+                                    static_cast<u8>(finding.scheme));
+    if (!seen_findings.insert(key).second) continue;
+
+    FoundCase found;
+    found.finding = finding;
+    found.ops_before = total_ops(ir);
+    ProgramIr reproducer = ir;
+    if (config.minimize_budget > 0) {
+      const auto still_fails = [&](const ProgramIr& candidate) {
+        const EvalResult check = evaluate_program(candidate, config.oracle);
+        for (const Finding& f : check.findings) {
+          if (f.oracle == finding.oracle && f.scheme == finding.scheme) {
+            return true;
+          }
+        }
+        return false;
+      };
+      reproducer = minimize_ir(ir, still_fails, config.minimize_budget);
+    }
+    found.ops_after = total_ops(reproducer);
+    found.reproducer = serialize_ir(reproducer);
+    result.findings.push_back(std::move(found));
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  CampaignResult result;
+  Corpus corpus;
+  std::set<std::pair<u8, u8>> seen_findings;
+  const auto start = std::chrono::steady_clock::now();
+  const auto time_exceeded = [&]() {
+    if (config.time_budget_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= config.time_budget_seconds;
+  };
+
+  // Seed programs go through the same evaluate + fold path, before any
+  // generated candidate (so replayed reproducers re-fire immediately).
+  if (!config.seeds.empty()) {
+    const auto evals = exec::parallel_map_trials<EvalResult>(
+        config.seeds.size(), config.seed,
+        [&](u64 t, u64 /*seed*/) {
+          return evaluate_program(config.seeds[t], config.oracle);
+        },
+        config.threads);
+    for (std::size_t i = 0; i < config.seeds.size(); ++i) {
+      fold_candidate(config.seeds[i], evals[i], config, corpus, seen_findings,
+                     result);
+    }
+  }
+
+  while (result.candidates < config.max_candidates) {
+    if (time_exceeded()) {
+      result.hit_time_budget = true;
+      break;
+    }
+    const u64 batch = std::min<u64>(
+        config.batch, config.max_candidates - result.candidates);
+
+    // Candidate derivation is sequential over the corpus snapshot: the
+    // per-candidate RNG depends only on (seed, round, index).
+    std::vector<ProgramIr> candidates(batch);
+    for (u64 i = 0; i < batch; ++i) {
+      Rng rng(exec::trial_seed(config.seed + 0x9e37 * (result.rounds + 1), i));
+      candidates[i] = make_candidate(corpus, rng, config);
+    }
+
+    const auto evals = exec::parallel_map_trials<EvalResult>(
+        batch, config.seed,
+        [&](u64 t, u64 /*seed*/) {
+          return evaluate_program(candidates[t], config.oracle);
+        },
+        config.threads);
+
+    for (u64 i = 0; i < batch; ++i) {
+      fold_candidate(candidates[i], evals[i], config, corpus, seen_findings,
+                     result);
+    }
+    ++result.rounds;
+  }
+
+  result.coverage = corpus.coverage();
+  result.corpus_size = corpus.size();
+  return result;
+}
+
+}  // namespace acs::fuzz

@@ -1,0 +1,78 @@
+// The fuzzing campaign driver (docs/fuzzing.md).
+//
+// A campaign runs in rounds. Each round SEQUENTIALLY derives a batch of
+// candidates from the current corpus snapshot (fresh random graphs, or
+// mutations/splices of kept entries), with every candidate's randomness
+// seeded via exec::trial_seed — then fans the expensive oracle evaluation
+// out through exec::parallel_map_trials and folds the results back in
+// trial-index order. Generation and folding never run concurrently with
+// anything, so a campaign with a fixed seed and candidate budget is
+// bitwise identical for any --threads value (pinned by
+// tests/fuzz/campaign_test.cc). The optional wall-clock budget is checked
+// only between rounds and is the one intentionally non-deterministic stop
+// condition; determinism comparisons must drive the candidate budget.
+#pragma once
+
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/mutate.h"
+#include "fuzz/oracle.h"
+#include "workload/callgraph_gen.h"
+
+namespace acs::fuzz {
+
+struct CampaignConfig {
+  u64 seed = 1;
+  /// Hard cap on candidates evaluated (the --execs of the CLI).
+  u64 max_candidates = 128;
+  /// Wall-clock cap in seconds, checked between rounds; 0 = none.
+  double time_budget_seconds = 0.0;
+  std::size_t batch = 16;
+  /// Worker threads for oracle evaluation; 0 = all hardware threads.
+  unsigned threads = 1;
+  OracleConfig oracle;
+  MutationLimits limits;
+  workload::CallGraphParams generator;
+  /// Chance a candidate is freshly generated instead of mutated.
+  double fresh_probability = 0.25;
+  /// Chance a mutated candidate is first spliced with another entry.
+  double splice_probability = 0.15;
+  /// Predicate-call budget for shrinking each finding; 0 disables
+  /// in-campaign minimization.
+  std::size_t minimize_budget = 150;
+  /// Programs considered (and evaluated) before the first round — e.g.
+  /// replayed reproducers or the confirm-suite programs.
+  std::vector<compiler::ProgramIr> seeds;
+};
+
+/// One oracle failure the campaign kept: the (possibly shrunk) reproducer
+/// in the stable text format plus its size trajectory.
+struct FoundCase {
+  Finding finding;
+  std::string reproducer;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+};
+
+struct CampaignResult {
+  FeatureMap coverage;
+  std::vector<FoundCase> findings;
+  u64 candidates = 0;   ///< evaluated, including discarded ones
+  u64 viable = 0;       ///< candidates at least one oracle applied to
+  u64 executions = 0;   ///< machine runs across all oracles
+  u64 rounds = 0;
+  std::size_t corpus_size = 0;
+  bool hit_time_budget = false;
+
+  /// Order-independent digest of the final coverage — what the
+  /// thread-invariance tests compare.
+  [[nodiscard]] u64 fingerprint() const noexcept {
+    return coverage.fingerprint();
+  }
+};
+
+/// Run one campaign to its candidate (or time) budget.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace acs::fuzz

@@ -1,0 +1,24 @@
+#include "fuzz/feature.h"
+
+namespace acs::fuzz {
+
+std::size_t FeatureMap::novel_against(const FeatureMap& other) const {
+  std::size_t novel = 0;
+  for (const Feature f : features_) {
+    if (other.features_.count(f) == 0) ++novel;
+  }
+  return novel;
+}
+
+u64 FeatureMap::fingerprint() const noexcept {
+  u64 h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const Feature f : features_) {
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (f >> (8 * byte)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace acs::fuzz

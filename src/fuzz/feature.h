@@ -1,0 +1,90 @@
+// Coverage features for the differential fuzzer (docs/fuzzing.md).
+//
+// A Feature is a 32-bit fingerprint of one lowering or runtime path a
+// candidate program exercised: an IR op kind present, a scheme
+// prologue/epilogue variant chosen (instrumented / leaf-skipped / canary),
+// a verifier CFG edge kind, a non-zero obs counter (with a log2 magnitude
+// bucket, so deeper exercise of the same path still counts as progress), a
+// call-depth histogram bucket, or a delivered fault kind. The corpus
+// scheduler keeps a candidate iff it lights up a feature no earlier input
+// did — the classic coverage-guided feedback loop, with the observability
+// layer standing in for compiler instrumentation.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acs::fuzz {
+
+/// Feature id spaces. The encoded feature is
+///   (domain << 24) | (scheme_tag << 16) | value
+/// where scheme_tag is 0 for scheme-independent features and
+/// 1 + static_cast<u8>(scheme) otherwise.
+enum class FeatureDomain : u8 {
+  kIrOp = 1,      ///< value = OpKind present in the IR
+  kIrShape,       ///< value = structural property (see feature.cc)
+  kLowering,      ///< value = per-scheme instrumentation decision combo
+  kRuntime,       ///< value = hash(counter name) ^ log2 bucket
+  kDepth,         ///< value = call-depth histogram bucket index
+  kCfg,           ///< value = verifier CFG edge/shape kind
+  kFault,         ///< value = delivered inject kind / kill fault kind
+};
+
+using Feature = u32;
+
+[[nodiscard]] constexpr Feature make_feature(FeatureDomain domain,
+                                             u8 scheme_tag,
+                                             u16 value) noexcept {
+  return (static_cast<u32>(domain) << 24) |
+         (static_cast<u32>(scheme_tag) << 16) | value;
+}
+
+/// FNV-1a, folded to 16 bits — stable name hashing for runtime counters.
+[[nodiscard]] constexpr u16 feature_hash(const char* s) noexcept {
+  u32 h = 2166136261u;
+  while (*s != '\0') {
+    h ^= static_cast<unsigned char>(*s++);
+    h *= 16777619u;
+  }
+  return static_cast<u16>(h ^ (h >> 16));
+}
+
+/// An ordered set of features. Ordered (std::set over u32) so iteration,
+/// merging and the fingerprint are independent of insertion order — the
+/// campaign-level determinism contract leans on this.
+class FeatureMap {
+ public:
+  /// Returns true iff the feature was not present yet.
+  bool add(Feature f) { return features_.insert(f).second; }
+
+  /// Number of features in `this` that are missing from `other`.
+  [[nodiscard]] std::size_t novel_against(const FeatureMap& other) const;
+
+  void merge(const FeatureMap& other) {
+    features_.insert(other.features_.begin(), other.features_.end());
+  }
+
+  [[nodiscard]] bool contains(Feature f) const {
+    return features_.count(f) != 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return features_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return features_.empty(); }
+
+  /// Order-independent 64-bit digest (FNV-1a over the sorted ids); the
+  /// thread-invariance tests compare campaign states through this.
+  [[nodiscard]] u64 fingerprint() const noexcept;
+
+  [[nodiscard]] const std::set<Feature>& ids() const noexcept {
+    return features_;
+  }
+
+  [[nodiscard]] bool operator==(const FeatureMap&) const = default;
+
+ private:
+  std::set<Feature> features_;
+};
+
+}  // namespace acs::fuzz

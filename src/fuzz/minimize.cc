@@ -1,0 +1,180 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "fuzz/mutate.h"
+
+namespace acs::fuzz {
+namespace {
+
+using compiler::FunctionIr;
+using compiler::Op;
+using compiler::OpKind;
+using compiler::ProgramIr;
+
+using Site = std::pair<std::size_t, std::size_t>;  // (function, op index)
+
+std::vector<Site> all_sites(const ProgramIr& ir) {
+  std::vector<Site> sites;
+  for (std::size_t f = 0; f < ir.functions.size(); ++f) {
+    for (std::size_t o = 0; o < ir.functions[f].body.size(); ++o) {
+      sites.emplace_back(f, o);
+    }
+  }
+  return sites;
+}
+
+/// The program containing only the ops named in `keep` (sorted).
+ProgramIr project(const ProgramIr& ir, const std::vector<Site>& keep) {
+  ProgramIr out = ir;
+  for (auto& fn : out.functions) fn.body.clear();
+  for (const auto& [f, o] : keep) {
+    out.functions[f].body.push_back(ir.functions[f].body[o]);
+  }
+  return out;
+}
+
+/// Drop functions unreachable from the entry, remapping callee indices.
+/// Returns false when nothing would change.
+bool strip_unreachable(const ProgramIr& ir, ProgramIr& out) {
+  std::vector<bool> live(ir.functions.size(), false);
+  std::vector<std::size_t> work{ir.entry};
+  live[ir.entry] = true;
+  while (!work.empty()) {
+    const std::size_t f = work.back();
+    work.pop_back();
+    const auto mark = [&](std::size_t callee) {
+      if (!live[callee]) {
+        live[callee] = true;
+        work.push_back(callee);
+      }
+    };
+    const FunctionIr& fn = ir.functions[f];
+    for (const Op& op : fn.body) {
+      switch (op.kind) {
+        case OpKind::kCall:
+        case OpKind::kCallIndirect:
+        case OpKind::kCallViaSlot:
+        case OpKind::kThreadCreate:
+          mark(op.a);
+          break;
+        case OpKind::kSigaction:
+          mark(op.b);
+          break;
+        default:
+          break;
+      }
+    }
+    if (fn.tail_callee >= 0) mark(static_cast<std::size_t>(fn.tail_callee));
+  }
+  std::vector<std::size_t> remap(ir.functions.size(), 0);
+  std::size_t next = 0;
+  for (std::size_t f = 0; f < ir.functions.size(); ++f) {
+    if (live[f]) remap[f] = next++;
+  }
+  if (next == ir.functions.size()) return false;
+  out = ProgramIr{};
+  for (std::size_t f = 0; f < ir.functions.size(); ++f) {
+    if (!live[f]) continue;
+    FunctionIr fn = ir.functions[f];
+    for (Op& op : fn.body) {
+      switch (op.kind) {
+        case OpKind::kCall:
+        case OpKind::kCallIndirect:
+        case OpKind::kCallViaSlot:
+        case OpKind::kThreadCreate:
+          op.a = remap[op.a];
+          break;
+        case OpKind::kSigaction:
+          op.b = remap[op.b];
+          break;
+        default:
+          break;
+      }
+    }
+    if (fn.tail_callee >= 0) {
+      fn.tail_callee =
+          static_cast<i64>(remap[static_cast<std::size_t>(fn.tail_callee)]);
+    }
+    out.functions.push_back(std::move(fn));
+  }
+  out.entry = remap[ir.entry];
+  return true;
+}
+
+}  // namespace
+
+ProgramIr minimize_ir(const ProgramIr& ir, const FailurePredicate& still_fails,
+                      std::size_t max_tests, MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+  st.ops_before = total_ops(ir);
+
+  const auto check = [&](const ProgramIr& candidate) {
+    ++st.predicate_calls;
+    return still_fails(candidate);
+  };
+
+  if (!check(ir)) {
+    st.ops_after = st.ops_before;
+    return ir;
+  }
+
+  // Classic ddmin over the op-site list: try removing ever-finer chunks.
+  std::vector<Site> sites = all_sites(ir);
+  std::size_t n = 2;
+  while (sites.size() >= 2 && st.predicate_calls < max_tests) {
+    const std::size_t chunk = std::max<std::size_t>(1, sites.size() / n);
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < sites.size() && st.predicate_calls < max_tests;
+         start += chunk) {
+      std::vector<Site> keep;
+      keep.reserve(sites.size());
+      const std::size_t end = std::min(sites.size(), start + chunk);
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        if (i < start || i >= end) keep.push_back(sites[i]);
+      }
+      if (keep.size() == sites.size()) continue;
+      if (check(project(ir, keep))) {
+        sites = std::move(keep);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= sites.size()) break;
+      n = std::min(sites.size(), n * 2);
+    }
+  }
+  ProgramIr best = project(ir, sites);
+
+  // Cleanup passes (each kept only if the failure survives).
+  for (std::size_t f = 0;
+       f < best.functions.size() && st.predicate_calls < max_tests; ++f) {
+    if (best.functions[f].tail_callee >= 0) {
+      ProgramIr candidate = best;
+      candidate.functions[f].tail_callee = -1;
+      if (check(candidate)) best = std::move(candidate);
+    }
+    if (best.functions[f].local_bytes > 0) {
+      ProgramIr candidate = best;
+      candidate.functions[f].local_bytes = 0;
+      if (check(candidate)) best = std::move(candidate);
+    }
+  }
+  if (st.predicate_calls < max_tests) {
+    ProgramIr stripped;
+    if (strip_unreachable(best, stripped) && check(stripped)) {
+      best = std::move(stripped);
+    }
+  }
+
+  st.ops_after = total_ops(best);
+  return best;
+}
+
+}  // namespace acs::fuzz

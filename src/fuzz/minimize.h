@@ -1,0 +1,36 @@
+// ddmin-style reproducer minimization (docs/fuzzing.md).
+//
+// Given a program on which some oracle fired and a predicate that re-runs
+// the check, shrink the program to a (1-minimal over op chunks) reproducer:
+// delta debugging over the flattened (function, op) site list, followed by
+// cleanup passes that strip unreachable functions, tail calls and local
+// buffers. Every candidate the minimizer proposes is structurally valid —
+// op removal cannot break callee references or introduce call cycles — so
+// the predicate alone decides what survives. Deterministic: the chunk
+// schedule depends only on the input program.
+#pragma once
+
+#include <functional>
+
+#include "compiler/ir.h"
+
+namespace acs::fuzz {
+
+/// Returns true while the failure of interest still reproduces.
+using FailurePredicate = std::function<bool(const compiler::ProgramIr&)>;
+
+struct MinimizeStats {
+  std::size_t predicate_calls = 0;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+};
+
+/// Shrink `ir` while `still_fails` stays true. `still_fails(ir)` itself
+/// must hold on entry (callers pass the program the oracle just flagged);
+/// if it does not, the input is returned unchanged. `max_tests` bounds the
+/// number of predicate evaluations.
+[[nodiscard]] compiler::ProgramIr minimize_ir(
+    const compiler::ProgramIr& ir, const FailurePredicate& still_fails,
+    std::size_t max_tests = 2000, MinimizeStats* stats = nullptr);
+
+}  // namespace acs::fuzz

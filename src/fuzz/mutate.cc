@@ -1,0 +1,301 @@
+#include "fuzz/mutate.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace acs::fuzz {
+namespace {
+
+using compiler::FunctionIr;
+using compiler::Op;
+using compiler::OpKind;
+using compiler::ProgramIr;
+
+[[nodiscard]] bool is_call_like(OpKind kind) noexcept {
+  return kind == OpKind::kCall || kind == OpKind::kCallIndirect ||
+         kind == OpKind::kCallViaSlot || kind == OpKind::kThreadCreate;
+}
+
+/// DFS cycle check over the static call graph.
+bool acyclic_from(const ProgramIr& ir, std::size_t node,
+                  std::vector<u8>& color) {
+  color[node] = 1;  // on stack
+  const auto visit = [&](std::size_t callee) {
+    if (color[callee] == 1) return false;
+    if (color[callee] == 0 && !acyclic_from(ir, callee, color)) return false;
+    return true;
+  };
+  const FunctionIr& fn = ir.functions[node];
+  for (const Op& op : fn.body) {
+    if (is_call_like(op.kind) && !visit(op.a)) return false;
+    if (op.kind == OpKind::kSigaction && !visit(op.b)) return false;
+  }
+  if (fn.tail_callee >= 0 &&
+      !visit(static_cast<std::size_t>(fn.tail_callee))) {
+    return false;
+  }
+  color[node] = 2;
+  return true;
+}
+
+/// Pick a random (function, op) site; false if the program has no ops.
+bool random_site(const ProgramIr& ir, Rng& rng, std::size_t& fn_out,
+                 std::size_t& op_out) {
+  const std::size_t total = total_ops(ir);
+  if (total == 0) return false;
+  std::size_t target = rng.next_below(total);
+  for (std::size_t f = 0; f < ir.functions.size(); ++f) {
+    if (target < ir.functions[f].body.size()) {
+      fn_out = f;
+      op_out = target;
+      return true;
+    }
+    target -= ir.functions[f].body.size();
+  }
+  return false;
+}
+
+/// The codegen lowers each kVulnSite to a program-global "vuln_<id>" label
+/// (attack adversaries arm breakpoints by that name), so ids must stay
+/// unique program-wide or assembly fails on a duplicate label.
+[[nodiscard]] u64 fresh_vuln_id(const ProgramIr& ir, Rng& rng) {
+  std::vector<u64> used;
+  for (const auto& fn : ir.functions) {
+    for (const Op& op : fn.body) {
+      if (op.kind == OpKind::kVulnSite) used.push_back(op.a);
+    }
+  }
+  u64 id = rng.next_below(64);
+  while (std::find(used.begin(), used.end(), id) != used.end()) ++id;
+  return id;
+}
+
+/// An op that is safe to insert anywhere in function `fn_index`.
+Op random_simple_op(const ProgramIr& ir, std::size_t fn_index, Rng& rng,
+                    const MutationLimits& limits) {
+  const FunctionIr& fn = ir.functions[fn_index];
+  for (;;) {
+    switch (rng.next_below(7)) {
+      case 0:
+        return {OpKind::kCompute, 1 + rng.next_below(limits.max_compute), 0};
+      case 1:
+        return {OpKind::kWriteInt, 2000 + rng.next_below(8000), 0};
+      case 2: {
+        if (fn_index == 0) break;  // no lower-indexed callee exists
+        const std::size_t callee = rng.next_below(fn_index);
+        if (rng.next_bool(0.25)) return {OpKind::kCallIndirect, callee, 0};
+        if (rng.next_bool(0.2)) {
+          return {OpKind::kCallViaSlot, callee, rng.next_below(8)};
+        }
+        return {OpKind::kCall, callee, 1 + rng.next_below(limits.max_repeat)};
+      }
+      case 3: {
+        if (fn.local_bytes < 8) break;
+        const u64 slots = fn.local_bytes / 8;
+        if (rng.next_bool()) {
+          return {OpKind::kStoreLocal, 8 * rng.next_below(slots), rng.next()};
+        }
+        return {OpKind::kLoadLocal, 8 * rng.next_below(slots), 0};
+      }
+      case 4:
+        return {OpKind::kYield, 0, 0};
+      case 5:
+        return {OpKind::kVulnSite, fresh_vuln_id(ir, rng), 0};
+      case 6:
+        return {OpKind::kWriteInt, 2000 + rng.next_below(8000), 0};
+    }
+  }
+}
+
+/// One mutation attempt; false if the drawn mutation does not apply.
+bool mutate_once(ProgramIr& ir, Rng& rng, const MutationLimits& limits) {
+  switch (rng.next_below(8)) {
+    case 0: {  // insert a simple op
+      if (total_ops(ir) >= limits.max_total_ops) return false;
+      const std::size_t f = rng.next_below(ir.functions.size());
+      auto& body = ir.functions[f].body;
+      const std::size_t at = rng.next_below(body.size() + 1);
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(at),
+                  random_simple_op(ir, f, rng, limits));
+      return true;
+    }
+    case 1: {  // delete an op (and its partner for paired kinds)
+      std::size_t f = 0, o = 0;
+      if (!random_site(ir, rng, f, o)) return false;
+      auto& body = ir.functions[f].body;
+      const OpKind kind = body[o].kind;
+      const u64 key = body[o].a;
+      body.erase(body.begin() + static_cast<std::ptrdiff_t>(o));
+      // A longjmp whose setjmp was deleted (or a throw whose catch was)
+      // turns into golden-unsupported UB; drop the orphaned partners. The
+      // reverse (setjmp or catch left without a jumper) is harmless.
+      const auto drop_kind = [&](OpKind partner) {
+        body.erase(std::remove_if(body.begin(), body.end(),
+                                  [&](const Op& op) {
+                                    return op.kind == partner && op.a == key;
+                                  }),
+                   body.end());
+      };
+      if (kind == OpKind::kSetjmp) drop_kind(OpKind::kLongjmp);
+      if (kind == OpKind::kCatchPoint) drop_kind(OpKind::kThrow);
+      return true;
+    }
+    case 2: {  // rewire a call site to another (still lower) callee
+      std::size_t f = 0, o = 0;
+      if (!random_site(ir, rng, f, o)) return false;
+      Op& op = ir.functions[f].body[o];
+      if (!is_call_like(op.kind) || f == 0) return false;
+      op.a = rng.next_below(f);
+      return true;
+    }
+    case 3: {  // constant tweak
+      std::size_t f = 0, o = 0;
+      if (!random_site(ir, rng, f, o)) return false;
+      Op& op = ir.functions[f].body[o];
+      switch (op.kind) {
+        case OpKind::kCompute:
+          op.a = 1 + rng.next_below(limits.max_compute);
+          return true;
+        case OpKind::kWriteInt:
+          op.a = 2000 + rng.next_below(8000);
+          return true;
+        case OpKind::kCall:
+          op.b = 1 + rng.next_below(limits.max_repeat);
+          return true;
+        case OpKind::kStoreLocal:
+          op.b = rng.next();
+          return true;
+        default:
+          return false;
+      }
+    }
+    case 4: {  // toggle the tail call of a non-entry, non-first function
+      const std::size_t f = rng.next_below(ir.functions.size());
+      FunctionIr& fn = ir.functions[f];
+      if (fn.tail_callee >= 0) {
+        fn.tail_callee = -1;
+        return true;
+      }
+      if (f == 0) return false;
+      fn.tail_callee = static_cast<i64>(rng.next_below(f));
+      return true;
+    }
+    case 5: {  // matched setjmp/longjmp pair in one function
+      if (total_ops(ir) + 2 > limits.max_total_ops) return false;
+      const std::size_t f = rng.next_below(ir.functions.size());
+      auto& body = ir.functions[f].body;
+      const u64 slot = rng.next_below(4);
+      const std::size_t at = rng.next_below(body.size() + 1);
+      const std::size_t rest = body.size() - at;
+      const std::size_t jump_at = at + 1 + rng.next_below(rest + 1);
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(at),
+                  {OpKind::kSetjmp, slot, 0});
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(jump_at),
+                  {OpKind::kLongjmp, slot, 4000 + rng.next_below(100)});
+      return true;
+    }
+    case 6: {  // matched catch/throw pair in one function
+      if (total_ops(ir) + 2 > limits.max_total_ops) return false;
+      const std::size_t f = rng.next_below(ir.functions.size());
+      auto& body = ir.functions[f].body;
+      const u64 tag = rng.next_below(4);
+      const std::size_t at = rng.next_below(body.size() + 1);
+      const std::size_t rest = body.size() - at;
+      const std::size_t throw_at = at + 1 + rng.next_below(rest + 1);
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(at),
+                  {OpKind::kCatchPoint, tag, 0});
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(throw_at),
+                  {OpKind::kThrow, tag, 5000 + rng.next_below(100)});
+      return true;
+    }
+    case 7: {  // resize (or create) the local buffer
+      const std::size_t f = rng.next_below(ir.functions.size());
+      FunctionIr& fn = ir.functions[f];
+      u64 min_bytes = 0;
+      for (const Op& op : fn.body) {
+        if (op.kind == OpKind::kStoreLocal || op.kind == OpKind::kLoadLocal) {
+          min_bytes = std::max(min_bytes, op.a + 8);
+        }
+      }
+      const u64 chosen = 16 * rng.next_below(6);  // 0..80
+      fn.local_bytes = std::max(chosen, min_bytes);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_acyclic(const ProgramIr& ir) {
+  std::vector<u8> color(ir.functions.size(), 0);
+  for (std::size_t i = 0; i < ir.functions.size(); ++i) {
+    if (color[i] == 0 && !acyclic_from(ir, i, color)) return false;
+  }
+  return true;
+}
+
+std::size_t total_ops(const ProgramIr& ir) {
+  std::size_t total = 0;
+  for (const auto& fn : ir.functions) total += fn.body.size();
+  return total;
+}
+
+ProgramIr mutate(const ProgramIr& ir, Rng& rng,
+                 const MutationLimits& limits) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    ProgramIr candidate = ir;
+    if (!mutate_once(candidate, rng, limits)) continue;
+    if (!is_acyclic(candidate)) continue;
+    return candidate;
+  }
+  return ir;
+}
+
+ProgramIr splice(const ProgramIr& a, const ProgramIr& donor, Rng& rng,
+                 const MutationLimits& limits) {
+  if (a.functions.size() + donor.functions.size() + 1 > limits.max_functions ||
+      total_ops(a) + total_ops(donor) + 2 > limits.max_total_ops) {
+    return a;
+  }
+  ProgramIr out = a;
+  const std::size_t shift = out.functions.size();
+  // Donor vuln-site ids are remapped past the host's maximum: the codegen
+  // lowers each id to a program-global "vuln_<id>" label, and both sides
+  // of the splice may carry the same ids.
+  u64 vuln_shift = 0;
+  for (const auto& fn : a.functions) {
+    for (const Op& op : fn.body) {
+      if (op.kind == OpKind::kVulnSite) {
+        vuln_shift = std::max(vuln_shift, op.a + 1);
+      }
+    }
+  }
+  for (const FunctionIr& fn : donor.functions) {
+    FunctionIr copy = fn;
+    copy.name = "sp$" + std::to_string(shift) + "$" + fn.name;
+    for (Op& op : copy.body) {
+      if (is_call_like(op.kind)) op.a += shift;
+      if (op.kind == OpKind::kSigaction) op.b += shift;
+      if (op.kind == OpKind::kVulnSite) op.a += vuln_shift;
+    }
+    if (copy.tail_callee >= 0) copy.tail_callee += static_cast<i64>(shift);
+    out.functions.push_back(std::move(copy));
+  }
+  FunctionIr driver;
+  // Function names double as assembler labels and must stay unique across
+  // repeated splices. The shift is strictly larger than any shift already
+  // embedded in `a`'s names (programs only ever grow), and the "$$" cannot
+  // collide with the "sp$<shift>$<name>" donor prefix.
+  driver.name = "sp$" + std::to_string(shift) + "$$drv";
+  const bool a_first = rng.next_bool();
+  const u64 first = a_first ? a.entry : shift + donor.entry;
+  const u64 second = a_first ? shift + donor.entry : a.entry;
+  driver.body.push_back({OpKind::kCall, first, 1});
+  driver.body.push_back({OpKind::kCall, second, 1});
+  out.functions.push_back(std::move(driver));
+  out.entry = out.functions.size() - 1;
+  return out;
+}
+
+}  // namespace acs::fuzz

@@ -1,0 +1,49 @@
+// Structural mutations over compiler::ProgramIr.
+//
+// The corpus scheduler does not generate blind: it perturbs programs that
+// already light up interesting lowering paths. Mutations preserve the IR
+// validity invariants the rest of the pipeline assumes — callee indices in
+// range, no call cycles (the IR has no conditionals, so any cycle is an
+// infinite loop), store/load offsets inside the local buffer — and stay
+// inside the golden-comparable op subset (no fork/raise/sigaction/
+// write_reg, whose interleaving or OS semantics the sequential golden
+// model cannot mirror; seeds from the confirm suite may still carry them).
+#pragma once
+
+#include "common/rng.h"
+#include "compiler/ir.h"
+
+namespace acs::fuzz {
+
+struct MutationLimits {
+  std::size_t max_functions = 20;
+  std::size_t max_total_ops = 160;
+  u64 max_compute = 48;
+  u64 max_repeat = 3;
+};
+
+/// True iff the static call graph (call/call_indirect/call_via_slot/
+/// thread_create/sigaction-handler/tail edges) has no cycle.
+[[nodiscard]] bool is_acyclic(const compiler::ProgramIr& ir);
+
+/// Total op count across all function bodies (the reproducer size metric).
+[[nodiscard]] std::size_t total_ops(const compiler::ProgramIr& ir);
+
+/// Apply one random mutation (op insert/delete, callee rewire, constant
+/// tweak, tail-call toggle, matched setjmp/longjmp or catch/throw pair
+/// insertion). The result is always valid and acyclic; if a drawn mutation
+/// cannot apply (e.g. delete on an empty body), another is tried, and after
+/// a bounded number of attempts the input is returned unchanged.
+[[nodiscard]] compiler::ProgramIr mutate(const compiler::ProgramIr& ir,
+                                         Rng& rng,
+                                         const MutationLimits& limits = {});
+
+/// Splice: append `donor`'s functions (callee indices shifted) and replace
+/// the entry with a fresh driver that calls both entries. Returns the
+/// spliced program, or a copy of `a` if the result would exceed `limits`.
+[[nodiscard]] compiler::ProgramIr splice(const compiler::ProgramIr& a,
+                                         const compiler::ProgramIr& donor,
+                                         Rng& rng,
+                                         const MutationLimits& limits = {});
+
+}  // namespace acs::fuzz

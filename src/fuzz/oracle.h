@@ -1,0 +1,117 @@
+// The four oracles of the differential fuzzer (docs/fuzzing.md).
+//
+// evaluate_program() pushes one candidate ProgramIr through the whole
+// pipeline — golden interpreter, per-scheme compile + simulate (with an
+// obs::Recorder attached for runtime feature extraction), static verifier,
+// and an optional fault-injection run — and reports:
+//
+//   1. golden differential   — under every scheme the machine must exit
+//      cleanly with exactly the golden model's output (order-insensitive
+//      when the program spawns threads, whose interleaving the sequential
+//      golden model cannot mirror);
+//   2. cross-scheme differential — schemes must agree with *each other* on
+//      the observable outcome even when the golden model bows out
+//      (fork/signals/unhandled throw), since protection must never change
+//      program semantics;
+//   3. lint cleanliness      — acs-lint (verify::verify_program) must
+//      report exactly the codes expected for the scheme (the Table 1
+//      columns pinned in tests/verify) and nothing else;
+//   4. fault survival        — under an injected ret-slot bitflip plan, a
+//      protecting scheme must either exit with the baseline output or be
+//      killed; silent output corruption is a finding.
+//
+// Everything here is a pure function of (ir, config): machine seeds are
+// fixed, plans derive from config.fault_seed, and the returned FeatureMap
+// is an ordered set — so campaign results are bitwise thread-invariant
+// when trials are sequenced through exec::parallel_map_trials.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "compiler/scheme.h"
+#include "fuzz/feature.h"
+#include "verify/verifier.h"
+
+namespace acs::fuzz {
+
+enum class OracleKind : u8 {
+  kGoldenDiff = 1,   ///< machine output != golden interpreter output
+  kCrossSchemeDiff,  ///< two schemes disagree on the observable outcome
+  kLint,             ///< verifier codes outside the scheme's expected set
+  kFaultSurvival,    ///< silent output corruption under injection
+};
+
+[[nodiscard]] const char* oracle_name(OracleKind kind) noexcept;
+
+/// One oracle violation for one (program, scheme) pair.
+struct Finding {
+  OracleKind oracle = OracleKind::kGoldenDiff;
+  compiler::Scheme scheme = compiler::Scheme::kNone;
+  std::string detail;
+
+  [[nodiscard]] bool operator==(const Finding&) const = default;
+};
+
+struct OracleConfig {
+  /// Golden interpreter op budget; candidates that exceed it are discarded
+  /// (not findings — the generator made a blow-up, nothing to compare).
+  u64 golden_max_ops = 100'000;
+  /// Machine instruction budget per scheme run; exceeding it likewise
+  /// discards the candidate under every oracle.
+  u64 machine_budget = 20'000'000;
+  /// Schemes to compile and simulate. Empty = compiler::all_schemes().
+  std::vector<compiler::Scheme> schemes;
+  /// Passed through to CompileOptions: functions built without the
+  /// scheme's instrumentation (the Section 9.2 mixed-library hazard).
+  /// Setting this is how tests seed a deterministic lint finding.
+  std::vector<std::string> uninstrumented;
+
+  bool run_lint_oracle = true;
+
+  /// Fault-survival oracle. Only ret-slot bitflips are planned: they can
+  /// break nothing but frame records on locals-free programs, so a clean
+  /// exit with changed output is attributable to the scheme. Programs with
+  /// local buffers or repeat-counted calls skip this oracle — local slots
+  /// AND the codegen's memory-resident loop counters both sit in the flip
+  /// window, and a flipped *data* slot corrupts output under any scheme,
+  /// which would be a false positive.
+  bool run_fault_oracle = true;
+  std::vector<compiler::Scheme> fault_schemes{
+      compiler::Scheme::kPacStack, compiler::Scheme::kShadowStack};
+  u64 fault_seed = 1;
+  u64 fault_mean_interval = 2'000;
+};
+
+/// The verifier codes scheme `s` is expected to produce on conforming
+/// codegen output (the static re-derivation of Table 1; mirrors
+/// tests/verify/verifier_test.cc).
+[[nodiscard]] std::vector<verify::Code> expected_lint_codes(
+    compiler::Scheme scheme);
+
+struct EvalResult {
+  /// False when the candidate was discarded (golden or machine budget
+  /// blow-up, or a live-but-deadlocked end state): no oracle applies and
+  /// the corpus must not keep it.
+  bool viable = false;
+  /// Whether the golden model supports the program (oracle 1 applies).
+  bool golden_supported = false;
+  FeatureMap features;
+  std::vector<Finding> findings;
+  /// Machine runs performed (the campaign's execs accounting).
+  u64 executions = 0;
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Run every oracle on `ir`. Pure function of its arguments.
+[[nodiscard]] EvalResult evaluate_program(const compiler::ProgramIr& ir,
+                                          const OracleConfig& config = {});
+
+/// The static (IR-only) feature subset of evaluate_program — cheap enough
+/// for test failure messages that want to say which structures a failing
+/// seed exercised without running the pipeline again.
+[[nodiscard]] FeatureMap ir_features(const compiler::ProgramIr& ir);
+
+}  // namespace acs::fuzz

@@ -1,0 +1,162 @@
+#include "fuzz/serialize.h"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace acs::fuzz {
+namespace {
+
+using compiler::OpKind;
+
+constexpr const char* op_name_table(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kCompute: return "compute";
+    case OpKind::kCall: return "call";
+    case OpKind::kCallIndirect: return "call_indirect";
+    case OpKind::kCallViaSlot: return "call_via_slot";
+    case OpKind::kVulnSite: return "vuln_site";
+    case OpKind::kWriteInt: return "write_int";
+    case OpKind::kWriteReg: return "write_reg";
+    case OpKind::kSetjmp: return "setjmp";
+    case OpKind::kLongjmp: return "longjmp";
+    case OpKind::kThreadCreate: return "thread_create";
+    case OpKind::kYield: return "yield";
+    case OpKind::kStoreLocal: return "store_local";
+    case OpKind::kLoadLocal: return "load_local";
+    case OpKind::kSigaction: return "sigaction";
+    case OpKind::kRaise: return "raise";
+    case OpKind::kFork: return "fork";
+    case OpKind::kThreadJoin: return "thread_join";
+    case OpKind::kCatchPoint: return "catch_point";
+    case OpKind::kThrow: return "throw";
+  }
+  return "unknown";
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("acs-ir line " + std::to_string(line) + ": " +
+                           what);
+}
+
+/// All op kinds, for name -> kind lookup.
+constexpr std::array<OpKind, 19> kAllKinds = {
+    OpKind::kCompute,      OpKind::kCall,        OpKind::kCallIndirect,
+    OpKind::kCallViaSlot,  OpKind::kVulnSite,    OpKind::kWriteInt,
+    OpKind::kWriteReg,     OpKind::kSetjmp,      OpKind::kLongjmp,
+    OpKind::kThreadCreate, OpKind::kYield,       OpKind::kStoreLocal,
+    OpKind::kLoadLocal,    OpKind::kSigaction,   OpKind::kRaise,
+    OpKind::kFork,         OpKind::kThreadJoin,  OpKind::kCatchPoint,
+    OpKind::kThrow};
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) noexcept { return op_name_table(kind); }
+
+std::string serialize_ir(const compiler::ProgramIr& ir) {
+  std::ostringstream out;
+  out << "acs-ir v1\n";
+  out << "entry " << ir.entry << "\n";
+  for (const auto& fn : ir.functions) {
+    out << "fn " << fn.name << " locals " << fn.local_bytes << " tail "
+        << fn.tail_callee << " spills_cr " << (fn.spills_cr ? 1 : 0) << "\n";
+    for (const auto& op : fn.body) {
+      out << "op " << op_name_table(op.kind) << " " << op.a << " " << op.b
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+compiler::ProgramIr parse_ir(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "acs-ir v1") {
+    fail(line_no, "missing 'acs-ir v1' header");
+  }
+  if (!next_line()) fail(line_no, "missing 'entry' line");
+  std::istringstream entry_line(line);
+  std::string tok;
+  std::size_t entry = 0;
+  if (!(entry_line >> tok >> entry) || tok != "entry") {
+    fail(line_no, "malformed entry line '" + line + "'");
+  }
+
+  compiler::ProgramIr ir;
+  while (next_line()) {
+    std::istringstream fields(line);
+    fields >> tok;
+    if (tok == "fn") {
+      compiler::FunctionIr fn;
+      std::string locals_kw, tail_kw, spills_kw;
+      int spills = 0;
+      if (!(fields >> fn.name >> locals_kw >> fn.local_bytes >> tail_kw >>
+            fn.tail_callee >> spills_kw >> spills) ||
+          locals_kw != "locals" || tail_kw != "tail" ||
+          spills_kw != "spills_cr" || (spills != 0 && spills != 1)) {
+        fail(line_no, "malformed fn line '" + line + "'");
+      }
+      fn.spills_cr = spills == 1;
+      ir.functions.push_back(std::move(fn));
+    } else if (tok == "op") {
+      if (ir.functions.empty()) fail(line_no, "op before any fn");
+      std::string name;
+      compiler::Op op;
+      if (!(fields >> name >> op.a >> op.b)) {
+        fail(line_no, "malformed op line '" + line + "'");
+      }
+      bool found = false;
+      for (const OpKind kind : kAllKinds) {
+        if (name == op_name_table(kind)) {
+          op.kind = kind;
+          found = true;
+          break;
+        }
+      }
+      if (!found) fail(line_no, "unknown op kind '" + name + "'");
+      ir.functions.back().body.push_back(op);
+    } else {
+      fail(line_no, "unexpected token '" + tok + "'");
+    }
+    std::string trailing;
+    if (fields >> trailing) fail(line_no, "trailing token '" + trailing + "'");
+  }
+
+  if (ir.functions.empty()) fail(line_no, "program has no functions");
+  if (entry >= ir.functions.size()) fail(line_no, "entry index out of range");
+  ir.entry = entry;
+
+  // The same referential checks IrBuilder::build enforces.
+  for (const auto& fn : ir.functions) {
+    for (const auto& op : fn.body) {
+      const bool callee_ref = op.kind == OpKind::kCall ||
+                              op.kind == OpKind::kCallIndirect ||
+                              op.kind == OpKind::kCallViaSlot ||
+                              op.kind == OpKind::kThreadCreate;
+      if (callee_ref && op.a >= ir.functions.size()) {
+        fail(line_no, "callee index out of range in " + fn.name);
+      }
+      if (op.kind == OpKind::kSigaction && op.b >= ir.functions.size()) {
+        fail(line_no, "handler index out of range in " + fn.name);
+      }
+    }
+    if (fn.tail_callee >= 0 &&
+        static_cast<std::size_t>(fn.tail_callee) >= ir.functions.size()) {
+      fail(line_no, "tail callee out of range in " + fn.name);
+    }
+  }
+  return ir;
+}
+
+}  // namespace acs::fuzz

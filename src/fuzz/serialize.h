@@ -1,0 +1,34 @@
+// Stable text serialization for compiler::ProgramIr — the corpus format.
+//
+// Fuzzer reproducers live in tests/corpus/ as plain text so a failing
+// random program survives as an ordinary reviewable regression test. The
+// format is line-based and canonical: serialize(parse(text)) == text for
+// any text produced by serialize, and parse(serialize(ir)) reproduces `ir`
+// field-for-field (pinned by tests/fuzz/serialize_test.cc over random IRs).
+//
+//   acs-ir v1
+//   entry 2
+//   fn rg$f0 locals 0 tail -1 spills_cr 0
+//   op compute 7 0
+//   op call 0 2
+//   ...
+#pragma once
+
+#include <string>
+
+#include "compiler/ir.h"
+
+namespace acs::fuzz {
+
+/// Stable lowercase token for an IR op kind ("compute", "call", ...).
+[[nodiscard]] const char* op_kind_name(compiler::OpKind kind) noexcept;
+
+/// Canonical text rendering of a program.
+[[nodiscard]] std::string serialize_ir(const compiler::ProgramIr& ir);
+
+/// Parse the canonical format. Throws std::runtime_error (with a line
+/// number) on malformed input; validates entry/callee indices like
+/// IrBuilder::build does.
+[[nodiscard]] compiler::ProgramIr parse_ir(const std::string& text);
+
+}  // namespace acs::fuzz

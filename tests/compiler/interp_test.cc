@@ -104,5 +104,169 @@ TEST(Interp, BudgetGuard) {
   EXPECT_FALSE(result.completed);
 }
 
+// ---- Semantics the differential fuzzer pinned down (docs/fuzzing.md) ----
+
+TEST(Interp, CaughtThrowRunsTailCall) {
+  // The machine's catch pad branches to the epilogue, and for a
+  // tail-calling function the epilogue ENDS IN the tail branch — catching
+  // an exception does not skip the tail call.
+  IrBuilder builder;
+  const auto tail = builder.begin_function("tail");
+  builder.write_int(2);
+  const auto entry = builder.begin_function("entry");
+  builder.catch_point(0);
+  builder.throw_exception(0, 5095);
+  builder.tail_call(tail);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.output, (std::vector<u64>{5095, 2}));
+}
+
+TEST(Interp, LongjmpArrivalRunsTailCall) {
+  // Same contract for the longjmp-arrival path of setjmp.
+  IrBuilder builder;
+  const auto tail = builder.begin_function("tail");
+  builder.write_int(3);
+  const auto entry = builder.begin_function("entry");
+  builder.setjmp_point(1);
+  builder.longjmp_to(1, 7070);
+  builder.tail_call(tail);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.output, (std::vector<u64>{7070, 3}));
+}
+
+TEST(Interp, SlotAliasingLastWriterWins) {
+  // The loader fills one jmp-table word per data slot in function/op
+  // order; two call_via_slot ops naming the same slot both call the LAST
+  // op's callee, exactly like the machine.
+  IrBuilder builder;
+  const auto a = builder.begin_function("a");
+  builder.write_int(1);
+  const auto b = builder.begin_function("b");
+  builder.write_int(2);
+  const auto entry = builder.begin_function("entry");
+  builder.call_via_slot(a, 0);
+  builder.call_via_slot(b, 0);  // last writer: slot 0 -> b
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.output, (std::vector<u64>{2, 2}));
+}
+
+TEST(Interp, SlotAliasedRecursionHitsDepthGuardNotHostStack) {
+  // Slot aliasing can create cycles the acyclic static call graph hides;
+  // the interpreter must bow out as incomplete instead of recursing to a
+  // host stack overflow.
+  IrBuilder builder;
+  const auto f0 = builder.begin_function("f0");
+  builder.write_int(1);
+  const auto f1 = builder.begin_function("f1");
+  builder.call_via_slot(f0, 0);
+  const auto entry = builder.begin_function("entry");
+  builder.call_via_slot(f1, 0);  // rebinds slot 0 to f1: f1 calls itself
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(Interp, LongjmpToOverwrittenBufUnsupported) {
+  // There is ONE jmp_buf per slot, overwritten by every setjmp. After the
+  // inner setjmp's frame returns, the buf points into a dead frame; a
+  // longjmp to it is undefined in the source model, NOT a jump to the
+  // still-live outer setjmp.
+  IrBuilder builder;
+  const auto inner = builder.begin_function("inner");
+  builder.setjmp_point(0);  // overwrites slot 0's buf, then returns
+  const auto entry = builder.begin_function("entry");
+  builder.setjmp_point(0);
+  builder.call(inner);
+  builder.longjmp_to(0, 5);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_FALSE(result.supported);
+}
+
+TEST(Interp, SetjmpPlusThreadsUnsupported) {
+  // jmp_bufs are global: concurrent threads clobber each other's buffers
+  // on the machine, which the sequential model cannot mirror.
+  IrBuilder builder;
+  const auto worker = builder.begin_function("worker");
+  builder.setjmp_point(0);
+  builder.longjmp_to(0, 9);
+  const auto entry = builder.begin_function("entry");
+  builder.thread_create(worker, 0);
+  builder.thread_join(1);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_FALSE(result.supported);
+}
+
+TEST(Interp, ThrowEscapingThreadUnsupported) {
+  // On the machine an uncaught throw in a thread unwinds only that
+  // thread's stack and kills the process; inlined sequential execution
+  // would let the spawner's catch handle it. Outside the model.
+  IrBuilder builder;
+  const auto worker = builder.begin_function("worker");
+  builder.throw_exception(4, 9);
+  const auto entry = builder.begin_function("entry");
+  builder.catch_point(4);
+  builder.thread_create(worker, 0);
+  builder.thread_join(1);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_FALSE(result.supported);
+}
+
+TEST(Interp, ThrowCaughtInsideThreadSupported) {
+  // A throw resolved within the thread body never crosses the thread
+  // boundary and stays inside the sequential model.
+  IrBuilder builder;
+  const auto worker = builder.begin_function("worker");
+  builder.catch_point(4);
+  builder.throw_exception(4, 9);
+  const auto entry = builder.begin_function("entry");
+  builder.thread_create(worker, 0);
+  builder.thread_join(1);
+  builder.write_int(1);
+  const auto result = interpret(builder.build(entry));
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.output, (std::vector<u64>{9, 1}));
+}
+
+TEST(Interp, UnhandledThrowUnsupported) {
+  IrBuilder builder;
+  const auto entry = builder.begin_function("entry");
+  builder.throw_exception(1, 2);
+  EXPECT_FALSE(interpret(builder.build(entry)).supported);
+}
+
+TEST(Interp, MismatchedCatchTagUnsupported) {
+  IrBuilder builder;
+  const auto entry = builder.begin_function("entry");
+  builder.catch_point(1);
+  builder.throw_exception(2, 5);
+  EXPECT_FALSE(interpret(builder.build(entry)).supported);
+}
+
+TEST(Interp, RemainingOsOpsUnsupported) {
+  {
+    IrBuilder builder;
+    (void)builder.begin_function("entry");
+    builder.write_reg();
+    EXPECT_FALSE(interpret(builder.build(0)).supported);
+  }
+  {
+    IrBuilder builder;
+    const auto handler = builder.begin_function("handler");
+    builder.write_int(55);
+    const auto entry = builder.begin_function("entry");
+    builder.sigaction(10, handler);
+    EXPECT_FALSE(interpret(builder.build(entry)).supported);
+  }
+  {
+    IrBuilder builder;
+    (void)builder.begin_function("entry");
+    builder.raise_signal(10);
+    EXPECT_FALSE(interpret(builder.build(0)).supported);
+  }
+}
+
 }  // namespace
 }  // namespace acs::compiler

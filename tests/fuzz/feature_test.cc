@@ -1,0 +1,74 @@
+// FeatureMap / corpus scheduler semantics: order-independent fingerprints
+// (the determinism contract's foundation) and keep-iff-novel scheduling.
+#include "fuzz/feature.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fuzz/corpus.h"
+#include "fuzz/oracle.h"
+#include "workload/callgraph_gen.h"
+
+namespace acs::fuzz {
+namespace {
+
+TEST(FeatureMap, FingerprintIsInsertionOrderIndependent) {
+  const Feature a = make_feature(FeatureDomain::kIrOp, 0, 1);
+  const Feature b = make_feature(FeatureDomain::kLowering, 3, 0x42);
+  const Feature c = make_feature(FeatureDomain::kRuntime, 1, 0x777);
+  FeatureMap forward;
+  forward.add(a);
+  forward.add(b);
+  forward.add(c);
+  FeatureMap backward;
+  backward.add(c);
+  backward.add(b);
+  backward.add(a);
+  backward.add(c);  // duplicates are no-ops
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+  EXPECT_EQ(forward.size(), 3u);
+}
+
+TEST(FeatureMap, DomainsAndSchemesDoNotCollide) {
+  // Same 16-bit value in different domains / scheme tags must stay
+  // distinct features.
+  FeatureMap map;
+  EXPECT_TRUE(map.add(make_feature(FeatureDomain::kIrOp, 0, 9)));
+  EXPECT_TRUE(map.add(make_feature(FeatureDomain::kLowering, 0, 9)));
+  EXPECT_TRUE(map.add(make_feature(FeatureDomain::kLowering, 1, 9)));
+  EXPECT_FALSE(map.add(make_feature(FeatureDomain::kLowering, 1, 9)));
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(FeatureMap, NovelAgainstCountsOnlyMissing) {
+  FeatureMap seen;
+  seen.add(make_feature(FeatureDomain::kIrOp, 0, 1));
+  FeatureMap candidate;
+  candidate.add(make_feature(FeatureDomain::kIrOp, 0, 1));
+  candidate.add(make_feature(FeatureDomain::kIrOp, 0, 2));
+  EXPECT_EQ(candidate.novel_against(seen), 1u);
+  seen.merge(candidate);
+  EXPECT_EQ(candidate.novel_against(seen), 0u);
+}
+
+TEST(Corpus, KeepsOnlyFeatureNovelPrograms) {
+  Corpus corpus;
+  Rng rng(3);
+  const auto ir = workload::make_random_ir(rng);
+  const FeatureMap features = ir_features(ir);
+  EXPECT_TRUE(corpus.consider(ir, features));
+  EXPECT_EQ(corpus.size(), 1u);
+  // The identical feature set brings nothing new.
+  EXPECT_FALSE(corpus.consider(ir, features));
+  EXPECT_EQ(corpus.size(), 1u);
+  // A program lighting one extra feature is kept.
+  FeatureMap richer = features;
+  richer.add(make_feature(FeatureDomain::kFault, 2, 0x31));
+  EXPECT_TRUE(corpus.consider(ir, richer));
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.coverage().size(), richer.size());
+}
+
+}  // namespace
+}  // namespace acs::fuzz

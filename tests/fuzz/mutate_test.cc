@@ -1,0 +1,163 @@
+// Structural mutations must preserve the IR validity invariants the rest
+// of the pipeline assumes: callee indices in range (parse_ir re-validates
+// them), no call-graph cycles, and globally unique function names (they
+// double as assembler labels).
+#include "fuzz/mutate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "fuzz/serialize.h"
+#include "workload/callgraph_gen.h"
+#include "workload/confirm_suite.h"
+
+namespace acs::fuzz {
+namespace {
+
+using compiler::ProgramIr;
+
+void expect_valid(const ProgramIr& ir, const char* context) {
+  EXPECT_TRUE(is_acyclic(ir)) << context;
+  std::set<std::string> names;
+  for (const auto& fn : ir.functions) names.insert(fn.name);
+  EXPECT_EQ(names.size(), ir.functions.size())
+      << context << ": duplicate function name (assembler label clash)";
+  // Vuln-site ids lower to program-global "vuln_<id>" labels.
+  std::set<u64> vuln_ids;
+  std::size_t vuln_sites = 0;
+  for (const auto& fn : ir.functions) {
+    for (const auto& op : fn.body) {
+      if (op.kind == compiler::OpKind::kVulnSite) {
+        vuln_ids.insert(op.a);
+        ++vuln_sites;
+      }
+    }
+  }
+  EXPECT_EQ(vuln_ids.size(), vuln_sites)
+      << context << ": duplicate vuln-site id (assembler label clash)";
+  // serialize->parse re-runs the referential validity checks (entry and
+  // callee indices, local offsets) and must accept every mutant.
+  EXPECT_NO_THROW((void)parse_ir(serialize_ir(ir))) << context;
+}
+
+TEST(Mutate, LongMutationChainsStayValid) {
+  Rng rng(0xACE1);
+  for (u64 seed = 1; seed <= 8; ++seed) {
+    Rng gen_rng(seed * 101 + 3);
+    ProgramIr program = workload::make_random_ir(gen_rng);
+    for (int step = 0; step < 60; ++step) {
+      program = mutate(program, rng);
+      ASSERT_NO_FATAL_FAILURE(expect_valid(program, "mutation chain"));
+    }
+  }
+}
+
+TEST(Mutate, ConfirmSuiteSeedsStayValid) {
+  // Confirm-suite programs carry the op kinds the mutator never inserts
+  // (threads, fork, sigaction); deleting and rewiring around them must not
+  // break validity either.
+  Rng rng(0xBEEF);
+  for (const auto& test : workload::confirm_suite()) {
+    ProgramIr program = test.ir;
+    for (int step = 0; step < 40; ++step) {
+      program = mutate(program, rng);
+      ASSERT_NO_FATAL_FAILURE(expect_valid(program, test.name.c_str()));
+    }
+  }
+}
+
+TEST(Mutate, RespectsTotalOpLimit) {
+  Rng rng(77);
+  MutationLimits limits;
+  limits.max_total_ops = 24;
+  limits.max_functions = 6;
+  Rng gen_rng(5);
+  ProgramIr program = workload::make_random_ir(gen_rng);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t before = total_ops(program);
+    program = mutate(program, rng, limits);
+    // Inserting past the cap must be rejected; other mutations may shrink.
+    EXPECT_LE(total_ops(program), std::max(before, limits.max_total_ops));
+  }
+}
+
+TEST(Splice, CombinesProgramsBehindFreshDriver) {
+  Rng rng(11);
+  auto suite = workload::confirm_suite();
+  const ProgramIr& a = suite[0].ir;
+  const ProgramIr& b = suite[1].ir;
+  MutationLimits limits;
+  limits.max_functions = 64;
+  limits.max_total_ops = 4096;
+  const ProgramIr spliced = splice(a, b, rng, limits);
+  ASSERT_EQ(spliced.functions.size(), a.functions.size() +
+                                          b.functions.size() + 1);
+  EXPECT_EQ(spliced.entry, spliced.functions.size() - 1);
+  // The driver reaches both original entries.
+  const auto& driver = spliced.functions.back();
+  ASSERT_EQ(driver.body.size(), 2u);
+  expect_valid(spliced, "splice");
+}
+
+TEST(Splice, RepeatedSplicingKeepsLabelsUnique) {
+  // Regression: the driver function used to be named "sp$driver"
+  // unconditionally, so splicing an already-spliced program made the
+  // assembler throw on the duplicate label.
+  Rng rng(23);
+  auto suite = workload::confirm_suite();
+  MutationLimits limits;
+  limits.max_functions = 256;
+  limits.max_total_ops = 65536;
+  ProgramIr program = suite[0].ir;
+  for (std::size_t round = 0; round < 4; ++round) {
+    program = splice(program, suite[round % suite.size()].ir, rng, limits);
+    ASSERT_NO_FATAL_FAILURE(expect_valid(program, "repeated splice"));
+  }
+}
+
+TEST(Splice, RemapsCollidingVulnSiteIds) {
+  // Regression: both sides of a splice can carry the same vuln-site ids
+  // (e.g. two descendants of the same attack-scenario seed); the donor's
+  // ids must be renumbered past the host's or assembly throws on the
+  // duplicate "vuln_<id>" label.
+  compiler::IrBuilder host_builder;
+  (void)host_builder.begin_function("vh$entry");
+  host_builder.vuln_site(1);
+  host_builder.write_int(1);
+  const ProgramIr host = host_builder.build(0);
+  Rng rng(47);
+  MutationLimits limits;
+  const ProgramIr spliced = splice(host, host, rng, limits);
+  ASSERT_GT(spliced.functions.size(), host.functions.size());
+  ASSERT_NO_FATAL_FAILURE(expect_valid(spliced, "vuln-id splice"));
+}
+
+TEST(Mutate, InsertedVulnSitesNeverCollide) {
+  // The op-inserting mutation draws vuln ids; drawing one that is already
+  // present in the program must be remapped, not emitted twice.
+  compiler::IrBuilder builder;
+  (void)builder.begin_function("vi$entry");
+  for (u64 id = 0; id < 64; ++id) builder.vuln_site(id);  // all short draws
+  builder.write_int(1);
+  ProgramIr program = builder.build(0);
+  Rng rng(3);
+  for (int step = 0; step < 120; ++step) {
+    program = mutate(program, rng);
+    ASSERT_NO_FATAL_FAILURE(expect_valid(program, "vuln insert"));
+  }
+}
+
+TEST(Splice, ReturnsInputWhenOverLimit) {
+  Rng rng(31);
+  auto suite = workload::confirm_suite();
+  MutationLimits limits;
+  limits.max_functions = 3;  // too small for any splice
+  const ProgramIr out = splice(suite[0].ir, suite[1].ir, rng, limits);
+  EXPECT_EQ(out.functions.size(), suite[0].ir.functions.size());
+}
+
+}  // namespace
+}  // namespace acs::fuzz

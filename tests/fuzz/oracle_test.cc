@@ -1,0 +1,193 @@
+// Oracle behaviour pins (docs/fuzzing.md): clean programs stay clean under
+// every scheme, discard paths discard, and — the negative control — a
+// scheme that does NOT protect return addresses is flagged by the
+// fault-survival oracle when an injected ret-slot bitflip silently changes
+// the output.
+#include "fuzz/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/interp.h"
+#include "compiler/ir.h"
+#include "workload/callgraph_gen.h"
+#include "workload/confirm_suite.h"
+
+namespace acs::fuzz {
+namespace {
+
+using compiler::IrBuilder;
+using compiler::ProgramIr;
+using compiler::Scheme;
+
+/// Unrolled call tree with output spread across return boundaries. No
+/// locals and no repeat-counted calls, so the frames hold nothing but
+/// frame records (the fault oracle's soundness precondition): every slot
+/// in the injector's flip window is return-address material.
+ProgramIr ret_heavy_program() {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("rh$leaf");
+  builder.compute(4);
+  builder.write_int(11);
+  const auto mid = builder.begin_function("rh$mid");
+  for (int i = 0; i < 3; ++i) builder.call(leaf);
+  builder.write_int(22);
+  const auto upper = builder.begin_function("rh$upper");
+  for (int i = 0; i < 3; ++i) builder.call(mid);
+  builder.write_int(33);
+  const auto entry = builder.begin_function("rh$entry");
+  for (int i = 0; i < 3; ++i) builder.call(upper);
+  builder.write_int(44);
+  return builder.build(entry);
+}
+
+TEST(Oracle, CleanProgramHasNoFindings) {
+  Rng rng(0x5EED);
+  const ProgramIr ir = workload::make_random_ir(rng);
+  const EvalResult result = evaluate_program(ir);
+  ASSERT_TRUE(result.viable);
+  EXPECT_TRUE(result.golden_supported);
+  EXPECT_TRUE(result.clean()) << result.findings.front().detail;
+  EXPECT_GT(result.features.size(), 0u);
+  EXPECT_GT(result.executions, 0u);
+}
+
+TEST(Oracle, ConfirmSuiteIsCleanUnderEveryOracle) {
+  for (auto& test : workload::confirm_suite()) {
+    const EvalResult result = evaluate_program(test.ir);
+    ASSERT_TRUE(result.viable) << test.name;
+    EXPECT_TRUE(result.clean())
+        << test.name << ": " << result.findings.front().detail;
+  }
+}
+
+TEST(Oracle, SlotAliasedRecursionIsDiscardedNotCrashed) {
+  // Two call_via_slot ops sharing one data slot: the loader's last writer
+  // wins, making fn1 call itself — an infinite loop the static call graph
+  // (which uses the per-op callee index) does not show. Both the golden
+  // model (depth guard) and the machine (budget) must bow out, discarding
+  // the candidate instead of hanging or overflowing the host stack.
+  IrBuilder builder;
+  const auto f0 = builder.begin_function("al$f0");
+  builder.write_int(1);
+  const auto f1 = builder.begin_function("al$f1");
+  builder.call_via_slot(f0, /*slot=*/0);
+  const auto entry = builder.begin_function("al$entry");
+  builder.call_via_slot(f1, /*slot=*/0);  // last writer: slot 0 -> f1
+  const ProgramIr ir = builder.build(entry);
+
+  const auto golden = compiler::interpret(ir, 100'000);
+  EXPECT_TRUE(golden.supported);
+  EXPECT_FALSE(golden.completed);
+
+  OracleConfig config;
+  config.schemes = {Scheme::kPacStack};
+  config.machine_budget = 200'000;  // keep the discard fast
+  const EvalResult result = evaluate_program(ir, config);
+  EXPECT_FALSE(result.viable);
+}
+
+TEST(Oracle, UnjoinedThreadTruncationIsNotADivergence) {
+  // The worker may get zero cycles before the main thread exits; the
+  // golden oracle only requires the machine output to be contained in the
+  // run-to-completion model's output.
+  IrBuilder builder;
+  const auto worker = builder.begin_function("ut$worker");
+  builder.write_int(9);
+  const auto entry = builder.begin_function("ut$entry");
+  builder.thread_create(worker, 0);
+  builder.write_int(1);
+  const EvalResult result = evaluate_program(builder.build(entry));
+  ASSERT_TRUE(result.viable);
+  EXPECT_TRUE(result.golden_supported);
+  EXPECT_TRUE(result.clean()) << result.findings.front().detail;
+}
+
+TEST(Oracle, FaultSurvivalFlagsUnprotectedScheme) {
+  // Satellite pin: under Scheme::kNone a ret-slot bitflip can redirect a
+  // return without any detection, so for SOME plan seed the process exits
+  // with corrupted output — exactly what the oracle must flag. The seed
+  // search is deterministic; the first hit is remembered.
+  const ProgramIr ir = ret_heavy_program();
+  OracleConfig config;
+  config.schemes = {Scheme::kNone};
+  config.fault_schemes = {Scheme::kNone};
+  config.run_lint_oracle = false;
+  config.fault_mean_interval = 30;
+  bool flagged = false;
+  for (u64 seed = 1; seed <= 96 && !flagged; ++seed) {
+    config.fault_seed = seed;
+    const EvalResult result = evaluate_program(ir, config);
+    if (!result.viable) continue;
+    for (const Finding& finding : result.findings) {
+      if (finding.oracle == OracleKind::kFaultSurvival) flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged)
+      << "no plan seed produced silent corruption under the baseline";
+}
+
+TEST(Oracle, FaultSurvivalAcceptsProtectingScheme) {
+  // Positive control for the test above: pacstack converts every flipped
+  // frame record into an authentication kill (a detection, not a finding)
+  // or the fault misses entirely — never silent corruption.
+  const ProgramIr ir = ret_heavy_program();
+  OracleConfig config;
+  config.schemes = {Scheme::kPacStack};
+  config.fault_schemes = {Scheme::kPacStack};
+  config.run_lint_oracle = false;
+  config.fault_mean_interval = 30;
+  for (u64 seed = 1; seed <= 96; ++seed) {
+    config.fault_seed = seed;
+    const EvalResult result = evaluate_program(ir, config);
+    if (!result.viable) continue;
+    for (const Finding& finding : result.findings) {
+      EXPECT_NE(finding.oracle, OracleKind::kFaultSurvival)
+          << "seed " << seed << ": " << finding.detail;
+    }
+  }
+}
+
+TEST(Oracle, UninstrumentedSpillIsALintFinding) {
+  // The Section 9.2 mixed-library hazard seeded through OracleConfig:
+  // an uninstrumented function that spills the chain register must raise
+  // a verifier code outside pacstack's expected (empty) set.
+  IrBuilder builder;
+  const auto spiller = builder.begin_function("mx$spiller");
+  builder.compute(3);
+  builder.mark_spills_cr();
+  const auto entry = builder.begin_function("mx$entry");
+  builder.call(spiller);
+  builder.write_int(5);
+  OracleConfig config;
+  config.schemes = {Scheme::kPacStack};
+  config.run_fault_oracle = false;
+  config.uninstrumented = {"mx$spiller"};
+  const EvalResult result = evaluate_program(builder.build(entry), config);
+  ASSERT_TRUE(result.viable);
+  bool lint_finding = false;
+  for (const Finding& finding : result.findings) {
+    if (finding.oracle == OracleKind::kLint &&
+        finding.scheme == Scheme::kPacStack) {
+      lint_finding = true;
+    }
+  }
+  EXPECT_TRUE(lint_finding);
+}
+
+TEST(Oracle, IrFeaturesSeparateStructurallyDifferentPrograms) {
+  IrBuilder plain;
+  const auto f = plain.begin_function("p$f");
+  plain.write_int(1);
+  (void)f;
+  IrBuilder tailed;
+  const auto target = tailed.begin_function("t$target");
+  tailed.write_int(1);
+  const auto via = tailed.begin_function("t$via");
+  tailed.tail_call(target);
+  const FeatureMap a = ir_features(plain.build(0));
+  const FeatureMap b = ir_features(tailed.build(via));
+  EXPECT_GT(b.novel_against(a), 0u);
+}
+
+}  // namespace
+}  // namespace acs::fuzz

@@ -1,0 +1,114 @@
+// The corpus text format must be canonical: serialize(parse(t)) == t for
+// serializer output, and parse(serialize(ir)) == ir field-for-field — a
+// reproducer checked into tests/corpus/ has to mean the same program
+// forever (see src/fuzz/serialize.h).
+#include "fuzz/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "fuzz/mutate.h"
+#include "workload/callgraph_gen.h"
+#include "workload/confirm_suite.h"
+
+namespace acs::fuzz {
+namespace {
+
+using compiler::ProgramIr;
+
+void expect_same_program(const ProgramIr& a, const ProgramIr& b) {
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  EXPECT_EQ(a.entry, b.entry);
+  for (std::size_t i = 0; i < a.functions.size(); ++i) {
+    const auto& fa = a.functions[i];
+    const auto& fb = b.functions[i];
+    EXPECT_EQ(fa.name, fb.name);
+    EXPECT_EQ(fa.local_bytes, fb.local_bytes);
+    EXPECT_EQ(fa.tail_callee, fb.tail_callee);
+    EXPECT_EQ(fa.spills_cr, fb.spills_cr);
+    ASSERT_EQ(fa.body.size(), fb.body.size()) << fa.name;
+    for (std::size_t o = 0; o < fa.body.size(); ++o) {
+      EXPECT_EQ(fa.body[o].kind, fb.body[o].kind) << fa.name << " op " << o;
+      EXPECT_EQ(fa.body[o].a, fb.body[o].a) << fa.name << " op " << o;
+      EXPECT_EQ(fa.body[o].b, fb.body[o].b) << fa.name << " op " << o;
+    }
+  }
+}
+
+TEST(Serialize, RoundTripsRandomIrs) {
+  for (u64 seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed * 31 + 7);
+    const ProgramIr ir = workload::make_random_ir(rng);
+    const std::string text = serialize_ir(ir);
+    const ProgramIr parsed = parse_ir(text);
+    expect_same_program(ir, parsed);
+    EXPECT_EQ(serialize_ir(parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(Serialize, RoundTripsConfirmSuite) {
+  // The confirm suite exercises every op kind the builder can produce,
+  // including the ones the mutator never inserts (fork/raise/sigaction).
+  for (const auto& test : workload::confirm_suite()) {
+    const std::string text = serialize_ir(test.ir);
+    const ProgramIr parsed = parse_ir(text);
+    expect_same_program(test.ir, parsed);
+    EXPECT_EQ(serialize_ir(parsed), text) << test.name;
+  }
+}
+
+TEST(Serialize, RoundTripsMutatedAndSplicedIrs) {
+  Rng rng(0xF00D);
+  auto suite = workload::confirm_suite();
+  ProgramIr program = suite.front().ir;
+  for (int step = 0; step < 30; ++step) {
+    program = mutate(program, rng);
+    if (step % 10 == 9) {
+      program = splice(program, suite[step % suite.size()].ir, rng);
+    }
+    const std::string text = serialize_ir(program);
+    const ProgramIr parsed = parse_ir(text);
+    expect_same_program(program, parsed);
+    EXPECT_EQ(serialize_ir(parsed), text) << "step " << step;
+  }
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_ir(""), std::runtime_error);
+  EXPECT_THROW((void)parse_ir("acs-ir v2\nentry 0\n"), std::runtime_error);
+  // Body before any function header.
+  EXPECT_THROW((void)parse_ir("acs-ir v1\nentry 0\nop compute 1 0\n"),
+               std::runtime_error);
+  // Unknown op mnemonic.
+  EXPECT_THROW(
+      (void)parse_ir("acs-ir v1\nentry 0\n"
+                     "fn f locals 0 tail -1 spills_cr 0\nop frobnicate 1 0\n"),
+      std::runtime_error);
+  // Callee index out of range.
+  EXPECT_THROW(
+      (void)parse_ir("acs-ir v1\nentry 0\n"
+                     "fn f locals 0 tail -1 spills_cr 0\nop call 3 1\n"),
+      std::runtime_error);
+  // Entry out of range.
+  EXPECT_THROW(
+      (void)parse_ir("acs-ir v1\nentry 4\n"
+                     "fn f locals 0 tail -1 spills_cr 0\nop compute 1 0\n"),
+      std::runtime_error);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_ir(
+        "acs-ir v1\nentry 0\n"
+        "fn f locals 0 tail -1 spills_cr 0\nop frobnicate 1 0\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace acs::fuzz

@@ -4,9 +4,14 @@
 // large population of random call graphs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "common/rng.h"
 #include "compiler/codegen.h"
 #include "compiler/interp.h"
+#include "fuzz/feature.h"
+#include "fuzz/oracle.h"
 #include "kernel/machine.h"
 #include "workload/callgraph_gen.h"
 #include "workload/confirm_suite.h"
@@ -28,6 +33,21 @@ std::vector<u64> run_on_machine(const compiler::ProgramIr& ir, Scheme scheme) {
 
 class DifferentialRandomTest : public ::testing::TestWithParam<u64> {};
 
+/// Which structures a seed exercises, for failure triage: a divergence
+/// report names the features (op kinds, shapes) of the failing program so
+/// the seed can be matched against fuzzer coverage without re-deriving it.
+std::string describe_coverage(const compiler::ProgramIr& ir) {
+  const fuzz::FeatureMap features = fuzz::ir_features(ir);
+  std::string out =
+      " [" + std::to_string(features.size()) + " ir feature(s):";
+  for (const fuzz::Feature f : features.ids()) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, " %08x", f);
+    out += buf;
+  }
+  return out + "]";
+}
+
 TEST_P(DifferentialRandomTest, MachineMatchesGoldenModel) {
   Rng rng(GetParam() * 7919 + 13);
   const auto ir = workload::make_random_ir(rng);
@@ -36,12 +56,13 @@ TEST_P(DifferentialRandomTest, MachineMatchesGoldenModel) {
   ASSERT_TRUE(golden.completed);
   for (Scheme scheme : compiler::all_schemes()) {
     EXPECT_EQ(run_on_machine(ir, scheme), golden.output)
-        << compiler::scheme_name(scheme) << " seed " << GetParam();
+        << compiler::scheme_name(scheme) << " seed " << GetParam()
+        << describe_coverage(ir);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRandomTest,
-                         ::testing::Range<u64>(1, 31));
+                         ::testing::Range<u64>(1, 129));
 
 TEST(DifferentialConfirm, GoldenModelAgreesOnSequentialTests) {
   // The interpreter also validates the expected outputs baked into the

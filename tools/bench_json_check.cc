@@ -299,6 +299,44 @@ std::string check_faults_section(const Value& faults) {
   return {};
 }
 
+/// Validate the optional "fuzz" section (fuzzing campaign totals, see
+/// docs/bench-output.md): numeric counters, a hex-string
+/// "coverage_fingerprint", and a {oracle: number} "findings" map.
+std::string check_fuzz_section(const Value& fuzz) {
+  const Object* top = fuzz.object();
+  if (top == nullptr) return "'fuzz' is not an object";
+
+  for (const char* key : {"candidates", "viable", "executions", "rounds",
+                          "corpus_size", "features_covered"}) {
+    const Value* v = find(*top, key);
+    if (v == nullptr || !v->is_number()) {
+      return std::string("'fuzz.") + key + "' missing or not a number";
+    }
+  }
+
+  const Value* fingerprint = find(*top, "coverage_fingerprint");
+  if (fingerprint == nullptr || !fingerprint->is_string()) {
+    return "'fuzz.coverage_fingerprint' missing or not a string";
+  }
+  const std::string& fp = std::get<std::string>(fingerprint->data);
+  if (fp.size() != 18 || fp.compare(0, 2, "0x") != 0 ||
+      fp.find_first_not_of("0123456789abcdef", 2) != std::string::npos) {
+    return "'fuzz.coverage_fingerprint' is not an 0x-prefixed 64-bit hex "
+           "string";
+  }
+
+  const Value* findings = find(*top, "findings");
+  if (findings == nullptr || findings->object() == nullptr) {
+    return "'fuzz.findings' missing or not an object";
+  }
+  for (const auto& [name, value] : *findings->object()) {
+    if (!value.is_number()) {
+      return "'fuzz.findings." + name + "' is not a number";
+    }
+  }
+  return {};
+}
+
 /// Validate a Chrome trace-event JSON document (the --trace output of the
 /// benches and acs-run): {"traceEvents": [...]} where every event carries
 /// a string name/ph, integer pid/tid, and — except for "M" metadata — a
@@ -376,6 +414,11 @@ std::string check_schema(const Value& root) {
 
   if (const Value* faults = find(*top, "faults")) {
     std::string error = check_faults_section(*faults);
+    if (!error.empty()) return error;
+  }
+
+  if (const Value* fuzz = find(*top, "fuzz")) {
+    std::string error = check_fuzz_section(*fuzz);
     if (!error.empty()) return error;
   }
 

@@ -1,0 +1,47 @@
+# Pins the determinism contract of acs-fuzz (docs/fuzzing.md): a fixed
+# (--seed, --execs) campaign must produce a bitwise-identical JSON
+# trajectory — coverage fingerprint, corpus size, findings — for
+# --threads 1, 2 and 8. Only the wall_seconds line (host timing) and the
+# echoed thread count may differ, so they are stripped before comparing.
+# Inputs: -DFUZZER=<acs-fuzz> -DJSON_DIR=<scratch dir>
+
+if(NOT DEFINED FUZZER OR NOT DEFINED JSON_DIR)
+  message(FATAL_ERROR "run_fuzz_determinism.cmake needs FUZZER and JSON_DIR")
+endif()
+
+set(reference "")
+foreach(threads 1 2 8)
+  set(json "${JSON_DIR}/BENCH_acs_fuzz_t${threads}.json")
+  file(REMOVE "${json}")
+  execute_process(
+    COMMAND "${FUZZER}" --execs 48 --seed 11 "--threads=${threads}"
+            "--json=${json}"
+    RESULT_VARIABLE fuzz_rc
+    OUTPUT_VARIABLE fuzz_out
+    ERROR_VARIABLE fuzz_err
+  )
+  if(NOT fuzz_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${FUZZER} --threads=${threads} exited with ${fuzz_rc}\n"
+            "stdout:\n${fuzz_out}\nstderr:\n${fuzz_err}")
+  endif()
+  if(NOT EXISTS "${json}")
+    message(FATAL_ERROR "${FUZZER} did not write ${json}")
+  endif()
+
+  file(READ "${json}" body)
+  string(REGEX REPLACE "\n *\"wall_seconds\":[^\n]*" "" body "${body}")
+  string(REGEX REPLACE "\n *\"threads\":[^\n]*" "" body "${body}")
+
+  if(reference STREQUAL "")
+    set(reference "${body}")
+    set(reference_threads ${threads})
+  elseif(NOT body STREQUAL reference)
+    message(FATAL_ERROR
+            "campaign differs between --threads=${reference_threads} and "
+            "--threads=${threads}: determinism contract violated "
+            "(see ${json})")
+  endif()
+endforeach()
+
+message(STATUS "acs-fuzz campaigns identical for --threads 1/2/8")
