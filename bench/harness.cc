@@ -183,7 +183,8 @@ std::string to_json(const std::string& bench_name,
                     const BenchOptions& options, u64 base_seed,
                     const std::vector<Metric>& metrics,
                     double wall_seconds, const obs::Metrics* obs_metrics,
-                    const FaultSection* faults, const FuzzSection* fuzz) {
+                    const FaultSection* faults, const FuzzSection* fuzz,
+                    const SimSection* sim) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -232,6 +233,27 @@ std::string to_json(const std::string& bench_name,
            "\n";
     out += "  },\n";
   }
+  if (sim != nullptr) {
+    // instr/sec rates are host-dependent; the counts and the equivalence
+    // fingerprint are bitwise identical for every --threads value.
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "0x%016llx",
+                  static_cast<unsigned long long>(sim->equivalence_fingerprint));
+    out += "  \"sim\": {\n";
+    out += "    \"instructions\": " + std::to_string(sim->instructions) + ",\n";
+    out += "    \"ips_interpreter\": " + format_double(sim->ips_interpreter) +
+           ",\n";
+    out += "    \"ips_decoded\": " + format_double(sim->ips_decoded) + ",\n";
+    out += "    \"speedup\": " + format_double(sim->speedup) + ",\n";
+    out += "    \"forks_per_sec\": " + format_double(sim->forks_per_sec) +
+           ",\n";
+    out += "    \"cow_private_pages\": " +
+           std::to_string(sim->cow_private_pages) + ",\n";
+    out += "    \"equivalence_runs\": " +
+           std::to_string(sim->equivalence_runs) + ",\n";
+    out += "    \"equivalence_fingerprint\": \"" + std::string(fp) + "\"\n";
+    out += "  },\n";
+  }
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const Metric& m = metrics[i];
@@ -278,6 +300,11 @@ void BenchReporter::set_fuzz_section(FuzzSection fuzz) {
   has_fuzz_section_ = true;
 }
 
+void BenchReporter::set_sim_section(SimSection sim) {
+  sim_section_ = sim;
+  has_sim_section_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -288,7 +315,8 @@ bool BenchReporter::finish() {
       to_json(bench_name_, options_, base_seed_, metrics_, wall_seconds,
               has_obs_metrics_ ? &obs_metrics_ : nullptr,
               has_fault_section_ ? &fault_section_ : nullptr,
-              has_fuzz_section_ ? &fuzz_section_ : nullptr);
+              has_fuzz_section_ ? &fuzz_section_ : nullptr,
+              has_sim_section_ ? &sim_section_ : nullptr);
   if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;

@@ -87,6 +87,24 @@ struct FuzzSection {
   std::map<std::string, u64> findings_by_oracle;  ///< oracle name -> count
 };
 
+/// Simulator-throughput totals, emitted as the "sim" section of the JSON
+/// trajectory (see docs/bench-output.md and docs/simulator.md). The
+/// instr/sec rates are host-dependent; everything else — instruction
+/// counts, page counts and the equivalence fingerprint over architectural
+/// outcomes — is deterministic and bitwise identical for every --threads
+/// value (bench_sim_throughput exits non-zero if the dispatch modes ever
+/// diverge).
+struct SimSection {
+  u64 instructions = 0;      ///< instructions retired per measured run
+  double ips_interpreter = 0;  ///< instr/sec, re-decode-per-step path
+  double ips_decoded = 0;      ///< instr/sec, predecoded fast path
+  double speedup = 0;          ///< ips_decoded / ips_interpreter
+  double forks_per_sec = 0;    ///< CoW Machine forks constructed per second
+  u64 cow_private_pages = 0;   ///< pages one fork privatised by running
+  u64 equivalence_runs = 0;    ///< machine runs folded into the fingerprint
+  u64 equivalence_fingerprint = 0;  ///< digest of outcomes, hex in JSON
+};
+
 /// Collects metrics during a bench run and writes the machine-readable
 /// trajectory on finish(). Wall-clock time is measured from construction
 /// to finish(). Table/stdout output is unaffected: record() only feeds the
@@ -112,6 +130,10 @@ class BenchReporter {
   /// the JSON trajectory).
   void set_fuzz_section(FuzzSection fuzz);
 
+  /// Attach the simulator-throughput totals (emitted as the "sim" section
+  /// of the JSON trajectory).
+  void set_sim_section(SimSection sim);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -132,6 +154,8 @@ class BenchReporter {
   bool has_fault_section_ = false;
   FuzzSection fuzz_section_;
   bool has_fuzz_section_ = false;
+  SimSection sim_section_;
+  bool has_sim_section_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
@@ -140,14 +164,16 @@ class BenchReporter {
 /// Exposed separately so tests can check the encoding without touching the
 /// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section;
 /// `faults` (may be nullptr) adds the "faults" section; `fuzz` (may be
-/// nullptr) adds the "fuzz" section.
+/// nullptr) adds the "fuzz" section; `sim` (may be nullptr) adds the "sim"
+/// section.
 [[nodiscard]] std::string to_json(const std::string& bench_name,
                                   const BenchOptions& options, u64 base_seed,
                                   const std::vector<Metric>& metrics,
                                   double wall_seconds,
                                   const obs::Metrics* obs_metrics = nullptr,
                                   const FaultSection* faults = nullptr,
-                                  const FuzzSection* fuzz = nullptr);
+                                  const FuzzSection* fuzz = nullptr,
+                                  const SimSection* sim = nullptr);
 
 /// Write `body` to `path` (truncating); on failure prints to stderr and
 /// returns false. Used for the --json/--trace/--profile sinks.

@@ -1,0 +1,56 @@
+# Pins the determinism contract of bench_sim_throughput: the deterministic
+# fields of the "sim" JSON section — instruction count, CoW page count,
+# equivalence run count and the dispatch-equivalence fingerprint — must be
+# bitwise identical for --threads 1, 2 and 8. The instr/sec rates are host
+# timing and are excluded. The bench itself exits non-zero if the two
+# dispatch modes ever produce different architectural results.
+# Inputs: -DBENCH=<bench_sim_throughput> -DJSON_DIR=<scratch dir>
+
+if(NOT DEFINED BENCH OR NOT DEFINED JSON_DIR)
+  message(FATAL_ERROR "run_sim_invariance.cmake needs BENCH and JSON_DIR")
+endif()
+
+set(reference "")
+foreach(threads 1 2 8)
+  set(json "${JSON_DIR}/BENCH_sim_invariance_t${threads}.json")
+  file(REMOVE "${json}")
+  execute_process(
+    COMMAND "${BENCH}" --smoke "--threads=${threads}" "--json=${json}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err
+  )
+  if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH} --threads=${threads} exited with ${bench_rc}\n"
+            "stdout:\n${bench_out}\nstderr:\n${bench_err}")
+  endif()
+  if(NOT EXISTS "${json}")
+    message(FATAL_ERROR "${BENCH} did not write ${json}")
+  endif()
+
+  file(READ "${json}" body)
+  foreach(field instructions cow_private_pages equivalence_runs
+                equivalence_fingerprint)
+    string(REGEX MATCH "\"${field}\": [^,\n]*" match_${field} "${body}")
+    if(match_${field} STREQUAL "")
+      message(FATAL_ERROR "${json} lacks sim field '${field}'")
+    endif()
+  endforeach()
+  set(key "${match_instructions};${match_cow_private_pages};")
+  string(APPEND key
+         "${match_equivalence_runs};${match_equivalence_fingerprint}")
+
+  if(reference STREQUAL "")
+    set(reference "${key}")
+    set(reference_threads ${threads})
+  elseif(NOT key STREQUAL reference)
+    message(FATAL_ERROR
+            "sim section differs between --threads=${reference_threads} and "
+            "--threads=${threads}: determinism contract violated\n"
+            "  reference: ${reference}\n  got:       ${key}")
+  endif()
+endforeach()
+
+message(STATUS "bench_sim_throughput sim sections identical for "
+               "--threads 1/2/8")

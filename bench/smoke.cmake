@@ -15,6 +15,7 @@ set(ACS_SMOKE_BENCHES
   bench_reuse
   bench_ablation
   bench_fault_availability
+  bench_sim_throughput
   bench_micro_pa
   bench_obs_overhead
 )
@@ -39,6 +40,18 @@ add_test(NAME bench_fault_invariance
                  -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
                  -P ${CMAKE_CURRENT_SOURCE_DIR}/run_fault_invariance.cmake)
 set_tests_properties(bench_fault_invariance PROPERTIES
+                     LABELS "bench_smoke" TIMEOUT 600)
+
+# Thread-invariance pin for the simulator throughput bench: the
+# deterministic fields of the "sim" section (instruction count, CoW page
+# count, dispatch-equivalence fingerprint) must be identical at --threads
+# 1, 2 and 8; the host-timed instr/sec rates are excluded.
+add_test(NAME bench_sim_invariance
+         COMMAND ${CMAKE_COMMAND}
+                 -DBENCH=$<TARGET_FILE:bench_sim_throughput>
+                 -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_sim_invariance.cmake)
+set_tests_properties(bench_sim_invariance PROPERTIES
                      LABELS "bench_smoke" TIMEOUT 600)
 
 # acs-run emits the same schema through its own flag parser.

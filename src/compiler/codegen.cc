@@ -258,11 +258,23 @@ class FunctionLowerer {
         as_.svc(static_cast<u16>(kernel::Syscall::kYield));
         break;
       case OpKind::kStoreLocal:
-        as_.mov_imm(kTmp0, op.b);
-        as_.str(kTmp0, Reg::kSp, static_cast<i64>(op.a));
+        if (op.a >= kWildAccessBase) {
+          // Wild access: the offset is an absolute address (see ir.h).
+          as_.mov_imm(kTmp0, op.b);
+          as_.mov_imm(kTmp1, op.a);
+          as_.str(kTmp0, kTmp1);
+        } else {
+          as_.mov_imm(kTmp0, op.b);
+          as_.str(kTmp0, Reg::kSp, static_cast<i64>(op.a));
+        }
         break;
       case OpKind::kLoadLocal:
-        as_.ldr(kTmp0, Reg::kSp, static_cast<i64>(op.a));
+        if (op.a >= kWildAccessBase) {
+          as_.mov_imm(kTmp0, op.a);
+          as_.ldr(kTmp0, kTmp0);
+        } else {
+          as_.ldr(kTmp0, Reg::kSp, static_cast<i64>(op.a));
+        }
         break;
       case OpKind::kSigaction:
         as_.mov_imm(Reg::kX0, op.a);

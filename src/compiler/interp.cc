@@ -87,10 +87,14 @@ class Interpreter {
       const Op& op = fn.body[op_index];
       charge();
       switch (op.kind) {
-        case OpKind::kCompute:
-        case OpKind::kVulnSite:
         case OpKind::kStoreLocal:
         case OpKind::kLoadLocal:
+          // A wild (absolute-address) access faults the machine; the
+          // sequential model has no fault semantics, so report unsupported.
+          if (op.a >= compiler::kWildAccessBase) throw Unsupported{};
+          break;  // in-buffer accesses have no observable effect
+        case OpKind::kCompute:
+        case OpKind::kVulnSite:
         case OpKind::kYield:
         case OpKind::kThreadJoin:  // sequential model: thread already ran
           break;                   // no observable effect

@@ -28,8 +28,10 @@ enum class OpKind : u8 {
   kLongjmp,       ///< a = jmp_buf slot, b = value passed to longjmp
   kThreadCreate,  ///< a = callee index, b = argument
   kYield,         ///< relinquish the time slice
-  kStoreLocal,    ///< a = byte offset into the local buffer, b = value
-  kLoadLocal,     ///< a = byte offset into the local buffer (result dropped)
+  kStoreLocal,    ///< a = byte offset into the local buffer, b = value;
+                  ///< a >= kWildAccessBase = *absolute* wild address instead
+  kLoadLocal,     ///< a = byte offset into the local buffer (result dropped);
+                  ///< a >= kWildAccessBase = *absolute* wild address instead
   kSigaction,     ///< a = signal number, b = handler function index
   kRaise,         ///< a = signal number, sent to the calling process itself
   kFork,          ///< fork(); the pid result lands in X0 (see kWriteReg)
@@ -44,6 +46,21 @@ struct Op {
   u64 a = 0;
   u64 b = 0;
 };
+
+/// kStoreLocal/kLoadLocal offsets at or above this value are lowered as
+/// *absolute* addresses ("wild accesses") instead of SP-relative slots. No
+/// region is ever mapped that high, so a wild access always faults — the
+/// fuzzer uses addresses in the top 4 KiB of the 64-bit space to exercise
+/// the simulator's address-wraparound handling (an access whose end,
+/// `addr + len`, overflows past 2^64 must be a translation fault, not a
+/// hit in the region that owns address 0). The golden interpreter reports
+/// programs containing one as unsupported.
+inline constexpr u64 kWildAccessBase = u64{1} << 63;
+
+[[nodiscard]] constexpr bool is_wild_access(const Op& op) noexcept {
+  return (op.kind == OpKind::kStoreLocal || op.kind == OpKind::kLoadLocal) &&
+         op.a >= kWildAccessBase;
+}
 
 struct FunctionIr {
   std::string name;

@@ -109,7 +109,7 @@ Op random_simple_op(const ProgramIr& ir, std::size_t fn_index, Rng& rng,
 
 /// One mutation attempt; false if the drawn mutation does not apply.
 bool mutate_once(ProgramIr& ir, Rng& rng, const MutationLimits& limits) {
-  switch (rng.next_below(8)) {
+  switch (rng.next_below(9)) {
     case 0: {  // insert a simple op
       if (total_ops(ir) >= limits.max_total_ops) return false;
       const std::size_t f = rng.next_below(ir.functions.size());
@@ -213,12 +213,31 @@ bool mutate_once(ProgramIr& ir, Rng& rng, const MutationLimits& limits) {
       FunctionIr& fn = ir.functions[f];
       u64 min_bytes = 0;
       for (const Op& op : fn.body) {
+        // Wild accesses are absolute, not buffer-relative — they must not
+        // inflate the buffer (op.a + 8 would also wrap for the topmost
+        // addresses and clamp the buffer to nothing).
+        if (compiler::is_wild_access(op)) continue;
         if (op.kind == OpKind::kStoreLocal || op.kind == OpKind::kLoadLocal) {
           min_bytes = std::max(min_bytes, op.a + 8);
         }
       }
       const u64 chosen = 16 * rng.next_below(6);  // 0..80
       fn.local_bytes = std::max(chosen, min_bytes);
+      return true;
+    }
+    case 8: {  // wild access in the top 4 KiB of the address space
+      if (total_ops(ir) >= limits.max_total_ops) return false;
+      const std::size_t f = rng.next_below(ir.functions.size());
+      auto& body = ir.functions[f].body;
+      const std::size_t at = rng.next_below(body.size() + 1);
+      // Addresses from 2^64 - 4096 up to and including 2^64 - 1: the
+      // 8-byte access end wraps past zero for the last seven of them,
+      // probing the simulator's wraparound translation-fault path.
+      const u64 addr = ~u64{0} - rng.next_below(4096);
+      const Op op = rng.next_bool()
+                        ? Op{OpKind::kStoreLocal, addr, rng.next()}
+                        : Op{OpKind::kLoadLocal, addr, 0};
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(at), op);
       return true;
     }
   }

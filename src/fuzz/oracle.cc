@@ -1,6 +1,7 @@
 #include "fuzz/oracle.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "compiler/codegen.h"
@@ -47,6 +48,7 @@ enum IrShapeValue : u16 {
   kShapeSpillsCr = 2,
   kShapeHasLeaf = 3,
   kShapeHasLocals = 4,
+  kShapeHasWildAccess = 5,  ///< absolute access near the top of the space
   kShapeFnCountBase = 0x10,  ///< + log2 bucket of the function count
   kShapeOpCountBase = 0x20,  ///< + log2 bucket of the total op count
 };
@@ -58,6 +60,10 @@ void add_ir_features(const ProgramIr& ir, FeatureMap& features) {
     for (const auto& op : fn.body) {
       features.add(make_feature(FeatureDomain::kIrOp, 0,
                                 static_cast<u16>(op.kind)));
+      if (compiler::is_wild_access(op)) {
+        features.add(
+            make_feature(FeatureDomain::kIrShape, 0, kShapeHasWildAccess));
+      }
     }
     if (fn.tail_callee >= 0) {
       features.add(make_feature(FeatureDomain::kIrShape, 0, kShapeHasTailCall));
@@ -157,12 +163,17 @@ struct RunOutcome {
   obs::Metrics metrics;
 };
 
-RunOutcome run_machine(const sim::Program& program, u64 budget,
+/// Every oracle execution forks a pristine master machine copy-on-write:
+/// compile → build master once per scheme, then fork per run. A fork of an
+/// unrun master is bit-identical to a machine freshly constructed from the
+/// program, so oracle verdicts are unchanged — only the per-run map/init
+/// cost disappears.
+RunOutcome run_machine(const kernel::Machine& master, u64 budget,
                        inject::Engine* injector, obs::Recorder* recorder) {
   kernel::MachineOptions options;
   options.recorder = recorder;
   options.injector = injector;
-  kernel::Machine machine(program, options);
+  kernel::Machine machine(master, options);
   const kernel::Stop stop = machine.run(budget);
   RunOutcome outcome;
   outcome.budget_blown = stop.reason == kernel::StopReason::kMaxInstructions;
@@ -260,6 +271,10 @@ EvalResult evaluate_program(const ProgramIr& ir, const OracleConfig& config) {
   std::string first_key;
   Scheme first_scheme = Scheme::kNone;
   std::vector<std::pair<Scheme, RunOutcome>> baselines;
+  // One pristine master machine per scheme: the baseline run below and any
+  // fault-oracle re-execution fork it CoW instead of rebuilding (and
+  // recompiling, in the fault oracle's case) from scratch.
+  std::vector<std::pair<Scheme, std::unique_ptr<kernel::Machine>>> masters;
   for (const Scheme scheme : schemes) {
     add_lowering_features(ir, scheme, result.features);
     const auto program = compiler::compile_ir(
@@ -287,9 +302,11 @@ EvalResult evaluate_program(const ProgramIr& ir, const OracleConfig& config) {
       cfg_features_done = true;
     }
 
+    masters.emplace_back(scheme, std::make_unique<kernel::Machine>(
+                                     program, kernel::MachineOptions{}));
     obs::Recorder recorder;
-    RunOutcome outcome =
-        run_machine(program, config.machine_budget, nullptr, &recorder);
+    RunOutcome outcome = run_machine(*masters.back().second,
+                                     config.machine_budget, nullptr, &recorder);
     ++result.executions;
     if (outcome.budget_blown ||
         outcome.state == kernel::ProcessState::kLive) {
@@ -356,8 +373,12 @@ EvalResult evaluate_program(const ProgramIr& ir, const OracleConfig& config) {
   if (config.run_fault_oracle && data_free && !order_insensitive) {
     for (const Scheme scheme : config.fault_schemes) {
       const RunOutcome* baseline = nullptr;
-      for (const auto& [s, outcome] : baselines) {
-        if (s == scheme) baseline = &outcome;
+      const kernel::Machine* master = nullptr;
+      for (std::size_t i = 0; i < baselines.size(); ++i) {
+        if (baselines[i].first == scheme) {
+          baseline = &baselines[i].second;
+          master = masters[i].second.get();
+        }
       }
       if (baseline == nullptr ||
           baseline->state != kernel::ProcessState::kExited) {
@@ -369,10 +390,10 @@ EvalResult evaluate_program(const ProgramIr& ir, const OracleConfig& config) {
       plan_config.mean_interval = config.fault_mean_interval;
       plan_config.kinds = {inject::FaultKind::kRetSlotBitflip};
       inject::Engine engine({.plan = inject::make_plan(plan_config)});
-      const auto program = compiler::compile_ir(
-          ir, {.scheme = scheme, .uninstrumented = config.uninstrumented});
+      // Re-fork the scheme's pristine master (same image the baseline ran
+      // from) rather than recompiling the program for the injected run.
       const RunOutcome outcome =
-          run_machine(program, config.machine_budget, &engine, nullptr);
+          run_machine(*master, config.machine_budget, &engine, nullptr);
       ++result.executions;
       if (outcome.budget_blown) continue;
       for (std::size_t i = 0; i < inject::kNumFaultKinds; ++i) {

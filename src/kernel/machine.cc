@@ -29,16 +29,50 @@ void unpack_flags(sim::CpuSnapshot& snap, u64 word) noexcept {
 }  // namespace
 
 Machine::Machine(const sim::Program& program, MachineOptions options)
-    : program_(program), options_(options), rng_(options.seed) {
-  if (options_.recorder != nullptr) {
-    // Register the program's function table for profile symbolisation.
-    std::vector<std::pair<u64, std::string>> functions;
-    for (const auto& [name, addr] : program_.symbols) {
-      if (program_.is_function_entry(addr)) functions.emplace_back(addr, name);
-    }
-    options_.recorder->set_functions(std::move(functions));
-  }
+    : program_(std::make_shared<sim::Program>(program)),
+      decoded_(sim::DecodedProgram::build(*program_)),
+      options_(options),
+      rng_(options.seed) {
+  register_functions();
   spawn_process();
+}
+
+Machine::Machine(const Machine& master, MachineOptions options)
+    : program_(master.program_),
+      decoded_(master.decoded_),
+      options_(options),
+      rng_(options.seed) {
+  register_functions();
+  // Replay the fresh-constructor sequence, but loan the master's fully
+  // initialised init-process memory image copy-on-write instead of mapping
+  // and writing it from scratch. The RNG draws (keys, canary, signal
+  // canary) happen in the exact fresh-constructor order, so with the same
+  // options this fork is indistinguishable from Machine(program, options).
+  const Process& master_init = *master.processes_.front();
+  const auto keys = crypto::random_key_set(rng_);
+  pa::PointerAuth pauth{keys, options_.layout, options_.mac_backend,
+                        options_.fpac};
+  auto process =
+      std::make_unique<Process>(next_pid_++, *program_, std::move(pauth));
+  process->mem = master_init.mem;  // CoW: shares every page with the master
+  process->mem.raw_write_u64(kCanarySlot, rng_.next());
+  process->signal_canary = rng_.next();
+  process->sig_handlers = master_init.sig_handlers;
+  processes_.push_back(std::move(process));
+  const u64 entry = program_->symbols.contains("main")
+                        ? program_->symbols.at("main")
+                        : program_->base;
+  create_task(*processes_.back(), entry, /*arg=*/0, /*is_main=*/true);
+}
+
+void Machine::register_functions() {
+  if (options_.recorder == nullptr) return;
+  // Register the program's function table for profile symbolisation.
+  std::vector<std::pair<u64, std::string>> functions;
+  for (const auto& [name, addr] : program_->symbols) {
+    if (program_->is_function_entry(addr)) functions.emplace_back(addr, name);
+  }
+  options_.recorder->set_functions(std::move(functions));
 }
 
 Process* Machine::find_process(u64 pid) noexcept {
@@ -54,16 +88,16 @@ u64 Machine::spawn_process() {
   pa::PointerAuth pauth{keys, options_.layout, options_.mac_backend,
                         options_.fpac};
   Process& process = create_process(std::move(pauth));
-  const u64 entry = program_.symbols.contains("main")
-                        ? program_.symbols.at("main")
-                        : program_.base;
+  const u64 entry = program_->symbols.contains("main")
+                        ? program_->symbols.at("main")
+                        : program_->base;
   create_task(process, entry, /*arg=*/0, /*is_main=*/true);
   return process.pid();
 }
 
 Process& Machine::create_process(pa::PointerAuth pauth) {
   auto process =
-      std::make_unique<Process>(next_pid_++, program_, std::move(pauth));
+      std::make_unique<Process>(next_pid_++, *program_, std::move(pauth));
   setup_address_space(*process);
   processes_.push_back(std::move(process));
   return *processes_.back();
@@ -71,7 +105,7 @@ Process& Machine::create_process(pa::PointerAuth pauth) {
 
 void Machine::setup_address_space(Process& process) {
   // Code is mapped read+execute: W^X (assumption A1).
-  process.mem.map(program_.base, program_.size_bytes(), sim::kPermRx, "code");
+  process.mem.map(program_->base, program_->size_bytes(), sim::kPermRx, "code");
   process.mem.map(kDataBase, kDataSize, sim::kPermRw, "data");
   // __stack_chk_guard: reference canary for -mstack-protector-strong. It
   // deliberately lives in ordinary data memory — readable and writable by
@@ -79,7 +113,7 @@ void Machine::setup_address_space(Process& process) {
   // weakest scheme in the paper's comparison.
   process.mem.raw_write_u64(kCanarySlot, rng_.next());
   process.signal_canary = rng_.next();  // kernel-private (Bosman & Bos)
-  for (const auto& [addr, value] : program_.data_init) {
+  for (const auto& [addr, value] : program_->data_init) {
     process.mem.raw_write_u64(addr, value);
   }
 }
@@ -90,8 +124,8 @@ Task& Machine::create_task(Process& process, u64 entry_pc, u64 arg,
   if (tid >= kMaxTasksPerProcess) {
     throw std::runtime_error{"create_task: too many tasks"};
   }
-  auto task = std::make_unique<Task>(tid, program_, process.mem,
-                                     process.pauth());
+  auto task = std::make_unique<Task>(tid, *program_, process.mem,
+                                     process.pauth(), decoded_);
   task->stack_base = kStackBase + tid * kStackStride;
   task->stack_size = kStackSize;
   // A forked child's address-space copy already carries the parent's stack
@@ -108,6 +142,7 @@ Task& Machine::create_task(Process& process, u64 entry_pc, u64 arg,
 
   sim::Cpu& cpu = task->cpu();
   cpu.set_costs(options_.costs);
+  cpu.set_dispatch(options_.dispatch);
   if (options_.trace_depth > 0) cpu.enable_trace(options_.trace_depth);
   for (u64 bp : global_breakpoints_) cpu.add_breakpoint(bp);
   cpu.set_pc(entry_pc);
@@ -118,8 +153,8 @@ Task& Machine::create_task(Process& process, u64 entry_pc, u64 arg,
   // disjoint chains — CR starts at the thread id instead of 0. Note tid 0
   // (the main thread) naturally gets init = 0.
   cpu.set_reg(sim::kCr, options_.reseed_threads ? tid : 0);
-  if (!is_main && program_.symbols.contains("__thread_exit")) {
-    cpu.set_reg(sim::kLr, program_.symbols.at("__thread_exit"));
+  if (!is_main && program_->symbols.contains("__thread_exit")) {
+    cpu.set_reg(sim::kLr, program_->symbols.at("__thread_exit"));
   }
   if (options_.recorder != nullptr) {
     task->obs = options_.recorder->attach(
@@ -171,9 +206,9 @@ void Machine::kill_process(Process& process, const sim::Fault& fault,
     for (auto& task : process.tasks) {
       if (task->cpu().state() != sim::RunState::kFaulted) continue;
       for (u64 pc : task->cpu().trace()) {
-        if (program_.contains(pc)) {
+        if (program_->contains(pc)) {
           process.crash_trace.push_back(
-              std::to_string(pc) + ": " + sim::disassemble(program_.at(pc)));
+              std::to_string(pc) + ": " + sim::disassemble(program_->at(pc)));
         }
       }
       break;
@@ -286,8 +321,8 @@ void Machine::deliver_pending_signal(Process& process, Task& task) {
 
   cpu.set_reg(sim::Reg::kSp, frame);
   cpu.set_reg(sim::Reg::kX0, signum);
-  if (program_.symbols.contains("__sigtramp")) {
-    cpu.set_reg(sim::kLr, program_.symbols.at("__sigtramp"));
+  if (program_->symbols.contains("__sigtramp")) {
+    cpu.set_reg(sim::kLr, program_->symbols.at("__sigtramp"));
   }
   cpu.set_pc(handler);
   if (task.obs != nullptr) {
@@ -366,7 +401,7 @@ void Machine::do_throw(Process& process, Task& task) {
   };
 
   for (unsigned depth = 0; depth < 1024; ++depth) {
-    const sim::UnwindInfo* info = program_.unwind_for(pc);
+    const sim::UnwindInfo* info = program_->unwind_for(pc);
     if (info == nullptr) {
       fail("unhandled exception", sim::FaultKind::kUndefined);
       return;
@@ -493,7 +528,7 @@ void Machine::handle_svc(Process& process, Task& task) {
     case Syscall::kThreadCreate: {
       const u64 entry = cpu.reg(sim::Reg::kX0);
       const u64 arg = cpu.reg(sim::Reg::kX1);
-      if (!program_.is_function_entry(entry)) {
+      if (!program_->is_function_entry(entry)) {
         kill_process(process, sim::Fault{sim::FaultKind::kCfi, entry, cpu.pc()},
                      "thread entry is not a function");
         return;
@@ -563,9 +598,12 @@ Stop Machine::run(u64 max_instructions) {
   // Context-switch detection: (pid, tid) of the previously scheduled task.
   u64 last_pid = 0, last_tid = 0;
   bool have_last = false;
+  // Reused across slices: rebuilding the runnable list is per-quantum work
+  // and must not allocate each time.
+  std::vector<std::pair<Process*, Task*>> runnable;
   for (;;) {
     // Fair round-robin over every runnable task of every live process.
-    std::vector<std::pair<Process*, Task*>> runnable;
+    runnable.clear();
     for (auto& candidate : processes_) {
       if (candidate->state != ProcessState::kLive) continue;
       for (auto& tcand : candidate->tasks) {
@@ -603,30 +641,29 @@ Stop Machine::run(u64 max_instructions) {
     deliver_pending_signal(*process, *task);
 
     sim::Cpu& cpu = task->cpu();
-    for (u64 i = 0; i < options_.time_slice; ++i) {
-      const sim::RunState state = cpu.step();
-      ++executed;
-      if (state == sim::RunState::kReady) continue;
-      if (state == sim::RunState::kSvc) {
-        handle_svc(*process, *task);
-        break;  // end of slice after a syscall
-      }
-      if (state == sim::RunState::kBreakpoint) {
-        return Stop{StopReason::kBreakpoint, process->pid(), task->tid()};
-      }
-      if (state == sim::RunState::kHalted) {
-        // hlt: treat as a clean exit of the whole process.
-        process->state = ProcessState::kExited;
-        process->exit_code = cpu.reg(sim::Reg::kX0);
-        for (auto& t : process->tasks) t->state = TaskState::kExited;
-        break;
-      }
-      if (state == sim::RunState::kFaulted) {
-        // Architectural fault: the kernel delivers a fatal signal — the
-        // whole process dies (the paper's "failed guess crashes" premise).
-        kill_process(*process, cpu.fault(), sim::fault_name(cpu.fault().kind));
-        break;
-      }
+    // One scheduling quantum through Cpu::run — the tight decoded-dispatch
+    // loop when no breakpoints/injector/trace are attached. last_run_steps
+    // counts every step() slot (including faulting and injected-skip
+    // steps), keeping `executed` accounting identical to stepping here.
+    const sim::RunState state = cpu.run(options_.time_slice);
+    executed += cpu.last_run_steps();
+    if (state == sim::RunState::kSvc) {
+      handle_svc(*process, *task);  // end of slice after a syscall
+    } else if (state == sim::RunState::kBreakpoint) {
+      // A zero-step run means the hart was still paused from an earlier
+      // breakpoint stop (caller re-entered without resume()); report it
+      // again, charging the one reporting step exactly as step() did.
+      if (cpu.last_run_steps() == 0) ++executed;
+      return Stop{StopReason::kBreakpoint, process->pid(), task->tid()};
+    } else if (state == sim::RunState::kHalted) {
+      // hlt: treat as a clean exit of the whole process.
+      process->state = ProcessState::kExited;
+      process->exit_code = cpu.reg(sim::Reg::kX0);
+      for (auto& t : process->tasks) t->state = TaskState::kExited;
+    } else if (state == sim::RunState::kFaulted) {
+      // Architectural fault: the kernel delivers a fatal signal — the
+      // whole process dies (the paper's "failed guess crashes" premise).
+      kill_process(*process, cpu.fault(), sim::fault_name(cpu.fault().kind));
     }
   }
 }

@@ -59,6 +59,10 @@ struct MachineOptions {
   /// signal frame are caught too, not just PC/CR.
   bool sigreturn_bind_all_regs = false;
   bool reseed_threads = true;      ///< Section 4.3: CR seeded with tid
+  /// Instruction dispatch for every hart: the predecoded fast path by
+  /// default; kInterpreter re-decodes per step (the reference path the
+  /// throughput bench and differential tests compare against).
+  sim::DispatchMode dispatch = sim::DispatchMode::kDecoded;
   u64 time_slice = 64;             ///< instructions per scheduling quantum
   u64 seed = 1;                    ///< keys, canary, pids
   sim::CycleCosts costs{};         ///< cycle model for every hart
@@ -90,9 +94,22 @@ class Machine {
  public:
   Machine(const sim::Program& program, MachineOptions options = {});
 
+  /// Copy-on-write fork of a *pristine* (never-run) master image: shares
+  /// the master's Program and decoded-instruction cache by reference and
+  /// loans its init process's address-space pages CoW, so constructing a
+  /// fork costs O(regions) instead of re-mapping and re-initialising every
+  /// byte. The fork regenerates keys, canaries and pids from its own
+  /// `options.seed` in the fresh-constructor order, so a fork of an unrun
+  /// master is bit-for-bit identical to `Machine(program, options)`.
+  /// workload::Fleet and the fuzz oracles re-fork one master per attempt.
+  Machine(const Machine& master, MachineOptions options);
+
   /// The initial process (created by the constructor, entry at the program
   /// symbol "main" if present, else the program base).
   [[nodiscard]] Process& init_process() noexcept { return *processes_.front(); }
+  [[nodiscard]] const Process& init_process() const noexcept {
+    return *processes_.front();
+  }
 
   [[nodiscard]] std::vector<std::unique_ptr<Process>>& processes() noexcept {
     return processes_;
@@ -107,7 +124,9 @@ class Machine {
   ProcessState run_to_completion(u64 max_instructions = 400'000'000);
 
   [[nodiscard]] const MachineOptions& options() const noexcept { return options_; }
-  [[nodiscard]] const sim::Program& program() const noexcept { return program_; }
+  [[nodiscard]] const sim::Program& program() const noexcept {
+    return *program_;
+  }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
   /// Spawn an extra process image (same program, fresh keys), e.g. the
@@ -138,7 +157,14 @@ class Machine {
   [[nodiscard]] u64 sig_tag(const Process& process,
                             const sim::CpuSnapshot& snap, u64 prev) const;
 
-  sim::Program program_;  ///< owned copy: machines outlive caller temporaries
+  void register_functions();
+
+  /// Shared, immutable program image: machines outlive caller temporaries,
+  /// and every CoW fork of a master references the same copy.
+  std::shared_ptr<const sim::Program> program_;
+  /// Predecoded stream for program_, built once and shared by every hart
+  /// of this machine and all of its forks.
+  std::shared_ptr<const sim::DecodedProgram> decoded_;
   MachineOptions options_;
   Rng rng_;
   u64 next_pid_ = 1;

@@ -27,9 +27,12 @@ enum class TaskState : u8 {
 
 class Task {
  public:
+  /// `decoded` is the shared predecoded stream for `program`; the kernel
+  /// builds it once per image so threads and CoW forks never re-decode.
   Task(u64 tid, const sim::Program& program, sim::AddressSpace& mem,
-       const pa::PointerAuth& pauth)
-      : tid_(tid), cpu_(program, mem, pauth) {}
+       const pa::PointerAuth& pauth,
+       std::shared_ptr<const sim::DecodedProgram> decoded)
+      : tid_(tid), cpu_(program, mem, pauth, std::move(decoded)) {}
 
   [[nodiscard]] u64 tid() const noexcept { return tid_; }
   [[nodiscard]] sim::Cpu& cpu() noexcept { return cpu_; }

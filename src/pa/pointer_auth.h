@@ -76,6 +76,12 @@ class PointerAuth {
   VaLayout layout_;
   bool fpac_;
   std::array<std::unique_ptr<crypto::TweakableMac>, crypto::kNumKeys> macs_;
+  // Devirtualized fast path for the default backend: raw_tag calls
+  // siphash24_pair directly (same tag values as SipMac::mac) instead of
+  // two virtual hops per pac/aut — the per-call MACs dominate PA-heavy
+  // instruction mixes.
+  std::array<crypto::Key128, crypto::kNumKeys> sip_keys_{};
+  bool sip_ = false;
 };
 
 }  // namespace acs::pa

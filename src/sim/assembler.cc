@@ -1,5 +1,7 @@
 #include "sim/assembler.h"
 
+#include <algorithm>
+
 #include <stdexcept>
 
 namespace acs::sim {
@@ -181,6 +183,11 @@ Program Assembler::assemble() {
     }
   }
   fixups_.clear();
+  // Emission is sequential, so entries are already ascending; sorting here
+  // makes that a guarantee Program::is_function_entry's binary search can
+  // rely on even if a caller assembles functions out of address order.
+  std::sort(program_.function_entries.begin(),
+            program_.function_entries.end());
   return std::move(program_);
 }
 

@@ -1,5 +1,7 @@
 #include "sim/cpu.h"
 
+#include <utility>
+
 #include "common/bitops.h"
 #include "inject/engine.h"
 #include "obs/recorder.h"
@@ -61,9 +63,407 @@ namespace {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Op handlers — the single source of instruction semantics. The decoded
+// fast path jumps straight to these through DecodedInstr::handler; the
+// interpreter path resolves the same pointers per step via
+// DecodedProgram::decode(). Every handler owns its full step: operand
+// reads, state update, pc advance, and the finish() epilogue (cycle charge
+// + retire hook). Faulting memory/PA ops return *without* finish(), so a
+// faulted access charges no cycles — exactly the old switch semantics.
+// ---------------------------------------------------------------------------
+struct CpuOps {
+  static void nop(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void mov_imm(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, static_cast<u64>(d.instr.imm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void mov_reg(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void add_imm(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) + static_cast<u64>(d.instr.imm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void add_reg(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) + c.reg(d.instr.rm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void sub_imm(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) - static_cast<u64>(d.instr.imm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void sub_reg(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) - c.reg(d.instr.rm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void eor_reg(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) ^ c.reg(d.instr.rm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void and_reg(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) & c.reg(d.instr.rm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void orr_reg(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) | c.reg(d.instr.rm));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void lsl_imm(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) << (d.instr.imm & 63));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void lsr_imm(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(d.instr.rd, c.reg(d.instr.rn) >> (d.instr.imm & 63));
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void cmp(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    const u64 lhs = c.reg(d.instr.rn);
+    const u64 rhs = d.instr.op == Opcode::kCmpImm
+                        ? static_cast<u64>(d.instr.imm)
+                        : c.reg(d.instr.rm);
+    const u64 result = lhs - rhs;
+    c.flag_n_ = (result >> 63) != 0;
+    c.flag_z_ = result == 0;
+    c.flag_c_ = lhs >= rhs;
+    const bool lhs_neg = (lhs >> 63) != 0;
+    const bool rhs_neg = (rhs >> 63) != 0;
+    const bool res_neg = (result >> 63) != 0;
+    c.flag_v_ = (lhs_neg != rhs_neg) && (res_neg != lhs_neg);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void ldr(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    bool writeback = false;
+    u64 new_base = 0;
+    const u64 addr = c.mem_address(d.instr, new_base, writeback);
+    const auto access = d.instr.op == Opcode::kLdr ? c.memory_->read_u64(addr)
+                                                   : c.memory_->read_u8(addr);
+    if (!access.ok()) {
+      c.raise(access.fault.kind, addr);
+      return;
+    }
+    c.set_reg(d.instr.rd, access.value);
+    if (writeback) c.set_reg(d.instr.rn, new_base);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.mem);
+  }
+
+  static void str(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    bool writeback = false;
+    u64 new_base = 0;
+    const u64 addr = c.mem_address(d.instr, new_base, writeback);
+    const Fault fault =
+        d.instr.op == Opcode::kStr
+            ? c.memory_->write_u64(addr, c.reg(d.instr.rd))
+            : c.memory_->write_u8(addr, static_cast<u8>(c.reg(d.instr.rd)));
+    if (fault) {
+      c.raise(fault.kind, addr);
+      return;
+    }
+    if (writeback) c.set_reg(d.instr.rn, new_base);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.mem);
+  }
+
+  static void ldp(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    bool writeback = false;
+    u64 new_base = 0;
+    const u64 addr = c.mem_address(d.instr, new_base, writeback);
+    const auto first = c.memory_->read_u64(addr);
+    const auto second = c.memory_->read_u64(addr + 8);
+    if (!first.ok() || !second.ok()) {
+      c.raise(FaultKind::kTranslation, addr);
+      return;
+    }
+    c.set_reg(d.instr.rd, first.value);
+    c.set_reg(d.instr.rm, second.value);
+    if (writeback) c.set_reg(d.instr.rn, new_base);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.mem_pair);
+  }
+
+  static void stp(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    bool writeback = false;
+    u64 new_base = 0;
+    const u64 addr = c.mem_address(d.instr, new_base, writeback);
+    const Fault f1 = c.memory_->write_u64(addr, c.reg(d.instr.rd));
+    const Fault f2 = c.memory_->write_u64(addr + 8, c.reg(d.instr.rm));
+    if (f1 || f2) {
+      c.raise((f1 ? f1 : f2).kind, addr);
+      return;
+    }
+    if (writeback) c.set_reg(d.instr.rn, new_base);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.mem_pair);
+  }
+
+  static void b(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.branch_to(d.instr.target);
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void b_cond(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.pc_ = c.eval_cond(d.instr.cond) ? d.instr.target : pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void cbz(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.pc_ = c.reg(d.instr.rn) == 0 ? d.instr.target : pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void cbnz(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.pc_ = c.reg(d.instr.rn) != 0 ? d.instr.target : pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void bl(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.set_reg(kLr, pc + kInstrBytes);
+    c.branch_to(d.instr.target);
+    // Depth accounting is unified with blr: the bump is gated on a
+    // retiring call. A direct bl cannot fault at execute time, so the
+    // guard is vacuous today, but an asymmetry here would skew every
+    // depth-gated injection plan (pinned in kernel_fault_kill_test).
+    if (c.state_ == RunState::kReady) ++c.call_depth_;
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void blr(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.indirect_branch(c.reg(d.instr.rn), /*link=*/true);
+    if (c.state_ == RunState::kReady) ++c.call_depth_;
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void br(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.indirect_branch(c.reg(d.instr.rn), /*link=*/false);
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void ret(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    // A return is a direct use of the register value; a poisoned
+    // (non-canonical) address faults at the subsequent fetch.
+    c.branch_to(c.reg(d.instr.rn == Reg::kXzr ? kLr : d.instr.rn));
+    if (c.call_depth_ > 0) --c.call_depth_;
+    c.finish(d, pc, c.costs_.branch);
+  }
+
+  static void retaa(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    const u64 cost = c.costs_.pa + c.costs_.branch;
+    const auto result =
+        c.pauth_->aut(crypto::KeyId::kIA, c.reg(kLr), c.reg(Reg::kSp));
+    if (c.obs_ != nullptr) {
+      c.obs_->pac_auth(pc, c.reg(Reg::kSp), !result.fault,
+                       /*chain=*/false, c.cycles_ + cost);
+    }
+    if (result.fault) {
+      c.raise(FaultKind::kPacAuthFailure, c.reg(kLr));
+      return;
+    }
+    c.set_reg(kLr, result.pointer);
+    c.branch_to(result.pointer);
+    if (c.call_depth_ > 0) --c.call_depth_;
+    c.finish(d, pc, cost);
+  }
+
+  static void pacia(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    const u64 cost = c.costs_.pa;
+    const u64 modifier = c.reg(d.instr.rn);
+    c.set_reg(d.instr.rd,
+              c.pauth_->pac(crypto::KeyId::kIA, c.reg(d.instr.rd), modifier));
+    if (c.obs_ != nullptr) {
+      // A sign whose modifier is the chain register is a PACStack chain
+      // update; signing into the scratch register is the aret mask
+      // recomputation (Section 4.2 of the paper).
+      c.obs_->pac_sign(pc, modifier, /*chain=*/d.instr.rn == kCr,
+                       /*mask=*/d.instr.rd == kScratch, c.cycles_ + cost);
+    }
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, cost);
+  }
+
+  static void autia(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    const u64 cost = c.costs_.pa;
+    const u64 modifier = c.reg(d.instr.rn);
+    const auto result =
+        c.pauth_->aut(crypto::KeyId::kIA, c.reg(d.instr.rd), modifier);
+    if (c.obs_ != nullptr) {
+      c.obs_->pac_auth(pc, modifier, !result.fault,
+                       /*chain=*/d.instr.rn == kCr, c.cycles_ + cost);
+    }
+    if (result.fault) {
+      c.raise(FaultKind::kPacAuthFailure, c.reg(d.instr.rd));
+      return;
+    }
+    c.set_reg(d.instr.rd, result.pointer);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, cost);
+  }
+
+  static void pacga(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    const u64 cost = c.costs_.pa;
+    c.set_reg(d.instr.rd, c.pauth_->pacga(c.reg(d.instr.rn), c.reg(d.instr.rm)));
+    if (c.obs_ != nullptr) c.obs_->pac_generic(pc, c.cycles_ + cost);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, cost);
+  }
+
+  static void xpaci(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    const u64 cost = c.costs_.pa;
+    c.set_reg(d.instr.rd, c.pauth_->xpac(c.reg(d.instr.rd)));
+    if (c.obs_ != nullptr) c.obs_->pac_strip(pc, c.cycles_ + cost);
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, cost);
+  }
+
+  static void svc(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.svc_number_ = static_cast<u16>(d.instr.imm);
+    c.state_ = RunState::kSvc;
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.svc);
+  }
+
+  static void hlt(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.state_ = RunState::kHalted;
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, c.costs_.alu);
+  }
+
+  static void work(Cpu& c, const DecodedInstr& d) {
+    const u64 pc = c.pc_;
+    c.pc_ = pc + kInstrBytes;
+    c.finish(d, pc, static_cast<u64>(d.instr.imm));
+  }
+};
+
+DecodedInstr DecodedProgram::decode(const Instruction& instr) noexcept {
+  DecodedInstr di;
+  di.instr = instr;
+  di.klass = classify(instr.op);
+  di.ctl = ctl_of(instr.op);
+  switch (instr.op) {
+    case Opcode::kNop: di.handler = &CpuOps::nop; break;
+    case Opcode::kMovImm: di.handler = &CpuOps::mov_imm; break;
+    case Opcode::kMovReg: di.handler = &CpuOps::mov_reg; break;
+    case Opcode::kAddImm: di.handler = &CpuOps::add_imm; break;
+    case Opcode::kAddReg: di.handler = &CpuOps::add_reg; break;
+    case Opcode::kSubImm: di.handler = &CpuOps::sub_imm; break;
+    case Opcode::kSubReg: di.handler = &CpuOps::sub_reg; break;
+    case Opcode::kEorReg: di.handler = &CpuOps::eor_reg; break;
+    case Opcode::kAndReg: di.handler = &CpuOps::and_reg; break;
+    case Opcode::kOrrReg: di.handler = &CpuOps::orr_reg; break;
+    case Opcode::kLslImm: di.handler = &CpuOps::lsl_imm; break;
+    case Opcode::kLsrImm: di.handler = &CpuOps::lsr_imm; break;
+    case Opcode::kCmpImm:
+    case Opcode::kCmpReg: di.handler = &CpuOps::cmp; break;
+    case Opcode::kLdr:
+    case Opcode::kLdrb: di.handler = &CpuOps::ldr; break;
+    case Opcode::kStr:
+    case Opcode::kStrb: di.handler = &CpuOps::str; break;
+    case Opcode::kLdp: di.handler = &CpuOps::ldp; break;
+    case Opcode::kStp: di.handler = &CpuOps::stp; break;
+    case Opcode::kB: di.handler = &CpuOps::b; break;
+    case Opcode::kBCond: di.handler = &CpuOps::b_cond; break;
+    case Opcode::kCbz: di.handler = &CpuOps::cbz; break;
+    case Opcode::kCbnz: di.handler = &CpuOps::cbnz; break;
+    case Opcode::kBl: di.handler = &CpuOps::bl; break;
+    case Opcode::kBlr: di.handler = &CpuOps::blr; break;
+    case Opcode::kBr: di.handler = &CpuOps::br; break;
+    case Opcode::kRet: di.handler = &CpuOps::ret; break;
+    case Opcode::kRetaa: di.handler = &CpuOps::retaa; break;
+    case Opcode::kPacia: di.handler = &CpuOps::pacia; break;
+    case Opcode::kAutia: di.handler = &CpuOps::autia; break;
+    case Opcode::kPacga: di.handler = &CpuOps::pacga; break;
+    case Opcode::kXpaci: di.handler = &CpuOps::xpaci; break;
+    case Opcode::kSvc: di.handler = &CpuOps::svc; break;
+    case Opcode::kHlt: di.handler = &CpuOps::hlt; break;
+    case Opcode::kWork: di.handler = &CpuOps::work; break;
+  }
+  return di;
+}
+
+std::shared_ptr<const DecodedProgram> DecodedProgram::build(
+    const Program& program) {
+  auto decoded = std::make_shared<DecodedProgram>();
+  decoded->base_ = program.base;
+  decoded->stream_.reserve(program.code.size());
+  for (const auto& instr : program.code) {
+    decoded->stream_.push_back(decode(instr));
+  }
+  return decoded;
+}
+
 Cpu::Cpu(const Program& program, AddressSpace& memory,
          const pa::PointerAuth& pauth)
-    : program_(&program), memory_(&memory), pauth_(&pauth) {
+    : Cpu(program, memory, pauth, DecodedProgram::build(program)) {}
+
+Cpu::Cpu(const Program& program, AddressSpace& memory,
+         const pa::PointerAuth& pauth,
+         std::shared_ptr<const DecodedProgram> decoded)
+    : program_(&program),
+      memory_(&memory),
+      pauth_(&pauth),
+      decoded_(std::move(decoded)) {
   pc_ = program.base;
 }
 
@@ -169,8 +569,12 @@ RunState Cpu::step() {
     if (trace_next_ == 0) trace_wrapped_ = true;
   }
 
-  const Instruction& instr = program_->at(pc_);
-  execute(instr);
+  if (dispatch_ == DispatchMode::kDecoded) {
+    const DecodedInstr& di = decoded_->at(pc_);
+    di.handler(*this, di);
+  } else {
+    execute(program_->at(pc_));
+  }
   if (state_ == RunState::kReady || state_ == RunState::kSvc ||
       state_ == RunState::kHalted) {
     ++instructions_;
@@ -240,8 +644,259 @@ bool Cpu::apply_injection() {
 }
 
 RunState Cpu::run(u64 max_steps) {
-  for (u64 i = 0; i < max_steps && state_ == RunState::kReady; ++i) step();
+  steps_exhausted_ = false;
+  u64 steps = 0;
+  if (dispatch_ == DispatchMode::kDecoded && breakpoints_.empty() &&
+      inject_ == nullptr && trace_ring_.empty()) {
+    steps = run_fast(max_steps);
+  } else {
+    for (; steps < max_steps && state_ == RunState::kReady; ++steps) step();
+  }
+  last_run_steps_ = steps;
+  steps_exhausted_ = state_ == RunState::kReady;
   return state_;
+}
+
+u64 Cpu::run_fast(u64 max_steps) {
+  const DecodedInstr* const stream = decoded_->stream().data();
+  const u64 base = decoded_->base();
+  const u64 limit = decoded_->size_bytes();
+  skip_breakpoint_once_ = false;  // as step() does when no breakpoint is hit
+  u64 steps = 0;
+  // Hoisted fetch checks: canonicality is an interval ([0, 2^va_size)) and
+  // regions never unmap or lose permissions, so when the whole decoded span
+  // is canonical and inside one executable region the per-step fetch test
+  // reduces to bounds + alignment. Nothing else can change mid-run: only
+  // the CPU itself runs between the check and the loop.
+  if (limit != 0 && pauth_->layout().is_canonical(base) &&
+      pauth_->layout().is_canonical(base + limit - 1) && exec_cached(base) &&
+      limit <= exec_len_ - (base - exec_lo_)) {
+#if defined(__GNUC__) || defined(__clang__)
+    // Token-threaded dispatch (computed goto): every opcode gets its own
+    // fetch+dispatch site, so the indirect jump predicts per-predecessor
+    // instead of sharing one branch-target entry for the whole loop.
+    //
+    // The architectural counters (pc, cycles, retired instructions) live in
+    // locals for the duration of the loop: the indirect handler calls would
+    // otherwise force them through memory on every step. Trivial ALU and
+    // branch ops execute inline on the locals — their bodies mirror the
+    // CpuOps handlers exactly (they cannot fault and always retire, so the
+    // unconditional retire bump matches finish()'s state gate); every other
+    // opcode syncs the members around its handler call.
+    const DecodedInstr* di = nullptr;
+    u64 pc = pc_;
+    u64 cycles = cycles_;
+    u64 instrs = instructions_;
+    const u64 alu_cost = costs_.alu;
+    const u64 branch_cost = costs_.branch;
+    // set_observer is never called mid-run, so the hook pointer is loop-
+    // invariant; a local spares the reload across the opaque handler calls.
+    obs::TaskChannel* const obs = obs_;
+    // The dispatch macro does not test state_: inline ops cannot leave
+    // kReady, and the out-of-line case re-checks it right after its handler
+    // returns, so dispatch is only ever reached with state_ == kReady.
+#define ACS_SYNC_OUT() (pc_ = pc, cycles_ = cycles, instructions_ = instrs)
+#define ACS_SYNC_IN() (pc = pc_, cycles = cycles_, instrs = instructions_)
+#define ACS_DISPATCH()                                                        \
+  do {                                                                        \
+    if (steps >= max_steps) goto fast_done;                                   \
+    ++steps;                                                                  \
+    const u64 off = pc - base;                                                \
+    if (off >= limit || (off & (kInstrBytes - 1)) != 0) {                     \
+      ACS_SYNC_OUT();                                                         \
+      raise(FaultKind::kTranslation, pc);                                     \
+      goto fast_done; /* the faulting fetch consumed this step */             \
+    }                                                                         \
+    di = &stream[off / kInstrBytes];                                          \
+    goto* kDispatch[static_cast<unsigned>(di->instr.op)];                     \
+  } while (0)
+    // One X(opcode, handler) per Opcode enumerator, in enum order,
+    // mirroring DecodedProgram::decode's switch.
+#define ACS_OPCODE_LIST(X)                                                    \
+  X(kNop, nop) X(kMovImm, mov_imm) X(kMovReg, mov_reg) X(kAddImm, add_imm)    \
+  X(kAddReg, add_reg) X(kSubImm, sub_imm) X(kSubReg, sub_reg)                 \
+  X(kEorReg, eor_reg) X(kAndReg, and_reg) X(kOrrReg, orr_reg)                 \
+  X(kLslImm, lsl_imm) X(kLsrImm, lsr_imm) X(kCmpImm, cmp) X(kCmpReg, cmp)     \
+  X(kLdr, ldr) X(kStr, str) X(kLdrb, ldr) X(kStrb, str) X(kLdp, ldp)          \
+  X(kStp, stp) X(kB, b) X(kBCond, b_cond) X(kCbz, cbz) X(kCbnz, cbnz)         \
+  X(kBl, bl) X(kBlr, blr) X(kBr, br) X(kRet, ret) X(kRetaa, retaa)            \
+  X(kPacia, pacia) X(kAutia, autia) X(kPacga, pacga) X(kXpaci, xpaci)         \
+  X(kSvc, svc) X(kHlt, hlt) X(kWork, work)
+#define ACS_LABEL_ADDR(name, fn) &&lab_##name,
+    static const void* const kDispatch[kNumOpcodes] = {
+        ACS_OPCODE_LIST(ACS_LABEL_ADDR)};
+    static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == kNumOpcodes);
+    if (state_ != RunState::kReady) goto fast_done;
+    ACS_DISPATCH();
+    // Inline case: `body` updates registers and `pc` on the locals; the
+    // epilogue mirrors finish() (cycle charge + retire hook) plus step()'s
+    // retired-instruction bump, unconditional because these ops never leave
+    // the kReady state.
+#define ACS_INLINE_CASE(name, cost, body)                                     \
+  lab_##name : {                                                              \
+    const u64 ipc = pc;                                                       \
+    body;                                                                     \
+    cycles += (cost);                                                         \
+    ++instrs;                                                                 \
+    if (obs != nullptr) {                                                     \
+      obs->retire(di->klass, ipc, pc, (cost), cycles, di->ctl);               \
+    }                                                                         \
+    ACS_DISPATCH();                                                           \
+  }
+    ACS_INLINE_CASE(kNop, alu_cost, pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kMovImm, alu_cost,
+                    set_reg(di->instr.rd, static_cast<u64>(di->instr.imm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kMovReg, alu_cost, set_reg(di->instr.rd, reg(di->instr.rn));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kAddImm, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) + static_cast<u64>(di->instr.imm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kAddReg, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) + reg(di->instr.rm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kSubImm, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) - static_cast<u64>(di->instr.imm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kSubReg, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) - reg(di->instr.rm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kEorReg, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) ^ reg(di->instr.rm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kAndReg, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) & reg(di->instr.rm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kOrrReg, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) | reg(di->instr.rm));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kLslImm, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) << (di->instr.imm & 63));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kLsrImm, alu_cost,
+                    set_reg(di->instr.rd,
+                            reg(di->instr.rn) >> (di->instr.imm & 63));
+                    pc = ipc + kInstrBytes)
+    ACS_INLINE_CASE(kB, branch_cost, pc = di->instr.target)
+    ACS_INLINE_CASE(kBCond, branch_cost,
+                    pc = eval_cond(di->instr.cond) ? di->instr.target
+                                                   : ipc + kInstrBytes)
+    ACS_INLINE_CASE(kCbz, branch_cost,
+                    pc = reg(di->instr.rn) == 0 ? di->instr.target
+                                                : ipc + kInstrBytes)
+    ACS_INLINE_CASE(kCbnz, branch_cost,
+                    pc = reg(di->instr.rn) != 0 ? di->instr.target
+                                                : ipc + kInstrBytes)
+    ACS_INLINE_CASE(kWork, static_cast<u64>(di->instr.imm),
+                    pc = ipc + kInstrBytes)
+#undef ACS_INLINE_CASE
+    // Out-of-line case: call the slot's handler with the members synced —
+    // identical to what the plain loop does per step.
+#define ACS_OP_CASE(name, fn)                                                 \
+  lab_##name : ACS_SYNC_OUT();                                                \
+  di->handler(*this, *di);                                                    \
+  if (state_ == RunState::kReady || state_ == RunState::kSvc ||               \
+      state_ == RunState::kHalted) {                                          \
+    ++instructions_;                                                          \
+  }                                                                           \
+  ACS_SYNC_IN();                                                              \
+  if (state_ != RunState::kReady) goto fast_done;                             \
+  ACS_DISPATCH();
+    ACS_OP_CASE(kCmpImm, cmp)
+    ACS_OP_CASE(kCmpReg, cmp)
+    ACS_OP_CASE(kLdr, ldr)
+    ACS_OP_CASE(kStr, str)
+    ACS_OP_CASE(kLdrb, ldr)
+    ACS_OP_CASE(kStrb, str)
+    ACS_OP_CASE(kLdp, ldp)
+    ACS_OP_CASE(kStp, stp)
+    ACS_OP_CASE(kBl, bl)
+    ACS_OP_CASE(kBlr, blr)
+    ACS_OP_CASE(kBr, br)
+    ACS_OP_CASE(kRet, ret)
+    ACS_OP_CASE(kRetaa, retaa)
+    ACS_OP_CASE(kPacia, pacia)
+    ACS_OP_CASE(kAutia, autia)
+    ACS_OP_CASE(kPacga, pacga)
+    ACS_OP_CASE(kXpaci, xpaci)
+    ACS_OP_CASE(kSvc, svc)
+    ACS_OP_CASE(kHlt, hlt)
+#undef ACS_OP_CASE
+#undef ACS_LABEL_ADDR
+#undef ACS_OPCODE_LIST
+#undef ACS_DISPATCH
+  fast_done:
+    ACS_SYNC_OUT();
+#undef ACS_SYNC_IN
+#undef ACS_SYNC_OUT
+    return steps;
+#else
+    for (; steps < max_steps && state_ == RunState::kReady; ++steps) {
+      const u64 off = pc_ - base;
+      if (off >= limit || (off & (kInstrBytes - 1)) != 0) {
+        raise(FaultKind::kTranslation, pc_);
+        continue;  // the faulting fetch consumed this step
+      }
+      const DecodedInstr& di = stream[off / kInstrBytes];
+      di.handler(*this, di);
+      if (state_ == RunState::kReady || state_ == RunState::kSvc ||
+          state_ == RunState::kHalted) {
+        ++instructions_;
+      }
+    }
+    return steps;
+#endif
+  }
+  for (; steps < max_steps && state_ == RunState::kReady; ++steps) {
+    // Fetch check, same outcome as step(): non-canonical, out-of-program or
+    // non-executable PCs raise a translation fault at that PC. (A
+    // non-canonical PC always lands out of bounds here, so the offset check
+    // subsumes the canonicality test for the fault-free path.)
+    const u64 off = pc_ - base;
+    if (off >= limit || (off & (kInstrBytes - 1)) != 0 ||
+        !pauth_->layout().is_canonical(pc_) || !exec_cached(pc_)) {
+      raise(FaultKind::kTranslation, pc_);
+      continue;  // the faulting fetch consumed this step
+    }
+    const DecodedInstr& di = stream[off / kInstrBytes];
+    di.handler(*this, di);
+    if (state_ == RunState::kReady || state_ == RunState::kSvc ||
+        state_ == RunState::kHalted) {
+      ++instructions_;
+    }
+  }
+  return steps;
+}
+
+bool Cpu::exec_cached(u64 pc) noexcept {
+  if (exec_version_ == memory_->layout_version() && pc - exec_lo_ < exec_len_) {
+    return true;
+  }
+  const AddressSpace::RegionInfo* info = memory_->region_at(pc);
+  if (info == nullptr || !info->perms.x) return false;
+  exec_lo_ = info->base;
+  exec_len_ = info->size;
+  exec_version_ = memory_->layout_version();
+  return true;
+}
+
+void Cpu::finish(const DecodedInstr& di, u64 instr_pc, u64 cost) noexcept {
+  cycles_ += cost;
+  // Retire hook: fires exactly when step() counts the instruction as
+  // retired (faulting paths either returned early or left a pending fault).
+  if (obs_ != nullptr &&
+      (state_ == RunState::kReady || state_ == RunState::kSvc ||
+       state_ == RunState::kHalted)) {
+    obs_->retire(di.klass, instr_pc, pc_, cost, cycles_, di.ctl);
+  }
 }
 
 bool Cpu::eval_cond(Cond cond) const noexcept {
@@ -299,271 +954,8 @@ void Cpu::indirect_branch(u64 target, bool link) {
 }
 
 void Cpu::execute(const Instruction& instr) {
-  const u64 instr_pc = pc_;
-  const u64 next_pc = pc_ + kInstrBytes;
-  u64 cost = costs_.alu;
-
-  switch (instr.op) {
-    case Opcode::kNop:
-      pc_ = next_pc;
-      break;
-    case Opcode::kMovImm:
-      set_reg(instr.rd, static_cast<u64>(instr.imm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kMovReg:
-      set_reg(instr.rd, reg(instr.rn));
-      pc_ = next_pc;
-      break;
-    case Opcode::kAddImm:
-      set_reg(instr.rd, reg(instr.rn) + static_cast<u64>(instr.imm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kAddReg:
-      set_reg(instr.rd, reg(instr.rn) + reg(instr.rm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kSubImm:
-      set_reg(instr.rd, reg(instr.rn) - static_cast<u64>(instr.imm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kSubReg:
-      set_reg(instr.rd, reg(instr.rn) - reg(instr.rm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kEorReg:
-      set_reg(instr.rd, reg(instr.rn) ^ reg(instr.rm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kAndReg:
-      set_reg(instr.rd, reg(instr.rn) & reg(instr.rm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kOrrReg:
-      set_reg(instr.rd, reg(instr.rn) | reg(instr.rm));
-      pc_ = next_pc;
-      break;
-    case Opcode::kLslImm:
-      set_reg(instr.rd, reg(instr.rn) << (instr.imm & 63));
-      pc_ = next_pc;
-      break;
-    case Opcode::kLsrImm:
-      set_reg(instr.rd, reg(instr.rn) >> (instr.imm & 63));
-      pc_ = next_pc;
-      break;
-    case Opcode::kCmpImm:
-    case Opcode::kCmpReg: {
-      const u64 lhs = reg(instr.rn);
-      const u64 rhs = instr.op == Opcode::kCmpImm ? static_cast<u64>(instr.imm)
-                                                  : reg(instr.rm);
-      const u64 result = lhs - rhs;
-      flag_n_ = (result >> 63) != 0;
-      flag_z_ = result == 0;
-      flag_c_ = lhs >= rhs;
-      const bool lhs_neg = (lhs >> 63) != 0;
-      const bool rhs_neg = (rhs >> 63) != 0;
-      const bool res_neg = (result >> 63) != 0;
-      flag_v_ = (lhs_neg != rhs_neg) && (res_neg != lhs_neg);
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kLdr:
-    case Opcode::kLdrb: {
-      bool writeback = false;
-      u64 new_base = 0;
-      const u64 addr = mem_address(instr, new_base, writeback);
-      const auto access = instr.op == Opcode::kLdr ? memory_->read_u64(addr)
-                                                   : memory_->read_u8(addr);
-      if (!access.ok()) {
-        raise(access.fault.kind, addr);
-        return;
-      }
-      set_reg(instr.rd, access.value);
-      if (writeback) set_reg(instr.rn, new_base);
-      cost = costs_.mem;
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kStr:
-    case Opcode::kStrb: {
-      bool writeback = false;
-      u64 new_base = 0;
-      const u64 addr = mem_address(instr, new_base, writeback);
-      const Fault fault =
-          instr.op == Opcode::kStr
-              ? memory_->write_u64(addr, reg(instr.rd))
-              : memory_->write_u8(addr, static_cast<u8>(reg(instr.rd)));
-      if (fault) {
-        raise(fault.kind, addr);
-        return;
-      }
-      if (writeback) set_reg(instr.rn, new_base);
-      cost = costs_.mem;
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kLdp: {
-      bool writeback = false;
-      u64 new_base = 0;
-      const u64 addr = mem_address(instr, new_base, writeback);
-      const auto first = memory_->read_u64(addr);
-      const auto second = memory_->read_u64(addr + 8);
-      if (!first.ok() || !second.ok()) {
-        raise(FaultKind::kTranslation, addr);
-        return;
-      }
-      set_reg(instr.rd, first.value);
-      set_reg(instr.rm, second.value);
-      if (writeback) set_reg(instr.rn, new_base);
-      cost = costs_.mem_pair;
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kStp: {
-      bool writeback = false;
-      u64 new_base = 0;
-      const u64 addr = mem_address(instr, new_base, writeback);
-      const Fault f1 = memory_->write_u64(addr, reg(instr.rd));
-      const Fault f2 = memory_->write_u64(addr + 8, reg(instr.rm));
-      if (f1 || f2) {
-        raise((f1 ? f1 : f2).kind, addr);
-        return;
-      }
-      if (writeback) set_reg(instr.rn, new_base);
-      cost = costs_.mem_pair;
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kB:
-      cost = costs_.branch;
-      branch_to(instr.target);
-      break;
-    case Opcode::kBCond:
-      cost = costs_.branch;
-      pc_ = eval_cond(instr.cond) ? instr.target : next_pc;
-      break;
-    case Opcode::kCbz:
-      cost = costs_.branch;
-      pc_ = reg(instr.rn) == 0 ? instr.target : next_pc;
-      break;
-    case Opcode::kCbnz:
-      cost = costs_.branch;
-      pc_ = reg(instr.rn) != 0 ? instr.target : next_pc;
-      break;
-    case Opcode::kBl:
-      cost = costs_.branch;
-      set_reg(kLr, next_pc);
-      branch_to(instr.target);
-      ++call_depth_;
-      break;
-    case Opcode::kBlr: {
-      cost = costs_.branch;
-      indirect_branch(reg(instr.rn), /*link=*/true);
-      if (state_ == RunState::kReady) ++call_depth_;
-      break;
-    }
-    case Opcode::kBr: {
-      cost = costs_.branch;
-      indirect_branch(reg(instr.rn), /*link=*/false);
-      break;
-    }
-    case Opcode::kRet: {
-      cost = costs_.branch;
-      // A return is a direct use of the register value; a poisoned
-      // (non-canonical) address faults at the subsequent fetch.
-      branch_to(reg(instr.rn == Reg::kXzr ? kLr : instr.rn));
-      if (call_depth_ > 0) --call_depth_;
-      break;
-    }
-    case Opcode::kRetaa: {
-      cost = costs_.pa + costs_.branch;
-      const auto result =
-          pauth_->aut(crypto::KeyId::kIA, reg(kLr), reg(Reg::kSp));
-      if (obs_ != nullptr) {
-        obs_->pac_auth(instr_pc, reg(Reg::kSp), !result.fault,
-                       /*chain=*/false, cycles_ + cost);
-      }
-      if (result.fault) {
-        raise(FaultKind::kPacAuthFailure, reg(kLr));
-        return;
-      }
-      set_reg(kLr, result.pointer);
-      branch_to(result.pointer);
-      if (call_depth_ > 0) --call_depth_;
-      break;
-    }
-    case Opcode::kPacia: {
-      cost = costs_.pa;
-      const u64 modifier = reg(instr.rn);
-      set_reg(instr.rd,
-              pauth_->pac(crypto::KeyId::kIA, reg(instr.rd), modifier));
-      if (obs_ != nullptr) {
-        // A sign whose modifier is the chain register is a PACStack chain
-        // update; signing into the scratch register is the aret mask
-        // recomputation (Section 4.2 of the paper).
-        obs_->pac_sign(instr_pc, modifier, /*chain=*/instr.rn == kCr,
-                       /*mask=*/instr.rd == kScratch, cycles_ + cost);
-      }
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kAutia: {
-      cost = costs_.pa;
-      const u64 modifier = reg(instr.rn);
-      const auto result =
-          pauth_->aut(crypto::KeyId::kIA, reg(instr.rd), modifier);
-      if (obs_ != nullptr) {
-        obs_->pac_auth(instr_pc, modifier, !result.fault,
-                       /*chain=*/instr.rn == kCr, cycles_ + cost);
-      }
-      if (result.fault) {
-        raise(FaultKind::kPacAuthFailure, reg(instr.rd));
-        return;
-      }
-      set_reg(instr.rd, result.pointer);
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kPacga: {
-      cost = costs_.pa;
-      set_reg(instr.rd, pauth_->pacga(reg(instr.rn), reg(instr.rm)));
-      if (obs_ != nullptr) obs_->pac_generic(instr_pc, cycles_ + cost);
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kXpaci: {
-      cost = costs_.pa;
-      set_reg(instr.rd, pauth_->xpac(reg(instr.rd)));
-      if (obs_ != nullptr) obs_->pac_strip(instr_pc, cycles_ + cost);
-      pc_ = next_pc;
-      break;
-    }
-    case Opcode::kSvc:
-      cost = costs_.svc;
-      svc_number_ = static_cast<u16>(instr.imm);
-      state_ = RunState::kSvc;
-      pc_ = next_pc;
-      break;
-    case Opcode::kHlt:
-      state_ = RunState::kHalted;
-      pc_ = next_pc;
-      break;
-    case Opcode::kWork:
-      cost = static_cast<u64>(instr.imm);
-      pc_ = next_pc;
-      break;
-  }
-
-  cycles_ += cost;
-
-  // Retire hook: fires exactly when step() counts the instruction as
-  // retired (faulting paths either returned early or left a pending fault).
-  if (obs_ != nullptr &&
-      (state_ == RunState::kReady || state_ == RunState::kSvc ||
-       state_ == RunState::kHalted)) {
-    obs_->retire(classify(instr.op), instr_pc, pc_, cost, cycles_,
-                 ctl_of(instr.op));
-  }
+  const DecodedInstr di = DecodedProgram::decode(instr);
+  di.handler(*this, di);
 }
 
 }  // namespace acs::sim

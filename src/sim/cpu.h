@@ -19,9 +19,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include <memory>
+
 #include "common/types.h"
 #include "pa/pointer_auth.h"
 #include "sim/cycle_model.h"
+#include "sim/decode.h"
 #include "sim/fault.h"
 #include "sim/isa.h"
 #include "sim/memory.h"
@@ -54,9 +57,21 @@ enum class RunState : u8 {
   kBreakpoint,  ///< paused at an adversary/debugger breakpoint
 };
 
+/// How step()/run() resolve an instruction to its semantics.
+enum class DispatchMode : u8 {
+  kDecoded,      ///< predecoded stream, function-pointer dispatch (default)
+  kInterpreter,  ///< decode every instruction on every step (reference path)
+};
+
 class Cpu {
  public:
+  /// Builds (and owns) a fresh decoded stream for `program`.
   Cpu(const Program& program, AddressSpace& memory, const pa::PointerAuth& pauth);
+
+  /// Shares an already-built decoded stream (kernel::Machine passes the
+  /// per-image cache here so forks never re-decode).
+  Cpu(const Program& program, AddressSpace& memory, const pa::PointerAuth& pauth,
+      std::shared_ptr<const DecodedProgram> decoded);
 
   // --- register file -----------------------------------------------------
   [[nodiscard]] u64 reg(Reg r) const noexcept;
@@ -68,8 +83,26 @@ class Cpu {
   /// Execute one instruction (or hit a breakpoint). Returns the new state.
   RunState step();
 
-  /// Run until a non-ready state or `max_steps` instructions.
+  /// Run until a non-ready state or `max_steps` instructions. When no
+  /// breakpoints, injector or trace ring are attached and dispatch is
+  /// kDecoded, this uses a tight fetch/dispatch loop that hoists the
+  /// per-step breakpoint and region lookups out of the hot path.
   RunState run(u64 max_steps = 100'000'000);
+
+  /// True when the last run() stopped because it used up `max_steps` while
+  /// the hart was still runnable — callers can now tell a timeout from a
+  /// hart that stopped at a breakpoint/svc boundary (both return kReady
+  /// after resume()).
+  [[nodiscard]] bool steps_exhausted() const noexcept {
+    return steps_exhausted_;
+  }
+
+  /// Steps consumed by the last run() call (faulting and injected-skip
+  /// steps count; kernel::Machine uses this for exact budget accounting).
+  [[nodiscard]] u64 last_run_steps() const noexcept { return last_run_steps_; }
+
+  [[nodiscard]] DispatchMode dispatch() const noexcept { return dispatch_; }
+  void set_dispatch(DispatchMode mode) noexcept { dispatch_ = mode; }
 
   [[nodiscard]] RunState state() const noexcept { return state_; }
   [[nodiscard]] const Fault& fault() const noexcept { return fault_; }
@@ -127,6 +160,8 @@ class Cpu {
   }
 
  private:
+  friend struct CpuOps;  // the decoded-dispatch op handlers (cpu.cc)
+
   /// Apply the injector's due fault. Returns true when the fault consumed
   /// the step (kInstrSkip); mutation-only kinds return false and the
   /// fetched instruction executes against the corrupted state.
@@ -134,6 +169,14 @@ class Cpu {
 
   void raise(FaultKind kind, u64 addr) noexcept;
   void execute(const Instruction& instr);
+  /// Tight decoded-dispatch loop (preconditions checked by run()). Returns
+  /// the number of steps consumed.
+  u64 run_fast(u64 max_steps);
+  /// Fetch-permission check with a cached executable-region range,
+  /// invalidated via AddressSpace::layout_version().
+  [[nodiscard]] bool exec_cached(u64 pc) noexcept;
+  /// Common instruction epilogue: charge cycles, fire the retire hook.
+  void finish(const DecodedInstr& di, u64 instr_pc, u64 cost) noexcept;
   [[nodiscard]] bool eval_cond(Cond cond) const noexcept;
   [[nodiscard]] u64 mem_address(const Instruction& instr, u64& base_out,
                                 bool& writeback) noexcept;
@@ -143,6 +186,8 @@ class Cpu {
   const Program* program_;
   AddressSpace* memory_;
   const pa::PointerAuth* pauth_;
+  std::shared_ptr<const DecodedProgram> decoded_;
+  DispatchMode dispatch_ = DispatchMode::kDecoded;
   obs::TaskChannel* obs_ = nullptr;
   inject::TaskInjector* inject_ = nullptr;
 
@@ -157,6 +202,12 @@ class Cpu {
   u64 cycles_ = 0;
   u64 instructions_ = 0;
   u64 call_depth_ = 0;
+  bool steps_exhausted_ = false;
+  u64 last_run_steps_ = 0;
+  // Cached executable-region range for the fast fetch check.
+  u64 exec_lo_ = 0;
+  u64 exec_len_ = 0;
+  u64 exec_version_ = ~u64{0};
   bool skip_breakpoint_once_ = false;
   u64 skip_breakpoint_pc_ = 0;
   std::unordered_set<u64> breakpoints_;

@@ -5,8 +5,10 @@
 namespace acs::sim {
 
 bool Program::is_function_entry(u64 addr) const noexcept {
-  return std::find(function_entries.begin(), function_entries.end(), addr) !=
-         function_entries.end();
+  // function_entries is sorted (Assembler::assemble guarantees it), and
+  // this check sits on the blr/br hot path: binary search, not a scan.
+  return std::binary_search(function_entries.begin(), function_entries.end(),
+                            addr);
 }
 
 std::string reg_name(Reg r) {

@@ -85,6 +85,10 @@ enum class Opcode : u8 {
   kWork,     ///< burn `imm` cycles of straight-line compute (workload model)
 };
 
+/// Number of opcode values (the enum is contiguous from 0) — sizes the
+/// threaded-dispatch label table in Cpu::run_fast.
+inline constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::kWork) + 1;
+
 /// One decoded instruction. `target` holds a resolved code address for
 /// branch opcodes (filled in by the assembler's fixup pass).
 struct Instruction {

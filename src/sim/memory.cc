@@ -1,9 +1,22 @@
 #include "sim/memory.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 namespace acs::sim {
+
+AddressSpace& AddressSpace::operator=(const AddressSpace& other) {
+  if (this != &other) {
+    regions_ = other.regions_;
+    last_hit_ = other.last_hit_;
+    version_ = other.version_;
+    cache_ = SpanCache{};  // pointers into the old region table are gone
+  }
+  return *this;
+}
 
 void AddressSpace::map(u64 base, u64 size, Perms perms, std::string name) {
   if (size == 0) throw std::invalid_argument{"map: zero-sized region"};
@@ -19,16 +32,56 @@ void AddressSpace::map(u64 base, u64 size, Perms perms, std::string name) {
   }
   Region region;
   region.info = RegionInfo{base, size, perms, std::move(name)};
-  region.bytes.assign(size, 0);
-  regions_.push_back(std::move(region));
+  // All pages start null ("all zeros"); bytes materialize on first write.
+  region.pages.resize((size + kPageSize - 1) / kPageSize);
+  const auto pos = std::upper_bound(
+      regions_.begin(), regions_.end(), base,
+      [](u64 b, const Region& r) { return b < r.info.base; });
+  regions_.insert(pos, std::move(region));
+  last_hit_ = 0;
+  cache_ = SpanCache{};  // the region table may have reallocated
+  ++version_;
 }
 
-const AddressSpace::Region* AddressSpace::find(u64 addr, u64 len) const noexcept {
-  for (const auto& region : regions_) {
-    if (addr >= region.info.base &&
-        addr + len <= region.info.base + region.info.size) {
-      return &region;
+void AddressSpace::fill_span_cache(const Region& region,
+                                   u64 addr) const noexcept {
+  const u64 off = addr - region.info.base;
+  const u64 page = off / kPageSize;
+  const PagePtr& bytes = region.pages[page];
+  if (bytes == nullptr) return;  // zero pages have no bytes to point at
+  const u64 len = std::min(kPageSize, region.info.size - page * kPageSize);
+  if (len < 8) return;  // clipped tail spans are not worth caching
+  cache_.base = region.info.base + page * kPageSize;
+  cache_.len = len;
+  cache_.page = page;
+  cache_.region = &region;
+  cache_.bytes = bytes.get();
+  cache_.readable = region.info.perms.r;
+  cache_.writable = region.info.perms.w;
+}
+
+const AddressSpace::Region* AddressSpace::find(u64 addr,
+                                               u64 len) const noexcept {
+  const u64 end = addr + len;
+  if (end < addr) return nullptr;  // wraparound near UINT64_MAX — unmapped
+  // Hot accesses hit the same region repeatedly; check the last hit first.
+  if (last_hit_ < regions_.size()) {
+    const Region& cached = regions_[last_hit_];
+    if (addr >= cached.info.base &&
+        end <= cached.info.base + cached.info.size) {
+      return &cached;
     }
+  }
+  // Regions are sorted by base: the only candidate is the last region whose
+  // base is <= addr.
+  const auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), addr,
+      [](u64 a, const Region& r) { return a < r.info.base; });
+  if (it == regions_.begin()) return nullptr;
+  const Region& region = *std::prev(it);
+  if (end <= region.info.base + region.info.size) {
+    last_hit_ = static_cast<std::size_t>(std::prev(it) - regions_.begin());
+    return &region;
   }
   return nullptr;
 }
@@ -37,7 +90,39 @@ AddressSpace::Region* AddressSpace::find(u64 addr, u64 len) noexcept {
   return const_cast<Region*>(std::as_const(*this).find(addr, len));
 }
 
-AddressSpace::Access AddressSpace::read_u64(u64 addr) const noexcept {
+u64 AddressSpace::region_read(const Region& region, u64 off,
+                              unsigned len) noexcept {
+  u64 value = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    const PagePtr& page = region.pages[(off + i) / kPageSize];
+    if (page != nullptr) {
+      value |= static_cast<u64>((*page)[(off + i) % kPageSize]) << (8 * i);
+    }
+  }
+  return value;
+}
+
+std::vector<u8>& AddressSpace::own_page(PagePtr& page) {
+  if (page == nullptr) {
+    page = std::make_shared<std::vector<u8>>(kPageSize, u8{0});
+  } else if (page.use_count() > 1) {
+    page = std::make_shared<std::vector<u8>>(*page);  // CoW: clone this page
+  }
+  return *page;
+}
+
+u8* AddressSpace::own_byte(Region& region, u64 off) noexcept {
+  return &own_page(region.pages[off / kPageSize])[off % kPageSize];
+}
+
+void AddressSpace::region_write(Region& region, u64 off, u64 value,
+                                unsigned len) noexcept {
+  for (unsigned i = 0; i < len; ++i) {
+    *own_byte(region, off + i) = static_cast<u8>(value >> (8 * i));
+  }
+}
+
+AddressSpace::Access AddressSpace::read_u64_slow(u64 addr) const noexcept {
   const Region* region = find(addr, 8);
   if (region == nullptr) {
     return {0, Fault{FaultKind::kTranslation, addr, 0}};
@@ -46,28 +131,38 @@ AddressSpace::Access AddressSpace::read_u64(u64 addr) const noexcept {
     return {0, Fault{FaultKind::kPermission, addr, 0}};
   }
   const u64 off = addr - region->info.base;
-  u64 value = 0;
-  for (unsigned i = 0; i < 8; ++i) {
-    value |= static_cast<u64>(region->bytes[off + i]) << (8 * i);
+  const u64 page_off = off % kPageSize;
+  if (page_off <= kPageSize - 8) {  // access lies within one page
+    const PagePtr& page = region->pages[off / kPageSize];
+    if (page == nullptr) return {0, Fault{}};  // untouched page reads as zero
+    fill_span_cache(*region, addr);
+    return {load_le64(page->data() + page_off), Fault{}};
   }
-  return {value, Fault{}};
+  return {region_read(*region, off, 8), Fault{}};
 }
 
 AddressSpace::Access AddressSpace::read_u8(u64 addr) const noexcept {
   const Region* region = find(addr, 1);
   if (region == nullptr) return {0, Fault{FaultKind::kTranslation, addr, 0}};
   if (!region->info.perms.r) return {0, Fault{FaultKind::kPermission, addr, 0}};
-  return {region->bytes[addr - region->info.base], Fault{}};
+  return {region_read(*region, addr - region->info.base, 1), Fault{}};
 }
 
-Fault AddressSpace::write_u64(u64 addr, u64 value) noexcept {
+Fault AddressSpace::write_u64_slow(u64 addr, u64 value) noexcept {
   Region* region = find(addr, 8);
   if (region == nullptr) return Fault{FaultKind::kTranslation, addr, 0};
   if (!region->info.perms.w) return Fault{FaultKind::kPermission, addr, 0};
   const u64 off = addr - region->info.base;
-  for (unsigned i = 0; i < 8; ++i) {
-    region->bytes[off + i] = static_cast<u8>(value >> (8 * i));
+  const u64 page_off = off % kPageSize;
+  if (page_off <= kPageSize - 8) {  // access lies within one page
+    PagePtr& page = region->pages[off / kPageSize];
+    std::vector<u8>& bytes =
+        (page != nullptr && page.use_count() == 1) ? *page : own_page(page);
+    store_le64(bytes.data() + page_off, value);
+    fill_span_cache(*region, addr);
+    return Fault{};
   }
+  region_write(*region, off, value, 8);
   return Fault{};
 }
 
@@ -75,54 +170,37 @@ Fault AddressSpace::write_u8(u64 addr, u8 value) noexcept {
   Region* region = find(addr, 1);
   if (region == nullptr) return Fault{FaultKind::kTranslation, addr, 0};
   if (!region->info.perms.w) return Fault{FaultKind::kPermission, addr, 0};
-  region->bytes[addr - region->info.base] = value;
+  region_write(*region, addr - region->info.base, value, 1);
   return Fault{};
 }
 
 std::optional<u64> AddressSpace::adversary_read_u64(u64 addr) const noexcept {
   const Region* region = find(addr, 8);
   if (region == nullptr) return std::nullopt;
-  const u64 off = addr - region->info.base;
-  u64 value = 0;
-  for (unsigned i = 0; i < 8; ++i) {
-    value |= static_cast<u64>(region->bytes[off + i]) << (8 * i);
-  }
-  return value;
+  return region_read(*region, addr - region->info.base, 8);
 }
 
 bool AddressSpace::adversary_write_u64(u64 addr, u64 value) noexcept {
   Region* region = find(addr, 8);
   if (region == nullptr) return false;
   if (region->info.perms.x) return false;  // W^X (assumption A1)
-  const u64 off = addr - region->info.base;
-  for (unsigned i = 0; i < 8; ++i) {
-    region->bytes[off + i] = static_cast<u8>(value >> (8 * i));
-  }
+  region_write(*region, addr - region->info.base, value, 8);
   return true;
 }
 
 u64 AddressSpace::raw_read_u64(u64 addr) const {
-  const auto access = read_u64(addr);
-  if (access.fault && access.fault.kind == FaultKind::kTranslation) {
-    throw std::out_of_range{"raw_read_u64: unmapped address"};
-  }
   // Permission faults do not apply to infrastructure reads.
   const Region* region = find(addr, 8);
-  const u64 off = addr - region->info.base;
-  u64 value = 0;
-  for (unsigned i = 0; i < 8; ++i) {
-    value |= static_cast<u64>(region->bytes[off + i]) << (8 * i);
+  if (region == nullptr) {
+    throw std::out_of_range{"raw_read_u64: unmapped address"};
   }
-  return value;
+  return region_read(*region, addr - region->info.base, 8);
 }
 
 void AddressSpace::raw_write_u64(u64 addr, u64 value) {
   Region* region = find(addr, 8);
   if (region == nullptr) throw std::out_of_range{"raw_write_u64: unmapped"};
-  const u64 off = addr - region->info.base;
-  for (unsigned i = 0; i < 8; ++i) {
-    region->bytes[off + i] = static_cast<u8>(value >> (8 * i));
-  }
+  region_write(*region, addr - region->info.base, value, 8);
 }
 
 bool AddressSpace::is_executable(u64 addr) const noexcept {
@@ -134,7 +212,8 @@ bool AddressSpace::is_mapped(u64 addr) const noexcept {
   return find(addr, 1) != nullptr;
 }
 
-const AddressSpace::RegionInfo* AddressSpace::region_at(u64 addr) const noexcept {
+const AddressSpace::RegionInfo* AddressSpace::region_at(
+    u64 addr) const noexcept {
   const Region* region = find(addr, 1);
   return region == nullptr ? nullptr : &region->info;
 }
@@ -144,6 +223,16 @@ std::vector<AddressSpace::RegionInfo> AddressSpace::regions() const {
   out.reserve(regions_.size());
   for (const auto& region : regions_) out.push_back(region.info);
   return out;
+}
+
+u64 AddressSpace::private_pages() const noexcept {
+  u64 count = 0;
+  for (const auto& region : regions_) {
+    for (const auto& page : region.pages) {
+      if (page != nullptr && page.use_count() == 1) ++count;
+    }
+  }
+  return count;
 }
 
 }  // namespace acs::sim

@@ -7,8 +7,20 @@
 // data pages — "arbitrary control of process memory" — but still cannot
 // write executable pages (A1) and, because kernel state lives outside this
 // object entirely, cannot touch kernel-saved register contexts or PA keys.
+//
+// Storage is page-granular and copy-on-write: copying an AddressSpace
+// shares its pages with the source (O(regions) pointer copies, no byte
+// copies); the first write to a shared page clones just that page. A null
+// page pointer means "all zeros", so freshly mapped regions cost no bytes
+// until touched. This is what makes kernel::Machine forking and fork(2)
+// O(pages-touched) — see docs/simulator.md. The CoW sharing is safe across
+// threads only under the repo-wide contract that a master image is never
+// written while forks taken from it are live.
 #pragma once
 
+#include <bit>
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +43,9 @@ inline constexpr Perms kPermRx{true, false, true};
 
 class AddressSpace {
  public:
+  /// CoW page granularity (region-relative, regions need not be aligned).
+  static constexpr u64 kPageSize = 4096;
+
   /// Map a new zero-filled region. Throws std::invalid_argument on overlap,
   /// zero size, or an R+W+X request (W^X violation).
   void map(u64 base, u64 size, Perms perms, std::string name);
@@ -42,10 +57,33 @@ class AddressSpace {
     [[nodiscard]] bool ok() const noexcept { return !fault; }
   };
 
-  // Checked CPU accesses (respect permissions; little-endian).
-  [[nodiscard]] Access read_u64(u64 addr) const noexcept;
+  // Checked CPU accesses (respect permissions; little-endian). An access
+  // must lie entirely within one mapped region; spanning the seam between
+  // two adjacent regions is a translation fault by design (pinned in
+  // sim_memory_test). The bodies below are the hot-span fast path, kept in
+  // the header so the CPU's load/store handlers inline them; everything
+  // else goes through the out-of-line _slow variants.
+  [[nodiscard]] Access read_u64(u64 addr) const noexcept {
+    if (cache_.readable && addr - cache_.base <= cache_.len - 8 &&
+        cache_.region->pages[cache_.page].get() == cache_.bytes) {
+      return {load_le64(cache_.bytes->data() + (addr - cache_.base)), Fault{}};
+    }
+    return read_u64_slow(addr);
+  }
   [[nodiscard]] Access read_u8(u64 addr) const noexcept;
-  [[nodiscard]] Fault write_u64(u64 addr, u64 value) noexcept;
+  [[nodiscard]] Fault write_u64(u64 addr, u64 value) noexcept {
+    // Identity plus exclusive ownership re-checked per write, so a page
+    // shared with a fork taken since the fill is never written in place
+    // (it falls through and CoW-clones in the slow path).
+    if (cache_.writable && addr - cache_.base <= cache_.len - 8) {
+      const PagePtr& page = cache_.region->pages[cache_.page];
+      if (page.get() == cache_.bytes && page.use_count() == 1) {
+        store_le64(page->data() + (addr - cache_.base), value);
+        return Fault{};
+      }
+    }
+    return write_u64_slow(addr, value);
+  }
   [[nodiscard]] Fault write_u8(u64 addr, u8 value) noexcept;
 
   // Adversary accesses (Section 3): arbitrary read of any mapped page and
@@ -72,16 +110,106 @@ class AddressSpace {
   [[nodiscard]] const RegionInfo* region_at(u64 addr) const noexcept;
   [[nodiscard]] std::vector<RegionInfo> regions() const;
 
+  /// Bumped on every map(); lets callers (Cpu's fetch fast path) cache
+  /// region lookups and invalidate when the layout changes.
+  [[nodiscard]] u64 layout_version() const noexcept { return version_; }
+
+  /// Pages owned exclusively by this address space (materialized and not
+  /// shared with any CoW sibling). A fresh fork reports 0; the count grows
+  /// only with pages actually written — the O(pages-touched) guarantee.
+  [[nodiscard]] u64 private_pages() const noexcept;
+
+  AddressSpace() = default;
+  // Copying shares pages CoW. The hot-span cache holds pointers into this
+  // object's own region table, so the copy starts with an empty cache; the
+  // source is not written (forks may be taken concurrently from one master).
+  AddressSpace(const AddressSpace& other)
+      : regions_(other.regions_),
+        last_hit_(other.last_hit_),
+        version_(other.version_) {}
+  AddressSpace& operator=(const AddressSpace& other);
+  AddressSpace(AddressSpace&&) noexcept = default;
+  AddressSpace& operator=(AddressSpace&&) noexcept = default;
+
  private:
+  // Null page = 4 KiB of zeros. Pages index region-relative byte ranges
+  // [i * kPageSize, (i + 1) * kPageSize) clipped to the region size.
+  using PagePtr = std::shared_ptr<std::vector<u8>>;
+
   struct Region {
     RegionInfo info;
-    std::vector<u8> bytes;
+    std::vector<PagePtr> pages;
+  };
+
+  // Hot-span cache: the last page span touched by a checked access. A hit
+  // revalidates the page's identity (`pages[page].get() == bytes`), so a
+  // CoW clone or materialization elsewhere simply misses and refills; a
+  // write hit additionally re-checks exclusive ownership (use_count == 1),
+  // so pages shared with a fork taken since the fill are never written in
+  // place. Invalidated on map() (the region table may reallocate).
+  struct SpanCache {
+    u64 base = 0;   ///< VA of the first byte of the cached span
+    u64 len = 0;    ///< span length (page size clipped to the region end)
+    u64 page = 0;   ///< page index within `region`
+    const Region* region = nullptr;
+    const std::vector<u8>* bytes = nullptr;  ///< page identity at fill time
+    bool readable = false;
+    bool writable = false;
   };
 
   [[nodiscard]] const Region* find(u64 addr, u64 len) const noexcept;
   [[nodiscard]] Region* find(u64 addr, u64 len) noexcept;
 
-  std::vector<Region> regions_;
+  // Byte-wise access at a region-relative offset, handling page seams.
+  // read_u64/write_u64 only fall back here for page-spanning accesses;
+  // the in-page common case is a single page lookup + 8-byte load/store.
+  static u64 region_read(const Region& region, u64 off, unsigned len) noexcept;
+  static void region_write(Region& region, u64 off, u64 value,
+                           unsigned len) noexcept;
+  static u8* own_byte(Region& region, u64 off) noexcept;
+  /// Materialize (null → zero page) or un-share (CoW clone) so the page is
+  /// exclusively owned and writable in place.
+  static std::vector<u8>& own_page(PagePtr& page);
+
+  /// Refill the span cache from a region the access was just validated
+  /// against (materialized pages only).
+  void fill_span_cache(const Region& region, u64 addr) const noexcept;
+
+  // Out-of-line halves of the checked accessors (find + permission checks
+  // + CoW materialization + cache refill).
+  [[nodiscard]] Access read_u64_slow(u64 addr) const noexcept;
+  [[nodiscard]] Fault write_u64_slow(u64 addr, u64 value) noexcept;
+
+  // Little-endian u64 load/store against raw page bytes. On a little-
+  // endian host this is a single memcpy (folded to one move); the byte
+  // loop keeps the architectural LE contract on big-endian hosts.
+  [[nodiscard]] static u64 load_le64(const u8* p) noexcept {
+    if constexpr (std::endian::native == std::endian::little) {
+      u64 value;
+      std::memcpy(&value, p, sizeof value);
+      return value;
+    } else {
+      u64 value = 0;
+      for (unsigned i = 0; i < 8; ++i) {
+        value |= static_cast<u64>(p[i]) << (8 * i);
+      }
+      return value;
+    }
+  }
+  static void store_le64(u8* p, u64 value) noexcept {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p, &value, sizeof value);
+    } else {
+      for (unsigned i = 0; i < 8; ++i) {
+        p[i] = static_cast<u8>(value >> (8 * i));
+      }
+    }
+  }
+
+  std::vector<Region> regions_;  // sorted by base, non-overlapping
+  mutable std::size_t last_hit_ = 0;  // index cache for find()
+  mutable SpanCache cache_;
+  u64 version_ = 0;
 };
 
 }  // namespace acs::sim

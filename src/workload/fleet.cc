@@ -107,6 +107,12 @@ FleetResult run_worker_fleet(compiler::Scheme scheme, const FleetConfig& config,
         const auto ir =
             make_worker_ir(config.requests_per_worker, jitter_seed);
         const auto program = compiler::compile_ir(ir, {.scheme = scheme});
+        // One pristine master image per slot: every supervised attempt
+        // below re-forks it copy-on-write (shared code/data pages, shared
+        // decoded-instruction cache) instead of re-mapping and
+        // re-initialising the address space — restarting a crashed worker
+        // does not re-exec the binary.
+        const kernel::Machine master(program, kernel::MachineOptions{});
 
         const bool trace_this = want_trace && slot == 0;
         std::unique_ptr<obs::Recorder> recorder;
@@ -159,7 +165,7 @@ FleetResult run_worker_fleet(compiler::Scheme scheme, const FleetConfig& config,
                              : master_key_seed;
           options.recorder = recorder.get();
           options.injector = &engine;
-          kernel::Machine machine(program, options);
+          kernel::Machine machine(master, options);
           const kernel::Stop stop = machine.run(config.attempt_instr_budget);
           const auto& process = machine.init_process();
           outcome.wall_cycles += process.cycles();

@@ -97,6 +97,29 @@ TEST(FaultKill, CfiOnMidFunctionIndirectCall) {
   expect_killed(outcome, sim::FaultKind::kCfi);
 }
 
+// Depth accounting is symmetric across call forms: a call that *faults*
+// instead of retiring must not bump call_depth, whether direct (bl) or
+// indirect (blr). Depth-gated injection plans (inject::PlannedFault::
+// min_depth) key off this counter, so an asymmetry would shift every
+// depth-conditioned campaign.
+TEST(FaultKill, FaultingCallDoesNotBumpCallDepth) {
+  Assembler as;
+  as.function("main");
+  as.bl("fn");  // retires: depth 0 -> 1
+  as.mov_imm(Reg::kX0, 0);
+  as.svc(num(Syscall::kExit));
+  as.function("fn");
+  as.mov_label(Reg::kX9, "fn");
+  as.add_imm(Reg::kX9, Reg::kX9, sim::kInstrBytes);  // not an entry
+  as.blr(Reg::kX9);  // CFI fault: must NOT reach depth 2
+  as.ret();
+  Machine machine(as.assemble());
+  EXPECT_EQ(machine.run_to_completion(), ProcessState::kKilled);
+  EXPECT_EQ(machine.init_process().kill_fault.kind, sim::FaultKind::kCfi);
+  const auto& task = *machine.init_process().tasks.front();
+  EXPECT_EQ(task.cpu().call_depth(), 1U);
+}
+
 TEST(FaultKill, PacAuthFailureUnderFpac) {
   MachineOptions options;
   options.fpac = true;  // authentication failures trap immediately

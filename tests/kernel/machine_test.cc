@@ -493,5 +493,85 @@ TEST(Machine, HltExitsProcess) {
   EXPECT_EQ(machine.init_process().exit_code, 4U);
 }
 
+/// A workload with calls, PA-instrumented returns, data writes and output,
+/// so machine-fork equivalence covers the interesting state.
+sim::Program fork_workload() {
+  return build([](Assembler& as) {
+    as.function("main");
+    as.mov_imm(Reg::kX0, 6);
+    as.bl("fn");
+    as.svc(num(Syscall::kWriteInt));
+    as.mov_imm(Reg::kX1, kDataBase + 0x200);
+    as.str(Reg::kX0, Reg::kX1, 0);
+    as.mov_imm(Reg::kX0, 0);
+    as.svc(num(Syscall::kExit));
+    as.function("fn");
+    as.pacia(sim::kLr, Reg::kSp);
+    as.str(sim::kLr, Reg::kSp, -16, sim::AddrMode::kPreIndex);
+    as.lsl_imm(Reg::kX0, Reg::kX0, 3);
+    as.ldr(sim::kLr, Reg::kSp, 16, sim::AddrMode::kPostIndex);
+    as.retaa();
+  });
+}
+
+TEST(Machine, ForkOfPristineMasterMatchesFreshMachine) {
+  const auto program = fork_workload();
+  MachineOptions options;
+  options.seed = 42;
+
+  Machine fresh(program, options);
+  const Machine master(program, MachineOptions{});  // different seed: 1
+  Machine fork(master, options);
+
+  EXPECT_EQ(fresh.run_to_completion(), ProcessState::kExited);
+  EXPECT_EQ(fork.run_to_completion(), ProcessState::kExited);
+  // Bit-for-bit equivalent execution: same output, same counters, same
+  // canary and same data writes, even though the fork's seed differs from
+  // its master's.
+  EXPECT_EQ(fork.init_process().output, fresh.init_process().output);
+  EXPECT_EQ(fork.init_process().cycles(), fresh.init_process().cycles());
+  EXPECT_EQ(fork.init_process().instructions(),
+            fresh.init_process().instructions());
+  EXPECT_EQ(fork.init_process().mem.raw_read_u64(kCanarySlot),
+            fresh.init_process().mem.raw_read_u64(kCanarySlot));
+  EXPECT_EQ(fork.init_process().mem.raw_read_u64(kDataBase + 0x200),
+            fresh.init_process().mem.raw_read_u64(kDataBase + 0x200));
+}
+
+TEST(Machine, ForkWritesAreIsolatedFromMasterAndSiblings) {
+  auto program = fork_workload();
+  program.data_init.emplace_back(kDataBase + 0x200, 0x1111ULL);
+  const Machine master(program, MachineOptions{});
+  const u64 pristine = master.init_process().mem.raw_read_u64(
+      kDataBase + 0x200);
+  EXPECT_EQ(pristine, 0x1111U);
+
+  Machine first(master, MachineOptions{});
+  EXPECT_EQ(first.run_to_completion(), ProcessState::kExited);
+  // The run overwrote the slot in the fork...
+  EXPECT_EQ(first.init_process().mem.raw_read_u64(kDataBase + 0x200), 48U);
+  // ...but the master still sees its pristine image...
+  EXPECT_EQ(master.init_process().mem.raw_read_u64(kDataBase + 0x200),
+            0x1111U);
+  // ...and a later fork starts from the pristine image, not the sibling's.
+  Machine second(master, MachineOptions{});
+  EXPECT_EQ(second.init_process().mem.raw_read_u64(kDataBase + 0x200),
+            0x1111U);
+  EXPECT_EQ(second.run_to_completion(), ProcessState::kExited);
+  EXPECT_EQ(second.init_process().output, first.init_process().output);
+}
+
+TEST(Machine, ForkSharesPagesUntilWritten) {
+  const auto program = fork_workload();
+  const Machine master(program, MachineOptions{});
+  Machine fork(master, MachineOptions{});
+  // Construction privatises only the canary page (plus nothing else): code,
+  // data and stacks stay loaned from the master.
+  const u64 before = fork.init_process().mem.private_pages();
+  EXPECT_LE(before, 2U);
+  EXPECT_EQ(fork.run_to_completion(), ProcessState::kExited);
+  EXPECT_GT(fork.init_process().mem.private_pages(), before);
+}
+
 }  // namespace
 }  // namespace acs::kernel

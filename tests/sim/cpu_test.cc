@@ -396,6 +396,140 @@ TEST(Cpu, TraceBeforeWrapIsPartial) {
   EXPECT_EQ(trace[0], kCodeBase);
 }
 
+/// Run the same program under both dispatch modes and require bitwise
+/// identical architectural results: register file, flags, PC, state,
+/// fault, cycles and instruction count. The decoded fast path must be an
+/// optimisation only.
+void expect_dispatch_equivalence(const std::function<void(Assembler&)>& body,
+                                 u64 max_steps = 100'000'000) {
+  CpuHarness fast(body);
+  CpuHarness ref(body);
+  ref.cpu().set_dispatch(DispatchMode::kInterpreter);
+  const RunState fast_state = fast.cpu().run(max_steps);
+  const RunState ref_state = ref.cpu().run(max_steps);
+  EXPECT_EQ(fast_state, ref_state);
+  EXPECT_EQ(fast.cpu().fault().kind, ref.cpu().fault().kind);
+  EXPECT_EQ(fast.cpu().fault().address, ref.cpu().fault().address);
+  EXPECT_EQ(fast.cpu().fault().pc, ref.cpu().fault().pc);
+  EXPECT_EQ(fast.cpu().cycles(), ref.cpu().cycles());
+  EXPECT_EQ(fast.cpu().instructions(), ref.cpu().instructions());
+  EXPECT_EQ(fast.cpu().call_depth(), ref.cpu().call_depth());
+  EXPECT_EQ(fast.cpu().last_run_steps(), ref.cpu().last_run_steps());
+  EXPECT_EQ(fast.cpu().steps_exhausted(), ref.cpu().steps_exhausted());
+  const CpuSnapshot a = fast.cpu().snapshot();
+  const CpuSnapshot b = ref.cpu().snapshot();
+  EXPECT_EQ(a.regs, b.regs);
+  EXPECT_EQ(a.pc, b.pc);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.z, b.z);
+  EXPECT_EQ(a.c, b.c);
+  EXPECT_EQ(a.v, b.v);
+}
+
+TEST(Cpu, DispatchModesAgreeOnCallsAndPa) {
+  expect_dispatch_equivalence([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 3);
+    as.bl("fn");
+    as.add_imm(Reg::kX0, Reg::kX0, 100);
+    as.hlt();
+    as.function("fn");
+    as.pacia(kLr, Reg::kSp);
+    as.str(kLr, Reg::kSp, -16, AddrMode::kPreIndex);
+    as.lsl_imm(Reg::kX0, Reg::kX0, 2);
+    as.ldr(kLr, Reg::kSp, 16, AddrMode::kPostIndex);
+    as.retaa();
+  });
+}
+
+TEST(Cpu, DispatchModesAgreeOnLoopsAndMemory) {
+  expect_dispatch_equivalence([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 25);
+    as.mov_imm(Reg::kX1, kDataBase);
+    as.mov_imm(Reg::kX2, 0);
+    as.label("loop");
+    as.str(Reg::kX0, Reg::kX1, 0);
+    as.ldr(Reg::kX3, Reg::kX1, 0);
+    as.add(Reg::kX2, Reg::kX2, Reg::kX3);
+    as.sub_imm(Reg::kX0, Reg::kX0, 1);
+    as.cbnz(Reg::kX0, "loop");
+    as.hlt();
+  });
+}
+
+TEST(Cpu, DispatchModesAgreeOnFaults) {
+  // Faulting store: the faulting step must charge the same cycles (none)
+  // and leave the same fault record in both modes.
+  expect_dispatch_equivalence([](Assembler& as) {
+    as.mov_imm(Reg::kX0, 0x9000'0000);
+    as.mov_imm(Reg::kX1, 3);
+    as.str(Reg::kX1, Reg::kX0, 0);
+    as.hlt();
+  });
+  // Tampered retaa detected on the return fetch.
+  expect_dispatch_equivalence([](Assembler& as) {
+    as.bl("fn");
+    as.hlt();
+    as.function("fn");
+    as.pacia(kLr, Reg::kSp);
+    as.mov_imm(Reg::kX9, 0x40);
+    as.eor(kLr, kLr, Reg::kX9);
+    as.retaa();
+  });
+}
+
+TEST(Cpu, DispatchModesAgreeOnBudgetExhaustion) {
+  expect_dispatch_equivalence(
+      [](Assembler& as) {
+        for (int i = 0; i < 32; ++i) as.add_imm(Reg::kX0, Reg::kX0, 1);
+        as.hlt();
+      },
+      /*max_steps=*/7);
+}
+
+TEST(Cpu, StepsExhaustedDistinguishesTimeoutFromStop) {
+  CpuHarness h([](Assembler& as) {
+    for (int i = 0; i < 10; ++i) as.nop();
+    as.hlt();
+  });
+  EXPECT_EQ(h.cpu().run(4), RunState::kReady);
+  EXPECT_TRUE(h.cpu().steps_exhausted());
+  EXPECT_EQ(h.cpu().last_run_steps(), 4U);
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+  EXPECT_FALSE(h.cpu().steps_exhausted());  // stopped for a real reason
+  EXPECT_EQ(h.cpu().last_run_steps(), 7U);  // 6 nops + hlt
+}
+
+TEST(Cpu, StepsExhaustedFalseOnSvcAndBreakpoint) {
+  CpuHarness h([](Assembler& as) {
+    as.svc(1);
+    as.label("bp");
+    as.nop();
+    as.hlt();
+  });
+  EXPECT_EQ(h.cpu().run(1), RunState::kSvc);
+  EXPECT_FALSE(h.cpu().steps_exhausted());
+  EXPECT_EQ(h.cpu().last_run_steps(), 1U);
+  h.cpu().resume();
+  h.cpu().add_breakpoint(h.program().symbol("bp"));
+  EXPECT_EQ(h.cpu().run(), RunState::kBreakpoint);
+  EXPECT_FALSE(h.cpu().steps_exhausted());
+  h.cpu().resume();
+  EXPECT_EQ(h.cpu().run(), RunState::kHalted);
+}
+
+TEST(Cpu, LastRunStepsCountsFaultingStep) {
+  CpuHarness h([](Assembler& as) {
+    as.nop();
+    as.nop();
+    as.mov_imm(Reg::kX0, 0x9000'0000);
+    as.ldr(Reg::kX1, Reg::kX0, 0);  // faults
+    as.hlt();
+  });
+  EXPECT_EQ(h.cpu().run(), RunState::kFaulted);
+  EXPECT_FALSE(h.cpu().steps_exhausted());
+  EXPECT_EQ(h.cpu().last_run_steps(), 4U);  // the faulting step counts
+}
+
 TEST(Cpu, SnapshotRestoreRoundTrip) {
   CpuHarness h([](Assembler& as) {
     as.mov_imm(Reg::kX0, 7);

@@ -96,6 +96,97 @@ TEST(Memory, RegionInfoLookup) {
   EXPECT_FALSE(mem.is_executable(0x1000));
 }
 
+// Regression: an 8-byte access whose end (`addr + len`) wraps past 2^64
+// used to match a low region (the wrapped end compared below `base + size`)
+// and write out of bounds of the host page buffer. It must be a clean
+// translation fault.
+TEST(Memory, WraparoundAccessFaults) {
+  AddressSpace mem;
+  mem.map(0x0, 0x1000, kPermRw, "low");
+  for (const u64 addr : {~u64{0} - 3, ~u64{0} - 6, ~u64{0}}) {
+    const auto access = mem.read_u64(addr);
+    EXPECT_FALSE(access.ok()) << "addr " << addr;
+    EXPECT_EQ(access.fault.kind, FaultKind::kTranslation);
+    EXPECT_EQ(mem.write_u64(addr, 1).kind, FaultKind::kTranslation);
+  }
+  // Even a 1-byte access at the very top wraps its exclusive end to 0.
+  EXPECT_FALSE(mem.read_u8(~u64{0}).ok());
+}
+
+// An access spanning the seam between two *adjacent* regions is a
+// translation fault by design: each access must lie entirely within one
+// region (documented contract in sim/memory.h).
+TEST(Memory, AdjacentRegionSeamFaults) {
+  AddressSpace mem;
+  mem.map(0x1000, 0x1000, kPermRw, "a");
+  mem.map(0x2000, 0x1000, kPermRw, "b");
+  EXPECT_TRUE(mem.read_u64(0x1FF8).ok());   // last slot of "a"
+  EXPECT_TRUE(mem.read_u64(0x2000).ok());   // first slot of "b"
+  const auto seam = mem.read_u64(0x1FFC);   // 4 bytes in each
+  EXPECT_FALSE(seam.ok());
+  EXPECT_EQ(seam.fault.kind, FaultKind::kTranslation);
+  EXPECT_EQ(mem.write_u64(0x1FFC, 1).kind, FaultKind::kTranslation);
+}
+
+// Accesses crossing a *page* seam inside one region are ordinary accesses
+// (pages are a storage detail, not an addressing one).
+TEST(Memory, PageSeamWithinRegionWorks) {
+  AddressSpace mem;
+  mem.map(0x0, 3 * AddressSpace::kPageSize, kPermRw, "data");
+  const u64 seam = AddressSpace::kPageSize - 4;
+  ASSERT_FALSE(mem.write_u64(seam, 0x1122334455667788ULL));
+  EXPECT_EQ(mem.read_u64(seam).value, 0x1122334455667788ULL);
+  // Little-endian: bytes 88 77 66 55 fill the first page's tail, 44 33 22
+  // 11 land at the start of the second.
+  EXPECT_EQ(mem.read_u8(AddressSpace::kPageSize - 1).value, 0x55U);
+  EXPECT_EQ(mem.read_u8(AddressSpace::kPageSize).value, 0x44U);
+}
+
+TEST(Memory, CopyIsCowAndWritesDiverge) {
+  AddressSpace master;
+  master.map(0x1000, 4 * AddressSpace::kPageSize, kPermRw, "data");
+  ASSERT_FALSE(master.write_u64(0x1000, 111));
+  ASSERT_FALSE(master.write_u64(0x1000 + AddressSpace::kPageSize, 222));
+
+  AddressSpace fork = master;  // CoW: shares every materialized page
+  EXPECT_EQ(fork.private_pages(), 0U);
+  EXPECT_EQ(fork.read_u64(0x1000).value, 111U);
+
+  // Fork-side write: master unchanged, fork owns exactly the touched page.
+  ASSERT_FALSE(fork.write_u64(0x1000, 999));
+  EXPECT_EQ(fork.read_u64(0x1000).value, 999U);
+  EXPECT_EQ(master.read_u64(0x1000).value, 111U);
+  EXPECT_EQ(fork.private_pages(), 1U);
+  // The untouched page stays shared in both directions.
+  EXPECT_EQ(fork.read_u64(0x1000 + AddressSpace::kPageSize).value, 222U);
+
+  // Master-side write (no forks may be running concurrently — this is the
+  // single-threaded direction check): fork keeps its pre-write view.
+  ASSERT_FALSE(master.write_u64(0x1000 + AddressSpace::kPageSize, 333));
+  EXPECT_EQ(master.read_u64(0x1000 + AddressSpace::kPageSize).value, 333U);
+  EXPECT_EQ(fork.read_u64(0x1000 + AddressSpace::kPageSize).value, 222U);
+}
+
+TEST(Memory, FreshPagesMaterializeOnWriteOnly) {
+  AddressSpace mem;
+  mem.map(0x0, 16 * AddressSpace::kPageSize, kPermRw, "lazy");
+  EXPECT_EQ(mem.private_pages(), 0U);  // reads of zeros cost nothing
+  EXPECT_EQ(mem.read_u64(0x8000).value, 0U);
+  EXPECT_EQ(mem.private_pages(), 0U);
+  ASSERT_FALSE(mem.write_u8(0x8000, 1));
+  EXPECT_EQ(mem.private_pages(), 1U);
+}
+
+TEST(Memory, LayoutVersionBumpsOnMap) {
+  AddressSpace mem;
+  const u64 v0 = mem.layout_version();
+  mem.map(0x1000, 0x100, kPermRw, "a");
+  EXPECT_NE(mem.layout_version(), v0);
+  const u64 v1 = mem.layout_version();
+  ASSERT_FALSE(mem.write_u64(0x1000, 1));  // writes do not change layout
+  EXPECT_EQ(mem.layout_version(), v1);
+}
+
 TEST(Memory, RawAccessors) {
   AddressSpace mem;
   mem.map(0x1000, 0x100, kPermRo, "ro");
