@@ -184,7 +184,7 @@ std::string to_json(const std::string& bench_name,
                     const std::vector<Metric>& metrics,
                     double wall_seconds, const obs::Metrics* obs_metrics,
                     const FaultSection* faults, const FuzzSection* fuzz,
-                    const SimSection* sim) {
+                    const SimSection* sim, const LintSection* lint) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -254,6 +254,27 @@ std::string to_json(const std::string& bench_name,
     out += "    \"equivalence_fingerprint\": \"" + std::string(fp) + "\"\n";
     out += "  },\n";
   }
+  if (lint != nullptr) {
+    // Pure function of the workload/scheme sets: integer counters in fixed
+    // iteration order, bitwise identical for every --threads value.
+    out += "  \"lint\": {\n";
+    out += "    \"programs\": " + std::to_string(lint->programs) + ",\n";
+    out += "    \"functions_verified\": " +
+           std::to_string(lint->functions_verified) + ",\n";
+    out += "    \"diagnostics\": " + std::to_string(lint->diagnostics) + ",\n";
+    out += "    \"witnesses\": " + std::to_string(lint->witnesses) + ",\n";
+    out += "    \"replays_confirmed\": " +
+           std::to_string(lint->replays_confirmed) + ",\n";
+    out += "    \"replays_refuted\": " +
+           std::to_string(lint->replays_refuted) + ",\n";
+    out += "    \"replays_unconfirmed\": " +
+           std::to_string(lint->replays_unconfirmed) + ",\n";
+    out += "    \"findings_by_code\": " +
+           counter_map_json(lint->findings_by_code) + ",\n";
+    out += "    \"findings_by_function\": " +
+           counter_map_json(lint->findings_by_function) + "\n";
+    out += "  },\n";
+  }
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const Metric& m = metrics[i];
@@ -305,6 +326,11 @@ void BenchReporter::set_sim_section(SimSection sim) {
   has_sim_section_ = true;
 }
 
+void BenchReporter::set_lint_section(LintSection lint) {
+  lint_section_ = std::move(lint);
+  has_lint_section_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -316,7 +342,8 @@ bool BenchReporter::finish() {
               has_obs_metrics_ ? &obs_metrics_ : nullptr,
               has_fault_section_ ? &fault_section_ : nullptr,
               has_fuzz_section_ ? &fuzz_section_ : nullptr,
-              has_sim_section_ ? &sim_section_ : nullptr);
+              has_sim_section_ ? &sim_section_ : nullptr,
+              has_lint_section_ ? &lint_section_ : nullptr);
   if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;

@@ -87,6 +87,23 @@ struct FuzzSection {
   std::map<std::string, u64> findings_by_oracle;  ///< oracle name -> count
 };
 
+/// Static-verifier totals, emitted as the "lint" section of the JSON
+/// trajectory (see docs/bench-output.md). Everything is a pure function of
+/// (workload set, scheme set): integer counters in fixed iteration order,
+/// bitwise identical for every --threads value. Replay counters stay zero
+/// unless the run replayed witnesses (acs-lint --replay).
+struct LintSection {
+  u64 programs = 0;             ///< (scheme, workload) pairs verified
+  u64 functions_verified = 0;
+  u64 diagnostics = 0;
+  u64 witnesses = 0;            ///< attack witnesses synthesized
+  u64 replays_confirmed = 0;    ///< witness replays per verdict
+  u64 replays_refuted = 0;
+  u64 replays_unconfirmed = 0;
+  std::map<std::string, u64> findings_by_code;      ///< "ACS001" -> count
+  std::map<std::string, u64> findings_by_function;  ///< function -> count
+};
+
 /// Simulator-throughput totals, emitted as the "sim" section of the JSON
 /// trajectory (see docs/bench-output.md and docs/simulator.md). The
 /// instr/sec rates are host-dependent; everything else — instruction
@@ -134,6 +151,10 @@ class BenchReporter {
   /// of the JSON trajectory).
   void set_sim_section(SimSection sim);
 
+  /// Attach the static-verifier totals (emitted as the "lint" section of
+  /// the JSON trajectory).
+  void set_lint_section(LintSection lint);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -156,6 +177,8 @@ class BenchReporter {
   bool has_fuzz_section_ = false;
   SimSection sim_section_;
   bool has_sim_section_ = false;
+  LintSection lint_section_;
+  bool has_lint_section_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
@@ -165,7 +188,7 @@ class BenchReporter {
 /// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section;
 /// `faults` (may be nullptr) adds the "faults" section; `fuzz` (may be
 /// nullptr) adds the "fuzz" section; `sim` (may be nullptr) adds the "sim"
-/// section.
+/// section; `lint` (may be nullptr) adds the "lint" section.
 [[nodiscard]] std::string to_json(const std::string& bench_name,
                                   const BenchOptions& options, u64 base_seed,
                                   const std::vector<Metric>& metrics,
@@ -173,7 +196,8 @@ class BenchReporter {
                                   const obs::Metrics* obs_metrics = nullptr,
                                   const FaultSection* faults = nullptr,
                                   const FuzzSection* fuzz = nullptr,
-                                  const SimSection* sim = nullptr);
+                                  const SimSection* sim = nullptr,
+                                  const LintSection* lint = nullptr);
 
 /// Write `body` to `path` (truncating); on failure prints to stderr and
 /// returns false. Used for the --json/--trace/--profile sinks.

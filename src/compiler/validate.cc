@@ -1,0 +1,157 @@
+#include "compiler/validate.h"
+
+#include <map>
+#include <set>
+
+#include "compiler/codegen.h"
+
+namespace acs::compiler {
+
+namespace {
+
+/// Slot capacities of the fixed data areas (codegen.h): each area is one
+/// 4 KiB page, so the stride bounds the addressable slot count.
+constexpr u64 kJmpBufSlots = 0x1000 / kJmpBufStride;
+constexpr u64 kFnPtrSlots = 0x1000 / 8;
+
+/// DFS over the static call graph (call/indirect/via-slot/thread-create/
+/// sigaction-handler/tail edges); true iff a cycle is reachable.
+bool has_call_cycle(const ProgramIr& ir) {
+  const std::size_t n = ir.functions.size();
+  // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+  std::vector<u8> state(n, 0);
+  std::vector<std::size_t> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::size_t at = stack.back();
+      if (state[at] == 0) {
+        state[at] = 1;
+        const auto push_edge = [&](u64 callee) {
+          if (callee >= n) return false;  // reported separately
+          if (state[callee] == 1) return true;
+          if (state[callee] == 0) stack.push_back(callee);
+          return false;
+        };
+        const FunctionIr& fn = ir.functions[at];
+        for (const Op& op : fn.body) {
+          switch (op.kind) {
+            case OpKind::kCall:
+            case OpKind::kCallIndirect:
+            case OpKind::kCallViaSlot:
+            case OpKind::kThreadCreate:
+              if (push_edge(op.a)) return true;
+              break;
+            case OpKind::kSigaction:
+              if (push_edge(op.b)) return true;
+              break;
+            default:
+              break;
+          }
+        }
+        if (fn.tail_callee >= 0 &&
+            push_edge(static_cast<u64>(fn.tail_callee))) {
+          return true;
+        }
+      } else {
+        state[at] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_ir(const ProgramIr& ir) {
+  std::vector<std::string> errors;
+  const auto err = [&](std::string message) {
+    errors.push_back(std::move(message));
+  };
+  const std::size_t n = ir.functions.size();
+
+  if (n == 0) {
+    err("program has no functions");
+    return errors;
+  }
+  if (ir.entry >= n) {
+    err("entry index " + std::to_string(ir.entry) + " out of range");
+  }
+
+  std::set<std::string> names;
+  std::map<u64, std::string> vuln_sites;  // id -> first owner
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionIr& fn = ir.functions[i];
+    const std::string where = "fn " + std::to_string(i) + " (" + fn.name +
+                              ")";
+    if (fn.name.empty()) err(where + ": empty name");
+    if (!fn.name.empty() && !names.insert(fn.name).second) {
+      err(where + ": duplicate name (names double as assembler labels)");
+    }
+    if (fn.tail_callee >= 0 &&
+        static_cast<std::size_t>(fn.tail_callee) >= n) {
+      err(where + ": tail callee out of range");
+    }
+    std::set<u64> catch_tags;
+    for (std::size_t j = 0; j < fn.body.size(); ++j) {
+      const Op& op = fn.body[j];
+      const std::string at = where + " op " + std::to_string(j);
+      switch (op.kind) {
+        case OpKind::kCall:
+          if (op.b < 1) err(at + ": call repeat count must be >= 1");
+          [[fallthrough]];
+        case OpKind::kCallIndirect:
+        case OpKind::kThreadCreate:
+          if (op.a >= n) err(at + ": callee index out of range");
+          break;
+        case OpKind::kCallViaSlot:
+          if (op.a >= n) err(at + ": callee index out of range");
+          if (op.b >= kFnPtrSlots) {
+            err(at + ": fn-pointer slot outside the data area");
+          }
+          break;
+        case OpKind::kSigaction:
+          if (op.b >= n) err(at + ": handler index out of range");
+          break;
+        case OpKind::kSetjmp:
+        case OpKind::kLongjmp:
+          if (op.a >= kJmpBufSlots) {
+            err(at + ": jmp_buf slot outside the data area");
+          }
+          break;
+        case OpKind::kVulnSite: {
+          const auto [it, fresh] = vuln_sites.emplace(op.a, fn.name);
+          if (!fresh) {
+            err(at + ": vuln-site id " + std::to_string(op.a) +
+                " already used in " + it->second +
+                " (ids double as assembler labels)");
+          }
+          break;
+        }
+        case OpKind::kStoreLocal:
+        case OpKind::kLoadLocal:
+          if (op.a < kWildAccessBase && op.a + 8 > fn.local_bytes) {
+            err(at + ": local access beyond the declared buffer");
+          }
+          break;
+        case OpKind::kCatchPoint:
+          if (!catch_tags.insert(op.a).second) {
+            err(at + ": duplicate catch tag " + std::to_string(op.a) +
+                " in one function");
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  if (has_call_cycle(ir)) {
+    err("call graph has a cycle (no conditionals: it cannot terminate)");
+  }
+  return errors;
+}
+
+}  // namespace acs::compiler

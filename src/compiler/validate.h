@@ -1,0 +1,33 @@
+// Structural validator for compiler::ProgramIr.
+//
+// The pipeline downstream of the IR — codegen, golden interpreter, static
+// verifier — assumes a set of structural invariants that IrBuilder::build
+// only partially enforces and that hand-rolled or machine-mutated IR
+// (fuzz/mutate.cc) can silently break: indices in range, unique names and
+// vuln-site ids (both double as assembler labels), an acyclic call graph
+// (the IR has no conditionals, so a call cycle is an infinite loop),
+// local accesses inside the declared buffer, and data-area slot indices
+// inside their fixed-size regions (codegen.h). validate_ir checks them
+// all and reports every violation; the fuzzer runs it on each mutator and
+// splice output in debug builds, and `acs-fuzz --validate` sweeps a
+// corpus directory explicitly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace acs::compiler {
+
+/// Check every structural invariant; returns one human-readable message
+/// per violation (empty = valid). Deterministic order: functions in index
+/// order, ops in body order, whole-program checks last.
+[[nodiscard]] std::vector<std::string> validate_ir(const ProgramIr& ir);
+
+/// Convenience wrapper used from assertions.
+[[nodiscard]] inline bool ir_is_valid(const ProgramIr& ir) {
+  return validate_ir(ir).empty();
+}
+
+}  // namespace acs::compiler

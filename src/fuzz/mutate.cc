@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <vector>
 
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "compiler/validate.h"
+#endif
+
 namespace acs::fuzz {
 namespace {
 
@@ -244,6 +252,21 @@ bool mutate_once(ProgramIr& ir, Rng& rng, const MutationLimits& limits) {
   return false;
 }
 
+#ifndef NDEBUG
+/// Debug-build enforcement of the header contract ("the result is always
+/// valid and acyclic"): any structural violation in a mutator or splice
+/// output is a fuzzer bug, not a finding — print it and abort.
+void assert_valid(const ProgramIr& ir, const char* producer) {
+  const std::vector<std::string> errors = compiler::validate_ir(ir);
+  if (errors.empty()) return;
+  std::fprintf(stderr, "fuzz::%s produced invalid IR:\n", producer);
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "  %s\n", error.c_str());
+  }
+  std::abort();
+}
+#endif
+
 }  // namespace
 
 bool is_acyclic(const ProgramIr& ir) {
@@ -266,6 +289,9 @@ ProgramIr mutate(const ProgramIr& ir, Rng& rng,
     ProgramIr candidate = ir;
     if (!mutate_once(candidate, rng, limits)) continue;
     if (!is_acyclic(candidate)) continue;
+#ifndef NDEBUG
+    assert_valid(candidate, "mutate");
+#endif
     return candidate;
   }
   return ir;
@@ -314,6 +340,9 @@ ProgramIr splice(const ProgramIr& a, const ProgramIr& donor, Rng& rng,
   driver.body.push_back({OpKind::kCall, second, 1});
   out.functions.push_back(std::move(driver));
   out.entry = out.functions.size() - 1;
+#ifndef NDEBUG
+  assert_valid(out, "splice");
+#endif
   return out;
 }
 

@@ -436,4 +436,29 @@ FeatureMap ir_features(const ProgramIr& ir) {
   return features;
 }
 
+bool maps_to_static(const ProgramIr& ir, const Finding& finding) {
+  switch (finding.oracle) {
+    case OracleKind::kLint:
+      return true;
+    case OracleKind::kGoldenDiff:
+    case OracleKind::kCrossSchemeDiff:
+      return true;  // semantics findings, outside the audit's scope
+    case OracleKind::kFaultSurvival: {
+      const auto program =
+          compiler::compile_ir(ir, {.scheme = finding.scheme});
+      const verify::Report report =
+          verify::verify_program(program, finding.scheme);
+      const auto expected = expected_lint_codes(finding.scheme);
+      for (const verify::Code code : report.codes()) {
+        if (std::find(expected.begin(), expected.end(), code) ==
+            expected.end()) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
 }  // namespace acs::fuzz

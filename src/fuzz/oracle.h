@@ -109,6 +109,20 @@ struct EvalResult {
 [[nodiscard]] EvalResult evaluate_program(const compiler::ProgramIr& ir,
                                           const OracleConfig& config = {});
 
+/// Corpus back-mapping audit (acs-lint --audit): does this dynamically
+/// found violation correspond to a static diagnostic?
+///
+///   kLint           trivially yes — the finding *is* a static diagnostic.
+///   kFaultSurvival  yes iff acs-lint on the same (program, scheme) emits
+///                   a code outside the scheme's expected set: the silent
+///                   corruption the fault oracle observed must have a
+///                   statically visible cause.
+///   kGoldenDiff / kCrossSchemeDiff are pipeline-semantics findings, not
+///   adversary violations; they are out of the audit's scope and map
+///   vacuously.
+[[nodiscard]] bool maps_to_static(const compiler::ProgramIr& ir,
+                                  const Finding& finding);
+
 /// The static (IR-only) feature subset of evaluate_program — cheap enough
 /// for test failure messages that want to say which structures a failing
 /// seed exercised without running the pipeline again.

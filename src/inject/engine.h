@@ -50,9 +50,16 @@ class Engine;
 /// cursor only sequences the plan and records outcomes.
 class TaskInjector {
  public:
-  [[nodiscard]] bool due(u64 instr, u64 call_depth) const noexcept {
+  /// Pc-triggered faults (at_pc != 0) count executions of their PC here, so
+  /// due() must be polled exactly once per executed step (the Cpu::step
+  /// contract; run_fast is disabled while an injector is attached).
+  [[nodiscard]] bool due(u64 instr, u64 call_depth, u64 pc) noexcept {
     if (next_ >= faults_.size()) return false;
     const PlannedFault& fault = faults_[next_];
+    if (fault.at_pc != 0) {
+      if (pc != fault.at_pc) return false;
+      return ++pc_hits_ >= fault.occurrence;
+    }
     if (instr < fault.at_instr) return false;
     return call_depth >= fault.min_depth ||
            instr >= fault.at_instr + kDepthGrace;
@@ -65,8 +72,10 @@ class TaskInjector {
     return faults_[next_];
   }
 
-  /// The fault to apply now; advances the cursor.
+  /// The fault to apply now; advances the cursor (and resets the pc-hit
+  /// counter for the next pc-triggered fault).
   [[nodiscard]] const PlannedFault& take() noexcept {
+    pc_hits_ = 0;
     return faults_[next_++];
   }
 
@@ -84,6 +93,7 @@ class TaskInjector {
   Engine* engine_;
   std::vector<PlannedFault> faults_;
   std::size_t next_ = 0;
+  u64 pc_hits_ = 0;  ///< executions of the current fault's at_pc so far
 };
 
 class Engine {

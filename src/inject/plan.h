@@ -39,16 +39,28 @@ enum class FaultKind : u8 {
                     ///< frame (sigreturn-oriented corruption)
   kBudgetExhaust,   ///< exhaust the instruction budget: the kernel kills the
                     ///< process with sim::FaultKind::kInstrBudget
+  // CPU-level, precision kind (never drawn by make_plan — see below).
+  kStoreWord,       ///< write `payload` to `addr` (or SP + `addr` when
+                    ///< `sp_rel`): the Section 3 adversary's one-word write,
+                    ///< delivered at an exact program point for witness
+                    ///< replay (docs/verifier.md "Witnesses")
 };
 
-inline constexpr std::size_t kNumFaultKinds = 6;
+inline constexpr std::size_t kNumFaultKinds = 7;
+
+/// Kinds make_plan draws from when PlanConfig::kinds is empty. kStoreWord
+/// is excluded: it needs a concrete target address, so a random draw would
+/// be meaningless — and keeping the draw set fixed keeps every seeded fault
+/// campaign bit-identical across releases.
+inline constexpr std::size_t kNumPlannableKinds = 6;
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
 
 /// True for kinds sim::Cpu applies in step(); false for the kernel kinds.
 [[nodiscard]] constexpr bool is_cpu_level(FaultKind kind) noexcept {
   return kind == FaultKind::kRetSlotBitflip ||
-         kind == FaultKind::kChainCorrupt || kind == FaultKind::kInstrSkip;
+         kind == FaultKind::kChainCorrupt ||
+         kind == FaultKind::kInstrSkip || kind == FaultKind::kStoreWord;
 }
 
 /// One planned fault. `at_instr` is the delivering clock's instruction
@@ -56,11 +68,21 @@ inline constexpr std::size_t kNumFaultKinds = 6;
 /// non-zero `min_depth` delays a CPU-level fault until the hart's call
 /// depth reaches it — so e.g. a chain corruption lands while return
 /// addresses actually sit on the stack; kDepthGrace bounds the wait.
+///
+/// A non-zero `at_pc` switches a CPU-level fault to *pc-triggered*
+/// delivery: it fires when the hart is about to execute `at_pc` for the
+/// `occurrence`-th time (1-based), ignoring at_instr/min_depth. This is the
+/// precision mode witness replay uses to land a fault at one architectural
+/// moment of one specific activation.
 struct PlannedFault {
   u64 at_instr = 0;
   u64 min_depth = 0;
   FaultKind kind = FaultKind::kInstrSkip;
   u64 payload = 0;
+  u64 at_pc = 0;       ///< 0 = count-triggered; else fire at this PC
+  u64 occurrence = 1;  ///< which execution of at_pc fires (1-based)
+  u64 addr = 0;        ///< kStoreWord target (absolute, or SP-offset)
+  bool sp_rel = false; ///< kStoreWord: addr is an offset from the live SP
 };
 
 /// If `min_depth` was not reached within this many instructions past

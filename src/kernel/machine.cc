@@ -261,6 +261,7 @@ void Machine::apply_kernel_fault(Process& process, Task& task) {
     case inject::FaultKind::kRetSlotBitflip:
     case inject::FaultKind::kChainCorrupt:
     case inject::FaultKind::kInstrSkip:
+    case inject::FaultKind::kStoreWord:
       break;  // CPU-level kinds never land on the kernel cursor
   }
 }

@@ -559,7 +559,7 @@ RunState Cpu::step() {
   // Fault injection: mutate architectural state (or skip the instruction)
   // at the planned instruction count / call depth. One never-taken branch
   // when no injector is attached — same contract as the obs hooks.
-  if (inject_ != nullptr && inject_->due(instructions_, call_depth_)) {
+  if (inject_ != nullptr && inject_->due(instructions_, call_depth_, pc_)) {
     if (apply_injection()) return state_;
   }
 
@@ -589,7 +589,10 @@ bool Cpu::apply_injection() {
   // At an arbitrary boundary CR can be dead — e.g. mid-epilogue right
   // before its reload — and the write would be silently discarded, turning
   // a wrong guess into a false "worker survived" signal for the adversary.
-  if (inject_->peek().kind == inject::FaultKind::kChainCorrupt) {
+  // Pc-triggered guesses (witness replay) name their architectural moment
+  // explicitly and are exempt from the deferral.
+  if (inject_->peek().kind == inject::FaultKind::kChainCorrupt &&
+      inject_->peek().at_pc == 0) {
     const Opcode op = program_->at(pc_).op;
     if (op != Opcode::kBl && op != Opcode::kBlr) return false;
   }
@@ -635,6 +638,19 @@ bool Cpu::apply_injection() {
       cycles_ += costs_.alu;
       ++instructions_;
       return true;
+    case inject::FaultKind::kStoreWord: {
+      // The Section 3 adversary's one-word write, delivered at an exact
+      // program point (witness replay): overwrite one mapped word with the
+      // planned payload. No bit games — this models a deliberate attacker
+      // store, not a soft error.
+      const u64 addr =
+          fault.sp_rel ? reg(Reg::kSp) + fault.addr : fault.addr;
+      if (memory_->is_mapped(addr)) {
+        memory_->raw_write_u64(addr, fault.payload);
+      }
+      inject_->record(fault.kind);
+      return false;
+    }
     case inject::FaultKind::kKeyPerturb:
     case inject::FaultKind::kSigFrameTrash:
     case inject::FaultKind::kBudgetExhaust:

@@ -1,0 +1,288 @@
+#include "verify/replay.h"
+
+#include <vector>
+
+#include "inject/engine.h"
+#include "kernel/machine.h"
+
+namespace acs::verify {
+
+namespace {
+
+using inject::FaultKind;
+using kernel::StopReason;
+
+/// Instruction budget per machine-run segment: generous for every corpus
+/// workload while bounding a diverted run that spins.
+constexpr u64 kRunBudget = 50'000'000;
+
+/// Upper bound on breakpoint stops examined during observation phases.
+constexpr int kMaxStops = 256;
+
+struct Hart {
+  kernel::Process* process = nullptr;
+  kernel::Task* task = nullptr;
+};
+
+/// The hart currently paused at a breakpoint, if any.
+[[nodiscard]] Hart breakpointed(kernel::Machine& machine) {
+  for (auto& process : machine.processes()) {
+    for (auto& task : process->tasks) {
+      if (task->cpu().state() == sim::RunState::kBreakpoint) {
+        return {process.get(), task.get()};
+      }
+    }
+  }
+  return {};
+}
+
+[[nodiscard]] u64 delivered(const inject::Engine& engine, FaultKind kind) {
+  return engine.summary().injected[static_cast<std::size_t>(kind)];
+}
+
+/// ACS001: corrupt the witnessed slot right after the spill, stop at the
+/// witnessed `ret`, single-step it and require the planted divert target.
+[[nodiscard]] ReplayResult replay_raw_ret(const sim::Program& program,
+                                          const Witness& w, u64 seed) {
+  const u64 divert = program.symbol("main");
+  inject::Engine engine(
+      {.plan = {{.kind = FaultKind::kStoreWord,
+                 .payload = divert,
+                 .at_pc = w.store_address + sim::kInstrBytes,
+                 .addr = static_cast<u64>(w.sp_rel_offset()),
+                 .sp_rel = true}}});
+  kernel::MachineOptions options;
+  options.seed = seed;
+  options.injector = &engine;
+  kernel::Machine machine(program, options);
+  machine.add_global_breakpoint(w.use_address);
+  const auto stop = machine.run(kRunBudget);
+  if (stop.reason != StopReason::kBreakpoint) {
+    return {Verdict::kUnconfirmed, "witnessed return was never executed"};
+  }
+  if (delivered(engine, FaultKind::kStoreWord) != 1) {
+    return {Verdict::kUnconfirmed,
+            "slot corruption was not delivered before the return"};
+  }
+  const Hart hart = breakpointed(machine);
+  if (hart.task == nullptr) {
+    return {Verdict::kUnconfirmed, "no hart paused at the witnessed return"};
+  }
+  machine.clear_global_breakpoints();
+  sim::Cpu& cpu = hart.task->cpu();
+  cpu.resume();
+  (void)cpu.step();
+  if (cpu.pc() == divert) {
+    return {Verdict::kConfirmed,
+            "return consumed the corrupted slot and diverted to the planted "
+            "address"};
+  }
+  return {Verdict::kRefuted, "return ignored the corrupted slot"};
+}
+
+/// ACS002: read the disclosed chain spill at the flagged store, then stop
+/// at the dynamic caller's `autia` and require the live pre-auth token to
+/// be bit-identical to the disclosure; single-step to show acceptance.
+[[nodiscard]] ReplayResult replay_unmasked(const sim::Program& program,
+                                           const Witness& w, u64 seed) {
+  kernel::MachineOptions options;
+  options.seed = seed;
+  kernel::Machine machine(program, options);
+  machine.add_global_breakpoint(w.store_address + sim::kInstrBytes);
+  auto stop = machine.run(kRunBudget);
+  if (stop.reason != StopReason::kBreakpoint) {
+    return {Verdict::kUnconfirmed, "witnessed spill was never executed"};
+  }
+  const Hart hart = breakpointed(machine);
+  if (hart.task == nullptr) {
+    return {Verdict::kUnconfirmed, "no hart paused at the witnessed spill"};
+  }
+  sim::Cpu& cpu = hart.task->cpu();
+  const u64 slot_addr =
+      cpu.reg(sim::Reg::kSp) + static_cast<u64>(w.sp_rel_offset());
+  if (!hart.process->mem.is_mapped(slot_addr)) {
+    return {Verdict::kUnconfirmed, "witnessed slot is not mapped"};
+  }
+  const u64 disclosed = hart.process->mem.raw_read_u64(slot_addr);
+  const u64 caller_ret = cpu.reg(sim::kLr);
+  const sim::UnwindInfo* caller = program.unwind_for(caller_ret);
+  if (caller == nullptr) {
+    return {Verdict::kUnconfirmed, "dynamic caller has no unwind metadata"};
+  }
+  u64 autia = 0;
+  for (u64 addr = caller->entry; addr < caller->end;
+       addr += sim::kInstrBytes) {
+    if (program.at(addr).op == sim::Opcode::kAutia) {
+      autia = addr;
+      break;
+    }
+  }
+  if (autia == 0) {
+    return {Verdict::kUnconfirmed, "dynamic caller is not chain-instrumented"};
+  }
+  machine.clear_global_breakpoints();
+  machine.add_global_breakpoint(autia);
+  cpu.resume();
+  stop = machine.run(kRunBudget);
+  if (stop.reason != StopReason::kBreakpoint) {
+    return {Verdict::kUnconfirmed, "caller's authenticator was never reached"};
+  }
+  const Hart at_auth = breakpointed(machine);
+  if (at_auth.task == nullptr) {
+    return {Verdict::kUnconfirmed, "no hart paused at the authenticator"};
+  }
+  sim::Cpu& auth_cpu = at_auth.task->cpu();
+  const u64 live = auth_cpu.reg(sim::kLr);
+  if (live != disclosed) {
+    return {Verdict::kRefuted,
+            "disclosed spill differs from the authenticated token (the chain "
+            "value was masked before the spill)"};
+  }
+  machine.clear_global_breakpoints();
+  auth_cpu.resume();
+  (void)auth_cpu.step();
+  const auto& layout = at_auth.process->pauth().layout();
+  if (auth_cpu.state() != sim::RunState::kFaulted &&
+      auth_cpu.reg(sim::kLr) == layout.strip(disclosed)) {
+    return {Verdict::kConfirmed,
+            "authenticator accepted the exact token the adversary read from "
+            "writable memory"};
+  }
+  return {Verdict::kRefuted, "authentication of the disclosed token failed"};
+}
+
+/// ACS003: observe activations at the spill, pair two with a shared entry
+/// SP and different signed tokens, then substitute activation i's token
+/// into activation j and require the witnessed `retaa` to divert.
+[[nodiscard]] ReplayResult replay_signed_spill(const sim::Program& program,
+                                               const Witness& w, u64 seed) {
+  struct Obs {
+    u64 entry_sp = 0;
+    u64 token = 0;
+  };
+  std::vector<Obs> obs;
+  pa::VaLayout layout;
+  {
+    kernel::MachineOptions options;
+    options.seed = seed;
+    kernel::Machine machine(program, options);
+    layout = machine.init_process().pauth().layout();
+    machine.add_global_breakpoint(w.store_address + sim::kInstrBytes);
+    for (int i = 0; i < kMaxStops; ++i) {
+      const auto stop = machine.run(kRunBudget);
+      if (stop.reason != StopReason::kBreakpoint) break;
+      const Hart hart = breakpointed(machine);
+      if (hart.task == nullptr) break;
+      sim::Cpu& cpu = hart.task->cpu();
+      const u64 sp = cpu.reg(sim::Reg::kSp);
+      const u64 slot_addr = sp + static_cast<u64>(w.sp_rel_offset());
+      if (hart.process->mem.is_mapped(slot_addr)) {
+        obs.push_back({sp - static_cast<u64>(w.sp_after_store),
+                       hart.process->mem.raw_read_u64(slot_addr)});
+      }
+      cpu.resume();
+    }
+  }
+
+  std::size_t pi = 0, pj = 0;
+  bool found = false;
+  for (std::size_t j = 1; j < obs.size() && !found; ++j) {
+    for (std::size_t i = 0; i < j && !found; ++i) {
+      if (obs[i].entry_sp == obs[j].entry_sp &&
+          layout.strip(obs[i].token) != layout.strip(obs[j].token)) {
+        pi = i;
+        pj = j;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return {Verdict::kUnconfirmed,
+            "no reuse pair (shared SP modifier, different return address) "
+            "was observed at this seed"};
+  }
+
+  inject::Engine engine(
+      {.plan = {{.kind = FaultKind::kStoreWord,
+                 .payload = obs[pi].token,
+                 .at_pc = w.store_address + sim::kInstrBytes,
+                 .occurrence = pj + 1,
+                 .addr = static_cast<u64>(w.sp_rel_offset()),
+                 .sp_rel = true}}});
+  kernel::MachineOptions options;
+  options.seed = seed;
+  options.injector = &engine;
+  kernel::Machine machine(program, options);
+  machine.add_global_breakpoint(w.use_address);
+  for (std::size_t hit = 1; hit <= pj + 1; ++hit) {
+    const auto stop = machine.run(kRunBudget);
+    if (stop.reason != StopReason::kBreakpoint) {
+      return {Verdict::kUnconfirmed,
+              "witnessed authenticated return was never reached"};
+    }
+    const Hart hart = breakpointed(machine);
+    if (hart.task == nullptr) {
+      return {Verdict::kUnconfirmed, "no hart paused at the witnessed return"};
+    }
+    sim::Cpu& cpu = hart.task->cpu();
+    if (hit <= pj) {
+      cpu.resume();
+      continue;
+    }
+    if (delivered(engine, FaultKind::kStoreWord) != 1) {
+      return {Verdict::kUnconfirmed,
+              "token substitution was not delivered before the return"};
+    }
+    machine.clear_global_breakpoints();
+    cpu.resume();
+    (void)cpu.step();
+    if (cpu.state() != sim::RunState::kFaulted &&
+        cpu.pc() == layout.strip(obs[pi].token)) {
+      return {Verdict::kConfirmed,
+              "replayed token authenticated under the shared SP modifier and "
+              "diverted the return"};
+    }
+    return {Verdict::kRefuted,
+            "substituted token was rejected by the authenticated return"};
+  }
+  return {Verdict::kUnconfirmed, "witnessed return was never reached"};
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kConfirmed: return "confirmed";
+    case Verdict::kRefuted: return "refuted";
+    case Verdict::kUnconfirmed: return "unconfirmed";
+  }
+  return "?";
+}
+
+ReplayResult replay_witness(const sim::Program& program,
+                            const Witness& witness, u64 seed) {
+  switch (witness.code) {
+    case Code::kRawRetReuse: return replay_raw_ret(program, witness, seed);
+    case Code::kUnmaskedAretSpill:
+      return replay_unmasked(program, witness, seed);
+    case Code::kSignedRetSpill:
+      return replay_signed_spill(program, witness, seed);
+    default:
+      return {Verdict::kUnconfirmed, "code has no replay procedure"};
+  }
+}
+
+ReplaySummary replay_all(const sim::Program& program,
+                         const std::vector<Witness>& witnesses, u64 seed) {
+  ReplaySummary summary;
+  for (const Witness& w : witnesses) {
+    switch (replay_witness(program, w, seed).verdict) {
+      case Verdict::kConfirmed: ++summary.confirmed; break;
+      case Verdict::kRefuted: ++summary.refuted; break;
+      case Verdict::kUnconfirmed: ++summary.unconfirmed; break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace acs::verify

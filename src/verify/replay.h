@@ -1,0 +1,76 @@
+// Witness replay: drive a synthesized attack witness through the
+// simulator and confirm the predicted architectural effect.
+//
+// Each replay builds a fresh kernel::Machine over the witnessed binary and
+// stages the attack with the inject-layer's pc-triggered faults plus
+// debugger breakpoints — never with powers beyond the Section 3 adversary
+// (arbitrary reads/writes of attacker-writable memory; no register or
+// kernel-state access):
+//
+//   ACS001  a kStoreWord fault overwrites the witnessed stack slot right
+//           after the spill; at the witnessed `ret` the victim diverts to
+//           the planted address — confirmed when the single-stepped return
+//           lands exactly there.
+//   ACS002  phase 1 reads the disclosed chain spill at the flagged store;
+//           phase 2 stops at the (dynamically resolved) caller's `autia`
+//           and confirms the live pre-authentication token is bit-identical
+//           to the disclosure — the adversary already held the credential
+//           the authenticator then accepts (single-stepped to show the aut
+//           passes). Against a masked chain the disclosure differs from
+//           every authenticated token and the replay refutes the witness —
+//           the dynamic re-derivation of the Listing 2 / Listing 3 split.
+//   ACS003  phase 1 observes activations at the flagged spill and pairs two
+//           with an equal entry SP (the shared modifier) and different
+//           return addresses; phase 2 re-runs with a kStoreWord fault
+//           substituting activation i's signed token into activation j and
+//           confirms the witnessed `retaa` authenticates it and diverts.
+//
+// Verdicts: kConfirmed (predicted violation reproduced), kRefuted (the
+// staged attack ran but the architecture rejected it), kUnconfirmed (the
+// witnessed path was not exercised dynamically — e.g. no reuse pair
+// materialised at this seed). Replays are deterministic at a fixed seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/witness.h"
+
+namespace acs::verify {
+
+enum class Verdict : u8 {
+  kConfirmed,    ///< the predicted violation reproduced dynamically
+  kRefuted,      ///< the staged attack was rejected by the architecture
+  kUnconfirmed,  ///< the witnessed path was not exercised at this seed
+};
+
+/// "confirmed", "refuted", "unconfirmed".
+[[nodiscard]] const char* verdict_name(Verdict verdict) noexcept;
+
+struct ReplayResult {
+  Verdict verdict = Verdict::kUnconfirmed;
+  std::string detail;
+};
+
+/// Replay one witness against `program` (the binary it was synthesized
+/// from). Deterministic for a fixed (witness, seed).
+[[nodiscard]] ReplayResult replay_witness(const sim::Program& program,
+                                          const Witness& witness,
+                                          u64 seed = 1);
+
+/// Aggregate verdict counts for a witness set.
+struct ReplaySummary {
+  std::size_t confirmed = 0;
+  std::size_t refuted = 0;
+  std::size_t unconfirmed = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return confirmed + refuted + unconfirmed;
+  }
+};
+
+[[nodiscard]] ReplaySummary replay_all(const sim::Program& program,
+                                       const std::vector<Witness>& witnesses,
+                                       u64 seed = 1);
+
+}  // namespace acs::verify

@@ -243,9 +243,11 @@ class Analyzer {
     st.regs[static_cast<std::size_t>(r)] = v;
   }
 
-  void diag(Code code, u64 addr, const FunctionCfg& fn, std::string message) {
+  void diag(Code code, u64 addr, const FunctionCfg& fn, std::string message,
+            u64 store_address = 0) {
     if (!emit_ || !fired_.emplace(code, addr).second) return;
-    diagnostics.push_back({code, addr, fn.name, std::move(message)});
+    diagnostics.push_back(
+        {code, addr, fn.name, std::move(message), store_address});
   }
 
   [[nodiscard]] RegVal do_load(AbsState& st, const MemRef& ref, u64 addr) {
@@ -287,12 +289,14 @@ class Analyzer {
                std::string{"unmasked aret (PAC in the clear) spilled to "
                            "attacker-writable memory - Listing 2 hazard; "
                            "Listing 3 masks the chain value before the "
-                           "spill"});
+                           "spill"},
+               addr);
         } else {
           diag(Code::kSignedRetSpill, addr, fn,
                std::string{"SP-signed return address spilled to "
                            "attacker-writable memory - the pac-ret reuse "
-                           "window (Section 6.1)"});
+                           "window (Section 6.1)"},
+               addr);
         }
       } else if (v.cls == ValueClass::kMask) {
         diag(Code::kMaskLeak, addr, fn,
@@ -363,7 +367,7 @@ class Analyzer {
           << std::hex << v.origin
           << ") and consumed by a return without authentication - Table 1 "
              "arbitrary-reuse hazard";
-      diag(Code::kRawRetReuse, addr, fn, msg.str());
+      diag(Code::kRawRetReuse, addr, fn, msg.str(), v.origin);
     } else if (v.cls == ValueClass::kSignedRet ||
                v.cls == ValueClass::kMaskedRet ||
                v.cls == ValueClass::kMask) {
@@ -611,11 +615,17 @@ Report verify_program(const sim::Program& program, compiler::Scheme scheme) {
     if (fn.unwind != nullptr) ++report.functions_verified;
   }
   report.diagnostics = std::move(pass.diagnostics);
+  // Deterministic report contract: sorted by (address, code) and free of
+  // duplicates regardless of block-visit order in the analysis above.
   std::sort(report.diagnostics.begin(), report.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
-              return a.address != b.address ? a.address < b.address
-                                            : a.code < b.code;
+              if (a.address != b.address) return a.address < b.address;
+              if (a.code != b.code) return a.code < b.code;
+              return a.store_address < b.store_address;
             });
+  report.diagnostics.erase(
+      std::unique(report.diagnostics.begin(), report.diagnostics.end()),
+      report.diagnostics.end());
   return report;
 }
 

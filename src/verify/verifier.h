@@ -59,6 +59,14 @@ struct Diagnostic {
   u64 address = 0;
   std::string function;
   std::string message;
+  /// Provenance: the store instruction that put the offending value into
+  /// attacker-writable memory. For ACS002/ACS003 the flagged instruction
+  /// *is* the store, so this equals `address`; for ACS001 it is the spill
+  /// whose reload the flagged return consumes. 0 when no store is involved
+  /// (structural and balance findings).
+  u64 store_address = 0;
+
+  bool operator==(const Diagnostic&) const = default;
 };
 
 struct Report {

@@ -1,0 +1,83 @@
+// Attack-witness synthesis: from a diagnostic to a concrete counterexample.
+//
+// The verifier's diagnostics (verify/verifier.h) over-approximate — they
+// flag every instruction that *could* participate in an attack on any
+// path. A Witness under-approximates: it is only synthesized when the
+// analysis can reconstruct a concrete, replayable attack path — the call
+// chain from the program entry to the victim function, the block path from
+// the function entry to the offending store, the exact stack slot the
+// adversary must corrupt (entry-SP-relative), and the consuming
+// instruction whose behaviour the corruption changes. verify/replay.h
+// drives a witness through kernel::Machine with a fault plan built from
+// these fields and confirms the predicted architectural effect.
+//
+// Witnesses exist for the three attackable findings:
+//
+//   ACS001  (baseline/canary) the return consumes a raw return address
+//           reloaded from writable memory: overwriting the witnessed slot
+//           between spill and return diverts control to an arbitrary
+//           address — effect "control-flow-divert".
+//   ACS002  (pacstack-nomask) the spilled chain value carries its PAC in
+//           the clear: reading the slot discloses a valid (address, PAC)
+//           credential, turning the Section 6.1 guessing game (success
+//           2^-b) into a certainty — effect "forged-pac-accept".
+//   ACS003  (pac-ret) the SP-signed return address is spilled while two
+//           activations of the victim can share an SP modifier: replaying
+//           one activation's token in the other passes authentication and
+//           diverts control — effect "control-flow-divert". Synthesis
+//           requires the static reuse-pair gate (some caller holds two
+//           distinct call sites into the victim).
+//
+// Gating makes witness synthesis deliberately incomplete (tail-call
+// consumers, indirect-only call chains, SP-unknown paths, and programs
+// with non-local control flow — fork/threads/signals/throws/longjmp —
+// produce a diagnostic but no witness); the accepted contract is the
+// converse: every synthesized witness must replay to a confirmed
+// violation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/verifier.h"
+
+namespace acs::verify {
+
+/// A machine-checkable counterexample for one diagnostic.
+struct Witness {
+  Code code{};
+  compiler::Scheme scheme{};
+  std::string function;    ///< victim function (contains store and use)
+  u64 diag_address = 0;    ///< the instruction the diagnostic flagged
+  u64 store_address = 0;   ///< the spill that exposes the value
+  u64 use_address = 0;     ///< the consuming ret/retaa (ACS002: the aut)
+  i64 slot = 0;            ///< attacked stack slot, entry-SP-relative
+  i64 sp_after_store = 0;  ///< abstract SP right after the store executes
+  /// Direct-call chain from the program entry to the victim function.
+  std::vector<std::string> call_chain;
+  /// Block begins of a path from the function entry to the store's block.
+  std::vector<u64> block_trace;
+  /// Predicted architectural effect: "control-flow-divert" (ACS001/ACS003)
+  /// or "forged-pac-accept" (ACS002).
+  std::string effect;
+
+  /// The store's slot as an offset from the live SP at store+4 — what a
+  /// PlannedFault{.sp_rel = true} takes as its address.
+  [[nodiscard]] i64 sp_rel_offset() const noexcept {
+    return slot - sp_after_store;
+  }
+
+  bool operator==(const Witness&) const = default;
+};
+
+/// Synthesize witnesses for every ACS001/ACS002/ACS003 diagnostic in
+/// `report` that passes the replayability gates. Deterministic: witnesses
+/// follow the report's diagnostic order.
+[[nodiscard]] std::vector<Witness> synthesize_witnesses(
+    const sim::Program& program, compiler::Scheme scheme,
+    const Report& report);
+
+/// Single-line JSON object for one witness (machine-readable artifact).
+[[nodiscard]] std::string to_json(const Witness& witness);
+
+}  // namespace acs::verify

@@ -1,0 +1,92 @@
+#include "workload/witness_suite.h"
+
+namespace acs::workload {
+
+namespace {
+
+using compiler::IrBuilder;
+
+}  // namespace
+
+compiler::ProgramIr make_witness_pair_ir() {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("wit$leaf");
+  builder.compute(4);
+  const auto g = builder.begin_function("wit$g");
+  builder.call(leaf);
+  builder.compute(2);
+  builder.call(leaf);
+  builder.write_int(3);
+  const auto f = builder.begin_function("wit$f");
+  builder.call(g);
+  builder.compute(2);
+  builder.call(g);
+  builder.write_int(2);
+  const auto entry = builder.begin_function("wit$entry");
+  builder.call(f);
+  builder.compute(2);
+  builder.call(f);
+  builder.write_int(1);
+  return builder.build(entry);
+}
+
+compiler::ProgramIr make_witness_deep_ir() {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("wit$dleaf");
+  builder.compute(4);
+  const auto g = builder.begin_function("wit$dg", /*local_bytes=*/64);
+  builder.store_local(0, 7);
+  builder.call(leaf);
+  builder.load_local(0);
+  builder.call(leaf);
+  builder.write_int(13);
+  const auto f = builder.begin_function("wit$df", /*local_bytes=*/32);
+  builder.store_local(8, 9);
+  builder.call(g);
+  builder.call(g);
+  builder.load_local(8);
+  builder.write_int(12);
+  const auto entry = builder.begin_function("wit$dentry");
+  builder.call(f);
+  builder.compute(2);
+  builder.call(f);
+  builder.write_int(11);
+  return builder.build(entry);
+}
+
+compiler::ProgramIr make_witness_fanout_ir() {
+  IrBuilder builder;
+  const auto leaf = builder.begin_function("wit$fleaf");
+  builder.compute(4);
+  const auto worker = builder.begin_function("wit$worker");
+  builder.call(leaf);
+  builder.write_int(24);
+  const auto a = builder.begin_function("wit$a");
+  builder.call(worker);
+  builder.compute(2);
+  builder.call(worker);
+  builder.write_int(21);
+  const auto b = builder.begin_function("wit$b");
+  builder.call(worker);
+  builder.call(worker);
+  builder.write_int(22);
+  const auto c = builder.begin_function("wit$c");
+  builder.call(worker);
+  builder.write_int(23);
+  const auto entry = builder.begin_function("wit$fentry");
+  builder.call(a);
+  builder.call(b);
+  builder.call(c);
+  builder.write_int(20);
+  return builder.build(entry);
+}
+
+std::vector<WitnessWorkload> witness_suite() {
+  std::vector<WitnessWorkload> out;
+  out.push_back({"witness_pair", make_witness_pair_ir()});
+  out.push_back({"witness_deep", make_witness_deep_ir()});
+  out.push_back({"witness_fanout", make_witness_fanout_ir()});
+  return out;
+}
+
+}  // namespace acs::workload

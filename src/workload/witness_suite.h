@@ -1,0 +1,51 @@
+// Witness-synthesis workloads: programs shaped for attack replay.
+//
+// Small, deterministic call graphs whose structure guarantees the witness
+// synthesizer (verify/witness.h) has something to find under every dirty
+// scheme, and whose replays (verify/replay.h) can confirm the predicted
+// violation dynamically:
+//
+//   - every instrumented function sits below at least one instrumented
+//     caller, so pacstack-nomask disclosure witnesses (ACS002) exist for
+//     the inner frames;
+//   - at least one caller holds two distinct call sites into a shared
+//     non-leaf victim, satisfying the ACS003 reuse-pair gate (two
+//     activations of the victim share an SP modifier but carry different
+//     return addresses);
+//   - bodies are straight-line compute/write sequences — no threads, fork,
+//     setjmp/longjmp, exceptions or signals — so replays are deterministic
+//     single-hart runs.
+//
+// Like every lint workload, the suite obeys the differential contract:
+// clean under pacstack and shadow-stack, ACS002 under pacstack-nomask,
+// ACS001 under baseline/canary, ACS003 under pac-ret.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace acs::workload {
+
+/// Three-deep chain (entry -> f -> g -> leaf) where each caller invokes its
+/// callee from two distinct call sites.
+[[nodiscard]] compiler::ProgramIr make_witness_pair_ir();
+
+/// The same shape with per-frame local buffers of different sizes, so the
+/// witnessed stack slots sit at varying entry-SP-relative offsets.
+[[nodiscard]] compiler::ProgramIr make_witness_deep_ir();
+
+/// A shared worker reached from three sibling callers — two with reuse
+/// pairs, one without — exercising caller selection in the synthesizer.
+[[nodiscard]] compiler::ProgramIr make_witness_fanout_ir();
+
+struct WitnessWorkload {
+  std::string name;
+  compiler::ProgramIr ir;
+};
+
+/// All witness workloads, in a fixed order (fresh IR each call).
+[[nodiscard]] std::vector<WitnessWorkload> witness_suite();
+
+}  // namespace acs::workload

@@ -1,0 +1,163 @@
+// Tests for the structural IR validator: every generator/suite program is
+// valid, each violation class is caught with a specific message, the error
+// order is deterministic, and mutator/splice outputs stay valid across a
+// seeded sweep (the property the fuzzer's debug-build hooks enforce).
+#include "compiler/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "compiler/ir.h"
+#include "fuzz/mutate.h"
+#include "workload/confirm_suite.h"
+#include "workload/witness_suite.h"
+
+namespace acs::compiler {
+namespace {
+
+/// A small well-formed program: entry calls a leaf twice and touches its
+/// local buffer.
+ProgramIr small_valid_ir() {
+  IrBuilder b;
+  const std::size_t leaf = b.begin_function("leaf");
+  b.compute(4);
+  const std::size_t entry = b.begin_function("entry", /*local_bytes=*/32);
+  b.store_local(0, 7);
+  b.call(leaf, 2);
+  b.load_local(0);
+  b.write_int(1);
+  return b.build(entry);
+}
+
+bool any_contains(const std::vector<std::string>& errors,
+                  const std::string& needle) {
+  for (const std::string& error : errors) {
+    if (error.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ValidateIr, SuiteProgramsAreValid) {
+  EXPECT_TRUE(ir_is_valid(small_valid_ir()));
+  for (const auto& test : workload::confirm_suite()) {
+    EXPECT_TRUE(ir_is_valid(test.ir)) << test.name;
+  }
+  for (const auto& test : workload::witness_suite()) {
+    EXPECT_TRUE(ir_is_valid(test.ir)) << test.name;
+  }
+}
+
+TEST(ValidateIr, EmptyProgramAndEntryRange) {
+  ProgramIr empty;
+  EXPECT_TRUE(any_contains(validate_ir(empty), "no functions"));
+
+  ProgramIr ir = small_valid_ir();
+  ir.entry = ir.functions.size();
+  EXPECT_TRUE(any_contains(validate_ir(ir), "entry index"));
+}
+
+TEST(ValidateIr, NamesMustBeUniqueNonEmptyLabels) {
+  ProgramIr ir = small_valid_ir();
+  ir.functions[0].name = "";
+  EXPECT_TRUE(any_contains(validate_ir(ir), "empty name"));
+
+  ir = small_valid_ir();
+  ir.functions[0].name = ir.functions[1].name;
+  EXPECT_TRUE(any_contains(validate_ir(ir), "duplicate name"));
+}
+
+TEST(ValidateIr, CallEdgesAreRangeChecked) {
+  ProgramIr ir = small_valid_ir();
+  ir.functions[1].body[1] = {OpKind::kCall, 99, 1};
+  EXPECT_TRUE(any_contains(validate_ir(ir), "callee index out of range"));
+
+  ir = small_valid_ir();
+  ir.functions[1].body[1] = {OpKind::kCall, 0, 0};
+  EXPECT_TRUE(any_contains(validate_ir(ir), "repeat count"));
+
+  ir = small_valid_ir();
+  ir.functions[1].body[1] = {OpKind::kSigaction, 2, 99};
+  EXPECT_TRUE(any_contains(validate_ir(ir), "handler index out of range"));
+
+  ir = small_valid_ir();
+  ir.functions[1].tail_callee = 99;
+  EXPECT_TRUE(any_contains(validate_ir(ir), "tail callee out of range"));
+}
+
+TEST(ValidateIr, DataAreaSlotsAreBounded) {
+  ProgramIr ir = small_valid_ir();
+  ir.functions[1].body[1] = {OpKind::kSetjmp, 0x1000 / kJmpBufStride, 0};
+  EXPECT_TRUE(any_contains(validate_ir(ir), "jmp_buf slot"));
+
+  ir = small_valid_ir();
+  ir.functions[1].body[1] = {OpKind::kCallViaSlot, 0, 0x1000 / 8};
+  EXPECT_TRUE(any_contains(validate_ir(ir), "fn-pointer slot"));
+}
+
+TEST(ValidateIr, LocalAccessesStayInsideTheBuffer) {
+  ProgramIr ir = small_valid_ir();
+  // Last addressable 8-byte slot in a 32-byte buffer starts at 24.
+  ir.functions[1].body[0] = {OpKind::kStoreLocal, 25, 7};
+  EXPECT_TRUE(any_contains(validate_ir(ir), "beyond the declared buffer"));
+
+  // Wild accesses are deliberate absolute probes, not buffer overruns.
+  ir.functions[1].body[0] = {OpKind::kStoreLocal, kWildAccessBase + 8, 7};
+  EXPECT_TRUE(ir_is_valid(ir));
+}
+
+TEST(ValidateIr, ProgramWideIdsMustBeUnique) {
+  ProgramIr ir = small_valid_ir();
+  ir.functions[0].body.push_back({OpKind::kVulnSite, 3, 0});
+  ir.functions[1].body.push_back({OpKind::kVulnSite, 3, 0});
+  EXPECT_TRUE(any_contains(validate_ir(ir), "vuln-site id 3"));
+
+  ir = small_valid_ir();
+  ir.functions[1].body.push_back({OpKind::kCatchPoint, 5, 0});
+  ir.functions[1].body.push_back({OpKind::kCatchPoint, 5, 0});
+  EXPECT_TRUE(any_contains(validate_ir(ir), "duplicate catch tag"));
+}
+
+TEST(ValidateIr, CallCyclesAreRejected) {
+  // Direct self-recursion.
+  ProgramIr ir = small_valid_ir();
+  ir.functions[0].body.push_back({OpKind::kCall, 0, 1});
+  EXPECT_TRUE(any_contains(validate_ir(ir), "cycle"));
+
+  // Two-node cycle through a tail call.
+  ir = small_valid_ir();
+  ir.functions[0].tail_callee = 1;
+  EXPECT_TRUE(any_contains(validate_ir(ir), "cycle"));
+}
+
+TEST(ValidateIr, ErrorOrderIsDeterministic) {
+  ProgramIr ir = small_valid_ir();
+  ir.functions[0].name = "";
+  ir.functions[1].body[1] = {OpKind::kCall, 99, 0};
+  const std::vector<std::string> first = validate_ir(ir);
+  const std::vector<std::string> second = validate_ir(ir);
+  EXPECT_EQ(first, second);
+  ASSERT_GE(first.size(), 3u);  // empty name, repeat count, callee range
+}
+
+TEST(ValidateIr, MutatorAndSpliceOutputsStayValid) {
+  std::vector<ProgramIr> pool;
+  for (auto& test : workload::confirm_suite()) {
+    pool.push_back(std::move(test.ir));
+  }
+  Rng rng(11);
+  const fuzz::MutationLimits limits;
+  for (int round = 0; round < 64; ++round) {
+    ProgramIr& host = pool[round % pool.size()];
+    host = fuzz::mutate(host, rng, limits);
+    EXPECT_TRUE(ir_is_valid(host)) << "mutate round " << round;
+  }
+  const ProgramIr spliced = fuzz::splice(pool[0], pool[1], rng, limits);
+  EXPECT_TRUE(ir_is_valid(spliced));
+}
+
+}  // namespace
+}  // namespace acs::compiler

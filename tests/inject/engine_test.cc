@@ -48,8 +48,8 @@ TEST(Engine, SplitsPlanByDeliveryLevel) {
   ASSERT_NE(cpu, nullptr);
   // CPU cursor sees only the kInstrSkip; the kernel cursor holds the two
   // kernel kinds, sorted by at_instr.
-  EXPECT_FALSE(cpu->due(19, 0));
-  EXPECT_TRUE(cpu->due(20, 0));
+  EXPECT_FALSE(cpu->due(19, 0, 0));
+  EXPECT_TRUE(cpu->due(20, 0, 0));
   EXPECT_FALSE(engine.kernel_due(9));
   EXPECT_TRUE(engine.kernel_due(10));
   EXPECT_EQ(engine.kernel_take().kind, FaultKind::kBudgetExhaust);
@@ -66,10 +66,54 @@ TEST(Engine, DepthGateAndGrace) {
   Engine engine(std::move(config));
   TaskInjector* cpu = engine.attach();
   ASSERT_NE(cpu, nullptr);
-  EXPECT_FALSE(cpu->due(100, 2));          // depth not reached
-  EXPECT_TRUE(cpu->due(100, 3));           // depth reached
-  EXPECT_FALSE(cpu->due(100 + kDepthGrace - 1, 0));
-  EXPECT_TRUE(cpu->due(100 + kDepthGrace, 0));  // grace expired: fire anyway
+  EXPECT_FALSE(cpu->due(100, 2, 0));          // depth not reached
+  EXPECT_TRUE(cpu->due(100, 3, 0));           // depth reached
+  EXPECT_FALSE(cpu->due(100 + kDepthGrace - 1, 0, 0));
+  EXPECT_TRUE(cpu->due(100 + kDepthGrace, 0, 0));  // grace expired: fire anyway
+}
+
+TEST(Engine, PcTriggeredFaultFiresAtTheNthExecution) {
+  Engine::Config config;
+  config.plan = {{.kind = FaultKind::kStoreWord, .at_pc = 0x400,
+                  .occurrence = 3}};
+  Engine engine(std::move(config));
+  TaskInjector* cpu = engine.attach();
+  ASSERT_NE(cpu, nullptr);
+  // Instruction count and depth are irrelevant; only executions of at_pc
+  // advance the trigger.
+  EXPECT_FALSE(cpu->due(1'000'000, 9, 0x404));  // wrong pc
+  EXPECT_FALSE(cpu->due(10, 0, 0x400));         // occurrence 1
+  EXPECT_FALSE(cpu->due(11, 0, 0x400));         // occurrence 2
+  EXPECT_TRUE(cpu->due(12, 0, 0x400));          // occurrence 3: fire
+  EXPECT_EQ(cpu->take().kind, FaultKind::kStoreWord);
+  EXPECT_FALSE(cpu->due(13, 0, 0x400));  // plan exhausted
+}
+
+TEST(Engine, StoreWordWritesThePlannedPayload) {
+  // The fault fires when main is about to execute its 3rd instruction
+  // (pc-triggered, occurrence 1) and overwrites [SP] before the load.
+  const auto program = build([](Assembler& as) {
+    as.function("main");
+    as.sub_imm(Reg::kSp, Reg::kSp, 32);
+    as.mov_imm(Reg::kX9, 0xAA);
+    as.str(Reg::kX9, Reg::kSp, 0);
+    as.nop();
+    as.ldr(Reg::kX0, Reg::kSp, 0);
+    as.svc(num(Syscall::kWriteInt));
+    as.mov_imm(Reg::kX0, 0);
+    as.svc(num(Syscall::kExit));
+  });
+  const u64 nop_pc = program.symbol("main") + 3 * 4;
+  Engine engine({.plan = {{.kind = FaultKind::kStoreWord, .payload = 0xBEEF,
+                           .at_pc = nop_pc, .addr = 0, .sp_rel = true}}});
+  MachineOptions options;
+  options.injector = &engine;
+  Machine machine(program, options);
+  EXPECT_EQ(machine.run_to_completion(), ProcessState::kExited);
+  EXPECT_EQ(machine.init_process().output, (std::vector<u64>{0xBEEF}));
+  EXPECT_EQ(engine.summary().injected[static_cast<std::size_t>(
+                FaultKind::kStoreWord)],
+            1U);
 }
 
 TEST(Engine, InstrSkipDropsExactlyOneInstruction) {

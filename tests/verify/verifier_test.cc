@@ -297,6 +297,31 @@ TEST(Verifier, CodeNames) {
   EXPECT_EQ(code_name(Code::kMaskLeak), "ACS008");
 }
 
+TEST(Verifier, ReportIsDeterministicSortedAndDuplicateFree) {
+  // The report contract downstream consumers (witness synthesis, lint JSON
+  // breakdowns) rely on: diagnostics ordered by (address, code), no exact
+  // duplicates, and bit-identical across repeated runs.
+  for (const Scheme scheme :
+       {Scheme::kNone, Scheme::kPacStackNoMask, Scheme::kPacRet}) {
+    for (const auto& test : workload::confirm_suite()) {
+      const sim::Program program =
+          compiler::compile_ir(test.ir, {.scheme = scheme});
+      const Report report = verify_program(program, scheme);
+      const Report again = verify_program(program, scheme);
+      EXPECT_EQ(report.diagnostics, again.diagnostics) << test.name;
+      for (std::size_t i = 1; i < report.diagnostics.size(); ++i) {
+        const Diagnostic& prev = report.diagnostics[i - 1];
+        const Diagnostic& cur = report.diagnostics[i];
+        EXPECT_LE(prev.address, cur.address) << test.name;
+        if (prev.address == cur.address) {
+          EXPECT_LE(prev.code, cur.code) << test.name;
+        }
+        EXPECT_NE(prev, cur) << test.name << ": duplicate diagnostic";
+      }
+    }
+  }
+}
+
 TEST(Verifier, ReportRendering) {
   const sim::Program program = assemble_victim([](sim::Assembler& as) {
     as.str(sim::kLr, sim::Reg::kSp, -16, sim::AddrMode::kPreIndex);

@@ -1,0 +1,145 @@
+// Witness synthesis: clean schemes produce zero witnesses on the whole
+// verification corpus, every dirty scheme yields at least one replayable
+// witness on the witness workloads, counts are pinned, and synthesis is
+// deterministic.
+#include "verify/witness.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "workload/callgraph_gen.h"
+#include "workload/confirm_suite.h"
+#include "workload/nginx_sim.h"
+#include "workload/spec_suite.h"
+#include "workload/witness_suite.h"
+
+namespace acs::verify {
+namespace {
+
+using compiler::Scheme;
+
+/// The full lint corpus: spec suites, nginx, ConFIRM tests, fixed-seed
+/// random call graphs, and the witness workloads.
+std::vector<compiler::ProgramIr> corpus() {
+  std::vector<compiler::ProgramIr> out;
+  for (const auto& bench : workload::spec_suite()) {
+    out.push_back(workload::make_spec_ir(bench));
+  }
+  for (const auto& bench : workload::spec_cpp_suite()) {
+    out.push_back(workload::make_spec_cpp_ir(bench));
+  }
+  out.push_back(workload::make_worker_ir(50, 7));
+  for (auto& test : workload::confirm_suite()) {
+    out.push_back(std::move(test.ir));
+  }
+  for (u64 seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    out.push_back(workload::make_random_ir(rng));
+  }
+  for (auto& w : workload::witness_suite()) {
+    out.push_back(std::move(w.ir));
+  }
+  return out;
+}
+
+std::vector<Witness> witnesses_for(const compiler::ProgramIr& ir,
+                                   Scheme scheme) {
+  const sim::Program program = compiler::compile_ir(ir, {.scheme = scheme});
+  const Report report = verify_program(program, scheme);
+  return synthesize_witnesses(program, scheme, report);
+}
+
+TEST(Witness, CleanSchemesSynthesizeNoWitnessesOnTheCorpus) {
+  for (const Scheme scheme : {Scheme::kPacStack, Scheme::kShadowStack}) {
+    for (const auto& ir : corpus()) {
+      EXPECT_TRUE(witnesses_for(ir, scheme).empty())
+          << "under " << compiler::scheme_name(scheme);
+    }
+  }
+}
+
+struct DirtyCase {
+  Scheme scheme;
+  Code code;
+  const char* effect;
+};
+
+const DirtyCase kDirtyCases[] = {
+    {Scheme::kNone, Code::kRawRetReuse, "control-flow-divert"},
+    {Scheme::kCanary, Code::kRawRetReuse, "control-flow-divert"},
+    {Scheme::kPacStackNoMask, Code::kUnmaskedAretSpill, "forged-pac-accept"},
+    {Scheme::kPacRet, Code::kSignedRetSpill, "control-flow-divert"},
+    {Scheme::kPacRetLeaf, Code::kSignedRetSpill, "control-flow-divert"},
+};
+
+TEST(Witness, EveryDirtySchemeYieldsWellFormedWitnesses) {
+  for (const auto& c : kDirtyCases) {
+    for (const auto& w : workload::witness_suite()) {
+      const sim::Program program =
+          compiler::compile_ir(w.ir, {.scheme = c.scheme});
+      const Report report = verify_program(program, c.scheme);
+      ASSERT_FALSE(report.clean())
+          << w.name << " under " << compiler::scheme_name(c.scheme);
+      const auto witnesses = synthesize_witnesses(program, c.scheme, report);
+      ASSERT_FALSE(witnesses.empty())
+          << w.name << " under " << compiler::scheme_name(c.scheme)
+          << ": dirty verdict with no witness";
+      for (const Witness& witness : witnesses) {
+        EXPECT_EQ(witness.code, c.code);
+        EXPECT_EQ(witness.scheme, c.scheme);
+        EXPECT_EQ(witness.effect, c.effect);
+        EXPECT_FALSE(witness.function.empty());
+        ASSERT_FALSE(witness.call_chain.empty());
+        EXPECT_EQ(witness.call_chain.front(), "main");
+        EXPECT_EQ(witness.call_chain.back(), witness.function);
+        ASSERT_FALSE(witness.block_trace.empty());
+        EXPECT_EQ(witness.block_trace.front(),
+                  program.symbol(witness.function));
+        EXPECT_TRUE(program.contains(witness.store_address));
+      }
+    }
+  }
+}
+
+TEST(Witness, CountsArePinnedOnTheGatedPairWorkload) {
+  // witness_pair: entry -> f -> g -> leaf, two call sites at every level.
+  const auto ir = workload::make_witness_pair_ir();
+  // Baseline/canary: every framed function (entry, f, g) replays.
+  EXPECT_EQ(witnesses_for(ir, Scheme::kNone).size(), 3u);
+  EXPECT_EQ(witnesses_for(ir, Scheme::kCanary).size(), 3u);
+  // Nomask: the entry function's caller (main) is not chain-instrumented,
+  // so only f and g carry a disclosure witness.
+  EXPECT_EQ(witnesses_for(ir, Scheme::kPacStackNoMask).size(), 2u);
+  // Pac-ret: the reuse-pair gate admits f and g (two call sites each);
+  // entry is called once from main, and the leaf never spills its signed
+  // LR, so neither carries a witness under either pac-ret variant.
+  EXPECT_EQ(witnesses_for(ir, Scheme::kPacRet).size(), 2u);
+  EXPECT_EQ(witnesses_for(ir, Scheme::kPacRetLeaf).size(), 2u);
+}
+
+TEST(Witness, SynthesisIsDeterministic) {
+  const auto ir = workload::make_witness_deep_ir();
+  for (const auto& c : kDirtyCases) {
+    EXPECT_EQ(witnesses_for(ir, c.scheme), witnesses_for(ir, c.scheme));
+  }
+}
+
+TEST(Witness, ToJsonCarriesTheReplayFields) {
+  const auto ir = workload::make_witness_pair_ir();
+  const auto witnesses = witnesses_for(ir, Scheme::kPacRet);
+  ASSERT_FALSE(witnesses.empty());
+  const std::string json = to_json(witnesses.front());
+  EXPECT_NE(json.find("\"code\": \"ACS003\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"function\": \"wit$"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"call_chain\": [\"main\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"effect\": \"control-flow-divert\""),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace acs::verify

@@ -13,20 +13,24 @@
 //   acs-fuzz --time-budget 60                     # wall-clock campaign
 //   acs-fuzz --replay tests/corpus/case.acsir     # re-run one reproducer
 //   acs-fuzz --minimize repro.acsir --out min.acsir
+//   acs-fuzz --validate tests/corpus                # structural IR audit
 //   acs-fuzz --execs 64 --json BENCH_acs_fuzz.json --threads 4
 //
 // Campaigns are bitwise deterministic for a fixed --seed/--execs pair at
 // any --threads value; --time-budget is the one intentionally
 // non-deterministic stop condition (checked between rounds only).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "compiler/validate.h"
 #include "fuzz/engine.h"
 #include "fuzz/minimize.h"
 #include "fuzz/serialize.h"
@@ -42,6 +46,7 @@ struct Options {
   u64 seed = 1;
   std::string replay_path;
   std::string minimize_path;
+  std::string validate_path;  ///< --validate target (.acsir file or dir)
   std::string out_path;     ///< --minimize output (default: stdout)
   std::string corpus_dir;   ///< campaign findings are written here
   bool seed_corpus = true;  ///< pre-seed with the confirm-suite programs
@@ -62,6 +67,9 @@ void print_usage() {
       "oracle\n"
       "  --minimize <path>    shrink a failing reproducer (ddmin) and "
       "print it\n"
+      "  --validate <path>    structural IR check (compiler::validate_ir) "
+      "of one\n"
+      "                       .acsir file or every .acsir in a directory\n"
       "  --out <path>         write the minimized reproducer here instead\n"
       "  --corpus-dir <dir>   write campaign findings into <dir> as "
       ".acsir files\n"
@@ -115,6 +123,56 @@ int replay(const Options& options) {
               result.findings.size());
   print_findings(result.findings);
   return result.findings.empty() ? 0 : 1;
+}
+
+/// Run compiler::validate_ir over one .acsir file; returns the violation
+/// count (parse failures count as one violation).
+int validate_one(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::printf("%-32s cannot read\n", path.c_str());
+    return 1;
+  }
+  compiler::ProgramIr ir;
+  try {
+    ir = fuzz::parse_ir(text);
+  } catch (const std::exception& e) {
+    std::printf("%-32s parse error: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::vector<std::string> errors = compiler::validate_ir(ir);
+  std::printf("%-32s %zu function(s), %zu violation(s)\n", path.c_str(),
+              ir.functions.size(), errors.size());
+  for (const std::string& error : errors) {
+    std::printf("  %s\n", error.c_str());
+  }
+  return static_cast<int>(errors.size());
+}
+
+int validate(const Options& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  if (fs::is_directory(options.validate_path, ec)) {
+    for (const auto& entry : fs::directory_iterator(options.validate_path)) {
+      if (entry.path().extension() == ".acsir") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+  } else {
+    paths.push_back(options.validate_path);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "no .acsir files under '%s'\n",
+                 options.validate_path.c_str());
+    return 2;
+  }
+  int violations = 0;
+  for (const std::string& path : paths) violations += validate_one(path);
+  std::printf("validated %zu file(s): %d violation(s)\n", paths.size(),
+              violations);
+  return violations == 0 ? 0 : 1;
 }
 
 int minimize(const Options& options) {
@@ -275,6 +333,7 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag_value("--replay", options.replay_path)) {
     } else if (flag_value("--minimize", options.minimize_path)) {
+    } else if (flag_value("--validate", options.validate_path)) {
     } else if (flag_value("--out", options.out_path)) {
     } else if (flag_value("--corpus-dir", options.corpus_dir)) {
     } else if (flag_value("--json", options.bench.json_path)) {
@@ -290,5 +349,6 @@ int main(int argc, char** argv) {
 
   if (!options.replay_path.empty()) return replay(options);
   if (!options.minimize_path.empty()) return minimize(options);
+  if (!options.validate_path.empty()) return validate(options);
   return campaign(options);
 }

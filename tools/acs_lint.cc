@@ -9,29 +9,47 @@
 // frames. Diagnostics are instruction-addressed (docs/verifier.md maps each
 // code to its paper section).
 //
+// Beyond flagging, the lint synthesizes *attack witnesses* — concrete
+// counterexamples (call chain, block path, attacked stack slot, consuming
+// instruction) for every replayable ACS001/ACS002/ACS003 diagnostic — and
+// can drive each one through the simulator to confirm the predicted
+// violation dynamically (--replay), serialize them as machine-readable
+// JSON (--witness DIR), or audit fuzzer reproducers for dynamic violations
+// with no static diagnostic (--audit DIR).
+//
 //   acs-lint --list
 //   acs-lint --scheme pacstack                      # all workloads, one scheme
 //   acs-lint --scheme pacstack-nomask --expect ACS002
 //   acs-lint --workload nginx --matrix              # all schemes, one workload
 //   acs-lint --scheme pacstack --expect clean --json lint.json
+//   acs-lint --scheme pacstack-nomask --replay      # confirm every witness
+//   acs-lint --audit tests/corpus                   # corpus back-mapping
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
 #include "common/rng.h"
 #include "compiler/codegen.h"
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+#include "verify/replay.h"
 #include "verify/verifier.h"
+#include "verify/witness.h"
 #include "workload/callgraph_gen.h"
 #include "workload/confirm_suite.h"
 #include "workload/nginx_sim.h"
 #include "workload/spec_suite.h"
+#include "workload/witness_suite.h"
 
 namespace {
 
@@ -44,6 +62,9 @@ struct Options {
   bool list = false;
   bool matrix = false;
   bool verbose = false;
+  bool replay = false;       ///< replay every witness; fail on non-confirmed
+  std::string witness_dir;   ///< write witness JSONL files here (--witness)
+  std::string audit_dir;     ///< audit .acsir reproducers here (--audit)
   /// Expectation: empty optional = report-only; empty vector = "clean".
   std::optional<std::vector<Code>> expect;
   bench::BenchOptions bench;  ///< uniform --json/--threads/--smoke flags
@@ -65,6 +86,16 @@ void print_usage() {
       "diagnostic codes\n"
       "  --verbose              print every diagnostic, not just "
       "summaries\n"
+      "  --witness <dir>        write synthesized attack witnesses as "
+      "JSONL files\n"
+      "  --replay               replay every witness in the simulator; "
+      "exit 1 unless\n"
+      "                         all replays confirm the predicted "
+      "violation\n"
+      "  --audit <dir>          audit every .acsir reproducer in <dir>: "
+      "each dynamic\n"
+      "                         violation must map back to a static "
+      "diagnostic\n"
       "  --json <path>          write machine-readable results "
       "(docs/bench-output.md)\n"
       "  --threads <n>          accepted for bench-flag uniformity; "
@@ -104,6 +135,9 @@ std::vector<NamedWorkload> all_workloads(bool smoke) {
     Rng rng(seed);
     out.push_back({"callgraph_" + std::to_string(seed),
                    workload::make_random_ir(rng)});
+  }
+  for (auto& w : workload::witness_suite()) {
+    out.push_back({w.name, std::move(w.ir)});
   }
   return out;
 }
@@ -163,6 +197,76 @@ std::string codes_to_string(const std::vector<Code>& codes) {
   return out;
 }
 
+/// "pac-ret+leaf"/"wit$f" -> filesystem-safe token.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-') {
+      c = '-';
+    }
+  }
+  return out;
+}
+
+/// Corpus back-mapping audit: re-run the fuzz oracles over every .acsir
+/// reproducer in `dir` and require each dynamically found violation to map
+/// back to a static diagnostic (fuzz::maps_to_static). Returns the number
+/// of unmapped violations (0 = audit passed).
+int run_audit(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".acsir") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "--audit: cannot read '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "--audit: no .acsir reproducers in '%s'\n",
+                 dir.c_str());
+    return 1;
+  }
+  int unmapped = 0;
+  for (const auto& path : files) {
+    std::ifstream file(path);
+    std::ostringstream text;
+    text << file.rdbuf();
+    compiler::ProgramIr ir;
+    try {
+      ir = fuzz::parse_ir(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), e.what());
+      ++unmapped;
+      continue;
+    }
+    const fuzz::EvalResult result = fuzz::evaluate_program(ir);
+    int file_unmapped = 0;
+    for (const auto& finding : result.findings) {
+      if (!fuzz::maps_to_static(ir, finding)) {
+        std::fprintf(stderr,
+                     "%s: dynamic violation with no static diagnostic: "
+                     "%s under %s: %s\n",
+                     path.c_str(), fuzz::oracle_name(finding.oracle),
+                     compiler::scheme_name(finding.scheme).c_str(),
+                     finding.detail.c_str());
+        ++file_unmapped;
+      }
+    }
+    unmapped += file_unmapped;
+    std::printf("%-24s %zu finding(s), %d unmapped\n",
+                path.filename().c_str(), result.findings.size(),
+                file_unmapped);
+  }
+  std::printf("audited %zu reproducer(s): %d unmapped violation(s)\n",
+              files.size(), unmapped);
+  return unmapped;
+}
+
 int run(const Options& options) {
   std::vector<compiler::Scheme> schemes;
   if (options.scheme == "all") {
@@ -189,12 +293,21 @@ int run(const Options& options) {
     workloads.push_back(std::move(*w));
   }
 
+  if (!options.witness_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.witness_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "--witness: cannot create '%s': %s\n",
+                   options.witness_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
   bench::BenchReporter reporter("acs_lint", options.bench, /*base_seed=*/1);
   std::map<Code, std::size_t> totals;
   std::vector<Code> seen;
-  std::size_t programs = 0;
-  std::size_t functions_verified = 0;
-  std::size_t diagnostics_total = 0;
+  bench::LintSection lint;
+  verify::ReplaySummary replays;
   bool within_expectation = true;
 
   for (const compiler::Scheme scheme : schemes) {
@@ -202,16 +315,20 @@ int run(const Options& options) {
       const sim::Program program =
           compiler::compile_ir(w.ir, {.scheme = scheme});
       const verify::Report report = verify::verify_program(program, scheme);
-      ++programs;
-      functions_verified += report.functions_verified;
-      diagnostics_total += report.diagnostics.size();
+      ++lint.programs;
+      lint.functions_verified += report.functions_verified;
+      lint.diagnostics += report.diagnostics.size();
       const std::vector<Code> codes = report.codes();
       for (const Code c : codes) {
         if (std::find(seen.begin(), seen.end(), c) == seen.end()) {
           seen.push_back(c);
         }
       }
-      for (const auto& d : report.diagnostics) ++totals[d.code];
+      for (const auto& d : report.diagnostics) {
+        ++totals[d.code];
+        ++lint.findings_by_code[verify::code_name(d.code)];
+        ++lint.findings_by_function[d.function];
+      }
       if (options.expect) {
         for (const Code c : codes) {
           if (!std::binary_search(options.expect->begin(),
@@ -220,6 +337,45 @@ int run(const Options& options) {
           }
         }
       }
+
+      const auto witnesses =
+          verify::synthesize_witnesses(program, scheme, report);
+      lint.witnesses += witnesses.size();
+      if (!options.witness_dir.empty() && !witnesses.empty()) {
+        std::string body;
+        for (const auto& witness : witnesses) {
+          body += verify::to_json(witness) + "\n";
+        }
+        const std::string path =
+            options.witness_dir + "/" +
+            sanitize(compiler::scheme_name(scheme)) + "_" +
+            sanitize(w.name) + ".jsonl";
+        if (!bench::write_file(path, body, "acs-lint --witness")) return 1;
+      }
+      if (options.replay) {
+        for (const auto& witness : witnesses) {
+          const verify::ReplayResult result =
+              verify::replay_witness(program, witness);
+          switch (result.verdict) {
+            case verify::Verdict::kConfirmed: ++replays.confirmed; break;
+            case verify::Verdict::kRefuted: ++replays.refuted; break;
+            case verify::Verdict::kUnconfirmed:
+              ++replays.unconfirmed;
+              break;
+          }
+          if (options.verbose ||
+              result.verdict != verify::Verdict::kConfirmed) {
+            std::printf("replay %-16s %-20s %s in %s: %s (%s)\n",
+                        compiler::scheme_name(scheme).c_str(),
+                        w.name.c_str(),
+                        verify::code_name(witness.code).c_str(),
+                        witness.function.c_str(),
+                        verify::verdict_name(result.verdict),
+                        result.detail.c_str());
+          }
+        }
+      }
+
       if (options.matrix || options.verbose || schemes.size() > 1) {
         std::printf("%-16s %-28s %s\n",
                     compiler::scheme_name(scheme).c_str(), w.name.c_str(),
@@ -232,11 +388,21 @@ int run(const Options& options) {
   }
 
   std::sort(seen.begin(), seen.end());
-  std::printf("verified %zu program(s), %zu function(s): %zu finding(s)%s\n",
-              programs, functions_verified, diagnostics_total,
-              diagnostics_total == 0
-                  ? ""
-                  : (" [" + codes_to_string(seen) + "]").c_str());
+  std::printf(
+      "verified %llu program(s), %llu function(s): %llu finding(s)%s, "
+      "%llu witness(es)\n",
+      static_cast<unsigned long long>(lint.programs),
+      static_cast<unsigned long long>(lint.functions_verified),
+      static_cast<unsigned long long>(lint.diagnostics),
+      lint.diagnostics == 0 ? ""
+                            : (" [" + codes_to_string(seen) + "]").c_str(),
+      static_cast<unsigned long long>(lint.witnesses));
+  if (options.replay) {
+    std::printf("replayed %zu witness(es): %zu confirmed, %zu refuted, "
+                "%zu unconfirmed\n",
+                replays.total(), replays.confirmed, replays.refuted,
+                replays.unconfirmed);
+  }
 
   bool expect_met = true;
   if (options.expect) {
@@ -244,11 +410,17 @@ int run(const Options& options) {
     std::printf("expected %s: %s\n", codes_to_string(*options.expect).c_str(),
                 expect_met ? "met" : "NOT met");
   }
+  const bool replays_ok =
+      !options.replay || replays.confirmed == replays.total();
+  if (options.replay && !replays_ok) {
+    std::printf("replay verdicts: NOT all confirmed\n");
+  }
 
-  reporter.record("programs_checked", static_cast<double>(programs),
+  const std::size_t diagnostics_total = lint.diagnostics;
+  reporter.record("programs_checked", static_cast<double>(lint.programs),
                   "programs");
   reporter.record("functions_verified",
-                  static_cast<double>(functions_verified), "functions");
+                  static_cast<double>(lint.functions_verified), "functions");
   reporter.record("diagnostics_total",
                   static_cast<double>(diagnostics_total), "diagnostics");
   for (int i = 1; i <= 8; ++i) {
@@ -262,11 +434,21 @@ int run(const Options& options) {
                     "diagnostics");
   }
   reporter.record("clean", diagnostics_total == 0 ? 1.0 : 0.0, "bool");
+  reporter.record("witnesses", static_cast<double>(lint.witnesses),
+                  "witnesses");
+  if (options.replay) {
+    reporter.record("replays_confirmed",
+                    static_cast<double>(replays.confirmed), "replays");
+    lint.replays_confirmed = replays.confirmed;
+    lint.replays_refuted = replays.refuted;
+    lint.replays_unconfirmed = replays.unconfirmed;
+  }
   if (options.expect) {
     reporter.record("expect_met", expect_met ? 1.0 : 0.0, "bool");
   }
+  reporter.set_lint_section(std::move(lint));
   if (!reporter.finish()) return 1;
-  return expect_met ? 0 : 1;
+  return expect_met && replays_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -299,6 +481,12 @@ int main(int argc, char** argv) {
       options.expect = *parsed;
     } else if (arg == "--matrix") {
       options.matrix = true;
+    } else if (arg == "--witness") {
+      options.witness_dir = next();
+    } else if (arg == "--replay") {
+      options.replay = true;
+    } else if (arg == "--audit") {
+      options.audit_dir = next();
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--smoke") {
@@ -325,6 +513,9 @@ int main(int argc, char** argv) {
   if (options.list) {
     print_list();
     return 0;
+  }
+  if (!options.audit_dir.empty()) {
+    return run_audit(options.audit_dir) == 0 ? 0 : 1;
   }
   return run(options);
 }

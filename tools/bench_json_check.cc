@@ -366,6 +366,48 @@ std::string check_sim_section(const Value& sim) {
   return {};
 }
 
+/// Validate the optional "lint" section (static-verifier totals, see
+/// docs/bench-output.md): numeric counters plus {code: number} /
+/// {function: number} breakdown maps. Replayed witness verdicts must add
+/// up to the witness count (every witness gets exactly one verdict) when
+/// any replay counter is non-zero.
+std::string check_lint_section(const Value& lint) {
+  const Object* top = lint.object();
+  if (top == nullptr) return "'lint' is not an object";
+
+  for (const char* key :
+       {"programs", "functions_verified", "diagnostics", "witnesses",
+        "replays_confirmed", "replays_refuted", "replays_unconfirmed"}) {
+    const Value* v = find(*top, key);
+    if (v == nullptr || !v->is_number()) {
+      return std::string("'lint.") + key + "' missing or not a number";
+    }
+  }
+
+  const double witnesses = std::get<double>(find(*top, "witnesses")->data);
+  const double replays =
+      std::get<double>(find(*top, "replays_confirmed")->data) +
+      std::get<double>(find(*top, "replays_refuted")->data) +
+      std::get<double>(find(*top, "replays_unconfirmed")->data);
+  if (replays != 0 && replays != witnesses) {
+    return "'lint' replay verdicts do not cover every witness";
+  }
+
+  for (const char* key : {"findings_by_code", "findings_by_function"}) {
+    const Value* counters = find(*top, key);
+    if (counters == nullptr || counters->object() == nullptr) {
+      return std::string("'lint.") + key + "' missing or not an object";
+    }
+    for (const auto& [name, value] : *counters->object()) {
+      if (!value.is_number()) {
+        return std::string("'lint.") + key + "." + name +
+               "' is not a number";
+      }
+    }
+  }
+  return {};
+}
+
 /// Validate a Chrome trace-event JSON document (the --trace output of the
 /// benches and acs-run): {"traceEvents": [...]} where every event carries
 /// a string name/ph, integer pid/tid, and — except for "M" metadata — a
@@ -453,6 +495,11 @@ std::string check_schema(const Value& root) {
 
   if (const Value* sim = find(*top, "sim")) {
     std::string error = check_sim_section(*sim);
+    if (!error.empty()) return error;
+  }
+
+  if (const Value* lint = find(*top, "lint")) {
+    std::string error = check_lint_section(*lint);
     if (!error.empty()) return error;
   }
 
