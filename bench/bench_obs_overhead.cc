@@ -7,11 +7,15 @@
 //   disabled  no recorder attached (the default for every bench)
 //   metrics   counters + histograms only
 //   full      counters + trace ring + folded profile
+// crossed with both instruction-dispatch paths (decoded = Cpu::run_fast
+// predecoded stream, interp = re-decode-per-step reference loop) — the
+// disabled-hook budget must hold under the fast path too, where a mispredicted
+// branch would be proportionally far more expensive.
 //
 // The JSON trajectory carries instr/s for each mode; CI gates on the
-// `disabled` number staying within noise of the historical baseline, which
-// pins the <1% disabled-hook overhead budget from the PR acceptance
-// criteria (the enabled modes are informational).
+// `disabled` numbers (both dispatch paths) staying within noise of the
+// historical baseline, which pins the <1% disabled-hook overhead budget
+// from the PR acceptance criteria (the enabled modes are informational).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -45,10 +49,13 @@ const sim::Program& call_loop_program() {
 
 void BM_SimLoopObs(benchmark::State& state) {
   const auto mode = static_cast<ObsMode>(state.range(0));
+  const auto dispatch = state.range(1) == 0 ? sim::DispatchMode::kDecoded
+                                            : sim::DispatchMode::kInterpreter;
   const auto& program = call_loop_program();
   u64 instructions = 0;
   for (auto _ : state) {
     kernel::MachineOptions options;
+    options.dispatch = dispatch;
     std::optional<obs::Recorder> recorder;
     if (mode != kDisabled) {
       obs::RecorderConfig rc;
@@ -67,10 +74,8 @@ void BM_SimLoopObs(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimLoopObs)
-    ->Arg(kDisabled)
-    ->Arg(kMetricsOnly)
-    ->Arg(kFull)
-    ->ArgName("mode");
+    ->ArgsProduct({{kDisabled, kMetricsOnly, kFull}, {0, 1}})
+    ->ArgNames({"mode", "dispatch"});
 
 /// Forward per-iteration runs (including the instr/s rate counters) to the
 /// harness JSON sink; console output stays untouched.

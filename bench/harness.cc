@@ -184,7 +184,8 @@ std::string to_json(const std::string& bench_name,
                     const std::vector<Metric>& metrics,
                     double wall_seconds, const obs::Metrics* obs_metrics,
                     const FaultSection* faults, const FuzzSection* fuzz,
-                    const SimSection* sim, const LintSection* lint) {
+                    const SimSection* sim, const LintSection* lint,
+                    const ServingSection* serving) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -275,6 +276,44 @@ std::string to_json(const std::string& bench_name,
            counter_map_json(lint->findings_by_function) + "\n";
     out += "  },\n";
   }
+  if (serving != nullptr) {
+    // Integer cycles/counters in fixed sweep order — like "obs", bitwise
+    // identical for every --threads value (the bench_serving_invariance
+    // ctest target pins the full percentile trajectory at 1 vs 2 vs 8).
+    out += "  \"serving\": {\n";
+    out += "    \"requests\": " + std::to_string(serving->requests) + ",\n";
+    out += "    \"admitted\": " + std::to_string(serving->admitted) + ",\n";
+    out += "    \"rejected\": " + std::to_string(serving->rejected) + ",\n";
+    out += "    \"completed\": " + std::to_string(serving->completed) + ",\n";
+    out += "    \"failed\": " + std::to_string(serving->failed) + ",\n";
+    out += "    \"crashed_attempts\": " +
+           std::to_string(serving->crashed_attempts) + ",\n";
+    out += "    \"restarts\": " + std::to_string(serving->restarts) + ",\n";
+    out += "    \"forks\": " + std::to_string(serving->forks) + ",\n";
+    out += "    \"cow_pages_copied\": " +
+           std::to_string(serving->cow_pages_copied) + ",\n";
+    out += "    \"queue_depth_max\": " +
+           std::to_string(serving->queue_depth_max) + ",\n";
+    out += "    \"inflight_max\": " + std::to_string(serving->inflight_max) +
+           ",\n";
+    out += "    \"gauge_samples\": " + std::to_string(serving->gauge_samples) +
+           ",\n";
+    out += "    \"latency\": {";
+    bool first_tag = true;
+    for (const auto& [tag, summary] : serving->latency) {
+      out += first_tag ? "\n" : ",\n";
+      first_tag = false;
+      out += "      \"" + escape_json(tag) + "\": {\"p50\": " +
+             std::to_string(summary.p50) + ", \"p90\": " +
+             std::to_string(summary.p90) + ", \"p99\": " +
+             std::to_string(summary.p99) + ", \"p999\": " +
+             std::to_string(summary.p999) + ", \"max\": " +
+             std::to_string(summary.max) + ", \"count\": " +
+             std::to_string(summary.count) + "}";
+    }
+    out += serving->latency.empty() ? "}\n" : "\n    }\n";
+    out += "  },\n";
+  }
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const Metric& m = metrics[i];
@@ -331,6 +370,11 @@ void BenchReporter::set_lint_section(LintSection lint) {
   has_lint_section_ = true;
 }
 
+void BenchReporter::set_serving_section(ServingSection serving) {
+  serving_section_ = std::move(serving);
+  has_serving_section_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -343,7 +387,8 @@ bool BenchReporter::finish() {
               has_fault_section_ ? &fault_section_ : nullptr,
               has_fuzz_section_ ? &fuzz_section_ : nullptr,
               has_sim_section_ ? &sim_section_ : nullptr,
-              has_lint_section_ ? &lint_section_ : nullptr);
+              has_lint_section_ ? &lint_section_ : nullptr,
+              has_serving_section_ ? &serving_section_ : nullptr);
   if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;

@@ -122,6 +122,39 @@ struct SimSection {
   u64 equivalence_fingerprint = 0;  ///< digest of outcomes, hex in JSON
 };
 
+/// One configuration's end-to-end latency summary: integer simulated
+/// cycles extracted from an obs::LogHistogram (docs/observability.md
+/// "Latency histograms") — deterministic for every --threads value.
+struct LatencySummary {
+  u64 p50 = 0;
+  u64 p90 = 0;
+  u64 p99 = 0;
+  u64 p999 = 0;
+  u64 max = 0;
+  u64 count = 0;  ///< completed requests behind the percentiles
+};
+
+/// Serving-simulation totals, emitted as the "serving" section of the JSON
+/// trajectory (see docs/bench-output.md). Counters are summed over every
+/// configuration in the sweep; `latency` carries one percentile summary
+/// per configuration tag (e.g. "pacstack_load90_f40"). All integers in
+/// fixed sweep order — bitwise identical for every --threads value.
+struct ServingSection {
+  u64 requests = 0;
+  u64 admitted = 0;
+  u64 rejected = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 crashed_attempts = 0;
+  u64 restarts = 0;
+  u64 forks = 0;
+  u64 cow_pages_copied = 0;
+  u64 queue_depth_max = 0;  ///< max over all configurations
+  u64 inflight_max = 0;
+  u64 gauge_samples = 0;
+  std::map<std::string, LatencySummary> latency;  ///< config tag -> summary
+};
+
 /// Collects metrics during a bench run and writes the machine-readable
 /// trajectory on finish(). Wall-clock time is measured from construction
 /// to finish(). Table/stdout output is unaffected: record() only feeds the
@@ -155,6 +188,10 @@ class BenchReporter {
   /// the JSON trajectory).
   void set_lint_section(LintSection lint);
 
+  /// Attach the serving-simulation totals (emitted as the "serving"
+  /// section of the JSON trajectory).
+  void set_serving_section(ServingSection serving);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -179,6 +216,8 @@ class BenchReporter {
   bool has_sim_section_ = false;
   LintSection lint_section_;
   bool has_lint_section_ = false;
+  ServingSection serving_section_;
+  bool has_serving_section_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
@@ -197,7 +236,8 @@ class BenchReporter {
                                   const FaultSection* faults = nullptr,
                                   const FuzzSection* fuzz = nullptr,
                                   const SimSection* sim = nullptr,
-                                  const LintSection* lint = nullptr);
+                                  const LintSection* lint = nullptr,
+                                  const ServingSection* serving = nullptr);
 
 /// Write `body` to `path` (truncating); on failure prints to stderr and
 /// returns false. Used for the --json/--trace/--profile sinks.

@@ -1,0 +1,72 @@
+# Pins the determinism contract of bench_serving_tail: the JSON trajectory
+# — including the "serving" section's full percentile trajectory and the
+# per-configuration "obs" counters — must be bitwise identical for
+# --threads 1, 2 and 8. Only host timing (wall_seconds) and the echoed
+# thread count may differ, so both lines are stripped before comparing.
+#
+# Optionally (when DIFF and REFERENCE are given) the threads=1 trajectory
+# is also compared against the checked-in reference JSON with acs-bench-diff
+# under generous thresholds — the tail-latency regression gate.
+# Inputs: -DBENCH=<bench_serving_tail> -DJSON_DIR=<scratch dir>
+#         [-DDIFF=<acs-bench-diff> -DREFERENCE=<baseline json>]
+
+if(NOT DEFINED BENCH OR NOT DEFINED JSON_DIR)
+  message(FATAL_ERROR "run_serving_invariance.cmake needs BENCH and JSON_DIR")
+endif()
+
+set(reference "")
+foreach(threads 1 2 8)
+  set(json "${JSON_DIR}/BENCH_serving_invariance_t${threads}.json")
+  file(REMOVE "${json}")
+  execute_process(
+    COMMAND "${BENCH}" --smoke "--threads=${threads}" "--json=${json}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err
+  )
+  if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH} --threads=${threads} exited with ${bench_rc}\n"
+            "stdout:\n${bench_out}\nstderr:\n${bench_err}")
+  endif()
+  if(NOT EXISTS "${json}")
+    message(FATAL_ERROR "${BENCH} did not write ${json}")
+  endif()
+
+  # Strip host timing (wall_seconds) and the echoed thread count — the
+  # only lines allowed to differ between runs.
+  file(READ "${json}" body)
+  string(REGEX REPLACE "\n *\"wall_seconds\":[^\n]*" "" body "${body}")
+  string(REGEX REPLACE "\n *\"threads\":[^\n]*" "" body "${body}")
+
+  if(reference STREQUAL "")
+    set(reference "${body}")
+    set(reference_threads ${threads})
+  elseif(NOT body STREQUAL reference)
+    message(FATAL_ERROR
+            "trajectory differs between --threads=${reference_threads} and "
+            "--threads=${threads}: determinism contract violated "
+            "(see ${json})")
+  endif()
+endforeach()
+
+message(STATUS "bench_serving_tail trajectories identical for "
+               "--threads 1/2/8")
+
+if(DEFINED DIFF AND DEFINED REFERENCE)
+  set(current "${JSON_DIR}/BENCH_serving_invariance_t1.json")
+  execute_process(
+    COMMAND "${DIFF}" "${REFERENCE}" "${current}" --threshold=0.5
+    RESULT_VARIABLE diff_rc
+    OUTPUT_VARIABLE diff_out
+    ERROR_VARIABLE diff_err
+  )
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "acs-bench-diff flagged the serving trajectory against the "
+            "checked-in reference (exit ${diff_rc})\n"
+            "stdout:\n${diff_out}\nstderr:\n${diff_err}")
+  endif()
+  message(STATUS "acs-bench-diff: serving trajectory within thresholds of "
+                 "the checked-in reference")
+endif()

@@ -16,6 +16,7 @@ set(ACS_SMOKE_BENCHES
   bench_ablation
   bench_fault_availability
   bench_sim_throughput
+  bench_serving_tail
   bench_micro_pa
   bench_obs_overhead
 )
@@ -52,6 +53,21 @@ add_test(NAME bench_sim_invariance
                  -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
                  -P ${CMAKE_CURRENT_SOURCE_DIR}/run_sim_invariance.cmake)
 set_tests_properties(bench_sim_invariance PROPERTIES
+                     LABELS "bench_smoke" TIMEOUT 600)
+
+# Thread-invariance pin for the serving tail-latency bench: the trajectory
+# — including the full "serving" percentile section — must be bitwise
+# identical at --threads 1, 2 and 8, and the threads=1 run must stay within
+# generous acs-bench-diff thresholds of the checked-in reference trajectory
+# (the tail-latency regression gate).
+add_test(NAME bench_serving_invariance
+         COMMAND ${CMAKE_COMMAND}
+                 -DBENCH=$<TARGET_FILE:bench_serving_tail>
+                 -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
+                 -DDIFF=$<TARGET_FILE:acs-bench-diff>
+                 -DREFERENCE=${CMAKE_CURRENT_SOURCE_DIR}/reference/BENCH_serving_tail_smoke.json
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_serving_invariance.cmake)
+set_tests_properties(bench_serving_invariance PROPERTIES
                      LABELS "bench_smoke" TIMEOUT 600)
 
 # acs-run emits the same schema through its own flag parser.

@@ -62,7 +62,18 @@ Machine::Machine(const Machine& master, MachineOptions options)
   const u64 entry = program_->symbols.contains("main")
                         ? program_->symbols.at("main")
                         : program_->base;
-  create_task(*processes_.back(), entry, /*arg=*/0, /*is_main=*/true);
+  Task& main_task =
+      create_task(*processes_.back(), entry, /*arg=*/0, /*is_main=*/true);
+  if (main_task.obs != nullptr) {
+    // Every mapped page starts out shared with the master; private_pages()
+    // grows from 0 only as this fork writes.
+    u64 pages_shared = 0;
+    for (const auto& region : processes_.back()->mem.regions()) {
+      pages_shared += (region.size + 4095) / 4096;
+    }
+    main_task.obs->machine_fork(processes_.back()->pid(), pages_shared,
+                                main_task.cpu().cycles());
+  }
 }
 
 void Machine::register_functions() {

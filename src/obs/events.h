@@ -31,9 +31,14 @@ enum class EventKind : u8 {
   kFaultInjected,    ///< a = inject::FaultKind, b = fault payload
   kWorkerRestart,    ///< a = worker slot, b = restart attempt number
   kBackoffWait,      ///< a = simulated cycles waited, b = restart attempt
+  kSpanBegin,        ///< async span open; a = request id, b = SpanName
+  kSpanEnd,          ///< async span close; a = request id, b = SpanName
+  kSpanInstant,      ///< async instant; a = request id, b = SpanName
+  kMachineFork,      ///< a = child pid, b = CoW pages shared at fork
+  kGauge,            ///< a = sampled value, b = GaugeId
 };
 
-inline constexpr std::size_t kNumEventKinds = 16;
+inline constexpr std::size_t kNumEventKinds = 21;
 
 /// Stable lowercase name used in trace output and documentation.
 [[nodiscard]] constexpr const char* event_name(EventKind kind) noexcept {
@@ -54,6 +59,58 @@ inline constexpr std::size_t kNumEventKinds = 16;
     case EventKind::kFaultInjected: return "fault_injected";
     case EventKind::kWorkerRestart: return "worker_restart";
     case EventKind::kBackoffWait: return "backoff_wait";
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kSpanInstant: return "span_instant";
+    case EventKind::kMachineFork: return "machine-fork";
+    case EventKind::kGauge: return "gauge";
+  }
+  return "unknown";
+}
+
+/// Request-lifecycle span and marker names (the serving fleet's stages).
+/// The first four open/close ranged spans; the rest are instant markers.
+/// All spans carrying the same request id form one Perfetto async track,
+/// so a request's whole lifecycle reads as one nested timeline.
+enum class SpanName : u8 {
+  kRequest = 0,  ///< admission to completion (the whole lifecycle)
+  kQueued,       ///< admitted, waiting for a free worker slot
+  kExecuting,    ///< one machine attempt is running the request
+  kBackoff,      ///< supervisor backoff between crash and restart
+  kAdmitted,     ///< instant: passed admission control
+  kRejected,     ///< instant: dropped by backpressure (queue full)
+  kForked,       ///< instant: a CoW machine was forked for an attempt
+  kCompleted,    ///< instant: request finished successfully
+  kCrashed,      ///< instant: the executing attempt died
+  kRestarted,    ///< instant: supervisor launched the next attempt
+};
+
+inline constexpr std::size_t kNumSpanNames = 10;
+
+[[nodiscard]] constexpr const char* span_name(SpanName name) noexcept {
+  switch (name) {
+    case SpanName::kRequest: return "request";
+    case SpanName::kQueued: return "queued";
+    case SpanName::kExecuting: return "executing";
+    case SpanName::kBackoff: return "backoff";
+    case SpanName::kAdmitted: return "admitted";
+    case SpanName::kRejected: return "rejected";
+    case SpanName::kForked: return "forked";
+    case SpanName::kCompleted: return "completed";
+    case SpanName::kCrashed: return "crashed";
+    case SpanName::kRestarted: return "restarted";
+  }
+  return "unknown";
+}
+
+/// Sampled fleet gauges, exported as Chrome counter ("C") events so
+/// Perfetto renders them as a time series alongside the request spans.
+enum class GaugeId : u8 { kQueueDepth = 0, kInFlight };
+
+[[nodiscard]] constexpr const char* gauge_name(GaugeId id) noexcept {
+  switch (id) {
+    case GaugeId::kQueueDepth: return "queue_depth";
+    case GaugeId::kInFlight: return "in_flight";
   }
   return "unknown";
 }

@@ -1,0 +1,82 @@
+#include "obs/loghist.h"
+
+#include <bit>
+#include <cassert>
+
+namespace acs::obs {
+
+namespace {
+
+/// Total bucket count for a given resolution: 2^sub exact buckets for
+/// values < 2^sub, then one octave of 2^sub sub-buckets per remaining
+/// power of two up to 2^63.
+[[nodiscard]] constexpr std::size_t total_buckets(unsigned sub_bits) {
+  return static_cast<std::size_t>(65 - sub_bits) << sub_bits;
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(unsigned sub_bits)
+    : sub_bits_(sub_bits), counts_(total_buckets(sub_bits), 0) {
+  assert(sub_bits >= 1 && sub_bits <= 12 &&
+         "LogHistogram: sub_bits outside sane resolution range");
+}
+
+std::size_t LogHistogram::bucket_index(u64 value) const noexcept {
+  const u64 sub = u64{1} << sub_bits_;
+  if (value < sub) return static_cast<std::size_t>(value);
+  // msb >= sub_bits; the top sub_bits+1 bits of the value select the
+  // octave and the sub-bucket within it.
+  const unsigned msb = 63U - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned shift = msb - sub_bits_;
+  const u64 sub_bucket = (value >> shift) & (sub - 1);
+  return static_cast<std::size_t>(
+      (static_cast<u64>(shift + 1) << sub_bits_) + sub_bucket);
+}
+
+u64 LogHistogram::bucket_upper_bound(std::size_t index) const noexcept {
+  const u64 sub = u64{1} << sub_bits_;
+  if (index < sub) return static_cast<u64>(index);
+  const unsigned shift =
+      static_cast<unsigned>(index >> sub_bits_) - 1U;  // octave
+  const u64 sub_bucket = static_cast<u64>(index) & (sub - 1);
+  const u64 low = (sub + sub_bucket) << shift;
+  return low + ((u64{1} << shift) - 1);
+}
+
+void LogHistogram::observe(u64 value) noexcept {
+  ++counts_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  assert(sub_bits_ == other.sub_bits_ &&
+         "LogHistogram::merge: resolution mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+u64 LogHistogram::quantile(u64 numerator, u64 denominator) const noexcept {
+  assert(denominator != 0 && numerator <= denominator);
+  if (count_ == 0) return 0;
+  // Rank of the quantile sample, 1-based: ceil(q * count), clamped to >= 1
+  // so p0 still returns the smallest recorded bucket.
+  u64 rank = (count_ * numerator + denominator - 1) / denominator;
+  if (rank == 0) rank = 1;
+  u64 seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(counts_.size() - 1);
+}
+
+}  // namespace acs::obs

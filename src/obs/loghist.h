@@ -1,0 +1,75 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// `LogHistogram` records unsigned 64-bit samples — simulated-cycle
+// latencies — into base-2 exponential buckets, each power of two split
+// into 2^sub_bits linear sub-buckets. Values below 2^sub_bits are exact;
+// above that the relative quantisation error is bounded by 2^-sub_bits
+// (~3% at the default sub_bits = 5). The bucket layout is a pure function
+// of sub_bits, so two histograms with the same resolution always merge by
+// element-wise addition: merge is associative, commutative, and bitwise
+// deterministic — exactly what the fixed-order fold trees in
+// `src/exec/parallel.h` need.
+//
+// Quantile extraction is integer-only (no floating point anywhere in the
+// recording or query path), so p50/p90/p99/p999 trajectories are bitwise
+// identical across --threads values and across hosts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acs::obs {
+
+class LogHistogram {
+ public:
+  /// `sub_bits` picks the resolution: 2^sub_bits sub-buckets per power of
+  /// two. The bucket array is fully allocated up front (covers all of
+  /// u64), so observe() never allocates.
+  explicit LogHistogram(unsigned sub_bits = kDefaultSubBits);
+
+  static constexpr unsigned kDefaultSubBits = 5;  ///< <= 3.2% rel. error
+
+  void observe(u64 value) noexcept;
+
+  /// Element-wise addition. Both histograms must have the same sub_bits
+  /// (asserted); the result is independent of merge order.
+  void merge(const LogHistogram& other) noexcept;
+
+  /// Value at quantile `numerator / denominator` (e.g. 999/1000 for p999):
+  /// the upper bound of the bucket holding the sample with rank
+  /// ceil(q * count). Returns 0 for an empty histogram. Integer-only.
+  [[nodiscard]] u64 quantile(u64 numerator, u64 denominator) const noexcept;
+
+  [[nodiscard]] u64 p50() const noexcept { return quantile(50, 100); }
+  [[nodiscard]] u64 p90() const noexcept { return quantile(90, 100); }
+  [[nodiscard]] u64 p99() const noexcept { return quantile(99, 100); }
+  [[nodiscard]] u64 p999() const noexcept { return quantile(999, 1000); }
+
+  [[nodiscard]] u64 count() const noexcept { return count_; }
+  [[nodiscard]] u64 sum() const noexcept { return sum_; }
+  [[nodiscard]] u64 min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] u64 max() const noexcept { return max_; }
+  [[nodiscard]] unsigned sub_bits() const noexcept { return sub_bits_; }
+
+  /// Bucket index for `value` — exposed for tests pinning the layout.
+  [[nodiscard]] std::size_t bucket_index(u64 value) const noexcept;
+
+  /// Largest value mapping to bucket `index` (what quantile() reports).
+  [[nodiscard]] u64 bucket_upper_bound(std::size_t index) const noexcept;
+
+  [[nodiscard]] const std::vector<u64>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  unsigned sub_bits_;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~u64{0};
+  u64 max_ = 0;
+  std::vector<u64> counts_;
+};
+
+}  // namespace acs::obs

@@ -8,7 +8,15 @@ Recorder::Recorder(RecorderConfig config)
 
 void Recorder::set_functions(
     std::vector<std::pair<u64, std::string>> entries) {
-  functions_ = std::make_unique<FunctionTable>(std::move(entries));
+  // Already-attached TaskProfiles hold a raw pointer into *functions_, so
+  // the table must be updated in place, never reallocated — a serving /
+  // fleet recorder sees one set_functions per CoW machine fork (all forks
+  // of one master carry the same symbols).
+  if (functions_ == nullptr) {
+    functions_ = std::make_unique<FunctionTable>(std::move(entries));
+  } else {
+    *functions_ = FunctionTable(std::move(entries));
+  }
 }
 
 TaskChannel* Recorder::attach(u64 pid, u64 tid, std::string name) {
@@ -57,6 +65,11 @@ Metrics Recorder::metrics() const {
     out.add("fleet.worker.restart", c.worker_restarts);
     out.add("fleet.backoff.wait", c.backoff_waits);
     out.add("fleet.backoff.cycles", c.backoff_cycles);
+    out.add("fleet.fork", c.forks);
+    out.add("fleet.cow_pages_copied", c.cow_pages_copied);
+    out.add("obs.span.begin", c.span_begins);
+    out.add("obs.span.instant", c.span_instants);
+    out.add("obs.gauge.sample", c.gauge_samples);
     out.histogram("sim.call.depth", depth_edges()).merge(c.call_depth);
     out.histogram("chain.depth", depth_edges()).merge(c.chain_depth);
   }

@@ -50,6 +50,8 @@ struct TaskCounters {
   u64 syscalls = 0, ctx_switches = 0, faults = 0, signals = 0;
   u64 faults_injected = 0, worker_restarts = 0, backoff_waits = 0;
   u64 backoff_cycles = 0;
+  u64 span_begins = 0, span_instants = 0;
+  u64 forks = 0, cow_pages_copied = 0, gauge_samples = 0;
   Histogram call_depth{depth_edges()};
   Histogram chain_depth{depth_edges()};
 };
@@ -194,6 +196,56 @@ class TaskChannel {
     }
   }
 
+  /// Request-lifecycle spans (docs/observability.md "Spans"). `request` is
+  /// the propagated request id — it becomes the Perfetto async-event id, so
+  /// every span a lifecycle emits with the same id lands on one async
+  /// track. Ranged stages use begin/end; markers use span_instant.
+  void span_begin(SpanName name, u64 request, u64 ts) {
+    if (counters_ != nullptr) ++counters_->span_begins;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kSpanBegin, ts, request,
+                   static_cast<u64>(name));
+    }
+  }
+
+  void span_end(SpanName name, u64 request, u64 ts) {
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kSpanEnd, ts, request, static_cast<u64>(name));
+    }
+  }
+
+  void span_instant(SpanName name, u64 request, u64 ts) {
+    if (counters_ != nullptr) ++counters_->span_instants;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kSpanInstant, ts, request,
+                   static_cast<u64>(name));
+    }
+  }
+
+  /// A CoW machine was forked from a master image (kernel::Machine's fork
+  /// constructor). `pages_shared` is the page count the child starts out
+  /// sharing with the master.
+  void machine_fork(u64 child_pid, u64 pages_shared, u64 ts) {
+    if (counters_ != nullptr) ++counters_->forks;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kMachineFork, ts, child_pid, pages_shared);
+    }
+  }
+
+  /// Pages a finished fork generation privatised before it was torn down
+  /// (AddressSpace::private_pages at end of run). Counter only.
+  void cow_pages(u64 pages_copied) {
+    if (counters_ != nullptr) counters_->cow_pages_copied += pages_copied;
+  }
+
+  /// Fixed-cadence gauge sample (queue depth, in-flight requests).
+  void gauge(GaugeId id, u64 value, u64 ts) {
+    if (counters_ != nullptr) ++counters_->gauge_samples;
+    if (track_ != nullptr) {
+      track_->emit(EventKind::kGauge, ts, value, static_cast<u64>(id));
+    }
+  }
+
   void signal_deliver(u64 signum, u64 handler, u64 ts) {
     if (counters_ != nullptr) ++counters_->signals;
     if (track_ != nullptr) {
@@ -228,8 +280,10 @@ class Recorder {
  public:
   explicit Recorder(RecorderConfig config = {});
 
-  /// Function table for profile symbolisation; set once before attaching
-  /// tasks (the kernel machine passes its program's function symbols).
+  /// Function table for profile symbolisation (the kernel machine passes
+  /// its program's function symbols). May be called again by later machine
+  /// forks attaching to the same recorder — the table is updated in place,
+  /// so channels attached earlier keep symbolising.
   void set_functions(std::vector<std::pair<u64, std::string>> entries);
 
   /// Create the channel for task (pid, tid). Pointers stay valid for the

@@ -39,7 +39,12 @@ namespace {
     case EventKind::kSignalDeliver: return "kernel";
     case EventKind::kFaultInjected: return "inject";
     case EventKind::kWorkerRestart:
-    case EventKind::kBackoffWait: return "fleet";
+    case EventKind::kBackoffWait:
+    case EventKind::kMachineFork: return "fleet";
+    case EventKind::kSpanBegin:
+    case EventKind::kSpanEnd:
+    case EventKind::kSpanInstant: return "request";
+    case EventKind::kGauge: return "serving";
   }
   return "sim";
 }
@@ -83,6 +88,15 @@ namespace {
     case EventKind::kBackoffWait:
       return "{\"cycles\": " + std::to_string(event.a) +
              ", \"attempt\": " + std::to_string(event.b) + "}";
+    case EventKind::kSpanBegin:
+    case EventKind::kSpanEnd:
+    case EventKind::kSpanInstant:
+      return "{\"request\": " + std::to_string(event.a) + "}";
+    case EventKind::kMachineFork:
+      return "{\"pid\": " + std::to_string(event.a) +
+             ", \"pages_shared\": " + std::to_string(event.b) + "}";
+    case EventKind::kGauge:
+      return "{\"value\": " + std::to_string(event.a) + "}";
   }
   return "{}";
 }
@@ -129,14 +143,42 @@ std::string TraceSink::to_chrome_json() const {
            "\"}}");
     for (const Event& event : track.ring().snapshot()) {
       std::string line = "{\"name\": \"";
-      line += event_name(event.kind);
+      // Span and gauge events are named by their stage / gauge rather than
+      // the event kind: Perfetto groups async events by (cat, id, name) and
+      // counter tracks by name.
+      switch (event.kind) {
+        case EventKind::kSpanBegin:
+        case EventKind::kSpanEnd:
+        case EventKind::kSpanInstant:
+          line += span_name(static_cast<SpanName>(event.b));
+          break;
+        case EventKind::kGauge:
+          line += gauge_name(static_cast<GaugeId>(event.b));
+          break;
+        default: line += event_name(event.kind); break;
+      }
       line += "\", \"cat\": \"";
       line += category(event.kind);
       line += "\", ";
-      if (event.kind == EventKind::kSyscall) {
-        line += "\"ph\": \"X\", \"dur\": " + us(event.dur, sim_hz_) + ", ";
-      } else {
-        line += "\"ph\": \"i\", \"s\": \"t\", ";
+      switch (event.kind) {
+        case EventKind::kSyscall:
+          line += "\"ph\": \"X\", \"dur\": " + us(event.dur, sim_hz_) + ", ";
+          break;
+        // Async (nestable) request spans: one async track per request id,
+        // lifecycle stages nest by timestamp within it.
+        case EventKind::kSpanBegin:
+          line += "\"ph\": \"b\", \"id\": \"" + hex(event.a) + "\", ";
+          break;
+        case EventKind::kSpanEnd:
+          line += "\"ph\": \"e\", \"id\": \"" + hex(event.a) + "\", ";
+          break;
+        case EventKind::kSpanInstant:
+          line += "\"ph\": \"n\", \"id\": \"" + hex(event.a) + "\", ";
+          break;
+        case EventKind::kGauge:
+          line += "\"ph\": \"C\", ";
+          break;
+        default: line += "\"ph\": \"i\", \"s\": \"t\", "; break;
       }
       line += "\"ts\": " + us(event.ts, sim_hz_) + ", " + ids +
               ", \"args\": " + args_json(event) + "}";

@@ -132,6 +132,11 @@ FleetResult run_worker_fleet(compiler::Scheme scheme, const FleetConfig& config,
         }
 
         SlotOutcome outcome;
+        if (supervisor != nullptr) {
+          // One request-lifecycle async track per slot: the slot index is
+          // the propagated request id.
+          supervisor->span_begin(obs::SpanName::kRequest, slot, 0);
+        }
         for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
           inject::Engine::Config engine_config;
           if (config.faults_per_million > 0) {
@@ -165,16 +170,31 @@ FleetResult run_worker_fleet(compiler::Scheme scheme, const FleetConfig& config,
                              : master_key_seed;
           options.recorder = recorder.get();
           options.injector = &engine;
+          const u64 attempt_start = outcome.wall_cycles;
           kernel::Machine machine(master, options);
           const kernel::Stop stop = machine.run(config.attempt_instr_budget);
           const auto& process = machine.init_process();
           outcome.wall_cycles += process.cycles();
           outcome.inj.merge(engine.summary());
+          if (supervisor != nullptr) {
+            // The executing span covers this generation in the slot's wall
+            // clock; the machine's own tracks carry the intra-attempt
+            // events (including the machine-fork marker at cycle 0).
+            supervisor->span_begin(obs::SpanName::kExecuting, slot,
+                                   attempt_start);
+            supervisor->span_end(obs::SpanName::kExecuting, slot,
+                                 outcome.wall_cycles);
+            supervisor->cow_pages(process.mem.private_pages());
+          }
 
           if (stop.reason != kernel::StopReason::kMaxInstructions &&
               process.state == kernel::ProcessState::kExited &&
               process.exit_code == 0) {
             outcome.completed = config.requests_per_worker;
+            if (supervisor != nullptr) {
+              supervisor->span_instant(obs::SpanName::kCompleted, slot,
+                                       outcome.wall_cycles);
+            }
             break;
           }
           const std::string cause =
@@ -184,6 +204,10 @@ FleetResult run_worker_fleet(compiler::Scheme scheme, const FleetConfig& config,
                          ? "hang"
                          : "exit-nonzero");
           ++outcome.crashes[cause];
+          if (supervisor != nullptr) {
+            supervisor->span_instant(obs::SpanName::kCrashed, slot,
+                                     outcome.wall_cycles);
+          }
           if (outcome.fail_detail.empty()) {
             outcome.fail_detail =
                 "pid " + std::to_string(process.pid()) + ", scheme " +
@@ -196,14 +220,25 @@ FleetResult run_worker_fleet(compiler::Scheme scheme, const FleetConfig& config,
           }
           ++outcome.restarts;
           const u64 backoff = backoff_cycles_for(policy, outcome.restarts);
+          const u64 backoff_start = outcome.wall_cycles;
           outcome.wall_cycles += backoff;
           outcome.backoff_cycles += backoff;
           if (supervisor != nullptr) {
+            supervisor->span_begin(obs::SpanName::kBackoff, slot,
+                                   backoff_start);
+            supervisor->span_end(obs::SpanName::kBackoff, slot,
+                                 outcome.wall_cycles);
             supervisor->worker_restart(slot, attempt + 1,
                                        outcome.wall_cycles);
             supervisor->backoff_wait(backoff, attempt + 1,
                                      outcome.wall_cycles);
+            supervisor->span_instant(obs::SpanName::kRestarted, slot,
+                                     outcome.wall_cycles);
           }
+        }
+        if (supervisor != nullptr) {
+          supervisor->span_end(obs::SpanName::kRequest, slot,
+                               outcome.wall_cycles);
         }
 
         if (recorder != nullptr) {

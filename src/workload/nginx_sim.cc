@@ -74,6 +74,58 @@ compiler::ProgramIr make_worker_ir(u64 requests, u64 jitter_seed) {
   return builder.build(worker);
 }
 
+compiler::ProgramIr make_request_ir(u64 work_units, u64 jitter_seed) {
+  Rng rng(jitter_seed);
+  const auto jitter = [&rng](u64 base) {
+    return base - base / 20 + rng.next_below(base / 10 + 1);
+  };
+
+  compiler::IrBuilder builder;
+
+  // Same helper shape as make_worker_ir; only the handshake's MAC-block
+  // count scales with the request size class.
+  const auto scan = builder.begin_function("ngx$scan");
+  builder.compute(jitter(18));
+  const auto copy = builder.begin_function("ngx$copy");
+  builder.compute(jitter(12));
+  const auto cipher_round = builder.begin_function("ngx$cipher_round");
+  builder.compute(jitter(22));
+  const auto mac_block = builder.begin_function("ngx$mac_block");
+  builder.call(cipher_round, 2);
+  builder.compute(jitter(18));
+
+  const auto parse = builder.begin_function("ngx$parse", 128);
+  builder.store_local(0, 0x47455420);  // "GET "
+  builder.call(scan, 6);
+  builder.call(copy, 2);
+  builder.compute(jitter(60));
+
+  const auto kdf = builder.begin_function("ngx$kdf");
+  builder.call(mac_block, 4);
+  const auto key_exchange = builder.begin_function("ngx$key_exchange");
+  builder.compute(jitter(420));
+  builder.call(kdf);
+  const auto handshake = builder.begin_function("ngx$handshake");
+  builder.call(key_exchange);
+  builder.call(mac_block, std::max<u64>(1, work_units));
+
+  const auto respond = builder.begin_function("ngx$respond", 64);
+  builder.store_local(0, 0x200);
+  builder.call(copy, 2);
+  builder.compute(jitter(40));
+
+  const auto handle = builder.begin_function("ngx$handle_request");
+  builder.call(parse);
+  builder.call(handshake);
+  builder.call(respond);
+
+  const auto request_main = builder.begin_function("ngx$request_main");
+  builder.call(handle);
+  builder.write_int(1);  // completion marker
+
+  return builder.build(request_main);
+}
+
 namespace {
 
 struct WorkerOutcome {

@@ -57,6 +57,14 @@ struct NginxObs {
 /// Build one worker's program with a jittered request mix.
 [[nodiscard]] compiler::ProgramIr make_worker_ir(u64 requests, u64 jitter_seed);
 
+/// Build a single-request program for the fork-per-request serving model
+/// (ROADMAP item 2, src/workload/serving.h): the same parse → handshake →
+/// respond shape as make_worker_ir, but serving exactly one request whose
+/// handshake drives `work_units` MAC blocks — the request-size knob that
+/// gives the serving simulation its heavy-tailed service distribution.
+[[nodiscard]] compiler::ProgramIr make_request_ir(u64 work_units,
+                                                  u64 jitter_seed);
+
 /// Run the full experiment for one scheme. Throws std::runtime_error if any
 /// simulated worker fails to exit cleanly (crash, kill, deadlock) — a
 /// crashed worker must never contribute to the TPS estimate. When `out_obs`

@@ -1,0 +1,183 @@
+#include "obs/loghist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace acs::obs {
+namespace {
+
+// --- bucket layout --------------------------------------------------------
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  // Below 2^sub_bits every value owns its own bucket: the reported
+  // quantile is the value itself, no rounding.
+  LogHistogram hist;  // sub_bits = 5 -> values < 32 exact
+  for (u64 v = 0; v < 32; ++v) {
+    EXPECT_EQ(hist.bucket_upper_bound(hist.bucket_index(v)), v) << v;
+  }
+}
+
+TEST(LogHistogram, BucketBoundsCoverAllOfU64) {
+  // Every value maps into a bucket whose [.., upper] range contains it,
+  // indices are monotone in the value, and the extremes don't overflow.
+  LogHistogram hist;
+  const u64 probes[] = {0,
+                        31,
+                        32,
+                        33,
+                        1000,
+                        4096,
+                        123456789,
+                        u64{1} << 40,
+                        (u64{1} << 63) + 5,
+                        std::numeric_limits<u64>::max()};
+  std::size_t last_index = 0;
+  for (const u64 v : probes) {
+    const std::size_t index = hist.bucket_index(v);
+    EXPECT_GE(hist.bucket_upper_bound(index), v) << v;
+    EXPECT_GE(index, last_index) << v;
+    last_index = index;
+  }
+  EXPECT_EQ(hist.bucket_upper_bound(
+                hist.bucket_index(std::numeric_limits<u64>::max())),
+            std::numeric_limits<u64>::max());
+}
+
+TEST(LogHistogram, RelativeErrorBoundedBySubBits) {
+  // Above the exact range the bucket upper bound overshoots the true value
+  // by at most 2^-sub_bits relative (the HdrHistogram guarantee).
+  LogHistogram hist;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const u64 v = rng.next() | 32;  // keep out of the exact range
+    const u64 bound = hist.bucket_upper_bound(hist.bucket_index(v));
+    ASSERT_GE(bound, v);
+    ASSERT_LE(bound - v, v / 32 + 1) << v;
+  }
+}
+
+// --- quantiles ------------------------------------------------------------
+
+TEST(LogHistogram, QuantilesMatchExactRanksOnSmallValues) {
+  // 100 samples of 0..99 won't all be exact (values >= 32 quantise), but
+  // 1..20 are: p50 of {1..20} is 10, p90 is 18, p100 is 20.
+  LogHistogram hist;
+  for (u64 v = 1; v <= 20; ++v) hist.observe(v);
+  EXPECT_EQ(hist.quantile(50, 100), 10U);
+  EXPECT_EQ(hist.quantile(90, 100), 18U);
+  EXPECT_EQ(hist.quantile(100, 100), 20U);
+  EXPECT_EQ(hist.quantile(1, 100), 1U);  // rank clamps to the first sample
+}
+
+TEST(LogHistogram, QuantilesAreMonotoneAndBracketedByMinMax) {
+  LogHistogram hist;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) hist.observe(rng.next() >> (i % 50));
+  u64 last = 0;
+  for (u64 pct = 1; pct <= 100; ++pct) {
+    const u64 q = hist.quantile(pct, 100);
+    EXPECT_GE(q, last);
+    last = q;
+  }
+  EXPECT_GE(hist.quantile(1, 100), hist.min());
+  // The top quantile reports max's bucket bound: >= max, within slack.
+  EXPECT_GE(hist.quantile(1000, 1000), hist.max());
+  EXPECT_LE(hist.quantile(1000, 1000) - hist.max(), hist.max() / 32 + 1);
+}
+
+TEST(LogHistogram, EmptyHistogramIsAllZero) {
+  const LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0U);
+  EXPECT_EQ(hist.sum(), 0U);
+  EXPECT_EQ(hist.min(), 0U);
+  EXPECT_EQ(hist.max(), 0U);
+  EXPECT_EQ(hist.p50(), 0U);
+  EXPECT_EQ(hist.p999(), 0U);
+}
+
+// --- merge: associative, commutative, deterministic -----------------------
+
+std::vector<u64> sample_stream(u64 seed, int n) {
+  Rng rng(seed);
+  std::vector<u64> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.next() >> (rng.next() % 48));
+  return out;
+}
+
+LogHistogram from(const std::vector<u64>& samples) {
+  LogHistogram hist;
+  for (const u64 v : samples) hist.observe(v);
+  return hist;
+}
+
+void expect_identical(const LogHistogram& a, const LogHistogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.counts(), b.counts());  // bitwise: the full bucket array
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndCommutative) {
+  const auto sa = sample_stream(1, 400);
+  const auto sb = sample_stream(2, 300);
+  const auto sc = sample_stream(3, 500);
+
+  // (a + b) + c
+  LogHistogram left = from(sa);
+  left.merge(from(sb));
+  left.merge(from(sc));
+  // a + (b + c)
+  LogHistogram bc = from(sb);
+  bc.merge(from(sc));
+  LogHistogram right = from(sa);
+  right.merge(bc);
+  // c + b + a
+  LogHistogram reversed = from(sc);
+  reversed.merge(from(sb));
+  reversed.merge(from(sa));
+
+  expect_identical(left, right);
+  expect_identical(left, reversed);
+
+  // And all equal the histogram of the concatenated stream.
+  std::vector<u64> all = sa;
+  all.insert(all.end(), sb.begin(), sb.end());
+  all.insert(all.end(), sc.begin(), sc.end());
+  expect_identical(left, from(all));
+}
+
+TEST(LogHistogram, MergeMatchesShardedRecordingAnyWay) {
+  // Shard one stream across 7 histograms round-robin, merge in two
+  // different orders: both must equal direct recording. This is the
+  // parallel_map_trials fold-tree contract.
+  const auto samples = sample_stream(42, 7000);
+  std::vector<LogHistogram> shards(7);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    shards[i % 7].observe(samples[i]);
+  }
+  LogHistogram forward;
+  for (const auto& shard : shards) forward.merge(shard);
+  LogHistogram backward;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    backward.merge(*it);
+  }
+  expect_identical(forward, backward);
+  expect_identical(forward, from(samples));
+}
+
+TEST(LogHistogram, ObservationOrderIsIrrelevant) {
+  auto samples = sample_stream(8, 2000);
+  const LogHistogram in_order = from(samples);
+  std::sort(samples.begin(), samples.end());
+  expect_identical(in_order, from(samples));
+}
+
+}  // namespace
+}  // namespace acs::obs

@@ -124,6 +124,37 @@ TEST(RecorderMachineTest, MetricsOffYieldsEmptyShard) {
   EXPECT_FALSE(run.folded.empty());
 }
 
+TEST(RecorderMachineTest, RepeatedMachineAttachKeepsEarlierProfilesValid) {
+  // The serving/fleet idiom: one recorder outlives many CoW machine forks,
+  // each of which calls set_functions on attach. Channels attached before
+  // a later fork (the supervisor/request channel, earlier attempts' tasks)
+  // must keep symbolising — the table has to be updated in place, not
+  // reallocated under their TaskProfile pointers.
+  const auto program = compiler::compile_ir(call_heavy_ir(),
+                                            {.scheme = compiler::Scheme::kPacStack});
+  obs::Recorder recorder(
+      obs::RecorderConfig{.metrics = true, .trace = false, .profile = true});
+  // Attach a channel before any machine exists (empty function table).
+  (void)recorder.attach(0, 0, "supervisor");
+  std::string first_folded;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    kernel::MachineOptions options;
+    options.recorder = &recorder;
+    kernel::Machine machine(program, options);
+    machine.run();
+    EXPECT_EQ(machine.init_process().state, kernel::ProcessState::kExited);
+    // Folding walks every attached TaskProfile, including the ones from
+    // prior attempts — this dereferenced a dangling FunctionTable before.
+    const std::string folded = recorder.profile().folded();
+    EXPECT_NE(folded.find("leaf"), std::string::npos);
+    if (attempt == 0) first_folded = folded;
+  }
+  // Three identical attempts attribute three times the first attempt's
+  // stacks, all still symbolised through the shared table.
+  EXPECT_NE(recorder.profile().folded().find("mid"), std::string::npos);
+  EXPECT_FALSE(first_folded.empty());
+}
+
 TEST(RecorderMachineTest, IdenticalRunsProduceIdenticalObservations) {
   const RunResult a = run_with_recorder(compiler::Scheme::kPacStack);
   const RunResult b = run_with_recorder(compiler::Scheme::kPacStack);

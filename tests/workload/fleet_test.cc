@@ -161,5 +161,82 @@ TEST(Fleet, BackoffFollowsTheExponentialPolicy) {
             result.injected.at("budget-exhaust"));
 }
 
+// --- churn trace export ---------------------------------------------------
+
+TEST(Fleet, ChurnTraceExportsLifecycleEventsDeterministically) {
+  // One slot walking the full restart ladder under budget-exhaust faults:
+  // the traced timeline must carry the whole churn story — CoW fork per
+  // attempt, crash, backoff span + wait, rekey restart — in emission
+  // order, and replay byte-identically.
+  const auto run = [] {
+    FleetConfig config;
+    config.workers = 1;
+    config.repeats = 1;
+    config.requests_per_worker = 40;
+    config.seed = 5;
+    config.policy.mode = RestartMode::kRestartRekey;
+    config.policy.max_restarts = 3;
+    config.policy.backoff_initial_cycles = 1000;
+    config.faults_per_million = 1000;
+    config.fault_kinds = {inject::FaultKind::kBudgetExhaust};
+    config.trace_first_trial = true;
+    NginxObs obs;
+    (void)run_worker_fleet(Scheme::kPacStack, config, &obs);
+    return obs.trace_json;
+  };
+  const std::string trace = run();
+  ASSERT_FALSE(trace.empty());
+
+  // All four churn event families are present (async spans + instants +
+  // the counter-adjacent worker events + the fork event from the CoW
+  // Machine constructor).
+  for (const char* needle :
+       {"\"name\": \"machine-fork\"", "\"name\": \"request\"",
+        "\"name\": \"executing\"", "\"name\": \"crashed\"",
+        "\"name\": \"backoff\"", "\"name\": \"worker_restart\"",
+        "\"name\": \"backoff_wait\"", "\"name\": \"restarted\"",
+        "\"pages_shared\""}) {
+    EXPECT_NE(trace.find(needle), std::string::npos) << needle;
+  }
+
+  // Emission order within one generation: crash -> backoff span ->
+  // restart -> backoff wait -> rekeyed generation marker.
+  const std::size_t crashed = trace.find("\"name\": \"crashed\"");
+  const std::size_t backoff = trace.find("\"name\": \"backoff\"", crashed);
+  const std::size_t restart = trace.find("\"name\": \"worker_restart\"",
+                                         backoff);
+  const std::size_t wait = trace.find("\"name\": \"backoff_wait\"", restart);
+  const std::size_t restarted = trace.find("\"name\": \"restarted\"", wait);
+  EXPECT_NE(crashed, std::string::npos);
+  EXPECT_NE(backoff, std::string::npos);
+  EXPECT_NE(restart, std::string::npos);
+  EXPECT_NE(wait, std::string::npos);
+  EXPECT_NE(restarted, std::string::npos);
+
+  // Deterministic export: a second identical campaign replays the same
+  // bytes.
+  EXPECT_EQ(trace, run());
+}
+
+TEST(Fleet, ForkCountersMatchAttempts) {
+  // Every attempt CoW-forks the slot's master image: fleet.fork must
+  // count slots + restarts, and the privatised-page counter is non-zero
+  // because workers write their stacks and heaps.
+  FleetConfig config;
+  config.workers = 2;
+  config.repeats = 1;
+  config.requests_per_worker = 30;
+  config.seed = 13;
+  config.policy.mode = RestartMode::kRestartRekey;
+  config.policy.max_restarts = 4;
+  config.faults_per_million = 80;
+  config.collect_metrics = true;
+  NginxObs obs;
+  const auto result = run_worker_fleet(Scheme::kPacStack, config, &obs);
+  EXPECT_EQ(obs.metrics.counter("fleet.fork"),
+            result.total_slots + result.restarts);
+  EXPECT_GT(obs.metrics.counter("fleet.cow_pages_copied"), 0U);
+}
+
 }  // namespace
 }  // namespace acs::workload

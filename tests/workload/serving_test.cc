@@ -1,0 +1,195 @@
+#include "workload/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace acs::workload {
+namespace {
+
+using compiler::Scheme;
+
+ServingConfig base_config() {
+  ServingConfig config;
+  config.workers = 3;
+  config.requests = 50;
+  config.load_percent = 80;
+  config.queue_capacity = 16;
+  config.seed = 11;
+  return config;
+}
+
+// --- accounting -----------------------------------------------------------
+
+TEST(Serving, FaultFreeRunCompletesEveryAdmittedRequest) {
+  const auto result = run_serving_simulation(Scheme::kPacStack, base_config());
+  EXPECT_EQ(result.requests, 50U);
+  EXPECT_EQ(result.admitted + result.rejected, result.requests);
+  EXPECT_EQ(result.completed, result.admitted);
+  EXPECT_EQ(result.failed, 0U);
+  EXPECT_EQ(result.crashed_attempts, 0U);
+  EXPECT_EQ(result.restarts, 0U);
+  // One CoW fork per attempt = one per admitted request when nothing
+  // crashes (calibration forks are not charged to the campaign).
+  EXPECT_EQ(result.forks, result.admitted);
+  EXPECT_EQ(result.latency.count(), result.completed);
+  EXPECT_EQ(result.queue_wait.count(), result.admitted);
+  EXPECT_GT(result.throughput_rps, 0.0);
+  EXPECT_GT(result.mean_service_cycles, 0U);
+  EXPECT_GT(result.mean_interarrival_cycles, 0U);
+}
+
+TEST(Serving, LatencyDominatesQueueWaitAndService) {
+  // latency = queue wait + attempt time, so the percentiles must order:
+  // p50 latency >= p50 service and >= p50 queue wait (upper-bound slack
+  // aside, dominance holds bucket-wise because every latency sample is
+  // >= its service and wait parts).
+  const auto result = run_serving_simulation(Scheme::kPacStack, base_config());
+  EXPECT_GE(result.latency.p50(), result.service.p50());
+  EXPECT_GE(result.latency.p99(), result.service.p99());
+  EXPECT_GE(result.latency.p50(), result.queue_wait.p50());
+  // Percentile monotonicity within one histogram.
+  EXPECT_LE(result.latency.p50(), result.latency.p90());
+  EXPECT_LE(result.latency.p90(), result.latency.p99());
+  EXPECT_LE(result.latency.p99(), result.latency.p999());
+}
+
+// --- backpressure ---------------------------------------------------------
+
+TEST(Serving, SaturationWithTinyQueueRejects) {
+  // 140% offered load into a 2-deep queue must trip admission control,
+  // and rejected requests are not served or latency-sampled.
+  ServingConfig config = base_config();
+  config.workers = 2;
+  config.requests = 80;
+  config.load_percent = 140;
+  config.queue_capacity = 2;
+  const auto result = run_serving_simulation(Scheme::kPacStack, config);
+  EXPECT_GT(result.rejected, 0U);
+  EXPECT_EQ(result.admitted + result.rejected, result.requests);
+  EXPECT_EQ(result.completed, result.admitted);
+  EXPECT_EQ(result.latency.count(), result.completed);
+  EXPECT_LE(result.queue_depth_max, 2U);
+  EXPECT_LE(result.inflight_max, 2U);
+}
+
+// --- faults: crash, backoff, restart --------------------------------------
+
+TEST(Serving, FaultsCauseRestartsAndStretchTheTail) {
+  ServingConfig config = base_config();
+  config.requests = 80;
+  config.faults_per_million = 300;  // roughly one fault per few attempts
+  config.backoff_initial_cycles = 10'000;
+  const auto clean = run_serving_simulation(Scheme::kPacStack, base_config());
+  const auto faulted = run_serving_simulation(Scheme::kPacStack, config);
+  EXPECT_GT(faulted.crashed_attempts, 0U);
+  EXPECT_GT(faulted.restarts, 0U);
+  EXPECT_GT(faulted.backoff_cycles, 0U);
+  // Every restart is an extra fork beyond the per-request one.
+  EXPECT_EQ(faulted.forks, faulted.admitted + faulted.restarts);
+  // A restarted request pays its backoff in latency: the faulted tail
+  // must sit above the clean tail.
+  EXPECT_GT(faulted.latency.p999(), clean.latency.p999());
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST(Serving, ResultsAreThreadCountInvariant) {
+  const auto run = [](unsigned threads) {
+    ServingConfig config;
+    config.workers = 3;
+    config.requests = 60;
+    config.load_percent = 110;
+    config.queue_capacity = 8;
+    config.faults_per_million = 200;
+    config.backoff_initial_cycles = 5'000;
+    config.seed = 23;
+    config.threads = threads;
+    config.collect_metrics = true;
+    config.trace = true;
+    return run_serving_simulation(Scheme::kPacStack, config);
+  };
+  const auto a = run(1);
+  const auto b = run(3);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.crashed_attempts, b.crashed_attempts);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.backoff_cycles, b.backoff_cycles);
+  EXPECT_EQ(a.forks, b.forks);
+  EXPECT_EQ(a.cow_pages_copied, b.cow_pages_copied);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.queue_depth_max, b.queue_depth_max);
+  EXPECT_EQ(a.gauge_samples, b.gauge_samples);
+  // The full percentile trajectory, bitwise (bucket arrays included).
+  EXPECT_EQ(a.latency.counts(), b.latency.counts());
+  EXPECT_EQ(a.queue_wait.counts(), b.queue_wait.counts());
+  EXPECT_EQ(a.service.counts(), b.service.counts());
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_EQ(a.metrics, b.metrics);
+  // The span/gauge timeline replays to the byte.
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_FALSE(a.trace_json.empty());
+}
+
+// --- span export ----------------------------------------------------------
+
+TEST(Serving, TraceCarriesTheRequestLifecycleSpans) {
+  ServingConfig config = base_config();
+  config.requests = 40;
+  config.load_percent = 130;
+  config.queue_capacity = 3;
+  config.faults_per_million = 300;
+  config.backoff_initial_cycles = 5'000;
+  config.trace = true;
+  const auto result = run_serving_simulation(Scheme::kPacStack, config);
+  ASSERT_FALSE(result.trace_json.empty());
+  // Async span begin/end with the request id propagated, plus the full
+  // crash -> backoff -> restart chain and both counter tracks.
+  for (const char* needle :
+       {"\"name\": \"request\", \"cat\": \"request\", \"ph\": \"b\"",
+        "\"name\": \"request\", \"cat\": \"request\", \"ph\": \"e\"",
+        "\"name\": \"queued\"", "\"name\": \"executing\"",
+        "\"name\": \"admitted\"", "\"name\": \"forked\"",
+        "\"name\": \"completed\"", "\"name\": \"crashed\"",
+        "\"name\": \"backoff\"", "\"name\": \"restarted\"",
+        "\"name\": \"rejected\"",
+        "\"name\": \"queue_depth\", \"cat\": \"serving\", \"ph\": \"C\"",
+        "\"name\": \"in_flight\"", "\"id\": \"0x1\""}) {
+    EXPECT_NE(result.trace_json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_GT(result.gauge_samples, 0U);
+}
+
+TEST(Serving, MetricsFoldSpanAndGaugeCounters) {
+  ServingConfig config = base_config();
+  config.collect_metrics = true;
+  config.trace = true;
+  const auto result = run_serving_simulation(Scheme::kPacStack, config);
+  EXPECT_EQ(result.metrics.counter("fleet.fork"), result.forks);
+  EXPECT_EQ(result.metrics.counter("fleet.cow_pages_copied"),
+            result.cow_pages_copied);
+  EXPECT_GT(result.metrics.counter("obs.span.begin"), 0U);
+  EXPECT_EQ(result.metrics.counter("obs.gauge.sample"),
+            result.gauge_samples * 2);  // queue depth + in-flight tracks
+}
+
+// --- configuration errors -------------------------------------------------
+
+TEST(Serving, ZeroWorkersOrRequestsThrow) {
+  ServingConfig config = base_config();
+  config.workers = 0;
+  EXPECT_THROW((void)run_serving_simulation(Scheme::kPacStack, config),
+               std::runtime_error);
+  ServingConfig config2 = base_config();
+  config2.requests = 0;
+  EXPECT_THROW((void)run_serving_simulation(Scheme::kPacStack, config2),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace acs::workload

@@ -1,0 +1,88 @@
+// acs-bench-diff — the bench regression gate (docs/bench-output.md
+// "Comparing trajectories"). Compares two BENCH_*.json files, prints a
+// machine-readable verdict document to stdout, and exits:
+//   0  every compared key within the relative threshold
+//   1  regression (a key changed beyond the threshold, or a baseline key
+//      disappeared)
+//   2  usage error / unreadable or malformed input
+//
+//   acs-bench-diff BASELINE.json CURRENT.json [--threshold=0.10]
+//                  [--ignore=KEY]...
+//
+// Host-timing keys (wall_seconds, threads, instr/sec rates) are always
+// ignored; --ignore adds more leaf keys, e.g. a metric made noisy by a
+// deliberate experiment change.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/diff.h"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: acs-bench-diff BASELINE.json CURRENT.json\n"
+               "                      [--threshold=FRACTION] [--ignore=KEY]\n"
+               "exit: 0 = within thresholds, 1 = regression, 2 = error\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  acs::bench::DiffOptions options;
+  const char* paths[2] = {nullptr, nullptr};
+  int n_paths = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) {
+      usage(stdout);
+      return 0;
+    }
+    if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      char* end = nullptr;
+      options.threshold = std::strtod(arg + 12, &end);
+      if (end == arg + 12 || *end != '\0' || options.threshold < 0) {
+        std::fprintf(stderr, "acs-bench-diff: bad --threshold value '%s'\n",
+                     arg + 12);
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(arg, "--ignore=", 9) == 0) {
+      if (arg[9] == '\0') {
+        std::fprintf(stderr, "acs-bench-diff: empty --ignore key\n");
+        return 2;
+      }
+      options.ignored_keys.emplace_back(arg + 9);
+      continue;
+    }
+    if (arg[0] == '-') {
+      std::fprintf(stderr, "acs-bench-diff: unknown flag '%s'\n", arg);
+      usage(stderr);
+      return 2;
+    }
+    if (n_paths == 2) {
+      std::fprintf(stderr, "acs-bench-diff: too many paths\n");
+      usage(stderr);
+      return 2;
+    }
+    paths[n_paths++] = arg;
+  }
+  if (n_paths != 2) {
+    usage(stderr);
+    return 2;
+  }
+
+  std::string out;
+  const int rc =
+      acs::bench::diff_files(paths[0], paths[1], options, &out);
+  if (rc == 2) {
+    std::fprintf(stderr, "acs-bench-diff: %s\n", out.c_str());
+    return 2;
+  }
+  std::fputs(out.c_str(), stdout);
+  return rc;
+}

@@ -1,7 +1,7 @@
 // bench_json_check — validates machine-readable observability/bench output.
 // Used by the bench_smoke and obs ctest targets; exits 0 iff every file
-// passes. No third-party JSON dependency: the parser below covers the full
-// JSON grammar in ~100 lines.
+// passes. No third-party JSON dependency: the shared ~150-line parser in
+// bench/json_view.h covers the full JSON grammar.
 //
 //   bench_json_check PATH [PATH...]            BENCH_*.json trajectories
 //                                              (schema: docs/bench-output.md,
@@ -11,212 +11,22 @@
 //                                              (docs/observability.md)
 //   bench_json_check --folded-file PATH [...]  folded-stack profiles
 //                                              ("frame;frame cycles" lines)
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <variant>
-#include <vector>
+
+#include "bench/json_view.h"
 
 namespace {
 
-struct Value;
-using Object = std::map<std::string, Value>;
-using Array = std::vector<Value>;
-
-struct Value {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<Array>, std::shared_ptr<Object>>
-      data = nullptr;
-
-  [[nodiscard]] bool is_number() const {
-    return std::holds_alternative<double>(data);
-  }
-  [[nodiscard]] bool is_string() const {
-    return std::holds_alternative<std::string>(data);
-  }
-  [[nodiscard]] bool is_bool() const {
-    return std::holds_alternative<bool>(data);
-  }
-  [[nodiscard]] const Array* array() const {
-    const auto* p = std::get_if<std::shared_ptr<Array>>(&data);
-    return p ? p->get() : nullptr;
-  }
-  [[nodiscard]] const Object* object() const {
-    const auto* p = std::get_if<std::shared_ptr<Object>>(&data);
-    return p ? p->get() : nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string text) : text_(std::move(text)) {}
-
-  Value parse() {
-    Value v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("offset " + std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (text_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  Value parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return Value{parse_string()};
-    if (consume_literal("true")) return Value{true};
-    if (consume_literal("false")) return Value{false};
-    if (consume_literal("null")) return Value{nullptr};
-    return parse_number();
-  }
-
-  Value parse_object() {
-    expect('{');
-    auto object = std::make_shared<Object>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return Value{object};
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      (*object)[std::move(key)] = parse_value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return Value{object};
-    }
-  }
-
-  Value parse_array() {
-    expect('[');
-    auto array = std::make_shared<Array>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return Value{array};
-    }
-    while (true) {
-      array->push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return Value{array};
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-              fail("bad \\u escape");
-            }
-          }
-          // Validation only: keep the escape verbatim rather than decoding.
-          out += "\\u" + text_.substr(pos_, 4);
-          pos_ += 4;
-          break;
-        }
-        default: fail("bad escape character");
-      }
-    }
-  }
-
-  Value parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    try {
-      std::size_t used = 0;
-      const double parsed = std::stod(text_.substr(start, pos_ - start), &used);
-      if (used != pos_ - start) throw std::invalid_argument("partial");
-      return Value{parsed};
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
-
-const Value* find(const Object& object, const std::string& key) {
-  const auto it = object.find(key);
-  return it == object.end() ? nullptr : &it->second;
-}
+using acs::bench::json::Array;
+using acs::bench::json::Object;
+using acs::bench::json::Parser;
+using acs::bench::json::Value;
+using acs::bench::json::find;
 
 /// Array of numbers check; returns the element count via `n`.
 bool numeric_array(const Value* v, std::size_t& n) {
@@ -408,6 +218,72 @@ std::string check_lint_section(const Value& lint) {
   return {};
 }
 
+/// Validate the optional "serving" section (serving-simulation totals, see
+/// docs/bench-output.md): numeric counters, accounting identities
+/// (admitted + rejected == requests; completed + failed <= admitted), and a
+/// {tag: summary} "latency" map whose percentile summaries must be
+/// monotone (p50 <= p90 <= p99 <= p999 <= max).
+std::string check_serving_section(const Value& serving) {
+  const Object* top = serving.object();
+  if (top == nullptr) return "'serving' is not an object";
+
+  for (const char* key :
+       {"requests", "admitted", "rejected", "completed", "failed",
+        "crashed_attempts", "restarts", "forks", "cow_pages_copied",
+        "queue_depth_max", "inflight_max", "gauge_samples"}) {
+    const Value* v = find(*top, key);
+    if (v == nullptr || !v->is_number()) {
+      return std::string("'serving.") + key + "' missing or not a number";
+    }
+  }
+
+  const double requests = find(*top, "requests")->number();
+  const double admitted = find(*top, "admitted")->number();
+  const double rejected = find(*top, "rejected")->number();
+  const double completed = find(*top, "completed")->number();
+  const double failed = find(*top, "failed")->number();
+  if (admitted + rejected != requests) {
+    return "'serving' admission accounting broken "
+           "(admitted + rejected != requests)";
+  }
+  if (completed + failed > admitted) {
+    return "'serving' completion accounting broken "
+           "(completed + failed > admitted)";
+  }
+
+  const Value* latency = find(*top, "latency");
+  if (latency == nullptr || latency->object() == nullptr) {
+    return "'serving.latency' missing or not an object";
+  }
+  for (const auto& [tag, value] : *latency->object()) {
+    const std::string where = "'serving.latency." + tag + "'";
+    const Object* summary = value.object();
+    if (summary == nullptr) return where + " is not an object";
+    for (const char* key : {"p50", "p90", "p99", "p999", "max", "count"}) {
+      const Value* v = find(*summary, key);
+      if (v == nullptr || !v->is_number()) {
+        return where + " lacks numeric '" + key + "'";
+      }
+    }
+    const double p50 = find(*summary, "p50")->number();
+    const double p90 = find(*summary, "p90")->number();
+    const double p99 = find(*summary, "p99")->number();
+    const double p999 = find(*summary, "p999")->number();
+    const double max = find(*summary, "max")->number();
+    const double count = find(*summary, "count")->number();
+    if (count > 0 && !(p50 <= p90 && p90 <= p99 && p99 <= p999)) {
+      return where + " percentiles are not monotone";
+    }
+    // LogHistogram quantiles are bucket upper bounds, so each percentile
+    // may exceed the exact maximum only by its bucket's rounding slack
+    // (< 1/32 relative at the default sub-bucket resolution).
+    if (count > 0 && p999 > max + max / 32 + 1) {
+      return where + " p999 exceeds max beyond bucket rounding";
+    }
+  }
+  return {};
+}
+
 /// Validate a Chrome trace-event JSON document (the --trace output of the
 /// benches and acs-run): {"traceEvents": [...]} where every event carries
 /// a string name/ph, integer pid/tid, and — except for "M" metadata — a
@@ -500,6 +376,11 @@ std::string check_schema(const Value& root) {
 
   if (const Value* lint = find(*top, "lint")) {
     std::string error = check_lint_section(*lint);
+    if (!error.empty()) return error;
+  }
+
+  if (const Value* serving = find(*top, "serving")) {
+    std::string error = check_serving_section(*serving);
     if (!error.empty()) return error;
   }
 

@@ -1,0 +1,57 @@
+# Gate-integrity check for acs-bench-diff: the regression gate must
+# actually be able to fail. Against the checked-in reference trajectory:
+#   1. reference vs itself            -> exit 0, verdict "ok"
+#   2. reference vs a synthetically   -> exit 1, verdict "regression"
+#      regressed copy (a tail percentile inflated 100x)
+#   3. reference vs malformed JSON    -> exit 2
+# Inputs: -DDIFF=<acs-bench-diff> -DREFERENCE=<baseline json>
+#         -DSCRATCH=<scratch dir>
+
+if(NOT DEFINED DIFF OR NOT DEFINED REFERENCE OR NOT DEFINED SCRATCH)
+  message(FATAL_ERROR "run_diff_gate.cmake needs DIFF, REFERENCE, SCRATCH")
+endif()
+
+# 1. Self-diff must pass.
+execute_process(
+  COMMAND "${DIFF}" "${REFERENCE}" "${REFERENCE}" --threshold=0.5
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "acs-bench-diff flagged a file against itself (exit ${rc})\n"
+          "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "\"verdict\": \"ok\"")
+  message(FATAL_ERROR "self-diff verdict is not \"ok\":\n${out}")
+endif()
+
+# 2. Inject a synthetic regression: inflate every p999 percentile 100x.
+#    The gate is only trustworthy if this makes it fire.
+file(READ "${REFERENCE}" body)
+string(REGEX REPLACE "\"p999\": ([0-9]+)" "\"p999\": \\1000" body "${body}")
+set(regressed "${SCRATCH}/BENCH_diff_gate_regressed.json")
+file(WRITE "${regressed}" "${body}")
+execute_process(
+  COMMAND "${DIFF}" "${REFERENCE}" "${regressed}" --threshold=0.5
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+          "acs-bench-diff did not flag the synthetic regression "
+          "(exit ${rc}, want 1)\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "\"verdict\": \"regression\"")
+  message(FATAL_ERROR "regressed verdict is not \"regression\":\n${out}")
+endif()
+
+# 3. Malformed input must be a loud usage error, not a pass.
+set(malformed "${SCRATCH}/BENCH_diff_gate_malformed.json")
+file(WRITE "${malformed}" "{\"bench\": ")
+execute_process(
+  COMMAND "${DIFF}" "${REFERENCE}" "${malformed}" --threshold=0.5
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+          "acs-bench-diff accepted malformed JSON (exit ${rc}, want 2)\n"
+          "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+message(STATUS "acs-bench-diff gate: ok / regression / error paths verified")
