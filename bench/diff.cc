@@ -102,6 +102,13 @@ std::map<std::string, double> flatten_numeric_leaves(const json::Value& root) {
   return out;
 }
 
+std::string first_nonfinite_leaf(const json::Value& root) {
+  for (const auto& [path, value] : flatten_numeric_leaves(root)) {
+    if (!std::isfinite(value)) return path;
+  }
+  return {};
+}
+
 DiffResult diff_documents(const json::Value& baseline,
                           const json::Value& current,
                           const DiffOptions& options) {
@@ -126,6 +133,19 @@ DiffResult diff_documents(const json::Value& baseline,
       continue;
     }
     ++result.compared;
+    // Defense in depth behind diff_files' input check: a NaN comparison
+    // must never pass silently (NaN > threshold is false), so any
+    // non-finite operand is flagged outright.
+    if (!std::isfinite(base_value) || !std::isfinite(it->second)) {
+      result.regressions.push_back(Regression{
+          .key = path,
+          .baseline = base_value,
+          .current = it->second,
+          .relative_change = 1,
+          .missing = false,
+      });
+      continue;
+    }
     const double change = relative_change(base_value, it->second);
     if (change > options.threshold) {
       result.regressions.push_back(Regression{
@@ -187,6 +207,16 @@ int diff_files(const std::string& baseline_path,
     } catch (const std::exception& e) {
       if (out != nullptr) {
         *out = *paths[i] + ": JSON parse error: " + e.what();
+      }
+      return 2;
+    }
+    // A trajectory carrying NaN/Inf is not a usable baseline or candidate:
+    // refuse it with the offending path instead of comparing garbage.
+    if (const std::string bad = first_nonfinite_leaf(documents[i]);
+        !bad.empty()) {
+      if (out != nullptr) {
+        *out = *paths[i] + ": non-finite numeric leaf '" + bad +
+               "' (NaN/Inf — the producing bench emitted a poisoned value)";
       }
       return 2;
     }

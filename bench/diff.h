@@ -55,6 +55,13 @@ struct DiffResult {
 [[nodiscard]] std::map<std::string, double> flatten_numeric_leaves(
     const json::Value& root);
 
+/// Dotted path of the first non-finite (NaN/Inf) numeric leaf in `root`,
+/// or empty when every numeric leaf is finite. A non-finite leaf means the
+/// producing bench emitted a poisoned double — the trajectory is garbage,
+/// not a baseline, and diff_files refuses it with a dedicated exit-2
+/// diagnostic rather than letting NaN comparisons pass silently.
+[[nodiscard]] std::string first_nonfinite_leaf(const json::Value& root);
+
 /// Compare two parsed trajectories. Exposed for tests.
 [[nodiscard]] DiffResult diff_documents(const json::Value& baseline,
                                         const json::Value& current,

@@ -179,13 +179,28 @@ namespace {
 
 }  // namespace
 
+namespace {
+
+/// {"p50": ..., ..., "count": ...} — the LatencySummary encoding shared by
+/// the "serving" and "topology" sections.
+[[nodiscard]] std::string latency_summary_json(const LatencySummary& s) {
+  return "{\"p50\": " + std::to_string(s.p50) + ", \"p90\": " +
+         std::to_string(s.p90) + ", \"p99\": " + std::to_string(s.p99) +
+         ", \"p999\": " + std::to_string(s.p999) + ", \"max\": " +
+         std::to_string(s.max) + ", \"count\": " + std::to_string(s.count) +
+         "}";
+}
+
+}  // namespace
+
 std::string to_json(const std::string& bench_name,
                     const BenchOptions& options, u64 base_seed,
                     const std::vector<Metric>& metrics,
                     double wall_seconds, const obs::Metrics* obs_metrics,
                     const FaultSection* faults, const FuzzSection* fuzz,
                     const SimSection* sim, const LintSection* lint,
-                    const ServingSection* serving) {
+                    const ServingSection* serving,
+                    const TopologySection* topology) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -303,15 +318,75 @@ std::string to_json(const std::string& bench_name,
     for (const auto& [tag, summary] : serving->latency) {
       out += first_tag ? "\n" : ",\n";
       first_tag = false;
-      out += "      \"" + escape_json(tag) + "\": {\"p50\": " +
-             std::to_string(summary.p50) + ", \"p90\": " +
-             std::to_string(summary.p90) + ", \"p99\": " +
-             std::to_string(summary.p99) + ", \"p999\": " +
-             std::to_string(summary.p999) + ", \"max\": " +
-             std::to_string(summary.max) + ", \"count\": " +
-             std::to_string(summary.count) + "}";
+      out += "      \"" + escape_json(tag) +
+             "\": " + latency_summary_json(summary);
     }
     out += serving->latency.empty() ? "}\n" : "\n    }\n";
+    out += "  },\n";
+  }
+  if (topology != nullptr) {
+    // Integer counters in fixed sweep order — like "serving", bitwise
+    // identical for every --threads value (the bench_topology_invariance
+    // ctest target pins the section at 1 vs 2 vs 8 threads).
+    out += "  \"topology\": {\n";
+    out += "    \"requests\": " + std::to_string(topology->requests) + ",\n";
+    out += "    \"completed\": " + std::to_string(topology->completed) + ",\n";
+    out += "    \"dropped\": " + std::to_string(topology->dropped) + ",\n";
+    out += "    \"failed\": " + std::to_string(topology->failed) + ",\n";
+    out += "    \"goodput\": " + std::to_string(topology->goodput) + ",\n";
+    out += "    \"deadline_missed\": " +
+           std::to_string(topology->deadline_missed) + ",\n";
+    out += "    \"crashed_attempts\": " +
+           std::to_string(topology->crashed_attempts) + ",\n";
+    out += "    \"retries\": " + std::to_string(topology->retries) + ",\n";
+    out += "    \"retry_budget_denied\": " +
+           std::to_string(topology->retry_budget_denied) + ",\n";
+    out += "    \"hedges\": " + std::to_string(topology->hedges) + ",\n";
+    out += "    \"breaker_trips\": " + std::to_string(topology->breaker_trips) +
+           ",\n";
+    out += "    \"breaker_probes\": " +
+           std::to_string(topology->breaker_probes) + ",\n";
+    out += "    \"forks\": " + std::to_string(topology->forks) + ",\n";
+    out += "    \"cow_pages_copied\": " +
+           std::to_string(topology->cow_pages_copied) + ",\n";
+    out += "    \"backoff_cycles\": " +
+           std::to_string(topology->backoff_cycles) + ",\n";
+    out += "    \"gauge_samples\": " + std::to_string(topology->gauge_samples) +
+           ",\n";
+    out += "    \"drops\": " + counter_map_json(topology->drops) + ",\n";
+    out += "    \"configs\": {";
+    bool first_config = true;
+    for (const auto& [tag, entry] : topology->configs) {
+      out += first_config ? "\n" : ",\n";
+      first_config = false;
+      out += "      \"" + escape_json(tag) + "\": {\n";
+      out += "        \"requests\": " + std::to_string(entry.requests) + ",\n";
+      out += "        \"completed\": " + std::to_string(entry.completed) +
+             ",\n";
+      out += "        \"dropped\": " + std::to_string(entry.dropped) + ",\n";
+      out += "        \"failed\": " + std::to_string(entry.failed) + ",\n";
+      out += "        \"goodput\": " + std::to_string(entry.goodput) + ",\n";
+      out += "        \"deadline_missed\": " +
+             std::to_string(entry.deadline_missed) + ",\n";
+      out += "        \"crashed_attempts\": " +
+             std::to_string(entry.crashed_attempts) + ",\n";
+      out += "        \"retries\": " + std::to_string(entry.retries) + ",\n";
+      out += "        \"breaker_trips\": " +
+             std::to_string(entry.breaker_trips) + ",\n";
+      out += "        \"phases\": {\"pre_storm\": {\"arrivals\": " +
+             std::to_string(entry.pre_storm_arrivals) + ", \"goodput\": " +
+             std::to_string(entry.pre_storm_goodput) +
+             "}, \"storm\": {\"arrivals\": " +
+             std::to_string(entry.storm_arrivals) + ", \"goodput\": " +
+             std::to_string(entry.storm_goodput) +
+             "}, \"post_storm\": {\"arrivals\": " +
+             std::to_string(entry.post_storm_arrivals) + ", \"goodput\": " +
+             std::to_string(entry.post_storm_goodput) + "}},\n";
+      out += "        \"latency\": " + latency_summary_json(entry.latency) +
+             "\n";
+      out += "      }";
+    }
+    out += topology->configs.empty() ? "}\n" : "\n    }\n";
     out += "  },\n";
   }
   out += "  \"metrics\": [";
@@ -375,6 +450,11 @@ void BenchReporter::set_serving_section(ServingSection serving) {
   has_serving_section_ = true;
 }
 
+void BenchReporter::set_topology_section(TopologySection topology) {
+  topology_section_ = std::move(topology);
+  has_topology_section_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -388,7 +468,8 @@ bool BenchReporter::finish() {
               has_fuzz_section_ ? &fuzz_section_ : nullptr,
               has_sim_section_ ? &sim_section_ : nullptr,
               has_lint_section_ ? &lint_section_ : nullptr,
-              has_serving_section_ ? &serving_section_ : nullptr);
+              has_serving_section_ ? &serving_section_ : nullptr,
+              has_topology_section_ ? &topology_section_ : nullptr);
   if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;

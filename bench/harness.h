@@ -155,6 +155,57 @@ struct ServingSection {
   std::map<std::string, LatencySummary> latency;  ///< config tag -> summary
 };
 
+/// One topology sweep configuration's outcome (bench_serving_topology):
+/// terminal accounting, storm-phase goodput, and the end-to-end latency
+/// summary. The phase split is the metastability probe — post-storm
+/// goodput staying collapsed after the storm window closes is the failure
+/// mode the mitigation arms exist to prevent.
+struct TopologyEntry {
+  u64 requests = 0;
+  u64 completed = 0;
+  u64 dropped = 0;
+  u64 failed = 0;
+  u64 goodput = 0;          ///< completions within deadline
+  u64 deadline_missed = 0;
+  u64 crashed_attempts = 0;
+  u64 retries = 0;
+  u64 breaker_trips = 0;
+  u64 pre_storm_arrivals = 0;
+  u64 pre_storm_goodput = 0;
+  u64 storm_arrivals = 0;
+  u64 storm_goodput = 0;
+  u64 post_storm_arrivals = 0;
+  u64 post_storm_goodput = 0;
+  LatencySummary latency;
+};
+
+/// Multi-tier topology totals, emitted as the "topology" section of the
+/// JSON trajectory (see docs/bench-output.md). Counters are summed over
+/// every configuration in the sweep; `configs` carries one TopologyEntry
+/// per configuration tag (e.g. "pacstack_load90_s8000_breaker-shed"). All
+/// integers in fixed sweep order — bitwise identical for every --threads
+/// value (pinned by the bench_topology_invariance ctest target).
+struct TopologySection {
+  u64 requests = 0;
+  u64 completed = 0;
+  u64 dropped = 0;
+  u64 failed = 0;
+  u64 goodput = 0;
+  u64 deadline_missed = 0;
+  u64 crashed_attempts = 0;
+  u64 retries = 0;
+  u64 retry_budget_denied = 0;
+  u64 hedges = 0;
+  u64 breaker_trips = 0;
+  u64 breaker_probes = 0;
+  u64 forks = 0;
+  u64 cow_pages_copied = 0;
+  u64 backoff_cycles = 0;
+  u64 gauge_samples = 0;
+  std::map<std::string, u64> drops;  ///< terminal cause -> count, summed
+  std::map<std::string, TopologyEntry> configs;  ///< config tag -> outcome
+};
+
 /// Collects metrics during a bench run and writes the machine-readable
 /// trajectory on finish(). Wall-clock time is measured from construction
 /// to finish(). Table/stdout output is unaffected: record() only feeds the
@@ -192,6 +243,10 @@ class BenchReporter {
   /// section of the JSON trajectory).
   void set_serving_section(ServingSection serving);
 
+  /// Attach the multi-tier topology totals (emitted as the "topology"
+  /// section of the JSON trajectory).
+  void set_topology_section(TopologySection topology);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -218,6 +273,8 @@ class BenchReporter {
   bool has_lint_section_ = false;
   ServingSection serving_section_;
   bool has_serving_section_ = false;
+  TopologySection topology_section_;
+  bool has_topology_section_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
@@ -227,7 +284,8 @@ class BenchReporter {
 /// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section;
 /// `faults` (may be nullptr) adds the "faults" section; `fuzz` (may be
 /// nullptr) adds the "fuzz" section; `sim` (may be nullptr) adds the "sim"
-/// section; `lint` (may be nullptr) adds the "lint" section.
+/// section; `lint` (may be nullptr) adds the "lint" section; `serving`
+/// and `topology` (may be nullptr) add their sections likewise.
 [[nodiscard]] std::string to_json(const std::string& bench_name,
                                   const BenchOptions& options, u64 base_seed,
                                   const std::vector<Metric>& metrics,
@@ -237,7 +295,8 @@ class BenchReporter {
                                   const FuzzSection* fuzz = nullptr,
                                   const SimSection* sim = nullptr,
                                   const LintSection* lint = nullptr,
-                                  const ServingSection* serving = nullptr);
+                                  const ServingSection* serving = nullptr,
+                                  const TopologySection* topology = nullptr);
 
 /// Write `body` to `path` (truncating); on failure prints to stderr and
 /// returns false. Used for the --json/--trace/--profile sinks.

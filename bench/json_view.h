@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cctype>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -192,6 +193,20 @@ class Parser {
   Value parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
+    // printf("%.17g") renders a corrupted double as a bare nan/inf token,
+    // which strict JSON rejects outright. Accept the tokens here so the
+    // consuming tools can *diagnose* the poisoned leaf (path and all)
+    // instead of dying with a generic parse error (see bench/diff.h
+    // first_nonfinite_leaf and the acs-bench-diff exit-2 contract).
+    const bool negative = pos_ != start;
+    if (consume_literal("nan")) {
+      return Value{std::numeric_limits<double>::quiet_NaN()};
+    }
+    if (consume_literal("inf")) {
+      consume_literal("inity");  // strtod-style long form
+      const double inf = std::numeric_limits<double>::infinity();
+      return Value{negative ? -inf : inf};
+    }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||

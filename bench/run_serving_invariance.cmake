@@ -1,22 +1,27 @@
-# Pins the determinism contract of bench_serving_tail: the JSON trajectory
-# — including the "serving" section's full percentile trajectory and the
-# per-configuration "obs" counters — must be bitwise identical for
-# --threads 1, 2 and 8. Only host timing (wall_seconds) and the echoed
-# thread count may differ, so both lines are stripped before comparing.
+# Pins the determinism contract of the serving-family benches
+# (bench_serving_tail, bench_serving_topology): the JSON trajectory —
+# including the full percentile trajectories and the per-configuration
+# "obs" counters — must be bitwise identical for --threads 1, 2 and 8.
+# Only host timing (wall_seconds) and the echoed thread count may differ,
+# so both lines are stripped before comparing.
 #
 # Optionally (when DIFF and REFERENCE are given) the threads=1 trajectory
 # is also compared against the checked-in reference JSON with acs-bench-diff
-# under generous thresholds — the tail-latency regression gate.
-# Inputs: -DBENCH=<bench_serving_tail> -DJSON_DIR=<scratch dir>
+# under generous thresholds — the regression gate.
+# Inputs: -DBENCH=<bench binary> -DJSON_DIR=<scratch dir>
+#         [-DPREFIX=<output-file prefix, default "serving">]
 #         [-DDIFF=<acs-bench-diff> -DREFERENCE=<baseline json>]
 
 if(NOT DEFINED BENCH OR NOT DEFINED JSON_DIR)
   message(FATAL_ERROR "run_serving_invariance.cmake needs BENCH and JSON_DIR")
 endif()
+if(NOT DEFINED PREFIX)
+  set(PREFIX "serving")
+endif()
 
 set(reference "")
 foreach(threads 1 2 8)
-  set(json "${JSON_DIR}/BENCH_serving_invariance_t${threads}.json")
+  set(json "${JSON_DIR}/BENCH_${PREFIX}_invariance_t${threads}.json")
   file(REMOVE "${json}")
   execute_process(
     COMMAND "${BENCH}" --smoke "--threads=${threads}" "--json=${json}"
@@ -50,11 +55,10 @@ foreach(threads 1 2 8)
   endif()
 endforeach()
 
-message(STATUS "bench_serving_tail trajectories identical for "
-               "--threads 1/2/8")
+message(STATUS "${BENCH} trajectories identical for --threads 1/2/8")
 
 if(DEFINED DIFF AND DEFINED REFERENCE)
-  set(current "${JSON_DIR}/BENCH_serving_invariance_t1.json")
+  set(current "${JSON_DIR}/BENCH_${PREFIX}_invariance_t1.json")
   execute_process(
     COMMAND "${DIFF}" "${REFERENCE}" "${current}" --threshold=0.5
     RESULT_VARIABLE diff_rc
@@ -63,10 +67,10 @@ if(DEFINED DIFF AND DEFINED REFERENCE)
   )
   if(NOT diff_rc EQUAL 0)
     message(FATAL_ERROR
-            "acs-bench-diff flagged the serving trajectory against the "
+            "acs-bench-diff flagged the ${PREFIX} trajectory against the "
             "checked-in reference (exit ${diff_rc})\n"
             "stdout:\n${diff_out}\nstderr:\n${diff_err}")
   endif()
-  message(STATUS "acs-bench-diff: serving trajectory within thresholds of "
+  message(STATUS "acs-bench-diff: ${PREFIX} trajectory within thresholds of "
                  "the checked-in reference")
 endif()

@@ -17,6 +17,7 @@ set(ACS_SMOKE_BENCHES
   bench_fault_availability
   bench_sim_throughput
   bench_serving_tail
+  bench_serving_topology
   bench_micro_pa
   bench_obs_overhead
 )
@@ -68,6 +69,22 @@ add_test(NAME bench_serving_invariance
                  -DREFERENCE=${CMAKE_CURRENT_SOURCE_DIR}/reference/BENCH_serving_tail_smoke.json
                  -P ${CMAKE_CURRENT_SOURCE_DIR}/run_serving_invariance.cmake)
 set_tests_properties(bench_serving_invariance PROPERTIES
+                     LABELS "bench_smoke" TIMEOUT 600)
+
+# Thread-invariance + regression pin for the multi-tier topology bench:
+# same contract as bench_serving_invariance (bitwise-identical trajectories
+# at --threads 1/2/8, then acs-bench-diff against the checked-in reference)
+# over the "topology" section — including the per-phase goodput split that
+# shows the unmitigated retry storm going metastable.
+add_test(NAME bench_topology_invariance
+         COMMAND ${CMAKE_COMMAND}
+                 -DBENCH=$<TARGET_FILE:bench_serving_topology>
+                 -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
+                 -DPREFIX=topology
+                 -DDIFF=$<TARGET_FILE:acs-bench-diff>
+                 -DREFERENCE=${CMAKE_CURRENT_SOURCE_DIR}/reference/BENCH_serving_topology_smoke.json
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_serving_invariance.cmake)
+set_tests_properties(bench_topology_invariance PROPERTIES
                      LABELS "bench_smoke" TIMEOUT 600)
 
 # acs-run emits the same schema through its own flag parser.

@@ -1,5 +1,6 @@
 #include "inject/plan.h"
 
+#include <algorithm>
 #include <iterator>
 
 namespace acs::inject {
@@ -17,10 +18,12 @@ const char* fault_kind_name(FaultKind kind) noexcept {
   return "unknown";
 }
 
-std::vector<PlannedFault> make_plan(const PlanConfig& config) {
-  std::vector<PlannedFault> plan;
-  if (config.mean_interval == 0 || config.horizon == 0) return plan;
+namespace {
 
+/// One renewal process: faults with inter-arrival uniform in
+/// [1, 2*mean_interval], starting at `begin`, strictly before `end`.
+void draw_renewal(const PlanConfig& config, Rng& rng, u64 begin, u64 end,
+                  u64 mean_interval, std::vector<PlannedFault>& plan) {
   // The random draw set deliberately excludes kStoreWord (which needs a
   // concrete target) and must stay exactly these six kinds in this order:
   // seeded campaigns are pinned bit-for-bit across the test suite.
@@ -31,11 +34,10 @@ std::vector<PlannedFault> make_plan(const PlanConfig& config) {
   };
   static_assert(std::size(kAllKinds) == kNumPlannableKinds);
 
-  Rng rng(config.seed);
-  u64 t = 0;
+  u64 t = begin;
   for (;;) {
-    t += 1 + rng.next_below(2 * config.mean_interval);
-    if (t >= config.horizon) break;
+    t += 1 + rng.next_below(2 * mean_interval);
+    if (t >= end) break;
     PlannedFault fault;
     fault.at_instr = t;
     fault.kind = config.kinds.empty()
@@ -45,6 +47,41 @@ std::vector<PlannedFault> make_plan(const PlanConfig& config) {
         config.max_depth == 0 ? 0 : rng.next_below(config.max_depth);
     fault.payload = rng.next();
     plan.push_back(fault);
+  }
+}
+
+}  // namespace
+
+std::vector<PlannedFault> make_plan(const PlanConfig& config) {
+  std::vector<PlannedFault> plan;
+  if (config.horizon == 0) return plan;
+
+  Rng rng(config.seed);
+  if (config.mean_interval != 0) {
+    draw_renewal(config, rng, 0, config.horizon, config.mean_interval, plan);
+  }
+
+  // Correlated burst: a second renewal process inside the window, drawn
+  // from the same stream *after* the baseline so a disabled burst leaves
+  // the baseline plan bit-identical to older releases.
+  if (config.burst_len != 0 && config.burst_mean_interval != 0 &&
+      config.burst_start < config.horizon) {
+    // Clamp without overflow: horizon - burst_start cannot underflow here
+    // (burst_start < horizon), while burst_start + burst_len could wrap.
+    const u64 burst_end =
+        config.horizon - config.burst_start > config.burst_len
+            ? config.burst_start + config.burst_len
+            : config.horizon;
+    const std::size_t baseline_count = plan.size();
+    draw_renewal(config, rng, config.burst_start, burst_end,
+                 config.burst_mean_interval, plan);
+    std::inplace_merge(plan.begin(),
+                       plan.begin() + static_cast<std::ptrdiff_t>(
+                                          baseline_count),
+                       plan.end(),
+                       [](const PlannedFault& a, const PlannedFault& b) {
+                         return a.at_instr < b.at_instr;
+                       });
   }
   return plan;
 }

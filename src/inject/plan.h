@@ -97,11 +97,25 @@ struct PlanConfig {
   u64 max_depth = 4;         ///< min_depth is drawn from [0, max_depth)
   /// Kinds to draw from (uniformly); empty = all six kinds.
   std::vector<FaultKind> kinds;
+
+  // --- correlated burst (docs/fault-injection.md "Correlated bursts") ---
+  // A crash storm: on top of the baseline renewal process, a second,
+  // denser renewal process runs inside [burst_start, burst_start +
+  // burst_len) — the model for a whole pool melting down for a window
+  // (rowhammer campaign, bad deploy, thermal event) rather than
+  // independent background faults. burst_len == 0 or
+  // burst_mean_interval == 0 disables the burst, and a disabled burst
+  // leaves the baseline plan bit-identical to older releases.
+  u64 burst_start = 0;          ///< first instruction of the burst window
+  u64 burst_len = 0;            ///< window length in instructions (0 = off)
+  u64 burst_mean_interval = 0;  ///< mean instructions between burst faults
 };
 
 /// Build a plan: fault times are a renewal process with inter-arrival
 /// uniform in [1, 2*mean_interval], kinds/depths/payloads drawn from the
-/// seeded RNG. Sorted by `at_instr`; pure function of the config.
+/// seeded RNG; a configured burst adds a second renewal process inside
+/// its window, drawn after the baseline from the same seeded stream. The
+/// merged plan is sorted by `at_instr`; pure function of the config.
 [[nodiscard]] std::vector<PlannedFault> make_plan(const PlanConfig& config);
 
 }  // namespace acs::inject

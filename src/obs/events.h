@@ -83,9 +83,17 @@ enum class SpanName : u8 {
   kCompleted,    ///< instant: request finished successfully
   kCrashed,      ///< instant: the executing attempt died
   kRestarted,    ///< instant: supervisor launched the next attempt
+  // Multi-tier topology stages (src/workload/topology.h).
+  kTier,          ///< ranged: one tier's share of a request's lifecycle
+  kShed,          ///< instant: dropped by priority load shedding
+  kDeadlineMiss,  ///< instant: completed (or dropped) past its deadline
+  kHedged,        ///< instant: a hedged duplicate attempt was enqueued
+  kBreakerTrip,   ///< instant: pool circuit breaker opened (id = pool)
+  kBreakerProbe,  ///< instant: half-open breaker admitted a probe
+  kBreakerClose,  ///< instant: probe succeeded, breaker closed
 };
 
-inline constexpr std::size_t kNumSpanNames = 10;
+inline constexpr std::size_t kNumSpanNames = 17;
 
 [[nodiscard]] constexpr const char* span_name(SpanName name) noexcept {
   switch (name) {
@@ -99,18 +107,30 @@ inline constexpr std::size_t kNumSpanNames = 10;
     case SpanName::kCompleted: return "completed";
     case SpanName::kCrashed: return "crashed";
     case SpanName::kRestarted: return "restarted";
+    case SpanName::kTier: return "tier";
+    case SpanName::kShed: return "shed";
+    case SpanName::kDeadlineMiss: return "deadline_miss";
+    case SpanName::kHedged: return "hedged";
+    case SpanName::kBreakerTrip: return "breaker_trip";
+    case SpanName::kBreakerProbe: return "breaker_probe";
+    case SpanName::kBreakerClose: return "breaker_close";
   }
   return "unknown";
 }
 
 /// Sampled fleet gauges, exported as Chrome counter ("C") events so
 /// Perfetto renders them as a time series alongside the request spans.
-enum class GaugeId : u8 { kQueueDepth = 0, kInFlight };
+enum class GaugeId : u8 {
+  kQueueDepth = 0,
+  kInFlight,
+  kBreakerOpenPools,  ///< pools currently tripped open (topology LB view)
+};
 
 [[nodiscard]] constexpr const char* gauge_name(GaugeId id) noexcept {
   switch (id) {
     case GaugeId::kQueueDepth: return "queue_depth";
     case GaugeId::kInFlight: return "in_flight";
+    case GaugeId::kBreakerOpenPools: return "breaker_open_pools";
   }
   return "unknown";
 }

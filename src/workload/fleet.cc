@@ -50,16 +50,13 @@ struct SlotOutcome {
   std::string trace_json;
 };
 
-/// Supervisor backoff before restart `restart_number` (1-based), with
-/// saturation instead of overflow for absurd policies.
+/// Supervisor backoff before restart `restart_number` (1-based); the
+/// shared helper saturates at the policy cap so the wall-clock adds below
+/// cannot wrap.
 u64 backoff_cycles_for(const RestartPolicy& policy, u64 restart_number) {
-  u64 backoff = policy.backoff_initial_cycles;
-  const u64 mult = std::max<u64>(1, policy.backoff_multiplier);
-  for (u64 i = 1; i < restart_number; ++i) {
-    if (mult != 1 && backoff > ~u64{0} / mult) return ~u64{0};
-    backoff *= mult;
-  }
-  return backoff;
+  return saturating_backoff(policy.backoff_initial_cycles,
+                            policy.backoff_multiplier, restart_number,
+                            policy.backoff_cap_cycles);
 }
 
 }  // namespace
@@ -221,8 +218,9 @@ FleetResult run_worker_fleet(compiler::Scheme scheme, const FleetConfig& config,
           ++outcome.restarts;
           const u64 backoff = backoff_cycles_for(policy, outcome.restarts);
           const u64 backoff_start = outcome.wall_cycles;
-          outcome.wall_cycles += backoff;
-          outcome.backoff_cycles += backoff;
+          outcome.wall_cycles = saturating_add(outcome.wall_cycles, backoff);
+          outcome.backoff_cycles =
+              saturating_add(outcome.backoff_cycles, backoff);
           if (supervisor != nullptr) {
             supervisor->span_begin(obs::SpanName::kBackoff, slot,
                                    backoff_start);

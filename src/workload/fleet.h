@@ -26,6 +26,7 @@
 #include "common/types.h"
 #include "compiler/scheme.h"
 #include "inject/plan.h"
+#include "workload/backoff.h"
 #include "workload/nginx_sim.h"
 
 namespace acs::workload {
@@ -50,9 +51,12 @@ struct RestartPolicy {
   /// (degraded availability) rather than aborting the campaign.
   unsigned max_restarts = 3;
   /// Supervisor backoff before restart r (1-based) in simulated cycles:
-  /// backoff_initial_cycles * backoff_multiplier^(r-1), saturating.
+  /// backoff_initial_cycles * backoff_multiplier^(r-1), saturating at
+  /// backoff_cap_cycles (workload/backoff.h) so absurd ladders cannot
+  /// wrap the wall-clock accumulators.
   u64 backoff_initial_cycles = 50'000;
   unsigned backoff_multiplier = 2;
+  u64 backoff_cap_cycles = kDefaultBackoffCapCycles;
 };
 
 struct FleetConfig {

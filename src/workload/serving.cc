@@ -52,13 +52,9 @@ struct RequestOutcome {
 
 /// Same saturating exponential backoff as the fleet supervisor.
 u64 backoff_for(const ServingConfig& config, u64 restart_number) {
-  u64 backoff = config.backoff_initial_cycles;
-  const u64 mult = std::max<u64>(1, config.backoff_multiplier);
-  for (u64 i = 1; i < restart_number; ++i) {
-    if (mult != 1 && backoff > ~u64{0} / mult) return ~u64{0};
-    backoff *= mult;
-  }
-  return backoff;
+  return saturating_backoff(config.backoff_initial_cycles,
+                            config.backoff_multiplier, restart_number,
+                            config.backoff_cap_cycles);
 }
 
 unsigned pick_class(const std::vector<ServiceClass>& classes, Rng& rng) {
@@ -81,6 +77,19 @@ ServingResult run_serving_simulation(compiler::Scheme scheme,
     throw std::runtime_error{
         "run_serving_simulation: workers, requests, and load_percent must "
         "all be non-zero"};
+  }
+  // Degenerate knobs fail loudly instead of producing silently wrong
+  // sweeps: a zero-capacity queue rejects every arrival (the bench would
+  // publish all-zero percentiles), and a zero multiplier used to be
+  // silently clamped to 1, turning "exponential backoff" into constant.
+  if (config.queue_capacity == 0) {
+    throw std::runtime_error{
+        "run_serving_simulation: queue_capacity must be non-zero (a "
+        "zero-capacity queue rejects every arrival)"};
+  }
+  if (config.backoff_multiplier == 0) {
+    throw std::runtime_error{
+        "run_serving_simulation: backoff_multiplier must be >= 1"};
   }
   const auto& classes = default_service_classes();
   const unsigned max_attempts = config.max_restarts + 1;

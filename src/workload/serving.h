@@ -32,6 +32,7 @@
 #include "compiler/scheme.h"
 #include "inject/plan.h"
 #include "obs/loghist.h"
+#include "workload/backoff.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 
@@ -64,8 +65,12 @@ struct ServingConfig {
   double faults_per_million = 0;
   std::vector<inject::FaultKind> fault_kinds;
   unsigned max_restarts = 3;  ///< per request; then the request fails
+  /// Exponential restart backoff, saturating at backoff_cap_cycles
+  /// (workload/backoff.h). A backoff_multiplier of 0 is a config error —
+  /// run_serving_simulation throws rather than silently treating it as 1.
   u64 backoff_initial_cycles = 50'000;
   unsigned backoff_multiplier = 2;
+  u64 backoff_cap_cycles = kDefaultBackoffCapCycles;
   /// Queue-depth / in-flight gauges are sampled every this many simulated
   /// cycles into the metrics histograms and the trace counter track.
   u64 gauge_cadence_cycles = 20'000;

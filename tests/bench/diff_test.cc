@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -97,6 +98,53 @@ TEST(BenchDiff, ZeroBaselineIsHandled) {
                    .ok());
 }
 
+// --- non-finite leaves (NaN/Inf input hygiene) ----------------------------
+
+TEST(BenchDiff, ParserAcceptsPrintfNonFiniteTokens) {
+  // printf("%.17g") renders poisoned doubles as bare nan/inf; the parser
+  // must represent them (so tools can reject them by path) rather than
+  // dying with a generic syntax error.
+  const json::Value root =
+      parse(R"({"a": nan, "b": inf, "c": -inf, "d": -nan, "e": 1.5})");
+  const json::Object& top = *root.object();
+  EXPECT_TRUE(std::isnan(json::find(top, "a")->number()));
+  EXPECT_TRUE(std::isinf(json::find(top, "b")->number()));
+  EXPECT_TRUE(std::isinf(json::find(top, "c")->number()));
+  EXPECT_LT(json::find(top, "c")->number(), 0);
+  EXPECT_TRUE(std::isnan(json::find(top, "d")->number()));
+  EXPECT_EQ(json::find(top, "e")->number(), 1.5);
+}
+
+TEST(BenchDiff, FirstNonfiniteLeafReportsTheDottedPath) {
+  EXPECT_EQ(first_nonfinite_leaf(parse(R"({"a": 1, "b": {"c": 2}})")), "");
+  EXPECT_EQ(first_nonfinite_leaf(
+                parse(R"({"a": 1, "b": {"c": nan}, "d": 3})")),
+            "b.c");
+  EXPECT_EQ(first_nonfinite_leaf(parse(
+                R"({"metrics": [{"name": "x", "value": inf}]})")),
+            "metrics.x.value");
+}
+
+TEST(BenchDiff, NonFiniteComparisonIsAlwaysARegression) {
+  // NaN > threshold is false for every threshold — without an explicit
+  // check a poisoned trajectory would diff "clean". All four pairings
+  // must flag, including NaN-vs-NaN (NaN != NaN makes it compare equal
+  // under a naive relative-change formula).
+  const DiffOptions options{.threshold = 0.5};
+  for (const char* current :
+       {R"({"p99": nan})", R"({"p99": inf})", R"({"p99": -inf})"}) {
+    EXPECT_FALSE(
+        diff_documents(parse(R"({"p99": 100})"), parse(current), options).ok())
+        << current;
+    EXPECT_FALSE(
+        diff_documents(parse(current), parse(R"({"p99": 100})"), options).ok())
+        << current;
+  }
+  EXPECT_FALSE(diff_documents(parse(R"({"p99": nan})"),
+                              parse(R"({"p99": nan})"), options)
+                   .ok());
+}
+
 TEST(BenchDiff, VerdictJsonIsMachineReadable) {
   const auto result = diff_documents(parse(R"({"p99": 100})"),
                                      parse(R"({"p99": 200})"),
@@ -142,6 +190,25 @@ TEST_F(DiffFilesTest, ExitCodesCoverOkRegressionAndError) {
   EXPECT_NE(out.find("parse error"), std::string::npos);
   EXPECT_EQ(diff_files(base, base + ".does-not-exist", DiffOptions{}, &out),
             2);
+}
+
+TEST_F(DiffFilesTest, NonFiniteInputIsRefusedWithADistinctDiagnostic) {
+  // Exit 2 (unusable input), not exit 1 (regression): a NaN baseline is
+  // not a baseline. The diagnostic names the poisoned path so the caller
+  // can find the producing bench, and is distinct from a parse error.
+  const std::string clean = write_temp("nf_clean", R"({"p99": 100})");
+  const std::string poisoned = write_temp(
+      "nf_poisoned", R"({"serving": {"latency": {"p999": nan}}, "p99": 100})");
+
+  std::string out;
+  EXPECT_EQ(diff_files(poisoned, clean, DiffOptions{}, &out), 2);
+  EXPECT_NE(out.find("non-finite"), std::string::npos) << out;
+  EXPECT_NE(out.find("serving.latency.p999"), std::string::npos) << out;
+  EXPECT_EQ(out.find("parse error"), std::string::npos) << out;
+
+  // Either side poisoned refuses; the candidate too.
+  EXPECT_EQ(diff_files(clean, poisoned, DiffOptions{}, &out), 2);
+  EXPECT_NE(out.find("non-finite"), std::string::npos) << out;
 }
 
 TEST_F(DiffFilesTest, SyntheticRegressionDiesNonZero) {

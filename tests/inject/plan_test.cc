@@ -99,5 +99,89 @@ TEST(Plan, RestrictsKindsWhenAsked) {
   EXPECT_FALSE(seen.contains(FaultKind::kStoreWord));
 }
 
+// --- correlated bursts ----------------------------------------------------
+
+TEST(Plan, DisabledBurstLeavesBaselinePlansBitIdentical) {
+  // The burst draw happens after the baseline draw on the same stream, so
+  // turning the burst off must reproduce older plans exactly — every
+  // pinned fault campaign in the suite depends on this.
+  PlanConfig baseline;
+  baseline.seed = 42;
+  baseline.horizon = 1'000'000;
+  baseline.mean_interval = 1000;
+  PlanConfig off = baseline;
+  off.burst_start = 100'000;
+  off.burst_len = 0;  // off
+  off.burst_mean_interval = 50;
+  const auto a = make_plan(baseline);
+  const auto b = make_plan(off);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_instr, b[i].at_instr);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].payload, b[i].payload);
+  }
+}
+
+TEST(Plan, BurstConcentratesFaultsInsideItsWindow) {
+  PlanConfig config;
+  config.seed = 9;
+  config.horizon = 1'000'000;
+  config.mean_interval = 10'000;  // sparse baseline: ~100 faults
+  config.burst_start = 400'000;
+  config.burst_len = 100'000;
+  config.burst_mean_interval = 500;  // dense burst: ~200 faults
+  const auto plan = make_plan(config);
+  u64 inside = 0, outside = 0, prev = 0;
+  for (const PlannedFault& fault : plan) {
+    EXPECT_LE(prev, fault.at_instr);  // merged plan stays sorted
+    EXPECT_LT(fault.at_instr, config.horizon);
+    prev = fault.at_instr;
+    if (fault.at_instr >= 400'000 && fault.at_instr < 500'000) {
+      ++inside;
+    } else {
+      ++outside;
+    }
+  }
+  // ~210 faults inside the 10% window vs ~90 outside.
+  EXPECT_GT(inside, 150U);
+  EXPECT_LT(outside, 130U);
+  EXPECT_GT(inside, outside);
+}
+
+TEST(Plan, BurstAloneWorksWithoutABaselineProcess) {
+  PlanConfig config;
+  config.seed = 5;
+  config.horizon = 200'000;
+  config.mean_interval = 0;  // no baseline faults at all
+  config.burst_start = 50'000;
+  config.burst_len = 20'000;
+  config.burst_mean_interval = 100;
+  const auto plan = make_plan(config);
+  EXPECT_GT(plan.size(), 120U);
+  for (const PlannedFault& fault : plan) {
+    EXPECT_GE(fault.at_instr, 50'000U);
+    EXPECT_LT(fault.at_instr, 70'000U);
+  }
+}
+
+TEST(Plan, BurstWindowIsClampedToTheHorizon) {
+  PlanConfig config;
+  config.seed = 6;
+  config.horizon = 100'000;
+  config.burst_start = 90'000;
+  config.burst_len = ~u64{0};  // would overflow burst_start + burst_len
+  config.burst_mean_interval = 100;
+  const auto plan = make_plan(config);
+  EXPECT_FALSE(plan.empty());
+  for (const PlannedFault& fault : plan) {
+    EXPECT_GE(fault.at_instr, 90'000U);
+    EXPECT_LT(fault.at_instr, config.horizon);
+  }
+  // A burst starting at or past the horizon contributes nothing.
+  config.burst_start = 100'000;
+  EXPECT_TRUE(make_plan(config).empty());
+}
+
 }  // namespace
 }  // namespace acs::inject

@@ -172,6 +172,65 @@ TEST(LogHistogram, MergeMatchesShardedRecordingAnyWay) {
   expect_identical(forward, from(samples));
 }
 
+TEST(LogHistogram, MergeWithEmptyIsIdentityBothWays) {
+  // The empty histogram's min() sentinel must not leak through a merge in
+  // either direction: empty.merge(x) == x and x.merge(empty) == x.
+  const auto samples = sample_stream(17, 300);
+  const LogHistogram reference = from(samples);
+
+  LogHistogram empty_left;
+  empty_left.merge(reference);
+  expect_identical(empty_left, reference);
+  EXPECT_EQ(empty_left.min(), reference.min());
+
+  LogHistogram right = from(samples);
+  right.merge(LogHistogram{});
+  expect_identical(right, reference);
+  EXPECT_EQ(right.min(), reference.min());
+
+  // Empty + empty stays empty (count, sum, min, max all zero).
+  LogHistogram both;
+  both.merge(LogHistogram{});
+  EXPECT_EQ(both.count(), 0U);
+  EXPECT_EQ(both.min(), 0U);
+  EXPECT_EQ(both.max(), 0U);
+  EXPECT_EQ(both.p50(), 0U);
+}
+
+TEST(LogHistogram, SingleObservationOwnsEveryQuantile) {
+  // With one sample, every quantile from the lowest rank to p100 must
+  // report that sample (its bucket bound) — p0-adjacent ranks clamp up to
+  // rank 1, p100 clamps down to the only sample.
+  LogHistogram hist;
+  hist.observe(7);  // exact range: bucket bound == value
+  EXPECT_EQ(hist.count(), 1U);
+  EXPECT_EQ(hist.min(), 7U);
+  EXPECT_EQ(hist.max(), 7U);
+  EXPECT_EQ(hist.quantile(1, 1000), 7U);  // p0.1
+  EXPECT_EQ(hist.p50(), 7U);
+  EXPECT_EQ(hist.p90(), 7U);
+  EXPECT_EQ(hist.p99(), 7U);
+  EXPECT_EQ(hist.p999(), 7U);
+  EXPECT_EQ(hist.quantile(100, 100), 7U);  // p100
+
+  // Same holds out of the exact range, within the bucket-bound slack.
+  LogHistogram big;
+  big.observe(123'456'789);
+  const u64 bound = big.bucket_upper_bound(big.bucket_index(123'456'789));
+  EXPECT_EQ(big.quantile(1, 1000), bound);
+  EXPECT_EQ(big.p50(), bound);
+  EXPECT_EQ(big.quantile(100, 100), bound);
+  EXPECT_GE(bound, 123'456'789U);
+  EXPECT_LE(bound - 123'456'789U, 123'456'789U / 32 + 1);
+
+  // observe(0): count advances but all quantiles sit at zero.
+  LogHistogram zero;
+  zero.observe(0);
+  EXPECT_EQ(zero.count(), 1U);
+  EXPECT_EQ(zero.quantile(1, 1000), 0U);
+  EXPECT_EQ(zero.quantile(100, 100), 0U);
+}
+
 TEST(LogHistogram, ObservationOrderIsIrrelevant) {
   auto samples = sample_stream(8, 2000);
   const LogHistogram in_order = from(samples);

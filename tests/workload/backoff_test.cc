@@ -1,0 +1,75 @@
+#include "workload/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace acs::workload {
+namespace {
+
+constexpr u64 kMax = ~u64{0};
+
+// --- saturating_add -------------------------------------------------------
+
+TEST(Backoff, SaturatingAddBehavesLikePlusBelowTheLimit) {
+  EXPECT_EQ(saturating_add(0, 0), 0U);
+  EXPECT_EQ(saturating_add(1, 2), 3U);
+  EXPECT_EQ(saturating_add(kMax - 1, 1), kMax);
+}
+
+TEST(Backoff, SaturatingAddClampsInsteadOfWrapping) {
+  EXPECT_EQ(saturating_add(kMax, 1), kMax);
+  EXPECT_EQ(saturating_add(kMax, kMax), kMax);
+  EXPECT_EQ(saturating_add(kMax - 1, 2), kMax);
+}
+
+// --- saturating_backoff ---------------------------------------------------
+
+TEST(Backoff, ExactLadderBelowTheCap) {
+  // 1000 * 3^(n-1), the fleet supervisor's documented ladder.
+  EXPECT_EQ(saturating_backoff(1000, 3, 1, kDefaultBackoffCapCycles), 1000U);
+  EXPECT_EQ(saturating_backoff(1000, 3, 2, kDefaultBackoffCapCycles), 3000U);
+  EXPECT_EQ(saturating_backoff(1000, 3, 3, kDefaultBackoffCapCycles), 9000U);
+  EXPECT_EQ(saturating_backoff(1000, 3, 4, kDefaultBackoffCapCycles), 27000U);
+}
+
+TEST(Backoff, MultiplierZeroAndOneAreConstantBackoff) {
+  // A zero multiplier is clamped to 1 (constant backoff), never to 0
+  // (which would schedule instant hot-loop restarts).
+  EXPECT_EQ(saturating_backoff(500, 0, 7, kDefaultBackoffCapCycles), 500U);
+  EXPECT_EQ(saturating_backoff(500, 1, 7, kDefaultBackoffCapCycles), 500U);
+}
+
+TEST(Backoff, RestartNumberZeroIsTreatedAsFirst) {
+  EXPECT_EQ(saturating_backoff(1000, 2, 0, kDefaultBackoffCapCycles), 1000U);
+}
+
+TEST(Backoff, SaturatesAtTheCapInsteadOfOverflowing) {
+  // Regression: 1000 * 2^63 overflows u64; the old helper returned
+  // ~u64{0}, and callers summing backoffs into wall-clock accumulators
+  // wrapped them. The cap keeps every value finite and summable.
+  const u64 cap = kDefaultBackoffCapCycles;
+  EXPECT_EQ(saturating_backoff(1000, 2, 64, cap), cap);
+  EXPECT_EQ(saturating_backoff(1000, 2, 1000, cap), cap);
+  EXPECT_EQ(saturating_backoff(kMax, 2, 1, cap), cap);  // initial above cap
+  // The largest sub-cap rung is still exact: 1000 * 2^19 = 524288000.
+  EXPECT_EQ(saturating_backoff(1000, 2, 20, cap), 1000U << 19);
+  EXPECT_EQ(saturating_backoff(1000, 2, 21, cap), cap);  // 2^20 rung > cap
+}
+
+TEST(Backoff, MonotoneNondecreasingInRestartNumber) {
+  u64 prev = 0;
+  for (u64 n = 1; n <= 80; ++n) {
+    const u64 b = saturating_backoff(7, 3, n, 1'000'000);
+    EXPECT_GE(b, prev) << "restart " << n;
+    EXPECT_LE(b, 1'000'000U) << "restart " << n;
+    prev = b;
+  }
+  EXPECT_EQ(prev, 1'000'000U);  // the ladder reached and held the cap
+}
+
+TEST(Backoff, CustomCapIsRespectedExactly) {
+  EXPECT_EQ(saturating_backoff(100, 10, 3, 5000), 5000U);  // 10000 > cap
+  EXPECT_EQ(saturating_backoff(100, 10, 2, 5000), 1000U);  // below cap
+}
+
+}  // namespace
+}  // namespace acs::workload

@@ -191,5 +191,44 @@ TEST(Serving, ZeroWorkersOrRequestsThrow) {
                std::runtime_error);
 }
 
+TEST(Serving, ZeroLoadPercentThrows) {
+  ServingConfig config = base_config();
+  config.load_percent = 0;  // would divide by zero in calibration
+  EXPECT_THROW((void)run_serving_simulation(Scheme::kPacStack, config),
+               std::runtime_error);
+}
+
+TEST(Serving, DegenerateQueueAndBackoffConfigsThrowInsteadOfLyingQuietly) {
+  // A zero-capacity queue used to run the whole sweep and publish
+  // all-zero percentiles; a zero multiplier silently became constant
+  // backoff. Both are config errors and must say so.
+  ServingConfig config = base_config();
+  config.queue_capacity = 0;
+  EXPECT_THROW((void)run_serving_simulation(Scheme::kPacStack, config),
+               std::runtime_error);
+  ServingConfig config2 = base_config();
+  config2.backoff_multiplier = 0;
+  EXPECT_THROW((void)run_serving_simulation(Scheme::kPacStack, config2),
+               std::runtime_error);
+}
+
+TEST(Serving, AbsurdBackoffLaddersSaturateInsteadOfWrapping) {
+  // Regression: initial * multiplier^restarts overflows u64 after a few
+  // dozen restarts; the accumulated wall/backoff cycles used to wrap.
+  ServingConfig config = base_config();
+  config.requests = 60;
+  config.faults_per_million = 400;
+  config.max_restarts = 3;
+  config.backoff_initial_cycles = ~u64{0} / 2;
+  config.backoff_multiplier = 1000;
+  const auto result = run_serving_simulation(Scheme::kPacStack, config);
+  EXPECT_GT(result.crashed_attempts, 0U);
+  EXPECT_GT(result.restarts, 0U);
+  // Every backoff saturated at the cap, so the sum is exactly explainable
+  // and far below the wrap point.
+  EXPECT_EQ(result.backoff_cycles,
+            result.restarts * config.backoff_cap_cycles);
+}
+
 }  // namespace
 }  // namespace acs::workload

@@ -11,6 +11,7 @@
 //                                              (docs/observability.md)
 //   bench_json_check --folded-file PATH [...]  folded-stack profiles
 //                                              ("frame;frame cycles" lines)
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +28,28 @@ using acs::bench::json::Object;
 using acs::bench::json::Parser;
 using acs::bench::json::Value;
 using acs::bench::json::find;
+
+/// The shared parser accepts printf-style nan/inf tokens so tools can
+/// diagnose them; a validated artifact must not contain any. Returns the
+/// dotted path of the first non-finite numeric leaf, or empty.
+std::string find_nonfinite(const Value& value, const std::string& path) {
+  if (value.is_number() && !std::isfinite(value.number())) return path;
+  if (const Object* object = value.object()) {
+    for (const auto& [key, child] : *object) {
+      std::string bad =
+          find_nonfinite(child, path.empty() ? key : path + "." + key);
+      if (!bad.empty()) return bad;
+    }
+  }
+  if (const Array* array = value.array()) {
+    for (std::size_t i = 0; i < array->size(); ++i) {
+      std::string bad = find_nonfinite(
+          (*array)[i], path + "[" + std::to_string(i) + "]");
+      if (!bad.empty()) return bad;
+    }
+  }
+  return {};
+}
 
 /// Array of numbers check; returns the element count via `n`.
 bool numeric_array(const Value* v, std::size_t& n) {
@@ -284,6 +307,121 @@ std::string check_serving_section(const Value& serving) {
   return {};
 }
 
+/// Validate the optional "topology" section (multi-tier serving topology
+/// totals, see docs/bench-output.md): numeric totals with the accounting
+/// identities (completed + dropped + failed == requests; goodput +
+/// deadline_missed == completed), a {cause: number} "drops" map, and a
+/// {tag: entry} "configs" map whose entries carry per-phase goodput
+/// (goodput <= arrivals per phase) and a monotone latency summary.
+std::string check_topology_section(const Value& topology) {
+  const Object* top = topology.object();
+  if (top == nullptr) return "'topology' is not an object";
+
+  for (const char* key :
+       {"requests", "completed", "dropped", "failed", "goodput",
+        "deadline_missed", "crashed_attempts", "retries",
+        "retry_budget_denied", "hedges", "breaker_trips", "breaker_probes",
+        "forks", "cow_pages_copied", "backoff_cycles", "gauge_samples"}) {
+    const Value* v = find(*top, key);
+    if (v == nullptr || !v->is_number()) {
+      return std::string("'topology.") + key + "' missing or not a number";
+    }
+  }
+  if (find(*top, "completed")->number() + find(*top, "dropped")->number() +
+          find(*top, "failed")->number() !=
+      find(*top, "requests")->number()) {
+    return "'topology' terminal accounting broken "
+           "(completed + dropped + failed != requests)";
+  }
+  if (find(*top, "goodput")->number() +
+          find(*top, "deadline_missed")->number() !=
+      find(*top, "completed")->number()) {
+    return "'topology' goodput accounting broken "
+           "(goodput + deadline_missed != completed)";
+  }
+
+  const Value* drops = find(*top, "drops");
+  if (drops == nullptr || drops->object() == nullptr) {
+    return "'topology.drops' missing or not an object";
+  }
+  double drop_sum = 0;
+  for (const auto& [cause, value] : *drops->object()) {
+    if (!value.is_number()) {
+      return "'topology.drops." + cause + "' is not a number";
+    }
+    drop_sum += value.number();
+  }
+  if (drop_sum !=
+      find(*top, "dropped")->number() + find(*top, "failed")->number()) {
+    return "'topology.drops' causes do not sum to dropped + failed";
+  }
+
+  const Value* configs = find(*top, "configs");
+  if (configs == nullptr || configs->object() == nullptr) {
+    return "'topology.configs' missing or not an object";
+  }
+  for (const auto& [tag, value] : *configs->object()) {
+    const std::string where = "'topology.configs." + tag + "'";
+    const Object* entry = value.object();
+    if (entry == nullptr) return where + " is not an object";
+    for (const char* key :
+         {"requests", "completed", "dropped", "failed", "goodput",
+          "deadline_missed", "crashed_attempts", "retries",
+          "breaker_trips"}) {
+      const Value* v = find(*entry, key);
+      if (v == nullptr || !v->is_number()) {
+        return where + " lacks numeric '" + key + "'";
+      }
+    }
+
+    const Value* phases = find(*entry, "phases");
+    if (phases == nullptr || phases->object() == nullptr) {
+      return where + " lacks object 'phases'";
+    }
+    for (const char* phase : {"pre_storm", "storm", "post_storm"}) {
+      const Value* p = find(*phases->object(), phase);
+      if (p == nullptr || p->object() == nullptr) {
+        return where + " lacks phase object '" + phase + "'";
+      }
+      const Value* arrivals = find(*p->object(), "arrivals");
+      const Value* goodput = find(*p->object(), "goodput");
+      if (arrivals == nullptr || !arrivals->is_number() ||
+          goodput == nullptr || !goodput->is_number()) {
+        return where + " phase '" + phase +
+               "' lacks numeric arrivals/goodput";
+      }
+      if (goodput->number() > arrivals->number()) {
+        return where + " phase '" + phase + "' goodput exceeds arrivals";
+      }
+    }
+
+    const Value* latency = find(*entry, "latency");
+    if (latency == nullptr || latency->object() == nullptr) {
+      return where + " lacks object 'latency'";
+    }
+    for (const char* key : {"p50", "p90", "p99", "p999", "max", "count"}) {
+      const Value* v = find(*latency->object(), key);
+      if (v == nullptr || !v->is_number()) {
+        return where + " latency lacks numeric '" + key + "'";
+      }
+    }
+    const Object& summary = *latency->object();
+    const double p50 = find(summary, "p50")->number();
+    const double p90 = find(summary, "p90")->number();
+    const double p99 = find(summary, "p99")->number();
+    const double p999 = find(summary, "p999")->number();
+    const double max = find(summary, "max")->number();
+    const double count = find(summary, "count")->number();
+    if (count > 0 && !(p50 <= p90 && p90 <= p99 && p99 <= p999)) {
+      return where + " latency percentiles are not monotone";
+    }
+    if (count > 0 && p999 > max + max / 32 + 1) {
+      return where + " latency p999 exceeds max beyond bucket rounding";
+    }
+  }
+  return {};
+}
+
 /// Validate a Chrome trace-event JSON document (the --trace output of the
 /// benches and acs-run): {"traceEvents": [...]} where every event carries
 /// a string name/ph, integer pid/tid, and — except for "M" metadata — a
@@ -291,6 +429,9 @@ std::string check_serving_section(const Value& serving) {
 std::string check_trace_schema(const Value& root, std::size_t& n_events) {
   const Object* top = root.object();
   if (top == nullptr) return "top level is not an object";
+  if (std::string bad = find_nonfinite(root, ""); !bad.empty()) {
+    return "non-finite numeric leaf '" + bad + "' (NaN/Inf)";
+  }
   const Value* events = find(*top, "traceEvents");
   if (events == nullptr) return "missing key 'traceEvents'";
   const Array* list = events->array();
@@ -333,6 +474,10 @@ std::string check_trace_schema(const Value& root, std::size_t& n_events) {
 std::string check_schema(const Value& root) {
   const Object* top = root.object();
   if (top == nullptr) return "top level is not an object";
+
+  if (std::string bad = find_nonfinite(root, ""); !bad.empty()) {
+    return "non-finite numeric leaf '" + bad + "' (NaN/Inf)";
+  }
 
   const struct {
     const char* key;
@@ -381,6 +526,11 @@ std::string check_schema(const Value& root) {
 
   if (const Value* serving = find(*top, "serving")) {
     std::string error = check_serving_section(*serving);
+    if (!error.empty()) return error;
+  }
+
+  if (const Value* topology = find(*top, "topology")) {
+    std::string error = check_topology_section(*topology);
     if (!error.empty()) return error;
   }
 
