@@ -200,7 +200,8 @@ std::string to_json(const std::string& bench_name,
                     const FaultSection* faults, const FuzzSection* fuzz,
                     const SimSection* sim, const LintSection* lint,
                     const ServingSection* serving,
-                    const TopologySection* topology) {
+                    const TopologySection* topology,
+                    const KernelsSection* kernels) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
@@ -389,6 +390,50 @@ std::string to_json(const std::string& bench_name,
     out += topology->configs.empty() ? "}\n" : "\n    }\n";
     out += "  },\n";
   }
+  if (kernels != nullptr) {
+    // Integer cycle/instruction totals in fixed sweep order; the doubles
+    // are ratios of those integers — bitwise identical for every
+    // --threads value (the bench_kernels_invariance ctest target pins the
+    // section at 1 vs 2 vs 8 threads).
+    out += "  \"kernels\": {\n";
+    out += "    \"kernels\": " + std::to_string(kernels->kernels) + ",\n";
+    out += "    \"schemes\": " + std::to_string(kernels->schemes) + ",\n";
+    out += "    \"runs\": " + std::to_string(kernels->runs) + ",\n";
+    out += "    \"total_cycles\": " + std::to_string(kernels->total_cycles) +
+           ",\n";
+    out += "    \"total_instructions\": " +
+           std::to_string(kernels->total_instructions) + ",\n";
+    out += "    \"entries\": {";
+    bool first_entry = true;
+    for (const auto& [tag, entry] : kernels->entries) {
+      out += first_entry ? "\n" : ",\n";
+      first_entry = false;
+      out += "      \"" + escape_json(tag) + "\": {\n";
+      out += "        \"functions\": " + std::to_string(entry.functions) +
+             ",\n";
+      out += "        \"static_calls\": " +
+             std::to_string(entry.static_calls) + ",\n";
+      out += "        \"static_depth\": " +
+             std::to_string(entry.static_depth) + ",\n";
+      out += "        \"cycles\": " + std::to_string(entry.cycles) + ",\n";
+      out += "        \"instructions\": " +
+             std::to_string(entry.instructions) + ",\n";
+      out += "        \"calls\": " + std::to_string(entry.calls) + ",\n";
+      out += "        \"pa_instructions\": " +
+             std::to_string(entry.pa_instructions) + ",\n";
+      out += "        \"chain_pushes\": " +
+             std::to_string(entry.chain_pushes) + ",\n";
+      out += "        \"overhead_percent\": " +
+             format_double(entry.overhead_percent) + ",\n";
+      out += "        \"cycles_per_call\": " +
+             format_double(entry.cycles_per_call) + ",\n";
+      out += "        \"cycles_per_instruction\": " +
+             format_double(entry.cycles_per_instruction) + "\n";
+      out += "      }";
+    }
+    out += kernels->entries.empty() ? "}\n" : "\n    }\n";
+    out += "  },\n";
+  }
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const Metric& m = metrics[i];
@@ -455,6 +500,11 @@ void BenchReporter::set_topology_section(TopologySection topology) {
   has_topology_section_ = true;
 }
 
+void BenchReporter::set_kernels_section(KernelsSection kernels) {
+  kernels_section_ = std::move(kernels);
+  has_kernels_section_ = true;
+}
+
 bool BenchReporter::finish() {
   if (finished_) return true;
   finished_ = true;
@@ -469,7 +519,8 @@ bool BenchReporter::finish() {
               has_sim_section_ ? &sim_section_ : nullptr,
               has_lint_section_ ? &lint_section_ : nullptr,
               has_serving_section_ ? &serving_section_ : nullptr,
-              has_topology_section_ ? &topology_section_ : nullptr);
+              has_topology_section_ ? &topology_section_ : nullptr,
+              has_kernels_section_ ? &kernels_section_ : nullptr);
   if (!write_file(options_.json_path, body, bench_name_)) return false;
   std::cout << "[json] wrote " << options_.json_path << "\n";
   return true;

@@ -206,6 +206,40 @@ struct TopologySection {
   std::map<std::string, TopologyEntry> configs;  ///< config tag -> outcome
 };
 
+/// One (kernel point, scheme) measurement of the synthetic-kernel sweep
+/// (bench_kernel_sweep, docs/synthetic-kernels.md): simulated cycle /
+/// instruction totals plus the per-call and per-op attribution derived
+/// from the obs counters of the same run. The doubles are ratios of
+/// deterministic integers, so the section is bitwise identical for every
+/// --threads value.
+struct KernelEntry {
+  u64 functions = 0;        ///< functions in the generated IR
+  u64 static_calls = 0;     ///< static call sites (direct+indirect+slot)
+  u64 static_depth = 0;     ///< longest static call chain
+  u64 cycles = 0;           ///< simulated cycles to clean exit
+  u64 instructions = 0;     ///< instructions retired
+  u64 calls = 0;            ///< dynamic calls (sim.call.depth total)
+  u64 pa_instructions = 0;  ///< retired PA-class instructions
+  u64 chain_pushes = 0;     ///< authenticated-chain pushes (PACStack only)
+  double overhead_percent = 0;  ///< cycles vs the kNone run, same kernel
+  double cycles_per_call = 0;
+  double cycles_per_instruction = 0;
+};
+
+/// Synthetic-kernel overhead surface, emitted as the "kernels" section of
+/// the JSON trajectory (see docs/bench-output.md). `entries` is keyed
+/// "<family>/<point>/<scheme>"; totals are summed in fixed sweep order —
+/// bitwise identical for every --threads value (pinned by the
+/// bench_kernels_invariance ctest target).
+struct KernelsSection {
+  u64 kernels = 0;  ///< distinct (family, point) kernels measured
+  u64 schemes = 0;
+  u64 runs = 0;     ///< machine runs behind the entries
+  u64 total_cycles = 0;
+  u64 total_instructions = 0;
+  std::map<std::string, KernelEntry> entries;
+};
+
 /// Collects metrics during a bench run and writes the machine-readable
 /// trajectory on finish(). Wall-clock time is measured from construction
 /// to finish(). Table/stdout output is unaffected: record() only feeds the
@@ -247,6 +281,10 @@ class BenchReporter {
   /// section of the JSON trajectory).
   void set_topology_section(TopologySection topology);
 
+  /// Attach the synthetic-kernel overhead surface (emitted as the
+  /// "kernels" section of the JSON trajectory).
+  void set_kernels_section(KernelsSection kernels);
+
   /// Write the JSON file if --json was given. Returns false (after
   /// printing to stderr) if the file cannot be written. Idempotent.
   bool finish();
@@ -275,6 +313,8 @@ class BenchReporter {
   bool has_serving_section_ = false;
   TopologySection topology_section_;
   bool has_topology_section_ = false;
+  KernelsSection kernels_section_;
+  bool has_kernels_section_ = false;
   long long start_ns_;
   bool finished_ = false;
 };
@@ -284,8 +324,8 @@ class BenchReporter {
 /// filesystem. `obs_metrics` (may be nullptr) adds the "obs" section;
 /// `faults` (may be nullptr) adds the "faults" section; `fuzz` (may be
 /// nullptr) adds the "fuzz" section; `sim` (may be nullptr) adds the "sim"
-/// section; `lint` (may be nullptr) adds the "lint" section; `serving`
-/// and `topology` (may be nullptr) add their sections likewise.
+/// section; `lint` (may be nullptr) adds the "lint" section; `serving`,
+/// `topology` and `kernels` (may be nullptr) add their sections likewise.
 [[nodiscard]] std::string to_json(const std::string& bench_name,
                                   const BenchOptions& options, u64 base_seed,
                                   const std::vector<Metric>& metrics,
@@ -296,7 +336,8 @@ class BenchReporter {
                                   const SimSection* sim = nullptr,
                                   const LintSection* lint = nullptr,
                                   const ServingSection* serving = nullptr,
-                                  const TopologySection* topology = nullptr);
+                                  const TopologySection* topology = nullptr,
+                                  const KernelsSection* kernels = nullptr);
 
 /// Write `body` to `path` (truncating); on failure prints to stderr and
 /// returns false. Used for the --json/--trace/--profile sinks.

@@ -20,6 +20,7 @@ set(ACS_SMOKE_BENCHES
   bench_serving_topology
   bench_micro_pa
   bench_obs_overhead
+  bench_kernel_sweep
 )
 
 foreach(bench_name IN LISTS ACS_SMOKE_BENCHES)
@@ -40,20 +41,34 @@ add_test(NAME bench_fault_invariance
          COMMAND ${CMAKE_COMMAND}
                  -DBENCH=$<TARGET_FILE:bench_fault_availability>
                  -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
-                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_fault_invariance.cmake)
+                 -DPREFIX=fault
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_serving_invariance.cmake)
 set_tests_properties(bench_fault_invariance PROPERTIES
                      LABELS "bench_smoke" TIMEOUT 600)
 
-# Thread-invariance pin for the simulator throughput bench: the
-# deterministic fields of the "sim" section (instruction count, CoW page
-# count, dispatch-equivalence fingerprint) must be identical at --threads
-# 1, 2 and 8; the host-timed instr/sec rates are excluded.
+# Thread-invariance pin for the simulator throughput bench: the whole
+# trajectory must be bitwise identical at --threads 1, 2 and 8 once the
+# host-timed instr/sec, speedup and forks/sec rates are stripped.
 add_test(NAME bench_sim_invariance
          COMMAND ${CMAKE_COMMAND}
                  -DBENCH=$<TARGET_FILE:bench_sim_throughput>
                  -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
-                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_sim_invariance.cmake)
+                 -DPREFIX=sim
+                 "-DSTRIP_FIELDS=ips_interpreter;ips_decoded;speedup;dispatch_speedup;forks_per_sec"
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_serving_invariance.cmake)
 set_tests_properties(bench_sim_invariance PROPERTIES
+                     LABELS "bench_smoke" TIMEOUT 600)
+
+# Thread-invariance pin for the synthetic-kernel overhead sweep: the
+# "kernels" section is built from deterministic simulated cycle counts, so
+# the full trajectory must be bitwise identical at --threads 1, 2 and 8.
+add_test(NAME bench_kernels_invariance
+         COMMAND ${CMAKE_COMMAND}
+                 -DBENCH=$<TARGET_FILE:bench_kernel_sweep>
+                 -DJSON_DIR=${CMAKE_CURRENT_BINARY_DIR}
+                 -DPREFIX=kernels
+                 -P ${CMAKE_CURRENT_SOURCE_DIR}/run_serving_invariance.cmake)
+set_tests_properties(bench_kernels_invariance PROPERTIES
                      LABELS "bench_smoke" TIMEOUT 600)
 
 # Thread-invariance pin for the serving tail-latency bench: the trajectory

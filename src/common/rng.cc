@@ -1,7 +1,40 @@
-// rng.h is header-only; this translation unit exists so the common library
-// has a home for future out-of-line RNG utilities and to anchor the target.
+// Out-of-line RNG utilities. The core xoshiro256** generator is
+// header-only (rng.h); this translation unit holds the distribution
+// helpers whose construction cost or code size does not belong in the
+// header — currently the Zipf CDF precomputation.
 #include "common/rng.h"
 
+#include <algorithm>
+
 namespace acs {
-// Intentionally empty.
+
+Zipf::Zipf(u64 n, double s) : n_(n), s_(s) {
+  assert(n != 0 && "Zipf: empty support has no valid sample");
+  assert(s >= 0.0 && "Zipf: negative skew is not zipfian");
+  // Degenerate supports and zero skew never touch the CDF: n == 1 has a
+  // single outcome and s == 0 routes through next_below for an exactly
+  // uniform (rejection-sampled) draw. Leaving cdf_ empty keeps sample()
+  // branch-predictable and avoids float rounding entirely on those paths.
+  if (n_ <= 1 || s_ == 0.0) return;
+  cdf_.reserve(static_cast<size_t>(n_));
+  double total = 0.0;
+  for (u64 k = 0; k < n_; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s_);
+    cdf_.push_back(total);
+  }
+  // Normalising by the final cumulative weight makes cdf_.back() exactly
+  // 1.0, so the lower_bound below can never run off the end even if the
+  // uniform draw lands on the last representable double below 1.
+  for (double& c : cdf_) c /= total;
+}
+
+u64 Zipf::sample(Rng& rng) const noexcept {
+  if (n_ == 1) return 0;
+  if (cdf_.empty()) return rng.next_below(n_);  // s == 0: exact uniform
+  const double u = rng.next_double();  // in [0, 1)
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;  // unreachable after normalisation
+  return static_cast<u64>(it - cdf_.begin());
+}
+
 }  // namespace acs

@@ -9,6 +9,8 @@
 
 #include <array>
 #include <cassert>
+#include <cmath>
+#include <vector>
 
 #include "common/types.h"
 
@@ -82,6 +84,23 @@ class Rng {
     return next_double() < p;
   }
 
+  /// Truncated geometric draw: the number of Bernoulli(p) failures before
+  /// the first success, clamped to [0, max_value]. Sampled by inversion
+  /// (floor(log(1-u) / log(1-p))), so one uniform draw per call. The
+  /// boundary cases are part of the contract, not UB:
+  ///   * p >= 1 always returns 0 (success on the very first trial);
+  ///   * p <= 0 returns max_value (the success never arrives, so the
+  ///     truncation point is the whole mass);
+  ///   * max_value == 0 collapses the support to the single value 0.
+  [[nodiscard]] u64 next_geometric(double p, u64 max_value) noexcept {
+    if (max_value == 0 || p >= 1.0) return 0;
+    if (p <= 0.0) return max_value;
+    const double u = next_double();  // in [0, 1)
+    const double k = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (!(k < static_cast<double>(max_value))) return max_value;
+    return static_cast<u64>(k);
+  }
+
   // UniformRandomBitGenerator interface for <algorithm> interop.
   [[nodiscard]] static constexpr u64 min() noexcept { return 0; }
   [[nodiscard]] static constexpr u64 max() noexcept { return ~u64{0}; }
@@ -93,6 +112,35 @@ class Rng {
   }
 
   std::array<u64, 4> state_{};
+};
+
+/// Zipf(s) distribution over the support {0, ..., n-1} with
+/// P(k) proportional to 1/(k+1)^s. The cumulative weights are precomputed
+/// once at construction so sampling is a binary search over the CDF. The
+/// degenerate supports are part of the contract:
+///   * n == 0 is an empty support — asserted like Rng::next_below(0),
+///     since there is no valid sample;
+///   * n == 1 always yields 0 without drawing;
+///   * s == 0 degenerates to the exact uniform distribution over [0, n)
+///     (routed through Rng::next_below, so it is rejection-sampled and
+///     bias-free rather than merely uniform-up-to-float-rounding).
+/// Negative skew is rejected (asserted): the tail would dominate and the
+/// "zipf" name would be a lie.
+class Zipf {
+ public:
+  Zipf(u64 n, double s);
+
+  /// One draw from the distribution. Uses exactly one Rng draw on the CDF
+  /// path; the s == 0 fast path inherits next_below's rejection loop.
+  [[nodiscard]] u64 sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] u64 size() const noexcept { return n_; }
+  [[nodiscard]] double skew() const noexcept { return s_; }
+
+ private:
+  u64 n_ = 0;
+  double s_ = 0.0;
+  std::vector<double> cdf_;  ///< empty when the uniform fast path applies
 };
 
 }  // namespace acs

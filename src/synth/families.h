@@ -1,0 +1,44 @@
+// Named parameter points in the synthetic-kernel space
+// (docs/synthetic-kernels.md "Families").
+//
+// A family is one axis of the scenario space held to a naming convention —
+// `ladder` sweeps fixed call depth, `geo`/`zipf` sweep the depth
+// *distribution*, `recurse` the unrolled-recursion share, `unwind` the
+// setjmp/exception mix, `signal` the handler traffic, `membound` the
+// per-frame data footprint. bench_kernel_sweep measures every (scheme,
+// point) pair over this catalogue; acs-fuzz --seed-synth draws its
+// feature-targeted corpus from the separate fuzz_seed_specs() list, whose
+// points deliberately over-weight the constructs blind random generation
+// (workload::make_random_ir) never produces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/generator.h"
+
+namespace acs::synth {
+
+/// One named point: `family` groups points that sweep a single axis,
+/// `point` names the position on it ("depth16", "p0.125", ...). The bench
+/// tags rows as `<family>/<point>`.
+struct KernelSpec {
+  std::string family;
+  std::string point;
+  SynthParams params;
+  u64 seed = 1;  ///< generator seed; part of the point's identity
+};
+
+/// The bench sweep catalogue. `smoke` keeps one representative point per
+/// family so --smoke finishes in CI time while still exercising every
+/// family's code path.
+[[nodiscard]] std::vector<KernelSpec> sweep_specs(bool smoke);
+
+/// Feature-targeted fuzz seeds: points chosen to light up the
+/// fuzz::feature domains an equal-budget blind-random corpus leaves dark —
+/// deep kDepth buckets, setjmp/longjmp and throw/catch runtime paths,
+/// signal delivery, via-slot lowering. Every spec validates and the
+/// emitted corpus is accepted by `acs-fuzz --validate`.
+[[nodiscard]] std::vector<KernelSpec> fuzz_seed_specs();
+
+}  // namespace acs::synth

@@ -1,0 +1,309 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "compiler/validate.h"
+
+namespace acs::synth {
+
+namespace {
+
+/// Task stacks are 64 KiB (kernel/task.h); leave headroom for the codegen's
+/// saved-register area and the entry/leaf frames so a validated parameter
+/// point can never overflow at the deepest configured entry.
+constexpr u64 kStackBudgetBytes = 48 * 1024;
+constexpr u64 kFrameOverheadBytes = 64;
+
+/// jmp_buf slot count mirrors compiler/validate.cc (one 4 KiB page at a
+/// 32-byte stride); fn-pointer slots likewise (8-byte stride).
+constexpr u64 kJmpSlots = 128;
+constexpr u64 kPtrSlots = 512;
+
+void require(bool ok, const char* what) {
+  if (!ok) throw SynthParamError(what);
+}
+
+void require_prob(double p, const char* what) {
+  require(p >= 0.0 && p <= 1.0, what);
+}
+
+/// One per-site depth draw in [1, max_depth].
+u64 draw_depth(const SynthParams& params, Rng& rng, const Zipf* zipf) {
+  switch (params.depth_dist) {
+    case DepthDist::kFixed:
+      return params.fixed_depth;
+    case DepthDist::kGeometric:
+      return 1 + rng.next_geometric(params.geometric_p, params.max_depth - 1);
+    case DepthDist::kZipf:
+      return 1 + zipf->sample(rng);
+  }
+  return params.fixed_depth;  // unreachable
+}
+
+/// The unwind construct a varied-ladder level hosts (at most one, so the
+/// early-return semantics of a fired setjmp/catch never shadow a sibling
+/// construct in the same body).
+enum class Construct : u8 { kNone, kSetjmp, kException, kSignal };
+
+Construct draw_construct(const SynthParams& params, Rng& rng) {
+  if (rng.next_bool(params.setjmp_mix)) return Construct::kSetjmp;
+  if (rng.next_bool(params.exception_mix)) return Construct::kException;
+  if (rng.next_bool(params.signal_mix)) return Construct::kSignal;
+  return Construct::kNone;
+}
+
+/// Emit one call edge, choosing the lowering by the configured densities.
+/// `slot_cursor` hands every via-slot edge its own fn-pointer slot.
+void emit_edge(compiler::IrBuilder& builder, const SynthParams& params,
+               Rng& rng, std::size_t callee, u64& slot_cursor) {
+  if (rng.next_bool(params.slot_density)) {
+    builder.call_via_slot(callee, slot_cursor++ % kPtrSlots);
+  } else if (rng.next_bool(params.indirect_density)) {
+    builder.call_indirect(callee);
+  } else {
+    builder.call(callee, 1);
+  }
+}
+
+}  // namespace
+
+void validate_params(const SynthParams& params) {
+  require(params.max_depth >= 1, "max_depth must be >= 1");
+  require(params.max_depth <= 128,
+          "max_depth above 128 is out of the supported sweep range");
+  if (params.depth_dist == DepthDist::kFixed) {
+    require(params.fixed_depth >= 1 && params.fixed_depth <= params.max_depth,
+            "fixed_depth must lie in [1, max_depth]");
+  }
+  require_prob(params.geometric_p, "geometric_p must lie in [0, 1]");
+  require(params.zipf_s >= 0.0, "zipf_s must be non-negative");
+  require(params.num_sites >= 1, "num_sites must be >= 1");
+  require_prob(params.recursion_ratio, "recursion_ratio must lie in [0, 1]");
+  require_prob(params.leaf_ratio, "leaf_ratio must lie in [0, 1]");
+  require_prob(params.indirect_density,
+               "indirect_density must lie in [0, 1]");
+  require_prob(params.slot_density, "slot_density must lie in [0, 1]");
+  require_prob(params.setjmp_mix, "setjmp_mix must lie in [0, 1]");
+  require_prob(params.exception_mix, "exception_mix must lie in [0, 1]");
+  require_prob(params.signal_mix, "signal_mix must lie in [0, 1]");
+  require(params.frame_bytes % 8 == 0, "frame_bytes must be 8-byte aligned");
+  require(params.frame_bytes == 0 || params.touches_per_frame * 8 <= 4096,
+          "touches_per_frame is implausibly large");
+  require(params.compute_cycles >= 1, "compute_cycles must be >= 1");
+  // Worst case: every ladder level carries a full frame and the deepest
+  // site walks all of them. Validated points can never overflow the stack.
+  const u64 frame = params.frame_bytes + kFrameOverheadBytes;
+  require(frame * (params.max_depth + 8) <= kStackBudgetBytes,
+          "frame_bytes x max_depth exceeds the 64 KiB task-stack budget");
+}
+
+compiler::ProgramIr generate_kernel(const SynthParams& params, u64 seed) {
+  validate_params(params);
+  Rng rng(seed);
+  const Zipf zipf(params.max_depth, params.zipf_s);
+
+  compiler::IrBuilder builder;
+  u64 marker = 5000;      // unique write_int values (output richness)
+  u64 slot_cursor = 0;    // fn-pointer slots for via-slot edges
+  u64 helper_serial = 0;  // unique helper names
+
+  // Index 0: the pure-compute leaf. Both PACStack and pac-ret+leaf leave
+  // it uninstrumented (the Section 7.1 heuristic), so leaf-call density
+  // directly modulates authentication density.
+  const std::size_t leaf = builder.begin_function("sy$leaf");
+  builder.compute(params.compute_cycles);
+
+  // Index 1: the shared signal handler. Built unconditionally so indices
+  // are independent of the mix draws; dead when signal_mix is zero.
+  const std::size_t handler = builder.begin_function("sy$sig");
+  builder.compute(1);
+  builder.write_int(4096);
+
+  // Varied ladder, deepest level first so every callee has a lower index
+  // than its caller — acyclicity holds by construction. Level k (1-based
+  // from the top) calls level k + 1; the deepest level calls the leaf.
+  // varied[k - 1] = function index of level k.
+  std::vector<std::size_t> varied(params.max_depth);
+  for (u64 k = params.max_depth; k >= 1; --k) {
+    const Construct construct = draw_construct(params, rng);
+
+    // The level's unwind partner is built first (lower index): it jumps /
+    // throws back into the level that calls it, so the landing pad is
+    // live exactly when the unwind fires — the shape the golden
+    // interpreter supports.
+    std::size_t partner = 0;
+    if (construct == Construct::kSetjmp) {
+      partner = builder.begin_function("sy$lj" + std::to_string(++helper_serial));
+      builder.compute(1);
+      builder.longjmp_to(k % kJmpSlots, k);
+    } else if (construct == Construct::kException) {
+      partner = builder.begin_function("sy$th" + std::to_string(++helper_serial));
+      builder.compute(1);
+      builder.throw_exception(k, k);
+    }
+
+    varied[k - 1] = builder.begin_function("sy$v" + std::to_string(k),
+                                           params.frame_bytes);
+    builder.compute(1 + rng.next_below(2 * params.compute_cycles));
+    if (params.frame_bytes > 0) {
+      for (u64 t = 0; t < params.touches_per_frame; ++t) {
+        const u64 offset = 8 * rng.next_below(params.frame_bytes / 8);
+        builder.store_local(offset, rng.next());
+        builder.load_local(offset);
+      }
+    }
+    if (rng.next_bool(params.leaf_ratio)) {
+      builder.call(leaf, 1 + rng.next_below(2));
+    }
+    emit_edge(builder, params, rng,
+              k == params.max_depth ? leaf : varied[k], slot_cursor);
+    builder.write_int(marker++);
+    // Constructs that return early (a fired setjmp / catch unwinds out of
+    // the function) come last so they never truncate the level's chain.
+    switch (construct) {
+      case Construct::kSetjmp:
+        builder.setjmp_point(k % kJmpSlots);
+        builder.call(partner, 1);
+        break;
+      case Construct::kException:
+        builder.catch_point(k);
+        builder.call(partner, 1);
+        break;
+      case Construct::kSignal:
+        builder.sigaction(1 + k % 31, handler);
+        builder.raise_signal(1 + k % 31);
+        break;
+      case Construct::kNone:
+        break;
+    }
+  }
+
+  // Uniform ladder — the unrolled-recursion model. Every level has the
+  // same structure (the body of `f(n) { work(); f(n - 1); }`), built only
+  // when some site can enter it.
+  std::vector<std::size_t> uniform;
+  if (params.recursion_ratio > 0.0) {
+    uniform.resize(params.max_depth);
+    for (u64 k = params.max_depth; k >= 1; --k) {
+      uniform[k - 1] = builder.begin_function("sy$r" + std::to_string(k),
+                                              params.frame_bytes);
+      builder.compute(params.compute_cycles);
+      if (params.frame_bytes > 0) {
+        builder.store_local(0, 0xacc);
+        builder.load_local(0);
+      }
+      builder.call(k == params.max_depth ? leaf : uniform[k], 1);
+    }
+  }
+
+  // Entry, highest index: one depth draw per site, each entering a ladder
+  // at the level that yields the drawn depth below the entry frame.
+  const std::size_t entry = builder.begin_function("sy$entry");
+  builder.compute(params.compute_cycles);
+  for (u64 v = 0; v < params.vuln_sites; ++v) builder.vuln_site(1 + v);
+  for (u64 site = 0; site < params.num_sites; ++site) {
+    const u64 depth = draw_depth(params, rng, &zipf);
+    const bool recurse =
+        !uniform.empty() && rng.next_bool(params.recursion_ratio);
+    const auto& ladder = recurse ? uniform : varied;
+    emit_edge(builder, params, rng, ladder[params.max_depth - depth],
+              slot_cursor);
+    builder.write_int(marker++);
+  }
+  builder.write_int(9999);  // completion sentinel
+
+  compiler::ProgramIr ir = builder.build(entry);
+  const std::vector<std::string> errors = compiler::validate_ir(ir);
+  if (!errors.empty()) {
+    std::string detail = "generate_kernel produced invalid IR:";
+    for (const std::string& e : errors) detail += "\n  " + e;
+    throw std::logic_error(detail);
+  }
+  return ir;
+}
+
+KernelShape measure_shape(const compiler::ProgramIr& ir) {
+  KernelShape shape;
+  shape.functions = ir.functions.size();
+  for (const compiler::FunctionIr& fn : ir.functions) {
+    for (const compiler::Op& op : fn.body) {
+      switch (op.kind) {
+        case compiler::OpKind::kCall:
+        case compiler::OpKind::kCallIndirect:
+        case compiler::OpKind::kCallViaSlot:
+          ++shape.call_sites;
+          if (op.kind != compiler::OpKind::kCall) ++shape.indirect_sites;
+          break;
+        case compiler::OpKind::kSetjmp:
+          ++shape.setjmp_sites;
+          break;
+        case compiler::OpKind::kThrow:
+          ++shape.throw_sites;
+          break;
+        case compiler::OpKind::kRaise:
+          ++shape.signal_sites;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Longest call chain in the static graph (call / via-slot / indirect /
+  // tail / handler edges). The graph is validated acyclic, so a memoised
+  // post-order walk terminates; the explicit stack keeps arbitrary-depth
+  // inputs off the host call stack.
+  const std::size_t n = ir.functions.size();
+  std::vector<u64> longest(n, 0);
+  std::vector<u8> done(n, 0);
+  const auto edges_of = [&](std::size_t at, auto&& visit) {
+    const compiler::FunctionIr& fn = ir.functions[at];
+    for (const compiler::Op& op : fn.body) {
+      switch (op.kind) {
+        case compiler::OpKind::kCall:
+        case compiler::OpKind::kCallIndirect:
+        case compiler::OpKind::kCallViaSlot:
+          visit(static_cast<std::size_t>(op.a));
+          break;
+        case compiler::OpKind::kSigaction:
+          visit(static_cast<std::size_t>(op.b));
+          break;
+        default:
+          break;
+      }
+    }
+    if (fn.tail_callee >= 0) visit(static_cast<std::size_t>(fn.tail_callee));
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    std::vector<std::size_t> stack{root};
+    while (!stack.empty()) {
+      const std::size_t at = stack.back();
+      if (done[at]) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      edges_of(at, [&](std::size_t callee) {
+        if (callee < n && !done[callee]) {
+          stack.push_back(callee);
+          ready = false;
+        }
+      });
+      if (!ready) continue;
+      u64 best = 0;
+      edges_of(at, [&](std::size_t callee) {
+        if (callee < n && longest[callee] + 1 > best) {
+          best = longest[callee] + 1;
+        }
+      });
+      longest[at] = best;
+      done[at] = 1;
+      stack.pop_back();
+    }
+  }
+  for (u64 d : longest) shape.max_static_depth = std::max(shape.max_static_depth, d);
+  return shape;
+}
+
+}  // namespace acs::synth

@@ -1,0 +1,117 @@
+// Deterministic synthetic kernel generator (docs/synthetic-kernels.md).
+//
+// The paper's overhead numbers are sampled at a handful of fixed programs
+// (the Fig. 5 SPEC mixes, the nginx model); PACStack's own analysis argues
+// the cost hinges on call-graph *shape* — authentication density per
+// retired instruction. generate_kernel() makes that axis measurable: it
+// produces a `compiler::ProgramIr` whose call-depth distribution,
+// recursion/leaf mix, indirect-call density, unwind (setjmp / exception /
+// signal) mix and per-frame data footprint are explicit parameters, so the
+// scenario space can be swept systematically instead of anecdotally.
+//
+// Determinism contract: the output is a pure function of (params, seed) —
+// no global state, no host entropy — and every kernel is gated through
+// `compiler::validate_ir` before it is returned (a structural error is a
+// generator bug and throws). The same (params, seed) pair therefore yields
+// the same kernel on every host, which is what lets bench_kernel_sweep
+// pin its trajectory bitwise across thread counts and lets the fuzzer use
+// these kernels as reproducible feature-targeted seeds.
+//
+// Recursion under an acyclic call graph: the IR has no conditionals, so a
+// call cycle cannot terminate and validate_ir rejects it. Recursion is
+// therefore modelled as an *unrolled recursive ladder* — a chain of
+// structurally identical functions each calling the next level down, the
+// shape `f(n) { work(); f(n - 1); }` takes after complete unrolling. The
+// varied ladder, by contrast, randomises every level independently (the
+// "many distinct callees" shape of real call graphs). A depth drawn from
+// the configured distribution selects how far down a ladder each entry
+// site enters.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "compiler/ir.h"
+
+namespace acs::synth {
+
+/// How entry-site call depths are drawn.
+enum class DepthDist : u8 {
+  kFixed = 0,  ///< every site uses `fixed_depth`
+  kGeometric,  ///< 1 + truncated-geometric(geometric_p) — many shallow
+               ///< calls, an exponential tail of deep ones
+  kZipf,       ///< 1 + Zipf(max_depth, zipf_s) — heavy head at depth 1,
+               ///< polynomial tail; s = 0 degenerates to uniform
+};
+
+struct SynthParams {
+  // --- call-depth distribution -------------------------------------------
+  DepthDist depth_dist = DepthDist::kFixed;
+  u64 fixed_depth = 8;      ///< kFixed: depth of every site (1..max_depth)
+  double geometric_p = 0.25;  ///< kGeometric success probability
+  double zipf_s = 1.0;        ///< kZipf skew (0 = uniform over depths)
+  u64 max_depth = 32;       ///< ladder length; ceiling for every draw
+
+  // --- call-graph shape --------------------------------------------------
+  u64 num_sites = 8;          ///< call sites in the entry function
+  double recursion_ratio = 0.0;  ///< P(site enters the uniform ladder)
+  double leaf_ratio = 0.25;      ///< P(varied level adds a leaf call)
+  double indirect_density = 0.0; ///< P(edge lowered as register-indirect)
+  double slot_density = 0.0;     ///< P(edge through a fn-pointer data slot)
+
+  // --- unwind / kernel-interaction mix -----------------------------------
+  // Each varied-ladder level hosts at most one construct, drawn in this
+  // order. setjmp and exception levels pair with a dedicated helper that
+  // longjmps / throws back, so the jump target is registered in the same
+  // function that is live when the unwind fires — the shape the golden
+  // interpreter supports. Signal levels install a handler and raise; the
+  // golden model bows out of those (cross-scheme oracle still applies).
+  double setjmp_mix = 0.0;
+  double exception_mix = 0.0;
+  double signal_mix = 0.0;
+
+  // --- data footprint ----------------------------------------------------
+  u64 frame_bytes = 32;        ///< local buffer per ladder level (8-aligned)
+  u64 touches_per_frame = 2;   ///< store+load pairs per buffered level
+  u64 compute_cycles = 4;      ///< straight-line work scale per function
+
+  // --- attack surface ----------------------------------------------------
+  u64 vuln_sites = 0;  ///< labelled adversary write points in the entry
+};
+
+/// Thrown when SynthParams is self-inconsistent (probability outside
+/// [0, 1], zero/overflowing depth, frame too large for the 64 KiB task
+/// stack at the configured depth, ...).
+class SynthParamError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Throws SynthParamError describing the first violated constraint;
+/// returns normally when `params` is usable.
+void validate_params(const SynthParams& params);
+
+/// Generate one kernel. Pure function of (params, seed); the result always
+/// passes `compiler::validate_ir` (a violation is a generator bug and
+/// throws std::logic_error with the validator's messages).
+[[nodiscard]] compiler::ProgramIr generate_kernel(const SynthParams& params,
+                                                  u64 seed);
+
+/// Static call-graph statistics of a generated kernel — what the bench
+/// reports alongside the measured cycles so a parameter point's *realised*
+/// shape (site depths actually drawn, edge kinds actually chosen) is in
+/// the trajectory, not just the requested distribution.
+struct KernelShape {
+  u64 functions = 0;
+  u64 call_sites = 0;       ///< static kCall/kCallIndirect/kCallViaSlot ops
+  u64 indirect_sites = 0;   ///< kCallIndirect + kCallViaSlot
+  u64 setjmp_sites = 0;
+  u64 throw_sites = 0;
+  u64 signal_sites = 0;
+  u64 max_static_depth = 0;  ///< longest path in the static call graph
+};
+
+[[nodiscard]] KernelShape measure_shape(const compiler::ProgramIr& ir);
+
+}  // namespace acs::synth

@@ -133,6 +133,112 @@ TEST(Rng, BitBalance) {
   }
 }
 
+TEST(Rng, GeometricBoundaryCases) {
+  Rng rng(20);
+  for (int i = 0; i < 50; ++i) {
+    // p >= 1: success on the first trial, zero failures — always.
+    EXPECT_EQ(rng.next_geometric(1.0, 100), 0U);
+    EXPECT_EQ(rng.next_geometric(1.5, 100), 0U);
+    // p <= 0: success never arrives; the truncation point takes the mass.
+    EXPECT_EQ(rng.next_geometric(0.0, 100), 100U);
+    EXPECT_EQ(rng.next_geometric(-0.5, 100), 100U);
+    // max_value == 0 collapses the support to {0} for any p.
+    EXPECT_EQ(rng.next_geometric(0.3, 0), 0U);
+    EXPECT_EQ(rng.next_geometric(0.0, 0), 0U);
+  }
+}
+
+TEST(Rng, GeometricRespectsTruncation) {
+  Rng rng(21);
+  bool saw_cap = false;
+  for (int i = 0; i < 5000; ++i) {
+    const u64 v = rng.next_geometric(0.1, 8);
+    EXPECT_LE(v, 8U);
+    saw_cap |= v == 8;
+  }
+  // With p = 0.1 the untruncated tail beyond 8 has mass 0.9^8 ~ 43%, so
+  // the cap must absorb a visible share of draws.
+  EXPECT_TRUE(saw_cap);
+}
+
+TEST(Rng, GeometricMeanMatchesInversion) {
+  // Untruncated mean of failures-before-success is (1-p)/p; with a cap far
+  // in the tail the truncated mean is within noise of it.
+  Rng rng(22);
+  const double p = 0.25;
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.next_geometric(p, 1000));
+  }
+  EXPECT_NEAR(sum / kSamples, (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricDeterministicPerSeed) {
+  Rng a(23);
+  Rng b(23);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next_geometric(0.2, 64), b.next_geometric(0.2, 64));
+  }
+}
+
+TEST(Zipf, SingletonSupportAlwaysZero) {
+  Rng rng(24);
+  const Zipf one(1, 1.5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(one.sample(rng), 0U);
+  // The n == 1 path must not consume entropy: the stream stays aligned
+  // with an identically seeded generator.
+  Rng a(25);
+  Rng b(25);
+  (void)one.sample(a);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipf, ZeroSkewDegeneratesToUniform) {
+  // s == 0 must match next_below exactly — same rejection-sampled draws,
+  // not a float approximation of uniformity.
+  Rng a(26);
+  Rng b(26);
+  const Zipf flat(8, 0.0);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(flat.sample(a), b.next_below(8));
+}
+
+TEST(Zipf, SamplesStayInSupport) {
+  Rng rng(27);
+  for (double s : {0.0, 0.5, 1.0, 2.0}) {
+    const Zipf z(13, s);
+    EXPECT_EQ(z.size(), 13U);
+    for (int i = 0; i < 500; ++i) EXPECT_LT(z.sample(rng), 13U);
+  }
+}
+
+TEST(Zipf, HighSkewConcentratesOnHead) {
+  Rng rng(28);
+  const Zipf z(64, 2.0);
+  int head = 0;
+  constexpr int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) head += z.sample(rng) == 0 ? 1 : 0;
+  // P(0) = 1/zeta-ish: for s=2, n=64 the head holds ~61% of the mass.
+  EXPECT_GT(head, kSamples / 2);
+}
+
+TEST(Zipf, RankFrequenciesDecrease) {
+  Rng rng(29);
+  const Zipf z(6, 1.0);
+  std::array<int, 6> counts{};
+  for (int i = 0; i < 12000; ++i) ++counts[z.sample(rng)];
+  for (size_t k = 1; k < counts.size(); ++k) {
+    EXPECT_GT(counts[k - 1], counts[k]) << "rank " << k;
+  }
+}
+
+TEST(Zipf, DeterministicPerSeed) {
+  const Zipf z(32, 1.2);
+  Rng a(30);
+  Rng b(30);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(z.sample(a), z.sample(b));
+}
+
 TEST(Splitmix, KnownSequenceProperties) {
   u64 s = 0;
   const u64 a = splitmix64(s);

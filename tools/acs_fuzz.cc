@@ -14,6 +14,7 @@
 //   acs-fuzz --replay tests/corpus/case.acsir     # re-run one reproducer
 //   acs-fuzz --minimize repro.acsir --out min.acsir
 //   acs-fuzz --validate tests/corpus                # structural IR audit
+//   acs-fuzz --seed-synth corpus/                 # synthetic seed corpus
 //   acs-fuzz --execs 64 --json BENCH_acs_fuzz.json --threads 4
 //
 // Campaigns are bitwise deterministic for a fixed --seed/--execs pair at
@@ -34,6 +35,8 @@
 #include "fuzz/engine.h"
 #include "fuzz/minimize.h"
 #include "fuzz/serialize.h"
+#include "synth/families.h"
+#include "synth/generator.h"
 #include "workload/confirm_suite.h"
 
 namespace {
@@ -47,6 +50,7 @@ struct Options {
   std::string replay_path;
   std::string minimize_path;
   std::string validate_path;  ///< --validate target (.acsir file or dir)
+  std::string seed_synth_dir;  ///< --seed-synth output directory
   std::string out_path;     ///< --minimize output (default: stdout)
   std::string corpus_dir;   ///< campaign findings are written here
   bool seed_corpus = true;  ///< pre-seed with the confirm-suite programs
@@ -70,6 +74,9 @@ void print_usage() {
       "  --validate <path>    structural IR check (compiler::validate_ir) "
       "of one\n"
       "                       .acsir file or every .acsir in a directory\n"
+      "  --seed-synth <dir>   write the synthetic seed-kernel catalogue\n"
+      "                       (src/synth families targeting under-covered\n"
+      "                       feature domains) into <dir> as .acsir files\n"
       "  --out <path>         write the minimized reproducer here instead\n"
       "  --corpus-dir <dir>   write campaign findings into <dir> as "
       ".acsir files\n"
@@ -173,6 +180,49 @@ int validate(const Options& options) {
   std::printf("validated %zu file(s): %d violation(s)\n", paths.size(),
               violations);
   return violations == 0 ? 0 : 1;
+}
+
+/// --seed-synth: emit the feature-targeted synthetic kernel catalogue
+/// (synth::fuzz_seed_specs) as .acsir seed files. Every kernel is pushed
+/// through the full oracle battery before it is written — a seed that is
+/// not viable, trips an oracle, or adds no features over the ones already
+/// emitted is a catalogue bug and fails the run.
+int seed_synth(const Options& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.seed_synth_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create '%s': %s\n",
+                 options.seed_synth_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  fuzz::FeatureMap emitted;
+  int rc = 0;
+  const std::vector<synth::KernelSpec> specs = synth::fuzz_seed_specs();
+  for (const synth::KernelSpec& spec : specs) {
+    const compiler::ProgramIr ir =
+        synth::generate_kernel(spec.params, spec.seed);
+    const fuzz::EvalResult result = fuzz::evaluate_program(ir);
+    const std::size_t novel = result.features.novel_against(emitted);
+    std::printf("%-16s %zu feature(s), %zu novel, %zu finding(s)%s\n",
+                spec.point.c_str(), result.features.size(), novel,
+                result.findings.size(),
+                result.viable ? "" : " NOT VIABLE");
+    if (!result.viable || !result.findings.empty() || novel == 0) {
+      print_findings(result.findings);
+      rc = 1;
+      continue;
+    }
+    emitted.merge(result.features);
+    const std::string path =
+        options.seed_synth_dir + "/synth-" + spec.point + ".acsir";
+    if (!bench::write_file(path, fuzz::serialize_ir(ir), "acs-fuzz")) {
+      rc = 1;
+    }
+  }
+  std::printf("emitted %zu seed(s) covering %zu feature(s)\n", specs.size(),
+              emitted.size());
+  return rc;
 }
 
 int minimize(const Options& options) {
@@ -334,6 +384,7 @@ int main(int argc, char** argv) {
     } else if (flag_value("--replay", options.replay_path)) {
     } else if (flag_value("--minimize", options.minimize_path)) {
     } else if (flag_value("--validate", options.validate_path)) {
+    } else if (flag_value("--seed-synth", options.seed_synth_dir)) {
     } else if (flag_value("--out", options.out_path)) {
     } else if (flag_value("--corpus-dir", options.corpus_dir)) {
     } else if (flag_value("--json", options.bench.json_path)) {
@@ -350,5 +401,6 @@ int main(int argc, char** argv) {
   if (!options.replay_path.empty()) return replay(options);
   if (!options.minimize_path.empty()) return minimize(options);
   if (!options.validate_path.empty()) return validate(options);
+  if (!options.seed_synth_dir.empty()) return seed_synth(options);
   return campaign(options);
 }

@@ -422,6 +422,71 @@ std::string check_topology_section(const Value& topology) {
   return {};
 }
 
+/// Validate the optional "kernels" section (synthetic-kernel overhead
+/// surface, see docs/bench-output.md): numeric totals, and a {tag: entry}
+/// "entries" map — keys "<family>/<point>/<scheme>" — whose entries carry
+/// the cycle/instruction/call counts with consistent derived ratios
+/// (cycles_per_instruction == cycles / instructions within rounding).
+std::string check_kernels_section(const Value& kernels) {
+  const Object* top = kernels.object();
+  if (top == nullptr) return "'kernels' is not an object";
+
+  for (const char* key : {"kernels", "schemes", "runs", "total_cycles",
+                          "total_instructions"}) {
+    const Value* v = find(*top, key);
+    if (v == nullptr || !v->is_number()) {
+      return std::string("'kernels.") + key + "' missing or not a number";
+    }
+  }
+
+  const Value* entries = find(*top, "entries");
+  if (entries == nullptr || entries->object() == nullptr) {
+    return "'kernels.entries' missing or not an object";
+  }
+  const double expected_entries =
+      find(*top, "kernels")->number() * find(*top, "schemes")->number();
+  if (static_cast<double>(entries->object()->size()) != expected_entries) {
+    return "'kernels.entries' size != kernels x schemes";
+  }
+
+  double cycle_sum = 0;
+  for (const auto& [tag, value] : *entries->object()) {
+    const std::string where = "'kernels.entries." + tag + "'";
+    if (tag.find('/') == std::string::npos) {
+      return where + " key is not <family>/<point>/<scheme>";
+    }
+    const Object* entry = value.object();
+    if (entry == nullptr) return where + " is not an object";
+    for (const char* key :
+         {"functions", "static_calls", "static_depth", "cycles",
+          "instructions", "calls", "pa_instructions", "chain_pushes",
+          "overhead_percent", "cycles_per_call", "cycles_per_instruction"}) {
+      const Value* v = find(*entry, key);
+      if (v == nullptr || !v->is_number()) {
+        return where + " lacks numeric '" + key + "'";
+      }
+    }
+    const double cycles = find(*entry, "cycles")->number();
+    const double instructions = find(*entry, "instructions")->number();
+    const double calls = find(*entry, "calls")->number();
+    if (instructions > cycles) {
+      return where + " instructions exceed cycles (costs are >= 1/instr)";
+    }
+    if (calls > instructions) {
+      return where + " dynamic calls exceed retired instructions";
+    }
+    const double cpi = find(*entry, "cycles_per_instruction")->number();
+    if (instructions > 0 && std::fabs(cpi - cycles / instructions) > 1e-9) {
+      return where + " cycles_per_instruction != cycles / instructions";
+    }
+    cycle_sum += cycles;
+  }
+  if (cycle_sum != find(*top, "total_cycles")->number()) {
+    return "'kernels.total_cycles' does not sum the entries";
+  }
+  return {};
+}
+
 /// Validate a Chrome trace-event JSON document (the --trace output of the
 /// benches and acs-run): {"traceEvents": [...]} where every event carries
 /// a string name/ph, integer pid/tid, and — except for "M" metadata — a
@@ -531,6 +596,11 @@ std::string check_schema(const Value& root) {
 
   if (const Value* topology = find(*top, "topology")) {
     std::string error = check_topology_section(*topology);
+    if (!error.empty()) return error;
+  }
+
+  if (const Value* kernels = find(*top, "kernels")) {
+    std::string error = check_kernels_section(*kernels);
     if (!error.empty()) return error;
   }
 

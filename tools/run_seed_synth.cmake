@@ -1,0 +1,44 @@
+# Chains the synthetic seed-corpus pipeline: acs-fuzz --seed-synth must
+# emit the full feature-targeted kernel catalogue (every kernel viable,
+# oracle-clean and feature-novel), and acs-fuzz --validate must then accept
+# every emitted .acsir file. A crashed emitter, an empty directory, or a
+# structurally invalid seed all fail the test.
+# Inputs: -DFUZZER=<acs-fuzz binary> -DSEED_DIR=<scratch dir>
+
+if(NOT DEFINED FUZZER OR NOT DEFINED SEED_DIR)
+  message(FATAL_ERROR "run_seed_synth.cmake needs FUZZER and SEED_DIR")
+endif()
+
+file(REMOVE_RECURSE "${SEED_DIR}")
+
+execute_process(
+  COMMAND "${FUZZER}" "--seed-synth" "${SEED_DIR}"
+  RESULT_VARIABLE synth_rc
+  OUTPUT_VARIABLE synth_out
+  ERROR_VARIABLE synth_err
+)
+if(NOT synth_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${FUZZER} --seed-synth exited with ${synth_rc}\n"
+          "stdout:\n${synth_out}\nstderr:\n${synth_err}")
+endif()
+message(STATUS "--seed-synth:\n${synth_out}")
+
+file(GLOB seeds "${SEED_DIR}/*.acsir")
+list(LENGTH seeds seed_count)
+if(seed_count EQUAL 0)
+  message(FATAL_ERROR "--seed-synth wrote no .acsir files into ${SEED_DIR}")
+endif()
+
+execute_process(
+  COMMAND "${FUZZER}" "--validate" "${SEED_DIR}"
+  RESULT_VARIABLE validate_rc
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err
+)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR
+          "--validate rejected the emitted seed corpus (exit ${validate_rc})\n"
+          "stdout:\n${validate_out}\nstderr:\n${validate_err}")
+endif()
+message(STATUS "--validate accepted all ${seed_count} emitted seed(s)")
